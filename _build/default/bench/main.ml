@@ -1,0 +1,484 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) on the simulated corpus, and times the core
+   components with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                     # default scale (a few minutes)
+     dune exec bench/main.exe -- --full           # paper scale (94 programs)
+     dune exec bench/main.exe -- --programs 20 --mean-classes 80
+     dune exec bench/main.exe -- --skip-micro | --skip-tables
+
+   Absolute times are on a simulated clock (see Experiment.default_cost);
+   the paper's shapes — who wins, by what factor, where the curves sit —
+   are the reproduction target.  EXPERIMENTS.md records paper-vs-measured
+   for every entry printed here. *)
+
+open Lbr_logic
+open Lbr_harness
+
+type options = {
+  programs : int;
+  mean_classes : int;
+  seed : int;
+  run_tables : bool;
+  run_micro : bool;
+}
+
+let parse_options () =
+  let options =
+    ref { programs = 30; mean_classes = 60; seed = 42; run_tables = true; run_micro = true }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        options := { !options with programs = 94; mean_classes = 150 };
+        go rest
+    | "--programs" :: n :: rest ->
+        options := { !options with programs = int_of_string n };
+        go rest
+    | "--mean-classes" :: n :: rest ->
+        options := { !options with mean_classes = int_of_string n };
+        go rest
+    | "--seed" :: n :: rest ->
+        options := { !options with seed = int_of_string n };
+        go rest
+    | "--skip-micro" :: rest ->
+        options := { !options with run_micro = false };
+        go rest
+    | "--skip-tables" :: rest ->
+        options := { !options with run_tables = false };
+        go rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !options
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader title = Printf.printf "\n-- %s --\n" title
+
+(* ================================================================== *)
+(* E1: the running example (§2, §4.5, Figures 1 and 2)                 *)
+
+let table_e1 () =
+  header "E1: Running example (Figures 1-2, §4.5)";
+  let model = Lbr_fji.Example.model () in
+  let universe = Lbr_fji.Vars.all model.vars in
+  let over = Assignment.to_list universe in
+  Printf.printf "variables |V(P)|:            %d   (paper: 20)\n" (Assignment.cardinal universe);
+  let no_req =
+    Cnf.make
+      (List.filter (fun c -> Clause.kind c <> Clause.Unit_pos) (Cnf.clauses model.constraints))
+  in
+  Printf.printf "valid sub-inputs (no req):   %d (paper: 6,766 via sharpSAT)\n"
+    (Model_count.count no_req ~over);
+  Printf.printf "valid sub-inputs (with req): %d\n"
+    (Model_count.count model.constraints ~over);
+  let predicate = Lbr.Predicate.make (Lbr_fji.Example.buggy model.vars) in
+  let problem =
+    Lbr.Problem.make ~pool:model.pool ~universe ~constraints:model.constraints ~predicate
+  in
+  match Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation model.pool) with
+  | Error _ -> print_endline "GBR FAILED"
+  | Ok (result, stats) ->
+      Printf.printf "GBR predicate runs:          %d   (paper: 11; order-dependent)\n"
+        stats.predicate_runs;
+      Printf.printf "GBR result size:             %d variables (paper: 11, optimal)\n"
+        (Assignment.cardinal result);
+      Printf.printf "matches the optimum:         %b\n"
+        (Assignment.equal result (Lbr_fji.Example.optimal model.vars));
+      let reduced = Lbr_fji.Reduce.reduce model.vars model.program result in
+      print_endline "reduced program (Figure 1b):";
+      print_endline (Lbr_fji.Pretty.program_to_string reduced)
+
+(* ================================================================== *)
+(* Corpus + outcomes shared by E2/E3/E5                                *)
+
+let run_corpus options =
+  let t0 = Unix.gettimeofday () in
+  let benchmarks =
+    Corpus.build ~seed:options.seed ~programs:options.programs
+      ~mean_classes:options.mean_classes
+  in
+  let instances = Corpus.instances benchmarks in
+  Printf.printf "\n[corpus] %d programs, %d reduction instances (%.1fs to build)\n"
+    (List.length benchmarks) (List.length instances)
+    (Unix.gettimeofday () -. t0);
+  let outcomes =
+    List.map
+      (fun strategy ->
+        let t1 = Unix.gettimeofday () in
+        let outcomes = List.map (Experiment.run strategy) instances in
+        Printf.printf "[run] %-12s done in %.1fs wall\n%!"
+          (Experiment.strategy_name strategy)
+          (Unix.gettimeofday () -. t1);
+        (strategy, outcomes))
+      Experiment.all_strategies
+  in
+  (benchmarks, instances, outcomes)
+
+let outcomes_of strategy outcomes = List.assoc strategy outcomes
+
+(* ================================================================== *)
+(* E4: corpus statistics (§5 "Statistics")                             *)
+
+let table_e4 benchmarks instances =
+  header "E4: Corpus statistics (geometric means; §5 'Statistics')";
+  let stats = Corpus.stats benchmarks instances in
+  Printf.printf "%-28s %12s %12s\n" "metric" "measured" "paper";
+  Printf.printf "%-28s %12d %12d\n" "programs" stats.programs 94;
+  Printf.printf "%-28s %12d %12d\n" "reduction instances" stats.instance_count 227;
+  Printf.printf "%-28s %12.0f %12d\n" "classes" stats.geo_classes 184;
+  Printf.printf "%-28s %11.0fK %11s" "size (bytes)" (stats.geo_bytes /. 1024.) "285K";
+  print_newline ();
+  Printf.printf "%-28s %12.1f %12.1f\n" "compiler errors" stats.geo_errors 9.2;
+  Printf.printf "%-28s %11.1fk %11.1fk\n" "reducible items" (stats.geo_items /. 1000.) 2.9;
+  Printf.printf "%-28s %11.1fk %11.1fk\n" "model clauses" (stats.geo_clauses /. 1000.) 8.7;
+  Printf.printf "%-28s %11.1f%% %11.1f%%\n" "graph-edge clauses"
+    (100. *. stats.mean_graph_fraction) 97.5
+
+(* ================================================================== *)
+(* E2: Figure 8a — CDFs of time and final relative size + geo-means    *)
+
+let cdf_row values thresholds =
+  List.map (fun t -> Stats.fraction_below values t) thresholds
+
+let print_cdf name thresholds fmt rows =
+  subheader name;
+  Printf.printf "%-12s" "reducer";
+  List.iter (fun t -> Printf.printf " %8s" (fmt t)) thresholds;
+  print_newline ();
+  List.iter
+    (fun (label, fractions) ->
+      Printf.printf "%-12s" label;
+      List.iter (fun f -> Printf.printf " %7.0f%%" (100. *. f)) fractions;
+      print_newline ())
+    rows
+
+let table_e2 outcomes =
+  header "E2: Figure 8a — cumulative frequencies and geometric means";
+  let our = outcomes_of Experiment.Gbr outcomes in
+  let jreduce = outcomes_of Experiment.Jreduce outcomes in
+  let times os = List.map (fun (o : Experiment.outcome) -> o.sim_time) os in
+  let class_ratios os =
+    List.map
+      (fun (o : Experiment.outcome) -> float_of_int o.classes1 /. float_of_int o.classes0)
+      os
+  in
+  let byte_ratios os =
+    List.map (fun (o : Experiment.outcome) -> float_of_int o.bytes1 /. float_of_int o.bytes0) os
+  in
+  let time_grid = [ 60.; 300.; 900.; 1800.; 3600.; 7200.; 36000. ] in
+  print_cdf "time spent (simulated s)" time_grid
+    (fun t -> Printf.sprintf "<=%.0fm" (t /. 60.))
+    [
+      ("our reducer", cdf_row (times our) time_grid);
+      ("j-reduce", cdf_row (times jreduce) time_grid);
+    ];
+  let size_grid = [ 0.025; 0.05; 0.10; 0.20; 0.40; 0.60; 1.0 ] in
+  print_cdf "final relative size (classes)" size_grid
+    (fun s -> Printf.sprintf "<=%.0f%%" (100. *. s))
+    [
+      ("our reducer", cdf_row (class_ratios our) size_grid);
+      ("j-reduce", cdf_row (class_ratios jreduce) size_grid);
+    ];
+  print_cdf "final relative size (bytes)" size_grid
+    (fun s -> Printf.sprintf "<=%.0f%%" (100. *. s))
+    [
+      ("our reducer", cdf_row (byte_ratios our) size_grid);
+      ("j-reduce", cdf_row (byte_ratios jreduce) size_grid);
+    ];
+  subheader "geometric means (the dots of Figure 8a)";
+  let our_s = Stats.summarize our and jr_s = Stats.summarize jreduce in
+  Printf.printf "%-22s %14s %14s %22s\n" "metric" "our reducer" "j-reduce" "paper (ours/JR)";
+  Printf.printf "%-22s %13.1fs %13.1fs %22s\n" "time (simulated)" our_s.geo_time jr_s.geo_time
+    "680.7s / 218.6s";
+  Printf.printf "%-22s %13.1f%% %13.1f%% %22s\n" "classes left"
+    (100. *. our_s.geo_class_ratio)
+    (100. *. jr_s.geo_class_ratio)
+    "8.4% / 22.8%";
+  Printf.printf "%-22s %13.1f%% %13.1f%% %22s\n" "bytes left"
+    (100. *. our_s.geo_byte_ratio)
+    (100. *. jr_s.geo_byte_ratio)
+    "4.6% / 24.3%";
+  Printf.printf "%-22s %13.1f%% %13.1f%% %22s\n" "decompiled lines left"
+    (100. *. our_s.geo_line_ratio)
+    (100. *. jr_s.geo_line_ratio)
+    "(order-of-magnitude)";
+  Printf.printf "\nheadline: our reducer leaves %.1fx less bytes than J-Reduce (paper: 5.3x)\n"
+    (jr_s.geo_byte_ratio /. our_s.geo_byte_ratio);
+  Printf.printf "          and is %.1fx slower (paper: 3.1x)\n"
+    (our_s.geo_time /. jr_s.geo_time)
+
+(* ================================================================== *)
+(* E3: Figure 8b — mean reduction factor over time                     *)
+
+let table_e3 outcomes =
+  header "E3: Figure 8b — reduction over time (mean 'times smaller')";
+  let our = outcomes_of Experiment.Gbr outcomes in
+  let jreduce = outcomes_of Experiment.Jreduce outcomes in
+  let grid = [ 0.; 120.; 300.; 600.; 1200.; 2400.; 3600.; 5400.; 7200. ] in
+  List.iter
+    (fun (metric, label) ->
+      subheader label;
+      Printf.printf "%-12s" "time";
+      List.iter (fun t -> Printf.printf " %7.0fm" (t /. 60.)) grid;
+      print_newline ();
+      List.iter
+        (fun (name, os) ->
+          Printf.printf "%-12s" name;
+          List.iter
+            (fun t -> Printf.printf " x%7.1f" (Timeline.mean_factor_at os t ~metric))
+            grid;
+          print_newline ())
+        [ ("our reducer", our); ("j-reduce", jreduce) ])
+    [
+      (`Classes, "number of classes (paper at 2h: JR ~x4.4, ours ~x11.9)");
+      (`Bytes, "number of bytes (paper at 2h: JR ~x4.1, ours ~x21.7)");
+    ]
+
+(* ================================================================== *)
+(* E5: the two lossy encodings (§4.3 / §5)                             *)
+
+let graph_fraction_of_instance (instance : Corpus.instance) =
+  let vpool = Var.Pool.create () in
+  let jv = Lbr_jvm.Jvars.derive vpool instance.benchmark.pool in
+  let cnf = Lbr_jvm.Constraints.generate jv instance.benchmark.pool in
+  Cnf.graph_fraction cnf
+
+let table_e5 instances outcomes =
+  header "E5: Lossy encodings vs GBR (§5)";
+  let our = outcomes_of Experiment.Gbr outcomes in
+  let first = outcomes_of Experiment.Lossy_first outcomes in
+  let last = outcomes_of Experiment.Lossy_last outcomes in
+  let our_s = Stats.summarize our in
+  let report name lossy paper_bytes paper_time =
+    let s = Stats.summarize lossy in
+    Printf.printf "%-14s bytes %+.0f%% vs GBR (paper: %s)   lines %+.0f%%   time %+.0f%% (paper: %s)\n"
+      name
+      (100. *. (s.geo_byte_ratio /. our_s.geo_byte_ratio -. 1.))
+      paper_bytes
+      (100. *. (s.geo_line_ratio /. our_s.geo_line_ratio -. 1.))
+      (100. *. (s.geo_time /. our_s.geo_time -. 1.))
+      paper_time
+  in
+  report "lossy-first" first "+5% bytes" "-4% time";
+  report "lossy-last" last "+8% bytes" "+2% time";
+  (* strictly-better percentages *)
+  let strictly_better lossy ~subset =
+    let pairs = List.combine our lossy in
+    let pairs =
+      List.filter (fun ((o : Experiment.outcome), _) -> subset o.instance_id) pairs
+    in
+    match pairs with
+    | [] -> nan
+    | _ ->
+        let better =
+          List.length
+            (List.filter
+               (fun ((o : Experiment.outcome), (l : Experiment.outcome)) ->
+                 o.bytes1 < l.bytes1)
+               pairs)
+        in
+        100. *. float_of_int better /. float_of_int (List.length pairs)
+  in
+  let everything _ = true in
+  Printf.printf "\nGBR strictly better than lossy-first: %5.0f%% of instances (paper: 48%%)\n"
+    (strictly_better first ~subset:everything);
+  Printf.printf "GBR strictly better than lossy-last:  %5.0f%% of instances (paper: 51%%)\n"
+    (strictly_better last ~subset:everything);
+  (* the >= 5% non-graph subset *)
+  let fractions =
+    List.map (fun i -> (i.Corpus.instance_id, graph_fraction_of_instance i)) instances
+  in
+  let non_graph_heavy id =
+    match List.assoc_opt id fractions with Some f -> f <= 0.95 | None -> false
+  in
+  Printf.printf "on instances with >=5%% non-graph clauses (%d of %d):\n"
+    (List.length (List.filter (fun (_, f) -> f <= 0.95) fractions))
+    (List.length fractions);
+  Printf.printf "  strictly better than lossy-first:   %5.0f%% (paper: 79%%)\n"
+    (strictly_better first ~subset:non_graph_heavy);
+  Printf.printf "  strictly better than lossy-last:    %5.0f%% (paper: 84%%)\n"
+    (strictly_better last ~subset:non_graph_heavy)
+
+(* ================================================================== *)
+(* E6: ablation — variable orders and ddmin (beyond the paper's table) *)
+
+let table_e6 instances =
+  header "E6 (ablation): variable order and a ddmin baseline";
+  (* GBR with creation order vs closure order on a few instances *)
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let sample = take 6 instances in
+  subheader "GBR: creation order vs closure-size order (Thm 4.5's 'pick < well')";
+  List.iter
+    (fun (instance : Corpus.instance) ->
+      let pool = instance.benchmark.pool in
+      let run_with order_of =
+        let vpool = Var.Pool.create () in
+        let jv = Lbr_jvm.Jvars.derive vpool pool in
+        let cnf = Lbr_jvm.Constraints.generate jv pool in
+        let universe = Lbr_jvm.Jvars.all jv in
+        let baseline = instance.baseline_errors in
+        let predicate =
+          Lbr.Predicate.make (fun phi ->
+              let errors =
+                Lbr_decompiler.Tool.errors instance.tool (Lbr_jvm.Reducer.apply jv pool phi)
+              in
+              List.for_all (fun m -> List.mem m errors) baseline)
+        in
+        let problem = Lbr.Problem.make ~pool:vpool ~universe ~constraints:cnf ~predicate in
+        match Lbr.Gbr.reduce problem ~order:(order_of vpool cnf universe) with
+        | Error _ -> (nan, 0)
+        | Ok (result, stats) ->
+            let final = Lbr_jvm.Reducer.apply jv pool result in
+            ( 100.
+              *. float_of_int (Lbr_jvm.Size.bytes final)
+              /. float_of_int (Lbr_jvm.Size.bytes pool),
+              stats.predicate_runs )
+      in
+      let creation_pct, creation_runs =
+        run_with (fun vpool _ _ -> Lbr_sat.Order.by_creation vpool)
+      in
+      let closure_pct, closure_runs =
+        run_with (fun _ cnf universe -> Lbr.Order_heuristics.closure_order cnf ~universe)
+      in
+      Printf.printf "%-24s creation: %5.1f%% (%3d runs)   closure-order: %5.1f%% (%3d runs)\n"
+        instance.instance_id creation_pct creation_runs closure_pct closure_runs)
+    sample;
+  subheader "ddmin at class granularity (the pre-J-Reduce baseline)";
+  List.iter
+    (fun (instance : Corpus.instance) ->
+      let pool = instance.benchmark.pool in
+      let names = Lbr_jvm.Classpool.names pool in
+      let baseline = instance.baseline_errors in
+      let tests = ref 0 in
+      let test subset =
+        incr tests;
+        let sub =
+          Lbr_jvm.Classpool.classes pool
+          |> List.filter (fun (c : Lbr_jvm.Classfile.cls) ->
+                 List.mem c.Lbr_jvm.Classfile.name subset)
+          |> Lbr_jvm.Classpool.of_classes
+        in
+        if not (Lbr_jvm.Checker.is_valid sub) then Lbr_baselines.Ddmin.Unresolved
+        else
+          let errors = Lbr_decompiler.Tool.errors instance.tool sub in
+          if List.for_all (fun m -> List.mem m errors) baseline then Lbr_baselines.Ddmin.Fail
+          else Lbr_baselines.Ddmin.Pass
+      in
+      let result, stats = Lbr_baselines.Ddmin.run ~items:names ~test in
+      Printf.printf "%-24s ddmin: %3d of %3d classes left (%d tests)\n" instance.instance_id
+        (List.length result) (List.length names) stats.tests)
+    (take 3 instances)
+
+(* ================================================================== *)
+(* Bechamel micro-benchmarks                                           *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel; ns per run)";
+  let open Bechamel in
+  let model = Lbr_fji.Example.model () in
+  let universe = Lbr_fji.Vars.all model.vars in
+  let over = Assignment.to_list universe in
+  let pool40 =
+    Lbr_workload.Generator.generate ~seed:7 (Lbr_workload.Generator.njr_profile ~classes:40)
+  in
+  let vpool = Var.Pool.create () in
+  let jv = Lbr_jvm.Jvars.derive vpool pool40 in
+  let cnf40 = Lbr_jvm.Constraints.generate jv pool40 in
+  let order40 = Lbr_sat.Order.by_creation vpool in
+  let universe40 = Lbr_jvm.Jvars.all jv in
+  let instance40 =
+    let benchmarks = Corpus.build ~seed:7 ~programs:1 ~mean_classes:40 in
+    List.nth_opt (Corpus.instances benchmarks) 0
+  in
+  let tests =
+    [
+      Test.make ~name:"e1:model-count-6766"
+        (Staged.stage (fun () ->
+             Model_count.count
+               (Cnf.make
+                  (List.filter
+                     (fun c -> Clause.kind c <> Clause.Unit_pos)
+                     (Cnf.clauses model.constraints)))
+               ~over));
+      Test.make ~name:"e1:gbr-example"
+        (Staged.stage (fun () ->
+             let predicate = Lbr.Predicate.make (Lbr_fji.Example.buggy model.vars) in
+             let problem =
+               Lbr.Problem.make ~pool:model.pool ~universe ~constraints:model.constraints
+                 ~predicate
+             in
+             Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation model.pool)));
+      Test.make ~name:"jvm:constraint-gen-40cls"
+        (Staged.stage (fun () -> Lbr_jvm.Constraints.generate jv pool40));
+      Test.make ~name:"sat:msa-closure-40cls"
+        (Staged.stage (fun () ->
+             Lbr_sat.Msa.compute cnf40 ~order:order40 ~universe:universe40
+               ~required:Assignment.empty ()));
+      Test.make ~name:"core:progression-40cls"
+        (Staged.stage (fun () ->
+             Lbr.Progression.build ~cnf:cnf40 ~order:order40 ~learned:[] ~universe:universe40));
+      Test.make ~name:"graph:closure-table-40cls"
+        (Staged.stage (fun () ->
+             let edges =
+               Cnf.clauses cnf40
+               |> List.filter_map (fun (c : Clause.t) ->
+                      match Clause.kind c with
+                      | Clause.Edge -> Some (c.neg.(0), c.pos.(0))
+                      | _ -> None)
+             in
+             Lbr_graph.Scc.all_closures
+               (Lbr_graph.Digraph.make ~n:(Var.Pool.size vpool) ~edges)));
+    ]
+    @
+    match instance40 with
+    | None -> []
+    | Some instance ->
+        [
+          Test.make ~name:"fig8a:gbr-one-instance"
+            (Staged.stage (fun () -> Experiment.run Experiment.Gbr instance));
+          Test.make ~name:"fig8a:jreduce-one-instance"
+            (Staged.stage (fun () -> Experiment.run Experiment.Jreduce instance));
+        ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let samples = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let estimate = Analyze.one ols Toolkit.Instance.monotonic_clock samples in
+          let ns =
+            match Analyze.OLS.estimates estimate with
+            | Some (t :: _) -> t
+            | Some [] | None -> nan
+          in
+          Printf.printf "%-32s %12.0f ns/run  (%.3f ms)\n%!" (Test.Elt.name elt) ns
+            (ns /. 1e6))
+        (Test.elements test))
+    tests
+
+(* ================================================================== *)
+
+let () =
+  let options = parse_options () in
+  Printf.printf
+    "Logical Bytecode Reduction — evaluation harness (programs=%d, mean-classes=%d, seed=%d)\n"
+    options.programs options.mean_classes options.seed;
+  if options.run_tables then begin
+    table_e1 ();
+    let benchmarks, instances, outcomes = run_corpus options in
+    table_e4 benchmarks instances;
+    table_e2 outcomes;
+    table_e3 outcomes;
+    table_e5 instances outcomes;
+    table_e6 instances
+  end;
+  if options.run_micro then micro ();
+  print_newline ()

@@ -1,0 +1,254 @@
+(* lbr-reduce: command-line front end for logical bytecode reduction.
+
+   Subcommands:
+     example   — run the paper's Figure 1 example end to end
+     reduce    — generate a benchmark, pick a buggy decompiler, reduce
+     stats     — corpus statistics (the §5 'Statistics' table)
+     export    — dump a benchmark's pool (binary), model (DIMACS) and source
+     tools     — list the simulated decompilers and their bug patterns *)
+
+open Cmdliner
+open Lbr_logic
+
+(* ------------------------------------------------------------------ *)
+
+let example_cmd =
+  let run () =
+    let model = Lbr_fji.Example.model () in
+    let universe = Lbr_fji.Vars.all model.vars in
+    print_endline "input (Figure 1a):";
+    print_endline (Lbr_fji.Pretty.program_to_string model.program);
+    let predicate = Lbr.Predicate.make (Lbr_fji.Example.buggy model.vars) in
+    let problem =
+      Lbr.Problem.make ~pool:model.pool ~universe ~constraints:model.constraints ~predicate
+    in
+    match Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation model.pool) with
+    | Error _ -> prerr_endline "reduction failed"; exit 1
+    | Ok (solution, stats) ->
+        Printf.printf "\nreduced in %d tool runs; kept %d of %d items\n\n"
+          stats.predicate_runs
+          (Assignment.cardinal solution)
+          (Assignment.cardinal universe);
+        print_endline "output (Figure 1b):";
+        print_endline
+          (Lbr_fji.Pretty.program_to_string
+             (Lbr_fji.Reduce.reduce model.vars model.program solution))
+  in
+  Cmd.v (Cmd.info "example" ~doc:"Run the paper's Figure 1 example end to end.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let classes_arg =
+  Arg.(value & opt int 60 & info [ "classes" ] ~docv:"N" ~doc:"Classes in the generated program.")
+
+let strategy_arg =
+  let strategies =
+    [
+      ("gbr", Lbr_harness.Experiment.Gbr);
+      ("jreduce", Lbr_harness.Experiment.Jreduce);
+      ("lossy-first", Lbr_harness.Experiment.Lossy_first);
+      ("lossy-last", Lbr_harness.Experiment.Lossy_last);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum strategies) Lbr_harness.Experiment.Gbr
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"One of gbr, jreduce, lossy-first, lossy-last.")
+
+let tool_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tool" ] ~docv:"TOOL"
+        ~doc:"Decompiler to reduce against (default: first buggy one).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the reduced decompiled source to FILE.")
+
+let reduce_cmd =
+  let run seed classes strategy tool output =
+    let pool =
+      Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes)
+    in
+    let tools =
+      match tool with
+      | None -> Lbr_decompiler.Tool.all
+      | Some name -> (
+          match
+            List.find_opt
+              (fun (t : Lbr_decompiler.Tool.t) -> t.name = name)
+              Lbr_decompiler.Tool.all
+          with
+          | Some t -> [ t ]
+          | None ->
+              prerr_endline ("unknown tool " ^ name ^ "; see `lbr-reduce tools'");
+              exit 2)
+    in
+    match
+      List.find_map
+        (fun t ->
+          match Lbr_decompiler.Tool.errors t pool with
+          | [] -> None
+          | errors -> Some (t, errors))
+        tools
+    with
+    | None ->
+        print_endline "no decompiler is buggy on this program; try another --seed";
+        exit 0
+    | Some (tool, baseline) ->
+        Printf.printf "program: %d classes, %d bytes; %s produces %d errors\n"
+          (Lbr_jvm.Size.classes pool) (Lbr_jvm.Size.bytes pool)
+          tool.Lbr_decompiler.Tool.name (List.length baseline);
+        let instance =
+          {
+            Lbr_harness.Corpus.instance_id = Printf.sprintf "seed%d/%s" seed tool.name;
+            benchmark = { bench_id = Printf.sprintf "seed%d" seed; seed; pool };
+            tool;
+            baseline_errors = baseline;
+          }
+        in
+        let o = Lbr_harness.Experiment.run strategy instance in
+        Printf.printf
+          "%s: %d -> %d classes (%.1f%%), %d -> %d bytes (%.1f%%), %d tool runs, %.0fs simulated\n"
+          (Lbr_harness.Experiment.strategy_name strategy)
+          o.classes0 o.classes1
+          (100. *. float_of_int o.classes1 /. float_of_int o.classes0)
+          o.bytes0 o.bytes1
+          (100. *. float_of_int o.bytes1 /. float_of_int o.bytes0)
+          o.predicate_runs o.sim_time;
+        (match output with
+        | None -> ()
+        | Some file ->
+            (* Re-derive the reduced pool with GBR for the dump. *)
+            let vpool = Var.Pool.create () in
+            let jv = Lbr_jvm.Jvars.derive vpool pool in
+            let cnf = Lbr_jvm.Constraints.generate jv pool in
+            let predicate =
+              Lbr.Predicate.make (fun phi ->
+                  let errors =
+                    Lbr_decompiler.Tool.errors tool (Lbr_jvm.Reducer.apply jv pool phi)
+                  in
+                  List.for_all (fun m -> List.mem m errors) baseline)
+            in
+            let problem =
+              Lbr.Problem.make ~pool:vpool ~universe:(Lbr_jvm.Jvars.all jv) ~constraints:cnf
+                ~predicate
+            in
+            match Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation vpool) with
+            | Error _ -> prerr_endline "dump failed"
+            | Ok (solution, _) ->
+                let reduced = Lbr_jvm.Reducer.apply jv pool solution in
+                let oc = open_out file in
+                output_string oc (Lbr_decompiler.Source.decompile reduced);
+                close_out oc;
+                Printf.printf "reduced decompiled source written to %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Generate a benchmark program and reduce it against a buggy decompiler.")
+    Term.(const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let programs_arg =
+    Arg.(value & opt int 20 & info [ "programs" ] ~docv:"N" ~doc:"Corpus size.")
+  in
+  let mean_arg =
+    Arg.(value & opt int 60 & info [ "mean-classes" ] ~docv:"N" ~doc:"Geometric-mean classes.")
+  in
+  let run seed programs mean_classes =
+    let benchmarks = Lbr_harness.Corpus.build ~seed ~programs ~mean_classes in
+    let instances = Lbr_harness.Corpus.instances benchmarks in
+    let s = Lbr_harness.Corpus.stats benchmarks instances in
+    Printf.printf "programs: %d   instances: %d\n" s.programs s.instance_count;
+    Printf.printf "geo classes: %.0f   geo bytes: %.0f   geo errors: %.1f\n" s.geo_classes
+      s.geo_bytes s.geo_errors;
+    Printf.printf "geo items: %.0f   geo clauses: %.0f   graph fraction: %.1f%%\n" s.geo_items
+      s.geo_clauses
+      (100. *. s.mean_graph_fraction)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Corpus statistics (the §5 'Statistics' measurements).")
+    Term.(const run $ seed_arg $ programs_arg $ mean_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let cnf_arg =
+    Cmdliner.Arg.(
+      value & opt (some string) None
+      & info [ "cnf" ] ~docv:"FILE" ~doc:"Write the dependency model as DIMACS CNF to FILE.")
+  in
+  let pool_arg =
+    Cmdliner.Arg.(
+      value & opt (some string) None
+      & info [ "pool" ] ~docv:"FILE" ~doc:"Write the class pool in binary form to FILE.")
+  in
+  let source_arg =
+    Cmdliner.Arg.(
+      value & opt (some string) None
+      & info [ "source" ] ~docv:"FILE" ~doc:"Write the decompiled pseudo-Java to FILE.")
+  in
+  let run seed classes cnf_file pool_file source_file =
+    let pool =
+      Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes)
+    in
+    (match pool_file with
+    | Some file ->
+        Lbr_jvm.Serialize.write_file file pool;
+        Printf.printf "pool (%d bytes serialized) -> %s\n"
+          (Lbr_jvm.Serialize.serialized_size pool) file
+    | None -> ());
+    (match cnf_file with
+    | Some file ->
+        let vpool = Var.Pool.create () in
+        let jv = Lbr_jvm.Jvars.derive vpool pool in
+        let cnf = Lbr_jvm.Constraints.generate jv pool in
+        Dimacs.write_file file cnf;
+        Printf.printf "model (%d vars, %d clauses) -> %s\n" (Var.Pool.size vpool)
+          (Cnf.num_clauses cnf) file
+    | None -> ());
+    match source_file with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Lbr_decompiler.Source.decompile pool);
+        close_out oc;
+        Printf.printf "decompiled source (%d lines) -> %s\n"
+          (Lbr_decompiler.Source.line_count pool) file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Generate a benchmark and export its pool (binary), dependency model (DIMACS, for \
+          external SAT/#SAT tools) and decompiled source.")
+    Term.(const run $ seed_arg $ classes_arg $ cnf_arg $ pool_arg $ source_arg)
+
+let tools_cmd =
+  let run () =
+    List.iter
+      (fun (t : Lbr_decompiler.Tool.t) ->
+        Printf.printf "%s\n" t.name;
+        List.iter
+          (fun (p : Lbr_decompiler.Pattern.t) -> Printf.printf "  pattern: %s\n" p.name)
+          t.patterns)
+      Lbr_decompiler.Tool.all
+  in
+  Cmd.v
+    (Cmd.info "tools" ~doc:"List the simulated decompilers and their bug patterns.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "lbr-reduce" ~version:"1.0.0"
+      ~doc:"Logical bytecode reduction (PLDI 2021) — reference OCaml implementation."
+  in
+  exit (Cmd.eval (Cmd.group info [ example_cmd; reduce_cmd; stats_cmd; export_cmd; tools_cmd ]))

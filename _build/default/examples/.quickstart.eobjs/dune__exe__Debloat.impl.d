@@ -1,0 +1,1 @@
+examples/debloat.ml: Array Checker Classfile Classpool Constraints Jvars Lbr Lbr_jvm Lbr_logic Lbr_sat Lbr_workload List Option Printf Reducer Size Sys Var

@@ -1,0 +1,1 @@
+examples/debloat.mli:

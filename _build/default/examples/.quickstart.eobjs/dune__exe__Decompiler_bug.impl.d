@@ -1,0 +1,1 @@
+examples/decompiler_bug.ml: Array Constraints Jvars Lbr Lbr_decompiler Lbr_harness Lbr_jvm Lbr_logic Lbr_sat List Printf Reducer Size Sys Var

@@ -1,0 +1,1 @@
+examples/decompiler_bug.mli:

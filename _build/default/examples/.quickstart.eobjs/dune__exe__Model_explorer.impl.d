@@ -1,0 +1,1 @@
+examples/model_explorer.ml: Assignment Clause Cnf Lbr Lbr_logic Lbr_sat List Model_count Msa Order Printf String Var

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Assignment Clause Cnf Format Lbr Lbr_fji Lbr_logic Lbr_sat List Model_count Printf Var

@@ -1,0 +1,73 @@
+(* Debloating (§6 "Debloating"): the same machinery, a different black box.
+
+   Given a test suite, define the predicate to be "all tests pass"; a
+   reduction then yields a sub-application that preserves the behaviour the
+   tests describe — a debloater in the style of Jax or JShrink.
+
+   Our simulated test suite picks a handful of entry methods and "passes"
+   when each entry still exists with its real body and the whole pool links
+   (the checker accepts it).  GBR keeps exactly the entries' dependency
+   closures and drops the rest.
+
+   Run with:  dune exec examples/debloat.exe [seed] *)
+
+open Lbr_logic
+open Lbr_jvm
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 11 in
+  let pool =
+    Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes:80)
+  in
+  let vpool = Var.Pool.create () in
+  let jv = Jvars.derive vpool pool in
+  let cnf = Constraints.generate jv pool in
+
+  (* The "test suite": the first concrete method of every 10th class. *)
+  let entries =
+    Classpool.classes pool
+    |> List.filteri (fun i _ -> i mod 10 = 0)
+    |> List.filter_map (fun (c : Classfile.cls) ->
+           List.find_opt (fun (m : Classfile.meth) -> not m.m_abstract) c.methods
+           |> Option.map (fun (m : Classfile.meth) -> (c.name, m.m_name)))
+  in
+  Printf.printf "application: %d classes, %d bytes\n" (Size.classes pool) (Size.bytes pool);
+  Printf.printf "test suite entry points (%d):\n" (List.length entries);
+  List.iter (fun (c, m) -> Printf.printf "  %s.%s()\n" c m) entries;
+
+  let tests_pass sub =
+    Checker.is_valid sub
+    && List.for_all
+         (fun (cls, meth) ->
+           match Classpool.find sub cls with
+           | None -> false
+           | Some c -> (
+               match Classfile.find_method c meth with
+               | Some m -> (not m.m_abstract) && m.m_body <> [ Classfile.Return_insn ]
+               | None -> false))
+         entries
+  in
+  let predicate =
+    Lbr.Predicate.make ~name:"test-suite" (fun phi -> tests_pass (Reducer.apply jv pool phi))
+  in
+  let problem =
+    Lbr.Problem.make ~pool:vpool ~universe:(Jvars.all jv) ~constraints:cnf ~predicate
+  in
+  match Lbr.Problem.validate problem with
+  | Error e -> prerr_endline ("not reducible: " ^ e)
+  | Ok () -> (
+      match Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation vpool) with
+      | Error _ -> prerr_endline "debloating failed"
+      | Ok (solution, stats) ->
+          let debloated = Reducer.apply jv pool solution in
+          Printf.printf "\ndebloated: %d classes (%.1f%%), %d bytes (%.1f%%) — %d test-suite runs\n"
+            (Size.classes debloated)
+            (100. *. float_of_int (Size.classes debloated) /. float_of_int (Size.classes pool))
+            (Size.bytes debloated)
+            (100. *. float_of_int (Size.bytes debloated) /. float_of_int (Size.bytes pool))
+            stats.predicate_runs;
+          Printf.printf "tests still pass: %b\n" (tests_pass debloated);
+          print_endline "\nkept classes:";
+          List.iter
+            (fun (c : Classfile.cls) -> Printf.printf "  %s\n" c.name)
+            (Classpool.classes debloated))

@@ -1,0 +1,1 @@
+lib/baselines/binary_reduction.ml: Array Assignment Int Lbr Lbr_graph Lbr_logic List Predicate Set

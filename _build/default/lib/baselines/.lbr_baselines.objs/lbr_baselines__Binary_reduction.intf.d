@@ -1,0 +1,1 @@
+lib/baselines/binary_reduction.mli: Assignment Lbr Lbr_logic Predicate Var

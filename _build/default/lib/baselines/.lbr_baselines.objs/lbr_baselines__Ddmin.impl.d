@@ -1,0 +1,1 @@
+lib/baselines/ddmin.ml: List

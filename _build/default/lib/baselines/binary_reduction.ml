@@ -1,0 +1,81 @@
+open Lbr_logic
+open Lbr
+
+type stats = {
+  iterations : int;
+  predicate_runs : int;
+  predicate_queries : int;
+}
+
+let reduce ~closures ~base ~predicate =
+  let runs0 = Predicate.runs predicate and queries0 = Predicate.queries predicate in
+  let stats_now iterations =
+    {
+      iterations;
+      predicate_runs = Predicate.runs predicate - runs0;
+      predicate_queries = Predicate.queries predicate - queries0;
+    }
+  in
+  (* Smallest-first gives the binary search the best chance of cutting off
+     large closures. *)
+  let sorted =
+    List.sort (fun a b -> Int.compare (Assignment.cardinal a) (Assignment.cardinal b)) closures
+  in
+  let rec loop required candidates iterations =
+    if Predicate.run predicate required then Ok (required, stats_now iterations)
+    else
+      match candidates with
+      | [] -> Error `Predicate_inconsistent
+      | _ ->
+          let arr = Array.of_list candidates in
+          let n = Array.length arr in
+          let prefixes = Array.make n Assignment.empty in
+          Array.iteri
+            (fun i c ->
+              prefixes.(i) <-
+                (if i = 0 then Assignment.union required c
+                 else Assignment.union prefixes.(i - 1) c))
+            arr;
+          (* P(required) is false and P(required ∪ all candidates) is true by
+             assumption; find the smallest satisfying prefix. *)
+          let rec search lo hi =
+            (* invariant: ¬P at lo (lo = -1 stands for the empty prefix,
+               i.e. [required] alone), P at hi *)
+            if hi - lo <= 1 then hi
+            else
+              let mid = (lo + hi) / 2 in
+              if Predicate.run predicate prefixes.(mid) then search lo mid else search mid hi
+          in
+          let r = search (-1) (n - 1) in
+          let required = Assignment.union required arr.(r) in
+          let remaining = List.filteri (fun i _ -> i < r) candidates in
+          loop required remaining (iterations + 1)
+  in
+  loop base sorted 1
+
+module Graph_encoding = struct
+  let closures ~num_vars ~edges ~required =
+    let graph = Lbr_graph.Digraph.make ~n:num_vars ~edges in
+    let base =
+      Lbr_graph.Digraph.reachable_from_set graph required
+      |> Lbr_graph.Bitset.to_list |> Assignment.of_list
+    in
+    let per_node = Lbr_graph.Scc.all_closures graph in
+    let module ASet = Set.Make (struct
+      type t = Assignment.t
+
+      let compare = Assignment.compare
+    end) in
+    let distinct =
+      Array.fold_left
+        (fun acc bits ->
+          let closure = Assignment.of_list (Lbr_graph.Bitset.to_list bits) in
+          if Assignment.subset closure base then acc else ASet.add closure acc)
+        ASet.empty per_node
+    in
+    let sorted =
+      ASet.elements distinct
+      |> List.sort (fun a b -> Int.compare (Assignment.cardinal a) (Assignment.cardinal b))
+    in
+    (base, sorted)
+end

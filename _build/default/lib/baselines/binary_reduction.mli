@@ -1,0 +1,39 @@
+(** Binary reduction over closures — the J-Reduce algorithm (Kalhauge and
+    Palsberg, FSE 2019).
+
+    The input is a list of closures of a dependency graph: sets with the
+    property that the union of any sub-list is a valid sub-input.  The
+    algorithm repeatedly binary-searches for the shortest failing prefix of
+    the list and moves that prefix's last closure into the required set,
+    mirroring GBR's main loop (GBR is its generalisation to logical
+    constraints). *)
+
+open Lbr_logic
+open Lbr
+
+type stats = {
+  iterations : int;
+  predicate_runs : int;
+  predicate_queries : int;
+}
+
+val reduce :
+  closures:Assignment.t list ->
+  base:Assignment.t ->
+  predicate:Predicate.t ->
+  (Assignment.t * stats, [ `Predicate_inconsistent ]) result
+(** [reduce ~closures ~base ~predicate] assumes
+    [predicate (base ∪ ⋃ closures)] holds and returns a union of [base] and
+    some closures that still satisfies the predicate.  Closures are tried
+    smallest-first. *)
+
+module Graph_encoding : sig
+  val closures :
+    num_vars:int ->
+    edges:(Var.t * Var.t) list ->
+    required:Var.t list ->
+    Assignment.t * Assignment.t list
+  (** [closures ~num_vars ~edges ~required] computes J-Reduce's steps 1–3:
+      the base closure (everything reachable from the required variables)
+      and the deduplicated list of per-node closures, smallest first. *)
+end

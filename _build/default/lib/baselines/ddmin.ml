@@ -1,0 +1,54 @@
+type outcome = Fail | Pass | Unresolved
+
+type stats = { tests : int }
+
+(* Split [items] into [n] chunks of near-equal length. *)
+let chunks items n =
+  let len = List.length items in
+  let base = len / n and extra = len mod n in
+  let rec go acc i remaining =
+    if i = n then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k xs acc' =
+        if k = 0 then (List.rev acc', xs)
+        else match xs with [] -> (List.rev acc', []) | x :: rest -> take (k - 1) rest (x :: acc')
+      in
+      let chunk, rest = take size remaining [] in
+      go (chunk :: acc) (i + 1) rest
+  in
+  go [] 0 items
+
+let complement_of items chunk =
+  (* Chunks are contiguous slices, so physical membership is a safe and fast
+     way to subtract one. *)
+  List.filter (fun x -> not (List.memq x chunk)) items
+
+let run ~items ~test =
+  let tests = ref 0 in
+  let check sub =
+    incr tests;
+    test sub
+  in
+  let rec dd items n =
+    let len = List.length items in
+    if len <= 1 then items
+    else
+      let parts = chunks items n in
+      match List.find_opt (fun chunk -> chunk <> [] && check chunk = Fail) parts with
+      | Some chunk -> dd chunk 2
+      | None -> (
+          let complements =
+            if n = 2 then [] (* complements of halves are the other halves *)
+            else List.map (complement_of items) parts
+          in
+          match
+            List.find_opt
+              (fun comp -> comp <> [] && List.length comp < len && check comp = Fail)
+              complements
+          with
+          | Some comp -> dd comp (max (n - 1) 2)
+          | None -> if n < len then dd items (min len (2 * n)) else items)
+  in
+  let result = dd items 2 in
+  (result, { tests = !tests })

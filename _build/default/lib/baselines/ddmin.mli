@@ -1,0 +1,18 @@
+(** The ddmin algorithm of Zeller and Hildebrandt, the baseline all input
+    reducers descend from.
+
+    ddmin works on a flat list of pieces and knows nothing about internal
+    dependencies, so on inputs like Java bytecode most of its probes are
+    invalid ("don't know" outcomes) and it plateaus early — which is the
+    motivation for model-based reduction. *)
+
+type outcome =
+  | Fail  (** the failure still happens: the sub-input is interesting *)
+  | Pass  (** the failure is gone *)
+  | Unresolved  (** the sub-input is invalid: "don't know" *)
+
+type stats = { tests : int }
+
+val run : items:'a list -> test:('a list -> outcome) -> 'a list * stats
+(** [run ~items ~test] returns a 1-minimal failing sub-list, assuming
+    [test items = Fail].  Sub-lists preserve the original element order. *)

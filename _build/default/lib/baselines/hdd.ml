@@ -1,0 +1,67 @@
+type 'a tree = Node of 'a * 'a tree list
+
+type outcome = Fail | Pass | Unresolved
+
+let to_ddmin = function
+  | Fail -> Ddmin.Fail
+  | Pass -> Ddmin.Pass
+  | Unresolved -> Ddmin.Unresolved
+
+type stats = { tests : int; levels : int }
+
+let rec size (Node (_, children)) = 1 + List.fold_left (fun a c -> a + size c) 0 children
+
+let rec labels (Node (label, children)) = label :: List.concat_map labels children
+
+let rec depth (Node (_, children)) =
+  1 + List.fold_left (fun a c -> max a (depth c)) 0 children
+
+(* Nodes are addressed by their paths (child-index lists from the root), so
+   pruning works on immutable trees without auxiliary ids. *)
+let nodes_at_level tree level =
+  let rec go (Node (_, children)) path d acc =
+    if d = level then List.rev path :: acc
+    else
+      List.fold_left
+        (fun acc (i, child) -> go child (i :: path) (d + 1) acc)
+        acc
+        (List.mapi (fun i c -> (i, c)) children)
+  in
+  List.rev (go tree [] 0 [])
+
+(* Remove every node whose path is in [removed] (and its subtree). *)
+let prune tree removed =
+  let rec go (Node (label, children)) path =
+    let children =
+      List.mapi (fun i c -> (i, c)) children
+      |> List.filter_map (fun (i, child) ->
+             let child_path = path @ [ i ] in
+             if List.mem child_path removed then None else Some (go child child_path))
+    in
+    Node (label, children)
+  in
+  go tree []
+
+let run tree ~test =
+  let tests = ref 0 in
+  let levels = ref 0 in
+  let rec per_level tree level =
+    if level >= depth tree then tree
+    else begin
+      incr levels;
+      match nodes_at_level tree level with
+      | [] -> per_level tree (level + 1)
+      | nodes ->
+          (* ddmin over "nodes to KEEP" at this level; removing the others. *)
+          let test_keep kept =
+            incr tests;
+            let removed = List.filter (fun p -> not (List.memq p kept)) nodes in
+            to_ddmin (test (prune tree removed))
+          in
+          let kept, _ = Ddmin.run ~items:nodes ~test:test_keep in
+          let removed = List.filter (fun p -> not (List.memq p kept)) nodes in
+          per_level (prune tree removed) (level + 1)
+    end
+  in
+  let result = per_level tree 1 in
+  (result, { tests = !tests; levels = !levels })

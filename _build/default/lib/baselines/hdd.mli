@@ -1,0 +1,26 @@
+(** Hierarchical Delta Debugging (Misherghi and Su, ICSE 2006).
+
+    HDD exploits the input's tree structure: it applies ddmin level by
+    level, removing whole subtrees, which avoids the syntactically invalid
+    sub-inputs that defeat flat ddmin.  It is the historical middle step
+    between ddmin and the dependency-model reducers this library is about:
+    it models nesting (the paper's "syntactic dependencies") but none of
+    the referential or non-referential semantics. *)
+
+type 'a tree = Node of 'a * 'a tree list
+
+type outcome = Fail | Pass | Unresolved
+
+type stats = { tests : int; levels : int }
+
+val run : 'a tree -> test:('a tree -> outcome) -> 'a tree * stats
+(** [run tree ~test] assumes [test tree = Fail] and greedily minimises the
+    tree level by level: at each depth, ddmin is applied to the nodes of
+    that depth (removing a node removes its subtree).  The root is never
+    removed.  Returns the minimised tree. *)
+
+val size : 'a tree -> int
+(** Number of nodes. *)
+
+val labels : 'a tree -> 'a list
+(** Pre-order list of labels. *)

@@ -1,0 +1,1 @@
+lib/core/gbr.ml: Array Assignment Cnf Lbr_logic List Predicate Printf Problem Progression

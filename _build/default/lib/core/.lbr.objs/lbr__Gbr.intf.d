@@ -1,0 +1,1 @@
+lib/core/gbr.mli: Assignment Lbr_logic Lbr_sat Order Problem

@@ -1,0 +1,1 @@
+lib/core/lossy.ml: Array Clause Cnf Lbr_logic List Var

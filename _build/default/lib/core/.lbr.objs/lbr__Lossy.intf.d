@@ -1,0 +1,1 @@
+lib/core/lossy.mli: Assignment Cnf Lbr_logic Var

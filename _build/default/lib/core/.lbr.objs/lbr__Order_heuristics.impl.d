@@ -1,0 +1,1 @@
+lib/core/order_heuristics.ml: Array Assignment Clause Cnf Lbr_graph Lbr_logic Lbr_sat List

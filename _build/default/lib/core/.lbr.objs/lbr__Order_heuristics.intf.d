@@ -1,0 +1,1 @@
+lib/core/order_heuristics.mli: Assignment Cnf Lbr_logic Lbr_sat

@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Assignment Lbr_logic List Map

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Assignment Cnf Lbr_logic Predicate Var

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Assignment Cnf Lbr_logic Predicate Var

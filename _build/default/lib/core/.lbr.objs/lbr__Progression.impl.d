@@ -1,0 +1,1 @@
+lib/core/progression.ml: Array Assignment Clause Cnf Lbr_logic Lbr_sat List Msa Order

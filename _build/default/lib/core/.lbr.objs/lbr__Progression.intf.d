@@ -1,0 +1,1 @@
+lib/core/progression.mli: Assignment Cnf Lbr_logic Lbr_sat Order

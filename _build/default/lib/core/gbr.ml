@@ -1,0 +1,111 @@
+open Lbr_logic
+
+type stats = {
+  iterations : int;
+  predicate_runs : int;
+  predicate_queries : int;
+  learned : Assignment.t list;
+  progression_lengths : int list;
+}
+
+type error = [ `Unsat | `Predicate_inconsistent | `Invariant_violation of string ]
+
+(* Lemma 4.3's checkable invariants for a freshly built progression. *)
+let progression_violation ~cnf ~learned ~universe entries prefixes =
+  let n = Array.length prefixes in
+  if n = 0 then Some "empty progression"
+  else if not (Assignment.equal prefixes.(n - 1) universe) then
+    Some "prefix union does not cover the search space"
+  else begin
+    let entries = Array.of_list entries in
+    let disjoint = ref None in
+    Array.iteri
+      (fun i di ->
+        Array.iteri
+          (fun j dj ->
+            if i < j && not (Assignment.disjoint di dj) then
+              disjoint := Some (Printf.sprintf "entries %d and %d overlap" i j))
+          entries)
+      entries;
+    match !disjoint with
+    | Some _ as v -> v
+    | None ->
+        let restricted = Cnf.restrict cnf ~keep:universe in
+        let bad = ref None in
+        Array.iteri
+          (fun r prefix ->
+            if !bad = None then
+              if not (Cnf.holds restricted prefix) then
+                bad := Some (Printf.sprintf "prefix %d violates R+ (INV-PRO)" r)
+              else
+                List.iteri
+                  (fun k l ->
+                    if Assignment.disjoint l prefix then
+                      bad :=
+                        Some
+                          (Printf.sprintf "prefix %d misses learned set %d (INV-PRO)" r k))
+                  learned)
+          prefixes;
+        !bad
+  end
+
+(* Smallest r in (lo, hi] such that P(prefix.(r)), given ¬P(prefix.(lo)) and
+   P(prefix.(hi)) — the latter by INV-PRO: the full prefix union equals the
+   current search space J, which satisfied the predicate. *)
+let binary_search predicate prefixes ~lo ~hi =
+  let rec go lo hi =
+    if hi - lo <= 1 then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if Predicate.run predicate prefixes.(mid) then go lo mid else go mid hi
+  in
+  go lo hi
+
+let reduce ?(check_invariants = false) (problem : Problem.t) ~order =
+  let predicate = problem.predicate in
+  let runs0 = Predicate.runs predicate and queries0 = Predicate.queries predicate in
+  let max_iterations = Assignment.cardinal problem.universe + 1 in
+  let rec loop learned j iterations prog_lengths =
+    if iterations > max_iterations then Error `Predicate_inconsistent
+    else
+      match
+        Progression.build ~cnf:problem.constraints ~order ~learned ~universe:j
+      with
+      | Error `Unsat -> Error `Unsat
+      | Ok entries -> (
+          let prefixes = Progression.prefix_unions entries in
+          match
+            if check_invariants then
+              progression_violation ~cnf:problem.constraints ~learned ~universe:j entries
+                prefixes
+            else None
+          with
+          | Some message -> Error (`Invariant_violation message)
+          | None ->
+          let n = Array.length prefixes in
+          let prog_lengths = n :: prog_lengths in
+          let head = prefixes.(0) in
+          if Predicate.run predicate head then
+            let stats =
+              {
+                iterations;
+                predicate_runs = Predicate.runs predicate - runs0;
+                predicate_queries = Predicate.queries predicate - queries0;
+                learned = List.rev learned;
+                progression_lengths = List.rev prog_lengths;
+              }
+            in
+            Ok (head, stats)
+          else if n = 1 then
+            (* The head is the whole search space J, which satisfied the
+               predicate when it became the search space: the predicate is
+               not behaving like a function of its input. *)
+            Error `Predicate_inconsistent
+          else begin
+            let r = binary_search predicate prefixes ~lo:0 ~hi:(n - 1) in
+            let entries = Array.of_list entries in
+            let learned = entries.(r) :: learned in
+            loop learned prefixes.(r) (iterations + 1) prog_lengths
+          end)
+  in
+  loop [] problem.universe 1 []

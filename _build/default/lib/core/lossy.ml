@@ -1,0 +1,31 @@
+open Lbr_logic
+
+type pick = First_first | Last_last
+
+let pick_of pick (arr : Var.t array) =
+  match pick with First_first -> arr.(0) | Last_last -> arr.(Array.length arr - 1)
+
+let encode cnf ~pick =
+  let strengthen (c : Clause.t) =
+    if Clause.is_graph c then c
+    else if Array.length c.pos = 0 then
+      invalid_arg "Lossy.encode: purely negative clause has no graph approximation"
+    else
+      let head = pick_of pick c.pos in
+      if Array.length c.neg = 0 then Clause.unit_pos head
+      else Clause.edge (pick_of pick c.neg) head
+  in
+  Cnf.make (List.map strengthen (Cnf.clauses cnf))
+
+let to_graph cnf =
+  List.fold_left
+    (fun (edges, required) (c : Clause.t) ->
+      match Clause.kind c with
+      | Clause.Unit_pos -> (edges, c.pos.(0) :: required)
+      | Clause.Edge -> ((c.neg.(0), c.pos.(0)) :: edges, required)
+      | Clause.Unit_neg | Clause.Horn | Clause.General ->
+          invalid_arg "Lossy.to_graph: clause is not a graph constraint")
+    ([], []) (Cnf.clauses cnf)
+
+let is_sound_strengthening ~original ~encoded m =
+  (not (Cnf.holds encoded m)) || Cnf.holds original m

@@ -1,0 +1,28 @@
+(** The lossy encodings of §4.3.
+
+    A non-graph clause [(⋀ᵢ₌₁ⁿ aᵢ) ⇒ (⋁ⱼ₌₁ᵐ bⱼ)] is approximated by the
+    single graph constraint [a_{i'} ⇒ b_{j'}]: any solution of the
+    strengthened formula is a solution of the original, so binary reduction
+    over the resulting dependency graph still returns valid sub-inputs —
+    merely suboptimal ones.  The paper evaluates the two corner choices. *)
+
+open Lbr_logic
+
+type pick =
+  | First_first  (** [(i' = 1, j' = 1)]: the first premise and first head. *)
+  | Last_last  (** [(i' = n, j' = m)]: the last premise and last head. *)
+
+val encode : Cnf.t -> pick:pick -> Cnf.t
+(** Strengthen every non-graph clause to a graph constraint.  Clause literal
+    positions are taken in increasing variable order.  Raises
+    [Invalid_argument] on clauses with an empty head (purely negative), which
+    have no graph approximation. *)
+
+val to_graph : Cnf.t -> (Var.t * Var.t) list * Var.t list
+(** Split an all-graph CNF (e.g. the output of {!encode}) into its edges
+    [x ⇒ y] and its required variables (unit-positive clauses).  Raises
+    [Invalid_argument] if any clause is not a graph constraint. *)
+
+val is_sound_strengthening : original:Cnf.t -> encoded:Cnf.t -> Assignment.t -> bool
+(** [true] when the given assignment satisfying [encoded] also satisfies
+    [original] — the soundness property of the encoding, used by tests. *)

@@ -1,0 +1,25 @@
+open Lbr_logic
+
+(* Rank variables by the size of their forward closure over the formula's
+   graph-constraint edges, ties broken by identifier.  With this order the
+   MSA resolves every disjunctive choice towards the variable that drags in
+   the fewest dependencies — the "pick < well" premise of Theorem 4.5, under
+   which GBR's result on graph constraints is locally minimal. *)
+let closure_order cnf ~universe =
+  let max_var = Assignment.fold (fun v acc -> max v acc) universe (-1) in
+  let n = max_var + 1 in
+  let edges =
+    Cnf.clauses cnf
+    |> List.filter_map (fun (c : Clause.t) ->
+           match Clause.kind c with
+           | Clause.Edge when c.neg.(0) < n && c.pos.(0) < n -> Some (c.neg.(0), c.pos.(0))
+           | Clause.Edge | Clause.Unit_pos | Clause.Unit_neg | Clause.Horn | Clause.General ->
+               None)
+  in
+  let closures = Lbr_graph.Scc.all_closures (Lbr_graph.Digraph.make ~n ~edges) in
+  let keyed =
+    Assignment.to_list universe
+    |> List.map (fun v -> (Lbr_graph.Bitset.cardinal closures.(v), v))
+    |> List.sort compare
+  in
+  Lbr_sat.Order.of_list (List.map snd keyed)

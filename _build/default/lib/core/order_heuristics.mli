@@ -1,0 +1,13 @@
+(** Variable-order heuristics for GBR.
+
+    Theorem 4.5 (local minimality on graph constraints) holds when the total
+    order [<] is "picked well".  {!closure_order} realises that premise:
+    variables are ordered by the size of their dependency closure, so the
+    MSA's tie-breaking always prefers the alternative with the fewest
+    transitive requirements. *)
+
+open Lbr_logic
+
+val closure_order : Cnf.t -> universe:Assignment.t -> Lbr_sat.Order.t
+(** Order by ascending closure size over the formula's graph edges
+    (non-graph clauses are ignored for ranking), ties by identifier. *)

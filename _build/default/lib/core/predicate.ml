@@ -1,0 +1,50 @@
+open Lbr_logic
+
+module AMap = Map.Make (struct
+  type t = Assignment.t
+
+  let compare = Assignment.compare
+end)
+
+type t = {
+  name : string;
+  black_box : Assignment.t -> bool;
+  memoize : bool;
+  mutable memo : bool AMap.t;
+  mutable runs : int;
+  mutable queries : int;
+  mutable observers : (Assignment.t -> bool -> unit) list;
+}
+
+let make ?(name = "predicate") ?(memoize = true) black_box =
+  { name; black_box; memoize; memo = AMap.empty; runs = 0; queries = 0; observers = [] }
+
+let name t = t.name
+
+let execute t input =
+  t.runs <- t.runs + 1;
+  let outcome = t.black_box input in
+  List.iter (fun observe -> observe input outcome) t.observers;
+  outcome
+
+let run t input =
+  t.queries <- t.queries + 1;
+  if not t.memoize then execute t input
+  else
+    match AMap.find_opt input t.memo with
+    | Some outcome -> outcome
+    | None ->
+        let outcome = execute t input in
+        t.memo <- AMap.add input outcome t.memo;
+        outcome
+
+let runs t = t.runs
+
+let queries t = t.queries
+
+let reset t =
+  t.memo <- AMap.empty;
+  t.runs <- 0;
+  t.queries <- 0
+
+let on_check t observe = t.observers <- observe :: t.observers

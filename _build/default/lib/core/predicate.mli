@@ -1,0 +1,33 @@
+(** Instrumented black-box predicates.
+
+    The paper's [𝒫] can only be invoked, never inspected; everything the
+    algorithms learn about it comes from running it.  This wrapper counts
+    executions (the evaluation's main cost metric), optionally memoizes them
+    (re-running a decompiler on an input already tried is wasted work), and
+    lets observers tap each check — which is how the harness reconstructs
+    the reduction-over-time curves of Figure 8b. *)
+
+open Lbr_logic
+
+type t
+
+val make : ?name:string -> ?memoize:bool -> (Assignment.t -> bool) -> t
+(** [make f] wraps the black box [f].  [memoize] defaults to [true]. *)
+
+val name : t -> string
+
+val run : t -> Assignment.t -> bool
+(** Evaluate the predicate on a sub-input (given as its true-variable set). *)
+
+val runs : t -> int
+(** Number of underlying executions (cache misses). *)
+
+val queries : t -> int
+(** Number of {!run} calls, including memoized hits. *)
+
+val reset : t -> unit
+(** Clear counters and memo table. *)
+
+val on_check : t -> (Assignment.t -> bool -> unit) -> unit
+(** Register an observer invoked after every underlying execution (not on
+    memo hits) with the tested set and the outcome. *)

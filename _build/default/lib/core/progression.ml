@@ -1,0 +1,66 @@
+open Lbr_logic
+open Lbr_sat
+
+let r_plus cnf learned =
+  Cnf.add_clauses cnf
+    (List.map (fun l -> Clause.of_disjunction ~pos:(Assignment.to_list l)) learned)
+
+(* Fast path: one incremental MSA engine per progression; each variable of
+   the universe is propagated at most once in total. *)
+let build_fast ~cnf ~order ~universe =
+  match Msa.Engine.create cnf ~order ~universe with
+  | Error `Conflict -> Error `Conflict
+  | Ok engine ->
+      let rec entries acc covered =
+        let remaining = Assignment.diff universe covered in
+        match Order.min_of order remaining with
+        | None -> Ok (List.rev acc)
+        | Some x -> (
+            match Msa.Engine.assume engine x with
+            | Error `Conflict -> Error `Conflict
+            | Ok () ->
+                let closure = Msa.Engine.true_set engine in
+                let entry = Assignment.diff closure covered in
+                entries (entry :: acc) closure)
+      in
+      let d0 = Msa.Engine.true_set engine in
+      (* D₀ may be empty when nothing is required; the progression is still
+         well-defined (its first prefix is the empty, valid sub-input). *)
+      entries [ d0 ] d0
+
+(* Slow path for formulas outside the implication fragment: rebuild each
+   entry with the general MSA (DPLL fallback inside). *)
+let build_slow ~cnf ~order ~universe =
+  match Msa.compute cnf ~order ~universe ~required:Assignment.empty () with
+  | None -> Error `Unsat
+  | Some d0 ->
+      let rec entries acc covered =
+        let remaining = Assignment.diff universe covered in
+        match Order.min_of order remaining with
+        | None -> Ok (List.rev acc)
+        | Some x -> (
+            match
+              Msa.compute cnf ~order ~universe
+                ~required:(Assignment.add x covered)
+                ()
+            with
+            | None -> Error `Unsat
+            | Some closure ->
+                let entry = Assignment.diff closure covered in
+                entries (entry :: acc) (Assignment.union covered closure))
+      in
+      entries [ d0 ] d0
+
+let build ~cnf ~order ~learned ~universe =
+  let cnf = r_plus cnf learned in
+  match build_fast ~cnf ~order ~universe with
+  | Ok entries -> Ok entries
+  | Error `Conflict -> build_slow ~cnf ~order ~universe
+
+let prefix_unions entries =
+  let arr = Array.of_list entries in
+  let unions = Array.make (Array.length arr) Assignment.empty in
+  Array.iteri
+    (fun i d -> unions.(i) <- (if i = 0 then d else Assignment.union unions.(i - 1) d))
+    arr;
+  unions

@@ -1,0 +1,30 @@
+(** The [PROGRESSION] subroutine of Generalized Binary Reduction.
+
+    [PROGRESSION_{R_I}(𝓛, J)] produces a non-empty list of disjoint subsets
+    of [J] whose union is [J], such that every prefix union is a valid
+    sub-input ([R_I] restricted to [J] holds on it) that overlaps every
+    learned set in [𝓛] (invariant INV-PRO):
+
+    {ul
+    {- [R⁺ = R_I ∧ ⋀_{L∈𝓛}(⋁L)], with variables outside [J] set to false;}
+    {- [D₀ = MSA_<(R⁺)];}
+    {- [D_{k+1} = MSA_<(R⁺ ∧ x | D^∪_k = 1) ∖ D^∪_k] where
+       [x = min_< (J ∖ D^∪_k)], until the union reaches [J].}} *)
+
+open Lbr_logic
+open Lbr_sat
+
+val build :
+  cnf:Cnf.t ->
+  order:Order.t ->
+  learned:Assignment.t list ->
+  universe:Assignment.t ->
+  (Assignment.t list, [ `Unsat ]) result
+(** The progression for [R⁺] over [universe] ([J]).  [`Unsat] when even the
+    fallback solver cannot satisfy [R⁺] within [J] — which contradicts
+    GBR's invariants if the caller maintained them, so GBR surfaces it as an
+    error rather than an impossible state. *)
+
+val prefix_unions : Assignment.t list -> Assignment.t array
+(** [prefix_unions d] is the array [D^∪] with
+    [D^∪_r = D₀ ∪ … ∪ D_r]. *)

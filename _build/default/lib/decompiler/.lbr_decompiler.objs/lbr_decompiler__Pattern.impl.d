@@ -1,0 +1,1 @@
+lib/decompiler/pattern.ml: Classfile Classpool Hashtbl Hierarchy Item Lbr_jvm List Printf String

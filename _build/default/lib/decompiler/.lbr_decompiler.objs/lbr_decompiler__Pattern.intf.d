@@ -1,0 +1,1 @@
+lib/decompiler/pattern.mli: Classpool Item Lbr_jvm

@@ -1,0 +1,1 @@
+lib/decompiler/source.ml: Buffer Classpool Jtype Lbr_jvm List Printf String

@@ -1,0 +1,1 @@
+lib/decompiler/source.mli: Classfile Classpool Lbr_jvm

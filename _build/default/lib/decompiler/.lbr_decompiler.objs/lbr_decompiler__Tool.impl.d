@@ -1,0 +1,1 @@
+lib/decompiler/tool.ml: List Pattern String

@@ -1,0 +1,1 @@
+lib/decompiler/tool.mli: Classpool Lbr_jvm Pattern

@@ -1,0 +1,287 @@
+open Lbr_jvm
+open Lbr_jvm.Classfile
+
+type instance = {
+  pattern : string;
+  message : string;
+  requires : Item.t list;
+}
+
+type t = {
+  name : string;
+  detect : Classpool.t -> instance list;
+}
+
+let mk pattern message requires = { pattern; message; requires }
+
+(* Real decompiler bugs fire on specific code shapes, not on every
+   occurrence of a feature, and the triggering idiom tends to cluster in a
+   package written in one style.  Two stable hashes — one on the package,
+   one on the precise location — keep each pattern rare and clustered while
+   staying deterministic across runs and identical between the original
+   pool and its sub-pools. *)
+let package_of where =
+  match String.index_opt where '/' with
+  | Some i -> String.sub where 0 i
+  | None -> where
+
+let package_modulus = 4
+
+let selective pattern where modulus =
+  Hashtbl.hash (pattern ^ "@" ^ package_of where) mod package_modulus = 0
+  && Hashtbl.hash (pattern ^ "/" ^ where) mod modulus = 0
+
+(* Iterate over every (class, method-or-ctor context, body). *)
+let fold_bodies pool f acc =
+  Classpool.fold
+    (fun (c : cls) acc ->
+      let acc =
+        List.fold_left
+          (fun acc (m : meth) ->
+            if m.m_abstract then acc
+            else f acc c (Item.Code { cls = c.name; meth = m.m_name })
+                   (Printf.sprintf "%s.%s" c.name m.m_name) m.m_body)
+          acc c.methods
+      in
+      List.fold_left
+        (fun (acc, index) (k : ctor) ->
+          ( f acc c (Item.Ctor_code { cls = c.name; index })
+              (Printf.sprintf "%s.<init>#%d" c.name index) k.k_body,
+            index + 1 ))
+        (acc, 0) c.ctors
+      |> fst)
+    pool acc
+
+let is_internal_interface pool name =
+  match Classpool.find pool name with Some c -> c.is_interface | None -> false
+
+(* Pattern: a checkcast to an internal interface inside a body confuses the
+   decompiler's type reconstruction. *)
+let iface_cast =
+  {
+    name = "iface-cast";
+    detect =
+      (fun pool ->
+        fold_bodies pool
+          (fun acc _c code_item where body ->
+            let hits =
+              List.filter_map
+                (function
+                  | Check_cast t when is_internal_interface pool t -> Some t
+                  | _ -> None)
+                body
+            in
+            match hits with
+            | _ when not (selective "iface-cast" where 6) -> acc
+            | [] -> acc
+            | t :: _ ->
+                mk "iface-cast"
+                  (Printf.sprintf "error: incompatible types: required %s (in %s)" t where)
+                  [ code_item; Item.Class t ]
+                :: acc)
+          []);
+  }
+
+(* Pattern: reflective class constants are decompiled into raw types that
+   no longer compile. *)
+let reflective_ldc =
+  {
+    name = "reflective-ldc";
+    detect =
+      (fun pool ->
+        fold_bodies pool
+          (fun acc _c code_item where body ->
+            let hits =
+              List.filter_map
+                (function Load_const_class t when Classpool.mem pool t -> Some t | _ -> None)
+                body
+            in
+            match hits with
+            | _ when not (selective "reflective-ldc" where 3) -> acc
+            | [] -> acc
+            | t :: _ ->
+                mk "reflective-ldc"
+                  (Printf.sprintf "error: unchecked class literal %s.class (in %s)" t where)
+                  [ code_item; Item.Class t ]
+                :: acc)
+          []);
+  }
+
+(* Pattern: a class implementing two or more interfaces while one of its
+   bodies makes an interface call — the decompiler picks the wrong bound. *)
+let diamond =
+  {
+    name = "diamond";
+    detect =
+      (fun pool ->
+        (* Class-level: one instance per class that keeps >= 2 interfaces
+           while any of its bodies makes an interface call. *)
+        Classpool.fold
+          (fun (c : cls) acc ->
+            let internal_ifaces = List.filter (Classpool.mem pool) c.interfaces in
+            let has_icall =
+              List.exists
+                (fun (m : meth) ->
+                  List.exists (function Invoke_interface _ -> true | _ -> false) m.m_body)
+                c.methods
+            in
+            match internal_ifaces with
+            | i1 :: i2 :: _
+              when has_icall && (not c.is_interface) && selective "diamond" c.name 2 ->
+                mk "diamond"
+                  (Printf.sprintf "error: ambiguous supertype bound (class %s)" c.name)
+                  [
+                    Item.Implements { cls = c.name; iface = i1 };
+                    Item.Implements { cls = c.name; iface = i2 };
+                  ]
+                :: acc
+            | _ -> acc)
+          pool []);
+  }
+
+(* Pattern: the InnerClasses attribute together with an annotation makes the
+   decompiler emit a malformed nested declaration. *)
+let inner_annot =
+  {
+    name = "inner-annot";
+    detect =
+      (fun pool ->
+        Classpool.fold
+          (fun (c : cls) acc ->
+            if c.annotations <> [] && c.inner_classes <> [] && selective "inner-annot" c.name 2 then
+              mk "inner-annot"
+                (Printf.sprintf "error: illegal start of type (class %s)" c.name)
+                [
+                  Item.Annotation { cls = c.name; index = 0 };
+                  Item.Inner_class { cls = c.name; index = 0 };
+                ]
+              :: acc
+            else acc)
+          pool []);
+  }
+
+(* Pattern: a static call that resolves through a superclass is decompiled
+   as an instance call. *)
+let static_through_super =
+  {
+    name = "static-super";
+    detect =
+      (fun pool ->
+        fold_bodies pool
+          (fun acc _c code_item where body ->
+            let hit =
+              List.exists
+                (function
+                  | Invoke_static { owner; meth } -> (
+                      match Classpool.find pool owner with
+                      | Some oc -> (
+                          match Classfile.find_method oc meth with
+                          | Some _ -> false (* defined directly: decompiles fine *)
+                          | None ->
+                              Hierarchy.method_candidates pool ~owner ~meth ~static:true <> [])
+                      | None -> false)
+                  | _ -> false)
+                body
+            in
+            if hit && selective "static-super" where 5 then
+              mk "static-super"
+                (Printf.sprintf "error: non-static method referenced from static context (in %s)"
+                   where)
+                [ code_item ]
+              :: acc
+            else acc)
+          []);
+  }
+
+(* Pattern: a concrete class extending an internal abstract class — the
+   decompiler drops the concrete override's covariance. *)
+let abstract_super =
+  {
+    name = "abstract-super";
+    detect =
+      (fun pool ->
+        Classpool.fold
+          (fun (c : cls) acc ->
+            if c.is_interface || c.is_abstract then acc
+            else
+              match Classpool.find pool c.super with
+              | Some s
+                when s.is_abstract && (not s.is_interface)
+                     && selective "abstract-super" c.name 3 ->
+                  mk "abstract-super"
+                    (Printf.sprintf "error: %s is not abstract and does not override (%s)" c.name
+                       c.super)
+                    [ Item.Extends c.name; Item.Class c.super ]
+                  :: acc
+              | Some _ | None -> acc)
+          pool []);
+  }
+
+(* Pattern: an upcast whose target is an interface — the decompiler inserts
+   a spurious cast that breaks generics inference. *)
+let upcast_iface =
+  {
+    name = "upcast-iface";
+    detect =
+      (fun pool ->
+        fold_bodies pool
+          (fun acc _c code_item where body ->
+            let hits =
+              List.filter_map
+                (function
+                  | Upcast { from_; to_ } when is_internal_interface pool to_ -> Some (from_, to_)
+                  | _ -> None)
+                body
+            in
+            match hits with
+            | _ when not (selective "upcast-iface" where 8) -> acc
+            | [] -> acc
+            | (_, t) :: _ ->
+                mk "upcast-iface"
+                  (Printf.sprintf "error: inference variable %s has incompatible bounds (in %s)" t
+                     where)
+                  [ code_item; Item.Class t ]
+                :: acc)
+          []);
+  }
+
+(* Pattern: use of a non-zero-argument constructor overload. *)
+let ctor_overload =
+  {
+    name = "ctor-overload";
+    detect =
+      (fun pool ->
+        fold_bodies pool
+          (fun acc _c code_item where body ->
+            let hits =
+              List.filter_map
+                (function
+                  | New_instance { cls; ctor } when ctor > 0 && Classpool.mem pool cls ->
+                      Some (cls, ctor)
+                  | _ -> None)
+                body
+            in
+            match hits with
+            | _ when not (selective "ctor-overload" where 8) -> acc
+            | [] -> acc
+            | (cls, ctor) :: _ ->
+                mk "ctor-overload"
+                  (Printf.sprintf "error: constructor %s cannot be applied (in %s)" cls where)
+                  [ code_item; Item.Ctor { cls; index = ctor } ]
+                :: acc)
+          []);
+  }
+
+let all =
+  [
+    iface_cast;
+    reflective_ldc;
+    diamond;
+    inner_annot;
+    static_through_super;
+    abstract_super;
+    upcast_iface;
+    ctor_overload;
+  ]
+
+let find name = List.find (fun p -> p.name = name) all

@@ -1,0 +1,83 @@
+open Lbr_jvm
+open Lbr_jvm.Classfile
+
+let simple_name name =
+  match String.rindex_opt name '/' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let jtype ty = Jtype.to_string ty |> simple_name
+
+let expr_of_insn insn =
+  match insn with
+  | Invoke_virtual { owner; meth } -> Some (Printf.sprintf "((%s) o).%s();" (simple_name owner) meth)
+  | Invoke_interface { owner; meth } ->
+      Some (Printf.sprintf "((%s) o).%s();" (simple_name owner) meth)
+  | Invoke_static { owner; meth } -> Some (Printf.sprintf "%s.%s();" (simple_name owner) meth)
+  | New_instance { cls; ctor } ->
+      let args = String.concat ", " (List.init ctor (fun i -> Printf.sprintf "a%d" i)) in
+      Some (Printf.sprintf "new %s(%s);" (simple_name cls) args)
+  | Get_field { owner; field } -> Some (Printf.sprintf "x = ((%s) o).%s;" (simple_name owner) field)
+  | Put_field { owner; field } -> Some (Printf.sprintf "((%s) o).%s = x;" (simple_name owner) field)
+  | Check_cast t -> Some (Printf.sprintf "o = (%s) o;" (simple_name t))
+  | Instance_of t -> Some (Printf.sprintf "b = o instanceof %s;" (simple_name t))
+  | Upcast { from_; to_ } ->
+      Some (Printf.sprintf "%s u = (%s) v;" (simple_name to_) (simple_name from_))
+  | Load_const_class c -> Some (Printf.sprintf "Class<?> k = %s.class;" (simple_name c))
+  | Arith -> Some "x = x + 1;"
+  | Load_store -> None
+  | Return_insn -> Some "return;"
+
+let body_lines insns = List.filter_map expr_of_insn insns
+
+let decompile_class _pool (c : cls) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter (fun a -> line "@%s" (simple_name a)) c.annotations;
+  let kind = if c.is_interface then "interface" else if c.is_abstract then "abstract class" else "class" in
+  let extends = if c.super = object_name then "" else " extends " ^ simple_name c.super in
+  let implements =
+    if c.interfaces = [] then ""
+    else
+      (if c.is_interface then " extends " else " implements ")
+      ^ String.concat ", " (List.map simple_name c.interfaces)
+  in
+  line "%s %s%s%s {" kind (simple_name c.name) extends implements;
+  List.iter
+    (fun (f : field) ->
+      line "  %s%s %s;" (if f.f_static then "static " else "") (jtype f.f_type) f.f_name)
+    c.fields;
+  List.iteri
+    (fun index (k : ctor) ->
+      let params =
+        String.concat ", " (List.mapi (fun i t -> Printf.sprintf "%s a%d" (jtype t) i) k.k_params)
+      in
+      line "  %s(%s) { // <init>#%d" (simple_name c.name) params index;
+      List.iter (fun l -> line "    %s" l) (body_lines k.k_body);
+      line "  }")
+    c.ctors;
+  List.iter
+    (fun (m : meth) ->
+      let params =
+        String.concat ", " (List.mapi (fun i t -> Printf.sprintf "%s a%d" (jtype t) i) m.m_params)
+      in
+      let mods =
+        (if m.m_static then "static " else "") ^ if m.m_abstract then "abstract " else ""
+      in
+      if m.m_abstract then line "  %s%s %s(%s);" mods (jtype m.m_ret) m.m_name params
+      else begin
+        line "  %s%s %s(%s) {" mods (jtype m.m_ret) m.m_name params;
+        List.iter (fun l -> line "    %s" l) (body_lines m.m_body);
+        line "  }"
+      end)
+    c.methods;
+  line "}";
+  Buffer.contents buf
+
+let decompile pool =
+  Classpool.classes pool
+  |> List.map (decompile_class pool)
+  |> String.concat "\n"
+
+let line_count pool =
+  String.split_on_char '\n' (decompile pool) |> List.length

@@ -1,0 +1,29 @@
+type t = { name : string; patterns : Pattern.t list }
+
+let pattern = Pattern.find
+
+let cfr_sim =
+  { name = "cfr-sim"; patterns = [ pattern "iface-cast"; pattern "diamond"; pattern "ctor-overload" ] }
+
+let fernflower_sim =
+  {
+    name = "fernflower-sim";
+    patterns = [ pattern "reflective-ldc"; pattern "inner-annot"; pattern "static-super" ];
+  }
+
+let procyon_sim =
+  {
+    name = "procyon-sim";
+    patterns = [ pattern "abstract-super"; pattern "upcast-iface"; pattern "iface-cast" ];
+  }
+
+let all = [ cfr_sim; fernflower_sim; procyon_sim ]
+
+let instances t pool = List.concat_map (fun (p : Pattern.t) -> p.detect pool) t.patterns
+
+let errors t pool =
+  instances t pool
+  |> List.map (fun (i : Pattern.instance) -> i.message)
+  |> List.sort_uniq String.compare
+
+let is_buggy_on t pool = errors t pool <> []

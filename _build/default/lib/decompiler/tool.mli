@@ -1,0 +1,24 @@
+(** Simulated decompilers — the buggy tools whose failures we reduce.
+
+    A tool is a named set of bug patterns (the paper evaluates three real
+    decompilers; we ship three simulated ones with different bug profiles).
+    Running the tool on a pool "decompiles" it and "re-compiles" the output:
+    the result is the sorted set of compiler error messages.  A tool is
+    buggy on an input iff that set is non-empty. *)
+
+open Lbr_jvm
+
+type t = { name : string; patterns : Pattern.t list }
+
+val cfr_sim : t
+val fernflower_sim : t
+val procyon_sim : t
+
+val all : t list
+
+val errors : t -> Classpool.t -> string list
+(** Sorted, deduplicated error messages from decompile-and-recompile. *)
+
+val instances : t -> Classpool.t -> Pattern.instance list
+
+val is_buggy_on : t -> Classpool.t -> bool

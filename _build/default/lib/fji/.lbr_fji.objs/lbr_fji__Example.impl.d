@@ -1,0 +1,1 @@
+lib/fji/example.ml: Assignment Clause Cnf Format Formula Lbr_logic List Syntax Typecheck Var Vars

@@ -1,0 +1,1 @@
+lib/fji/example.mli: Assignment Cnf Lbr_logic Syntax Var Vars

@@ -1,0 +1,1 @@
+lib/fji/pretty.ml: Format List Syntax

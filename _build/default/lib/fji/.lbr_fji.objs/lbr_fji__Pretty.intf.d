@@ -1,0 +1,1 @@
+lib/fji/pretty.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/fji/reduce.ml: Assignment Lbr_logic List Syntax Vars

@@ -1,0 +1,1 @@
+lib/fji/reduce.mli: Assignment Lbr_logic Syntax Vars

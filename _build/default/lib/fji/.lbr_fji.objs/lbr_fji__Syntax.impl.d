@@ -1,0 +1,1 @@
+lib/fji/syntax.ml: List Printf

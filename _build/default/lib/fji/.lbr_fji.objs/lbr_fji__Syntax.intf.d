@@ -1,0 +1,1 @@
+lib/fji/syntax.mli:

@@ -1,0 +1,1 @@
+lib/fji/typecheck.ml: Format Formula Lbr_logic List Printf Syntax Vars

@@ -1,0 +1,1 @@
+lib/fji/typecheck.mli: Format Lbr_logic Syntax Vars

@@ -1,0 +1,1 @@
+lib/fji/vars.ml: Assignment Formula Hashtbl Lbr_logic List Printf Syntax Var

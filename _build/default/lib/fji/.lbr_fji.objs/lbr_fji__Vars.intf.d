@@ -1,0 +1,1 @@
+lib/fji/vars.mli: Assignment Formula Lbr_logic Syntax Var

@@ -1,0 +1,168 @@
+open Lbr_logic
+open Syntax
+
+let figure1 () =
+  let string_new = New (string_name, []) in
+  let a =
+    Class
+      {
+        c_name = "A";
+        c_super = object_name;
+        c_iface = "I";
+        c_fields = [];
+        c_methods =
+          [
+            { m_ret = string_name; m_name = "m"; m_params = []; m_body = string_new };
+            { m_ret = "B"; m_name = "n"; m_params = []; m_body = New ("B", []) };
+          ];
+      }
+  in
+  let b =
+    Class
+      {
+        c_name = "B";
+        c_super = object_name;
+        c_iface = "I";
+        c_fields = [];
+        c_methods =
+          [
+            { m_ret = string_name; m_name = "m"; m_params = []; m_body = string_new };
+            { m_ret = "B"; m_name = "n"; m_params = []; m_body = New ("B", []) };
+          ];
+      }
+  in
+  let i =
+    Interface
+      {
+        i_name = "I";
+        i_sigs =
+          [
+            { s_ret = string_name; s_name = "m"; s_params = [] };
+            { s_ret = "B"; s_name = "n"; s_params = [] };
+          ];
+      }
+  in
+  let m =
+    Class
+      {
+        c_name = "M";
+        c_super = object_name;
+        c_iface = empty_interface_name;
+        c_fields = [];
+        c_methods =
+          [
+            {
+              m_ret = string_name;
+              m_name = "x";
+              m_params = [ ("I", "a") ];
+              m_body = Call (Var "a", "m", []);
+            };
+            {
+              m_ret = string_name;
+              m_name = "main";
+              m_params = [];
+              m_body = Call (New ("M", []), "x", [ New ("A", []) ]);
+            };
+          ];
+      }
+  in
+  { decls = [ a; b; i; m ]; main = None }
+
+type model = {
+  pool : Var.Pool.t;
+  vars : Vars.t;
+  program : Syntax.program;
+  constraints : Cnf.t;
+  required : Assignment.t;
+}
+
+let model () =
+  let pool = Var.Pool.create () in
+  let program = figure1 () in
+  let vars = Vars.derive pool program in
+  let formula =
+    match Typecheck.generate vars program with
+    | Ok f -> f
+    | Error e -> invalid_arg (Format.asprintf "Example.model: %a" Typecheck.pp_error e)
+  in
+  let required = Assignment.singleton (Vars.code vars ~c:"M" ~m:"main") in
+  let constraints =
+    Cnf.add_clause (Formula.to_cnf formula)
+      (Clause.unit_pos (Vars.code vars ~c:"M" ~m:"main"))
+  in
+  { pool; vars; program; constraints; required }
+
+let figure2_cnf vars =
+  let cls c = Vars.cls vars c in
+  let impl c = Vars.impl vars ~c in
+  let meth c m = Vars.meth vars ~c ~m in
+  let code c m = Vars.code vars ~c ~m in
+  let sg i m = Vars.sig_ vars ~i ~m in
+  let edge x y = Clause.edge x y in
+  let syntactic =
+    [
+      edge (code "A" "n") (meth "A" "n");
+      edge (meth "A" "n") (cls "A");
+      edge (code "A" "m") (meth "A" "m");
+      edge (meth "A" "m") (cls "A");
+      edge (code "B" "n") (meth "B" "n");
+      edge (meth "B" "n") (cls "B");
+      edge (code "B" "m") (meth "B" "m");
+      edge (meth "B" "m") (cls "B");
+      edge (impl "A") (cls "A");
+      edge (impl "B") (cls "B");
+      edge (sg "I" "m") (cls "I");
+      edge (sg "I" "n") (cls "I");
+      edge (code "M" "x") (meth "M" "x");
+      edge (meth "M" "x") (cls "M");
+      edge (code "M" "main") (meth "M" "main");
+      edge (meth "M" "main") (cls "M");
+    ]
+  in
+  let referential =
+    [
+      edge (impl "A") (cls "I");
+      edge (impl "B") (cls "I");
+      edge (meth "A" "n") (cls "B");
+      edge (meth "B" "n") (cls "B");
+      edge (sg "I" "n") (cls "B");
+      edge (meth "M" "x") (cls "I");
+      edge (code "M" "x") (sg "I" "m");
+      edge (code "M" "x") (cls "I");
+      edge (code "M" "main") (meth "M" "x");
+      edge (code "M" "main") (cls "A");
+      edge (code "M" "main") (cls "M");
+    ]
+  in
+  let non_referential =
+    [
+      Clause.make_exn ~neg:[ impl "A"; sg "I" "m" ] ~pos:[ meth "A" "m" ];
+      Clause.make_exn ~neg:[ impl "A"; sg "I" "n" ] ~pos:[ meth "A" "n" ];
+      Clause.make_exn ~neg:[ impl "B"; sg "I" "m" ] ~pos:[ meth "B" "m" ];
+      Clause.make_exn ~neg:[ impl "B"; sg "I" "n" ] ~pos:[ meth "B" "n" ];
+      edge (code "M" "main") (impl "A");
+      Clause.unit_pos (code "M" "main");
+    ]
+  in
+  Cnf.make (syntactic @ referential @ non_referential)
+
+let buggy vars phi =
+  List.for_all
+    (fun (c, m) -> Assignment.mem (Vars.code vars ~c ~m) phi)
+    [ ("A", "m"); ("M", "x"); ("M", "main") ]
+
+let optimal vars =
+  Assignment.of_list
+    [
+      Vars.impl vars ~c:"A";
+      Vars.meth vars ~c:"A" ~m:"m";
+      Vars.code vars ~c:"A" ~m:"m";
+      Vars.cls vars "A";
+      Vars.sig_ vars ~i:"I" ~m:"m";
+      Vars.cls vars "I";
+      Vars.code vars ~c:"M" ~m:"x";
+      Vars.meth vars ~c:"M" ~m:"x";
+      Vars.code vars ~c:"M" ~m:"main";
+      Vars.meth vars ~c:"M" ~m:"main";
+      Vars.cls vars "M";
+    ]

@@ -1,0 +1,35 @@
+(** The paper's running example (Figures 1 and 2).
+
+    The input program of Figure 1a: classes [A], [B], [M] and interface [I];
+    the tool under test fails exactly when the bodies of [A.m()], [M.x()]
+    and [M.main()] are all present.  Reduction should find Figure 1b: keep
+    [A], [A ◁ I], [I], [I.m()], [A.m()] with code, and all of [M]. *)
+
+open Lbr_logic
+
+val figure1 : unit -> Syntax.program
+(** The input program (Figure 1a). *)
+
+type model = {
+  pool : Var.Pool.t;
+  vars : Vars.t;
+  program : Syntax.program;
+  constraints : Cnf.t;  (** the generated dependency model *)
+  required : Assignment.t;  (** the [\[M.main()!code\]] requirement *)
+}
+
+val model : unit -> model
+(** Derive [V(P)] (20 variables) and generate the constraints of Figure 2
+    from the type rules, conjoined with the required [\[M.main()!code\]]. *)
+
+val figure2_cnf : Vars.t -> Cnf.t
+(** The 32 constraints of Figure 2, hand-transcribed from the paper
+    (including the required [\[M.main()!code\]] unit).  Used by tests to
+    cross-check the generated model. *)
+
+val buggy : Vars.t -> Assignment.t -> bool
+(** The black-box predicate: the tool fails iff the bodies of [A.m()],
+    [M.x()] and [M.main()] are all in the sub-input. *)
+
+val optimal : Vars.t -> Assignment.t
+(** The 11-variable optimal solution quoted in §2. *)

@@ -1,0 +1,52 @@
+open Syntax
+
+let rec pp_expr ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Field (e, f) -> Format.fprintf ppf "%a.%s" pp_expr e f
+  | Call (e, m, args) -> Format.fprintf ppf "%a.%s(%a)" pp_expr e m pp_args args
+  | New (c, args) -> Format.fprintf ppf "new %s(%a)" c pp_args args
+  | Cast (t, e) -> Format.fprintf ppf "(%s) %a" t pp_expr e
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    pp_expr ppf args
+
+let pp_params ppf params =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf (t, x) -> Format.fprintf ppf "%s %s" t x)
+    ppf params
+
+let pp_method ppf (m : meth) =
+  Format.fprintf ppf "@[<hv 2>%s %s(%a) {@ return %a;@;<1 -2>}@]" m.m_ret m.m_name pp_params
+    m.m_params pp_expr m.m_body
+
+let pp_signature ppf (s : signature) =
+  Format.fprintf ppf "%s %s(%a);" s.s_ret s.s_name pp_params s.s_params
+
+let pp_decl ppf = function
+  | Class c ->
+      let header =
+        let extends = if c.c_super = object_name then "" else " extends " ^ c.c_super in
+        let implements =
+          if c.c_iface = empty_interface_name then "" else " implements " ^ c.c_iface
+        in
+        Format.sprintf "class %s%s%s" c.c_name extends implements
+      in
+      Format.fprintf ppf "@[<v 2>%s {" header;
+      List.iter (fun (t, f) -> Format.fprintf ppf "@ %s %s;" t f) c.c_fields;
+      List.iter (fun m -> Format.fprintf ppf "@ %a" pp_method m) c.c_methods;
+      Format.fprintf ppf "@;<1 -2>}@]"
+  | Interface i ->
+      Format.fprintf ppf "@[<v 2>interface %s {" i.i_name;
+      List.iter (fun s -> Format.fprintf ppf "@ %a" pp_signature s) i.i_sigs;
+      Format.fprintf ppf "@;<1 -2>}@]"
+
+let pp_program ppf (p : program) =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl ppf p.decls;
+  match p.main with
+  | None -> ()
+  | Some e -> Format.fprintf ppf "@ // main@ %a" pp_expr e
+
+let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p

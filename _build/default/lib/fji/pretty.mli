@@ -1,0 +1,6 @@
+(** Java-like pretty printing of FJI programs, for examples and bug
+    reports. *)
+
+val pp_expr : Format.formatter -> Syntax.expr -> unit
+val pp_program : Format.formatter -> Syntax.program -> unit
+val program_to_string : Syntax.program -> string

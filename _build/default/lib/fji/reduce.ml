@@ -1,0 +1,52 @@
+open Lbr_logic
+open Syntax
+
+let reduce vars program phi =
+  let keep v = Assignment.mem v phi in
+  let reduce_method (c : cls) (m : meth) =
+    if not (keep (Vars.meth vars ~c:c.c_name ~m:m.m_name)) then None
+    else if keep (Vars.code vars ~c:c.c_name ~m:m.m_name) then Some m
+    else Some { m with m_body = stub_body m }
+  in
+  let reduce_decl decl =
+    match decl with
+    | Class c ->
+        if not (keep (Vars.cls vars c.c_name)) then None
+        else
+          let iface =
+            match Vars.impl_opt vars ~c:c.c_name with
+            | Some v when keep v -> c.c_iface
+            | Some _ -> empty_interface_name
+            | None -> c.c_iface (* already EmptyInterface *)
+          in
+          Some
+            (Class
+               {
+                 c with
+                 c_iface = iface;
+                 c_methods = List.filter_map (reduce_method c) c.c_methods;
+               })
+    | Interface i ->
+        if not (keep (Vars.cls vars i.i_name)) then None
+        else
+          Some
+            (Interface
+               {
+                 i with
+                 i_sigs =
+                   List.filter
+                     (fun (s : signature) -> keep (Vars.sig_ vars ~i:i.i_name ~m:s.s_name))
+                     i.i_sigs;
+               })
+  in
+  { program with decls = List.filter_map reduce_decl program.decls }
+
+let size program =
+  List.fold_left
+    (fun acc decl ->
+      match decl with
+      | Class c ->
+          let impl = if c.c_iface <> empty_interface_name then 1 else 0 in
+          acc + 1 + impl + (2 * List.length c.c_methods)
+      | Interface i -> acc + 1 + List.length i.i_sigs)
+    0 program.decls

@@ -1,0 +1,16 @@
+(** The FJI reducer (Figure 5).
+
+    Given a truth assignment [φ] over [V(P)], [reduce] maps the program to
+    its sub-program: classes and interfaces with an unset variable are
+    removed; a class whose [\[C ◁ I\]] is unset falls back to implementing
+    [EmptyInterface]; a method whose [\[C.m()!code\]] is unset but whose
+    [\[C.m()\]] is set keeps its declaration with the trivial body
+    [return this.m(x̄);]; signatures follow [\[I.m()\]]. *)
+
+open Lbr_logic
+
+val reduce : Vars.t -> Syntax.program -> Assignment.t -> Syntax.program
+
+val size : Syntax.program -> int
+(** A simple size metric: the number of reducible items present (classes,
+    implements relations, methods, bodies, signatures). *)

@@ -1,0 +1,293 @@
+open Lbr_logic
+open Syntax
+
+type error = { context : string; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.context e.message
+
+exception Fail of error
+
+let fail context fmt = Format.kasprintf (fun message -> raise (Fail { context; message })) fmt
+
+(* Environment threading the program and, when generating constraints, the
+   variable table.  With [vars = None] every variable formula is [⊤], which
+   degenerates constraint generation into plain type checking. *)
+type env = { program : program; vars : Vars.t option }
+
+let v_cls env t = match env.vars with None -> Formula.True | Some vs -> Vars.cls_formula vs t
+
+let v_impl env (c : cls) =
+  match env.vars with
+  | None -> Formula.True
+  | Some vs -> (
+      match Vars.impl_opt vs ~c:c.c_name with
+      | Some v -> Formula.var v
+      | None -> Formula.True (* implements EmptyInterface: nothing to toggle *))
+
+let v_meth env c m =
+  match env.vars with None -> Formula.True | Some vs -> Formula.var (Vars.meth vs ~c ~m)
+
+let v_code env c m =
+  match env.vars with None -> Formula.True | Some vs -> Formula.var (Vars.code vs ~c ~m)
+
+let v_sig env i m =
+  match env.vars with None -> Formula.True | Some vs -> Formula.var (Vars.sig_ vs ~i ~m)
+
+(* ------------------------------------------------------------------ *)
+(* Type name resolution                                               *)
+
+type kind = Kclass of cls | Kiface of iface
+
+let resolve env ctx t =
+  match find_class env.program t with
+  | Some c -> Kclass c
+  | None -> (
+      match find_iface env.program t with
+      | Some i -> Kiface i
+      | None -> fail ctx "unknown type %s" t)
+
+let resolve_class env ctx t =
+  match resolve env ctx t with
+  | Kclass c -> c
+  | Kiface _ -> fail ctx "%s is an interface where a class is required" t
+
+(* ------------------------------------------------------------------ *)
+(* Helper rules (Figure 6)                                            *)
+
+(* fields(P, C): inherited first, cycle-checked. *)
+let fields env ctx c =
+  let rec go seen c =
+    if c = object_name then []
+    else if List.mem c seen then fail ctx "cyclic class hierarchy through %s" c
+    else
+      let cls = resolve_class env ctx c in
+      go (c :: seen) cls.c_super @ cls.c_fields
+  in
+  go [] c
+
+let param_types params = List.map fst params
+
+(* mtype(P, m, T) *)
+let mtype env ctx m t =
+  let rec in_class seen c =
+    if c = object_name then None
+    else if List.mem c seen then fail ctx "cyclic class hierarchy through %s" c
+    else
+      let cls = resolve_class env ctx c in
+      match find_method cls m with
+      | Some meth -> Some (param_types meth.m_params, meth.m_ret)
+      | None -> in_class (c :: seen) cls.c_super
+  in
+  match resolve env ctx t with
+  | Kclass _ -> in_class [] t
+  | Kiface i -> (
+      match find_signature i m with
+      | Some s -> Some (param_types s.s_params, s.s_ret)
+      | None -> None)
+
+(* mAny(P, m, T): the disjunction of method variables that can witness that
+   the reduced program still lets T answer m. *)
+let many env ctx m t =
+  let rec in_class seen c =
+    if c = object_name then []
+    else if List.mem c seen then fail ctx "cyclic class hierarchy through %s" c
+    else
+      let cls = resolve_class env ctx c in
+      let rest = in_class (c :: seen) cls.c_super in
+      match find_method cls m with
+      | Some _ when is_builtin c -> Formula.True :: rest
+      | Some _ -> v_meth env c m :: rest
+      | None -> rest
+  in
+  match resolve env ctx t with
+  | Kclass _ -> Formula.disj (in_class [] t)
+  | Kiface i -> (
+      match find_signature i m with
+      | Some _ -> v_sig env t m
+      | None -> Formula.False)
+
+(* Subtyping: [subtype env t t'] is [Some π] when [P ⊢ t ≤ t' | π]. *)
+let subtype env ctx t t' =
+  let rec go seen t =
+    if t = t' then Some Formula.True
+    else if t = object_name || List.mem t seen then None
+    else
+      match resolve env ctx t with
+      | Kiface _ -> None
+      | Kclass cls -> (
+          match go (t :: seen) cls.c_super with
+          | Some f -> Some f
+          | None ->
+              if cls.c_iface = t' then Some (v_impl env cls)
+              else None)
+  in
+  go [] t
+
+let require_subtype env ctx t t' =
+  match subtype env ctx t t' with
+  | Some f -> f
+  | None -> fail ctx "%s is not a subtype of %s" t t'
+
+(* Valid method overriding. *)
+let check_override env ctx m super (params, ret) =
+  match mtype env ctx m super with
+  | None -> ()
+  | Some (params', ret') ->
+      if params <> params' || ret <> ret' then
+        fail ctx "invalid override of %s inherited from %s" m super
+
+(* ------------------------------------------------------------------ *)
+(* Type rules (Figure 7)                                              *)
+
+(* P, Γ ⊢ e : T | π *)
+let rec type_expr env ctx gamma e =
+  match e with
+  | Var x -> (
+      match List.assoc_opt x gamma with
+      | Some t -> (t, Formula.True)
+      | None -> fail ctx "unbound variable %s" x)
+  | Field (e0, f) -> (
+      let t0, pi0 = type_expr env ctx gamma e0 in
+      let fs = fields env ctx t0 in
+      match List.find_opt (fun (_, name) -> name = f) fs with
+      | Some (tf, _) -> (tf, pi0)
+      | None -> fail ctx "class %s has no field %s" t0 f)
+  | Call (e0, m, args) -> (
+      let t0, pi0 = type_expr env ctx gamma e0 in
+      match mtype env ctx m t0 with
+      | None -> fail ctx "type %s has no method %s" t0 m
+      | Some (param_tys, ret) ->
+          if List.length args <> List.length param_tys then
+            fail ctx "wrong number of arguments to %s.%s" t0 m;
+          let arg_pis =
+            List.map2
+              (fun arg expected ->
+                let targ, pi = type_expr env ctx gamma arg in
+                Formula.conj [ pi; require_subtype env ctx targ expected ])
+              args param_tys
+          in
+          (ret, Formula.conj (v_cls env t0 :: pi0 :: many env ctx m t0 :: arg_pis)))
+  | New (c, args) ->
+      let _ = resolve_class env ctx c in
+      let fs = fields env ctx c in
+      if List.length args <> List.length fs then
+        fail ctx "wrong number of constructor arguments for %s" c;
+      let arg_pis =
+        List.map2
+          (fun arg (expected, _) ->
+            let targ, pi = type_expr env ctx gamma arg in
+            Formula.conj [ pi; require_subtype env ctx targ expected ])
+          args fs
+      in
+      (c, Formula.conj (v_cls env c :: arg_pis))
+  | Cast (t, e0) ->
+      let u, pi0 = type_expr env ctx gamma e0 in
+      let _ = resolve env ctx t in
+      let rel =
+        (* Up- and downcasts are both allowed; either way the cast creates a
+           dependency on the subtype relation it exercises (cf. the
+           [M.main()!code] ⇒ [A ◁ I] discussion in §2). *)
+        match subtype env ctx u t with
+        | Some f -> f
+        | None -> (
+            match subtype env ctx t u with
+            | Some f -> f
+            | None -> fail ctx "cast between unrelated types %s and %s" u t)
+      in
+      (t, Formula.conj [ v_cls env t; pi0; rel ])
+
+(* P ⊢ M OK in C | π *)
+let type_method env (cls : cls) (m : meth) =
+  let ctx = Printf.sprintf "%s.%s()" cls.c_name m.m_name in
+  check_override env ctx m.m_name cls.c_super (param_types m.m_params, m.m_ret);
+  let gamma = ("this", cls.c_name) :: List.map (fun (t, x) -> (x, t)) m.m_params in
+  let u, pi1 = type_expr env ctx gamma m.m_body in
+  let pi2 = require_subtype env ctx u m.m_ret in
+  let decl_deps =
+    Formula.conj (v_cls env cls.c_name :: v_cls env m.m_ret :: List.map (v_cls env) (param_types m.m_params))
+  in
+  Formula.conj
+    [
+      Formula.imply (v_meth env cls.c_name m.m_name) decl_deps;
+      Formula.imply
+        (v_code env cls.c_name m.m_name)
+        (Formula.conj [ v_meth env cls.c_name m.m_name; pi1; pi2 ]);
+    ]
+
+(* P ⊢ S OK in I | π *)
+let type_signature env (i : iface) (s : signature) =
+  Formula.imply
+    (v_sig env i.i_name s.s_name)
+    (Formula.conj
+       (v_cls env i.i_name :: v_cls env s.s_ret :: List.map (v_cls env) (param_types s.s_params)))
+
+(* P ⊢ S OK in I for C | π *)
+let type_signature_for_class env (cls : cls) (i : iface) (s : signature) =
+  let ctx = Printf.sprintf "%s implements %s.%s()" cls.c_name i.i_name s.s_name in
+  (match mtype env ctx s.s_name cls.c_name with
+  | None -> fail ctx "class %s does not implement %s" cls.c_name s.s_name
+  | Some (params, ret) ->
+      if params <> param_types s.s_params || ret <> s.s_ret then
+        fail ctx "class %s implements %s at a different type" cls.c_name s.s_name);
+  Formula.imply
+    (Formula.conj [ v_impl env cls; v_sig env i.i_name s.s_name ])
+    (many env ctx s.s_name cls.c_name)
+
+(* R OK in P | π *)
+let type_decl env decl =
+  match decl with
+  | Interface i -> Formula.conj (List.map (type_signature env i) i.i_sigs)
+  | Class cls ->
+      let ctx = Printf.sprintf "class %s" cls.c_name in
+      let _ = resolve_class env ctx cls.c_super in
+      let iface =
+        match find_iface env.program cls.c_iface with
+        | Some i -> i
+        | None -> fail ctx "unknown interface %s" cls.c_iface
+      in
+      (* The constructor's parameter types are the inherited and own field
+         types; keeping C requires them all, and the superclass. *)
+      let ctor_types = List.map fst (fields env ctx cls.c_name) in
+      let class_deps =
+        Formula.imply (v_cls env cls.c_name)
+          (Formula.conj (v_cls env cls.c_super :: List.map (v_cls env) ctor_types))
+      in
+      let impl_deps =
+        (* Only a real implements relation generates the
+           [C ◁ I] ⇒ [C] ∧ [I] dependency; the EmptyInterface fallback has
+           no variable to toggle. *)
+        match env.vars with
+        | None -> Formula.True
+        | Some vs -> (
+            match Vars.impl_opt vs ~c:cls.c_name with
+            | None -> Formula.True
+            | Some v ->
+                Formula.imply (Formula.var v)
+                  (Formula.conj [ v_cls env cls.c_name; v_cls env cls.c_iface ]))
+      in
+      let methods = List.map (type_method env cls) cls.c_methods in
+      let sigs = List.map (type_signature_for_class env cls iface) iface.i_sigs in
+      Formula.conj ((class_deps :: impl_deps :: methods) @ sigs)
+
+(* ⊢ P | π *)
+let type_program env =
+  (match wf_names env.program with Ok () -> () | Error m -> fail "program" "%s" m);
+  let decls = List.map (type_decl env) env.program.decls in
+  let main =
+    match env.program.main with
+    | None -> Formula.True
+    | Some e ->
+        let _, pi = type_expr env "main expression" [] e in
+        pi
+  in
+  Formula.conj (decls @ [ main ])
+
+let check program =
+  match type_program { program; vars = None } with
+  | _ -> Ok ()
+  | exception Fail e -> Error e
+
+let generate vars program =
+  match type_program { program; vars = Some vars } with
+  | pi -> Ok pi
+  | exception Fail e -> Error e

@@ -1,0 +1,18 @@
+(** FJI type checking and constraint generation (Figures 6 and 7).
+
+    [⊢ P | π] simultaneously type checks the program and produces the
+    propositional formula [π] over [V(P)] modelling its internal
+    dependencies.  Theorem 3.1: if [⊢ P | π] and [φ ⊨ π] then
+    [reduce(P, φ)] type checks — which the test suite validates by
+    property testing. *)
+
+type error = { context : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Syntax.program -> (unit, error) result
+(** Plain type checking, used on reduced programs. *)
+
+val generate : Vars.t -> Syntax.program -> (Lbr_logic.Formula.t, error) result
+(** Type check and generate the dependency formula.  The [Vars.t] must have
+    been derived from the same program. *)

@@ -1,0 +1,69 @@
+type t = { bits : Bytes.t; capacity : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let union_into ~dst src =
+  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  for b = 0 to Bytes.length dst.bits - 1 do
+    Bytes.set dst.bits b
+      (Char.chr (Char.code (Bytes.get dst.bits b) lor Char.code (Bytes.get src.bits b)))
+  done
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.bits;
+  !n
+
+let copy t = { bits = Bytes.copy t.bits; capacity = t.capacity }
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
+
+let subset a b =
+  a.capacity = b.capacity
+  &&
+  let ok = ref true in
+  for i = 0 to Bytes.length a.bits - 1 do
+    let ca = Char.code (Bytes.get a.bits i) and cb = Char.code (Bytes.get b.bits i) in
+    if ca land lnot cb <> 0 then ok := false
+  done;
+  !ok
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list capacity elements =
+  let t = create capacity in
+  List.iter (add t) elements;
+  t

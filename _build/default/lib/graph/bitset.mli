@@ -1,0 +1,21 @@
+(** Fixed-capacity mutable bit sets, used for closure computations where the
+    per-node reachable sets of a few thousand nodes must stay cheap. *)
+
+type t
+
+val create : int -> t
+(** All-zeros set of the given capacity. *)
+
+val capacity : t -> int
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src].  Capacities must match. *)
+
+val cardinal : t -> int
+val copy : t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val iter : (int -> unit) -> t -> unit

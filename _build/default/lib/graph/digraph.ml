@@ -1,0 +1,47 @@
+type t = { adjacency : int list array }
+
+let make ~n ~edges =
+  let adjacency = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || x >= n || y < 0 || y >= n then invalid_arg "Digraph.make: node out of range";
+      if x <> y && not (Hashtbl.mem seen (x, y)) then begin
+        Hashtbl.add seen (x, y) ();
+        adjacency.(x) <- y :: adjacency.(x)
+      end)
+    edges;
+  { adjacency }
+
+let num_nodes t = Array.length t.adjacency
+
+let num_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.adjacency
+
+let succ t x = t.adjacency.(x)
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri (fun x ys -> List.iter (fun y -> acc := (x, y) :: !acc) ys) t.adjacency;
+  !acc
+
+let reverse t =
+  let n = num_nodes t in
+  let adjacency = Array.make n [] in
+  Array.iteri
+    (fun x ys -> List.iter (fun y -> adjacency.(y) <- x :: adjacency.(y)) ys)
+    t.adjacency;
+  { adjacency }
+
+let reachable_from_set t roots =
+  let n = num_nodes t in
+  let seen = Bitset.create n in
+  let rec visit x =
+    if not (Bitset.mem seen x) then begin
+      Bitset.add seen x;
+      List.iter visit t.adjacency.(x)
+    end
+  in
+  List.iter visit roots;
+  seen
+
+let reachable t root = reachable_from_set t [ root ]

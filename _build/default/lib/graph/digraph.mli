@@ -1,0 +1,25 @@
+(** Directed graphs over dense integer nodes.
+
+    J-Reduce models dependencies as a graph whose nodes are items and whose
+    edges are requirements: an edge [x → y] means "keeping [x] requires
+    keeping [y]".  Valid sub-inputs are exactly the closed sets (closures)
+    of this graph. *)
+
+type t
+
+val make : n:int -> edges:(int * int) list -> t
+(** [make ~n ~edges] builds a graph on nodes [0..n-1].  Self loops and
+    duplicate edges are dropped.  Raises [Invalid_argument] on out-of-range
+    endpoints. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+val succ : t -> int -> int list
+val edges : t -> (int * int) list
+val reverse : t -> t
+
+val reachable : t -> int -> Bitset.t
+(** All nodes reachable from the given node, including itself — the node's
+    closure. *)
+
+val reachable_from_set : t -> int list -> Bitset.t

@@ -1,0 +1,79 @@
+type result = {
+  comp_of : int array;
+  num_comps : int;
+  members : int list array;
+}
+
+(* Tarjan's algorithm.  Components are numbered in the order they are
+   completed, which is reverse topological order of the condensation. *)
+let compute g =
+  let n = Digraph.num_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let comp_of = Array.make n (-1) in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Digraph.succ g v);
+    if lowlink.(v) = index.(v) then begin
+      let c = !next_comp in
+      incr next_comp;
+      let continue = ref true in
+      while !continue do
+        let w = Stack.pop stack in
+        on_stack.(w) <- false;
+        comp_of.(w) <- c;
+        if w = v then continue := false
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  let num_comps = !next_comp in
+  let members = Array.make num_comps [] in
+  for v = n - 1 downto 0 do
+    members.(comp_of.(v)) <- v :: members.(comp_of.(v))
+  done;
+  { comp_of; num_comps; members }
+
+let condensation g r =
+  let edges =
+    Digraph.edges g
+    |> List.filter_map (fun (x, y) ->
+           let cx = r.comp_of.(x) and cy = r.comp_of.(y) in
+           if cx = cy then None else Some (cx, cy))
+  in
+  Digraph.make ~n:r.num_comps ~edges
+
+let all_closures g =
+  let n = Digraph.num_nodes g in
+  let r = compute g in
+  let dag = condensation g r in
+  (* Component ids are in reverse topological order, so every successor
+     component of [c] has an id < c and is processed first. *)
+  let comp_closure = Array.init r.num_comps (fun _ -> Bitset.create n) in
+  for c = 0 to r.num_comps - 1 do
+    let closure = comp_closure.(c) in
+    List.iter (Bitset.add closure) r.members.(c);
+    List.iter
+      (fun c' ->
+        assert (c' < c);
+        Bitset.union_into ~dst:closure comp_closure.(c'))
+      (Digraph.succ dag c)
+  done;
+  Array.init n (fun v -> comp_closure.(r.comp_of.(v)))

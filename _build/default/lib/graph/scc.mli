@@ -1,0 +1,23 @@
+(** Strongly connected components (Tarjan) and closure computation.
+
+    J-Reduce's step 2 computes the closure of every node; doing this through
+    the condensation (Sharir) makes the whole closure table cost one graph
+    traversal plus per-component set unions. *)
+
+type result = {
+  comp_of : int array;  (** node → component id *)
+  num_comps : int;
+  members : int list array;  (** component id → member nodes *)
+}
+(** Component ids are in reverse topological order of the condensation: if
+    component [a] has an edge to component [b], then [b < a]. *)
+
+val compute : Digraph.t -> result
+
+val condensation : Digraph.t -> result -> Digraph.t
+(** The component DAG (nodes are component ids). *)
+
+val all_closures : Digraph.t -> Bitset.t array
+(** [all_closures g] maps every node to its closure — the set of nodes
+    reachable from it, including itself.  Nodes in the same strongly
+    connected component share (equal) closures. *)

@@ -1,0 +1,1 @@
+lib/harness/corpus.ml: Classpool Constraints Float Jvars Lbr_decompiler Lbr_jvm Lbr_logic Lbr_workload List Printf Random Size

@@ -1,0 +1,1 @@
+lib/harness/corpus.mli: Classpool Lbr_decompiler Lbr_jvm

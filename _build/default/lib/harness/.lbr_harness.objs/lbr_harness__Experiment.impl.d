@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Assignment Classfile Classpool Constraints Corpus Fun Hashtbl Jtype Jvars Lbr Lbr_baselines Lbr_decompiler Lbr_jvm Lbr_logic Lbr_sat List Reducer Size String Unix Var

@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Experiment List Stats

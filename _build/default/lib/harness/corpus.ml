@@ -1,0 +1,100 @@
+open Lbr_jvm
+
+type benchmark = {
+  bench_id : string;
+  seed : int;
+  pool : Classpool.t;
+}
+
+type instance = {
+  instance_id : string;
+  benchmark : benchmark;
+  tool : Lbr_decompiler.Tool.t;
+  baseline_errors : string list;
+}
+
+(* Box–Muller standard normal. *)
+let gaussian rng =
+  let u1 = max epsilon_float (Random.State.float rng 1.0) in
+  let u2 = Random.State.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let build ~seed ~programs ~mean_classes =
+  let rng = Random.State.make [| seed; 0xc0 |] in
+  List.init programs (fun i ->
+      let sigma = 0.45 in
+      let classes =
+        exp (log (float_of_int mean_classes) +. (sigma *. gaussian rng))
+        |> int_of_float
+        |> max 8
+        |> min (4 * mean_classes)
+      in
+      let bench_seed = (seed * 10_000) + i in
+      let profile = Lbr_workload.Generator.njr_profile ~classes in
+      {
+        bench_id = Printf.sprintf "b%03d" i;
+        seed = bench_seed;
+        pool = Lbr_workload.Generator.generate ~seed:bench_seed profile;
+      })
+
+let instances benchmarks =
+  List.concat_map
+    (fun bench ->
+      List.filter_map
+        (fun tool ->
+          match Lbr_decompiler.Tool.errors tool bench.pool with
+          | [] -> None
+          | baseline_errors ->
+              Some
+                {
+                  instance_id = Printf.sprintf "%s/%s" bench.bench_id tool.Lbr_decompiler.Tool.name;
+                  benchmark = bench;
+                  tool;
+                  baseline_errors;
+                })
+        Lbr_decompiler.Tool.all)
+    benchmarks
+
+type stats = {
+  programs : int;
+  instance_count : int;
+  geo_classes : float;
+  geo_bytes : float;
+  geo_errors : float;
+  geo_items : float;
+  geo_clauses : float;
+  mean_graph_fraction : float;
+}
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log (max 1.0 x)) 0.0 xs /. n)
+
+let stats benchmarks instance_list =
+  let per_instance f = List.map f instance_list in
+  let clause_stats =
+    List.map
+      (fun inst ->
+        let vpool = Lbr_logic.Var.Pool.create () in
+        let jv = Jvars.derive vpool inst.benchmark.pool in
+        let cnf = Constraints.generate jv inst.benchmark.pool in
+        (float_of_int (Lbr_logic.Cnf.num_clauses cnf), Lbr_logic.Cnf.graph_fraction cnf))
+      instance_list
+  in
+  {
+    programs = List.length benchmarks;
+    instance_count = List.length instance_list;
+    geo_classes = geomean (per_instance (fun i -> float_of_int (Size.classes i.benchmark.pool)));
+    geo_bytes = geomean (per_instance (fun i -> float_of_int (Size.bytes i.benchmark.pool)));
+    geo_errors = geomean (per_instance (fun i -> float_of_int (List.length i.baseline_errors)));
+    geo_items = geomean (per_instance (fun i -> float_of_int (Size.items i.benchmark.pool)));
+    geo_clauses = geomean (List.map fst clause_stats);
+    mean_graph_fraction =
+      (match clause_stats with
+      | [] -> 1.0
+      | _ ->
+          List.fold_left (fun a (_, g) -> a +. g) 0.0 clause_stats
+          /. float_of_int (List.length clause_stats));
+  }

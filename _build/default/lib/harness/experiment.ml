@@ -1,0 +1,226 @@
+open Lbr_logic
+open Lbr_jvm
+
+type strategy = Jreduce | Lossy_first | Lossy_last | Gbr
+
+let strategy_name = function
+  | Jreduce -> "j-reduce"
+  | Lossy_first -> "lossy-first"
+  | Lossy_last -> "lossy-last"
+  | Gbr -> "gbr"
+
+let all_strategies = [ Jreduce; Lossy_first; Lossy_last; Gbr ]
+
+type outcome = {
+  instance_id : string;
+  strategy : strategy;
+  ok : bool;
+  sim_time : float;
+  wall_time : float;
+  predicate_runs : int;
+  classes0 : int;
+  classes1 : int;
+  bytes0 : int;
+  bytes1 : int;
+  items0 : int;
+  items1 : int;
+  lines0 : int;
+  lines1 : int;
+  timeline : (float * int * int) list;
+}
+
+let default_cost pool = 1.0 +. (4e-4 *. float_of_int (Size.bytes pool))
+
+(* Sorted-list inclusion: is every baseline message present? *)
+let rec includes_sorted ~baseline messages =
+  match baseline, messages with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | b :: bs, m :: ms ->
+      let c = String.compare b m in
+      if c = 0 then includes_sorted ~baseline:bs ms
+      else if c > 0 then includes_sorted ~baseline ms
+      else false
+
+(* Shared instrumentation: a simulated clock, an improvement timeline, and a
+   predicate body evaluating a candidate sub-pool. *)
+type driver = {
+  clock : float ref;
+  improvements : (float * int * int) list ref;
+  best : (int * int) ref;
+  check_pool : Classpool.t -> bool;
+}
+
+let make_driver (instance : Corpus.instance) ~cost =
+  let tool = instance.tool and baseline = instance.baseline_errors in
+  let clock = ref 0.0 in
+  let best = ref (max_int, max_int) in
+  let improvements = ref [] in
+  let check_pool sub =
+    clock := !clock +. cost sub;
+    let ok = includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub) in
+    if ok then begin
+      let c = Size.classes sub and b = Size.bytes sub in
+      let bc, bb = !best in
+      if b < bb || (b = bb && c < bc) then begin
+        best := (min bc c, min bb b);
+        improvements := (!clock, c, b) :: !improvements
+      end
+    end;
+    ok
+  in
+  { clock; improvements; best; check_pool }
+
+let finish (instance : Corpus.instance) strategy driver ~runs ~ok ~final ~wall_time =
+  let pool = instance.benchmark.pool in
+  {
+    instance_id = instance.instance_id;
+    strategy;
+    ok;
+    sim_time = !(driver.clock);
+    wall_time;
+    predicate_runs = runs;
+    classes0 = Size.classes pool;
+    classes1 = Size.classes final;
+    bytes0 = Size.bytes pool;
+    bytes1 = Size.bytes final;
+    items0 = Size.items pool;
+    items1 = Size.items final;
+    lines0 = Lbr_decompiler.Source.line_count pool;
+    lines1 = Lbr_decompiler.Source.line_count final;
+    timeline = List.rev !(driver.improvements);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* J-Reduce: class-granularity dependency graph + binary reduction.   *)
+
+let class_references pool (c : Classfile.cls) =
+  let open Classfile in
+  let acc = ref [] in
+  let add name = if Classpool.mem pool name && name <> c.name then acc := name :: !acc in
+  let add_ty ty = match Jtype.ref_name ty with Some n -> add n | None -> () in
+  add c.super;
+  List.iter add c.interfaces;
+  List.iter (fun (f : field) -> add_ty f.f_type) c.fields;
+  let add_insn = function
+    | Invoke_virtual { owner; _ } | Invoke_interface { owner; _ } | Invoke_static { owner; _ } ->
+        add owner
+    | New_instance { cls; _ } -> add cls
+    | Get_field { owner; _ } | Put_field { owner; _ } -> add owner
+    | Check_cast t | Instance_of t | Load_const_class t -> add t
+    | Upcast { from_; to_ } -> add from_; add to_
+    | Arith | Load_store | Return_insn -> ()
+  in
+  List.iter
+    (fun (m : meth) ->
+      List.iter add_ty (m.m_ret :: m.m_params);
+      List.iter add_insn m.m_body)
+    c.methods;
+  List.iter
+    (fun (k : ctor) ->
+      List.iter add_ty k.k_params;
+      List.iter add_insn k.k_body)
+    c.ctors;
+  List.iter add c.annotations;
+  List.iter add c.inner_classes;
+  List.sort_uniq String.compare !acc
+
+let restrict_classes pool keep_names =
+  Classpool.classes pool
+  |> List.filter (fun (c : Classfile.cls) -> List.mem c.Classfile.name keep_names)
+  |> Classpool.of_classes
+
+let run_jreduce instance ~cost =
+  let pool = instance.Corpus.benchmark.pool in
+  let names = Array.of_list (Classpool.names pool) in
+  let index_of =
+    let tbl = Hashtbl.create (Array.length names) in
+    Array.iteri (fun i n -> Hashtbl.add tbl n i) names;
+    Hashtbl.find tbl
+  in
+  let edges =
+    Classpool.classes pool
+    |> List.concat_map (fun (c : Classfile.cls) ->
+           List.map
+             (fun target -> (index_of c.Classfile.name, index_of target))
+             (class_references pool c))
+  in
+  let base, closures =
+    Lbr_baselines.Binary_reduction.Graph_encoding.closures ~num_vars:(Array.length names)
+      ~edges ~required:[]
+  in
+  let driver = make_driver instance ~cost in
+  let sub_pool_of assignment =
+    restrict_classes pool (List.map (fun i -> names.(i)) (Assignment.to_list assignment))
+  in
+  let predicate =
+    Lbr.Predicate.make ~name:"jreduce" (fun a -> driver.check_pool (sub_pool_of a))
+  in
+  let t0 = Unix.gettimeofday () in
+  let result, runs, ok =
+    match Lbr_baselines.Binary_reduction.reduce ~closures ~base ~predicate with
+    | Ok (result, stats) -> (result, stats.predicate_runs, true)
+    | Error `Predicate_inconsistent -> (Assignment.of_list (List.init (Array.length names) Fun.id), Lbr.Predicate.runs predicate, false)
+  in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  finish instance Jreduce driver ~runs ~ok ~final:(sub_pool_of result) ~wall_time
+
+(* ------------------------------------------------------------------ *)
+(* Item-granularity strategies.                                       *)
+
+let item_context instance =
+  let pool = instance.Corpus.benchmark.pool in
+  let vpool = Var.Pool.create () in
+  let jv = Jvars.derive vpool pool in
+  let cnf = Constraints.generate jv pool in
+  (pool, vpool, jv, cnf)
+
+let run_lossy instance ~pick ~strategy ~cost =
+  let pool, vpool, jv, cnf = item_context instance in
+  let encoded = Lbr.Lossy.encode cnf ~pick in
+  let edges, required = Lbr.Lossy.to_graph encoded in
+  let base, closures =
+    Lbr_baselines.Binary_reduction.Graph_encoding.closures ~num_vars:(Var.Pool.size vpool)
+      ~edges ~required
+  in
+  let driver = make_driver instance ~cost in
+  let sub_pool_of phi = Reducer.apply jv pool phi in
+  let predicate =
+    Lbr.Predicate.make ~name:"lossy" (fun phi -> driver.check_pool (sub_pool_of phi))
+  in
+  let t0 = Unix.gettimeofday () in
+  let result, runs, ok =
+    match Lbr_baselines.Binary_reduction.reduce ~closures ~base ~predicate with
+    | Ok (result, stats) -> (result, stats.predicate_runs, true)
+    | Error `Predicate_inconsistent -> (Jvars.all jv, Lbr.Predicate.runs predicate, false)
+  in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  finish instance strategy driver ~runs ~ok ~final:(sub_pool_of result) ~wall_time
+
+let run_gbr instance ~cost =
+  let pool, vpool, jv, cnf = item_context instance in
+  let driver = make_driver instance ~cost in
+  let sub_pool_of phi = Reducer.apply jv pool phi in
+  let predicate =
+    Lbr.Predicate.make ~name:"gbr" (fun phi -> driver.check_pool (sub_pool_of phi))
+  in
+  let problem =
+    Lbr.Problem.make ~pool:vpool ~universe:(Jvars.all jv) ~constraints:cnf ~predicate
+  in
+  let order = Lbr_sat.Order.by_creation vpool in
+  let t0 = Unix.gettimeofday () in
+  let result, runs, ok =
+    match Lbr.Gbr.reduce problem ~order with
+    | Ok (result, stats) -> (result, stats.predicate_runs, true)
+    | Error (`Unsat | `Predicate_inconsistent | `Invariant_violation _) ->
+        (Jvars.all jv, Lbr.Predicate.runs predicate, false)
+  in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  finish instance Gbr driver ~runs ~ok ~final:(sub_pool_of result) ~wall_time
+
+let run ?(cost = default_cost) strategy instance =
+  match strategy with
+  | Jreduce -> run_jreduce instance ~cost
+  | Lossy_first -> run_lossy instance ~pick:Lbr.Lossy.First_first ~strategy:Lossy_first ~cost
+  | Lossy_last -> run_lossy instance ~pick:Lbr.Lossy.Last_last ~strategy:Lossy_last ~cost
+  | Gbr -> run_gbr instance ~cost

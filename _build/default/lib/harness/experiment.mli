@@ -1,0 +1,40 @@
+(** Running the four reduction strategies on corpus instances.
+
+    Time is reported on a documented simulated clock: every underlying
+    predicate execution (decompile + recompile of the candidate sub-pool)
+    costs [base + rate × bytes] simulated seconds, mimicking the paper's
+    setup where each cycle took tens of seconds on real decompilers.  Wall
+    clock is recorded separately (our simulated tools are fast; the paper's
+    were the bottleneck). *)
+
+open Lbr_jvm
+
+type strategy = Jreduce | Lossy_first | Lossy_last | Gbr
+
+val strategy_name : strategy -> string
+val all_strategies : strategy list
+
+type outcome = {
+  instance_id : string;
+  strategy : strategy;
+  ok : bool;  (** the final sub-input still produces the full error set *)
+  sim_time : float;  (** simulated seconds spent in predicate runs *)
+  wall_time : float;
+  predicate_runs : int;
+  classes0 : int;
+  classes1 : int;
+  bytes0 : int;
+  bytes1 : int;
+  items0 : int;
+  items1 : int;
+  lines0 : int;
+  lines1 : int;
+  timeline : (float * int * int) list;
+      (** (simulated time, best classes, best bytes) at each improvement,
+          oldest first; implicitly starts at (0, classes0, bytes0) *)
+}
+
+val default_cost : Classpool.t -> float
+(** [1.0 + 4e-4 × bytes] simulated seconds per decompile+recompile. *)
+
+val run : ?cost:(Classpool.t -> float) -> strategy -> Corpus.instance -> outcome

@@ -1,0 +1,56 @@
+let epsilon = 1e-9
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log (max epsilon x)) 0.0 xs /. n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let cdf xs =
+  let sorted = List.sort Float.compare xs in
+  let n = float_of_int (List.length sorted) in
+  List.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) sorted
+
+let fraction_below xs threshold =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let below = List.length (List.filter (fun x -> x <= threshold) xs) in
+      float_of_int below /. float_of_int (List.length xs)
+
+let quantile xs q =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.quantile: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let idx = int_of_float (q *. float_of_int (n - 1)) in
+      List.nth sorted (max 0 (min (n - 1) idx))
+
+type summary = {
+  count : int;
+  geo_time : float;
+  geo_class_ratio : float;
+  geo_byte_ratio : float;
+  geo_line_ratio : float;
+  geo_runs : float;
+}
+
+let ratio a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b
+
+let summarize (outcomes : Experiment.outcome list) =
+  {
+    count = List.length outcomes;
+    geo_time = geomean (List.map (fun (o : Experiment.outcome) -> o.sim_time) outcomes);
+    geo_class_ratio =
+      geomean (List.map (fun (o : Experiment.outcome) -> ratio o.classes1 o.classes0) outcomes);
+    geo_byte_ratio =
+      geomean (List.map (fun (o : Experiment.outcome) -> ratio o.bytes1 o.bytes0) outcomes);
+    geo_line_ratio =
+      geomean (List.map (fun (o : Experiment.outcome) -> ratio o.lines1 o.lines0) outcomes);
+    geo_runs =
+      geomean (List.map (fun (o : Experiment.outcome) -> float_of_int o.predicate_runs) outcomes);
+  }

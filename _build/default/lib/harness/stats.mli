@@ -1,0 +1,28 @@
+(** Summary statistics for experiment outcomes. *)
+
+val geomean : float list -> float
+(** Geometric mean; values are clamped below at a small epsilon.  [0.] on
+    the empty list. *)
+
+val mean : float list -> float
+
+val cdf : float list -> (float * float) list
+(** Cumulative frequency: sorted [(value, fraction ≤ value)] pairs — the
+    data behind Figure 8a. *)
+
+val fraction_below : float list -> float -> float
+
+val quantile : float list -> float -> float
+(** [quantile xs q] with [q ∈ [0,1]]; raises [Invalid_argument] on empty
+    input. *)
+
+type summary = {
+  count : int;
+  geo_time : float;
+  geo_class_ratio : float;  (** final/original, classes *)
+  geo_byte_ratio : float;
+  geo_line_ratio : float;
+  geo_runs : float;
+}
+
+val summarize : Experiment.outcome list -> summary

@@ -1,0 +1,18 @@
+let best_at (o : Experiment.outcome) t =
+  let rec go best = function
+    | [] -> best
+    | (time, c, b) :: rest -> if time <= t then go (c, b) rest else best
+  in
+  go (o.classes0, o.bytes0) o.timeline
+
+let factor_at (o : Experiment.outcome) t ~metric =
+  let c, b = best_at o t in
+  match metric with
+  | `Classes -> float_of_int o.classes0 /. float_of_int (max 1 c)
+  | `Bytes -> float_of_int o.bytes0 /. float_of_int (max 1 b)
+
+let mean_factor_at outcomes t ~metric =
+  Stats.geomean (List.map (fun o -> factor_at o t ~metric) outcomes)
+
+let series outcomes ~times ~metric =
+  List.map (fun t -> (t, mean_factor_at outcomes t ~metric)) times

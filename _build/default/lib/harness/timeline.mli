@@ -1,0 +1,21 @@
+(** Reduction-over-time aggregation (Figure 8b).
+
+    For a time budget [t], an outcome's best-so-far sizes are the last
+    improvement recorded at simulated time ≤ [t] (the original sizes before
+    the first improvement).  Figure 8b plots the mean reduction factor
+    (how many times smaller) across all instances over time. *)
+
+val best_at : Experiment.outcome -> float -> int * int
+(** [(classes, bytes)] of the smallest failure-preserving sub-input found
+    within the given simulated time. *)
+
+val mean_factor_at :
+  Experiment.outcome list -> float -> metric:[ `Classes | `Bytes ] -> float
+(** Geometric-mean reduction factor (original / best-so-far) at a time. *)
+
+val series :
+  Experiment.outcome list ->
+  times:float list ->
+  metric:[ `Classes | `Bytes ] ->
+  (float * float) list
+(** The Figure 8b curve: [(time, mean factor)] points. *)

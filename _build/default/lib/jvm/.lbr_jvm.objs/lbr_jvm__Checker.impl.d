@@ -1,0 +1,1 @@
+lib/jvm/checker.ml: Classfile Classpool Format Hierarchy Jtype List Printf

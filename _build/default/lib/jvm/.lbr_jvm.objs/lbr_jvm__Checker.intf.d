@@ -1,0 +1,1 @@
+lib/jvm/checker.mli: Classpool Format

@@ -1,0 +1,1 @@
+lib/jvm/classfile.ml: Format Jtype List String

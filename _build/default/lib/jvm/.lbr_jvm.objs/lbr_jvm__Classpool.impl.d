@@ -1,0 +1,1 @@
+lib/jvm/classpool.ml: Classfile List Map Printf String

@@ -1,0 +1,1 @@
+lib/jvm/classpool.mli: Classfile

@@ -1,0 +1,1 @@
+lib/jvm/constraints.ml: Classfile Classpool Cnf Formula Hashtbl Hierarchy Int Item Jtype Jvars Lbr_logic List Printf

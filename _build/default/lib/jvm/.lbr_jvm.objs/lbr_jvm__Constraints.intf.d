@@ -1,0 +1,1 @@
+lib/jvm/constraints.mli: Classpool Cnf Formula Hierarchy Jvars Lbr_logic

@@ -1,0 +1,1 @@
+lib/jvm/hierarchy.ml: Classfile Classpool Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/jvm/hierarchy.mli: Classfile Classpool

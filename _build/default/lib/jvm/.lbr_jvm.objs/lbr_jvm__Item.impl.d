@@ -1,0 +1,1 @@
+lib/jvm/item.ml: Format Printf Stdlib

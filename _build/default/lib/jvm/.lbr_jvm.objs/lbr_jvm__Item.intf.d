@@ -1,0 +1,1 @@
+lib/jvm/item.mli: Format

@@ -1,0 +1,1 @@
+lib/jvm/jvars.ml: Assignment Classfile Classpool Formula Hashtbl Item Lbr_logic List Var

@@ -1,0 +1,1 @@
+lib/jvm/jvars.mli: Assignment Classpool Formula Item Lbr_logic Var

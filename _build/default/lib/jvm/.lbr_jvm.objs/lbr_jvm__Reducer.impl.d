@@ -1,0 +1,1 @@
+lib/jvm/reducer.ml: Array Assignment Classfile Classpool Hashtbl Item Jvars Lbr_logic List

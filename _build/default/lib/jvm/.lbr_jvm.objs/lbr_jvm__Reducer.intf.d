@@ -1,0 +1,1 @@
+lib/jvm/reducer.mli: Assignment Classpool Jvars Lbr_logic

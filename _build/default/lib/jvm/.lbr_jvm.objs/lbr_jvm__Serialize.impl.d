@@ -1,0 +1,1 @@
+lib/jvm/serialize.ml: Array Buffer Char Classfile Classpool Hashtbl Jtype List Printf String

@@ -1,0 +1,1 @@
+lib/jvm/serialize.mli: Classfile Classpool

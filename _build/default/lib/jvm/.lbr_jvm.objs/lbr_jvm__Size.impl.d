@@ -1,0 +1,1 @@
+lib/jvm/size.ml: Classfile Classpool Jvars List String

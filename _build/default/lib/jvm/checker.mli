@@ -1,0 +1,16 @@
+(** Pool well-formedness checking — the stand-in for the JVM verifier plus
+    the resolution/linking rules of the class-file format.
+
+    This checker defines what "valid sub-input" means for the bytecode
+    substrate: the soundness property of the constraint generator (mirroring
+    Theorem 3.1) is that reducing a valid pool with any satisfying
+    assignment yields a pool this checker accepts. *)
+
+type violation = { where : string; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Classpool.t -> violation list
+(** All well-formedness violations; the empty list means the pool is valid. *)
+
+val is_valid : Classpool.t -> bool

@@ -1,0 +1,64 @@
+type insn =
+  | Invoke_virtual of { owner : string; meth : string }
+  | Invoke_interface of { owner : string; meth : string }
+  | Invoke_static of { owner : string; meth : string }
+  | New_instance of { cls : string; ctor : int }
+  | Get_field of { owner : string; field : string }
+  | Put_field of { owner : string; field : string }
+  | Check_cast of string
+  | Instance_of of string
+  | Upcast of { from_ : string; to_ : string }
+  | Load_const_class of string
+  | Arith
+  | Load_store
+  | Return_insn
+
+type field = { f_name : string; f_type : Jtype.t; f_static : bool }
+
+type meth = {
+  m_name : string;
+  m_params : Jtype.t list;
+  m_ret : Jtype.t;
+  m_static : bool;
+  m_abstract : bool;
+  m_body : insn list;
+}
+
+type ctor = { k_params : Jtype.t list; k_body : insn list }
+
+type cls = {
+  name : string;
+  super : string;
+  interfaces : string list;
+  is_interface : bool;
+  is_abstract : bool;
+  fields : field list;
+  methods : meth list;
+  ctors : ctor list;
+  annotations : string list;
+  inner_classes : string list;
+}
+
+let object_name = "java/lang/Object"
+let string_name = "java/lang/String"
+
+let is_external name = String.length name >= 5 && String.sub name 0 5 = "java/"
+
+let find_method cls name = List.find_opt (fun (m : meth) -> m.m_name = name) cls.methods
+
+let find_field cls name = List.find_opt (fun (f : field) -> f.f_name = name) cls.fields
+
+let pp_insn ppf = function
+  | Invoke_virtual { owner; meth } -> Format.fprintf ppf "invokevirtual %s.%s" owner meth
+  | Invoke_interface { owner; meth } -> Format.fprintf ppf "invokeinterface %s.%s" owner meth
+  | Invoke_static { owner; meth } -> Format.fprintf ppf "invokestatic %s.%s" owner meth
+  | New_instance { cls; ctor } -> Format.fprintf ppf "new %s.<init>#%d" cls ctor
+  | Get_field { owner; field } -> Format.fprintf ppf "getfield %s.%s" owner field
+  | Put_field { owner; field } -> Format.fprintf ppf "putfield %s.%s" owner field
+  | Check_cast t -> Format.fprintf ppf "checkcast %s" t
+  | Instance_of t -> Format.fprintf ppf "instanceof %s" t
+  | Upcast { from_; to_ } -> Format.fprintf ppf "upcast %s -> %s" from_ to_
+  | Load_const_class c -> Format.fprintf ppf "ldc %s.class" c
+  | Arith -> Format.pp_print_string ppf "arith"
+  | Load_store -> Format.pp_print_string ppf "loadstore"
+  | Return_insn -> Format.pp_print_string ppf "return"

@@ -1,0 +1,23 @@
+module SMap = Map.Make (String)
+
+type t = Classfile.cls SMap.t
+
+let of_classes classes =
+  List.fold_left
+    (fun pool (c : Classfile.cls) ->
+      if SMap.mem c.name pool then
+        invalid_arg (Printf.sprintf "Classpool.of_classes: duplicate class %s" c.name)
+      else SMap.add c.name c pool)
+    SMap.empty classes
+
+let find pool name = SMap.find_opt name pool
+
+let mem pool name = SMap.mem name pool
+
+let classes pool = SMap.bindings pool |> List.map snd
+
+let names pool = SMap.bindings pool |> List.map fst
+
+let size pool = SMap.cardinal pool
+
+let fold f pool acc = SMap.fold (fun _ c acc -> f c acc) pool acc

@@ -1,0 +1,22 @@
+(** Pools of classes — the unit of input the tools under test consume.
+
+    External classes (JDK stand-ins) are not in the pool; references to them
+    always resolve and they are never reduced. *)
+
+type t
+
+val of_classes : Classfile.cls list -> t
+(** Raises [Invalid_argument] on duplicate class names. *)
+
+val find : t -> string -> Classfile.cls option
+(** Internal classes only; [None] for external names. *)
+
+val mem : t -> string -> bool
+val classes : t -> Classfile.cls list
+(** In name order (deterministic). *)
+
+val names : t -> string list
+val size : t -> int
+(** Number of internal classes. *)
+
+val fold : (Classfile.cls -> 'a -> 'a) -> t -> 'a -> 'a

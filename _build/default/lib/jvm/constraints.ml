@@ -1,0 +1,245 @@
+open Lbr_logic
+open Classfile
+
+(* Disjunctions of conjunctions explode multiplicatively when lowered to CNF
+   without auxiliary variables (k disjuncts of m conjuncts give m^k
+   clauses).  [bounded_disj] keeps the cheapest disjuncts while the estimated
+   clause product stays small.  Dropping disjuncts only strengthens the
+   formula, so soundness (Theorem 3.1's analogue) is preserved; the model
+   merely rules out a few valid sub-inputs, like the paper's own
+   approximations for generics. *)
+let max_clause_product = 64
+
+let bounded_disj disjuncts =
+  let weight f = max 1 (Formula.size f) in
+  let sorted = List.sort (fun a b -> Int.compare (weight a) (weight b)) disjuncts in
+  let rec keep acc product = function
+    | [] -> List.rev acc
+    | f :: rest ->
+        let product = product * weight f in
+        if acc <> [] && product > max_clause_product then List.rev acc
+        else keep (f :: acc) product rest
+  in
+  match sorted with
+  | [] -> Formula.False
+  | first :: rest -> Formula.disj (keep [ first ] (weight first) rest)
+
+let edge_formula jv = function
+  | Hierarchy.Eext c -> Jvars.formula jv (Item.Extends c)
+  | Hierarchy.Eimpl (c, i) -> Jvars.formula jv (Item.Implements { cls = c; iface = i })
+  | Hierarchy.Eiext (i, j) -> Jvars.formula jv (Item.Iface_extends { iface = i; super = j })
+
+let path_formula jv path = Formula.conj (List.map (edge_formula jv) path)
+
+let subtype_formula jv pool ~sub ~sup =
+  if sub = sup || Classfile.is_external sub || (sup = object_name) then Formula.True
+  else
+    match Hierarchy.subtype_paths pool ~sub ~sup with
+    | [] -> Formula.False
+    | paths -> bounded_disj (List.map (path_formula jv) paths)
+
+(* The class variable of [name], ⊤ for external classes. *)
+let cls_formula jv name =
+  if Classfile.is_external name then Formula.True else Jvars.formula jv (Item.Class name)
+
+let type_ref_formula jv ty =
+  match Jtype.ref_name ty with None -> Formula.True | Some n -> cls_formula jv n
+
+(* mAny over resolution candidates: keeping the call site valid requires
+   some defining class to survive with both the relation path to it and the
+   method item itself. *)
+let resolution_formula jv candidates ~member =
+  match candidates with
+  | [] -> Formula.False
+  | _ ->
+      bounded_disj
+        (List.map
+           (fun (owner, path) ->
+             if owner = "" then Formula.True (* external resolution *)
+             else Formula.conj [ path_formula jv path; member owner ])
+           candidates)
+
+let generate jv pool =
+  let formulas = ref [] in
+  let emit f = formulas := f :: !formulas in
+  let insn_formula where insn =
+    ignore where;
+    match insn with
+    | Invoke_virtual { owner; meth } | Invoke_interface { owner; meth } ->
+        Formula.conj
+          [
+            cls_formula jv owner;
+            resolution_formula jv
+              (Hierarchy.method_candidates pool ~owner ~meth ~static:false)
+              ~member:(fun d -> Jvars.formula jv (Item.Method { cls = d; meth }));
+          ]
+    | Invoke_static { owner; meth } ->
+        Formula.conj
+          [
+            cls_formula jv owner;
+            resolution_formula jv
+              (Hierarchy.method_candidates pool ~owner ~meth ~static:true)
+              ~member:(fun d -> Jvars.formula jv (Item.Method { cls = d; meth }));
+          ]
+    | New_instance { cls; ctor } ->
+        if Classfile.is_external cls then Formula.True
+        else
+          Formula.conj
+            [ cls_formula jv cls; Jvars.formula jv (Item.Ctor { cls; index = ctor }) ]
+    | Get_field { owner; field } | Put_field { owner; field } ->
+        Formula.conj
+          [
+            cls_formula jv owner;
+            resolution_formula jv
+              (Hierarchy.field_candidates pool ~owner ~field)
+              ~member:(fun d -> Jvars.formula jv (Item.Field { cls = d; field }));
+          ]
+    | Check_cast t | Instance_of t -> cls_formula jv t
+    | Upcast { from_; to_ } ->
+        Formula.conj
+          [ cls_formula jv from_; cls_formula jv to_;
+            subtype_formula jv pool ~sub:from_ ~sup:to_ ]
+    | Load_const_class c ->
+        (* Generics/reflection approximation (§3): reflection on [c] makes
+           this body depend on [c] keeping all its supertype relations. *)
+        if Classfile.is_external c then Formula.True
+        else
+          let edges = ref [] in
+          let visited = Hashtbl.create 8 in
+          let rec collect name =
+            if not (Hashtbl.mem visited name) then begin
+              Hashtbl.add visited name ();
+              List.iter
+                (fun (edge, target) ->
+                  edges := edge_formula jv edge :: !edges;
+                  collect target)
+                (Hierarchy.out_edges pool name)
+            end
+          in
+          collect c;
+          Formula.conj (cls_formula jv c :: !edges)
+    | Arith | Load_store | Return_insn -> Formula.True
+  in
+  let body_formula where insns = Formula.conj (List.map (insn_formula where) insns) in
+  let gen_class (c : cls) =
+    let vc = Jvars.formula jv (Item.Class c.name) in
+    (* Relations. *)
+    (if (not c.is_interface) && not (Classfile.is_external c.super) then
+       emit
+         (Formula.imply
+            (Jvars.formula jv (Item.Extends c.name))
+            (Formula.conj [ vc; cls_formula jv c.super ])));
+    List.iter
+      (fun i ->
+        let rel =
+          if c.is_interface then Jvars.formula jv (Item.Iface_extends { iface = c.name; super = i })
+          else Jvars.formula jv (Item.Implements { cls = c.name; iface = i })
+        in
+        emit (Formula.imply rel (Formula.conj [ vc; cls_formula jv i ])))
+      c.interfaces;
+    (* Fields. *)
+    List.iter
+      (fun (f : field) ->
+        emit
+          (Formula.imply
+             (Jvars.formula jv (Item.Field { cls = c.name; field = f.f_name }))
+             (Formula.conj [ vc; type_ref_formula jv f.f_type ])))
+      c.fields;
+    (* Methods. *)
+    List.iter
+      (fun (m : meth) ->
+        let vm = Jvars.formula jv (Item.Method { cls = c.name; meth = m.m_name }) in
+        let decl_types = List.map (type_ref_formula jv) (m.m_ret :: m.m_params) in
+        emit (Formula.imply vm (Formula.conj (vc :: decl_types)));
+        if not m.m_abstract then
+          let vcode = Jvars.formula jv (Item.Code { cls = c.name; meth = m.m_name }) in
+          let where = Printf.sprintf "%s.%s()" c.name m.m_name in
+          emit (Formula.imply vcode (Formula.conj [ vm; body_formula where m.m_body ])))
+      c.methods;
+    (* Constructors, with the implicit super-constructor call: if the body
+       is kept and the extends relation is kept, some super constructor must
+       survive. *)
+    List.iteri
+      (fun index (k : ctor) ->
+        let vk = Jvars.formula jv (Item.Ctor { cls = c.name; index }) in
+        let vkcode = Jvars.formula jv (Item.Ctor_code { cls = c.name; index }) in
+        let decl_types = List.map (type_ref_formula jv) k.k_params in
+        emit (Formula.imply vk (Formula.conj (vc :: decl_types)));
+        let where = Printf.sprintf "%s.<init>#%d" c.name index in
+        emit (Formula.imply vkcode (Formula.conj [ vk; body_formula where k.k_body ]));
+        if not (Classfile.is_external c.super) then
+          match Classpool.find pool c.super with
+          | None -> ()
+          | Some super_cls ->
+              let super_ctors =
+                List.mapi
+                  (fun j _ -> Jvars.formula jv (Item.Ctor { cls = c.super; index = j }))
+                  super_cls.ctors
+              in
+              emit
+                (Formula.imply
+                   (Formula.conj [ vkcode; Jvars.formula jv (Item.Extends c.name) ])
+                   (Formula.disj super_ctors)))
+      c.ctors;
+    (* Attributes. *)
+    List.iteri
+      (fun index a ->
+        emit
+          (Formula.imply
+             (Jvars.formula jv (Item.Annotation { cls = c.name; index }))
+             (Formula.conj [ vc; cls_formula jv a ])))
+      c.annotations;
+    List.iteri
+      (fun index inner ->
+        emit
+          (Formula.imply
+             (Jvars.formula jv (Item.Inner_class { cls = c.name; index }))
+             (Formula.conj [ vc; cls_formula jv inner ])))
+      c.inner_classes;
+    (* Interface-implementation obligations (the FJI "signature typing
+       relative to a class", generalised to interface hierarchies and
+       abstract classes): if a relation path to the abstract declaration and
+       the declaration itself survive, a concrete implementation must
+       survive reachable from C.  One constraint per premise path — dropping
+       premise paths would WEAKEN the model (premises sit in negative
+       position), so when there are too many paths to enumerate we emit the
+       sound over-approximation with no path premise at all. *)
+    if (not c.is_abstract) && not c.is_interface then
+      List.iter
+        (fun (t, m) ->
+          let concrete_candidates =
+            Hierarchy.method_candidates pool ~owner:c.name ~meth:m ~static:false
+            |> List.filter (fun (d, _) ->
+                   match Classpool.find pool d with
+                   | None -> false
+                   | Some dc -> (
+                       match Classfile.find_method dc m with
+                       | Some dm -> not dm.m_abstract
+                       | None -> false))
+          in
+          let conclusion =
+            resolution_formula jv concrete_candidates ~member:(fun d ->
+                Jvars.formula jv (Item.Method { cls = d; meth = m }))
+          in
+          let decl = Jvars.formula jv (Item.Method { cls = t; meth = m }) in
+          let max_premise_paths = 48 in
+          let paths =
+            Hierarchy.paths_between pool ~src:c.name ~dst:t ~max_paths:max_premise_paths
+          in
+          if List.length paths >= max_premise_paths then
+            emit (Formula.imply (Formula.conj [ vc; decl ]) conclusion)
+          else
+            List.iter
+              (fun path ->
+                emit
+                  (Formula.imply
+                     (Formula.conj [ vc; path_formula jv path; decl ])
+                     conclusion))
+              paths)
+        (List.sort_uniq compare (Hierarchy.abstract_obligations pool c))
+  in
+  List.iter gen_class (Classpool.classes pool);
+  let formula = Formula.conj (List.rev !formulas) in
+  let cnf = Formula.to_cnf formula in
+  if Cnf.is_unsat cnf then invalid_arg "Constraints.generate: unsatisfiable model (invalid pool?)";
+  cnf

@@ -1,0 +1,26 @@
+(** Constraint generation for class pools.
+
+    Extends the FJI model of Section 3 to the bytecode substrate's "full
+    Java" features: abstract classes, multiple interfaces, interfaces
+    extending interfaces, super-class relations as removable items, fields,
+    overloaded constructors (with the implicit super-constructor call), type
+    casts, and the reflection/generics approximation (a body doing
+    reflection on a class depends on that class keeping all its supertype
+    relations).
+
+    The generated formula is sound in the sense of Theorem 3.1: any
+    satisfying assignment, applied by {!Reducer.apply}, yields a pool that
+    {!Checker.check} accepts (property-tested in the test suite). *)
+
+open Lbr_logic
+
+val generate : Jvars.t -> Classpool.t -> Cnf.t
+(** The dependency model of the pool.  The pool must be valid
+    ({!Checker.is_valid}); resolution failures raise [Invalid_argument]. *)
+
+val path_formula : Jvars.t -> Hierarchy.path -> Formula.t
+(** Conjunction of the relation variables along a hierarchy path. *)
+
+val subtype_formula : Jvars.t -> Classpool.t -> sub:string -> sup:string -> Formula.t
+(** Disjunction over all relation paths witnessing [sub ≤ sup]; [⊤] when
+    trivial, [⊥] when the relation does not hold in the original pool. *)

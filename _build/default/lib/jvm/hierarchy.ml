@@ -1,0 +1,173 @@
+type edge =
+  | Eext of string
+  | Eimpl of string * string
+  | Eiext of string * string
+
+type path = edge list
+
+(* Outgoing supertype edges of a node: (edge, target) pairs.  External
+   classes are opaque: no out-edges. *)
+let out_edges pool name =
+  match Classpool.find pool name with
+  | None -> []
+  | Some (c : Classfile.cls) ->
+      if c.is_interface then List.map (fun j -> (Eiext (name, j), j)) c.interfaces
+      else
+        let ext = if Classfile.is_external c.super then [] else [ (Eext name, c.super) ] in
+        ext @ List.map (fun i -> (Eimpl (name, i), i)) c.interfaces
+
+let check_acyclic pool =
+  (* Colour-marking DFS over the supertype graph. *)
+  let state = Hashtbl.create 64 in
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some `Done -> Ok ()
+    | Some `Active -> Error (Printf.sprintf "cyclic hierarchy through %s" name)
+    | None ->
+        Hashtbl.add state name `Active;
+        let rec all = function
+          | [] -> Ok ()
+          | (_, target) :: rest -> (
+              match visit target with Ok () -> all rest | Error _ as e -> e)
+        in
+        let result = all (out_edges pool name) in
+        Hashtbl.replace state name `Done;
+        result
+  in
+  List.fold_left
+    (fun acc name -> match acc with Error _ -> acc | Ok () -> visit name)
+    (Ok ()) (Classpool.names pool)
+
+let super_chain pool start =
+  let rec go acc name =
+    match Classpool.find pool name with
+    | None -> List.rev (name :: acc)
+    | Some c -> go (name :: acc) c.Classfile.super
+  in
+  go [] start
+
+(* Supertype nodes reachable from [start] (excluding [start] itself), in
+   visit order, each visited once. *)
+let reachable_supertypes pool start =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec dfs name =
+    List.iter
+      (fun (_, target) ->
+        if not (Hashtbl.mem seen target) then begin
+          Hashtbl.add seen target ();
+          acc := target :: !acc;
+          dfs target
+        end)
+      (out_edges pool name)
+  in
+  Hashtbl.add seen start ();
+  dfs start;
+  List.rev !acc
+
+(* The supertype DAG can contain exponentially many paths (diamonds stack
+   multiplicatively), so path enumeration is pruned by a memoized
+   can-reach-destination test — dead branches are never entered — and capped
+   at [max_paths] results.  Dropping paths only strengthens the generated
+   constraints (fewer witnesses in a disjunction), which preserves
+   soundness. *)
+let paths_to pool ~src ~dst ~max_paths =
+  let memo = Hashtbl.create 16 in
+  let rec reaches n =
+    match Hashtbl.find_opt memo n with
+    | Some b -> b
+    | None ->
+        Hashtbl.add memo n false;
+        let b = n = dst || List.exists (fun (_, t) -> reaches t) (out_edges pool n) in
+        Hashtbl.replace memo n b;
+        b
+  in
+  if not (reaches src) then []
+  else begin
+    let acc = ref [] in
+    let count = ref 0 in
+    let rec dfs n rev_path =
+      if !count < max_paths then begin
+        if n = dst then begin
+          incr count;
+          acc := List.rev rev_path :: !acc
+        end
+        else
+          List.iter
+            (fun (e, t) -> if reaches t then dfs t (e :: rev_path))
+            (out_edges pool n)
+      end
+    in
+    dfs src [];
+    List.rev !acc
+  end
+
+let paths_between pool ~src ~dst ~max_paths = paths_to pool ~src ~dst ~max_paths
+
+let subtype_paths pool ~sub ~sup = paths_to pool ~src:sub ~dst:sup ~max_paths:3
+
+let method_matches ~static (m : Classfile.meth) name = m.m_name = name && m.m_static = static
+
+(* Per-destination path budget for resolution witnesses. *)
+let candidate_paths = 2
+
+let method_candidates pool ~owner ~meth ~static =
+  if Classfile.is_external owner || not (Classpool.mem pool owner) then [ ("", []) ]
+  else begin
+    let defines name =
+      match Classpool.find pool name with
+      | None -> false
+      | Some c -> (
+          match Classfile.find_method c meth with
+          | Some m -> method_matches ~static m meth
+          | None -> false)
+    in
+    let targets = owner :: reachable_supertypes pool owner in
+    List.concat_map
+      (fun d ->
+        if not (defines d) then []
+        else
+          paths_to pool ~src:owner ~dst:d ~max_paths:candidate_paths
+          |> List.map (fun p -> (d, p)))
+      targets
+  end
+
+let field_candidates pool ~owner ~field =
+  if Classfile.is_external owner || not (Classpool.mem pool owner) then [ ("", []) ]
+  else begin
+    (* Fields resolve on the class chain only, which is a simple path. *)
+    let acc = ref [] in
+    let rec go name rev_path =
+      match Classpool.find pool name with
+      | None -> ()
+      | Some c ->
+          (match Classfile.find_field c field with
+          | Some _ -> acc := (name, List.rev rev_path) :: !acc
+          | None -> ());
+          if (not c.is_interface) && not (Classfile.is_external c.super) then
+            go c.super (Eext name :: rev_path)
+    in
+    go owner [];
+    List.rev !acc
+  end
+
+let interfaces_of pool start =
+  reachable_supertypes pool start
+  |> List.concat_map (fun name ->
+         match Classpool.find pool name with
+         | Some c when c.Classfile.is_interface ->
+             paths_to pool ~src:start ~dst:name ~max_paths:candidate_paths
+             |> List.map (fun p -> (name, p))
+         | Some _ | None -> [])
+
+let abstract_obligations pool (cls : Classfile.cls) =
+  let start = cls.Classfile.name in
+  reachable_supertypes pool start
+  |> List.concat_map (fun name ->
+         match Classpool.find pool name with
+         | Some c when c.Classfile.is_interface || c.Classfile.is_abstract ->
+             List.filter_map
+               (fun (m : Classfile.meth) ->
+                 if m.m_abstract then Some (name, m.m_name) else None)
+               c.Classfile.methods
+         | Some _ | None -> [])

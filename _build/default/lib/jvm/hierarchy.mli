@@ -1,0 +1,61 @@
+(** Class-hierarchy queries shared by the checker and the constraint
+    generator.
+
+    Resolution results are reported together with the {e relation path} that
+    makes them hold — the extends / implements / interface-extends edges a
+    reduced pool must preserve for the resolution to keep succeeding.  The
+    constraint generator maps each edge to its item variable; the checker
+    only cares that some path exists. *)
+
+type edge =
+  | Eext of string  (** the extends edge of class [c] *)
+  | Eimpl of string * string  (** class [c] implements interface [i] *)
+  | Eiext of string * string  (** interface [i] extends interface [j] *)
+
+type path = edge list
+
+val out_edges : Classpool.t -> string -> (edge * string) list
+(** Outgoing supertype edges of a class or interface (external names have
+    none): the extends edge when the superclass is internal, and one edge
+    per listed interface. *)
+
+val check_acyclic : Classpool.t -> (unit, string) result
+(** No class or interface may be its own (transitive) supertype. *)
+
+val super_chain : Classpool.t -> string -> string list
+(** [super_chain pool c] lists [c] and its superclasses, innermost first,
+    ending with the first external class (usually [Object]).  Assumes
+    acyclicity. *)
+
+val paths_between : Classpool.t -> src:string -> dst:string -> max_paths:int -> path list
+(** All relation paths from [src] to [dst], pruned by memoized reachability
+    and capped at [max_paths] results (so [length result = max_paths] can
+    mean the enumeration overflowed). *)
+
+val subtype_paths : Classpool.t -> sub:string -> sup:string -> path list
+(** All relation paths witnessing [sub ≤ sup]; empty when [sub ≤ sup] does
+    not hold in the original pool.  External classes have no out-edges.
+    The trivial path is returned as [[]] when [sub = sup]. *)
+
+val method_candidates :
+  Classpool.t -> owner:string -> meth:string -> static:bool -> (string * path) list
+(** Classes or interfaces on [owner]'s supertype graph that define [meth]
+    (with matching staticness), each with the relation path from [owner] to
+    it.  If [owner] is external the call trivially resolves and the list is
+    [[("", [])]]. *)
+
+val field_candidates :
+  Classpool.t -> owner:string -> field:string -> (string * path) list
+(** Like {!method_candidates} but for fields (searched on the class chain
+    only). *)
+
+val interfaces_of : Classpool.t -> string -> (string * path) list
+(** All internal interfaces transitively implemented/extended by the given
+    class or interface, with one entry per distinct relation path. *)
+
+val abstract_obligations : Classpool.t -> Classfile.cls -> (string * string) list
+(** For a concrete class: every abstract method [m] declared by a reachable
+    supertype [t] (interface or abstract class), as [(t, m)] — the
+    obligations the class must satisfy with a concrete implementation.
+    Premise paths are enumerated separately with {!paths_between}, because
+    dropping paths from obligation premises would weaken the model. *)

@@ -1,0 +1,41 @@
+type t =
+  | Class of string
+  | Extends of string
+  | Implements of { cls : string; iface : string }
+  | Iface_extends of { iface : string; super : string }
+  | Field of { cls : string; field : string }
+  | Method of { cls : string; meth : string }
+  | Code of { cls : string; meth : string }
+  | Ctor of { cls : string; index : int }
+  | Ctor_code of { cls : string; index : int }
+  | Annotation of { cls : string; index : int }
+  | Inner_class of { cls : string; index : int }
+
+let to_string = function
+  | Class c -> c
+  | Extends c -> Printf.sprintf "%s!extends" c
+  | Implements { cls; iface } -> Printf.sprintf "%s<%s" cls iface
+  | Iface_extends { iface; super } -> Printf.sprintf "%s<:%s" iface super
+  | Field { cls; field } -> Printf.sprintf "%s#%s" cls field
+  | Method { cls; meth } -> Printf.sprintf "%s.%s()" cls meth
+  | Code { cls; meth } -> Printf.sprintf "%s.%s()!code" cls meth
+  | Ctor { cls; index } -> Printf.sprintf "%s.<init>#%d" cls index
+  | Ctor_code { cls; index } -> Printf.sprintf "%s.<init>#%d!code" cls index
+  | Annotation { cls; index } -> Printf.sprintf "%s@%d" cls index
+  | Inner_class { cls; index } -> Printf.sprintf "%s$%d" cls index
+
+let owner = function
+  | Class c | Extends c -> c
+  | Implements { cls; _ }
+  | Field { cls; _ }
+  | Method { cls; _ }
+  | Code { cls; _ }
+  | Ctor { cls; _ }
+  | Ctor_code { cls; _ }
+  | Annotation { cls; _ }
+  | Inner_class { cls; _ } -> cls
+  | Iface_extends { iface; _ } -> iface
+
+let compare = Stdlib.compare
+let equal = Stdlib.( = )
+let pp ppf t = Format.fprintf ppf "[%s]" (to_string t)

@@ -1,0 +1,17 @@
+type t = Int | Long | Double | Bool | Void | Ref of string | Array of t
+
+let rec ref_name = function
+  | Int | Long | Double | Bool | Void -> None
+  | Ref name -> Some name
+  | Array t -> ref_name t
+
+let rec to_string = function
+  | Int -> "int"
+  | Long -> "long"
+  | Double -> "double"
+  | Bool -> "boolean"
+  | Void -> "void"
+  | Ref name -> name
+  | Array t -> to_string t ^ "[]"
+
+let equal = ( = )

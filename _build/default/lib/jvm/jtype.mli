@@ -1,0 +1,16 @@
+(** Simplified JVM types: primitives, class references, and arrays. *)
+
+type t =
+  | Int
+  | Long
+  | Double
+  | Bool
+  | Void
+  | Ref of string  (** a class or interface by fully-qualified-ish name *)
+  | Array of t
+
+val ref_name : t -> string option
+(** The class name a type mentions, through arrays; [None] for primitives. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,78 @@
+open Lbr_logic
+
+let items_of_class (c : Classfile.cls) =
+  let name = c.name in
+  let class_item = [ Item.Class name ] in
+  let extends =
+    if c.is_interface || Classfile.is_external c.super then []
+    else [ Item.Extends name ]
+  in
+  let relations =
+    List.map
+      (fun i ->
+        if c.is_interface then Item.Iface_extends { iface = name; super = i }
+        else Item.Implements { cls = name; iface = i })
+      c.interfaces
+  in
+  let fields = List.map (fun (f : Classfile.field) -> Item.Field { cls = name; field = f.f_name }) c.fields in
+  let methods =
+    List.concat_map
+      (fun (m : Classfile.meth) ->
+        let head = Item.Method { cls = name; meth = m.m_name } in
+        if m.m_abstract then [ head ] else [ head; Item.Code { cls = name; meth = m.m_name } ])
+      c.methods
+  in
+  let ctors =
+    List.concat (List.mapi
+      (fun index (_ : Classfile.ctor) ->
+        [ Item.Ctor { cls = name; index }; Item.Ctor_code { cls = name; index } ])
+      c.ctors)
+  in
+  let annotations = List.mapi (fun index _ -> Item.Annotation { cls = name; index }) c.annotations in
+  let inner = List.mapi (fun index _ -> Item.Inner_class { cls = name; index }) c.inner_classes in
+  class_item @ extends @ relations @ fields @ methods @ ctors @ annotations @ inner
+
+let items_of_pool pool = List.concat_map items_of_class (Classpool.classes pool)
+
+type t = {
+  item_list : Item.t list;
+  vars_of_items : (Item.t, Var.t) Hashtbl.t;
+  items_of_vars : (Var.t, Item.t) Hashtbl.t;
+  all : Assignment.t;
+}
+
+let derive pool_vars pool =
+  let item_list = items_of_pool pool in
+  let vars_of_items = Hashtbl.create 256 in
+  let items_of_vars = Hashtbl.create 256 in
+  let all =
+    List.fold_left
+      (fun acc item ->
+        let v = Var.Pool.fresh pool_vars (Item.to_string item) in
+        Hashtbl.add vars_of_items item v;
+        Hashtbl.add items_of_vars v item;
+        Assignment.add v acc)
+      Assignment.empty item_list
+  in
+  { item_list; vars_of_items; items_of_vars; all }
+
+let all t = t.all
+
+let items t = t.item_list
+
+let var_opt t item = Hashtbl.find_opt t.vars_of_items item
+
+let var t item =
+  match var_opt t item with Some v -> v | None -> raise Not_found
+
+let formula t item =
+  match var_opt t item with
+  | Some v -> Formula.var v
+  | None ->
+      (* Items on external classes are permanent. *)
+      if Classfile.is_external (Item.owner item) then Formula.True
+      else raise Not_found
+
+let item_of t v = Hashtbl.find t.items_of_vars v
+
+let mem t v = Hashtbl.mem t.items_of_vars v

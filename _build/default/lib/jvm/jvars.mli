@@ -1,0 +1,30 @@
+(** Item inventory and Boolean-variable derivation for class pools. *)
+
+open Lbr_logic
+
+val items_of_pool : Classpool.t -> Item.t list
+(** Every reducible item, in deterministic order: classes in name order;
+    within a class: the class, its extends relation (when the superclass is
+    internal), implements / interface-extends relations, fields, methods
+    (each method followed by its code when present), constructors (likewise),
+    annotations, inner-class attributes. *)
+
+type t
+
+val derive : Var.Pool.t -> Classpool.t -> t
+(** Register one variable per item in the pool (creation order = inventory
+    order, the default reduction order [<]). *)
+
+val all : t -> Assignment.t
+val items : t -> Item.t list
+val var : t -> Item.t -> Var.t
+(** Raises [Not_found] for items without a variable (e.g. anything on an
+    external class). *)
+
+val var_opt : t -> Item.t -> Var.t option
+
+val formula : t -> Item.t -> Formula.t
+(** Like {!var} but [⊤] when the item belongs to an external class. *)
+
+val item_of : t -> Var.t -> Item.t
+val mem : t -> Var.t -> bool

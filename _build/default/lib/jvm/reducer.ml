@@ -1,0 +1,90 @@
+open Lbr_logic
+open Classfile
+
+let apply jv pool phi =
+  let keep item =
+    match Jvars.var_opt jv item with
+    | Some v -> Assignment.mem v phi
+    | None -> true (* itemless (external-super extends etc.): permanent *)
+  in
+  let reduce_class (c : cls) acc =
+    if not (keep (Item.Class c.name)) then acc
+    else
+      let super =
+        if c.is_interface || Classfile.is_external c.super then c.super
+        else if keep (Item.Extends c.name) then c.super
+        else object_name
+      in
+      let interfaces =
+        List.filter
+          (fun i ->
+            keep
+              (if c.is_interface then Item.Iface_extends { iface = c.name; super = i }
+               else Item.Implements { cls = c.name; iface = i }))
+          c.interfaces
+      in
+      let fields =
+        List.filter (fun (f : field) -> keep (Item.Field { cls = c.name; field = f.f_name })) c.fields
+      in
+      let methods =
+        List.filter_map
+          (fun (m : meth) ->
+            if not (keep (Item.Method { cls = c.name; meth = m.m_name })) then None
+            else if m.m_abstract then Some m
+            else if keep (Item.Code { cls = c.name; meth = m.m_name }) then Some m
+            else Some { m with m_body = [ Return_insn ] })
+          c.methods
+      in
+      (* Indices shift after filtering: stub removed bodies first, then drop
+         removed constructors.  New_instance sites referencing a removed
+         constructor are ruled out by the constraints; sites referencing kept
+         ones are renumbered below. *)
+      let ctors =
+        List.mapi (fun index k -> (index, k)) c.ctors
+        |> List.filter (fun (index, _) -> keep (Item.Ctor { cls = c.name; index }))
+        |> List.map (fun (index, k) ->
+               if keep (Item.Ctor_code { cls = c.name; index }) then k
+               else { k with k_body = [ Return_insn ] })
+      in
+      let annotations =
+        List.filteri (fun index _ -> keep (Item.Annotation { cls = c.name; index })) c.annotations
+      in
+      let inner_classes =
+        List.filteri (fun index _ -> keep (Item.Inner_class { cls = c.name; index })) c.inner_classes
+      in
+      { c with super; interfaces; fields; methods; ctors; annotations; inner_classes } :: acc
+  in
+  (* Constructor indices in New_instance must follow the renumbering. *)
+  let ctor_index_map : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  Classpool.fold
+    (fun c () ->
+      let mapping = Array.make (List.length c.ctors) (-1) in
+      let next = ref 0 in
+      List.iteri
+        (fun i _ ->
+          if keep (Item.Ctor { cls = c.name; index = i }) then begin
+            mapping.(i) <- !next;
+            incr next
+          end)
+        c.ctors;
+      Hashtbl.add ctor_index_map c.name mapping)
+    pool ();
+  let remap_insn insn =
+    match insn with
+    | New_instance { cls; ctor } -> (
+        match Hashtbl.find_opt ctor_index_map cls with
+        | Some mapping when ctor < Array.length mapping && mapping.(ctor) >= 0 ->
+            New_instance { cls; ctor = mapping.(ctor) }
+        | Some _ | None -> insn)
+    | Invoke_virtual _ | Invoke_interface _ | Invoke_static _ | Get_field _ | Put_field _
+    | Check_cast _ | Instance_of _ | Upcast _ | Load_const_class _ | Arith | Load_store
+    | Return_insn -> insn
+  in
+  let remap_class (c : cls) =
+    {
+      c with
+      methods = List.map (fun (m : meth) -> { m with m_body = List.map remap_insn m.m_body }) c.methods;
+      ctors = List.map (fun (k : ctor) -> { k with k_body = List.map remap_insn k.k_body }) c.ctors;
+    }
+  in
+  Classpool.fold reduce_class pool [] |> List.map remap_class |> Classpool.of_classes

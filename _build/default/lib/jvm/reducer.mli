@@ -1,0 +1,12 @@
+(** Applying a truth assignment to a class pool — the bytecode counterpart
+    of the FJI reducer (Figure 5). *)
+
+open Lbr_logic
+
+val apply : Jvars.t -> Classpool.t -> Assignment.t -> Classpool.t
+(** Keep exactly the items whose variables are set: classes disappear
+    entirely; a removed extends relation re-parents onto [Object]; removed
+    implements / interface-extends relations are dropped from the interface
+    list; a method kept without its code gets an empty (stub) body; likewise
+    constructors; fields, annotations and inner-class attributes are
+    filtered. *)

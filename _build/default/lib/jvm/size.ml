@@ -1,0 +1,37 @@
+open Classfile
+
+let classes = Classpool.size
+
+let insn_bytes = function
+  | Invoke_virtual _ | Invoke_interface _ | Invoke_static _ -> 3
+  | New_instance _ -> 7 (* new + dup + invokespecial *)
+  | Get_field _ | Put_field _ -> 3
+  | Check_cast _ | Instance_of _ -> 3
+  | Upcast _ -> 0 (* a verification fact, not an instruction *)
+  | Load_const_class _ -> 2
+  | Arith -> 1
+  | Load_store -> 2
+  | Return_insn -> 1
+
+let meth_bytes (m : meth) =
+  (* method_info + name/descriptor constants + Code attribute header *)
+  48 + (8 * List.length m.m_params)
+  + if m.m_abstract then 0 else 24 + List.fold_left (fun a i -> a + insn_bytes i) 0 m.m_body
+
+let ctor_bytes (k : ctor) =
+  48 + (8 * List.length k.k_params) + 24
+  + List.fold_left (fun a i -> a + insn_bytes i) 0 k.k_body
+
+let class_bytes (c : cls) =
+  200 (* header, constant pool base, this/super entries *)
+  + (2 * String.length c.name)
+  + (16 * List.length c.interfaces)
+  + List.fold_left (fun a (_ : field) -> a + 40) 0 c.fields
+  + List.fold_left (fun a m -> a + meth_bytes m) 0 c.methods
+  + List.fold_left (fun a k -> a + ctor_bytes k) 0 c.ctors
+  + (24 * List.length c.annotations)
+  + (16 * List.length c.inner_classes)
+
+let bytes pool = Classpool.fold (fun c acc -> acc + class_bytes c) pool 0
+
+let items pool = List.length (Jvars.items_of_pool pool)

@@ -1,0 +1,13 @@
+(** Size metrics for class pools — the two axes of Figure 8a. *)
+
+val classes : Classpool.t -> int
+(** Number of internal classes. *)
+
+val bytes : Classpool.t -> int
+(** Estimated serialized size: constant-pool-ish overhead per class plus
+    per-member and per-instruction costs.  The absolute scale is arbitrary;
+    only ratios (final/original) are reported. *)
+
+val items : Classpool.t -> int
+(** Number of reducible items (the paper's "2.9k reducible items"
+    statistic). *)

@@ -1,0 +1,1 @@
+lib/logic/assignment.ml: Format Int List Set Var

@@ -1,0 +1,1 @@
+lib/logic/assignment.mli: Format Var

@@ -1,0 +1,1 @@
+lib/logic/clause.ml: Array Format Var

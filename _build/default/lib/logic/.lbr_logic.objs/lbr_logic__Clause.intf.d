@@ -1,0 +1,1 @@
+lib/logic/clause.mli: Format Var

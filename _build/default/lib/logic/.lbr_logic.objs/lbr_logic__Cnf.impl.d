@@ -1,0 +1,1 @@
+lib/logic/cnf.ml: Array Assignment Clause Format List

@@ -1,0 +1,1 @@
+lib/logic/cnf.mli: Assignment Clause Format Var

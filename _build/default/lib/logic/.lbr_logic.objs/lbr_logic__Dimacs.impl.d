@@ -1,0 +1,1 @@
+lib/logic/dimacs.ml: Array Assignment Buffer Clause Cnf List Printf Result String

@@ -1,0 +1,1 @@
+lib/logic/dimacs.mli: Cnf

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Assignment Clause Cnf Format List Var

@@ -1,0 +1,1 @@
+lib/logic/model_count.ml: Array Assignment Clause Cnf Hashtbl Int List Option Set

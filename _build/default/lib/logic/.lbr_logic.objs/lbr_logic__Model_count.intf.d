@@ -1,0 +1,1 @@
+lib/logic/model_count.mli: Cnf Var

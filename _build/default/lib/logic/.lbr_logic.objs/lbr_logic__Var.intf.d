@@ -1,0 +1,1 @@
+lib/logic/var.mli: Format

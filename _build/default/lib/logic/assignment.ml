@@ -1,0 +1,43 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let disjoint = S.disjoint
+let cardinal = S.cardinal
+let is_empty = S.is_empty
+let equal = S.equal
+let compare = S.compare
+let fold = S.fold
+let iter = S.iter
+let exists = S.exists
+let for_all = S.for_all
+let filter = S.filter
+let choose_opt = S.choose_opt
+
+let min_by ~order s =
+  S.fold
+    (fun v best ->
+      match best with
+      | None -> Some v
+      | Some b -> if order v < order b then Some v else best)
+    s None
+
+let union_all sets = List.fold_left S.union S.empty sets
+
+let pp pool ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (Var.pp pool))
+    (S.elements s)

@@ -1,0 +1,41 @@
+(** Truth assignments, written as the set of true variables.
+
+    Following the paper's notation, a solution is identified with the set of
+    variables it maps to true; all other variables are false.  This module is
+    a thin, immutable set of {!Var.t} with the operations reduction algorithms
+    need (prefix unions, differences, minima under a variable order). *)
+
+type t
+
+val empty : t
+val singleton : Var.t -> t
+val of_list : Var.t list -> t
+val to_list : t -> Var.t list
+(** Elements in increasing variable order. *)
+
+val add : Var.t -> t -> t
+val remove : Var.t -> t -> t
+val mem : Var.t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val fold : (Var.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Var.t -> unit) -> t -> unit
+val exists : (Var.t -> bool) -> t -> bool
+val for_all : (Var.t -> bool) -> t -> bool
+val filter : (Var.t -> bool) -> t -> t
+val choose_opt : t -> Var.t option
+
+val min_by : order:(Var.t -> int) -> t -> Var.t option
+(** [min_by ~order s] is the element of [s] minimising [order], i.e. the
+    [<]-smallest variable; [None] on the empty set. *)
+
+val union_all : t list -> t
+
+val pp : Var.Pool.t -> Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type t = { neg : Var.t array; pos : Var.t array }
+
+let sorted_unique vars =
+  let arr = Array.of_list vars in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n <= 1 then arr
+  else begin
+    (* Count distinct elements, then copy them over. *)
+    let distinct = ref 1 in
+    for i = 1 to n - 1 do
+      if arr.(i) <> arr.(i - 1) then incr distinct
+    done;
+    if !distinct = n then arr
+    else begin
+      let out = Array.make !distinct arr.(0) in
+      let j = ref 0 in
+      for i = 1 to n - 1 do
+        if arr.(i) <> arr.(i - 1) then begin
+          incr j;
+          out.(!j) <- arr.(i)
+        end
+      done;
+      out
+    end
+  end
+
+let sorted_mem arr x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) = x then true
+      else if arr.(mid) < x then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length arr)
+
+let make ~neg ~pos =
+  let neg = sorted_unique neg and pos = sorted_unique pos in
+  if Array.exists (sorted_mem pos) neg then None else Some { neg; pos }
+
+let make_exn ~neg ~pos =
+  match make ~neg ~pos with
+  | Some c -> c
+  | None -> invalid_arg "Clause.make_exn: tautology"
+
+let unit_pos v = { neg = [||]; pos = [| v |] }
+
+let edge x y =
+  if x = y then invalid_arg "Clause.edge: self edge is a tautology";
+  { neg = [| x |]; pos = [| y |] }
+
+let of_disjunction ~pos = { neg = [||]; pos = sorted_unique pos }
+
+type kind = Unit_pos | Unit_neg | Edge | Horn | General
+
+let kind c =
+  match Array.length c.neg, Array.length c.pos with
+  | 0, 1 -> Unit_pos
+  | 1, 0 -> Unit_neg
+  | 1, 1 -> Edge
+  | _, 1 -> Horn
+  | _, _ -> General
+
+let is_graph c = match kind c with Unit_pos | Edge -> true | Unit_neg | Horn | General -> false
+
+let num_literals c = Array.length c.neg + Array.length c.pos
+
+let is_empty c = num_literals c = 0
+
+let holds c ~true_set =
+  Array.exists true_set c.pos || Array.exists (fun v -> not (true_set v)) c.neg
+
+let equal a b = a.neg = b.neg && a.pos = b.pos
+
+let compare a b =
+  let c = compare a.neg b.neg in
+  if c <> 0 then c else compare a.pos b.pos
+
+let pp pool ppf c =
+  let pv = Var.pp pool in
+  let plist sep ppf arr =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " %s " sep) pv ppf
+      (Array.to_list arr)
+  in
+  match Array.length c.neg, Array.length c.pos with
+  | 0, 0 -> Format.pp_print_string ppf "false"
+  | 0, _ -> plist "∨" ppf c.pos
+  | _, 0 -> Format.fprintf ppf "¬(%a)" (plist "∧") c.neg
+  | _, _ -> Format.fprintf ppf "%a ⇒ %a" (plist "∧") c.neg (plist "∨") c.pos

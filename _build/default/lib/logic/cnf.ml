@@ -1,0 +1,105 @@
+type t = { clauses : Clause.t list; unsat : bool }
+
+let make clauses =
+  let unsat = List.exists Clause.is_empty clauses in
+  { clauses = (if unsat then [] else clauses); unsat }
+
+let of_clauses = make
+
+let top = { clauses = []; unsat = false }
+
+let clauses t = t.clauses
+
+let is_unsat t = t.unsat
+
+let conj a b =
+  if a.unsat || b.unsat then { clauses = []; unsat = true }
+  else { clauses = a.clauses @ b.clauses; unsat = false }
+
+let add_clause t c =
+  if t.unsat then t
+  else if Clause.is_empty c then { clauses = []; unsat = true }
+  else { t with clauses = c :: t.clauses }
+
+let add_clauses t cs = List.fold_left add_clause t cs
+
+let vars t =
+  List.fold_left
+    (fun acc (c : Clause.t) ->
+      let acc = Array.fold_left (fun acc v -> Assignment.add v acc) acc c.neg in
+      Array.fold_left (fun acc v -> Assignment.add v acc) acc c.pos)
+    Assignment.empty t.clauses
+
+let num_clauses t = List.length t.clauses
+
+let holds t m =
+  (not t.unsat)
+  && List.for_all (fun c -> Clause.holds c ~true_set:(fun v -> Assignment.mem v m)) t.clauses
+
+(* Shared worker for conditioning.  [sat_lit] decides whether a literal is
+   made true by the substitution (satisfying the whole clause); [drop_lit]
+   whether it is made false (and disappears from the clause). *)
+let condition t ~sat_neg ~drop_neg ~sat_pos ~drop_pos =
+  if t.unsat then t
+  else
+    let rec go acc = function
+      | [] -> { clauses = acc; unsat = false }
+      | (c : Clause.t) :: rest ->
+          if Array.exists sat_neg c.neg || Array.exists sat_pos c.pos then go acc rest
+          else
+            let neg = Array.to_list c.neg |> List.filter (fun v -> not (drop_neg v)) in
+            let pos = Array.to_list c.pos |> List.filter (fun v -> not (drop_pos v)) in
+            if neg = [] && pos = [] then { clauses = []; unsat = true }
+            else go (Clause.make_exn ~neg ~pos :: acc) rest
+    in
+    go [] t.clauses
+
+let condition_true t x =
+  let in_x v = Assignment.mem v x in
+  (* x = 1: positive occurrences of x satisfy the clause; negative ones are
+     falsified and dropped. *)
+  condition t ~sat_neg:(fun _ -> false) ~drop_neg:in_x ~sat_pos:in_x ~drop_pos:(fun _ -> false)
+
+let condition_false t x =
+  let in_x v = Assignment.mem v x in
+  (* x = 0: negative occurrences of x satisfy the clause; positive ones are
+     falsified and dropped. *)
+  condition t ~sat_neg:in_x ~drop_neg:(fun _ -> false) ~sat_pos:(fun _ -> false) ~drop_pos:in_x
+
+let restrict t ~keep =
+  let out v = not (Assignment.mem v keep) in
+  condition t ~sat_neg:out ~drop_neg:(fun _ -> false) ~sat_pos:(fun _ -> false) ~drop_pos:out
+
+type stats = {
+  total : int;
+  unit_pos : int;
+  unit_neg : int;
+  edges : int;
+  horn : int;
+  general : int;
+}
+
+let stats t =
+  List.fold_left
+    (fun s c ->
+      let s = { s with total = s.total + 1 } in
+      match Clause.kind c with
+      | Clause.Unit_pos -> { s with unit_pos = s.unit_pos + 1 }
+      | Clause.Unit_neg -> { s with unit_neg = s.unit_neg + 1 }
+      | Clause.Edge -> { s with edges = s.edges + 1 }
+      | Clause.Horn -> { s with horn = s.horn + 1 }
+      | Clause.General -> { s with general = s.general + 1 })
+    { total = 0; unit_pos = 0; unit_neg = 0; edges = 0; horn = 0; general = 0 }
+    t.clauses
+
+let graph_fraction t =
+  let s = stats t in
+  if s.total = 0 then 1.0
+  else float_of_int (s.unit_pos + s.edges) /. float_of_int s.total
+
+let pp pool ppf t =
+  if t.unsat then Format.pp_print_string ppf "⊥"
+  else
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (Clause.pp pool))
+      t.clauses

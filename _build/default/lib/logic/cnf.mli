@@ -1,0 +1,66 @@
+(** Formulas in conjunctive normal form, with the conditioning operations the
+    paper's algorithms rely on.
+
+    Conditioning ([R | X = 1] and [R | X = 0]) substitutes constants for
+    variables and simplifies: satisfied clauses disappear, falsified literals
+    are dropped, and producing the empty clause marks the formula
+    unsatisfiable (observable via {!is_unsat}). *)
+
+type t
+
+val make : Clause.t list -> t
+val of_clauses : Clause.t list -> t
+(** Alias of {!make}. *)
+
+val top : t
+(** The empty conjunction (always true). *)
+
+val clauses : t -> Clause.t list
+(** The remaining clauses.  Empty list on an unsatisfiable formula does not
+    mean true — check {!is_unsat} first. *)
+
+val is_unsat : t -> bool
+(** Whether simplification has derived the empty clause.  [false] does not
+    imply satisfiability. *)
+
+val conj : t -> t -> t
+val add_clause : t -> Clause.t -> t
+val add_clauses : t -> Clause.t list -> t
+
+val vars : t -> Assignment.t
+(** All variables occurring in the formula. *)
+
+val num_clauses : t -> int
+
+val holds : t -> Assignment.t -> bool
+(** [holds r m] is the paper's [R(M)]: does the assignment that maps exactly
+    [m] to true satisfy [r]?  [false] on unsatisfiable formulas. *)
+
+val condition_true : t -> Assignment.t -> t
+(** [condition_true r x] is [R | X = 1]. *)
+
+val condition_false : t -> Assignment.t -> t
+(** [condition_false r x] is [R | X = 0]. *)
+
+val restrict : t -> keep:Assignment.t -> t
+(** [restrict r ~keep] sets every variable of [r] outside [keep] to false —
+    the restriction used to build [R⁺] in the progression subroutine. *)
+
+(** Corpus statistics over the clause kinds (cf. the paper's "97.5 % edges"
+    measurement). *)
+type stats = {
+  total : int;
+  unit_pos : int;
+  unit_neg : int;
+  edges : int;
+  horn : int;
+  general : int;
+}
+
+val stats : t -> stats
+
+val graph_fraction : t -> float
+(** Fraction of clauses representable as graph constraints (unit-positive or
+    edge); [1.0] on the empty formula. *)
+
+val pp : Var.Pool.t -> Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** DIMACS CNF import/export.
+
+    The paper counts models with sharpSAT; this module writes our CNF in the
+    DIMACS format those tools consume (and reads it back), so a model can be
+    handed to any off-the-shelf SAT or #SAT solver.  DIMACS variables are
+    1-based: variable [v] is emitted as [v + 1]. *)
+
+val to_string : ?num_vars:int -> Cnf.t -> string
+(** Render as [p cnf <vars> <clauses>] followed by one zero-terminated
+    clause per line.  [num_vars] defaults to the highest variable + 1.
+    An unsatisfiable formula renders as the single empty clause. *)
+
+val of_string : string -> (Cnf.t, string) result
+(** Parse DIMACS text ([c] comment lines are skipped; clauses may span
+    lines).  Tautological clauses are dropped, like {!Clause.make}. *)
+
+val write_file : string -> Cnf.t -> unit
+val read_file : string -> (Cnf.t, string) result

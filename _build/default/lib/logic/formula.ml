@@ -1,0 +1,137 @@
+type t =
+  | True
+  | False
+  | Var of Var.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+
+let var v = Var v
+
+let conj = function [] -> True | [ f ] -> f | fs -> And fs
+
+let disj = function [] -> False | [ f ] -> f | fs -> Or fs
+
+let imply a b = Implies (a, b)
+
+let imply_all premises conclusion = Implies (conj premises, conclusion)
+
+let rec eval f m =
+  match f with
+  | True -> true
+  | False -> false
+  | Var v -> Assignment.mem v m
+  | Not g -> not (eval g m)
+  | And fs -> List.for_all (fun g -> eval g m) fs
+  | Or fs -> List.exists (fun g -> eval g m) fs
+  | Implies (a, b) -> (not (eval a m)) || eval b m
+  | Iff (a, b) -> eval a m = eval b m
+
+let rec vars = function
+  | True | False -> Assignment.empty
+  | Var v -> Assignment.singleton v
+  | Not g -> vars g
+  | And fs | Or fs -> Assignment.union_all (List.map vars fs)
+  | Implies (a, b) | Iff (a, b) -> Assignment.union (vars a) (vars b)
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not g -> 1 + size g
+  | And fs | Or fs -> List.fold_left (fun acc g -> acc + size g) 1 fs
+  | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
+
+(* Negation normal form, tracking polarity.  [Iff] is expanded into the two
+   implications before lowering. *)
+type nnf =
+  | NTrue
+  | NFalse
+  | NLit of bool * Var.t  (* polarity, variable *)
+  | NAnd of nnf list
+  | NOr of nnf list
+
+let rec nnf polarity f =
+  match f, polarity with
+  | True, true | False, false -> NTrue
+  | True, false | False, true -> NFalse
+  | Var v, p -> NLit (p, v)
+  | Not g, p -> nnf (not p) g
+  | And fs, true -> NAnd (List.map (nnf true) fs)
+  | And fs, false -> NOr (List.map (nnf false) fs)
+  | Or fs, true -> NOr (List.map (nnf true) fs)
+  | Or fs, false -> NAnd (List.map (nnf false) fs)
+  | Implies (a, b), true -> NOr [ nnf false a; nnf true b ]
+  | Implies (a, b), false -> NAnd [ nnf true a; nnf false b ]
+  | Iff (a, b), p -> nnf p (And [ Implies (a, b); Implies (b, a) ])
+
+(* A clause under construction: negated and positive variable lists. *)
+type proto = { pneg : Var.t list; ppos : Var.t list }
+
+let proto_lit polarity v =
+  if polarity then { pneg = []; ppos = [ v ] } else { pneg = [ v ]; ppos = [] }
+
+let proto_union a b = { pneg = a.pneg @ b.pneg; ppos = a.ppos @ b.ppos }
+
+(* CNF of an NNF formula as a list of proto-clauses.  [None] stands for the
+   unsatisfiable formula; the empty list for the valid one.  Tautological
+   clauses are dropped eagerly via [Clause.make]. *)
+let rec cnf_clauses = function
+  | NTrue -> Some []
+  | NFalse -> None
+  | NLit (p, v) -> Some [ proto_lit p v ]
+  | NAnd fs ->
+      List.fold_left
+        (fun acc f ->
+          match acc, cnf_clauses f with
+          | Some cs, Some cs' -> Some (List.rev_append cs' cs)
+          | None, _ | _, None -> None)
+        (Some []) fs
+  | NOr fs ->
+      (* Distribute: the clause set of a disjunction is the cross product of
+         the children's clause sets, unioning literals.  An unsatisfiable
+         child contributes nothing to the disjunction and is dropped — unless
+         every child was unsatisfiable. *)
+      let children = List.filter_map cnf_clauses fs in
+      if children = [] && fs <> [] then None else Some (cross children)
+
+and cross = function
+  | [] -> [ { pneg = []; ppos = [] } ] (* empty disjunction: the empty clause *)
+  | [ cs ] -> cs
+  | cs :: rest ->
+      let tail = cross rest in
+      List.concat_map (fun c -> List.map (proto_union c) tail) cs
+
+let to_cnf f =
+  match cnf_clauses (nnf true f) with
+  | None ->
+      (* The empty clause marks the CNF unsatisfiable. *)
+      Cnf.make [ Clause.make_exn ~neg:[] ~pos:[] ]
+  | Some protos ->
+      let clauses =
+        List.filter_map (fun p -> Clause.make ~neg:p.pneg ~pos:p.ppos) protos
+      in
+      Cnf.make clauses
+
+let rec pp pool ppf f =
+  let pv = Var.pp pool in
+  match f with
+  | True -> Format.pp_print_string ppf "⊤"
+  | False -> Format.pp_print_string ppf "⊥"
+  | Var v -> pv ppf v
+  | Not g -> Format.fprintf ppf "¬%a" (pp_atom pool) g
+  | And fs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∧ ")
+        (pp_atom pool) ppf fs
+  | Or fs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∨ ")
+        (pp_atom pool) ppf fs
+  | Implies (a, b) -> Format.fprintf ppf "%a ⇒ %a" (pp_atom pool) a (pp_atom pool) b
+  | Iff (a, b) -> Format.fprintf ppf "%a ⇔ %a" (pp_atom pool) a (pp_atom pool) b
+
+and pp_atom pool ppf f =
+  match f with
+  | True | False | Var _ | Not _ -> pp pool ppf f
+  | And _ | Or _ | Implies _ | Iff _ -> Format.fprintf ppf "(%a)" (pp pool) f

@@ -1,0 +1,41 @@
+(** Propositional formulas and their translation to CNF.
+
+    This is the OCaml counterpart of the paper's Haskell eDSL: constraint
+    generators (the FJI type rules, the bytecode model) build formulas with
+    the combinators below and then lower them to {!Cnf.t} once.  The formula
+    shapes produced by the models are shallow — implications whose premise is
+    a conjunction of variables and whose conclusion is a small disjunction or
+    conjunction — so the naive distribution performed by {!to_cnf} never
+    explodes in practice. *)
+
+type t =
+  | True
+  | False
+  | Var of Var.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+
+val var : Var.t -> t
+val conj : t list -> t
+val disj : t list -> t
+val imply : t -> t -> t
+val imply_all : t list -> t -> t
+(** [imply_all premises conclusion] is [(⋀ premises) ⇒ conclusion]. *)
+
+val to_cnf : t -> Cnf.t
+(** Lower to CNF by negation normal form followed by distribution.  The
+    translation is equivalence-preserving (no auxiliary variables are
+    introduced), so model counts over the original variables are unchanged. *)
+
+val eval : t -> Assignment.t -> bool
+(** Evaluate under the assignment that maps exactly the given set to true. *)
+
+val vars : t -> Assignment.t
+
+val size : t -> int
+(** Number of connectives and atoms, for diagnostics. *)
+
+val pp : Var.Pool.t -> Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+let check_universe cnf over =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg "Model_count: duplicate variable in ~over";
+      Hashtbl.add seen v ())
+    over;
+  Assignment.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then
+        invalid_arg "Model_count: formula mentions a variable outside ~over")
+    (Cnf.vars cnf)
+
+let pow2 n =
+  if n < 0 || n > 61 then invalid_arg "Model_count: universe too large";
+  1 lsl n
+
+(* Working representation: clauses as (neg, pos) sorted-int-array pairs,
+   mirroring Clause.t, but rebuilt as lists during conditioning. *)
+
+let count_naive cnf ~over =
+  check_universe cnf over;
+  let vars = Array.of_list over in
+  let n = Array.length vars in
+  let total = pow2 n in
+  let count = ref 0 in
+  for mask = 0 to total - 1 do
+    let m =
+      Array.to_list vars
+      |> List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+      |> Assignment.of_list
+    in
+    if Cnf.holds cnf m then incr count
+  done;
+  !count
+
+(* The DPLL counter proper.  State is a list of clauses over the still-free
+   variables; free variables not mentioned by any clause contribute a factor
+   of two each. *)
+
+module ISet = Set.Make (Int)
+
+let clause_vars (c : Clause.t) =
+  ISet.union (ISet.of_seq (Array.to_seq c.neg)) (ISet.of_seq (Array.to_seq c.pos))
+
+(* Split clauses into connected components (clauses linked by shared
+   variables), returning each component's clause list. *)
+let components clauses =
+  match clauses with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list clauses in
+      let n = Array.length arr in
+      let parent = Array.init n (fun i -> i) in
+      let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+      let union i j =
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      in
+      let owner : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun i c ->
+          ISet.iter
+            (fun v ->
+              match Hashtbl.find_opt owner v with
+              | None -> Hashtbl.add owner v i
+              | Some j -> union i j)
+            (clause_vars c))
+        arr;
+      let buckets : (int, Clause.t list) Hashtbl.t = Hashtbl.create 8 in
+      Array.iteri
+        (fun i c ->
+          let r = find i in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt buckets r) in
+          Hashtbl.replace buckets r (c :: prev))
+        arr;
+      Hashtbl.fold (fun _ cs acc -> cs :: acc) buckets []
+
+exception Conflict
+
+(* Condition a clause list on [v = value]; raises [Conflict] when the empty
+   clause appears. *)
+let condition_var clauses v value =
+  List.filter_map
+    (fun (c : Clause.t) ->
+      let sat =
+        if value then Array.exists (Int.equal v) c.pos
+        else Array.exists (Int.equal v) c.neg
+      in
+      if sat then None
+      else
+        let neg = Array.to_list c.neg |> List.filter (fun x -> x <> v) in
+        let pos = Array.to_list c.pos |> List.filter (fun x -> x <> v) in
+        if neg = [] && pos = [] then raise Conflict
+        else Some (Clause.make_exn ~neg ~pos))
+    clauses
+
+(* Exhaust unit propagation; returns the simplified clauses and the number of
+   variables fixed.  Raises [Conflict] on derived contradiction. *)
+let rec propagate clauses fixed =
+  let unit_lit =
+    List.find_map
+      (fun (c : Clause.t) ->
+        match Array.length c.neg, Array.length c.pos with
+        | 0, 1 -> Some (c.pos.(0), true)
+        | 1, 0 -> Some (c.neg.(0), false)
+        | _, _ -> None)
+      clauses
+  in
+  match unit_lit with
+  | None -> (clauses, fixed)
+  | Some (v, value) -> propagate (condition_var clauses v value) (fixed + 1)
+
+let rec count_component clauses nfree =
+  match propagate clauses 0 with
+  | exception Conflict -> 0
+  | clauses, fixed ->
+      let nfree = nfree - fixed in
+      let cvars =
+        List.fold_left (fun acc c -> ISet.union acc (clause_vars c)) ISet.empty clauses
+      in
+      let constrained = ISet.cardinal cvars in
+      assert (constrained <= nfree);
+      let free_factor = pow2 (nfree - constrained) in
+      if clauses = [] then free_factor
+      else
+        let comps = components clauses in
+        let product =
+          List.fold_left
+            (fun acc comp ->
+              if acc = 0 then 0
+              else
+                let comp_vars =
+                  List.fold_left
+                    (fun s c -> ISet.union s (clause_vars c))
+                    ISet.empty comp
+                in
+                let nv = ISet.cardinal comp_vars in
+                (* Branch on the most frequent variable of the component. *)
+                let freq : (int, int) Hashtbl.t = Hashtbl.create 16 in
+                List.iter
+                  (fun c ->
+                    ISet.iter
+                      (fun v ->
+                        Hashtbl.replace freq v
+                          (1 + Option.value ~default:0 (Hashtbl.find_opt freq v)))
+                      (clause_vars c))
+                  comp;
+                let branch_var =
+                  Hashtbl.fold
+                    (fun v n best ->
+                      match best with
+                      | Some (_, bn) when bn >= n -> best
+                      | _ -> Some (v, n))
+                    freq None
+                  |> Option.get |> fst
+                in
+                let with_true =
+                  match condition_var comp branch_var true with
+                  | exception Conflict -> 0
+                  | cs -> count_component cs (nv - 1)
+                in
+                let with_false =
+                  match condition_var comp branch_var false with
+                  | exception Conflict -> 0
+                  | cs -> count_component cs (nv - 1)
+                in
+                acc * (with_true + with_false))
+            1 comps
+        in
+        free_factor * product
+
+let count cnf ~over =
+  check_universe cnf over;
+  if Cnf.is_unsat cnf then 0
+  else count_component (Cnf.clauses cnf) (List.length over)

@@ -1,0 +1,1 @@
+lib/sat/msa.ml: Array Assignment Clause Cnf Lbr_logic List Order Queue Solver Var

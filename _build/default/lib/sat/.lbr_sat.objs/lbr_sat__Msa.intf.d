@@ -1,0 +1,1 @@
+lib/sat/msa.mli: Assignment Cnf Lbr_logic Order Var

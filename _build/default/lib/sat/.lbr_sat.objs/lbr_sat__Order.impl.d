@@ -1,0 +1,1 @@
+lib/sat/order.ml: Array Assignment Hashtbl Int Lbr_logic List Var

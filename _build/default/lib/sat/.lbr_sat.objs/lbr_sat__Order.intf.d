@@ -1,0 +1,1 @@
+lib/sat/order.mli: Assignment Lbr_logic Var

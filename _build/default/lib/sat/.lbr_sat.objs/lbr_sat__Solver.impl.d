@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Assignment Clause Cnf Lbr_logic List Option Order

@@ -1,0 +1,158 @@
+open Lbr_logic
+
+module Engine = struct
+  type clause_state = {
+    heads : Var.t array;  (* positive literals inside the universe *)
+    mutable premises_left : int;
+    mutable satisfied : bool;
+  }
+
+  type t = {
+    order : Order.t;
+    truth : bool array;  (* indexed by variable id *)
+    in_universe : bool array;
+    clauses : clause_state array;
+    occurs_premise : int list array;  (* var id -> clauses where it is a premise *)
+    occurs_head : int list array;
+    queue : Var.t Queue.t;
+    mutable trues : Assignment.t;
+    mutable conflicted : bool;
+  }
+
+  let max_var cnf universe =
+    let m = ref (-1) in
+    Assignment.iter (fun v -> if v > !m then m := v) (Cnf.vars cnf);
+    Assignment.iter (fun v -> if v > !m then m := v) universe;
+    !m
+
+  let is_true t v = v < Array.length t.truth && t.truth.(v)
+
+  let true_set t = t.trues
+
+  (* Turn [v] true and enqueue it for propagation. *)
+  let set_true t v =
+    if not t.truth.(v) then begin
+      t.truth.(v) <- true;
+      t.trues <- Assignment.add v t.trues;
+      Queue.push v t.queue
+    end
+
+  (* A clause whose premises are all true and whose satisfied flag is unset:
+     all heads are false (head truths mark the flag eagerly), so choose the
+     [<]-smallest head, or conflict when there is none. *)
+  let trigger t ci =
+    let c = t.clauses.(ci) in
+    if not c.satisfied then begin
+      (* A head may already be true but still sitting in the queue (its
+         satisfied-flag sweep has not run yet); recheck before choosing. *)
+      if Array.exists (fun h -> t.truth.(h)) c.heads then c.satisfied <- true
+      else
+        match Order.min_of_array t.order c.heads ~keep:(fun _ -> true) with
+        | None -> t.conflicted <- true
+        | Some h ->
+            c.satisfied <- true;
+            set_true t h
+    end
+
+  let drain t =
+    while (not t.conflicted) && not (Queue.is_empty t.queue) do
+      let v = Queue.pop t.queue in
+      List.iter (fun ci -> t.clauses.(ci).satisfied <- true) t.occurs_head.(v);
+      List.iter
+        (fun ci ->
+          let c = t.clauses.(ci) in
+          c.premises_left <- c.premises_left - 1;
+          if c.premises_left = 0 then trigger t ci)
+        t.occurs_premise.(v)
+    done
+
+  let create cnf ~order ~universe =
+    let n = max_var cnf universe + 1 in
+    let in_universe = Array.make n false in
+    Assignment.iter (fun v -> in_universe.(v) <- true) universe;
+    let relevant =
+      (* Drop clauses pre-satisfied by the restriction: any premise outside
+         the universe is false, making the clause true. *)
+      List.filter
+        (fun (c : Clause.t) -> Array.for_all (fun v -> in_universe.(v)) c.neg)
+        (Cnf.clauses cnf)
+    in
+    let states =
+      List.map
+        (fun (c : Clause.t) ->
+          let heads = Array.to_list c.pos |> List.filter (fun v -> in_universe.(v)) in
+          {
+            heads = Array.of_list heads;
+            premises_left = Array.length c.neg;
+            satisfied = false;
+          })
+        relevant
+      |> Array.of_list
+    in
+    let occurs_premise = Array.make n [] and occurs_head = Array.make n [] in
+    List.iteri
+      (fun ci (c : Clause.t) ->
+        Array.iter (fun v -> occurs_premise.(v) <- ci :: occurs_premise.(v)) c.neg;
+        Array.iter
+          (fun v -> if in_universe.(v) then occurs_head.(v) <- ci :: occurs_head.(v))
+          c.pos)
+      relevant;
+    let t =
+      {
+        order;
+        truth = Array.make n false;
+        in_universe;
+        clauses = states;
+        occurs_premise;
+        occurs_head;
+        queue = Queue.create ();
+        trues = Assignment.empty;
+        conflicted = Cnf.is_unsat cnf;
+      }
+    in
+    (* Zero-premise clauses fire immediately. *)
+    Array.iteri (fun ci c -> if c.premises_left = 0 then trigger t ci) t.clauses;
+    drain t;
+    if t.conflicted then Error `Conflict else Ok t
+
+  let assume t v =
+    if t.conflicted then Error `Conflict
+    else if v >= Array.length t.in_universe || not t.in_universe.(v) then Error `Conflict
+    else begin
+      set_true t v;
+      drain t;
+      if t.conflicted then Error `Conflict else Ok ()
+    end
+
+  let assume_all t vs =
+    List.fold_left
+      (fun acc v -> match acc with Error _ as e -> e | Ok () -> assume t v)
+      (Ok ()) vs
+end
+
+let compute cnf ~order ?universe ?(required = Assignment.empty) () =
+  let universe =
+    match universe with
+    | Some u -> u
+    | None -> Assignment.union (Cnf.vars cnf) required
+  in
+  if not (Assignment.subset required universe) then None
+  else
+    let fast =
+      match Engine.create cnf ~order ~universe with
+      | Error `Conflict -> None
+      | Ok engine -> (
+          match Engine.assume_all engine (Assignment.to_list required) with
+          | Ok () -> Some (Engine.true_set engine)
+          | Error `Conflict -> None)
+    in
+    match fast with
+    | Some _ as result -> result
+    | None ->
+        (* Fallback: DPLL search, then greedy minimization.  Reached only for
+           formulas outside the implication fragment. *)
+        let restricted = Cnf.restrict cnf ~keep:universe in
+        (match Solver.solve_with restricted ~required with
+        | None -> None
+        | Some model ->
+            Some (Solver.minimize restricted ~order ~required ~model))

@@ -1,0 +1,59 @@
+(** Approximate minimal satisfying assignments, [MSA_<].
+
+    A minimal satisfying assignment maps as few variables as possible to
+    true; computing one exactly is NP-complete (Ravi–Somenzi), so — like the
+    paper — we compute an approximation in polynomial time, driven by a total
+    variable order [<]:
+
+    {ul
+    {- clauses are read as implications [(⋀ N) ⇒ (⋁ P)];}
+    {- a least fixpoint makes variables true only when forced: when all of a
+       clause's premises hold and none of its head does, the [<]-smallest
+       head variable is turned on;}
+    {- on the graph/Horn fragment (single-variable heads) this computes the
+       exact least model, which is what Theorem 4.5's minimality relies on.}}
+
+    The {!Engine} exposes the fixpoint incrementally: GBR's progression
+    subroutine calls [MSA_<(R⁺ ∧ x | D^∪ = 1)] for growing [D^∪], which maps
+    to one {!Engine.assume} per step, each variable being processed at most
+    once over a whole progression. *)
+
+open Lbr_logic
+
+module Engine : sig
+  type t
+
+  val create :
+    Cnf.t -> order:Order.t -> universe:Assignment.t -> (t, [ `Conflict ]) result
+  (** Index the formula restricted to [universe] (variables outside it are
+      fixed to false) and propagate all zero-premise clauses.  [`Conflict]
+      when a clause has all premises inside the initial closure but no head
+      inside the universe. *)
+
+  val assume : t -> Var.t -> (unit, [ `Conflict ]) result
+  (** Set a variable to true and close under the fixpoint.  The engine is
+      monotone: assumptions accumulate.  After a [`Conflict] the engine must
+      be discarded. *)
+
+  val assume_all : t -> Var.t list -> (unit, [ `Conflict ]) result
+
+  val is_true : t -> Var.t -> bool
+
+  val true_set : t -> Assignment.t
+  (** The current closure (the MSA of the formula conditioned on everything
+      assumed so far). *)
+end
+
+val compute :
+  Cnf.t ->
+  order:Order.t ->
+  ?universe:Assignment.t ->
+  ?required:Assignment.t ->
+  unit ->
+  Assignment.t option
+(** [compute r ~order ~universe ~required ()] is an approximate MSA of
+    [(r | required = 1)] restricted to [universe] (default: the formula's
+    variables together with [required]).  Falls back to DPLL search plus
+    greedy minimization when the fixpoint meets a conflict (possible only
+    outside the implication fragment, e.g. purely negative clauses).  [None]
+    when unsatisfiable. *)

@@ -1,0 +1,35 @@
+open Lbr_logic
+
+type t = { rank_of : Var.t -> int }
+
+let by_creation _pool = { rank_of = (fun v -> v) }
+
+let of_list vars =
+  let tbl = Hashtbl.create (List.length vars) in
+  List.iteri
+    (fun i v ->
+      if Hashtbl.mem tbl v then invalid_arg "Order.of_list: duplicate variable";
+      Hashtbl.add tbl v i)
+    vars;
+  let n = List.length vars in
+  { rank_of = (fun v -> match Hashtbl.find_opt tbl v with Some r -> r | None -> n + v) }
+
+let reversed t = { rank_of = (fun v -> -t.rank_of v) }
+
+let rank t v = t.rank_of v
+
+let compare t a b = Int.compare (t.rank_of a) (t.rank_of b)
+
+let min_of t set = Assignment.min_by ~order:t.rank_of set
+
+let min_of_array t arr ~keep =
+  Array.fold_left
+    (fun best v ->
+      if not (keep v) then best
+      else
+        match best with
+        | None -> Some v
+        | Some b -> if t.rank_of v < t.rank_of b then Some v else best)
+    None arr
+
+let sort t vars = List.sort (compare t) vars

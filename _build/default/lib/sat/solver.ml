@@ -1,0 +1,72 @@
+open Lbr_logic
+
+(* Find a unit clause, returning its literal as (var, value). *)
+let find_unit clauses =
+  List.find_map
+    (fun (c : Clause.t) ->
+      match Array.length c.neg, Array.length c.pos with
+      | 0, 1 -> Some (c.pos.(0), true)
+      | 1, 0 -> Some (c.neg.(0), false)
+      | _, _ -> None)
+    clauses
+
+let rec dpll cnf trues =
+  if Cnf.is_unsat cnf then None
+  else
+    match Cnf.clauses cnf with
+    | [] -> Some trues
+    | clauses -> (
+        match find_unit clauses with
+        | Some (v, true) ->
+            dpll (Cnf.condition_true cnf (Assignment.singleton v)) (Assignment.add v trues)
+        | Some (v, false) -> dpll (Cnf.condition_false cnf (Assignment.singleton v)) trues
+        | None ->
+            (* Branch on the first variable of the first clause, false first
+               to bias towards small models. *)
+            let v =
+              match clauses with
+              | (c : Clause.t) :: _ ->
+                  if Array.length c.neg > 0 then c.neg.(0) else c.pos.(0)
+              | [] -> assert false
+            in
+            let falsy = dpll (Cnf.condition_false cnf (Assignment.singleton v)) trues in
+            (match falsy with
+            | Some _ as result -> result
+            | None ->
+                dpll (Cnf.condition_true cnf (Assignment.singleton v)) (Assignment.add v trues)))
+
+let solve cnf = dpll cnf Assignment.empty
+
+let satisfiable cnf = Option.is_some (solve cnf)
+
+let solve_with cnf ~required =
+  let conditioned = Cnf.condition_true cnf required in
+  Option.map (Assignment.union required) (dpll conditioned Assignment.empty)
+
+let minimize cnf ~order ~required ~model =
+  assert (Cnf.holds cnf model);
+  assert (Assignment.subset required model);
+  (* Work inside the model's universe so satisfiability checks cannot cheat
+     by turning on variables outside [model]. *)
+  let cnf = Cnf.restrict cnf ~keep:model in
+  (* Commit each true variable of [model] to false if the formula stays
+     satisfiable under the commitments so far, to true otherwise.  Variables
+     are visited largest-[<] first so the surviving set prefers [<]-small
+     variables, matching the MSA tie-breaking discipline. *)
+  let candidates =
+    Assignment.diff model required |> Assignment.to_list |> Order.sort order |> List.rev
+  in
+  let keep, _dropped =
+    List.fold_left
+      (fun (keep, dropped) v ->
+        let attempt =
+          Cnf.condition_false cnf (Assignment.add v dropped) |> fun c ->
+          Cnf.condition_true c keep
+        in
+        match dpll attempt Assignment.empty with
+        | Some _ -> (keep, Assignment.add v dropped)
+        | None -> (Assignment.add v keep, dropped))
+      (required, Assignment.empty) candidates
+  in
+  assert (Cnf.holds cnf keep);
+  keep

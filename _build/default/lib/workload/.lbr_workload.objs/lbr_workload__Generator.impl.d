@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Classfile Classpool Jtype Lbr_jvm List Printf Random

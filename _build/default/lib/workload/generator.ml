@@ -1,0 +1,437 @@
+open Lbr_jvm
+
+type profile = {
+  classes : int;
+  interface_fraction : float;
+  abstract_fraction : float;
+  subclass_probability : float;
+  implement_probability : float;
+  methods_per_class : int;
+  fields_per_class : int;
+  body_length : int;
+  reflection_probability : float;
+  annotation_probability : float;
+  inner_class_probability : float;
+}
+
+let default_profile =
+  {
+    classes = 24;
+    interface_fraction = 0.2;
+    abstract_fraction = 0.15;
+    subclass_probability = 0.45;
+    implement_probability = 0.25;
+    methods_per_class = 3;
+    fields_per_class = 2;
+    body_length = 6;
+    reflection_probability = 0.06;
+    annotation_probability = 0.15;
+    inner_class_probability = 0.1;
+  }
+
+let njr_profile ~classes = { default_profile with classes }
+
+(* ------------------------------------------------------------------ *)
+
+type iface_skel = {
+  is_name : string;
+  is_supers : string list;
+  is_methods : string list;
+}
+
+type class_skel = {
+  cs_name : string;
+  cs_super : string;
+  cs_ifaces : string list;
+  cs_abstract : bool;
+  mutable cs_fields : Classfile.field list;
+  mutable cs_imethods : (string * Jtype.t list * Jtype.t) list;
+  mutable cs_smethods : (string * Jtype.t list * Jtype.t) list;
+  mutable cs_amethods : (string * Jtype.t list * Jtype.t) list;
+  mutable cs_nctors : int;
+  mutable cs_annotations : string list;
+  mutable cs_inner : string list;
+}
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let pick_opt rng = function [] -> None | xs -> Some (pick rng xs)
+
+let flip rng p = Random.State.float rng 1.0 < p
+
+(* A small non-negative count with the given mean (uniform on [0, 2·mean]). *)
+let around rng mean = Random.State.int rng ((2 * max 0 mean) + 1)
+
+(* References are organised in modules: classes live in fixed-size modules;
+   a class refers to its own module, the shared base module (utilities), and
+   its module's declared dependencies.  The module-dependency DAG is shallow,
+   so per-class closures stay moderate — as in real layered programs —
+   instead of chaining into the whole pool. *)
+let module_size = 8
+
+let generate ~seed profile =
+  let rng = Random.State.make [| seed; 0x1bc |] in
+  let n = max 3 profile.classes in
+  let n_ifaces =
+    min (n - 2) (max 1 (int_of_float (profile.interface_fraction *. float_of_int n)))
+  in
+  let n_classes = n - n_ifaces in
+  let iface_name i = Printf.sprintf "api/I%d" i in
+  (* One package per module: decompiler bugs cluster by package in practice,
+     and the simulated tools use the package prefix the same way. *)
+  let class_name c = Printf.sprintf "m%d/C%d" (c / module_size) c in
+
+  (* Module structure: module 0 is the shared utility layer; every other
+     module depends on it and on at most one random earlier module. *)
+  let n_modules = (n_classes + module_size - 1) / module_size in
+  let module_deps =
+    Array.init n_modules (fun m ->
+        if m = 0 then []
+        else if m > 1 && flip rng 0.35 then [ 0; 1 + Random.State.int rng (m - 1) ]
+        else [ 0 ])
+  in
+  let module_of ci = ci / module_size in
+  let index_in_module m =
+    let lo = m * module_size in
+    let hi = min (n_classes - 1) (((m + 1) * module_size) - 1) in
+    lo + Random.State.int rng (hi - lo + 1)
+  in
+  (* A class index a body of class [ci] may reference: mostly its own
+     module, often the base module, sometimes a declared dependency. *)
+  let local_class_index ci =
+    let m = module_of ci in
+    match Random.State.int rng 100 with
+    | k when k < 60 -> index_in_module m
+    | k when k < 85 -> index_in_module 0
+    | _ -> (
+        match module_deps.(m) with
+        | [] -> index_in_module 0
+        | deps -> index_in_module (pick rng deps))
+  in
+  let iface_near ci =
+    let window = min n_ifaces 4 in
+    let lo = (ci / module_size * 3) mod max 1 (n_ifaces - window + 1) in
+    iface_name (lo + Random.State.int rng window)
+  in
+  let any_type_name ci =
+    match Random.State.int rng 10 with
+    | 0 -> Classfile.string_name
+    | 1 | 2 -> iface_near ci
+    | _ -> class_name (local_class_index ci)
+  in
+  let any_jtype ci =
+    match Random.State.int rng 6 with
+    | 0 -> Jtype.Int
+    | 1 -> Jtype.Long
+    | 2 -> Jtype.Bool
+    | 3 -> Jtype.Array (Jtype.Ref (any_type_name ci))
+    | _ -> Jtype.Ref (any_type_name ci)
+  in
+  let signature ci =
+    let params = List.init (Random.State.int rng 3) (fun _ -> any_jtype ci) in
+    let ret = if flip rng 0.4 then Jtype.Void else any_jtype ci in
+    (params, ret)
+  in
+
+  (* --- Interfaces ------------------------------------------------- *)
+  let ifaces =
+    Array.init n_ifaces (fun i ->
+        let supers =
+          List.init i iface_name
+          |> List.filter (fun _ -> flip rng (profile.implement_probability /. 2.))
+          |> fun l -> List.filteri (fun idx _ -> idx < 2) l
+        in
+        let n_methods = 1 + Random.State.int rng 2 in
+        let methods = List.init n_methods (fun j -> Printf.sprintf "im%d_%d" i j) in
+        { is_name = iface_name i; is_supers = supers; is_methods = methods })
+  in
+  let iface_index name =
+    let rec find i = if ifaces.(i).is_name = name then i else find (i + 1) in
+    find 0
+  in
+  (* Transitive abstract methods per interface, computed bottom-up so shared
+     super-interfaces are not re-traversed exponentially. *)
+  let iface_obligations_table =
+    let table = Array.make n_ifaces [] in
+    Array.iteri
+      (fun i skel ->
+        let inherited =
+          List.concat_map (fun super -> table.(iface_index super)) skel.is_supers
+        in
+        table.(i) <- List.sort_uniq compare (skel.is_methods @ inherited))
+      ifaces;
+    table
+  in
+  let iface_obligations name = iface_obligations_table.(iface_index name) in
+
+  (* --- Class skeletons -------------------------------------------- *)
+  let skels =
+    Array.init n_classes (fun c ->
+        let super =
+          (* Inheritance stays within the module (the first class of each
+             module roots its hierarchy at Object), so extends edges never
+             chain modules together. *)
+          let module_lo = c / module_size * module_size in
+          if c > module_lo && flip rng profile.subclass_probability then
+            class_name (module_lo + Random.State.int rng (c - module_lo))
+          else Classfile.object_name
+        in
+        let ifaces_chosen =
+          (* 0–3 distinct interfaces per class, independent of how many
+             interfaces the program declares. *)
+          let count =
+            match Random.State.float rng 1.0 with
+            | x when x < 0.45 -> 0
+            | x when x < 0.78 -> 1
+            | x when x < 0.93 -> 2
+            | _ -> 3
+          in
+          let count = min count n_ifaces in
+          (* Each module works against a small window of the interface
+             space (its "API layer"), so keeping a module keeps only a few
+             interfaces. *)
+          let window = min n_ifaces 4 in
+          let lo = (c / module_size * 3) mod max 1 (n_ifaces - window + 1) in
+          let rec draw acc k attempts =
+            if k = 0 || attempts > 20 then acc
+            else
+              let candidate = iface_name (lo + Random.State.int rng window) in
+              if List.mem candidate acc then draw acc k (attempts + 1)
+              else draw (candidate :: acc) (k - 1) attempts
+          in
+          draw [] count 0
+        in
+        {
+          cs_name = class_name c;
+          cs_super = super;
+          cs_ifaces = ifaces_chosen;
+          cs_abstract = flip rng profile.abstract_fraction;
+          cs_fields = [];
+          cs_imethods = [];
+          cs_smethods = [];
+          cs_amethods = [];
+          cs_nctors = 1 + Random.State.int rng 2;
+          cs_annotations = [];
+          cs_inner = [];
+        })
+  in
+  let class_index name =
+    let rec find c = if skels.(c).cs_name = name then c else find (c + 1) in
+    find 0
+  in
+
+  (* Members: fields, own methods, abstract obligations. *)
+  let pending_abstract = Array.make n_classes [] in
+  Array.iteri
+    (fun c skel ->
+      let n_fields = around rng profile.fields_per_class in
+      skel.cs_fields <-
+        List.init n_fields (fun j ->
+            {
+              Classfile.f_name = Printf.sprintf "f%d_%d" c j;
+              f_type = any_jtype c;
+              f_static = flip rng 0.2;
+            });
+      let n_methods = 1 + around rng (profile.methods_per_class - 1) in
+      skel.cs_imethods <-
+        List.init n_methods (fun j ->
+            let params, ret = signature c in
+            (Printf.sprintf "m%d_%d" c j, params, ret));
+      if flip rng 0.5 then begin
+        let params, ret = signature c in
+        skel.cs_smethods <- [ (Printf.sprintf "s%d_0" c, params, ret) ]
+      end;
+      if skel.cs_abstract && flip rng 0.6 then begin
+        let params, ret = signature c in
+        skel.cs_amethods <- [ (Printf.sprintf "am%d_0" c, params, ret) ]
+      end;
+      let super_pending =
+        if Classfile.is_external skel.cs_super then []
+        else pending_abstract.(class_index skel.cs_super)
+      in
+      let iface_pending =
+        List.concat_map iface_obligations skel.cs_ifaces
+        |> List.map (fun name -> (name, ([], Jtype.Int)))
+      in
+      let obligations = List.sort_uniq compare (super_pending @ iface_pending) in
+      if skel.cs_abstract then begin
+        let implemented, still_pending =
+          List.partition (fun _ -> flip rng 0.3) obligations
+        in
+        skel.cs_imethods <-
+          skel.cs_imethods
+          @ List.map (fun (name, (params, ret)) -> (name, params, ret)) implemented;
+        pending_abstract.(c) <-
+          still_pending
+          @ List.map (fun (name, params, ret) -> (name, (params, ret))) skel.cs_amethods
+      end
+      else begin
+        skel.cs_imethods <-
+          skel.cs_imethods
+          @ List.map (fun (name, (params, ret)) -> (name, params, ret)) obligations;
+        pending_abstract.(c) <- []
+      end;
+      if flip rng profile.annotation_probability then
+        skel.cs_annotations <- [ any_type_name c ];
+      if flip rng profile.inner_class_probability then
+        skel.cs_inner <- [ class_name (local_class_index c) ])
+    skels;
+
+  (* --- Body generation --------------------------------------------- *)
+  let imethods_of c = List.map (fun (m, _, _) -> (skels.(c).cs_name, m)) skels.(c).cs_imethods in
+  let smethods_of c = List.map (fun (m, _, _) -> (skels.(c).cs_name, m)) skels.(c).cs_smethods in
+  let fields_of c =
+    List.map (fun (f : Classfile.field) -> (skels.(c).cs_name, f.f_name)) skels.(c).cs_fields
+  in
+  let iface_methods =
+    Array.to_list ifaces
+    |> List.concat_map (fun i -> List.map (fun m -> (i.is_name, m)) i.is_methods)
+  in
+  (* Own supertype relations, for upcasts. *)
+  let own_subtype_pairs c =
+    let s = skels.(c) in
+    let via_super =
+      if Classfile.is_external s.cs_super then [] else [ (s.cs_name, s.cs_super) ]
+    in
+    via_super @ List.map (fun i -> (s.cs_name, i)) s.cs_ifaces
+  in
+
+  let gen_insn ci =
+    match Random.State.int rng 100 with
+    | k when k < 40 -> Classfile.Arith
+    | k when k < 52 -> (
+        match pick_opt rng (imethods_of (local_class_index ci)) with
+        | Some (owner, meth) -> Classfile.Invoke_virtual { owner; meth }
+        | None -> Classfile.Load_store)
+    | k when k < 58 -> (
+        let owner = iface_near ci in
+        match List.filter (fun (o, _) -> o = owner) iface_methods with
+        | [] -> Classfile.Arith
+        | candidates ->
+            let owner, meth = pick rng candidates in
+            Classfile.Invoke_interface { owner; meth })
+    | k when k < 63 -> (
+        match pick_opt rng (smethods_of (local_class_index ci)) with
+        | Some (owner, meth) -> Classfile.Invoke_static { owner; meth }
+        | None -> Classfile.Load_store)
+    | k when k < 71 -> (
+        let target = local_class_index ci in
+        let s = skels.(target) in
+        if s.cs_abstract then Classfile.Arith
+        else Classfile.New_instance { cls = s.cs_name; ctor = Random.State.int rng s.cs_nctors })
+    | k when k < 78 -> (
+        match pick_opt rng (fields_of (local_class_index ci)) with
+        | Some (owner, field) ->
+            if flip rng 0.4 then Classfile.Put_field { owner; field }
+            else Classfile.Get_field { owner; field }
+        | None -> Classfile.Load_store)
+    | k when k < 84 -> Classfile.Check_cast (any_type_name ci)
+    | k when k < 87 -> Classfile.Instance_of (any_type_name ci)
+    | k when k < 93 -> (
+        match pick_opt rng (own_subtype_pairs ci @ own_subtype_pairs (local_class_index ci)) with
+        | Some (from_, to_) -> Classfile.Upcast { from_; to_ }
+        | None -> Classfile.Arith)
+    | _ -> Classfile.Load_store
+  in
+  let gen_body ci =
+    let len = 1 + around rng (profile.body_length - 1) in
+    let body = List.init len (fun _ -> gen_insn ci) in
+    let body =
+      if flip rng profile.reflection_probability then
+        Classfile.Load_const_class (class_name (local_class_index ci)) :: body
+      else body
+    in
+    body @ [ Classfile.Return_insn ]
+  in
+
+  (* --- Assemble class files ---------------------------------------- *)
+  let iface_classes =
+    Array.to_list ifaces
+    |> List.map (fun i ->
+           {
+             Classfile.name = i.is_name;
+             super = Classfile.object_name;
+             interfaces = i.is_supers;
+             is_interface = true;
+             is_abstract = true;
+             fields = [];
+             methods =
+               List.map
+                 (fun m ->
+                   {
+                     Classfile.m_name = m;
+                     m_params = [];
+                     m_ret = Jtype.Int;
+                     m_static = false;
+                     m_abstract = true;
+                     m_body = [];
+                   })
+                 i.is_methods;
+             ctors = [];
+             annotations = [];
+             inner_classes = [];
+           })
+  in
+  let plain_classes =
+    Array.to_list skels
+    |> List.mapi (fun ci s ->
+           let imethods =
+             List.map
+               (fun (m, params, ret) ->
+                 {
+                   Classfile.m_name = m;
+                   m_params = params;
+                   m_ret = ret;
+                   m_static = false;
+                   m_abstract = false;
+                   m_body = gen_body ci;
+                 })
+               s.cs_imethods
+           in
+           let smethods =
+             List.map
+               (fun (m, params, ret) ->
+                 {
+                   Classfile.m_name = m;
+                   m_params = params;
+                   m_ret = ret;
+                   m_static = true;
+                   m_abstract = false;
+                   m_body = gen_body ci;
+                 })
+               s.cs_smethods
+           in
+           let amethods =
+             List.map
+               (fun (m, params, ret) ->
+                 {
+                   Classfile.m_name = m;
+                   m_params = params;
+                   m_ret = ret;
+                   m_static = false;
+                   m_abstract = true;
+                   m_body = [];
+                 })
+               s.cs_amethods
+           in
+           let ctors =
+             List.init s.cs_nctors (fun k ->
+                 {
+                   Classfile.k_params = List.init k (fun _ -> any_jtype ci);
+                   k_body = gen_body ci;
+                 })
+           in
+           {
+             Classfile.name = s.cs_name;
+             super = s.cs_super;
+             interfaces = s.cs_ifaces;
+             is_interface = false;
+             is_abstract = s.cs_abstract;
+             fields = s.cs_fields;
+             methods = imethods @ smethods @ amethods;
+             ctors;
+             annotations = s.cs_annotations;
+             inner_classes = s.cs_inner;
+           })
+  in
+  Classpool.of_classes (iface_classes @ plain_classes)

@@ -1,0 +1,36 @@
+(** Seeded generator of valid, NJR-shaped class pools.
+
+    The paper's corpus comes from the NJR project: real Java programs with a
+    geometric-mean size of 184 classes, 2.9 k reducible items and 8.7 k
+    model clauses, of which 97.5 % are graph edges.  This generator produces
+    pools with the same structural ingredients — interface hierarchies,
+    abstract classes, inheritance chains, fields, overloaded constructors,
+    virtual/interface/static calls, casts, reflection — at a configurable
+    scale, and guarantees validity by construction (checked in tests).
+
+    Everything is deterministic in the seed. *)
+
+type profile = {
+  classes : int;  (** number of internal classes (interfaces included) *)
+  interface_fraction : float;
+  abstract_fraction : float;  (** among non-interface classes *)
+  subclass_probability : float;  (** chance a class extends a previous class *)
+  implement_probability : float;  (** per candidate interface *)
+  methods_per_class : int;  (** mean of a geometric-ish distribution *)
+  fields_per_class : int;
+  body_length : int;  (** mean instructions per body *)
+  reflection_probability : float;  (** chance a body does reflection *)
+  annotation_probability : float;
+  inner_class_probability : float;
+}
+
+val default_profile : profile
+(** A small-but-structured default (used by tests and examples). *)
+
+val njr_profile : classes:int -> profile
+(** The corpus profile, parameterised on class count so corpora can draw
+    class counts from a log-normal distribution. *)
+
+val generate : seed:int -> profile -> Lbr_jvm.Classpool.t
+(** Generate a valid pool.  Class names are ["p%d/C%d"]-shaped so they never
+    collide with the external ["java/"] namespace. *)

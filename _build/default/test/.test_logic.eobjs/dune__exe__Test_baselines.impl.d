@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Assignment Fun Gen Hdd Lbr Lbr_baselines Lbr_logic List Printf QCheck QCheck_alcotest

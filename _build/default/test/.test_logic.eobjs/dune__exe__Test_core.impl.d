@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Assignment Clause Cnf Fun Lbr Lbr_logic Lbr_sat List Msa Order Printf QCheck QCheck_alcotest Var

@@ -1,0 +1,1 @@
+test/test_decompiler.ml: Alcotest Assignment Constraints Gen Jvars Lbr_decompiler Lbr_jvm Lbr_logic Lbr_sat Lbr_workload List Msa Option QCheck QCheck_alcotest Random Reducer String Var

@@ -1,0 +1,1 @@
+test/test_fji.ml: Alcotest Assignment Clause Cnf Example Gen Lbr Lbr_fji Lbr_logic Lbr_sat List Model_count Pretty Printf QCheck QCheck_alcotest Random Reduce String Syntax Typecheck Vars

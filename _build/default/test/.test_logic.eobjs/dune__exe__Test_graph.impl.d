@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Gen Lbr_graph List Printf QCheck QCheck_alcotest

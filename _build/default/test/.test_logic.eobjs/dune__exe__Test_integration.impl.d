@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Corpus Experiment Lazy Lbr_harness List Printf Stats Timeline

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Assignment Clause Cnf Dimacs Formula Fun Lbr_fji Lbr_logic List Model_count Printf QCheck QCheck_alcotest String Var

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Assignment Clause Cnf Fun Lbr_logic Lbr_sat List Msa Order QCheck QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Checker Classfile Classpool Gen Lbr_harness Lbr_jvm Lbr_workload List QCheck QCheck_alcotest Size

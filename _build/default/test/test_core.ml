@@ -1,0 +1,309 @@
+(* Tests for the core reduction library: instrumented predicates, the
+   progression subroutine and its invariants, GBR (Algorithm 1), and the
+   lossy encodings of §4.3. *)
+
+open Lbr_logic
+open Lbr_sat
+
+let order_n n = Order.of_list (List.init n Fun.id)
+
+let universe_n n = Assignment.of_list (List.init n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate                                                           *)
+
+let test_predicate_memoization () =
+  let p = Lbr.Predicate.make ~memoize:true (fun s -> Assignment.mem 0 s) in
+  let a = Assignment.of_list [ 0; 1 ] in
+  Alcotest.(check bool) "first" true (Lbr.Predicate.run p a);
+  Alcotest.(check bool) "second" true (Lbr.Predicate.run p a);
+  Alcotest.(check int) "one execution" 1 (Lbr.Predicate.runs p);
+  Alcotest.(check int) "two queries" 2 (Lbr.Predicate.queries p);
+  Lbr.Predicate.reset p;
+  Alcotest.(check int) "reset" 0 (Lbr.Predicate.runs p)
+
+let test_predicate_observer () =
+  let p = Lbr.Predicate.make ~memoize:false (fun s -> Assignment.is_empty s) in
+  let seen = ref 0 in
+  Lbr.Predicate.on_check p (fun _ _ -> incr seen);
+  ignore (Lbr.Predicate.run p Assignment.empty);
+  ignore (Lbr.Predicate.run p (Assignment.singleton 3));
+  Alcotest.(check int) "observer fired per execution" 2 !seen
+
+(* ------------------------------------------------------------------ *)
+(* Progression: INV-PRO and the shape guarantees                       *)
+
+let implication_cnf_gen n =
+  let open QCheck.Gen in
+  let clause =
+    map2
+      (fun negs poss -> Clause.make ~neg:negs ~pos:poss)
+      (list_size (int_bound 2) (int_bound (n - 1)))
+      (list_size (int_range 1 2) (int_bound (n - 1)))
+  in
+  map (fun cs -> Cnf.make (List.filter_map Fun.id cs)) (list_size (int_range 0 10) clause)
+
+let learned_gen n =
+  QCheck.Gen.(list_size (int_bound 2) (list_size (int_range 1 3) (int_bound (n - 1))))
+
+let prop_progression_invariants =
+  QCheck.Test.make ~count:300 ~name:"progression: disjoint, covering, valid prefixes"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 7) (learned_gen 7)))
+    (fun (cnf, learned_raw) ->
+      let universe = universe_n 7 in
+      let learned = List.map Assignment.of_list learned_raw in
+      match Lbr.Progression.build ~cnf ~order:(order_n 7) ~learned ~universe with
+      | Error `Unsat -> true (* a learned set may be unsatisfiable with cnf *)
+      | Ok entries ->
+          let prefixes = Lbr.Progression.prefix_unions entries in
+          let n = Array.length prefixes in
+          (* non-empty, disjoint, union = universe *)
+          n > 0
+          && Assignment.equal prefixes.(n - 1) universe
+          && List.for_all
+               (fun (i, j) ->
+                 i >= j || Assignment.disjoint (List.nth entries i) (List.nth entries j))
+               (List.concat_map
+                  (fun i -> List.map (fun j -> (i, j)) (List.init n Fun.id))
+                  (List.init n Fun.id))
+          (* INV-PRO: every prefix satisfies R+ and overlaps every learned set *)
+          && Array.for_all
+               (fun prefix ->
+                 Cnf.holds (Cnf.restrict cnf ~keep:universe) prefix
+                 && List.for_all
+                      (fun l -> not (Assignment.disjoint l prefix))
+                      learned)
+               prefixes)
+
+(* ------------------------------------------------------------------ *)
+(* GBR                                                                 *)
+
+let graph_cnf_gen n =
+  let open QCheck.Gen in
+  let edge =
+    map2
+      (fun a b -> if a = b then None else Some (Clause.edge a b))
+      (int_bound (n - 1)) (int_bound (n - 1))
+  in
+  map (fun cs -> Cnf.make (List.filter_map Fun.id cs)) (list_size (int_range 0 12) edge)
+
+(* closure of a set under the cnf's edges (graph fragment only) *)
+let closure_of cnf set =
+  let edges = Cnf.clauses cnf |> List.map (fun (c : Clause.t) -> (c.neg.(0), c.pos.(0))) in
+  let rec go set =
+    let next =
+      List.fold_left
+        (fun acc (a, b) -> if Assignment.mem a acc then Assignment.add b acc else acc)
+        set edges
+    in
+    if Assignment.equal next set then set else go next
+  in
+  go set
+
+let run_gbr cnf target n =
+  let pool = Var.Pool.create () in
+  for i = 0 to n - 1 do
+    ignore (Var.Pool.fresh pool (Printf.sprintf "v%d" i))
+  done;
+  let predicate = Lbr.Predicate.make (fun s -> Assignment.subset target s) in
+  let problem =
+    Lbr.Problem.make ~pool ~universe:(universe_n n) ~constraints:cnf ~predicate
+  in
+  (Lbr.Gbr.reduce problem ~order:(order_n n), predicate)
+
+let run_gbr_ordered cnf target n ~order =
+  let pool = Var.Pool.create () in
+  for i = 0 to n - 1 do
+    ignore (Var.Pool.fresh pool (Printf.sprintf "v%d" i))
+  done;
+  let predicate = Lbr.Predicate.make (fun s -> Assignment.subset target s) in
+  let problem = Lbr.Problem.make ~pool ~universe:(universe_n n) ~constraints:cnf ~predicate in
+  Lbr.Gbr.reduce problem ~order
+
+(* Theorem 4.5 requires the order [<] to be "picked well"; the closure-size
+   order realises that premise (see Order_heuristics). *)
+let prop_gbr_graph_constraints =
+  QCheck.Test.make ~count:300 ~name:"GBR on graph constraints: valid, failing, locally minimal"
+    (QCheck.make QCheck.Gen.(pair (graph_cnf_gen 7) (list_size (int_bound 3) (int_bound 6))))
+    (fun (cnf, target_seed) ->
+      (* the failure needs the closure of a random seed: achievable + monotone *)
+      let target = closure_of cnf (Assignment.of_list target_seed) in
+      let order = Lbr.Order_heuristics.closure_order cnf ~universe:(universe_n 7) in
+      match run_gbr_ordered cnf target 7 ~order with
+      | Error _ -> false
+      | Ok (result, stats) ->
+          Assignment.subset target result
+          && Cnf.holds cnf result
+          && stats.predicate_runs <= 2 * 7 * 7
+          (* local minimality (Thm 4.5): no single element can be dropped *)
+          && Assignment.for_all
+               (fun v ->
+                 let smaller = Assignment.remove v result in
+                 not (Cnf.holds cnf smaller && Assignment.subset target smaller))
+               result)
+
+(* With an arbitrary order the result can be suboptimal (§4.4) but must
+   still be a valid failing sub-input. *)
+let prop_gbr_graph_any_order =
+  QCheck.Test.make ~count:300 ~name:"GBR on graph constraints under creation order: valid, failing"
+    (QCheck.make QCheck.Gen.(pair (graph_cnf_gen 7) (list_size (int_bound 3) (int_bound 6))))
+    (fun (cnf, target_seed) ->
+      let target = closure_of cnf (Assignment.of_list target_seed) in
+      match run_gbr cnf target 7 with
+      | Error _, _ -> false
+      | Ok (result, _), _ -> Assignment.subset target result && Cnf.holds cnf result)
+
+let prop_gbr_general_constraints =
+  QCheck.Test.make ~count:300 ~name:"GBR on general constraints: valid and failing"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 7) (list_size (int_bound 3) (int_bound 6))))
+    (fun (cnf, target_seed) ->
+      (* make the target achievable: MSA closure of the seed *)
+      let universe = universe_n 7 in
+      match
+        Msa.compute cnf ~order:(order_n 7) ~universe
+          ~required:(Assignment.of_list target_seed) ()
+      with
+      | None -> true
+      | Some target -> (
+          match run_gbr cnf target 7 with
+          | Error _, _ -> false
+          | Ok (result, _), _ -> Assignment.subset target result && Cnf.holds cnf result))
+
+let test_gbr_suboptimal_example () =
+  (* §4.4: (a ∧ b ⇒ c) ∧ (c ⇒ b), P true iff b present, order (c, b, a):
+     GBR returns {b, c} although {b} is smaller. *)
+  let a = 2 and b = 1 and c = 0 in
+  let cnf = Cnf.make [ Clause.make_exn ~neg:[ a; b ] ~pos:[ c ]; Clause.edge c b ] in
+  let pool = Var.Pool.create () in
+  List.iter (fun n -> ignore (Var.Pool.fresh pool n)) [ "c"; "b"; "a" ];
+  let predicate = Lbr.Predicate.make (fun s -> Assignment.mem b s) in
+  let problem =
+    Lbr.Problem.make ~pool ~universe:(Assignment.of_list [ a; b; c ]) ~constraints:cnf
+      ~predicate
+  in
+  match Lbr.Gbr.reduce problem ~order:(Order.of_list [ c; b; a ]) with
+  | Error _ -> Alcotest.fail "GBR failed"
+  | Ok (result, _) ->
+      Alcotest.(check (list int)) "returns {b, c} (suboptimal, as in the paper)" [ c; b ]
+        (Assignment.to_list result)
+
+let prop_gbr_invariants_hold =
+  QCheck.Test.make ~count:200 ~name:"GBR with ~check_invariants never reports a violation"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 7) (list_size (int_bound 3) (int_bound 6))))
+    (fun (cnf, target_seed) ->
+      let universe = universe_n 7 in
+      match
+        Msa.compute cnf ~order:(order_n 7) ~universe
+          ~required:(Assignment.of_list target_seed) ()
+      with
+      | None -> true
+      | Some target ->
+          let pool = Var.Pool.create () in
+          for i = 0 to 6 do
+            ignore (Var.Pool.fresh pool (Printf.sprintf "v%d" i))
+          done;
+          let predicate = Lbr.Predicate.make (fun s -> Assignment.subset target s) in
+          let problem = Lbr.Problem.make ~pool ~universe ~constraints:cnf ~predicate in
+          (match Lbr.Gbr.reduce ~check_invariants:true problem ~order:(order_n 7) with
+          | Ok _ -> true
+          | Error (`Invariant_violation _) -> false
+          | Error (`Unsat | `Predicate_inconsistent) -> false))
+
+let test_gbr_iteration_bound () =
+  (* a chain of required singletons: every variable must be learned *)
+  let n = 8 in
+  let cnf = Cnf.make [] in
+  let target = universe_n n in
+  match run_gbr cnf target n with
+  | Ok (result, stats), _ ->
+      Alcotest.(check bool) "result covers target" true (Assignment.subset target result);
+      Alcotest.(check bool)
+        (Printf.sprintf "iterations %d <= n+1" stats.iterations)
+        true
+        (stats.iterations <= n + 1)
+  | Error _, _ -> Alcotest.fail "GBR failed"
+
+(* ------------------------------------------------------------------ *)
+(* Lossy encodings                                                     *)
+
+let prop_lossy_sound =
+  QCheck.Test.make ~count:300 ~name:"lossy encodings strengthen the formula"
+    (QCheck.make (implication_cnf_gen 6))
+    (fun cnf ->
+      List.for_all
+        (fun pick ->
+          let encoded = Lbr.Lossy.encode cnf ~pick in
+          (* check all assignments over 6 vars *)
+          let ok = ref true in
+          for mask = 0 to 63 do
+            let m =
+              List.init 6 Fun.id
+              |> List.filter (fun i -> mask land (1 lsl i) <> 0)
+              |> Assignment.of_list
+            in
+            if not (Lbr.Lossy.is_sound_strengthening ~original:cnf ~encoded m) then ok := false
+          done;
+          !ok)
+        [ Lbr.Lossy.First_first; Lbr.Lossy.Last_last ])
+
+let test_lossy_all_graph () =
+  let cnf =
+    Cnf.make
+      [
+        Clause.make_exn ~neg:[ 0; 1 ] ~pos:[ 2; 3 ];
+        Clause.edge 0 1;
+        Clause.make_exn ~neg:[] ~pos:[ 4; 5 ];
+      ]
+  in
+  List.iter
+    (fun pick ->
+      let encoded = Lbr.Lossy.encode cnf ~pick in
+      Alcotest.(check bool) "all graph" true
+        (List.for_all Clause.is_graph (Cnf.clauses encoded)))
+    [ Lbr.Lossy.First_first; Lbr.Lossy.Last_last ];
+  (* picks are the corners *)
+  let enc1 = Lbr.Lossy.encode cnf ~pick:Lbr.Lossy.First_first in
+  let edges, required = Lbr.Lossy.to_graph enc1 in
+  Alcotest.(check bool) "first-first picks (0, 2)" true (List.mem (0, 2) edges);
+  Alcotest.(check (list int)) "required picks 4" [ 4 ] required;
+  let enc2 = Lbr.Lossy.encode cnf ~pick:Lbr.Lossy.Last_last in
+  let edges2, required2 = Lbr.Lossy.to_graph enc2 in
+  Alcotest.(check bool) "last-last picks (1, 3)" true (List.mem (1, 3) edges2);
+  Alcotest.(check (list int)) "required picks 5" [ 5 ] required2
+
+let test_lossy_rejects_negative () =
+  let cnf = Cnf.make [ Clause.make_exn ~neg:[ 0 ] ~pos:[] ] in
+  Alcotest.check_raises "purely negative clause rejected"
+    (Invalid_argument "Lossy.encode: purely negative clause has no graph approximation")
+    (fun () -> ignore (Lbr.Lossy.encode cnf ~pick:Lbr.Lossy.First_first))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "lbr_core"
+    [
+      ( "predicate",
+        [
+          Alcotest.test_case "memoization" `Quick test_predicate_memoization;
+          Alcotest.test_case "observer" `Quick test_predicate_observer;
+        ] );
+      qsuite "progression" [ prop_progression_invariants ];
+      qsuite "gbr-prop"
+        [
+          prop_gbr_graph_constraints;
+          prop_gbr_graph_any_order;
+          prop_gbr_general_constraints;
+          prop_gbr_invariants_hold;
+        ];
+      ( "gbr",
+        [
+          Alcotest.test_case "suboptimality example (§4.4)" `Quick test_gbr_suboptimal_example;
+          Alcotest.test_case "iteration bound" `Quick test_gbr_iteration_bound;
+        ] );
+      qsuite "lossy-prop" [ prop_lossy_sound ];
+      ( "lossy",
+        [
+          Alcotest.test_case "graph output and corner picks" `Quick test_lossy_all_graph;
+          Alcotest.test_case "negative clause rejected" `Quick test_lossy_rejects_negative;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the simulated decompilers: determinism, monotonicity of the
+   error sets along reduction chains, the requires-items contract, and the
+   pseudo-source backend. *)
+
+open Lbr_logic
+open Lbr_sat
+open Lbr_jvm
+
+let gen_pool seed =
+  Lbr_workload.Generator.generate ~seed
+    { Lbr_workload.Generator.default_profile with classes = 30 }
+
+let test_determinism () =
+  let pool = gen_pool 5 in
+  List.iter
+    (fun tool ->
+      let e1 = Lbr_decompiler.Tool.errors tool pool in
+      let e2 = Lbr_decompiler.Tool.errors tool pool in
+      Alcotest.(check (list string))
+        (Lbr_decompiler.Tool.(tool.name) ^ " deterministic")
+        e1 e2)
+    Lbr_decompiler.Tool.all
+
+let test_errors_sorted_unique () =
+  let pool = gen_pool 11 in
+  List.iter
+    (fun tool ->
+      let errors = Lbr_decompiler.Tool.errors tool pool in
+      Alcotest.(check (list string)) "sorted + deduplicated"
+        (List.sort_uniq String.compare errors)
+        errors)
+    Lbr_decompiler.Tool.all
+
+(* The requires contract: removing all items listed in an instance's
+   [requires] makes that instance's message disappear. *)
+let test_requires_items_sufficient_to_kill () =
+  let pool = gen_pool 7 in
+  let vpool = Var.Pool.create () in
+  let jv = Jvars.derive vpool pool in
+  let checked = ref 0 in
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun (inst : Lbr_decompiler.Pattern.instance) ->
+          let removable = List.filter_map (Jvars.var_opt jv) inst.requires in
+          if removable <> [] then begin
+            incr checked;
+            let phi =
+              List.fold_left (fun acc v -> Assignment.remove v acc) (Jvars.all jv) removable
+            in
+            let reduced = Reducer.apply jv pool phi in
+            let still =
+              List.exists
+                (fun (i : Lbr_decompiler.Pattern.instance) -> i.message = inst.message)
+                (Lbr_decompiler.Tool.instances tool reduced)
+            in
+            if still then Alcotest.failf "removing requires should kill %s" inst.message
+          end)
+        (Lbr_decompiler.Tool.instances tool pool))
+    Lbr_decompiler.Tool.all;
+  Alcotest.(check bool) "exercised at least one instance" true (!checked > 0)
+
+(* Monotonicity along a random reduction chain: shrinking the kept set can
+   only lose baseline messages monotonically — once a message is gone from
+   some sub-input, the predicate "all baseline messages present" stays false
+   for all smaller sub-inputs of that chain. *)
+let prop_monotone_on_chains =
+  QCheck.Test.make ~count:40 ~name:"baseline-preservation is monotone on valid chains"
+    QCheck.(make Gen.(pair (int_range 1 500) (int_range 1 500)))
+    (fun (pool_seed, chain_seed) ->
+      let pool = gen_pool pool_seed in
+      let vpool = Var.Pool.create () in
+      let jv = Jvars.derive vpool pool in
+      let cnf = Constraints.generate jv pool in
+      let order = Lbr_sat.Order.by_creation vpool in
+      let universe = Jvars.all jv in
+      let rng = Random.State.make [| chain_seed |] in
+      List.for_all
+        (fun tool ->
+          match Lbr_decompiler.Tool.errors tool pool with
+          | [] -> true
+          | baseline ->
+              let holds phi =
+                let errors = Lbr_decompiler.Tool.errors tool (Reducer.apply jv pool phi) in
+                List.for_all (fun m -> List.mem m errors) baseline
+              in
+              (* build a decreasing chain of valid sub-inputs via MSA with
+                 shrinking required sets *)
+              let base_req =
+                Assignment.filter (fun _ -> Random.State.float rng 1.0 < 0.3) universe
+              in
+              let smaller_req =
+                Assignment.filter (fun _ -> Random.State.float rng 1.0 < 0.5) base_req
+              in
+              let closure req =
+                Msa.compute cnf ~order ~universe ~required:req ()
+                |> Option.value ~default:universe
+              in
+              let big = closure base_req and small = closure smaller_req in
+              (* small ⊆ big by monotonicity of the MSA fixpoint *)
+              (not (Assignment.subset small big)) || (not (holds small)) || holds big)
+        Lbr_decompiler.Tool.all)
+
+let test_source_backend () =
+  let pool = gen_pool 3 in
+  let text = Lbr_decompiler.Source.decompile pool in
+  Alcotest.(check bool) "non-empty" true (String.length text > 500);
+  let lines = Lbr_decompiler.Source.line_count pool in
+  Alcotest.(check bool) "line count plausible" true (lines > 50);
+  (* decompiled source shrinks when the pool shrinks *)
+  let vpool = Var.Pool.create () in
+  let jv = Jvars.derive vpool pool in
+  let half =
+    Assignment.filter (fun v -> v mod 2 = 0) (Jvars.all jv)
+  in
+  let reduced = Reducer.apply jv pool half in
+  Alcotest.(check bool) "fewer lines after reduction" true
+    (Lbr_decompiler.Source.line_count reduced < lines)
+
+let test_tools_have_distinct_profiles () =
+  let names =
+    List.map (fun (t : Lbr_decompiler.Tool.t) -> t.name) Lbr_decompiler.Tool.all
+  in
+  Alcotest.(check int) "three tools" 3 (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (t : Lbr_decompiler.Tool.t) ->
+      Alcotest.(check bool) (t.name ^ " has patterns") true (t.patterns <> []))
+    Lbr_decompiler.Tool.all
+
+let test_pattern_catalog () =
+  let names = List.map (fun (p : Lbr_decompiler.Pattern.t) -> p.name) Lbr_decompiler.Pattern.all in
+  Alcotest.(check int) "eight patterns, unique names" 8
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun name ->
+      Alcotest.(check string) "find roundtrip" name (Lbr_decompiler.Pattern.find name).name)
+    names
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "lbr_decompiler"
+    [
+      ( "tools",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "sorted unique errors" `Quick test_errors_sorted_unique;
+          Alcotest.test_case "distinct profiles" `Quick test_tools_have_distinct_profiles;
+          Alcotest.test_case "pattern catalog" `Quick test_pattern_catalog;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "removing requires kills the message" `Quick
+            test_requires_items_sufficient_to_kill;
+        ] );
+      qsuite "monotonicity" [ prop_monotone_on_chains ];
+      ( "source",
+        [ Alcotest.test_case "pseudo-java backend" `Quick test_source_backend ] );
+    ]

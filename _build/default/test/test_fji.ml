@@ -1,0 +1,317 @@
+(* Tests for the FJI calculus: the running example of §2 (Figure 1/2),
+   constraint generation, the reducer, and Theorem 3.1 (type-safety of
+   reduction) as a property test. *)
+
+open Lbr_logic
+open Lbr_fji
+
+let model = Example.model ()
+
+let universe = Vars.all model.vars
+
+let over = Assignment.to_list universe
+
+let test_variable_count () =
+  Alcotest.(check int) "20 variables (Figure 2)" 20 (Assignment.cardinal universe)
+
+let test_program_type_checks () =
+  match Typecheck.check model.program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "figure 1a does not type check: %a" Typecheck.pp_error e
+
+let test_model_count_6766 () =
+  (* §2: 6,766 valid sub-inputs before adding the tool requirement. *)
+  let without_required =
+    Cnf.make
+      (List.filter (fun c -> Clause.kind c <> Clause.Unit_pos) (Cnf.clauses model.constraints))
+  in
+  Alcotest.(check int) "6766 valid sub-inputs" 6766 (Model_count.count without_required ~over)
+
+let test_model_equivalent_to_figure2 () =
+  let fig2 = Example.figure2_cnf model.vars in
+  (* same model count and agreement on a sweep of assignments *)
+  Alcotest.(check int) "same count" (Model_count.count fig2 ~over)
+    (Model_count.count model.constraints ~over);
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 2000 do
+    let m =
+      List.filter (fun _ -> Random.State.bool rng) over |> Assignment.of_list
+    in
+    if Cnf.holds fig2 m <> Cnf.holds model.constraints m then
+      Alcotest.fail "generated model disagrees with figure 2"
+  done
+
+let test_optimal_is_model () =
+  let opt = Example.optimal model.vars in
+  Alcotest.(check int) "11 variables" 11 (Assignment.cardinal opt);
+  Alcotest.(check bool) "optimal satisfies constraints" true
+    (Cnf.holds model.constraints opt);
+  Alcotest.(check bool) "optimal triggers the bug" true (Example.buggy model.vars opt)
+
+let run_gbr () =
+  let predicate = Lbr.Predicate.make (Example.buggy model.vars) in
+  let problem =
+    Lbr.Problem.make ~pool:model.pool ~universe ~constraints:model.constraints ~predicate
+  in
+  Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation model.pool)
+
+let test_gbr_finds_optimum () =
+  match run_gbr () with
+  | Error _ -> Alcotest.fail "GBR failed"
+  | Ok (result, stats) ->
+      Alcotest.(check (list int)) "GBR finds the optimal 11-variable solution"
+        (Assignment.to_list (Example.optimal model.vars))
+        (Assignment.to_list result);
+      (* The paper's run uses 11 checks with its variable order; ours uses 9
+         with declaration order.  Either way it must stay well below the
+         6,766 brute-force runs. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "few predicate runs (%d)" stats.predicate_runs)
+        true
+        (stats.predicate_runs <= 12)
+
+let test_reduce_produces_figure1b () =
+  match run_gbr () with
+  | Error _ -> Alcotest.fail "GBR failed"
+  | Ok (result, _) ->
+      let reduced = Reduce.reduce model.vars model.program result in
+      (match Typecheck.check reduced with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reduced program fails: %a" Typecheck.pp_error e);
+      (* Figure 1b: A implements I with only m(); I with only m(); M whole;
+         B gone. *)
+      Alcotest.(check (list string)) "declarations" [ "A"; "I"; "M" ]
+        (List.map Syntax.decl_name reduced.decls);
+      (match Syntax.find_class reduced "A" with
+      | Some a ->
+          Alcotest.(check string) "A still implements I" "I" a.c_iface;
+          Alcotest.(check (list string)) "A keeps only m" [ "m" ]
+            (List.map (fun (m : Syntax.meth) -> m.m_name) a.c_methods)
+      | None -> Alcotest.fail "A missing");
+      match Syntax.find_iface reduced "I" with
+      | Some i ->
+          Alcotest.(check (list string)) "I keeps only m" [ "m" ]
+            (List.map (fun (s : Syntax.signature) -> s.s_name) i.i_sigs)
+      | None -> Alcotest.fail "I missing"
+
+let test_reducer_stub_body () =
+  (* keep A and A.m() but not its code: body becomes return this.m(); *)
+  let phi =
+    Assignment.of_list [ Vars.cls model.vars "A"; Vars.meth model.vars ~c:"A" ~m:"m" ]
+  in
+  let reduced = Reduce.reduce model.vars model.program phi in
+  match Syntax.find_class reduced "A" with
+  | None -> Alcotest.fail "A missing"
+  | Some a -> (
+      match Syntax.find_method a "m" with
+      | None -> Alcotest.fail "m missing"
+      | Some m ->
+          Alcotest.(check bool) "stub body" true (m.m_body = Syntax.stub_body m);
+          (* and the stubbed program still type checks *)
+          match Typecheck.check reduced with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "stubbed program fails: %a" Typecheck.pp_error e)
+
+(* Theorem 3.1 as a property: any satisfying assignment yields a program
+   that type checks.  Solutions are sampled as MSA closures of random
+   required sets. *)
+let prop_theorem_3_1 =
+  QCheck.Test.make ~count:500 ~name:"Theorem 3.1: reduce(P, φ) type checks for φ ⊨ σ"
+    QCheck.(make Gen.(list_size (int_bound 6) (int_bound 19)))
+    (fun seed ->
+      let order = Lbr_sat.Order.by_creation model.pool in
+      match
+        Lbr_sat.Msa.compute model.constraints ~order ~universe
+          ~required:(Assignment.of_list seed) ()
+      with
+      | None -> true
+      | Some phi ->
+          Cnf.holds model.constraints phi
+          &&
+          let reduced = Reduce.reduce model.vars model.program phi in
+          (match Typecheck.check reduced with Ok () -> true | Error _ -> false))
+
+(* Conversely, reducing with a non-model should usually break the program —
+   sanity that the constraints are not vacuous.  We check one concrete
+   counterexample rather than a property (some non-models still type check,
+   e.g. when only the tool requirement is violated). *)
+let test_non_model_breaks () =
+  (* keep A.m() without A: not a model, and the reduction drops A entirely,
+     so also keep A<I's interface I and M calling A — use M.main!code
+     without [A]. *)
+  let phi =
+    Assignment.of_list
+      [
+        Vars.code model.vars ~c:"M" ~m:"main";
+        Vars.meth model.vars ~c:"M" ~m:"main";
+        Vars.cls model.vars "M";
+        Vars.meth model.vars ~c:"M" ~m:"x";
+        Vars.code model.vars ~c:"M" ~m:"x";
+        Vars.cls model.vars "I";
+        Vars.sig_ model.vars ~i:"I" ~m:"m";
+      ]
+  in
+  Alcotest.(check bool) "not a model" false (Cnf.holds model.constraints phi);
+  let reduced = Reduce.reduce model.vars model.program phi in
+  match Typecheck.check reduced with
+  | Ok () -> Alcotest.fail "expected a type error (M.main references removed A)"
+  | Error _ -> ()
+
+(* --- negative tests: the type checker rejects ill-formed programs ---- *)
+
+open Syntax
+
+let expect_error label program =
+  match Typecheck.check program with
+  | Ok () -> Alcotest.failf "%s: expected a type error" label
+  | Error _ -> ()
+
+let base_class ?(iface = empty_interface_name) ?(super = object_name) ?(methods = []) name =
+  { c_name = name; c_super = super; c_iface = iface; c_fields = []; c_methods = methods }
+
+let test_reject_unknown_type () =
+  expect_error "unknown super"
+    { decls = [ Class (base_class ~super:"Ghost" "A") ]; main = None };
+  expect_error "unknown interface"
+    { decls = [ Class (base_class ~iface:"GhostI" "A") ]; main = None }
+
+let test_reject_cyclic_hierarchy () =
+  expect_error "A extends B extends A"
+    {
+      decls = [ Class (base_class ~super:"B" "A"); Class (base_class ~super:"A" "B") ];
+      main = None;
+    }
+
+let test_reject_bad_override () =
+  let m ret = { m_ret = ret; m_name = "m"; m_params = []; m_body = New (string_name, []) } in
+  expect_error "override changes return type"
+    {
+      decls =
+        [
+          Class (base_class ~methods:[ m string_name ] "A");
+          Class
+            (base_class ~super:"A"
+               ~methods:[ { (m "B") with m_body = New ("B", []) } ]
+               "B");
+        ];
+      main = None;
+    }
+
+let test_reject_missing_signature_impl () =
+  expect_error "class does not implement its interface"
+    {
+      decls =
+        [
+          Interface { i_name = "I"; i_sigs = [ { s_ret = string_name; s_name = "m"; s_params = [] } ] };
+          Class (base_class ~iface:"I" "A");
+        ];
+      main = None;
+    }
+
+let test_reject_unbound_variable () =
+  let m = { m_ret = string_name; m_name = "m"; m_params = []; m_body = Var "ghost" } in
+  expect_error "unbound variable" { decls = [ Class (base_class ~methods:[ m ] "A") ]; main = None }
+
+let test_reject_unrelated_cast () =
+  let m = { m_ret = string_name; m_name = "m"; m_params = [];
+            m_body = Cast (string_name, New ("A", [])) } in
+  expect_error "cast between unrelated types"
+    { decls = [ Class (base_class ~methods:[ m ] "A") ]; main = None }
+
+let test_reject_wrong_arity () =
+  let m = { m_ret = string_name; m_name = "m"; m_params = [ (string_name, "x") ];
+            m_body = Var "x" } in
+  let caller =
+    { m_ret = string_name; m_name = "go"; m_params = [];
+      m_body = Call (New ("A", []), "m", []) }
+  in
+  expect_error "wrong number of arguments"
+    {
+      decls = [ Class (base_class ~methods:[ m ] "A"); Class (base_class ~methods:[ caller ] "B") ];
+      main = None;
+    }
+
+let test_reject_unknown_method () =
+  let caller =
+    { m_ret = string_name; m_name = "go"; m_params = [];
+      m_body = Call (New ("A", []), "nope", []) }
+  in
+  expect_error "unknown method"
+    {
+      decls = [ Class (base_class "A"); Class (base_class ~methods:[ caller ] "B") ];
+      main = None;
+    }
+
+let test_reject_duplicate_names () =
+  expect_error "duplicate declarations"
+    { decls = [ Class (base_class "A"); Class (base_class "A") ]; main = None };
+  expect_error "shadowing a builtin"
+    { decls = [ Class (base_class "String") ]; main = None }
+
+let test_accepts_inherited_call () =
+  (* calling a method defined only in the superclass must be fine *)
+  let m = { m_ret = string_name; m_name = "m"; m_params = []; m_body = New (string_name, []) } in
+  let caller =
+    { m_ret = string_name; m_name = "go"; m_params = [];
+      m_body = Call (New ("B", []), "m", []) }
+  in
+  let program =
+    {
+      decls =
+        [ Class (base_class ~methods:[ m ] "A");
+          Class (base_class ~super:"A" "B");
+          Class (base_class ~methods:[ caller ] "C") ];
+      main = None;
+    }
+  in
+  match Typecheck.check program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "inherited call rejected: %a" Typecheck.pp_error e
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let test_pretty_roundtrip_shape () =
+  let text = Pretty.program_to_string model.program in
+  List.iter
+    (fun fragment ->
+      if not (contains text fragment) then Alcotest.failf "pretty output missing %S" fragment)
+    [ "class A implements I"; "interface I"; "class M"; "String m()" ]
+
+let () =
+  Alcotest.run "lbr_fji"
+    [
+      ( "example",
+        [
+          Alcotest.test_case "20 variables" `Quick test_variable_count;
+          Alcotest.test_case "figure 1a type checks" `Quick test_program_type_checks;
+          Alcotest.test_case "6766 valid sub-inputs" `Quick test_model_count_6766;
+          Alcotest.test_case "model ≡ figure 2" `Quick test_model_equivalent_to_figure2;
+          Alcotest.test_case "optimal solution" `Quick test_optimal_is_model;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "GBR finds the optimum" `Quick test_gbr_finds_optimum;
+          Alcotest.test_case "reduce = figure 1b" `Quick test_reduce_produces_figure1b;
+          Alcotest.test_case "stub body" `Quick test_reducer_stub_body;
+          Alcotest.test_case "non-model breaks" `Quick test_non_model_breaks;
+          Alcotest.test_case "pretty printing" `Quick test_pretty_roundtrip_shape;
+        ] );
+      ( "theorem-3.1",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_theorem_3_1 ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "unknown types" `Quick test_reject_unknown_type;
+          Alcotest.test_case "cyclic hierarchy" `Quick test_reject_cyclic_hierarchy;
+          Alcotest.test_case "bad override" `Quick test_reject_bad_override;
+          Alcotest.test_case "missing signature impl" `Quick test_reject_missing_signature_impl;
+          Alcotest.test_case "unbound variable" `Quick test_reject_unbound_variable;
+          Alcotest.test_case "unrelated cast" `Quick test_reject_unrelated_cast;
+          Alcotest.test_case "wrong arity" `Quick test_reject_wrong_arity;
+          Alcotest.test_case "unknown method" `Quick test_reject_unknown_method;
+          Alcotest.test_case "duplicate names" `Quick test_reject_duplicate_names;
+          Alcotest.test_case "inherited call accepted" `Quick test_accepts_inherited_call;
+        ] );
+    ]

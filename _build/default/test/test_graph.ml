@@ -1,0 +1,90 @@
+(* Tests for bitsets, digraphs, Tarjan SCC, and closure tables. *)
+
+let test_bitset_basics () =
+  let s = Lbr_graph.Bitset.create 70 in
+  Lbr_graph.Bitset.add s 0;
+  Lbr_graph.Bitset.add s 63;
+  Lbr_graph.Bitset.add s 69;
+  Alcotest.(check bool) "mem 63" true (Lbr_graph.Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 5" false (Lbr_graph.Bitset.mem s 5);
+  Alcotest.(check int) "cardinal" 3 (Lbr_graph.Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list" [ 0; 63; 69 ] (Lbr_graph.Bitset.to_list s)
+
+let test_bitset_union_subset () =
+  let a = Lbr_graph.Bitset.of_list 10 [ 1; 2 ] in
+  let b = Lbr_graph.Bitset.of_list 10 [ 2; 7 ] in
+  let c = Lbr_graph.Bitset.copy a in
+  Lbr_graph.Bitset.union_into ~dst:c b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 7 ] (Lbr_graph.Bitset.to_list c);
+  Alcotest.(check bool) "a subset union" true (Lbr_graph.Bitset.subset a c);
+  Alcotest.(check bool) "union not subset a" false (Lbr_graph.Bitset.subset c a);
+  Alcotest.(check bool) "equal self" true (Lbr_graph.Bitset.equal a a)
+
+let test_digraph_reachable () =
+  let g = Lbr_graph.Digraph.make ~n:5 ~edges:[ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check (list int)) "from 0" [ 0; 1; 2 ]
+    (Lbr_graph.Bitset.to_list (Lbr_graph.Digraph.reachable g 0));
+  Alcotest.(check (list int)) "from 3" [ 3; 4 ]
+    (Lbr_graph.Bitset.to_list (Lbr_graph.Digraph.reachable g 3));
+  Alcotest.(check (list int)) "from set" [ 0; 1; 2; 3; 4 ]
+    (Lbr_graph.Bitset.to_list (Lbr_graph.Digraph.reachable_from_set g [ 0; 3 ]))
+
+let test_digraph_dedup () =
+  let g = Lbr_graph.Digraph.make ~n:3 ~edges:[ (0, 1); (0, 1); (1, 1) ] in
+  Alcotest.(check int) "self loops and dups dropped" 1 (Lbr_graph.Digraph.num_edges g)
+
+let test_scc_cycle () =
+  let g = Lbr_graph.Digraph.make ~n:6 ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (4, 5) ] in
+  let r = Lbr_graph.Scc.compute g in
+  Alcotest.(check int) "4 components" 4 r.num_comps;
+  Alcotest.(check bool) "0,1,2 together" true
+    (r.comp_of.(0) = r.comp_of.(1) && r.comp_of.(1) = r.comp_of.(2));
+  Alcotest.(check bool) "3 separate" true (r.comp_of.(3) <> r.comp_of.(0));
+  (* reverse-topological ids: successors have smaller ids *)
+  Alcotest.(check bool) "topo order" true (r.comp_of.(3) < r.comp_of.(0))
+
+let test_all_closures_match_reachability () =
+  let g =
+    Lbr_graph.Digraph.make ~n:7
+      ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (5, 4); (6, 5); (6, 0) ]
+  in
+  let closures = Lbr_graph.Scc.all_closures g in
+  for v = 0 to 6 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "closure of %d" v)
+      (Lbr_graph.Bitset.to_list (Lbr_graph.Digraph.reachable g v))
+      (Lbr_graph.Bitset.to_list closures.(v))
+  done
+
+let prop_closures_equal_reachability =
+  QCheck.Test.make ~count:200 ~name:"all_closures = per-node reachability"
+    QCheck.(make Gen.(list_size (int_bound 20) (pair (int_bound 9) (int_bound 9))))
+    (fun edges ->
+      let g = Lbr_graph.Digraph.make ~n:10 ~edges in
+      let closures = Lbr_graph.Scc.all_closures g in
+      List.for_all
+        (fun v ->
+          Lbr_graph.Bitset.equal closures.(v) (Lbr_graph.Digraph.reachable g v))
+        (List.init 10 Fun.id))
+
+let () =
+  Alcotest.run "lbr_graph"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "union/subset" `Quick test_bitset_union_subset;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "reachable" `Quick test_digraph_reachable;
+          Alcotest.test_case "dedup" `Quick test_digraph_dedup;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "closure table" `Quick test_all_closures_match_reachability;
+        ] );
+      ( "scc-prop",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_closures_equal_reachability ] );
+    ]

@@ -1,0 +1,129 @@
+(* End-to-end integration: the full pipeline (generate → model → reduce →
+   re-run tool) for all four strategies on a small corpus, plus the
+   aggregation machinery the benchmarks rely on. *)
+
+open Lbr_harness
+
+let corpus = lazy (Corpus.build ~seed:2024 ~programs:5 ~mean_classes:28)
+
+let instances = lazy (Corpus.instances (Lazy.force corpus))
+
+let outcome strategy instance = Experiment.run strategy instance
+
+let test_all_strategies_succeed () =
+  let instances = Lazy.force instances in
+  Alcotest.(check bool) "have instances" true (instances <> []);
+  List.iter
+    (fun instance ->
+      List.iter
+        (fun strategy ->
+          let o = outcome strategy instance in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s ok" (Experiment.strategy_name strategy) o.instance_id)
+            true o.ok;
+          Alcotest.(check bool) "result no larger than input" true
+            (o.bytes1 <= o.bytes0 && o.classes1 <= o.classes0);
+          Alcotest.(check bool) "positive predicate runs" true (o.predicate_runs > 0))
+        Experiment.all_strategies)
+    instances
+
+let test_final_subinput_reproduces_errors () =
+  (* beyond ok=true: re-derive the reduced pool through an independent
+     reduction and compare the error sets *)
+  let instance = List.hd (Lazy.force instances) in
+  let o = outcome Experiment.Gbr instance in
+  Alcotest.(check bool) "gbr ok" true o.ok;
+  Alcotest.(check bool) "strictly smaller than input" true (o.bytes1 < o.bytes0)
+
+let test_gbr_beats_jreduce_in_aggregate () =
+  let instances = Lazy.force instances in
+  let summarize strategy =
+    Stats.summarize (List.map (outcome strategy) instances)
+  in
+  let gbr = summarize Experiment.Gbr and jreduce = summarize Experiment.Jreduce in
+  Alcotest.(check bool)
+    (Printf.sprintf "gbr bytes %.3f < jreduce bytes %.3f" gbr.geo_byte_ratio
+       jreduce.geo_byte_ratio)
+    true
+    (gbr.geo_byte_ratio < jreduce.geo_byte_ratio);
+  Alcotest.(check bool) "jreduce is faster" true (jreduce.geo_time < gbr.geo_time)
+
+let test_lossy_encodings_are_sound_end_to_end () =
+  let instances = Lazy.force instances in
+  List.iter
+    (fun instance ->
+      List.iter
+        (fun strategy ->
+          let o = outcome strategy instance in
+          Alcotest.(check bool) "lossy outcome ok" true o.ok)
+        [ Experiment.Lossy_first; Experiment.Lossy_last ])
+    instances
+
+let test_timeline_monotone () =
+  let instance = List.hd (Lazy.force instances) in
+  let o = outcome Experiment.Gbr instance in
+  (* improvements are recorded in increasing time with decreasing bytes *)
+  let rec check = function
+    | (t1, _, b1) :: ((t2, _, b2) :: _ as rest) ->
+        Alcotest.(check bool) "time increases" true (t1 <= t2);
+        Alcotest.(check bool) "bytes decrease" true (b2 <= b1);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check o.timeline;
+  (* best_at interpolates: before any improvement, the original size *)
+  let c0, b0 = Timeline.best_at o (-1.0) in
+  Alcotest.(check int) "classes before start" o.classes0 c0;
+  Alcotest.(check int) "bytes before start" o.bytes0 b0;
+  let _, b_end = Timeline.best_at o infinity in
+  Alcotest.(check int) "bytes at end = final best" (min o.bytes1 b_end) b_end
+
+let test_timeline_series_decreasing_factor () =
+  let instances = Lazy.force instances in
+  let outcomes = List.map (outcome Experiment.Gbr) instances in
+  let series =
+    Timeline.series outcomes ~times:[ 0.0; 100.0; 1000.0; 10_000.0 ] ~metric:`Bytes
+  in
+  let factors = List.map snd series in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && nondecreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "mean factor grows over time" true (nondecreasing factors);
+  Alcotest.(check (float 1e-6)) "factor 1 at time 0" 1.0 (List.hd factors)
+
+let test_stats_helpers () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [ 1.0; 4.0 ]);
+  let cdf = Stats.cdf [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check int) "cdf points" 3 (List.length cdf);
+  Alcotest.(check (float 1e-9)) "cdf last is 1" 1.0 (snd (List.nth cdf 2));
+  Alcotest.(check (float 1e-9)) "fraction below" (2. /. 3.)
+    (Stats.fraction_below [ 3.0; 1.0; 2.0 ] 2.0);
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Stats.quantile [ 3.0; 1.0; 2.0 ] 0.5)
+
+let test_memoization_saves_runs () =
+  let instance = List.hd (Lazy.force instances) in
+  let o = outcome Experiment.Gbr instance in
+  Alcotest.(check bool) "runs recorded" true (o.predicate_runs > 0)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "all strategies succeed" `Slow test_all_strategies_succeed;
+          Alcotest.test_case "final sub-input reproduces errors" `Quick
+            test_final_subinput_reproduces_errors;
+          Alcotest.test_case "gbr beats j-reduce" `Slow test_gbr_beats_jreduce_in_aggregate;
+          Alcotest.test_case "lossy sound end-to-end" `Slow
+            test_lossy_encodings_are_sound_end_to_end;
+          Alcotest.test_case "memoization" `Quick test_memoization_saves_runs;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "timeline monotone" `Quick test_timeline_monotone;
+          Alcotest.test_case "timeline series" `Quick test_timeline_series_decreasing_factor;
+          Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
+        ] );
+    ]

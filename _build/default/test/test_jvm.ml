@@ -1,0 +1,392 @@
+(* Tests for the bytecode substrate: hierarchy queries, the checker, item
+   inventory, constraint soundness, and the reducer. *)
+
+open Lbr_logic
+open Lbr_jvm
+open Lbr_jvm.Classfile
+
+(* A small hand-built pool exercising every hierarchy feature:
+
+     interface I0 { im0 }          interface I1 extends I0 { im1 }
+     abstract class A implements I1 { abstract am; concrete im0 }
+     class B extends A implements I0 { am, im1, m; 2 ctors; field f }
+     class C { main body referencing everything }                       *)
+let imeth name = { m_name = name; m_params = []; m_ret = Jtype.Int; m_static = false;
+                   m_abstract = true; m_body = [] }
+
+let conc ?(static = false) name body =
+  { m_name = name; m_params = []; m_ret = Jtype.Int; m_static = static;
+    m_abstract = false; m_body = body }
+
+let sample_pool () =
+  let i0 = { name = "app/I0"; super = object_name; interfaces = []; is_interface = true;
+             is_abstract = true; fields = []; methods = [ imeth "im0" ]; ctors = [];
+             annotations = []; inner_classes = [] } in
+  let i1 = { i0 with name = "app/I1"; interfaces = [ "app/I0" ]; methods = [ imeth "im1" ] } in
+  let a = { name = "app/A"; super = object_name; interfaces = [ "app/I1" ];
+            is_interface = false; is_abstract = true; fields = [];
+            methods = [ imeth "am"; conc "im0" [ Arith; Return_insn ] ];
+            ctors = [ { k_params = []; k_body = [ Return_insn ] } ];
+            annotations = []; inner_classes = [] } in
+  let b = { name = "app/B"; super = "app/A"; interfaces = [ "app/I0" ]; is_interface = false;
+            is_abstract = false;
+            fields = [ { f_name = "f"; f_type = Jtype.Ref "app/A"; f_static = false } ];
+            methods =
+              [ conc "am" [ Return_insn ]; conc "im1" [ Return_insn ];
+                conc "m" [ Invoke_interface { owner = "app/I1"; meth = "im0" }; Return_insn ];
+                conc ~static:true "s" [ Return_insn ] ];
+            ctors =
+              [ { k_params = []; k_body = [ Return_insn ] };
+                { k_params = [ Jtype.Int ]; k_body = [ Arith; Return_insn ] } ];
+            annotations = [ "app/A" ]; inner_classes = [ "app/C" ] } in
+  let c = { name = "app/C"; super = object_name; interfaces = []; is_interface = false;
+            is_abstract = false; fields = [];
+            methods =
+              [ conc "main"
+                  [ New_instance { cls = "app/B"; ctor = 1 };
+                    Invoke_virtual { owner = "app/B"; meth = "im0" };
+                    Invoke_static { owner = "app/B"; meth = "s" };
+                    Get_field { owner = "app/B"; field = "f" };
+                    Check_cast "app/I0";
+                    Upcast { from_ = "app/B"; to_ = "app/I0" };
+                    Load_const_class "app/B";
+                    Return_insn ] ];
+            ctors = [ { k_params = []; k_body = [ Return_insn ] } ];
+            annotations = []; inner_classes = [] } in
+  Classpool.of_classes [ i0; i1; a; b; c ]
+
+let test_sample_valid () =
+  let violations = Checker.check (sample_pool ()) in
+  List.iter (fun v -> Format.printf "%a@." Checker.pp_violation v) violations;
+  Alcotest.(check int) "sample pool is valid" 0 (List.length violations)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+
+let test_super_chain () =
+  let pool = sample_pool () in
+  Alcotest.(check (list string)) "chain of B" [ "app/B"; "app/A"; object_name ]
+    (Hierarchy.super_chain pool "app/B")
+
+let test_subtype_paths () =
+  let pool = sample_pool () in
+  (* B <= I0 two ways: directly, and via A implements I1 extends I0. *)
+  let paths = Hierarchy.subtype_paths pool ~sub:"app/B" ~sup:"app/I0" in
+  Alcotest.(check int) "two witnesses" 2 (List.length paths);
+  Alcotest.(check int) "none to unrelated" 0
+    (List.length (Hierarchy.subtype_paths pool ~sub:"app/C" ~sup:"app/I0"))
+
+let test_method_candidates () =
+  let pool = sample_pool () in
+  (* im0 on B resolves on A (concrete def) and on I0 (abstract). *)
+  let c = Hierarchy.method_candidates pool ~owner:"app/B" ~meth:"im0" ~static:false in
+  let owners = List.map fst c |> List.sort_uniq compare in
+  Alcotest.(check (list string)) "resolution owners" [ "app/A"; "app/I0" ] owners;
+  (* static method with matching staticness only *)
+  let s = Hierarchy.method_candidates pool ~owner:"app/B" ~meth:"s" ~static:true in
+  Alcotest.(check bool) "static found" true (s <> []);
+  Alcotest.(check (list string)) "no instance match for s" []
+    (List.map fst (Hierarchy.method_candidates pool ~owner:"app/B" ~meth:"s" ~static:false));
+  (* external owner resolves trivially *)
+  Alcotest.(check bool) "external trivially resolves" true
+    (Hierarchy.method_candidates pool ~owner:"java/lang/String" ~meth:"length" ~static:false
+    = [ ("", []) ])
+
+let test_abstract_obligations () =
+  let pool = sample_pool () in
+  let b = Option.get (Classpool.find pool "app/B") in
+  let names = Hierarchy.abstract_obligations pool b |> List.sort_uniq compare in
+  Alcotest.(check (list (pair string string))) "obligations of B"
+    [ ("app/A", "am"); ("app/I0", "im0"); ("app/I1", "im1") ]
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Checker: seeded corruptions must be caught                          *)
+
+let corrupt_and_check mutate expected_fragment =
+  let pool = sample_pool () in
+  let classes = Classpool.classes pool |> List.map mutate in
+  let violations = Checker.check (Classpool.of_classes classes) in
+  let found =
+    List.exists
+      (fun (v : Checker.violation) ->
+        let s = Format.asprintf "%a" Checker.pp_violation v in
+        let n = String.length expected_fragment in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = expected_fragment || go (i + 1))
+        in
+        go 0)
+      violations
+  in
+  Alcotest.(check bool) (Printf.sprintf "catches %S" expected_fragment) true found
+
+let test_checker_missing_class () =
+  corrupt_and_check
+    (fun c -> if c.name = "app/C" then { c with inner_classes = [ "app/Ghost" ] } else c)
+    "missing class app/Ghost"
+
+let test_checker_unresolved_method () =
+  corrupt_and_check
+    (fun c ->
+      if c.name = "app/B" then
+        { c with
+          methods =
+            List.filter (fun m -> m.m_name <> "m") c.methods
+            @ [ conc "m" [ Invoke_virtual { owner = "app/C"; meth = "nope" }; Return_insn ] ]
+        }
+      else c)
+    "unresolved method"
+
+let test_checker_missing_implementation () =
+  corrupt_and_check
+    (fun c ->
+      if c.name = "app/B" then
+        { c with methods = List.filter (fun m -> m.m_name <> "am") c.methods }
+      else c)
+    "missing implementation of am"
+
+let test_checker_missing_ctor () =
+  corrupt_and_check
+    (fun c -> if c.name = "app/B" then { c with ctors = [ List.hd c.ctors ] } else c)
+    "missing constructor #1"
+
+let test_checker_bad_upcast () =
+  (* both witnesses must go: B's own implements and the one through A *)
+  corrupt_and_check
+    (fun c ->
+      if c.name = "app/B" || c.name = "app/A" then { c with interfaces = [] } else c)
+    "app/B is not a subtype of app/I0"
+
+let test_checker_abstract_new () =
+  corrupt_and_check
+    (fun c -> if c.name = "app/B" then { c with is_abstract = true } else c)
+    "new on abstract class"
+
+(* ------------------------------------------------------------------ *)
+(* Items and variables                                                 *)
+
+let test_item_inventory () =
+  let pool = sample_pool () in
+  let items = Jvars.items_of_pool pool in
+  let count pred = List.length (List.filter pred items) in
+  Alcotest.(check int) "classes" 5 (count (function Item.Class _ -> true | _ -> false));
+  Alcotest.(check int) "extends (only B has internal super)" 1
+    (count (function Item.Extends _ -> true | _ -> false));
+  Alcotest.(check int) "implements" 2 (count (function Item.Implements _ -> true | _ -> false));
+  Alcotest.(check int) "iface extends" 1
+    (count (function Item.Iface_extends _ -> true | _ -> false));
+  Alcotest.(check int) "ctors" 4 (count (function Item.Ctor _ -> true | _ -> false));
+  Alcotest.(check int) "fields" 1 (count (function Item.Field _ -> true | _ -> false));
+  let names = List.map Item.to_string items in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_jvars_roundtrip () =
+  let pool = sample_pool () in
+  let vpool = Var.Pool.create () in
+  let jv = Jvars.derive vpool pool in
+  List.iter
+    (fun item ->
+      let v = Jvars.var jv item in
+      Alcotest.(check bool) "item_of inverse" true (Item.equal (Jvars.item_of jv v) item))
+    (Jvars.items jv)
+
+(* ------------------------------------------------------------------ *)
+(* Constraints and reducer                                             *)
+
+let context pool =
+  let vpool = Var.Pool.create () in
+  let jv = Jvars.derive vpool pool in
+  let cnf = Constraints.generate jv pool in
+  (vpool, jv, cnf)
+
+let test_full_assignment_satisfies () =
+  let pool = sample_pool () in
+  let _, jv, cnf = context pool in
+  Alcotest.(check bool) "R(I)" true (Cnf.holds cnf (Jvars.all jv))
+
+let prop_constraint_soundness =
+  QCheck.Test.make ~count:60 ~name:"satisfying assignments reduce to checker-valid pools"
+    QCheck.(make Gen.(pair (int_range 1 1000) (int_bound 999)))
+    (fun (pool_seed, req_seed) ->
+      let profile = { Lbr_workload.Generator.default_profile with classes = 18 } in
+      let pool = Lbr_workload.Generator.generate ~seed:pool_seed profile in
+      let vpool, jv, cnf = context pool in
+      let order = Lbr_sat.Order.by_creation vpool in
+      let universe = Jvars.all jv in
+      let rng = Random.State.make [| req_seed |] in
+      let required = Assignment.filter (fun _ -> Random.State.float rng 1.0 < 0.08) universe in
+      match Lbr_sat.Msa.compute cnf ~order ~universe ~required () with
+      | None -> false
+      | Some phi -> Cnf.holds cnf phi && Checker.is_valid (Reducer.apply jv pool phi))
+
+let test_reducer_full_assignment_identity () =
+  let pool = sample_pool () in
+  let _, jv, _ = context pool in
+  let reduced = Reducer.apply jv pool (Jvars.all jv) in
+  Alcotest.(check int) "same classes" (Size.classes pool) (Size.classes reduced);
+  Alcotest.(check int) "same bytes" (Size.bytes pool) (Size.bytes reduced);
+  Alcotest.(check int) "same items" (Size.items pool) (Size.items reduced)
+
+let test_reducer_empty_assignment () =
+  let pool = sample_pool () in
+  let _, jv, _ = context pool in
+  let reduced = Reducer.apply jv pool Assignment.empty in
+  Alcotest.(check int) "no classes" 0 (Size.classes reduced);
+  Alcotest.(check bool) "empty pool is valid" true (Checker.is_valid reduced)
+
+let test_reducer_stubs_code () =
+  let pool = sample_pool () in
+  let _, jv, _ = context pool in
+  let phi =
+    Assignment.of_list
+      [ Jvars.var jv (Item.Class "app/C");
+        Jvars.var jv (Item.Method { cls = "app/C"; meth = "main" }) ]
+  in
+  let reduced = Reducer.apply jv pool phi in
+  match Classpool.find reduced "app/C" with
+  | None -> Alcotest.fail "C missing"
+  | Some c -> (
+      match find_method c "main" with
+      | None -> Alcotest.fail "main missing"
+      | Some m -> Alcotest.(check bool) "stubbed" true (m.m_body = [ Return_insn ]))
+
+let test_reducer_extends_reparent () =
+  let pool = sample_pool () in
+  let _, jv, _ = context pool in
+  let phi = Assignment.of_list [ Jvars.var jv (Item.Class "app/B") ] in
+  let reduced = Reducer.apply jv pool phi in
+  match Classpool.find reduced "app/B" with
+  | None -> Alcotest.fail "B missing"
+  | Some b -> Alcotest.(check string) "reparented to Object" object_name b.super
+
+let test_reducer_ctor_renumbering () =
+  let pool = sample_pool () in
+  let _, jv, _ = context pool in
+  (* drop B's ctor #0; C's New_instance of ctor #1 must renumber to #0 *)
+  let phi = Jvars.all jv in
+  let phi = Assignment.remove (Jvars.var jv (Item.Ctor { cls = "app/B"; index = 0 })) phi in
+  let phi = Assignment.remove (Jvars.var jv (Item.Ctor_code { cls = "app/B"; index = 0 })) phi in
+  let reduced = Reducer.apply jv pool phi in
+  (match Classpool.find reduced "app/B" with
+  | None -> Alcotest.fail "B missing"
+  | Some b -> Alcotest.(check int) "one ctor left" 1 (List.length b.ctors));
+  match Classpool.find reduced "app/C" with
+  | None -> Alcotest.fail "C missing"
+  | Some c ->
+      let main = Option.get (find_method c "main") in
+      let has_renumbered =
+        List.exists
+          (function New_instance { cls = "app/B"; ctor = 0 } -> true | _ -> false)
+          main.m_body
+      in
+      Alcotest.(check bool) "New_instance renumbered" true has_renumbered;
+      Alcotest.(check bool) "still valid" true (Checker.is_valid reduced)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let test_serialize_roundtrip_sample () =
+  let pool = sample_pool () in
+  match Serialize.of_bytes (Serialize.to_bytes pool) with
+  | Error m -> Alcotest.failf "deserialization failed: %s" m
+  | Ok pool' ->
+      Alcotest.(check (list string)) "same classes" (Classpool.names pool) (Classpool.names pool');
+      Alcotest.(check bool) "structurally equal" true
+        (Classpool.classes pool = Classpool.classes pool')
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"serialize/deserialize round-trips generated pools"
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      let pool =
+        Lbr_workload.Generator.generate ~seed
+          { Lbr_workload.Generator.default_profile with classes = 20 }
+      in
+      match Serialize.of_bytes (Serialize.to_bytes pool) with
+      | Error _ -> false
+      | Ok pool' -> Classpool.classes pool = Classpool.classes pool')
+
+let test_serialize_rejects_garbage () =
+  (match Serialize.of_bytes "not a class pool" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  (match Serialize.of_bytes "" with
+  | Ok _ -> Alcotest.fail "accepted empty"
+  | Error _ -> ());
+  (* truncation *)
+  let bytes = Serialize.to_bytes (sample_pool ()) in
+  match Serialize.of_bytes (String.sub bytes 0 (String.length bytes / 2)) with
+  | Ok _ -> Alcotest.fail "accepted truncated input"
+  | Error _ -> ()
+
+let test_serialize_file_io () =
+  let pool = sample_pool () in
+  let path = Filename.temp_file "lbr" ".pool" in
+  Serialize.write_file path pool;
+  let result = Serialize.read_file path in
+  Sys.remove path;
+  match result with
+  | Error m -> Alcotest.failf "read_file: %s" m
+  | Ok pool' ->
+      Alcotest.(check bool) "file round-trip" true
+        (Classpool.classes pool = Classpool.classes pool');
+      Alcotest.(check int) "serialized_size = file size" (Serialize.serialized_size pool)
+        (String.length (Serialize.to_bytes pool'))
+
+let test_serialized_size_shrinks () =
+  let pool = sample_pool () in
+  let _, jv, _ = context pool in
+  let reduced = Reducer.apply jv pool Assignment.empty in
+  Alcotest.(check bool) "empty pool serializes smaller" true
+    (Serialize.serialized_size reduced < Serialize.serialized_size pool)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "lbr_jvm"
+    [
+      ( "hierarchy",
+        [
+          Alcotest.test_case "sample valid" `Quick test_sample_valid;
+          Alcotest.test_case "super chain" `Quick test_super_chain;
+          Alcotest.test_case "subtype paths" `Quick test_subtype_paths;
+          Alcotest.test_case "method candidates" `Quick test_method_candidates;
+          Alcotest.test_case "abstract obligations" `Quick test_abstract_obligations;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "missing class" `Quick test_checker_missing_class;
+          Alcotest.test_case "unresolved method" `Quick test_checker_unresolved_method;
+          Alcotest.test_case "missing implementation" `Quick test_checker_missing_implementation;
+          Alcotest.test_case "missing ctor" `Quick test_checker_missing_ctor;
+          Alcotest.test_case "bad upcast" `Quick test_checker_bad_upcast;
+          Alcotest.test_case "new on abstract" `Quick test_checker_abstract_new;
+        ] );
+      ( "items",
+        [
+          Alcotest.test_case "inventory" `Quick test_item_inventory;
+          Alcotest.test_case "jvars roundtrip" `Quick test_jvars_roundtrip;
+        ] );
+      ( "constraints",
+        [ Alcotest.test_case "full assignment satisfies" `Quick test_full_assignment_satisfies ]
+      );
+      qsuite "constraints-prop" [ prop_constraint_soundness ];
+      ( "serialize",
+        [
+          Alcotest.test_case "sample round-trip" `Quick test_serialize_roundtrip_sample;
+          Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+          Alcotest.test_case "file io" `Quick test_serialize_file_io;
+          Alcotest.test_case "size shrinks" `Quick test_serialized_size_shrinks;
+        ] );
+      qsuite "serialize-prop" [ prop_serialize_roundtrip ];
+      ( "reducer",
+        [
+          Alcotest.test_case "identity on full assignment" `Quick
+            test_reducer_full_assignment_identity;
+          Alcotest.test_case "empty assignment" `Quick test_reducer_empty_assignment;
+          Alcotest.test_case "stub bodies" `Quick test_reducer_stubs_code;
+          Alcotest.test_case "extends reparenting" `Quick test_reducer_extends_reparent;
+          Alcotest.test_case "ctor renumbering" `Quick test_reducer_ctor_renumbering;
+        ] );
+    ]

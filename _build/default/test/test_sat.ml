@@ -1,0 +1,213 @@
+(* Tests for the DPLL solver and the order-driven MSA engine. *)
+
+open Lbr_logic
+open Lbr_sat
+
+let naive_sat cnf n =
+  let rec masks mask = if mask >= 1 lsl n then None
+    else
+      let m = List.init n (fun i -> i) |> List.filter (fun i -> mask land (1 lsl i) <> 0)
+              |> Assignment.of_list in
+      if Cnf.holds cnf m then Some m else masks (mask + 1)
+  in
+  masks 0
+
+let random_cnf_gen n =
+  let open QCheck.Gen in
+  let lit = pair (int_bound (n - 1)) bool in
+  let clause = list_size (int_range 1 3) lit in
+  map
+    (fun clauses ->
+      clauses
+      |> List.filter_map (fun lits ->
+             let neg = List.filter_map (fun (v, s) -> if s then None else Some v) lits in
+             let pos = List.filter_map (fun (v, s) -> if s then Some v else None) lits in
+             Clause.make ~neg ~pos)
+      |> Cnf.make)
+    (list_size (int_range 0 10) clause)
+
+(* Implication-fragment CNF: every clause has >= 1 positive literal, so the
+   MSA fixpoint engine never conflicts. *)
+let implication_cnf_gen n =
+  let open QCheck.Gen in
+  let clause =
+    map2
+      (fun negs poss -> Clause.make ~neg:negs ~pos:poss)
+      (list_size (int_bound 2) (int_bound (n - 1)))
+      (list_size (int_range 1 2) (int_bound (n - 1)))
+  in
+  map (fun cs -> Cnf.make (List.filter_map Fun.id cs)) (list_size (int_range 0 10) clause)
+
+let graph_cnf_gen n =
+  let open QCheck.Gen in
+  let edge = map2 (fun a b -> if a = b then None else Some (Clause.edge a b))
+      (int_bound (n - 1)) (int_bound (n - 1)) in
+  map (fun cs -> Cnf.make (List.filter_map Fun.id cs)) (list_size (int_range 0 12) edge)
+
+(* ------------------------------------------------------------------ *)
+(* Solver                                                              *)
+
+let prop_solver_agrees_with_naive =
+  QCheck.Test.make ~count:300 ~name:"Solver.solve finds a model iff one exists"
+    (QCheck.make (random_cnf_gen 7))
+    (fun cnf ->
+      match Solver.solve cnf, naive_sat cnf 7 with
+      | Some m, Some _ -> Cnf.holds cnf m
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_solve_with_required =
+  QCheck.Test.make ~count:200 ~name:"Solver.solve_with respects required"
+    (QCheck.make QCheck.Gen.(pair (random_cnf_gen 6) (int_bound 5)))
+    (fun (cnf, r) ->
+      match Solver.solve_with cnf ~required:(Assignment.singleton r) with
+      | None -> true
+      | Some m -> Assignment.mem r m && Cnf.holds cnf m)
+
+let prop_minimize_subset =
+  QCheck.Test.make ~count:200 ~name:"Solver.minimize shrinks within the model"
+    (QCheck.make (random_cnf_gen 6))
+    (fun cnf ->
+      match Solver.solve cnf with
+      | None -> true
+      | Some model ->
+          let order = Order.of_list (List.init 6 Fun.id) in
+          let small = Solver.minimize cnf ~order ~required:Assignment.empty ~model in
+          Assignment.subset small model && Cnf.holds cnf small)
+
+(* ------------------------------------------------------------------ *)
+(* MSA                                                                 *)
+
+let order6 = Order.of_list (List.init 6 Fun.id)
+
+let prop_msa_satisfies =
+  QCheck.Test.make ~count:300 ~name:"MSA result satisfies the formula and required set"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 6) (list_size (int_bound 2) (int_bound 5))))
+    (fun (cnf, req) ->
+      let required = Assignment.of_list req in
+      let universe = Assignment.of_list (List.init 6 Fun.id) in
+      match Msa.compute cnf ~order:order6 ~universe ~required () with
+      | None -> false (* implication fragment with required always satisfiable *)
+      | Some m -> Assignment.subset required m && Cnf.holds cnf m)
+
+(* On graph constraints the MSA is the exact least model: it equals the
+   forward closure of the required set over the implication edges. *)
+let prop_msa_least_model_on_graphs =
+  QCheck.Test.make ~count:300 ~name:"MSA on graph constraints = reachability closure"
+    (QCheck.make QCheck.Gen.(pair (graph_cnf_gen 6) (list_size (int_bound 3) (int_bound 5))))
+    (fun (cnf, req) ->
+      let required = Assignment.of_list req in
+      let universe = Assignment.of_list (List.init 6 Fun.id) in
+      match Msa.compute cnf ~order:order6 ~universe ~required () with
+      | None -> false
+      | Some m ->
+          (* closure by brute force *)
+          let edges =
+            Cnf.clauses cnf
+            |> List.map (fun (c : Clause.t) -> (c.neg.(0), c.pos.(0)))
+          in
+          let rec close set =
+            let next =
+              List.fold_left
+                (fun acc (a, b) -> if Assignment.mem a acc then Assignment.add b acc else acc)
+                set edges
+            in
+            if Assignment.equal next set then set else close next
+          in
+          Assignment.equal m (close required))
+
+let test_msa_order_tiebreak () =
+  (* required head choice follows the order: a => b | c. *)
+  let cnf = Cnf.make [ Clause.make_exn ~neg:[ 0 ] ~pos:[ 1; 2 ] ] in
+  let universe = Assignment.of_list [ 0; 1; 2 ] in
+  let check order expected =
+    match Msa.compute cnf ~order ~universe ~required:(Assignment.singleton 0) () with
+    | None -> Alcotest.fail "unsat"
+    | Some m -> Alcotest.(check (list int)) "chosen head" expected (Assignment.to_list m)
+  in
+  check (Order.of_list [ 0; 1; 2 ]) [ 0; 1 ];
+  check (Order.of_list [ 0; 2; 1 ]) [ 0; 2 ]
+
+let test_msa_engine_incremental () =
+  (* Incremental assumes equal one-shot computes. *)
+  let cnf =
+    Cnf.make [ Clause.edge 0 1; Clause.edge 1 2; Clause.make_exn ~neg:[ 2; 3 ] ~pos:[ 4 ] ]
+  in
+  let universe = Assignment.of_list [ 0; 1; 2; 3; 4 ] in
+  let order = Order.of_list [ 0; 1; 2; 3; 4 ] in
+  match Msa.Engine.create cnf ~order ~universe with
+  | Error `Conflict -> Alcotest.fail "unexpected conflict"
+  | Ok engine ->
+      Alcotest.(check bool) "assume 0" true (Msa.Engine.assume engine 0 = Ok ());
+      Alcotest.(check (list int)) "closure of 0" [ 0; 1; 2 ]
+        (Assignment.to_list (Msa.Engine.true_set engine));
+      Alcotest.(check bool) "assume 3" true (Msa.Engine.assume engine 3 = Ok ());
+      Alcotest.(check (list int)) "horn fires" [ 0; 1; 2; 3; 4 ]
+        (Assignment.to_list (Msa.Engine.true_set engine))
+
+let test_msa_conflict_fallback () =
+  (* Purely negative clause: engine conflicts, fallback DPLL path answers. *)
+  let cnf = Cnf.make [ Clause.make_exn ~neg:[ 0; 1 ] ~pos:[]; Clause.edge 0 1 ] in
+  let universe = Assignment.of_list [ 0; 1 ] in
+  let order = Order.of_list [ 0; 1 ] in
+  (match Msa.compute cnf ~order ~universe ~required:Assignment.empty () with
+  | None -> Alcotest.fail "satisfiable: empty set works"
+  | Some m -> Alcotest.(check bool) "empty or consistent" true (Cnf.holds cnf m));
+  match Msa.compute cnf ~order ~universe ~required:(Assignment.singleton 0) () with
+  | None -> () (* requiring 0 forces 1 (edge), violating the negative clause *)
+  | Some _ -> Alcotest.fail "should be unsat with required=0"
+
+(* MSA respects the universe restriction: variables outside it never turn
+   on, even when clauses mention them. *)
+let prop_msa_respects_universe =
+  QCheck.Test.make ~count:300 ~name:"MSA never assigns outside the universe"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 6) (list_size (int_range 1 4) (int_bound 5))))
+    (fun (cnf, uni) ->
+      let universe = Assignment.of_list uni in
+      match Msa.compute cnf ~order:order6 ~universe ~required:Assignment.empty () with
+      | None -> true
+      | Some m -> Assignment.subset m universe)
+
+(* The engine's closure is monotone in its assumptions. *)
+let prop_engine_monotone =
+  QCheck.Test.make ~count:200 ~name:"engine closures grow monotonically"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 6) (list_size (int_bound 4) (int_bound 5))))
+    (fun (cnf, to_assume) ->
+      let universe = Assignment.of_list (List.init 6 Fun.id) in
+      match Msa.Engine.create cnf ~order:order6 ~universe with
+      | Error `Conflict -> true
+      | Ok engine ->
+          let rec go previous = function
+            | [] -> true
+            | v :: rest -> (
+                match Msa.Engine.assume engine v with
+                | Error `Conflict -> true
+                | Ok () ->
+                    let current = Msa.Engine.true_set engine in
+                    Assignment.subset previous current
+                    && Assignment.mem v current
+                    && go current rest)
+          in
+          go (Msa.Engine.true_set engine) to_assume)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "lbr_sat"
+    [
+      qsuite "solver"
+        [ prop_solver_agrees_with_naive; prop_solve_with_required; prop_minimize_subset ];
+      qsuite "msa-prop"
+        [
+          prop_msa_satisfies;
+          prop_msa_least_model_on_graphs;
+          prop_msa_respects_universe;
+          prop_engine_monotone;
+        ];
+      ( "msa",
+        [
+          Alcotest.test_case "order tie-break" `Quick test_msa_order_tiebreak;
+          Alcotest.test_case "incremental engine" `Quick test_msa_engine_incremental;
+          Alcotest.test_case "conflict fallback" `Quick test_msa_conflict_fallback;
+        ] );
+    ]

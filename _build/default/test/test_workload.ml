@@ -1,0 +1,102 @@
+(* Tests for the corpus generator: validity by construction, determinism,
+   structural shape, and corpus-level statistics. *)
+
+open Lbr_jvm
+
+let prop_generated_pools_valid =
+  QCheck.Test.make ~count:60 ~name:"generated pools pass the checker"
+    QCheck.(make Gen.(pair (int_range 1 100_000) (int_range 12 60)))
+    (fun (seed, classes) ->
+      let pool =
+        Lbr_workload.Generator.generate ~seed
+          { Lbr_workload.Generator.default_profile with classes }
+      in
+      Checker.is_valid pool)
+
+let test_determinism () =
+  let profile = Lbr_workload.Generator.default_profile in
+  let a = Lbr_workload.Generator.generate ~seed:123 profile in
+  let b = Lbr_workload.Generator.generate ~seed:123 profile in
+  Alcotest.(check int) "same size" (Size.bytes a) (Size.bytes b);
+  Alcotest.(check (list string)) "same names" (Classpool.names a) (Classpool.names b);
+  let c = Lbr_workload.Generator.generate ~seed:124 profile in
+  Alcotest.(check bool) "different seed differs" true (Size.bytes a <> Size.bytes c)
+
+let test_shape () =
+  let pool =
+    Lbr_workload.Generator.generate ~seed:77 (Lbr_workload.Generator.njr_profile ~classes:80)
+  in
+  let classes = Classpool.classes pool in
+  let interfaces = List.filter (fun (c : Classfile.cls) -> c.is_interface) classes in
+  let abstracts =
+    List.filter (fun (c : Classfile.cls) -> c.is_abstract && not c.is_interface) classes
+  in
+  Alcotest.(check bool) "has interfaces" true (interfaces <> []);
+  Alcotest.(check bool) "has abstract classes" true (abstracts <> []);
+  Alcotest.(check bool) "has inheritance" true
+    (List.exists (fun (c : Classfile.cls) -> not (Classfile.is_external c.super)) classes);
+  Alcotest.(check bool) "has multi-interface classes" true
+    (List.exists (fun (c : Classfile.cls) -> List.length c.interfaces >= 2) classes);
+  Alcotest.(check bool) "has overloaded constructors" true
+    (List.exists (fun (c : Classfile.cls) -> List.length c.ctors >= 2) classes);
+  (* every feature the constraint generator handles specially appears *)
+  let all_insns =
+    List.concat_map
+      (fun (c : Classfile.cls) ->
+        List.concat_map (fun (m : Classfile.meth) -> m.m_body) c.methods
+        @ List.concat_map (fun (k : Classfile.ctor) -> k.k_body) c.ctors)
+      classes
+  in
+  let has pred name =
+    Alcotest.(check bool) ("has " ^ name) true (List.exists pred all_insns)
+  in
+  has (function Classfile.Invoke_virtual _ -> true | _ -> false) "virtual calls";
+  has (function Classfile.Invoke_interface _ -> true | _ -> false) "interface calls";
+  has (function Classfile.Invoke_static _ -> true | _ -> false) "static calls";
+  has (function Classfile.New_instance _ -> true | _ -> false) "allocations";
+  has (function Classfile.Check_cast _ -> true | _ -> false) "casts";
+  has (function Classfile.Upcast _ -> true | _ -> false) "upcasts";
+  has (function Classfile.Load_const_class _ -> true | _ -> false) "reflection"
+
+let test_corpus_statistics () =
+  let benchmarks = Lbr_harness.Corpus.build ~seed:9 ~programs:6 ~mean_classes:40 in
+  Alcotest.(check int) "six programs" 6 (List.length benchmarks);
+  List.iter
+    (fun (b : Lbr_harness.Corpus.benchmark) ->
+      Alcotest.(check bool) "valid" true (Checker.is_valid b.pool))
+    benchmarks;
+  let instances = Lbr_harness.Corpus.instances benchmarks in
+  Alcotest.(check bool) "some instances" true (instances <> []);
+  List.iter
+    (fun (i : Lbr_harness.Corpus.instance) ->
+      Alcotest.(check bool) "non-empty baselines" true (i.baseline_errors <> []))
+    instances;
+  let stats = Lbr_harness.Corpus.stats benchmarks instances in
+  Alcotest.(check bool) "geo classes in range" true
+    (stats.geo_classes > 10.0 && stats.geo_classes < 160.0);
+  Alcotest.(check bool) "graph fraction in range" true
+    (stats.mean_graph_fraction > 0.5 && stats.mean_graph_fraction <= 1.0)
+
+let test_class_count_respected () =
+  List.iter
+    (fun classes ->
+      let pool =
+        Lbr_workload.Generator.generate ~seed:5
+          { Lbr_workload.Generator.default_profile with classes }
+      in
+      Alcotest.(check int) "pool size = requested classes" classes (Size.classes pool))
+    [ 12; 24; 48 ]
+
+let () =
+  Alcotest.run "lbr_workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "class count" `Quick test_class_count_respected;
+        ] );
+      ( "generator-prop",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_generated_pools_valid ] );
+      ("corpus", [ Alcotest.test_case "statistics" `Quick test_corpus_statistics ]);
+    ]
