@@ -22,11 +22,20 @@ type options = {
   seed : int;
   run_tables : bool;
   run_micro : bool;
+  json_path : string option;
 }
 
 let parse_options () =
   let options =
-    ref { programs = 30; mean_classes = 60; seed = 42; run_tables = true; run_micro = true }
+    ref
+      {
+        programs = 30;
+        mean_classes = 60;
+        seed = 42;
+        run_tables = true;
+        run_micro = true;
+        json_path = None;
+      }
   in
   let rec go = function
     | [] -> ()
@@ -48,6 +57,13 @@ let parse_options () =
     | "--skip-tables" :: rest ->
         options := { !options with run_tables = false };
         go rest
+    | "--json" :: path :: rest ->
+        (* fail before the (possibly long) run, not at write time *)
+        (try close_out (open_out path) with Sys_error msg -> failwith msg);
+        options := { !options with json_path = Some path };
+        go rest
+    | [ (("--programs" | "--mean-classes" | "--seed" | "--json") as flag) ] ->
+        failwith (flag ^ " requires a value")
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -110,15 +126,16 @@ let run_corpus options =
       (fun strategy ->
         let t1 = Unix.gettimeofday () in
         let outcomes = List.map (Experiment.run strategy) instances in
+        let wall = Unix.gettimeofday () -. t1 in
         Printf.printf "[run] %-12s done in %.1fs wall\n%!"
           (Experiment.strategy_name strategy)
-          (Unix.gettimeofday () -. t1);
-        (strategy, outcomes))
+          wall;
+        (strategy, (wall, outcomes)))
       Experiment.all_strategies
   in
   (benchmarks, instances, outcomes)
 
-let outcomes_of strategy outcomes = List.assoc strategy outcomes
+let outcomes_of strategy outcomes = snd (List.assoc strategy outcomes)
 
 (* ================================================================== *)
 (* E4: corpus statistics (§5 "Statistics")                             *)
@@ -448,9 +465,9 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let samples = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
           let estimate = Analyze.one ols Toolkit.Instance.monotonic_clock samples in
@@ -460,9 +477,59 @@ let micro () =
             | Some [] | None -> nan
           in
           Printf.printf "%-32s %12.0f ns/run  (%.3f ms)\n%!" (Test.Elt.name elt) ns
-            (ns /. 1e6))
+            (ns /. 1e6);
+          (Test.Elt.name elt, ns))
         (Test.elements test))
     tests
+
+(* ================================================================== *)
+(* --json: machine-readable dump of the headline numbers               *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let write_json path options strategies micro_rows =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"programs\": %d,\n" options.programs;
+  p "  \"mean_classes\": %d,\n" options.mean_classes;
+  p "  \"seed\": %d,\n" options.seed;
+  p "  \"strategies\": [";
+  List.iteri
+    (fun i (name, wall, (s : Stats.summary)) ->
+      p
+        "%s\n    { \"name\": \"%s\", \"wall_seconds\": %s, \"geo_sim_time_seconds\": %s, \
+         \"geo_class_ratio\": %s, \"geo_byte_ratio\": %s, \"geo_line_ratio\": %s, \
+         \"geo_predicate_runs\": %s }"
+        (if i > 0 then "," else "")
+        (json_escape name) (json_num wall) (json_num s.geo_time)
+        (json_num s.geo_class_ratio) (json_num s.geo_byte_ratio) (json_num s.geo_line_ratio)
+        (json_num s.geo_runs))
+    strategies;
+  p "\n  ],\n";
+  p "  \"micro\": [";
+  List.iteri
+    (fun i (name, ns) ->
+      p "%s\n    { \"name\": \"%s\", \"ns_per_run\": %s }"
+        (if i > 0 then "," else "")
+        (json_escape name) (json_num ns))
+    micro_rows;
+  p "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "[json] wrote %s\n" path
 
 (* ================================================================== *)
 
@@ -471,14 +538,23 @@ let () =
   Printf.printf
     "Logical Bytecode Reduction — evaluation harness (programs=%d, mean-classes=%d, seed=%d)\n"
     options.programs options.mean_classes options.seed;
+  let strategy_rows = ref [] in
   if options.run_tables then begin
     table_e1 ();
     let benchmarks, instances, outcomes = run_corpus options in
+    strategy_rows :=
+      List.map
+        (fun (strategy, (wall, os)) ->
+          (Experiment.strategy_name strategy, wall, Stats.summarize os))
+        outcomes;
     table_e4 benchmarks instances;
     table_e2 outcomes;
     table_e3 outcomes;
     table_e5 instances outcomes;
     table_e6 instances
   end;
-  if options.run_micro then micro ();
+  let micro_rows = if options.run_micro then micro () else [] in
+  (match options.json_path with
+  | Some path -> write_json path options !strategy_rows micro_rows
+  | None -> ());
   print_newline ()

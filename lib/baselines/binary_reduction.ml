@@ -56,11 +56,13 @@ let reduce ~closures ~base ~predicate =
 module Graph_encoding = struct
   let closures ~num_vars ~edges ~required =
     let graph = Lbr_graph.Digraph.make ~n:num_vars ~edges in
-    let base =
-      Lbr_graph.Digraph.reachable_from_set graph required
-      |> Lbr_graph.Bitset.to_list |> Assignment.of_list
-    in
-    let per_node = Lbr_graph.Scc.all_closures graph in
+    let base_bits = Lbr_graph.Digraph.reachable_from_set graph required in
+    let base = Lbr_graph.Bitset.to_assignment base_bits in
+    (* Nodes of one SCC share their closure, and closures of distinct SCCs
+       differ (each contains its own members), so deduplicating per
+       component — word-level, before any conversion to assignments — yields
+       the same distinct set as deduplicating the per-node table. *)
+    let _, per_comp = Lbr_graph.Scc.component_closures graph in
     let module ASet = Set.Make (struct
       type t = Assignment.t
 
@@ -69,9 +71,9 @@ module Graph_encoding = struct
     let distinct =
       Array.fold_left
         (fun acc bits ->
-          let closure = Assignment.of_list (Lbr_graph.Bitset.to_list bits) in
-          if Assignment.subset closure base then acc else ASet.add closure acc)
-        ASet.empty per_node
+          if Lbr_graph.Bitset.subset bits base_bits then acc
+          else ASet.add (Lbr_graph.Bitset.to_assignment bits) acc)
+        ASet.empty per_comp
     in
     let sorted =
       ASet.elements distinct

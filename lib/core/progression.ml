@@ -6,32 +6,71 @@ let r_plus cnf learned =
     (List.map (fun l -> Clause.of_disjunction ~pos:(Assignment.to_list l)) learned)
 
 (* Fast path: one incremental MSA engine per progression; each variable of
-   the universe is propagated at most once in total. *)
+   the universe is propagated at most once in total.  The next excluded
+   variable is found by a pointer scan over the [<]-sorted universe — the
+   covered set only grows, so the pointer never moves back and the whole
+   scan is O(|universe|) across all entries, where recomputing
+   [universe \ covered] and its minimum per entry was quadratic. *)
 let build_fast ~cnf ~order ~universe =
   match Msa.Engine.create cnf ~order ~universe with
   | Error `Conflict -> Error `Conflict
   | Ok engine ->
-      let rec entries acc covered =
-        let remaining = Assignment.diff universe covered in
-        match Order.min_of order remaining with
-        | None -> Ok (List.rev acc)
-        | Some x -> (
-            match Msa.Engine.assume engine x with
-            | Error `Conflict -> Error `Conflict
-            | Ok () ->
-                let closure = Msa.Engine.true_set engine in
-                let entry = Assignment.diff closure covered in
-                entries (entry :: acc) closure)
+      let sorted = Assignment.to_list universe |> Order.sort order |> Array.of_list in
+      let n = Array.length sorted in
+      let rec entries acc i =
+        if i >= n then Ok (List.rev acc)
+        else if Msa.Engine.is_true engine sorted.(i) then entries acc (i + 1)
+        else
+          let covered = Msa.Engine.true_set engine in
+          match Msa.Engine.assume engine sorted.(i) with
+          | Error `Conflict -> Error `Conflict
+          | Ok () ->
+              let entry = Assignment.diff (Msa.Engine.true_set engine) covered in
+              entries (entry :: acc) (i + 1)
       in
       let d0 = Msa.Engine.true_set engine in
       (* D₀ may be empty when nothing is required; the progression is still
          well-defined (its first prefix is the empty, valid sub-input). *)
-      entries [ d0 ] d0
+      entries [ d0 ] 0
 
-(* Slow path for formulas outside the implication fragment: rebuild each
-   entry with the general MSA (DPLL fallback inside). *)
+(* Slow path for formulas outside the implication fragment.  One engine is
+   created and snapshotted at its post-[create] quiescent point; each entry
+   re-assumes [covered ∪ {x}] in ascending order and rolls back, which
+   reproduces a fresh engine run on the same required set (same state, same
+   closure, same conflicts) without re-indexing the formula per entry.
+   Entries whose fixpoint conflicts fall back to DPLL search plus greedy
+   minimization, exactly as {!Msa.compute} would. *)
 let build_slow ~cnf ~order ~universe =
-  match Msa.compute cnf ~order ~universe ~required:Assignment.empty () with
+  let restricted = lazy (Cnf.restrict cnf ~keep:universe) in
+  let general_msa ~required =
+    match Solver.solve_with (Lazy.force restricted) ~required with
+    | None -> None
+    | Some model -> Some (Solver.minimize (Lazy.force restricted) ~order ~required ~model)
+  in
+  let entry_closure ~engine ~required =
+    match engine with
+    | None -> general_msa ~required
+    | Some (engine, base) -> (
+        match Msa.Engine.assume_all engine (Assignment.to_list required) with
+        | Ok () ->
+            let closure = Msa.Engine.true_set engine in
+            Msa.Engine.rollback engine base;
+            Some closure
+        | Error `Conflict ->
+            Msa.Engine.rollback engine base;
+            general_msa ~required)
+  in
+  let engine =
+    match Msa.Engine.create cnf ~order ~universe with
+    | Error `Conflict -> None
+    | Ok e -> Some (e, Msa.Engine.snapshot e)
+  in
+  let d0 =
+    match engine with
+    | None -> general_msa ~required:Assignment.empty
+    | Some (e, _) -> Some (Msa.Engine.true_set e)
+  in
+  match d0 with
   | None -> Error `Unsat
   | Some d0 ->
       let rec entries acc covered =
@@ -39,11 +78,7 @@ let build_slow ~cnf ~order ~universe =
         match Order.min_of order remaining with
         | None -> Ok (List.rev acc)
         | Some x -> (
-            match
-              Msa.compute cnf ~order ~universe
-                ~required:(Assignment.add x covered)
-                ()
-            with
+            match entry_closure ~engine ~required:(Assignment.add x covered) with
             | None -> Error `Unsat
             | Some closure ->
                 let entry = Assignment.diff closure covered in

@@ -27,29 +27,79 @@ let package_of where =
 
 let package_modulus = 4
 
-let selective pattern where modulus =
-  Hashtbl.hash (pattern ^ "@" ^ package_of where) mod package_modulus = 0
-  && Hashtbl.hash (pattern ^ "/" ^ where) mod modulus = 0
+(* A location is kept structured so the pretty [where] string — used in
+   error messages — is only built for the rare bodies that actually fire. *)
+type loc = Cls of string | Meth of string * string | Ctor of string * int
 
-(* Iterate over every (class, method-or-ctor context, body). *)
-let fold_bodies pool f acc =
+let where_of = function
+  | Cls name -> name
+  | Meth (cls, meth) -> cls ^ "." ^ meth
+  | Ctor (cls, index) -> Printf.sprintf "%s.<init>#%d" cls index
+
+(* The gate depends only on the pattern and the location — never on the
+   pool — so each decision is shared across the thousands of sub-pools a
+   reduction probes the tool with. *)
+let selective_memo : (string * loc, bool) Hashtbl.t = Hashtbl.create 4096
+
+let selective pattern loc modulus =
+  let key = (pattern, loc) in
+  match Hashtbl.find_opt selective_memo key with
+  | Some gate -> gate
+  | None ->
+      let where = where_of loc in
+      let gate =
+        Hashtbl.hash (pattern ^ "@" ^ package_of where) mod package_modulus = 0
+        && Hashtbl.hash (pattern ^ "/" ^ where) mod modulus = 0
+      in
+      Hashtbl.add selective_memo key gate;
+      gate
+
+(* Class-level prefilter.  When the class name carries a package prefix
+   (always, for generated pools), every member location shares the class's
+   package, so a failed package gate rules out the whole class — one memo
+   lookup instead of one per body. *)
+let class_gate_memo : (string * string, bool) Hashtbl.t = Hashtbl.create 4096
+
+let class_may_fire pattern cls_name =
+  let key = (pattern, cls_name) in
+  match Hashtbl.find_opt class_gate_memo key with
+  | Some g -> g
+  | None ->
+      let g =
+        match String.index_opt cls_name '/' with
+        | None -> true (* no package: member wheres hash independently *)
+        | Some i ->
+            Hashtbl.hash (pattern ^ "@" ^ String.sub cls_name 0 i) mod package_modulus = 0
+      in
+      Hashtbl.add class_gate_memo key g;
+      g
+
+(* Iterate over every gated (class, method-or-ctor context, body): [f] only
+   sees bodies whose location passes [selective pattern _ modulus]. *)
+let fold_gated_bodies pool pattern modulus f acc =
   Classpool.fold
     (fun (c : cls) acc ->
-      let acc =
+      if not (class_may_fire pattern c.name) then acc
+      else
+        let acc =
+          List.fold_left
+            (fun acc (m : meth) ->
+              if m.m_abstract then acc
+              else
+                let loc = Meth (c.name, m.m_name) in
+                if not (selective pattern loc modulus) then acc
+                else f acc c (Item.Code { cls = c.name; meth = m.m_name }) loc m.m_body)
+            acc c.methods
+        in
         List.fold_left
-          (fun acc (m : meth) ->
-            if m.m_abstract then acc
-            else f acc c (Item.Code { cls = c.name; meth = m.m_name })
-                   (Printf.sprintf "%s.%s" c.name m.m_name) m.m_body)
-          acc c.methods
-      in
-      List.fold_left
-        (fun (acc, index) (k : ctor) ->
-          ( f acc c (Item.Ctor_code { cls = c.name; index })
-              (Printf.sprintf "%s.<init>#%d" c.name index) k.k_body,
-            index + 1 ))
-        (acc, 0) c.ctors
-      |> fst)
+          (fun (acc, index) (k : ctor) ->
+            let loc = Ctor (c.name, index) in
+            ( (if selective pattern loc modulus then
+                 f acc c (Item.Ctor_code { cls = c.name; index }) loc k.k_body
+               else acc),
+              index + 1 ))
+          (acc, 0) c.ctors
+        |> fst)
     pool acc
 
 let is_internal_interface pool name =
@@ -62,23 +112,23 @@ let iface_cast =
     name = "iface-cast";
     detect =
       (fun pool ->
-        fold_bodies pool
-          (fun acc _c code_item where body ->
-            let hits =
-              List.filter_map
-                (function
-                  | Check_cast t when is_internal_interface pool t -> Some t
-                  | _ -> None)
-                body
-            in
-            match hits with
-            | _ when not (selective "iface-cast" where 6) -> acc
-            | [] -> acc
-            | t :: _ ->
-                mk "iface-cast"
-                  (Printf.sprintf "error: incompatible types: required %s (in %s)" t where)
-                  [ code_item; Item.Class t ]
-                :: acc)
+        fold_gated_bodies pool "iface-cast" 6
+          (fun acc _c code_item loc body ->
+              let hits =
+                List.filter_map
+                  (function
+                    | Check_cast t when is_internal_interface pool t -> Some t
+                    | _ -> None)
+                  body
+              in
+              match hits with
+              | [] -> acc
+              | t :: _ ->
+                  mk "iface-cast"
+                    (Printf.sprintf "error: incompatible types: required %s (in %s)" t
+                       (where_of loc))
+                    [ code_item; Item.Class t ]
+                  :: acc)
           []);
   }
 
@@ -89,21 +139,21 @@ let reflective_ldc =
     name = "reflective-ldc";
     detect =
       (fun pool ->
-        fold_bodies pool
-          (fun acc _c code_item where body ->
-            let hits =
-              List.filter_map
-                (function Load_const_class t when Classpool.mem pool t -> Some t | _ -> None)
-                body
-            in
-            match hits with
-            | _ when not (selective "reflective-ldc" where 3) -> acc
-            | [] -> acc
-            | t :: _ ->
-                mk "reflective-ldc"
-                  (Printf.sprintf "error: unchecked class literal %s.class (in %s)" t where)
-                  [ code_item; Item.Class t ]
-                :: acc)
+        fold_gated_bodies pool "reflective-ldc" 3
+          (fun acc _c code_item loc body ->
+              let hits =
+                List.filter_map
+                  (function Load_const_class t when Classpool.mem pool t -> Some t | _ -> None)
+                  body
+              in
+              match hits with
+              | [] -> acc
+              | t :: _ ->
+                  mk "reflective-ldc"
+                    (Printf.sprintf "error: unchecked class literal %s.class (in %s)" t
+                       (where_of loc))
+                    [ code_item; Item.Class t ]
+                  :: acc)
           []);
   }
 
@@ -118,16 +168,17 @@ let diamond =
            while any of its bodies makes an interface call. *)
         Classpool.fold
           (fun (c : cls) acc ->
+            if c.is_interface || not (selective "diamond" (Cls c.name) 2) then acc
+            else
             let internal_ifaces = List.filter (Classpool.mem pool) c.interfaces in
-            let has_icall =
+            let has_icall () =
               List.exists
                 (fun (m : meth) ->
                   List.exists (function Invoke_interface _ -> true | _ -> false) m.m_body)
                 c.methods
             in
             match internal_ifaces with
-            | i1 :: i2 :: _
-              when has_icall && (not c.is_interface) && selective "diamond" c.name 2 ->
+            | i1 :: i2 :: _ when has_icall () ->
                 mk "diamond"
                   (Printf.sprintf "error: ambiguous supertype bound (class %s)" c.name)
                   [
@@ -148,7 +199,8 @@ let inner_annot =
       (fun pool ->
         Classpool.fold
           (fun (c : cls) acc ->
-            if c.annotations <> [] && c.inner_classes <> [] && selective "inner-annot" c.name 2 then
+            if c.annotations <> [] && c.inner_classes <> [] && selective "inner-annot" (Cls c.name) 2
+            then
               mk "inner-annot"
                 (Printf.sprintf "error: illegal start of type (class %s)" c.name)
                 [
@@ -167,29 +219,29 @@ let static_through_super =
     name = "static-super";
     detect =
       (fun pool ->
-        fold_bodies pool
-          (fun acc _c code_item where body ->
-            let hit =
-              List.exists
-                (function
-                  | Invoke_static { owner; meth } -> (
-                      match Classpool.find pool owner with
-                      | Some oc -> (
-                          match Classfile.find_method oc meth with
-                          | Some _ -> false (* defined directly: decompiles fine *)
-                          | None ->
-                              Hierarchy.method_candidates pool ~owner ~meth ~static:true <> [])
-                      | None -> false)
-                  | _ -> false)
-                body
-            in
-            if hit && selective "static-super" where 5 then
-              mk "static-super"
-                (Printf.sprintf "error: non-static method referenced from static context (in %s)"
-                   where)
-                [ code_item ]
-              :: acc
-            else acc)
+        fold_gated_bodies pool "static-super" 5
+          (fun acc _c code_item loc body ->
+              let hit =
+                List.exists
+                  (function
+                    | Invoke_static { owner; meth } -> (
+                        match Classpool.find pool owner with
+                        | Some oc -> (
+                            match Classfile.find_method oc meth with
+                            | Some _ -> false (* defined directly: decompiles fine *)
+                            | None ->
+                                Hierarchy.method_candidates pool ~owner ~meth ~static:true <> [])
+                        | None -> false)
+                    | _ -> false)
+                  body
+              in
+              if hit then
+                mk "static-super"
+                  (Printf.sprintf "error: non-static method referenced from static context (in %s)"
+                     (where_of loc))
+                  [ code_item ]
+                :: acc
+              else acc)
           []);
   }
 
@@ -207,7 +259,7 @@ let abstract_super =
               match Classpool.find pool c.super with
               | Some s
                 when s.is_abstract && (not s.is_interface)
-                     && selective "abstract-super" c.name 3 ->
+                     && selective "abstract-super" (Cls c.name) 3 ->
                   mk "abstract-super"
                     (Printf.sprintf "error: %s is not abstract and does not override (%s)" c.name
                        c.super)
@@ -224,24 +276,23 @@ let upcast_iface =
     name = "upcast-iface";
     detect =
       (fun pool ->
-        fold_bodies pool
-          (fun acc _c code_item where body ->
-            let hits =
-              List.filter_map
-                (function
-                  | Upcast { from_; to_ } when is_internal_interface pool to_ -> Some (from_, to_)
-                  | _ -> None)
-                body
-            in
-            match hits with
-            | _ when not (selective "upcast-iface" where 8) -> acc
-            | [] -> acc
-            | (_, t) :: _ ->
-                mk "upcast-iface"
-                  (Printf.sprintf "error: inference variable %s has incompatible bounds (in %s)" t
-                     where)
-                  [ code_item; Item.Class t ]
-                :: acc)
+        fold_gated_bodies pool "upcast-iface" 8
+          (fun acc _c code_item loc body ->
+              let hits =
+                List.filter_map
+                  (function
+                    | Upcast { from_; to_ } when is_internal_interface pool to_ -> Some (from_, to_)
+                    | _ -> None)
+                  body
+              in
+              match hits with
+              | [] -> acc
+              | (_, t) :: _ ->
+                  mk "upcast-iface"
+                    (Printf.sprintf "error: inference variable %s has incompatible bounds (in %s)"
+                       t (where_of loc))
+                    [ code_item; Item.Class t ]
+                  :: acc)
           []);
   }
 
@@ -251,24 +302,24 @@ let ctor_overload =
     name = "ctor-overload";
     detect =
       (fun pool ->
-        fold_bodies pool
-          (fun acc _c code_item where body ->
-            let hits =
-              List.filter_map
-                (function
-                  | New_instance { cls; ctor } when ctor > 0 && Classpool.mem pool cls ->
-                      Some (cls, ctor)
-                  | _ -> None)
-                body
-            in
-            match hits with
-            | _ when not (selective "ctor-overload" where 8) -> acc
-            | [] -> acc
-            | (cls, ctor) :: _ ->
-                mk "ctor-overload"
-                  (Printf.sprintf "error: constructor %s cannot be applied (in %s)" cls where)
-                  [ code_item; Item.Ctor { cls; index = ctor } ]
-                :: acc)
+        fold_gated_bodies pool "ctor-overload" 8
+          (fun acc _c code_item loc body ->
+              let hits =
+                List.filter_map
+                  (function
+                    | New_instance { cls; ctor } when ctor > 0 && Classpool.mem pool cls ->
+                        Some (cls, ctor)
+                    | _ -> None)
+                  body
+              in
+              match hits with
+              | [] -> acc
+              | (cls, ctor) :: _ ->
+                  mk "ctor-overload"
+                    (Printf.sprintf "error: constructor %s cannot be applied (in %s)" cls
+                       (where_of loc))
+                    [ code_item; Item.Ctor { cls; index = ctor } ]
+                  :: acc)
           []);
   }
 

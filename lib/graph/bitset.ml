@@ -1,8 +1,17 @@
-type t = { bits : Bytes.t; capacity : int }
+(* Fixed-capacity mutable bitsets over native-int words.  The word layout
+   (little-endian, [Sys.int_size] bits per word) matches
+   [Lbr_logic.Assignment], so {!to_assignment} is a single array hand-over
+   instead of an element-by-element rebuild. *)
+
+let bits = Sys.int_size
+
+type t = { words : int array; capacity : int }
+
+let words_for capacity = (capacity + bits - 1) / bits
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
-  { bits = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+  { words = Array.make (words_for capacity) 0; capacity }
 
 let capacity t = t.capacity
 
@@ -11,59 +20,103 @@ let check t i =
 
 let add t i =
   check t i;
-  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
-  Bytes.set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+  t.words.(i / bits) <- t.words.(i / bits) lor (1 lsl (i mod bits))
+
+let remove t i =
+  check t i;
+  t.words.(i / bits) <- t.words.(i / bits) land lnot (1 lsl (i mod bits))
 
 let mem t i =
   check t i;
-  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  t.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+let check_pair a b name =
+  if a.capacity <> b.capacity then invalid_arg (name ^ ": capacity mismatch")
 
 let union_into ~dst src =
-  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
-  for b = 0 to Bytes.length dst.bits - 1 do
-    Bytes.set dst.bits b
-      (Char.chr (Char.code (Bytes.get dst.bits b) lor Char.code (Bytes.get src.bits b)))
+  check_pair dst src "Bitset.union_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
   done
 
-let popcount_byte =
-  let table = Array.make 256 0 in
-  for i = 1 to 255 do
-    table.(i) <- table.(i lsr 1) + (i land 1)
+let inter_into ~dst src =
+  check_pair dst src "Bitset.inter_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let diff_into ~dst src =
+  check_pair dst src "Bitset.diff_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+  done
+
+let copy t = { words = Array.copy t.words; capacity = t.capacity }
+
+let union a b =
+  check_pair a b "Bitset.union";
+  let r = copy a in
+  union_into ~dst:r b;
+  r
+
+let inter a b =
+  check_pair a b "Bitset.inter";
+  let r = copy a in
+  inter_into ~dst:r b;
+  r
+
+let diff a b =
+  check_pair a b "Bitset.diff";
+  let r = copy a in
+  diff_into ~dst:r b;
+  r
+
+(* 16-bit popcount table; a word takes four lookups. *)
+let popcount16 =
+  let table = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.set table i (Char.chr (Char.code (Bytes.get table (i lsr 1)) + (i land 1)))
   done;
-  fun c -> table.(Char.code c)
+  fun x -> Char.code (Bytes.unsafe_get table x)
 
-let cardinal t =
-  let n = ref 0 in
-  Bytes.iter (fun c -> n := !n + popcount_byte c) t.bits;
-  !n
+let popcount x =
+  popcount16 (x land 0xffff)
+  + popcount16 ((x lsr 16) land 0xffff)
+  + popcount16 ((x lsr 32) land 0xffff)
+  + popcount16 (x lsr 48)
 
-let copy t = { bits = Bytes.copy t.bits; capacity = t.capacity }
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
-let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
+let equal a b = a.capacity = b.capacity && a.words = b.words
 
 let subset a b =
   a.capacity = b.capacity
   &&
-  let ok = ref true in
-  for i = 0 to Bytes.length a.bits - 1 do
-    let ca = Char.code (Bytes.get a.bits i) and cb = Char.code (Bytes.get b.bits i) in
-    if ca land lnot cb <> 0 then ok := false
-  done;
-  !ok
+  let rec go w =
+    w >= Array.length a.words || (a.words.(w) land lnot b.words.(w) = 0 && go (w + 1))
+  in
+  go 0
 
-let iter f t =
-  for i = 0 to t.capacity - 1 do
-    if mem t i then f i
-  done
-
-let to_list t =
-  let acc = ref [] in
-  for i = t.capacity - 1 downto 0 do
-    if mem t i then acc := i :: !acc
+let fold f t init =
+  let acc = ref init in
+  for w = 0 to Array.length t.words - 1 do
+    let x = ref t.words.(w) in
+    let base = w * bits in
+    while !x <> 0 do
+      let low = !x land - !x in
+      acc := f (base + popcount (low - 1)) !acc;
+      x := !x land (!x - 1)
+    done
   done;
   !acc
+
+let iter f t = fold (fun i () -> f i) t ()
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
 
 let of_list capacity elements =
   let t = create capacity in
   List.iter (add t) elements;
   t
+
+let to_assignment t = Lbr_logic.Assignment.of_words t.words

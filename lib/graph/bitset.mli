@@ -1,5 +1,7 @@
-(** Fixed-capacity mutable bit sets, used for closure computations where the
-    per-node reachable sets of a few thousand nodes must stay cheap. *)
+(** Fixed-capacity mutable bit sets over native-int words, used for closure
+    computations where the per-node reachable sets of a few thousand nodes
+    must stay cheap.  All bulk operations ({!union_into}, {!subset},
+    {!cardinal}, …) run a word at a time. *)
 
 type t
 
@@ -8,14 +10,33 @@ val create : int -> t
 
 val capacity : t -> int
 val add : t -> int -> unit
+val remove : t -> int -> unit
 val mem : t -> int -> bool
+
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] sets [dst := dst ∪ src].  Capacities must match. *)
+
+val inter_into : dst:t -> t -> unit
+val diff_into : dst:t -> t -> unit
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+(** Allocating variants; capacities must match. *)
 
 val cardinal : t -> int
 val copy : t -> t
 val equal : t -> t -> bool
+
 val subset : t -> t -> bool
+(** Word-at-a-time inclusion test, exiting on the first mismatching word. *)
+
 val to_list : t -> int list
 val of_list : int -> int list -> t
 val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_assignment : t -> Lbr_logic.Assignment.t
+(** Convert to an immutable assignment by handing over the word array (the
+    two modules share the same word layout), avoiding an element-by-element
+    rebuild. *)

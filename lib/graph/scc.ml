@@ -60,7 +60,7 @@ let condensation g r =
   in
   Digraph.make ~n:r.num_comps ~edges
 
-let all_closures g =
+let component_closures g =
   let n = Digraph.num_nodes g in
   let r = compute g in
   let dag = condensation g r in
@@ -76,4 +76,9 @@ let all_closures g =
         Bitset.union_into ~dst:closure comp_closure.(c'))
       (Digraph.succ dag c)
   done;
+  (r, comp_closure)
+
+let all_closures g =
+  let n = Digraph.num_nodes g in
+  let r, comp_closure = component_closures g in
   Array.init n (fun v -> comp_closure.(r.comp_of.(v)))

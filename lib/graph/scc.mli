@@ -17,6 +17,11 @@ val compute : Digraph.t -> result
 val condensation : Digraph.t -> result -> Digraph.t
 (** The component DAG (nodes are component ids). *)
 
+val component_closures : Digraph.t -> result * Bitset.t array
+(** Per-component closures (indexed by component id).  [all_closures] is
+    this table spread over nodes; callers that only need the set of
+    distinct closures avoid the per-node expansion. *)
+
 val all_closures : Digraph.t -> Bitset.t array
 (** [all_closures g] maps every node to its closure — the set of nodes
     reachable from it, including itself.  Nodes in the same strongly

@@ -184,7 +184,7 @@ let run_lossy instance ~pick ~strategy ~cost =
       ~edges ~required
   in
   let driver = make_driver instance ~cost in
-  let sub_pool_of phi = Reducer.apply jv pool phi in
+  let sub_pool_of = Reducer.prepare jv pool in
   let predicate =
     Lbr.Predicate.make ~name:"lossy" (fun phi -> driver.check_pool (sub_pool_of phi))
   in
@@ -200,7 +200,7 @@ let run_lossy instance ~pick ~strategy ~cost =
 let run_gbr instance ~cost =
   let pool, vpool, jv, cnf = item_context instance in
   let driver = make_driver instance ~cost in
-  let sub_pool_of phi = Reducer.apply jv pool phi in
+  let sub_pool_of = Reducer.prepare jv pool in
   let predicate =
     Lbr.Predicate.make ~name:"gbr" (fun phi -> driver.check_pool (sub_pool_of phi))
   in

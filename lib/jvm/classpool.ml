@@ -1,23 +1,33 @@
 module SMap = Map.Make (String)
 
-type t = Classfile.cls SMap.t
+(* The size metric is consulted several times per predicate call (cost
+   function, improvement tracking); the memo makes those after the first
+   free.  [-1] means "not computed yet". *)
+type t = { map : Classfile.cls SMap.t; mutable bytes_memo : int }
 
 let of_classes classes =
-  List.fold_left
-    (fun pool (c : Classfile.cls) ->
-      if SMap.mem c.name pool then
-        invalid_arg (Printf.sprintf "Classpool.of_classes: duplicate class %s" c.name)
-      else SMap.add c.name c pool)
-    SMap.empty classes
+  let map =
+    List.fold_left
+      (fun pool (c : Classfile.cls) ->
+        if SMap.mem c.name pool then
+          invalid_arg (Printf.sprintf "Classpool.of_classes: duplicate class %s" c.name)
+        else SMap.add c.name c pool)
+      SMap.empty classes
+  in
+  { map; bytes_memo = -1 }
 
-let find pool name = SMap.find_opt name pool
+let find pool name = SMap.find_opt name pool.map
 
-let mem pool name = SMap.mem name pool
+let mem pool name = SMap.mem name pool.map
 
-let classes pool = SMap.bindings pool |> List.map snd
+let classes pool = SMap.bindings pool.map |> List.map snd
 
-let names pool = SMap.bindings pool |> List.map fst
+let names pool = SMap.bindings pool.map |> List.map fst
 
-let size pool = SMap.cardinal pool
+let size pool = SMap.cardinal pool.map
 
-let fold f pool acc = SMap.fold (fun _ c acc -> f c acc) pool acc
+let fold f pool acc = SMap.fold (fun _ c acc -> f c acc) pool.map acc
+
+let memo_bytes pool compute =
+  if pool.bytes_memo < 0 then pool.bytes_memo <- compute pool;
+  pool.bytes_memo

@@ -20,3 +20,7 @@ val size : t -> int
 (** Number of internal classes. *)
 
 val fold : (Classfile.cls -> 'a -> 'a) -> t -> 'a -> 'a
+
+val memo_bytes : t -> (t -> int) -> int
+(** Memoization slot for {!Size.bytes}: runs [compute] on the first call
+    and caches the (non-negative) result on the pool. *)

@@ -62,8 +62,12 @@ let resolution_formula jv candidates ~member =
 let generate jv pool =
   let formulas = ref [] in
   let emit f = formulas := f :: !formulas in
-  let insn_formula where insn =
-    ignore where;
+  (* An instruction's validity formula depends only on the instruction and
+     the (fixed) pool, and call sites repeat heavily across bodies, so the
+     whole resolution — hierarchy search included — is shared per distinct
+     instruction. *)
+  let insn_memo : (insn, Formula.t) Hashtbl.t = Hashtbl.create 1024 in
+  let insn_formula_uncached insn =
     match insn with
     | Invoke_virtual { owner; meth } | Invoke_interface { owner; meth } ->
         Formula.conj
@@ -120,7 +124,15 @@ let generate jv pool =
           Formula.conj (cls_formula jv c :: !edges)
     | Arith | Load_store | Return_insn -> Formula.True
   in
-  let body_formula where insns = Formula.conj (List.map (insn_formula where) insns) in
+  let insn_formula insn =
+    match Hashtbl.find_opt insn_memo insn with
+    | Some f -> f
+    | None ->
+        let f = insn_formula_uncached insn in
+        Hashtbl.add insn_memo insn f;
+        f
+  in
+  let body_formula insns = Formula.conj (List.map insn_formula insns) in
   let gen_class (c : cls) =
     let vc = Jvars.formula jv (Item.Class c.name) in
     (* Relations. *)
@@ -153,8 +165,7 @@ let generate jv pool =
         emit (Formula.imply vm (Formula.conj (vc :: decl_types)));
         if not m.m_abstract then
           let vcode = Jvars.formula jv (Item.Code { cls = c.name; meth = m.m_name }) in
-          let where = Printf.sprintf "%s.%s()" c.name m.m_name in
-          emit (Formula.imply vcode (Formula.conj [ vm; body_formula where m.m_body ])))
+          emit (Formula.imply vcode (Formula.conj [ vm; body_formula m.m_body ])))
       c.methods;
     (* Constructors, with the implicit super-constructor call: if the body
        is kept and the extends relation is kept, some super constructor must
@@ -165,8 +176,7 @@ let generate jv pool =
         let vkcode = Jvars.formula jv (Item.Ctor_code { cls = c.name; index }) in
         let decl_types = List.map (type_ref_formula jv) k.k_params in
         emit (Formula.imply vk (Formula.conj (vc :: decl_types)));
-        let where = Printf.sprintf "%s.<init>#%d" c.name index in
-        emit (Formula.imply vkcode (Formula.conj [ vk; body_formula where k.k_body ]));
+        emit (Formula.imply vkcode (Formula.conj [ vk; body_formula k.k_body ]));
         if not (Classfile.is_external c.super) then
           match Classpool.find pool c.super with
           | None -> ()

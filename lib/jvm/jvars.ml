@@ -46,13 +46,14 @@ let derive pool_vars pool =
   let vars_of_items = Hashtbl.create 256 in
   let items_of_vars = Hashtbl.create 256 in
   let all =
-    List.fold_left
-      (fun acc item ->
+    List.map
+      (fun item ->
         let v = Var.Pool.fresh pool_vars (Item.to_string item) in
         Hashtbl.add vars_of_items item v;
         Hashtbl.add items_of_vars v item;
-        Assignment.add v acc)
-      Assignment.empty item_list
+        v)
+      item_list
+    |> Assignment.of_list
   in
   { item_list; vars_of_items; items_of_vars; all }
 

@@ -1,90 +1,176 @@
 open Lbr_logic
 open Classfile
 
-let apply jv pool phi =
-  let keep item =
-    match Jvars.var_opt jv item with
-    | Some v -> Assignment.mem v phi
-    | None -> true (* itemless (external-super extends etc.): permanent *)
+(* One reduction instance applies thousands of candidate assignments to the
+   same pool, so the item → variable resolution (string-keyed hash lookups
+   on freshly built items) is hoisted into a prepared pass: every item's
+   variable id is resolved once, and each application is then pure integer
+   membership tests on the assignment.  [-1] marks itemless (permanent)
+   positions, e.g. extends of an external super. *)
+
+type prep_class = {
+  pc : cls;
+  cls_var : int;
+  ext_var : int;
+  base_bytes : int;  (* class header + name, per {!Size.class_bytes} *)
+  iface_vars : (string * int) list;
+  field_vars : (field * int) list;
+  meth_vars : (meth * int * int * int * int) list;
+      (* method item, code item, bytes if body kept, bytes if stubbed *)
+  ctor_vars : (ctor * int * int * int * int) array;
+      (* ctor item, ctor-code item, bytes if body kept, bytes if stubbed *)
+  annot_vars : (string * int) list;
+  inner_vars : (string * int) list;
+}
+
+let prepare jv pool =
+  let var_of item = match Jvars.var_opt jv item with Some v -> v | None -> -1 in
+  let prep =
+    Classpool.fold
+      (fun (c : cls) acc ->
+        let name = c.name in
+        {
+          pc = c;
+          cls_var = var_of (Item.Class name);
+          ext_var =
+            (if c.is_interface || Classfile.is_external c.super then -1
+             else var_of (Item.Extends name));
+          base_bytes = Size.class_header_bytes c;
+          iface_vars =
+            List.map
+              (fun i ->
+                ( i,
+                  var_of
+                    (if c.is_interface then Item.Iface_extends { iface = name; super = i }
+                     else Item.Implements { cls = name; iface = i }) ))
+              c.interfaces;
+          field_vars =
+            List.map (fun (f : field) -> (f, var_of (Item.Field { cls = name; field = f.f_name }))) c.fields;
+          meth_vars =
+            List.map
+              (fun (m : meth) ->
+                ( m,
+                  var_of (Item.Method { cls = name; meth = m.m_name }),
+                  (if m.m_abstract then -1 else var_of (Item.Code { cls = name; meth = m.m_name })),
+                  Size.meth_bytes m,
+                  (* remapping preserves per-instruction sizes, so the kept
+                     and stubbed byte counts can both be fixed in advance *)
+                  if m.m_abstract then Size.meth_bytes m
+                  else Size.meth_bytes { m with m_body = [ Return_insn ] } ))
+              c.methods;
+          ctor_vars =
+            Array.of_list
+              (List.mapi
+                 (fun index k ->
+                   ( k,
+                     var_of (Item.Ctor { cls = name; index }),
+                     var_of (Item.Ctor_code { cls = name; index }),
+                     Size.ctor_bytes k,
+                     Size.ctor_bytes { k with k_body = [ Return_insn ] } ))
+                 c.ctors);
+          annot_vars = List.mapi (fun index a -> (a, var_of (Item.Annotation { cls = name; index }))) c.annotations;
+          inner_vars =
+            List.mapi (fun index i -> (i, var_of (Item.Inner_class { cls = name; index }))) c.inner_classes;
+        }
+        :: acc)
+      pool []
   in
-  let reduce_class (c : cls) acc =
-    if not (keep (Item.Class c.name)) then acc
-    else
-      let super =
-        if c.is_interface || Classfile.is_external c.super then c.super
-        else if keep (Item.Extends c.name) then c.super
-        else object_name
-      in
-      let interfaces =
-        List.filter
-          (fun i ->
-            keep
-              (if c.is_interface then Item.Iface_extends { iface = c.name; super = i }
-               else Item.Implements { cls = c.name; iface = i }))
-          c.interfaces
-      in
-      let fields =
-        List.filter (fun (f : field) -> keep (Item.Field { cls = c.name; field = f.f_name })) c.fields
-      in
-      let methods =
-        List.filter_map
-          (fun (m : meth) ->
-            if not (keep (Item.Method { cls = c.name; meth = m.m_name })) then None
-            else if m.m_abstract then Some m
-            else if keep (Item.Code { cls = c.name; meth = m.m_name }) then Some m
-            else Some { m with m_body = [ Return_insn ] })
-          c.methods
-      in
-      (* Indices shift after filtering: stub removed bodies first, then drop
-         removed constructors.  New_instance sites referencing a removed
-         constructor are ruled out by the constraints; sites referencing kept
-         ones are renumbered below. *)
-      let ctors =
-        List.mapi (fun index k -> (index, k)) c.ctors
-        |> List.filter (fun (index, _) -> keep (Item.Ctor { cls = c.name; index }))
-        |> List.map (fun (index, k) ->
-               if keep (Item.Ctor_code { cls = c.name; index }) then k
-               else { k with k_body = [ Return_insn ] })
-      in
-      let annotations =
-        List.filteri (fun index _ -> keep (Item.Annotation { cls = c.name; index })) c.annotations
-      in
-      let inner_classes =
-        List.filteri (fun index _ -> keep (Item.Inner_class { cls = c.name; index })) c.inner_classes
-      in
-      { c with super; interfaces; fields; methods; ctors; annotations; inner_classes } :: acc
-  in
-  (* Constructor indices in New_instance must follow the renumbering. *)
-  let ctor_index_map : (string, int array) Hashtbl.t = Hashtbl.create 16 in
-  Classpool.fold
-    (fun c () ->
-      let mapping = Array.make (List.length c.ctors) (-1) in
-      let next = ref 0 in
-      List.iteri
-        (fun i _ ->
-          if keep (Item.Ctor { cls = c.name; index = i }) then begin
-            mapping.(i) <- !next;
-            incr next
-          end)
-        c.ctors;
-      Hashtbl.add ctor_index_map c.name mapping)
-    pool ();
-  let remap_insn insn =
-    match insn with
-    | New_instance { cls; ctor } -> (
-        match Hashtbl.find_opt ctor_index_map cls with
-        | Some mapping when ctor < Array.length mapping && mapping.(ctor) >= 0 ->
-            New_instance { cls; ctor = mapping.(ctor) }
-        | Some _ | None -> insn)
-    | Invoke_virtual _ | Invoke_interface _ | Invoke_static _ | Get_field _ | Put_field _
-    | Check_cast _ | Instance_of _ | Upcast _ | Load_const_class _ | Arith | Load_store
-    | Return_insn -> insn
-  in
-  let remap_class (c : cls) =
-    {
-      c with
-      methods = List.map (fun (m : meth) -> { m with m_body = List.map remap_insn m.m_body }) c.methods;
-      ctors = List.map (fun (k : ctor) -> { k with k_body = List.map remap_insn k.k_body }) c.ctors;
-    }
-  in
-  Classpool.fold reduce_class pool [] |> List.map remap_class |> Classpool.of_classes
+  fun phi ->
+    let keep v = v < 0 || Assignment.mem v phi in
+    (* Constructor indices in New_instance must follow the renumbering that
+       dropping constructors induces. *)
+    let ctor_index_map : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        let mapping = Array.make (Array.length p.ctor_vars) (-1) in
+        let next = ref 0 in
+        Array.iteri
+          (fun i (_, kv, _, _, _) ->
+            if keep kv then begin
+              mapping.(i) <- !next;
+              incr next
+            end)
+          p.ctor_vars;
+        Hashtbl.add ctor_index_map p.pc.name mapping)
+      prep;
+    let remap_insn insn =
+      match insn with
+      | New_instance { cls; ctor } -> (
+          match Hashtbl.find_opt ctor_index_map cls with
+          | Some mapping when ctor < Array.length mapping && mapping.(ctor) >= 0 ->
+              New_instance { cls; ctor = mapping.(ctor) }
+          | Some _ | None -> insn)
+      | Invoke_virtual _ | Invoke_interface _ | Invoke_static _ | Get_field _ | Put_field _
+      | Check_cast _ | Instance_of _ | Upcast _ | Load_const_class _ | Arith | Load_store
+      | Return_insn -> insn
+    in
+    let remap_body body = List.map remap_insn body in
+    (* The byte size of the sub-pool is accumulated arithmetically during
+       filtering — member weights were fixed at preparation time — so the
+       driver's cost function never has to re-walk the bodies. *)
+    let reduce_class p ((acc, total) as unchanged) =
+      let c = p.pc in
+      if not (keep p.cls_var) then unchanged
+      else begin
+        let bytes = ref p.base_bytes in
+        let super = if keep p.ext_var then c.super else object_name in
+        let interfaces =
+          List.filter_map
+            (fun (i, v) ->
+              if keep v then begin bytes := !bytes + Size.iface_bytes; Some i end else None)
+            p.iface_vars
+        in
+        let fields =
+          List.filter_map
+            (fun (f, v) ->
+              if keep v then begin bytes := !bytes + Size.field_bytes; Some f end else None)
+            p.field_vars
+        in
+        let methods =
+          List.filter_map
+            (fun ((m : meth), mv, cv, full, stub) ->
+              if not (keep mv) then None
+              else if m.m_abstract then begin bytes := !bytes + full; Some m end
+              else if keep cv then begin
+                bytes := !bytes + full;
+                Some { m with m_body = remap_body m.m_body }
+              end
+              else begin bytes := !bytes + stub; Some { m with m_body = [ Return_insn ] } end)
+            p.meth_vars
+        in
+        (* Indices shift after filtering: stub removed bodies first, then drop
+           removed constructors.  New_instance sites referencing a removed
+           constructor are ruled out by the constraints; sites referencing
+           kept ones are renumbered. *)
+        let ctors =
+          Array.to_list p.ctor_vars
+          |> List.filter_map (fun ((k : ctor), kv, cv, full, stub) ->
+                 if not (keep kv) then None
+                 else if keep cv then begin
+                   bytes := !bytes + full;
+                   Some { k with k_body = remap_body k.k_body }
+                 end
+                 else begin bytes := !bytes + stub; Some { k with k_body = [ Return_insn ] } end)
+        in
+        let annotations =
+          List.filter_map
+            (fun (a, v) ->
+              if keep v then begin bytes := !bytes + Size.annotation_bytes; Some a end else None)
+            p.annot_vars
+        in
+        let inner_classes =
+          List.filter_map
+            (fun (i, v) ->
+              if keep v then begin bytes := !bytes + Size.inner_bytes; Some i end else None)
+            p.inner_vars
+        in
+        ( { c with super; interfaces; fields; methods; ctors; annotations; inner_classes } :: acc,
+          total + !bytes )
+      end
+    in
+    let classes, total = List.fold_left (fun acc p -> reduce_class p acc) ([], 0) prep in
+    let sub = Classpool.of_classes classes in
+    ignore (Classpool.memo_bytes sub (fun _ -> total));
+    sub
+
+let apply jv pool phi = prepare jv pool phi

@@ -10,3 +10,8 @@ val apply : Jvars.t -> Classpool.t -> Assignment.t -> Classpool.t
     list; a method kept without its code gets an empty (stub) body; likewise
     constructors; fields, annotations and inner-class attributes are
     filtered. *)
+
+val prepare : Jvars.t -> Classpool.t -> Assignment.t -> Classpool.t
+(** Partial application of {!apply}: resolves every item's variable once so
+    that repeated applications to the same pool (one per predicate query)
+    cost only integer membership tests instead of per-item hash lookups. *)

@@ -22,16 +22,25 @@ let ctor_bytes (k : ctor) =
   48 + (8 * List.length k.k_params) + 24
   + List.fold_left (fun a i -> a + insn_bytes i) 0 k.k_body
 
-let class_bytes (c : cls) =
+let class_header_bytes (c : cls) =
   200 (* header, constant pool base, this/super entries *)
   + (2 * String.length c.name)
-  + (16 * List.length c.interfaces)
-  + List.fold_left (fun a (_ : field) -> a + 40) 0 c.fields
+
+let iface_bytes = 16
+let field_bytes = 40
+let annotation_bytes = 24
+let inner_bytes = 16
+
+let class_bytes (c : cls) =
+  class_header_bytes c
+  + (iface_bytes * List.length c.interfaces)
+  + List.fold_left (fun a (_ : field) -> a + field_bytes) 0 c.fields
   + List.fold_left (fun a m -> a + meth_bytes m) 0 c.methods
   + List.fold_left (fun a k -> a + ctor_bytes k) 0 c.ctors
-  + (24 * List.length c.annotations)
-  + (16 * List.length c.inner_classes)
+  + (annotation_bytes * List.length c.annotations)
+  + (inner_bytes * List.length c.inner_classes)
 
-let bytes pool = Classpool.fold (fun c acc -> acc + class_bytes c) pool 0
+let bytes pool =
+  Classpool.memo_bytes pool (fun p -> Classpool.fold (fun c acc -> acc + class_bytes c) p 0)
 
 let items pool = List.length (Jvars.items_of_pool pool)

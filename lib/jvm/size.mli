@@ -11,3 +11,17 @@ val bytes : Classpool.t -> int
 val items : Classpool.t -> int
 (** Number of reducible items (the paper's "2.9k reducible items"
     statistic). *)
+
+(** The cost model, exposed so {!Reducer} can compute a sub-pool's byte size
+    arithmetically while filtering (instead of re-walking every body per
+    predicate call).  [bytes pool = class_header_bytes + weighted member
+    counts + meth_bytes/ctor_bytes sums] for every class. *)
+
+val class_header_bytes : Classfile.cls -> int
+val iface_bytes : int
+val field_bytes : int
+val annotation_bytes : int
+val inner_bytes : int
+
+val meth_bytes : Classfile.meth -> int
+val ctor_bytes : Classfile.ctor -> int

@@ -2,8 +2,9 @@
 
     Following the paper's notation, a solution is identified with the set of
     variables it maps to true; all other variables are false.  This module is
-    a thin, immutable set of {!Var.t} with the operations reduction algorithms
-    need (prefix unions, differences, minima under a variable order). *)
+    an immutable set of {!Var.t} with the operations reduction algorithms
+    need (prefix unions, differences, minima under a variable order), backed
+    by a word-level bitset so the bulk operations run a word at a time. *)
 
 type t
 
@@ -12,6 +13,13 @@ val singleton : Var.t -> t
 val of_list : Var.t list -> t
 val to_list : t -> Var.t list
 (** Elements in increasing variable order. *)
+
+val of_words : int array -> t
+(** Low-level constructor from a little-endian word array ([Sys.int_size]
+    bits per word, bit [b] of word [w] is variable [w * Sys.int_size + b]).
+    The array is copied.  Used by packed data structures (e.g. the graph
+    library's bitsets) to hand over a set without an element-by-element
+    rebuild. *)
 
 val add : Var.t -> t -> t
 val remove : Var.t -> t -> t

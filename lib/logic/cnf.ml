@@ -1,36 +1,52 @@
-type t = { clauses : Clause.t list; unsat : bool }
+type t = { clauses : Clause.t list; count : int; unsat : bool }
 
 let make clauses =
   let unsat = List.exists Clause.is_empty clauses in
-  { clauses = (if unsat then [] else clauses); unsat }
+  if unsat then { clauses = []; count = 0; unsat = true }
+  else { clauses; count = List.length clauses; unsat = false }
 
 let of_clauses = make
 
-let top = { clauses = []; unsat = false }
+let top = { clauses = []; count = 0; unsat = false }
 
 let clauses t = t.clauses
 
 let is_unsat t = t.unsat
 
 let conj a b =
-  if a.unsat || b.unsat then { clauses = []; unsat = true }
-  else { clauses = a.clauses @ b.clauses; unsat = false }
+  if a.unsat || b.unsat then { clauses = []; count = 0; unsat = true }
+  else { clauses = a.clauses @ b.clauses; count = a.count + b.count; unsat = false }
 
 let add_clause t c =
   if t.unsat then t
-  else if Clause.is_empty c then { clauses = []; unsat = true }
-  else { t with clauses = c :: t.clauses }
+  else if Clause.is_empty c then { clauses = []; count = 0; unsat = true }
+  else { t with clauses = c :: t.clauses; count = t.count + 1 }
 
 let add_clauses t cs = List.fold_left add_clause t cs
 
-let vars t =
+let num_clauses t = t.count
+
+let max_var t =
   List.fold_left
     (fun acc (c : Clause.t) ->
-      let acc = Array.fold_left (fun acc v -> Assignment.add v acc) acc c.neg in
-      Array.fold_left (fun acc v -> Assignment.add v acc) acc c.pos)
-    Assignment.empty t.clauses
+      let acc = Array.fold_left max acc c.neg in
+      Array.fold_left max acc c.pos)
+    (-1) t.clauses
 
-let num_clauses t = List.length t.clauses
+let vars t =
+  let n = max_var t + 1 in
+  if n = 0 then Assignment.empty
+  else begin
+    let bits = Sys.int_size in
+    let words = Array.make ((n + bits - 1) / bits) 0 in
+    let set v = words.(v / bits) <- words.(v / bits) lor (1 lsl (v mod bits)) in
+    List.iter
+      (fun (c : Clause.t) ->
+        Array.iter set c.neg;
+        Array.iter set c.pos)
+      t.clauses;
+    Assignment.of_words words
+  end
 
 let holds t m =
   (not t.unsat)
@@ -42,17 +58,17 @@ let holds t m =
 let condition t ~sat_neg ~drop_neg ~sat_pos ~drop_pos =
   if t.unsat then t
   else
-    let rec go acc = function
-      | [] -> { clauses = acc; unsat = false }
+    let rec go acc count = function
+      | [] -> { clauses = acc; count; unsat = false }
       | (c : Clause.t) :: rest ->
-          if Array.exists sat_neg c.neg || Array.exists sat_pos c.pos then go acc rest
+          if Array.exists sat_neg c.neg || Array.exists sat_pos c.pos then go acc count rest
           else
             let neg = Array.to_list c.neg |> List.filter (fun v -> not (drop_neg v)) in
             let pos = Array.to_list c.pos |> List.filter (fun v -> not (drop_pos v)) in
-            if neg = [] && pos = [] then { clauses = []; unsat = true }
-            else go (Clause.make_exn ~neg ~pos :: acc) rest
+            if neg = [] && pos = [] then { clauses = []; count = 0; unsat = true }
+            else go (Clause.make_exn ~neg ~pos :: acc) (count + 1) rest
     in
-    go [] t.clauses
+    go [] 0 t.clauses
 
 let condition_true t x =
   let in_x v = Assignment.mem v x in
@@ -103,3 +119,267 @@ let pp pool ppf t =
     Format.fprintf ppf "@[<v>%a@]"
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut (Clause.pp pool))
       t.clauses
+
+(* ================================================================== *)
+(* Packed representation: every literal of every clause in one flat int
+   array, with per-variable occurrence lists.  Conditioning assigns a
+   variable and updates per-clause counters; an explicit trail makes undo
+   O(assignments) instead of rebuilding the clause list, so DPLL search,
+   greedy minimization, and model counting all share one index build. *)
+
+module Packed = struct
+  type t = {
+    nvars : int;
+    nclauses : int;
+    (* Clause [ci]'s literals are [lits.(cstart.(ci)) ..
+       lits.(cstart.(ci+1) - 1)], negatives first, each side in increasing
+       variable order.  A literal encodes variable [lit lsr 1]; the low bit
+       is 1 for a negative occurrence. *)
+    lits : int array;
+    cstart : int array;
+    occ_pos : int array array;
+    occ_neg : int array array;
+    (* Mutable conditioning state. *)
+    value : Bytes.t;  (* '\000' unassigned, '\001' true, '\002' false *)
+    free : int array;  (* per clause: unassigned literals *)
+    satcnt : int array;  (* per clause: literals currently true *)
+    trail : int array;  (* assigned variables, in order *)
+    mutable trail_len : int;
+    mutable active : int;  (* clauses with no true literal yet *)
+    root_unsat : bool;  (* formula was flagged unsat before packing *)
+    mutable conflict : bool;
+    mutable units : int array;  (* stack of clauses pending unit propagation *)
+    mutable units_len : int;
+  }
+
+  let num_vars t = t.nvars
+  let num_clauses t = t.nclauses
+  let mark t = t.trail_len
+  let conflicted t = t.conflict
+  let active_count t = t.active
+
+  let value t v =
+    if v >= t.nvars then `Unassigned
+    else
+      match Bytes.unsafe_get t.value v with
+      | '\000' -> `Unassigned
+      | '\001' -> `True
+      | _ -> `False
+
+  let push_unit t ci =
+    if t.units_len = Array.length t.units then begin
+      let grown = Array.make (2 * Array.length t.units) 0 in
+      Array.blit t.units 0 grown 0 t.units_len;
+      t.units <- grown
+    end;
+    t.units.(t.units_len) <- ci;
+    t.units_len <- t.units_len + 1
+
+  let make cnf =
+    let clause_arr = Array.of_list cnf.clauses in
+    let nclauses = Array.length clause_arr in
+    let nvars = max_var cnf + 1 in
+    let cstart = Array.make (nclauses + 1) 0 in
+    Array.iteri
+      (fun ci c -> cstart.(ci + 1) <- cstart.(ci) + Clause.num_literals c)
+      clause_arr;
+    let lits = Array.make cstart.(nclauses) 0 in
+    let pos_count = Array.make nvars 0 and neg_count = Array.make nvars 0 in
+    Array.iteri
+      (fun ci (c : Clause.t) ->
+        let k = ref cstart.(ci) in
+        Array.iter
+          (fun v ->
+            lits.(!k) <- (v lsl 1) lor 1;
+            incr k;
+            neg_count.(v) <- neg_count.(v) + 1)
+          c.neg;
+        Array.iter
+          (fun v ->
+            lits.(!k) <- v lsl 1;
+            incr k;
+            pos_count.(v) <- pos_count.(v) + 1)
+          c.pos)
+      clause_arr;
+    let occ_pos = Array.init nvars (fun v -> Array.make pos_count.(v) 0) in
+    let occ_neg = Array.init nvars (fun v -> Array.make neg_count.(v) 0) in
+    let pos_fill = Array.make nvars 0 and neg_fill = Array.make nvars 0 in
+    Array.iteri
+      (fun ci (c : Clause.t) ->
+        Array.iter
+          (fun v ->
+            occ_neg.(v).(neg_fill.(v)) <- ci;
+            neg_fill.(v) <- neg_fill.(v) + 1)
+          c.neg;
+        Array.iter
+          (fun v ->
+            occ_pos.(v).(pos_fill.(v)) <- ci;
+            pos_fill.(v) <- pos_fill.(v) + 1)
+          c.pos)
+      clause_arr;
+    let free = Array.init nclauses (fun ci -> cstart.(ci + 1) - cstart.(ci)) in
+    let t =
+      {
+        nvars;
+        nclauses;
+        lits;
+        cstart;
+        occ_pos;
+        occ_neg;
+        value = Bytes.make nvars '\000';
+        free;
+        satcnt = Array.make nclauses 0;
+        trail = Array.make nvars 0;
+        trail_len = 0;
+        active = nclauses;
+        root_unsat = cnf.unsat;
+        conflict = cnf.unsat;
+        units = Array.make 16 0;
+        units_len = 0;
+      }
+    in
+    (* Input unit clauses seed the propagation queue.  [Cnf.make] never
+       stores an empty clause (the formula is flagged unsat instead). *)
+    Array.iteri (fun ci f -> if f = 1 then push_unit t ci) free;
+    t
+
+  let assign t v b =
+    Bytes.unsafe_set t.value v (if b then '\001' else '\002');
+    t.trail.(t.trail_len) <- v;
+    t.trail_len <- t.trail_len + 1;
+    let sat_occ = if b then t.occ_pos.(v) else t.occ_neg.(v) in
+    let fal_occ = if b then t.occ_neg.(v) else t.occ_pos.(v) in
+    Array.iter
+      (fun ci ->
+        t.free.(ci) <- t.free.(ci) - 1;
+        t.satcnt.(ci) <- t.satcnt.(ci) + 1;
+        if t.satcnt.(ci) = 1 then t.active <- t.active - 1)
+      sat_occ;
+    Array.iter
+      (fun ci ->
+        t.free.(ci) <- t.free.(ci) - 1;
+        if t.satcnt.(ci) = 0 then begin
+          if t.free.(ci) = 0 then t.conflict <- true
+          else if t.free.(ci) = 1 then push_unit t ci
+        end)
+      fal_occ
+
+  let undo_to t m =
+    while t.trail_len > m do
+      t.trail_len <- t.trail_len - 1;
+      let v = t.trail.(t.trail_len) in
+      let b = Bytes.unsafe_get t.value v = '\001' in
+      Bytes.unsafe_set t.value v '\000';
+      let sat_occ = if b then t.occ_pos.(v) else t.occ_neg.(v) in
+      let fal_occ = if b then t.occ_neg.(v) else t.occ_pos.(v) in
+      Array.iter
+        (fun ci ->
+          t.free.(ci) <- t.free.(ci) + 1;
+          t.satcnt.(ci) <- t.satcnt.(ci) - 1;
+          if t.satcnt.(ci) = 0 then t.active <- t.active + 1)
+        sat_occ;
+      Array.iter (fun ci -> t.free.(ci) <- t.free.(ci) + 1) fal_occ
+    done;
+    t.units_len <- 0;
+    t.conflict <- t.root_unsat
+
+  let propagate t =
+    while (not t.conflict) && t.units_len > 0 do
+      t.units_len <- t.units_len - 1;
+      let ci = t.units.(t.units_len) in
+      (* The clause may have been satisfied (or further shortened into a
+         conflict) since it was queued; re-check before acting. *)
+      if t.satcnt.(ci) = 0 && t.free.(ci) = 1 then begin
+        let lit = ref (-1) in
+        for k = t.cstart.(ci) to t.cstart.(ci + 1) - 1 do
+          let l = t.lits.(k) in
+          if Bytes.unsafe_get t.value (l lsr 1) = '\000' then lit := l
+        done;
+        assign t (!lit lsr 1) (!lit land 1 = 0)
+      end
+    done;
+    not t.conflict
+
+  (* DPLL search over the packed state.  Mirrors the previous list-based
+     solver's heuristic: branch on the first literal of the first
+     still-active clause (negatives stored first), false before true, which
+     biases found models towards small true-sets.  On success the satisfying
+     assignments are left on the trail for the caller to read and undo. *)
+  let rec search t =
+    propagate t
+    && (t.active = 0
+       ||
+       let ci = ref 0 in
+       while t.satcnt.(!ci) > 0 do
+         incr ci
+       done;
+       let v = ref (-1) in
+       (try
+          for k = t.cstart.(!ci) to t.cstart.(!ci + 1) - 1 do
+            let l = t.lits.(k) in
+            if Bytes.unsafe_get t.value (l lsr 1) = '\000' then begin
+              v := l lsr 1;
+              raise Exit
+            end
+          done
+        with Exit -> ());
+       let m = t.trail_len in
+       assign t !v false;
+       if search t then true
+       else begin
+         undo_to t m;
+         assign t !v true;
+         if search t then true
+         else begin
+           undo_to t m;
+           false
+         end
+       end)
+
+  let model t =
+    let bits = Sys.int_size in
+    let words = Array.make ((t.nvars + bits - 1) / bits) 0 in
+    for v = 0 to t.nvars - 1 do
+      if Bytes.unsafe_get t.value v = '\001' then
+        words.(v / bits) <- words.(v / bits) lor (1 lsl (v mod bits))
+    done;
+    Assignment.of_words words
+
+  let solve t ~assume_true ~assume_false =
+    let m = t.trail_len in
+    let consistent =
+      (not t.conflict)
+      && (try
+            List.iter
+              (fun v ->
+                if v < t.nvars then
+                  match Bytes.get t.value v with
+                  | '\000' -> assign t v true
+                  | '\001' -> ()
+                  | _ -> raise Exit)
+              assume_true;
+            List.iter
+              (fun v ->
+                if v < t.nvars then
+                  match Bytes.get t.value v with
+                  | '\000' -> assign t v false
+                  | '\002' -> ()
+                  | _ -> raise Exit)
+              assume_false;
+            true
+          with Exit -> false)
+    in
+    let result = if consistent && search t then Some (model t) else None in
+    undo_to t m;
+    result
+
+  let clause_is_active t ci = t.satcnt.(ci) = 0
+
+  let clause_unassigned_vars t ci =
+    let acc = ref [] in
+    for k = t.cstart.(ci + 1) - 1 downto t.cstart.(ci) do
+      let v = t.lits.(k) lsr 1 in
+      if Bytes.unsafe_get t.value v = '\000' then acc := v :: !acc
+    done;
+    !acc
+end

@@ -15,9 +15,6 @@ let pow2 n =
   if n < 0 || n > 61 then invalid_arg "Model_count: universe too large";
   1 lsl n
 
-(* Working representation: clauses as (neg, pos) sorted-int-array pairs,
-   mirroring Clause.t, but rebuilt as lists during conditioning. *)
-
 let count_naive cnf ~over =
   check_universe cnf over;
   let vars = Array.of_list over in
@@ -34,22 +31,22 @@ let count_naive cnf ~over =
   done;
   !count
 
-(* The DPLL counter proper.  State is a list of clauses over the still-free
-   variables; free variables not mentioned by any clause contribute a factor
-   of two each. *)
+(* The DPLL counter proper, running on one shared packed formula.  A
+   subproblem is a [scope]: the clause indices it owns.  Conditioning on a
+   branch variable is a trail assignment undone after each branch instead of
+   a clause-list rebuild; clauses satisfied along the way are skipped via
+   {!Cnf.Packed.clause_is_active}.  Free variables not mentioned by any
+   active clause of the scope contribute a factor of two each. *)
 
 module ISet = Set.Make (Int)
 
-let clause_vars (c : Clause.t) =
-  ISet.union (ISet.of_seq (Array.to_seq c.neg)) (ISet.of_seq (Array.to_seq c.pos))
-
-(* Split clauses into connected components (clauses linked by shared
-   variables), returning each component's clause list. *)
-let components clauses =
-  match clauses with
+(* Split the scope's active clauses into connected components (clauses
+   linked by shared unassigned variables). *)
+let components p scope =
+  match scope with
   | [] -> []
   | _ ->
-      let arr = Array.of_list clauses in
+      let arr = Array.of_list scope in
       let n = Array.length arr in
       let parent = Array.init n (fun i -> i) in
       let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
@@ -59,93 +56,64 @@ let components clauses =
       in
       let owner : (int, int) Hashtbl.t = Hashtbl.create 64 in
       Array.iteri
-        (fun i c ->
-          ISet.iter
+        (fun i ci ->
+          List.iter
             (fun v ->
               match Hashtbl.find_opt owner v with
               | None -> Hashtbl.add owner v i
               | Some j -> union i j)
-            (clause_vars c))
+            (Cnf.Packed.clause_unassigned_vars p ci))
         arr;
-      let buckets : (int, Clause.t list) Hashtbl.t = Hashtbl.create 8 in
+      let buckets : (int, int list) Hashtbl.t = Hashtbl.create 8 in
       Array.iteri
-        (fun i c ->
+        (fun i ci ->
           let r = find i in
           let prev = Option.value ~default:[] (Hashtbl.find_opt buckets r) in
-          Hashtbl.replace buckets r (c :: prev))
+          Hashtbl.replace buckets r (ci :: prev))
         arr;
       Hashtbl.fold (fun _ cs acc -> cs :: acc) buckets []
 
-exception Conflict
-
-(* Condition a clause list on [v = value]; raises [Conflict] when the empty
-   clause appears. *)
-let condition_var clauses v value =
-  List.filter_map
-    (fun (c : Clause.t) ->
-      let sat =
-        if value then Array.exists (Int.equal v) c.pos
-        else Array.exists (Int.equal v) c.neg
-      in
-      if sat then None
+let rec count_scope p scope nfree =
+  let m = Cnf.Packed.mark p in
+  if not (Cnf.Packed.propagate p) then begin
+    Cnf.Packed.undo_to p m;
+    0
+  end
+  else begin
+    let fixed = Cnf.Packed.mark p - m in
+    let nfree = nfree - fixed in
+    let active = List.filter (Cnf.Packed.clause_is_active p) scope in
+    let cvars =
+      List.fold_left
+        (fun acc ci ->
+          List.fold_left
+            (fun acc v -> ISet.add v acc)
+            acc
+            (Cnf.Packed.clause_unassigned_vars p ci))
+        ISet.empty active
+    in
+    let constrained = ISet.cardinal cvars in
+    assert (constrained <= nfree);
+    let free_factor = pow2 (nfree - constrained) in
+    let result =
+      if active = [] then free_factor
       else
-        let neg = Array.to_list c.neg |> List.filter (fun x -> x <> v) in
-        let pos = Array.to_list c.pos |> List.filter (fun x -> x <> v) in
-        if neg = [] && pos = [] then raise Conflict
-        else Some (Clause.make_exn ~neg ~pos))
-    clauses
-
-(* Exhaust unit propagation; returns the simplified clauses and the number of
-   variables fixed.  Raises [Conflict] on derived contradiction. *)
-let rec propagate clauses fixed =
-  let unit_lit =
-    List.find_map
-      (fun (c : Clause.t) ->
-        match Array.length c.neg, Array.length c.pos with
-        | 0, 1 -> Some (c.pos.(0), true)
-        | 1, 0 -> Some (c.neg.(0), false)
-        | _, _ -> None)
-      clauses
-  in
-  match unit_lit with
-  | None -> (clauses, fixed)
-  | Some (v, value) -> propagate (condition_var clauses v value) (fixed + 1)
-
-let rec count_component clauses nfree =
-  match propagate clauses 0 with
-  | exception Conflict -> 0
-  | clauses, fixed ->
-      let nfree = nfree - fixed in
-      let cvars =
-        List.fold_left (fun acc c -> ISet.union acc (clause_vars c)) ISet.empty clauses
-      in
-      let constrained = ISet.cardinal cvars in
-      assert (constrained <= nfree);
-      let free_factor = pow2 (nfree - constrained) in
-      if clauses = [] then free_factor
-      else
-        let comps = components clauses in
         let product =
           List.fold_left
             (fun acc comp ->
               if acc = 0 then 0
-              else
-                let comp_vars =
-                  List.fold_left
-                    (fun s c -> ISet.union s (clause_vars c))
-                    ISet.empty comp
-                in
-                let nv = ISet.cardinal comp_vars in
+              else begin
                 (* Branch on the most frequent variable of the component. *)
                 let freq : (int, int) Hashtbl.t = Hashtbl.create 16 in
                 List.iter
-                  (fun c ->
-                    ISet.iter
+                  (fun ci ->
+                    List.iter
                       (fun v ->
                         Hashtbl.replace freq v
                           (1 + Option.value ~default:0 (Hashtbl.find_opt freq v)))
-                      (clause_vars c))
+                      (Cnf.Packed.clause_unassigned_vars p ci))
                   comp;
+                let nv = Hashtbl.length freq in
                 let branch_var =
                   Hashtbl.fold
                     (fun v n best ->
@@ -155,22 +123,28 @@ let rec count_component clauses nfree =
                     freq None
                   |> Option.get |> fst
                 in
-                let with_true =
-                  match condition_var comp branch_var true with
-                  | exception Conflict -> 0
-                  | cs -> count_component cs (nv - 1)
+                let branch value =
+                  let m2 = Cnf.Packed.mark p in
+                  Cnf.Packed.assign p branch_var value;
+                  let r = count_scope p comp (nv - 1) in
+                  Cnf.Packed.undo_to p m2;
+                  r
                 in
-                let with_false =
-                  match condition_var comp branch_var false with
-                  | exception Conflict -> 0
-                  | cs -> count_component cs (nv - 1)
-                in
-                acc * (with_true + with_false))
-            1 comps
+                acc * (branch true + branch false)
+              end)
+            1 (components p active)
         in
         free_factor * product
+    in
+    Cnf.Packed.undo_to p m;
+    result
+  end
 
 let count cnf ~over =
   check_universe cnf over;
   if Cnf.is_unsat cnf then 0
-  else count_component (Cnf.clauses cnf) (List.length over)
+  else begin
+    let p = Cnf.Packed.make cnf in
+    let scope = List.init (Cnf.Packed.num_clauses p) (fun i -> i) in
+    count_scope p scope (List.length over)
+  end

@@ -1,23 +1,31 @@
 open Lbr_logic
 
 module Engine = struct
-  type clause_state = {
-    heads : Var.t array;  (* positive literals inside the universe *)
-    mutable premises_left : int;
-    mutable satisfied : bool;
-  }
+  let bits = Sys.int_size
 
   type t = {
     order : Order.t;
-    truth : bool array;  (* indexed by variable id *)
+    truth : int array;  (* bitset over variable ids, same layout as Assignment *)
     in_universe : bool array;
-    clauses : clause_state array;
-    occurs_premise : int list array;  (* var id -> clauses where it is a premise *)
-    occurs_head : int list array;
-    queue : Var.t Queue.t;
-    mutable trues : Assignment.t;
+    nvars : int;
+    (* Clause state, indexed by clause id. *)
+    heads : Var.t array array;  (* positive literals inside the universe *)
+    premises_left : int array;
+    satisfied : bool array;
+    occurs_premise : int array array;  (* var id -> clauses where it is a premise *)
+    occurs_head : int array array;
+    (* Propagation trail: variables in the order they were made true.  The
+       pending queue is the suffix [trail.(drained) .. trail.(trail_len - 1)]
+       — a variable enters the trail exactly when it turns true, and [drain]
+       consumes in FIFO order, so no separate queue is needed.  This makes
+       {!rollback} a walk down the trail. *)
+    trail : Var.t array;
+    mutable trail_len : int;
+    mutable drained : int;
     mutable conflicted : bool;
   }
+
+  type snapshot = int
 
   let max_var cnf universe =
     let m = ref (-1) in
@@ -25,44 +33,45 @@ module Engine = struct
     Assignment.iter (fun v -> if v > !m then m := v) universe;
     !m
 
-  let is_true t v = v < Array.length t.truth && t.truth.(v)
+  let is_true t v =
+    v < t.nvars && t.truth.(v / bits) land (1 lsl (v mod bits)) <> 0
 
-  let true_set t = t.trues
+  let true_set t = Assignment.of_words t.truth
 
-  (* Turn [v] true and enqueue it for propagation. *)
+  (* Turn [v] true and append it to the trail for propagation. *)
   let set_true t v =
-    if not t.truth.(v) then begin
-      t.truth.(v) <- true;
-      t.trues <- Assignment.add v t.trues;
-      Queue.push v t.queue
+    if t.truth.(v / bits) land (1 lsl (v mod bits)) = 0 then begin
+      t.truth.(v / bits) <- t.truth.(v / bits) lor (1 lsl (v mod bits));
+      t.trail.(t.trail_len) <- v;
+      t.trail_len <- t.trail_len + 1
     end
 
   (* A clause whose premises are all true and whose satisfied flag is unset:
      all heads are false (head truths mark the flag eagerly), so choose the
      [<]-smallest head, or conflict when there is none. *)
   let trigger t ci =
-    let c = t.clauses.(ci) in
-    if not c.satisfied then begin
-      (* A head may already be true but still sitting in the queue (its
-         satisfied-flag sweep has not run yet); recheck before choosing. *)
-      if Array.exists (fun h -> t.truth.(h)) c.heads then c.satisfied <- true
+    if not t.satisfied.(ci) then begin
+      (* A head may already be true but still sitting in the pending suffix
+         (its satisfied-flag sweep has not run yet); recheck before
+         choosing. *)
+      if Array.exists (fun h -> is_true t h) t.heads.(ci) then t.satisfied.(ci) <- true
       else
-        match Order.min_of_array t.order c.heads ~keep:(fun _ -> true) with
+        match Order.min_of_array t.order t.heads.(ci) ~keep:(fun _ -> true) with
         | None -> t.conflicted <- true
         | Some h ->
-            c.satisfied <- true;
+            t.satisfied.(ci) <- true;
             set_true t h
     end
 
   let drain t =
-    while (not t.conflicted) && not (Queue.is_empty t.queue) do
-      let v = Queue.pop t.queue in
-      List.iter (fun ci -> t.clauses.(ci).satisfied <- true) t.occurs_head.(v);
-      List.iter
+    while (not t.conflicted) && t.drained < t.trail_len do
+      let v = t.trail.(t.drained) in
+      t.drained <- t.drained + 1;
+      Array.iter (fun ci -> t.satisfied.(ci) <- true) t.occurs_head.(v);
+      Array.iter
         (fun ci ->
-          let c = t.clauses.(ci) in
-          c.premises_left <- c.premises_left - 1;
-          if c.premises_left = 0 then trigger t ci)
+          t.premises_left.(ci) <- t.premises_left.(ci) - 1;
+          if t.premises_left.(ci) = 0 then trigger t ci)
         t.occurs_premise.(v)
     done
 
@@ -76,42 +85,59 @@ module Engine = struct
       List.filter
         (fun (c : Clause.t) -> Array.for_all (fun v -> in_universe.(v)) c.neg)
         (Cnf.clauses cnf)
-    in
-    let states =
-      List.map
-        (fun (c : Clause.t) ->
-          let heads = Array.to_list c.pos |> List.filter (fun v -> in_universe.(v)) in
-          {
-            heads = Array.of_list heads;
-            premises_left = Array.length c.neg;
-            satisfied = false;
-          })
-        relevant
       |> Array.of_list
     in
-    let occurs_premise = Array.make n [] and occurs_head = Array.make n [] in
-    List.iteri
+    let nclauses = Array.length relevant in
+    let heads =
+      Array.map
+        (fun (c : Clause.t) ->
+          Array.to_list c.pos |> List.filter (fun v -> in_universe.(v)) |> Array.of_list)
+        relevant
+    in
+    let premise_count = Array.make n 0 and head_count = Array.make n 0 in
+    Array.iteri
       (fun ci (c : Clause.t) ->
-        Array.iter (fun v -> occurs_premise.(v) <- ci :: occurs_premise.(v)) c.neg;
-        Array.iter
-          (fun v -> if in_universe.(v) then occurs_head.(v) <- ci :: occurs_head.(v))
-          c.pos)
+        Array.iter (fun v -> premise_count.(v) <- premise_count.(v) + 1) c.neg;
+        Array.iter (fun v -> head_count.(v) <- head_count.(v) + 1) heads.(ci))
       relevant;
+    let occurs_premise = Array.init n (fun v -> Array.make premise_count.(v) 0) in
+    let occurs_head = Array.init n (fun v -> Array.make head_count.(v) 0) in
+    (* Fill from the last clause down so each variable's occurrence array
+       runs through clauses in decreasing index — the order the previous
+       cons-built lists presented, which the closure construction (and thus
+       the head choices recorded in reduction traces) is sensitive to. *)
+    for ci = nclauses - 1 downto 0 do
+      let c = relevant.(ci) in
+      Array.iter
+        (fun v ->
+          premise_count.(v) <- premise_count.(v) - 1;
+          occurs_premise.(v).(Array.length occurs_premise.(v) - 1 - premise_count.(v)) <- ci)
+        c.neg;
+      Array.iter
+        (fun v ->
+          head_count.(v) <- head_count.(v) - 1;
+          occurs_head.(v).(Array.length occurs_head.(v) - 1 - head_count.(v)) <- ci)
+        heads.(ci)
+    done;
     let t =
       {
         order;
-        truth = Array.make n false;
+        truth = Array.make ((n + bits - 1) / bits) 0;
         in_universe;
-        clauses = states;
+        nvars = n;
+        heads;
+        premises_left = Array.map (fun (c : Clause.t) -> Array.length c.neg) relevant;
+        satisfied = Array.make nclauses false;
         occurs_premise;
         occurs_head;
-        queue = Queue.create ();
-        trues = Assignment.empty;
+        trail = Array.make n 0;
+        trail_len = 0;
+        drained = 0;
         conflicted = Cnf.is_unsat cnf;
       }
     in
     (* Zero-premise clauses fire immediately. *)
-    Array.iteri (fun ci c -> if c.premises_left = 0 then trigger t ci) t.clauses;
+    Array.iteri (fun ci pl -> if pl = 0 then trigger t ci) t.premises_left;
     drain t;
     if t.conflicted then Error `Conflict else Ok t
 
@@ -128,6 +154,41 @@ module Engine = struct
     List.fold_left
       (fun acc v -> match acc with Error _ as e -> e | Ok () -> assume t v)
       (Ok ()) vs
+
+  (* Snapshots are only meaningful at quiescent points (pending suffix
+     empty): [create] and every successful [assume] drain fully, and
+     [rollback] re-establishes quiescence, so the trail position is the
+     entire state. *)
+  let snapshot t =
+    assert (t.drained = t.trail_len);
+    t.trail_len
+
+  let rollback t s =
+    (* Premise decrements were applied only for drained variables; undo
+       those first. *)
+    for i = s to t.drained - 1 do
+      Array.iter
+        (fun ci -> t.premises_left.(ci) <- t.premises_left.(ci) + 1)
+        t.occurs_premise.(t.trail.(i))
+    done;
+    for i = s to t.trail_len - 1 do
+      let v = t.trail.(i) in
+      t.truth.(v / bits) <- t.truth.(v / bits) land lnot (1 lsl (v mod bits))
+    done;
+    (* Any satisfied flag set since the snapshot is witnessed by a head
+       turned true since the snapshot (flags follow head truths, and the
+       [<]-chosen head of a premise-triggered clause turns true on the
+       spot), so sweeping the unwound variables' head occurrences and
+       re-deriving the flag from current truths restores every flag —
+       clauses satisfied before the snapshot keep an older true head. *)
+    for i = s to t.trail_len - 1 do
+      Array.iter
+        (fun ci -> t.satisfied.(ci) <- Array.exists (fun h -> is_true t h) t.heads.(ci))
+        t.occurs_head.(t.trail.(i))
+    done;
+    t.trail_len <- s;
+    t.drained <- s;
+    t.conflicted <- false
 end
 
 let compute cnf ~order ?universe ?(required = Assignment.empty) () =

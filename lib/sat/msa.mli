@@ -42,6 +42,19 @@ module Engine : sig
   val true_set : t -> Assignment.t
   (** The current closure (the MSA of the formula conditioned on everything
       assumed so far). *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  (** Capture the current state.  Only valid on a quiescent engine (after
+      [create] or a successful [assume]); cheap — a trail position. *)
+
+  val rollback : t -> snapshot -> unit
+  (** Undo every assumption and propagation made since the snapshot,
+      including clearing a conflict, in time proportional to the number of
+      variables turned true since.  This makes one engine reusable across
+      the entries of a whole progression: a failed [assume] rolls back
+      instead of forcing a rebuild. *)
 end
 
 val compute :

@@ -1,72 +1,65 @@
 open Lbr_logic
 
-(* Find a unit clause, returning its literal as (var, value). *)
-let find_unit clauses =
-  List.find_map
-    (fun (c : Clause.t) ->
-      match Array.length c.neg, Array.length c.pos with
-      | 0, 1 -> Some (c.pos.(0), true)
-      | 1, 0 -> Some (c.neg.(0), false)
-      | _, _ -> None)
-    clauses
-
-let rec dpll cnf trues =
-  if Cnf.is_unsat cnf then None
-  else
-    match Cnf.clauses cnf with
-    | [] -> Some trues
-    | clauses -> (
-        match find_unit clauses with
-        | Some (v, true) ->
-            dpll (Cnf.condition_true cnf (Assignment.singleton v)) (Assignment.add v trues)
-        | Some (v, false) -> dpll (Cnf.condition_false cnf (Assignment.singleton v)) trues
-        | None ->
-            (* Branch on the first variable of the first clause, false first
-               to bias towards small models. *)
-            let v =
-              match clauses with
-              | (c : Clause.t) :: _ ->
-                  if Array.length c.neg > 0 then c.neg.(0) else c.pos.(0)
-              | [] -> assert false
-            in
-            let falsy = dpll (Cnf.condition_false cnf (Assignment.singleton v)) trues in
-            (match falsy with
-            | Some _ as result -> result
-            | None ->
-                dpll (Cnf.condition_true cnf (Assignment.singleton v)) (Assignment.add v trues)))
-
-let solve cnf = dpll cnf Assignment.empty
+let solve cnf =
+  let p = Cnf.Packed.make cnf in
+  Cnf.Packed.solve p ~assume_true:[] ~assume_false:[]
 
 let satisfiable cnf = Option.is_some (solve cnf)
 
 let solve_with cnf ~required =
-  let conditioned = Cnf.condition_true cnf required in
-  Option.map (Assignment.union required) (dpll conditioned Assignment.empty)
+  let p = Cnf.Packed.make cnf in
+  Cnf.Packed.solve p ~assume_true:(Assignment.to_list required) ~assume_false:[]
+  |> Option.map (Assignment.union required)
 
 let minimize cnf ~order ~required ~model =
   assert (Cnf.holds cnf model);
   assert (Assignment.subset required model);
   (* Work inside the model's universe so satisfiability checks cannot cheat
      by turning on variables outside [model]. *)
-  let cnf = Cnf.restrict cnf ~keep:model in
-  (* Commit each true variable of [model] to false if the formula stays
-     satisfiable under the commitments so far, to true otherwise.  Variables
-     are visited largest-[<] first so the surviving set prefers [<]-small
-     variables, matching the MSA tie-breaking discipline. *)
+  let p = Cnf.Packed.make (Cnf.restrict cnf ~keep:model) in
+  let nvars = Cnf.Packed.num_vars p in
+  (* Decisions are committed onto the packed state permanently (assign and
+     propagate); each satisfiability probe for "can this candidate be false?"
+     then only has to search — and undo — the still-undecided variables,
+     instead of re-conditioning the formula from scratch per candidate.
+     Propagation-forced values are logically implied by the commitments, so
+     committing them early answers those candidates' probes for free. *)
+  let commit v b =
+    (match Cnf.Packed.value p v with
+    | `Unassigned -> Cnf.Packed.assign p v b
+    | `True -> assert b
+    | `False -> assert (not b));
+    let ok = Cnf.Packed.propagate p in
+    assert ok
+  in
+  Assignment.iter (fun v -> if v < nvars then commit v true) required;
+  (* Visit candidates largest-[<] first so the surviving set prefers
+     [<]-small variables, matching the MSA tie-breaking discipline. *)
   let candidates =
     Assignment.diff model required |> Assignment.to_list |> Order.sort order |> List.rev
   in
-  let keep, _dropped =
+  let keep =
     List.fold_left
-      (fun (keep, dropped) v ->
-        let attempt =
-          Cnf.condition_false cnf (Assignment.add v dropped) |> fun c ->
-          Cnf.condition_true c keep
-        in
-        match dpll attempt Assignment.empty with
-        | Some _ -> (keep, Assignment.add v dropped)
-        | None -> (Assignment.add v keep, dropped))
-      (required, Assignment.empty) candidates
+      (fun keep v ->
+        if v >= nvars then keep (* unconstrained: always droppable *)
+        else
+          match Cnf.Packed.value p v with
+          | `False -> keep
+          | `True -> Assignment.add v keep
+          | `Unassigned ->
+              let m = Cnf.Packed.mark p in
+              Cnf.Packed.assign p v false;
+              let sat = Cnf.Packed.search p in
+              Cnf.Packed.undo_to p m;
+              if sat then begin
+                commit v false;
+                keep
+              end
+              else begin
+                commit v true;
+                Assignment.add v keep
+              end)
+      required candidates
   in
   assert (Cnf.holds cnf keep);
   keep

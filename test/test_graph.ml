@@ -67,6 +67,48 @@ let prop_closures_equal_reachability =
           Lbr_graph.Bitset.equal closures.(v) (Lbr_graph.Digraph.reachable g v))
         (List.init 10 Fun.id))
 
+(* Word-level set algebra vs a list-based reference, across word
+   boundaries. *)
+let prop_bitset_matches_lists =
+  let module B = Lbr_graph.Bitset in
+  QCheck.Test.make ~count:500 ~name:"bitset ops mirror sorted-list sets"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (list_size (int_bound 30) (int_bound 129)) (list_size (int_bound 30) (int_bound 129))))
+    (fun (xs, ys) ->
+      let cap = 130 in
+      let a = B.of_list cap xs and b = B.of_list cap ys in
+      let sx = List.sort_uniq compare xs and sy = List.sort_uniq compare ys in
+      let as_list s = B.to_list s in
+      let union = List.sort_uniq compare (sx @ sy) in
+      let inter = List.filter (fun v -> List.mem v sy) sx in
+      let diff = List.filter (fun v -> not (List.mem v sy)) sx in
+      as_list (B.union a b) = union
+      && as_list (B.inter a b) = inter
+      && as_list (B.diff a b) = diff
+      && (let c = B.copy a in
+          B.union_into ~dst:c b;
+          as_list c = union)
+      && (let c = B.copy a in
+          B.inter_into ~dst:c b;
+          as_list c = inter)
+      && (let c = B.copy a in
+          B.diff_into ~dst:c b;
+          as_list c = diff)
+      && B.subset a b = List.for_all (fun v -> List.mem v sy) sx
+      && B.equal a b = (sx = sy)
+      && B.cardinal a = List.length sx
+      && Lbr_logic.Assignment.to_list (B.to_assignment a) = sx)
+
+let test_bitset_to_assignment () =
+  let module B = Lbr_graph.Bitset in
+  let s = B.of_list 200 [ 0; 62; 63; 64; 126; 127; 128; 199 ] in
+  let a = B.to_assignment s in
+  Alcotest.(check (list int))
+    "word handover keeps every boundary bit" [ 0; 62; 63; 64; 126; 127; 128; 199 ]
+    (Lbr_logic.Assignment.to_list a);
+  Alcotest.(check int) "cardinal agrees" (B.cardinal s) (Lbr_logic.Assignment.cardinal a)
+
 let () =
   Alcotest.run "lbr_graph"
     [
@@ -74,7 +116,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_bitset_basics;
           Alcotest.test_case "union/subset" `Quick test_bitset_union_subset;
+          Alcotest.test_case "to_assignment" `Quick test_bitset_to_assignment;
         ] );
+      ( "bitset-prop", [ QCheck_alcotest.to_alcotest ~long:false prop_bitset_matches_lists ] );
       ( "digraph",
         [
           Alcotest.test_case "reachable" `Quick test_digraph_reachable;

@@ -190,6 +190,85 @@ let prop_engine_monotone =
           in
           go (Msa.Engine.true_set engine) to_assume)
 
+(* Snapshot/rollback must make one engine behave exactly like a family of
+   fresh engines — the contract Progression.build_slow relies on when it
+   reuses one engine across all entries. *)
+let prop_engine_rollback_replay =
+  QCheck.Test.make ~count:200 ~name:"rollback + replay = fresh engine"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (implication_cnf_gen 6)
+           (list_size (int_bound 4) (int_bound 5))
+           (list_size (int_bound 4) (int_bound 5))))
+    (fun (cnf, first, second) ->
+      let universe = Assignment.of_list (List.init 6 Fun.id) in
+      let fresh vars =
+        match Msa.Engine.create cnf ~order:order6 ~universe with
+        | Error `Conflict -> None
+        | Ok e -> (
+            match Msa.Engine.assume_all e vars with
+            | Ok () -> Some (Msa.Engine.true_set e)
+            | Error `Conflict -> None)
+      in
+      match Msa.Engine.create cnf ~order:order6 ~universe with
+      | Error `Conflict -> true
+      | Ok engine ->
+          let base = Msa.Engine.snapshot engine in
+          let run vars =
+            match Msa.Engine.assume_all engine vars with
+            | Ok () -> Some (Msa.Engine.true_set engine)
+            | Error `Conflict -> None
+          in
+          let r1 = run first in
+          Msa.Engine.rollback engine base;
+          let r2 = run second in
+          Msa.Engine.rollback engine base;
+          let r1' = run first in
+          Option.equal Assignment.equal r1 r1'
+          && Option.equal Assignment.equal r1 (fresh first)
+          && Option.equal Assignment.equal r2 (fresh second))
+
+(* ------------------------------------------------------------------ *)
+(* Pinned values on a realistic workload: any change to MSA head choice,
+   clause indexing order, or the engine's undo discipline shows up here. *)
+
+let checksum m = Assignment.fold (fun v acc -> ((acc * 1000003) + v) land max_int) m 0
+
+let test_msa_pinned_workload () =
+  let pool =
+    Lbr_workload.Generator.generate ~seed:7 (Lbr_workload.Generator.njr_profile ~classes:40)
+  in
+  let vpool = Var.Pool.create () in
+  let jv = Lbr_jvm.Jvars.derive vpool pool in
+  let cnf = Lbr_jvm.Constraints.generate jv pool in
+  let universe = Lbr_jvm.Jvars.all jv in
+  let order = Order.by_creation vpool in
+  Alcotest.(check int) "universe size" 587 (Assignment.cardinal universe);
+  Alcotest.(check int) "clause count" 1914 (Cnf.num_clauses cnf);
+  let msa req = Msa.compute cnf ~order ~universe ~required:(Assignment.of_list req) () in
+  let check name req card sum =
+    match msa req with
+    | None -> Alcotest.failf "%s: unexpectedly unsat" name
+    | Some m ->
+        Alcotest.(check int) (name ^ ": cardinal") card (Assignment.cardinal m);
+        Alcotest.(check int) (name ^ ": checksum") sum (checksum m)
+  in
+  check "required {}" [] 0 0;
+  check "required {0}" [ 0 ] 1 0;
+  check "required {17}" [ 17 ] 3 9000069000143;
+  check "required {123}" [ 123 ] 10 3119680083862155803;
+  check "required {500}" [ 500 ] 8 2391785680800883110;
+  (match msa [ 1111 ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "required {1111} should be unsat");
+  match Lbr.Progression.build ~cnf ~order ~learned:[] ~universe with
+  | Error `Unsat -> Alcotest.fail "progression unexpectedly unsat"
+  | Ok entries ->
+      Alcotest.(check int) "progression entries" 448 (List.length entries);
+      let unions = Lbr.Progression.prefix_unions entries in
+      Alcotest.(check int) "last prefix union covers the universe" 587
+        (Assignment.cardinal unions.(Array.length unions - 1))
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -203,11 +282,13 @@ let () =
           prop_msa_least_model_on_graphs;
           prop_msa_respects_universe;
           prop_engine_monotone;
+          prop_engine_rollback_replay;
         ];
       ( "msa",
         [
           Alcotest.test_case "order tie-break" `Quick test_msa_order_tiebreak;
           Alcotest.test_case "incremental engine" `Quick test_msa_engine_incremental;
           Alcotest.test_case "conflict fallback" `Quick test_msa_conflict_fallback;
+          Alcotest.test_case "pinned 40-class workload" `Quick test_msa_pinned_workload;
         ] );
     ]
