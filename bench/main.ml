@@ -20,6 +20,7 @@ type options = {
   programs : int;
   mean_classes : int;
   seed : int;
+  jobs : int;
   run_tables : bool;
   run_micro : bool;
   json_path : string option;
@@ -32,6 +33,7 @@ let parse_options () =
         programs = 30;
         mean_classes = 60;
         seed = 42;
+        jobs = 1;
         run_tables = true;
         run_micro = true;
         json_path = None;
@@ -51,6 +53,11 @@ let parse_options () =
     | "--seed" :: n :: rest ->
         options := { !options with seed = int_of_string n };
         go rest
+    | "--jobs" :: n :: rest ->
+        let jobs = int_of_string n in
+        if jobs < 1 then failwith "--jobs must be >= 1";
+        options := { !options with jobs };
+        go rest
     | "--skip-micro" :: rest ->
         options := { !options with run_micro = false };
         go rest
@@ -62,7 +69,7 @@ let parse_options () =
         (try close_out (open_out path) with Sys_error msg -> failwith msg);
         options := { !options with json_path = Some path };
         go rest
-    | [ (("--programs" | "--mean-classes" | "--seed" | "--json") as flag) ] ->
+    | [ (("--programs" | "--mean-classes" | "--seed" | "--jobs" | "--json") as flag) ] ->
         failwith (flag ^ " requires a value")
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -111,6 +118,16 @@ let table_e1 () =
 (* ================================================================== *)
 (* Corpus + outcomes shared by E2/E3/E5                                *)
 
+(* Effective parallelism of one strategy sweep: process CPU seconds (all
+   domains) over elapsed wall clock.  Sequentially this sits just below 1;
+   with N workers on >= N free cores it approaches N.  The true cross-run
+   speedup is elapsed(jobs=1) / elapsed(jobs=N) over two invocations —
+   this per-run figure tracks it without double-counting wait time when
+   cores are oversubscribed. *)
+let cpu_seconds () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
 let run_corpus options =
   let t0 = Unix.gettimeofday () in
   let benchmarks =
@@ -125,17 +142,26 @@ let run_corpus options =
     List.map
       (fun strategy ->
         let t1 = Unix.gettimeofday () in
-        let outcomes = List.map (Experiment.run strategy) instances in
+        let c1 = cpu_seconds () in
+        let outcomes = Experiment.run_corpus ~jobs:options.jobs strategy instances in
         let wall = Unix.gettimeofday () -. t1 in
-        Printf.printf "[run] %-12s done in %.1fs wall\n%!"
-          (Experiment.strategy_name strategy)
-          wall;
-        (strategy, (wall, outcomes)))
+        let speedup = if wall > 0.0 then (cpu_seconds () -. c1) /. wall else nan in
+        if options.jobs = 1 then
+          Printf.printf "[run] %-12s done in %.1fs wall\n%!"
+            (Experiment.strategy_name strategy)
+            wall
+        else
+          Printf.printf "[run] %-12s done in %.1fs wall (jobs=%d, speedup x%.1f)\n%!"
+            (Experiment.strategy_name strategy)
+            wall options.jobs speedup;
+        (strategy, (wall, speedup, outcomes)))
       Experiment.all_strategies
   in
   (benchmarks, instances, outcomes)
 
-let outcomes_of strategy outcomes = snd (List.assoc strategy outcomes)
+let outcomes_of strategy outcomes =
+  let _, _, os = List.assoc strategy outcomes in
+  os
 
 (* ================================================================== *)
 (* E4: corpus statistics (§5 "Statistics")                             *)
@@ -500,6 +526,18 @@ let json_escape s =
 
 let json_num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
+(* Attribution for trajectory points: which commit produced this dump, on
+   how many cores.  Best effort — outside a git checkout the commit is
+   "unknown". *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 let write_json path options strategies micro_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -507,15 +545,19 @@ let write_json path options strategies micro_rows =
   p "  \"programs\": %d,\n" options.programs;
   p "  \"mean_classes\": %d,\n" options.mean_classes;
   p "  \"seed\": %d,\n" options.seed;
+  p "  \"jobs\": %d,\n" options.jobs;
+  p "  \"git_commit\": \"%s\",\n" (json_escape (git_commit ()));
+  p "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"strategies\": [";
   List.iteri
-    (fun i (name, wall, (s : Stats.summary)) ->
+    (fun i (name, wall, speedup, (s : Stats.summary)) ->
       p
-        "%s\n    { \"name\": \"%s\", \"wall_seconds\": %s, \"geo_sim_time_seconds\": %s, \
+        "%s\n    { \"name\": \"%s\", \"wall_seconds\": %s, \"speedup\": %s, \
+         \"geo_sim_time_seconds\": %s, \
          \"geo_class_ratio\": %s, \"geo_byte_ratio\": %s, \"geo_line_ratio\": %s, \
          \"geo_predicate_runs\": %s }"
         (if i > 0 then "," else "")
-        (json_escape name) (json_num wall) (json_num s.geo_time)
+        (json_escape name) (json_num wall) (json_num speedup) (json_num s.geo_time)
         (json_num s.geo_class_ratio) (json_num s.geo_byte_ratio) (json_num s.geo_line_ratio)
         (json_num s.geo_runs))
     strategies;
@@ -544,8 +586,8 @@ let () =
     let benchmarks, instances, outcomes = run_corpus options in
     strategy_rows :=
       List.map
-        (fun (strategy, (wall, os)) ->
-          (Experiment.strategy_name strategy, wall, Stats.summarize os))
+        (fun (strategy, (wall, speedup, os)) ->
+          (Experiment.strategy_name strategy, wall, speedup, Stats.summarize os))
         outcomes;
     table_e4 benchmarks instances;
     table_e2 outcomes;

@@ -72,8 +72,21 @@ let output_arg =
     & opt (some string) None
     & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the reduced decompiled source to FILE.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains.  With N > 1, reduce against $(i,every) buggy decompiler, fanning the \
+           instances across N domains; the default 1 keeps today's sequential behaviour \
+           (first buggy decompiler only).")
+
 let reduce_cmd =
-  let run seed classes strategy tool output =
+  let run seed classes strategy tool jobs output =
+    if jobs < 1 then begin
+      prerr_endline "--jobs must be >= 1";
+      exit 2
+    end;
     let pool =
       Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes)
     in
@@ -91,38 +104,52 @@ let reduce_cmd =
               prerr_endline ("unknown tool " ^ name ^ "; see `lbr-reduce tools'");
               exit 2)
     in
-    match
-      List.find_map
+    let buggy =
+      List.filter_map
         (fun t ->
           match Lbr_decompiler.Tool.errors t pool with
           | [] -> None
           | errors -> Some (t, errors))
         tools
-    with
-    | None ->
+    in
+    match buggy with
+    | [] ->
         print_endline "no decompiler is buggy on this program; try another --seed";
         exit 0
-    | Some (tool, baseline) ->
-        Printf.printf "program: %d classes, %d bytes; %s produces %d errors\n"
-          (Lbr_jvm.Size.classes pool) (Lbr_jvm.Size.bytes pool)
-          tool.Lbr_decompiler.Tool.name (List.length baseline);
-        let instance =
-          {
-            Lbr_harness.Corpus.instance_id = Printf.sprintf "seed%d/%s" seed tool.name;
-            benchmark = { bench_id = Printf.sprintf "seed%d" seed; seed; pool };
-            tool;
-            baseline_errors = baseline;
-          }
+    | (tool, baseline) :: _ ->
+        let selected = if jobs > 1 then buggy else [ (tool, baseline) ] in
+        let instances =
+          List.map
+            (fun ((t : Lbr_decompiler.Tool.t), errors) ->
+              {
+                Lbr_harness.Corpus.instance_id = Printf.sprintf "seed%d/%s" seed t.name;
+                benchmark = { bench_id = Printf.sprintf "seed%d" seed; seed; pool };
+                tool = t;
+                baseline_errors = errors;
+              })
+            selected
         in
-        let o = Lbr_harness.Experiment.run strategy instance in
-        Printf.printf
-          "%s: %d -> %d classes (%.1f%%), %d -> %d bytes (%.1f%%), %d tool runs, %.0fs simulated\n"
-          (Lbr_harness.Experiment.strategy_name strategy)
-          o.classes0 o.classes1
-          (100. *. float_of_int o.classes1 /. float_of_int o.classes0)
-          o.bytes0 o.bytes1
-          (100. *. float_of_int o.bytes1 /. float_of_int o.bytes0)
-          o.predicate_runs o.sim_time;
+        List.iter
+          (fun (instance : Lbr_harness.Corpus.instance) ->
+            Printf.printf "program: %d classes, %d bytes; %s produces %d errors\n"
+              (Lbr_jvm.Size.classes pool) (Lbr_jvm.Size.bytes pool)
+              instance.tool.Lbr_decompiler.Tool.name
+              (List.length instance.baseline_errors))
+          instances;
+        let outcomes = Lbr_harness.Experiment.run_corpus ~jobs strategy instances in
+        List.iter
+          (fun (o : Lbr_harness.Experiment.outcome) ->
+            Printf.printf
+              "%s%s: %d -> %d classes (%.1f%%), %d -> %d bytes (%.1f%%), %d tool runs, %.0fs \
+               simulated\n"
+              (Lbr_harness.Experiment.strategy_name strategy)
+              (if jobs > 1 then " [" ^ o.instance_id ^ "]" else "")
+              o.classes0 o.classes1
+              (100. *. float_of_int o.classes1 /. float_of_int o.classes0)
+              o.bytes0 o.bytes1
+              (100. *. float_of_int o.bytes1 /. float_of_int o.bytes0)
+              o.predicate_runs o.sim_time)
+          outcomes;
         (match output with
         | None -> ()
         | Some file ->
@@ -153,7 +180,7 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Generate a benchmark program and reduce it against a buggy decompiler.")
-    Term.(const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ output_arg)
+    Term.(const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ jobs_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 

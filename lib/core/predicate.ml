@@ -10,6 +10,7 @@ type t = {
   name : string;
   black_box : Assignment.t -> bool;
   memoize : bool;
+  mutex : Mutex.t;
   mutable memo : bool AMap.t;
   mutable runs : int;
   mutable queries : int;
@@ -17,34 +18,57 @@ type t = {
 }
 
 let make ?(name = "predicate") ?(memoize = true) black_box =
-  { name; black_box; memoize; memo = AMap.empty; runs = 0; queries = 0; observers = [] }
+  {
+    name;
+    black_box;
+    memoize;
+    mutex = Mutex.create ();
+    memo = AMap.empty;
+    runs = 0;
+    queries = 0;
+    observers = [];
+  }
 
 let name t = t.name
 
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* The black box runs outside the lock: holding it would serialize every
+   concurrent caller on the slowest predicate execution. *)
 let execute t input =
-  t.runs <- t.runs + 1;
+  locked t (fun () -> t.runs <- t.runs + 1);
   let outcome = t.black_box input in
-  List.iter (fun observe -> observe input outcome) t.observers;
+  let observers = locked t (fun () -> t.observers) in
+  List.iter (fun observe -> observe input outcome) observers;
   outcome
 
 let run t input =
-  t.queries <- t.queries + 1;
-  if not t.memoize then execute t input
-  else
-    match AMap.find_opt input t.memo with
-    | Some outcome -> outcome
-    | None ->
-        let outcome = execute t input in
-        t.memo <- AMap.add input outcome t.memo;
-        outcome
+  let cached =
+    locked t (fun () ->
+        t.queries <- t.queries + 1;
+        if not t.memoize then None
+        else
+          match AMap.find_opt input t.memo with
+          | Some outcome -> Some outcome
+          | None -> None)
+  in
+  match cached with
+  | Some outcome -> outcome
+  | None ->
+      let outcome = execute t input in
+      if t.memoize then locked t (fun () -> t.memo <- AMap.add input outcome t.memo);
+      outcome
 
-let runs t = t.runs
+let runs t = locked t (fun () -> t.runs)
 
-let queries t = t.queries
+let queries t = locked t (fun () -> t.queries)
 
 let reset t =
-  t.memo <- AMap.empty;
-  t.runs <- 0;
-  t.queries <- 0
+  locked t (fun () ->
+      t.memo <- AMap.empty;
+      t.runs <- 0;
+      t.queries <- 0)
 
-let on_check t observe = t.observers <- observe :: t.observers
+let on_check t observe = locked t (fun () -> t.observers <- observe :: t.observers)

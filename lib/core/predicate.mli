@@ -5,7 +5,19 @@
     executions (the evaluation's main cost metric), optionally memoizes them
     (re-running a decompiler on an input already tried is wasted work), and
     lets observers tap each check — which is how the harness reconstructs
-    the reduction-over-time curves of Figure 8b. *)
+    the reduction-over-time curves of Figure 8b.
+
+    {2 Thread-safety contract}
+
+    All operations may be called concurrently from multiple domains.  The
+    memo table, counters, and observer list are guarded by one mutex per
+    predicate; counters are exact (no lost updates).  The black box itself
+    runs {e outside} the lock, so concurrent runs proceed in parallel —
+    with the consequence that two domains racing on the same uncached
+    input may both execute the black box (both executions are counted by
+    {!runs}; the memo keeps one of the identical results).  Observers are
+    invoked outside the lock, after the execution, on the executing
+    domain; an observer shared between domains must do its own locking. *)
 
 open Lbr_logic
 

@@ -38,12 +38,19 @@ let where_of = function
 
 (* The gate depends only on the pattern and the location — never on the
    pool — so each decision is shared across the thousands of sub-pools a
-   reduction probes the tool with. *)
-let selective_memo : (string * loc, bool) Hashtbl.t = Hashtbl.create 4096
+   reduction probes the tool with.  The memos sit on the hot path of every
+   predicate run, and a parallel corpus run probes tools from several
+   domains at once; Hashtbl is not safe under concurrent mutation (a
+   resize can corrupt the table), so each domain gets its own table via
+   [Domain.DLS] — no locking on the hot path, at the cost of each domain
+   re-deriving the (pure, deterministic) gate values it needs. *)
+let selective_memo_key : (string * loc, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 let selective pattern loc modulus =
+  let memo = Domain.DLS.get selective_memo_key in
   let key = (pattern, loc) in
-  match Hashtbl.find_opt selective_memo key with
+  match Hashtbl.find_opt memo key with
   | Some gate -> gate
   | None ->
       let where = where_of loc in
@@ -51,18 +58,20 @@ let selective pattern loc modulus =
         Hashtbl.hash (pattern ^ "@" ^ package_of where) mod package_modulus = 0
         && Hashtbl.hash (pattern ^ "/" ^ where) mod modulus = 0
       in
-      Hashtbl.add selective_memo key gate;
+      Hashtbl.add memo key gate;
       gate
 
 (* Class-level prefilter.  When the class name carries a package prefix
    (always, for generated pools), every member location shares the class's
    package, so a failed package gate rules out the whole class — one memo
    lookup instead of one per body. *)
-let class_gate_memo : (string * string, bool) Hashtbl.t = Hashtbl.create 4096
+let class_gate_memo_key : (string * string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 let class_may_fire pattern cls_name =
+  let memo = Domain.DLS.get class_gate_memo_key in
   let key = (pattern, cls_name) in
-  match Hashtbl.find_opt class_gate_memo key with
+  match Hashtbl.find_opt memo key with
   | Some g -> g
   | None ->
       let g =
@@ -71,7 +80,7 @@ let class_may_fire pattern cls_name =
         | Some i ->
             Hashtbl.hash (pattern ^ "@" ^ String.sub cls_name 0 i) mod package_modulus = 0
       in
-      Hashtbl.add class_gate_memo key g;
+      Hashtbl.add memo key g;
       g
 
 (* Iterate over every gated (class, method-or-ctor context, body): [f] only

@@ -4,20 +4,61 @@
     decompilers; we ship three simulated ones with different bug profiles).
     Running the tool on a pool "decompiles" it and "re-compiles" the output:
     the result is the sorted set of compiler error messages.  A tool is
-    buggy on an input iff that set is non-empty. *)
+    buggy on an input iff that set is non-empty.
+
+    Real decompiler+compiler pipelines also fail for reasons unrelated to
+    the input — transient load, crashes, hangs.  {!Faults} injects such
+    failures on a seeded schedule so the resilient oracle's retry and
+    crash-classification paths ([Lbr_runtime.Oracle]) are testable and
+    deterministic. *)
 
 open Lbr_jvm
 
-type t = { name : string; patterns : Pattern.t list }
+exception Transient_failure of string
+(** A flaky run: retrying the same input may succeed. *)
+
+exception Tool_crash of string
+(** A hard crash of this invocation. *)
+
+(** Seeded fault injection.  Each {!val:errors} call on a faulty tool first
+    draws from a seeded RNG: with probability [crash_rate] it raises
+    {!Tool_crash}, with probability [flaky_rate] it raises
+    {!Transient_failure}, otherwise the run proceeds normally.  Draws are
+    mutex-guarded, so a schedule shared between domains stays valid
+    (though the interleaving of draws then depends on scheduling; tests
+    wanting exact determinism should drive a faulty tool from one
+    domain). *)
+module Faults : sig
+  type t
+
+  val make : ?flaky_rate:float -> ?crash_rate:float -> seed:int -> unit -> t
+  (** Rates default to [0.]; raises [Invalid_argument] if either is
+      negative or they sum above [1.]. *)
+
+  val draws : t -> int
+  (** Total fault-schedule draws (one per {!val:errors} call). *)
+
+  val injected_flaky : t -> int
+
+  val injected_crashes : t -> int
+end
+
+type t = { name : string; patterns : Pattern.t list; faults : Faults.t option }
 
 val cfr_sim : t
 val fernflower_sim : t
 val procyon_sim : t
 
 val all : t list
+(** The three fault-free tools. *)
+
+val with_faults : Faults.t -> t -> t
+(** A copy of the tool that consults the fault schedule on every run. *)
 
 val errors : t -> Classpool.t -> string list
-(** Sorted, deduplicated error messages from decompile-and-recompile. *)
+(** Sorted, deduplicated error messages from decompile-and-recompile.
+    On a tool built by {!with_faults}, may raise {!Transient_failure} or
+    {!Tool_crash} according to the schedule. *)
 
 val instances : t -> Classpool.t -> Pattern.instance list
 

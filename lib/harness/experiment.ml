@@ -224,3 +224,15 @@ let run ?(cost = default_cost) strategy instance =
   | Lossy_first -> run_lossy instance ~pick:Lbr.Lossy.First_first ~strategy:Lossy_first ~cost
   | Lossy_last -> run_lossy instance ~pick:Lbr.Lossy.Last_last ~strategy:Lossy_last ~cost
   | Gbr -> run_gbr instance ~cost
+
+(* Instances are independent — each run builds its own variable pool,
+   constraints, predicate, and driver — so fanning them across a domain
+   pool changes nothing but wall clock.  [jobs = 1] deliberately bypasses
+   the pool: it is byte-for-byte the sequential path above. *)
+let run_corpus ?(cost = default_cost) ?(jobs = 1) strategy instance_list =
+  if jobs < 1 then invalid_arg "Experiment.run_corpus: jobs must be >= 1";
+  if jobs = 1 then List.map (fun instance -> run ~cost strategy instance) instance_list
+  else
+    Lbr_runtime.Pool.with_pool ~jobs (fun pool ->
+        Lbr_runtime.Pool.map_list pool (fun instance -> run ~cost strategy instance)
+          instance_list)

@@ -38,3 +38,17 @@ val default_cost : Classpool.t -> float
 (** [1.0 + 4e-4 × bytes] simulated seconds per decompile+recompile. *)
 
 val run : ?cost:(Classpool.t -> float) -> strategy -> Corpus.instance -> outcome
+
+val run_corpus :
+  ?cost:(Classpool.t -> float) ->
+  ?jobs:int ->
+  strategy ->
+  Corpus.instance list ->
+  outcome list
+(** Run one strategy over a list of instances, fanning them across a
+    [Lbr_runtime.Pool] of [jobs] worker domains ([jobs] defaults to [1],
+    which is exactly the sequential [List.map] over {!run}).  Outcomes come
+    back in instance order, and every field except [wall_time] is
+    deterministic — identical for any [jobs] — because instances share no
+    mutable state (the global pattern memo caches are mutex-guarded and
+    pure in their keys). *)

@@ -1,0 +1,141 @@
+open Lbr_logic
+
+type crash_policy = Crash_fails | Crash_passes | Crash_raises
+
+type config = {
+  timeout : float option;
+  retries : int;
+  backoff : float;
+  crash_policy : crash_policy;
+  transient : exn -> bool;
+}
+
+let default_config =
+  {
+    timeout = None;
+    retries = 0;
+    backoff = 0.0;
+    crash_policy = Crash_raises;
+    transient = (fun _ -> false);
+  }
+
+exception Crashed of { oracle : string; attempts : int; reason : string }
+
+module AMap = Map.Make (struct
+  type t = Assignment.t
+
+  let compare = Assignment.compare
+end)
+
+type t = {
+  name : string;
+  config : config;
+  black_box : Assignment.t -> bool;
+  mutex : Mutex.t;
+  mutable memo : bool AMap.t;
+  mutable queries : int;
+  mutable executions : int;
+  mutable memo_hits : int;
+  mutable retries_used : int;
+  mutable timeouts : int;
+  mutable crashes : int;
+}
+
+let make ?(config = default_config) ?(name = "oracle") black_box =
+  if config.retries < 0 then invalid_arg "Oracle.make: retries must be >= 0";
+  {
+    name;
+    config;
+    black_box;
+    mutex = Mutex.create ();
+    memo = AMap.empty;
+    queries = 0;
+    executions = 0;
+    memo_hits = 0;
+    retries_used = 0;
+    timeouts = 0;
+    crashes = 0;
+  }
+
+let of_predicate ?config predicate =
+  make ?config ~name:(Lbr.Predicate.name predicate) (Lbr.Predicate.run predicate)
+
+let name t = t.name
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* One attempt, without the lock held (the black box may be slow).
+   [Ok b] is a usable outcome; [Error reason] is a failed attempt with
+   [`Transient] worth retrying and [`Crash] not. *)
+let attempt t input =
+  locked t (fun () -> t.executions <- t.executions + 1);
+  let t0 = Unix.gettimeofday () in
+  match t.black_box input with
+  | outcome -> (
+      let elapsed = Unix.gettimeofday () -. t0 in
+      match t.config.timeout with
+      | Some limit when elapsed > limit ->
+          locked t (fun () -> t.timeouts <- t.timeouts + 1);
+          Error
+            ( `Transient,
+              Printf.sprintf "attempt exceeded the %.3fs timeout (took %.3fs)" limit elapsed )
+      | Some _ | None -> Ok outcome)
+  | exception e when t.config.transient e ->
+      Error (`Transient, "transient failure: " ^ Printexc.to_string e)
+  | exception e -> Error (`Crash, "crash: " ^ Printexc.to_string e)
+
+let run t input =
+  let cached =
+    locked t (fun () ->
+        t.queries <- t.queries + 1;
+        match AMap.find_opt input t.memo with
+        | Some outcome ->
+            t.memo_hits <- t.memo_hits + 1;
+            Some outcome
+        | None -> None)
+  in
+  match cached with
+  | Some outcome -> outcome
+  | None ->
+      let max_attempts = t.config.retries + 1 in
+      let rec go k =
+        match attempt t input with
+        | Ok outcome -> Ok (outcome, k)
+        | Error (`Transient, _reason) when k < max_attempts ->
+            if t.config.backoff > 0.0 then
+              Unix.sleepf (t.config.backoff *. (2.0 ** float_of_int (k - 1)));
+            locked t (fun () -> t.retries_used <- t.retries_used + 1);
+            go (k + 1)
+        | Error ((`Transient | `Crash), reason) -> Error (reason, k)
+      in
+      let memoize outcome =
+        locked t (fun () -> t.memo <- AMap.add input outcome t.memo);
+        outcome
+      in
+      (match go 1 with
+      | Ok (outcome, _) -> memoize outcome
+      | Error (reason, attempts) -> (
+          locked t (fun () -> t.crashes <- t.crashes + 1);
+          match t.config.crash_policy with
+          | Crash_fails -> memoize false
+          | Crash_passes -> memoize true
+          | Crash_raises -> raise (Crashed { oracle = t.name; attempts; reason })))
+
+let queries t = locked t (fun () -> t.queries)
+let executions t = locked t (fun () -> t.executions)
+let memo_hits t = locked t (fun () -> t.memo_hits)
+let retries_used t = locked t (fun () -> t.retries_used)
+let timeouts t = locked t (fun () -> t.timeouts)
+let crashes t = locked t (fun () -> t.crashes)
+
+let reset t =
+  locked t (fun () ->
+      t.memo <- AMap.empty;
+      t.queries <- 0;
+      t.executions <- 0;
+      t.memo_hits <- 0;
+      t.retries_used <- 0;
+      t.timeouts <- 0;
+      t.crashes <- 0)

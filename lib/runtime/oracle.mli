@@ -1,0 +1,87 @@
+(** A resilient predicate oracle.
+
+    [Lbr.Predicate] assumes the black box always returns; real tools
+    (decompiler + compiler pipelines) are flaky — they crash, hang, or
+    fail transiently under load.  An oracle wraps a black box with:
+
+    - a thread-safe memo table, so concurrent reducers sharing one oracle
+      never pay for a repeated input;
+    - retry with exponential backoff for failures classified as transient
+      by [config.transient] (and for advisory timeouts);
+    - crash classification: once retries are exhausted, or on a
+      non-transient exception, the attempt is mapped by [crash_policy] to
+      a [false] outcome, a [true] outcome, or a {!Crashed} exception.
+
+    The timeout is {e advisory}: a black box cannot be preempted from
+    within a domain, so an attempt whose wall-clock time exceeds
+    [config.timeout] has its result discarded and is treated like a
+    transient failure (real deployments would put the tool behind a
+    process boundary; the simulated tools here return quickly, and fault
+    injection raises instead of sleeping).
+
+    Concurrency contract: {!run} may be called from any number of domains.
+    Counters are mutex-guarded and exact.  Two domains racing on the same
+    uncached input may both execute the black box (both executions are
+    counted); the memo keeps one of the — identical, the black box being
+    deterministic modulo faults — results. *)
+
+open Lbr_logic
+
+type crash_policy =
+  | Crash_fails  (** a crashed run counts as "bug not reproduced" *)
+  | Crash_passes  (** a crashed run counts as "bug reproduced" *)
+  | Crash_raises  (** escalate as {!Crashed} to the caller *)
+
+type config = {
+  timeout : float option;  (** advisory per-attempt wall-clock budget, seconds *)
+  retries : int;  (** extra attempts after the first, for transient failures *)
+  backoff : float;  (** sleep [backoff * 2^(k-1)] seconds before retry [k] *)
+  crash_policy : crash_policy;
+  transient : exn -> bool;  (** which exceptions are worth retrying *)
+}
+
+val default_config : config
+(** No timeout, no retries, no backoff, [Crash_raises], nothing
+    transient — the strict behaviour of a bare predicate. *)
+
+exception Crashed of { oracle : string; attempts : int; reason : string }
+(** Raised under [Crash_raises] when every attempt failed. *)
+
+type t
+
+val make : ?config:config -> ?name:string -> (Assignment.t -> bool) -> t
+(** Wrap a raw black box. *)
+
+val of_predicate : ?config:config -> Lbr.Predicate.t -> t
+(** Layer an oracle over an instrumented predicate: the predicate keeps
+    counting underlying executions, the oracle adds resilience on top.
+    (Both layers memoize; the predicate's table only ever sees inputs the
+    oracle retried past its own cache, so the double bookkeeping is
+    harmless.) *)
+
+val name : t -> string
+
+val run : t -> Assignment.t -> bool
+(** Evaluate with memoization, retry, and crash classification.  Outcomes
+    produced by crash classification ([Crash_fails] / [Crash_passes]) are
+    memoized too: a deterministic black box would crash again. *)
+
+val queries : t -> int
+(** Total {!run} calls. *)
+
+val executions : t -> int
+(** Black-box attempts, including retries. *)
+
+val memo_hits : t -> int
+
+val retries_used : t -> int
+(** Attempts beyond the first, summed over all inputs. *)
+
+val timeouts : t -> int
+(** Attempts whose wall-clock time exceeded [config.timeout]. *)
+
+val crashes : t -> int
+(** Inputs whose outcome came from crash classification. *)
+
+val reset : t -> unit
+(** Clear the memo table and all counters. *)
