@@ -54,9 +54,11 @@ let parse_options () =
         options := { !options with seed = int_of_string n };
         go rest
     | "--jobs" :: n :: rest ->
-        let jobs = int_of_string n in
-        if jobs < 1 then failwith "--jobs must be >= 1";
-        options := { !options with jobs };
+        (match int_of_string_opt n with
+        | None -> failwith (Printf.sprintf "--jobs: %S is not an integer" n)
+        | Some jobs when jobs < 1 ->
+            failwith (Printf.sprintf "--jobs: %d is not a positive integer (expected >= 1)" jobs)
+        | Some jobs -> options := { !options with jobs });
         go rest
     | "--skip-micro" :: rest ->
         options := { !options with run_micro = false };
@@ -73,7 +75,11 @@ let parse_options () =
         failwith (flag ^ " requires a value")
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
-  go (List.tl (Array.to_list Sys.argv));
+  (* a clean one-line usage error, not an uncaught-exception backtrace *)
+  (try go (List.tl (Array.to_list Sys.argv))
+   with Failure msg ->
+     prerr_endline ("bench: " ^ msg);
+     exit 2);
   !options
 
 let header title =

@@ -3,6 +3,8 @@
    Subcommands:
      example   — run the paper's Figure 1 example end to end
      reduce    — generate a benchmark, pick a buggy decompiler, reduce
+     serve     — reduction-as-a-service daemon on a Unix socket
+     submit    — send a pool to a running daemon and collect the result
      stats     — corpus statistics (the §5 'Statistics' table)
      export    — dump a benchmark's pool (binary), model (DIMACS) and source
      tools     — list the simulated decompilers and their bug patterns *)
@@ -72,21 +74,28 @@ let output_arg =
     & opt (some string) None
     & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the reduced decompiled source to FILE.")
 
+(* A [--jobs 0] or [--jobs -3] should die in argument parsing with a
+   cmdliner-formatted error, not reach the domain pool. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is not a positive integer (expected >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt pos_int 1
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Worker domains.  With N > 1, reduce against $(i,every) buggy decompiler, fanning the \
-           instances across N domains; the default 1 keeps today's sequential behaviour \
-           (first buggy decompiler only).")
+          "Worker domains (a positive integer).  With N > 1, reduce against $(i,every) buggy \
+           decompiler, fanning the instances across N domains; the default 1 keeps today's \
+           sequential behaviour (first buggy decompiler only).")
 
 let reduce_cmd =
-  let run seed classes strategy tool jobs output =
-    if jobs < 1 then begin
-      prerr_endline "--jobs must be >= 1";
-      exit 2
-    end;
+  let run seed classes strategy tool jobs output output_pool =
     let pool =
       Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes)
     in
@@ -136,9 +145,52 @@ let reduce_cmd =
               instance.tool.Lbr_decompiler.Tool.name
               (List.length instance.baseline_errors))
           instances;
-        let outcomes = Lbr_harness.Experiment.run_corpus ~jobs strategy instances in
+        (* Graceful ^C / SIGTERM: stop at the next predicate-run boundary,
+           flush whatever timeline the interrupted run accumulated, and
+           exit with the conventional 128+signal status.  Shares the
+           Shutdown drain plumbing with the serve daemon. *)
+        let shutdown = Lbr_server.Shutdown.install () in
+        let partial_mutex = Mutex.create () in
+        let partial : (string * (float * int * int) list ref) list =
+          List.map
+            (fun (i : Lbr_harness.Corpus.instance) -> (i.instance_id, ref []))
+            instances
+        in
+        let hooks (instance : Lbr_harness.Corpus.instance) =
+          let improvements = List.assoc instance.instance_id partial in
+          {
+            Lbr_harness.Experiment.default_hooks with
+            should_stop = Some (fun () -> Lbr_server.Shutdown.requested shutdown);
+            on_improvement =
+              Some
+                (fun sim_time cls bytes ->
+                  Mutex.lock partial_mutex;
+                  improvements := (sim_time, cls, bytes) :: !improvements;
+                  Mutex.unlock partial_mutex);
+          }
+        in
+        let results =
+          match Lbr_harness.Experiment.run_corpus_full ~jobs ~hooks strategy instances with
+          | results -> results
+          | exception Lbr_harness.Experiment.Cancelled ->
+              Lbr_server.Shutdown.on_drain shutdown (fun () ->
+                  Printf.eprintf "interrupted by SIG%s; partial progress:\n"
+                    (Option.value ~default:"?" (Lbr_server.Shutdown.signal_name shutdown));
+                  List.iter
+                    (fun (id, improvements) ->
+                      match !improvements with
+                      | [] -> Printf.eprintf "  %s: no improvement reached yet\n" id
+                      | (sim_time, cls, bytes) :: _ ->
+                          Printf.eprintf "  %s: best so far %d classes, %d bytes at %.0fs\n" id
+                            cls bytes sim_time)
+                    partial);
+              Lbr_server.Shutdown.run_drain shutdown;
+              exit (match Lbr_server.Shutdown.signal_name shutdown with
+                    | Some "TERM" -> 143
+                    | _ -> 130)
+        in
         List.iter
-          (fun (o : Lbr_harness.Experiment.outcome) ->
+          (fun ((o : Lbr_harness.Experiment.outcome), _final) ->
             Printf.printf
               "%s%s: %d -> %d classes (%.1f%%), %d -> %d bytes (%.1f%%), %d tool runs, %.0fs \
                simulated\n"
@@ -149,38 +201,200 @@ let reduce_cmd =
               o.bytes0 o.bytes1
               (100. *. float_of_int o.bytes1 /. float_of_int o.bytes0)
               o.predicate_runs o.sim_time)
-          outcomes;
-        (match output with
-        | None -> ()
-        | Some file ->
-            (* Re-derive the reduced pool with GBR for the dump. *)
-            let vpool = Var.Pool.create () in
-            let jv = Lbr_jvm.Jvars.derive vpool pool in
-            let cnf = Lbr_jvm.Constraints.generate jv pool in
-            let predicate =
-              Lbr.Predicate.make (fun phi ->
-                  let errors =
-                    Lbr_decompiler.Tool.errors tool (Lbr_jvm.Reducer.apply jv pool phi)
-                  in
-                  List.for_all (fun m -> List.mem m errors) baseline)
-            in
-            let problem =
-              Lbr.Problem.make ~pool:vpool ~universe:(Lbr_jvm.Jvars.all jv) ~constraints:cnf
-                ~predicate
-            in
-            match Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation vpool) with
-            | Error _ -> prerr_endline "dump failed"
-            | Ok (solution, _) ->
-                let reduced = Lbr_jvm.Reducer.apply jv pool solution in
-                let oc = open_out file in
-                output_string oc (Lbr_decompiler.Source.decompile reduced);
-                close_out oc;
-                Printf.printf "reduced decompiled source written to %s\n" file)
+          results;
+        let first_final = match results with (_, final) :: _ -> Some final | [] -> None in
+        (match (output, first_final) with
+        | Some file, Some reduced ->
+            let oc = open_out file in
+            output_string oc (Lbr_decompiler.Source.decompile reduced);
+            close_out oc;
+            Printf.printf "reduced decompiled source written to %s\n" file
+        | _ -> ());
+        (match (output_pool, first_final) with
+        | Some file, Some reduced ->
+            Lbr_jvm.Serialize.write_file file reduced;
+            Printf.printf "reduced pool written to %s\n" file
+        | _ -> ())
+  in
+  let output_pool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output-pool" ] ~docv:"FILE"
+          ~doc:"Write the reduced class pool (LBRC binary) of the first instance to FILE.")
   in
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Generate a benchmark program and reduce it against a buggy decompiler.")
-    Term.(const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ jobs_arg $ output_arg)
+    Term.(
+      const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ jobs_arg $ output_arg
+      $ output_pool_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction as a service                                              *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/lbr-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path of the daemon.")
+
+let serve_cmd =
+  let queue_depth_arg =
+    Arg.(
+      value & opt pos_int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Maximum jobs waiting for a worker; submissions past this are rejected with a \
+                retry-after hint.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Write-ahead journal directory.  Accepted jobs and completed predicate \
+                evaluations are logged there, and a restarted daemon resumes unfinished jobs, \
+                replaying paid-for predicate results.")
+  in
+  let run socket jobs queue_depth journal_dir =
+    let shutdown = Lbr_server.Shutdown.install () in
+    let server =
+      try
+        Lbr_server.Server.start
+          { Lbr_server.Server.socket_path = socket; jobs; queue_depth; journal_dir }
+      with Failure m | Sys_error m ->
+        prerr_endline ("lbr-serve: " ^ m);
+        exit 1
+    in
+    Printf.printf "lbr-serve: listening on %s (%d worker%s, queue depth %d%s)\n%!" socket jobs
+      (if jobs = 1 then "" else "s")
+      queue_depth
+      (match journal_dir with Some d -> ", journal " ^ d | None -> "");
+    (match Lbr_server.Server.recovered server with
+    | 0 -> ()
+    | n -> Printf.printf "lbr-serve: resumed %d journaled job%s\n%!" n (if n = 1 then "" else "s"));
+    Lbr_server.Shutdown.on_drain shutdown (fun () ->
+        Printf.printf "lbr-serve: %s received, draining in-flight jobs...\n%!"
+          (match Lbr_server.Shutdown.signal_name shutdown with
+          | Some s -> "SIG" ^ s
+          | None -> "stop request");
+        Lbr_server.Server.stop server;
+        print_endline "lbr-serve: drained, bye");
+    while not (Lbr_server.Shutdown.requested shutdown) do
+      Thread.delay 0.1
+    done;
+    Lbr_server.Shutdown.run_drain shutdown
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the reduction daemon: accept LBRC class pools over a Unix domain socket, reduce \
+          them on a domain pool, stream progress, and journal for crash recovery.")
+    Term.(const run $ socket_arg $ jobs_arg $ queue_depth_arg $ journal_arg)
+
+let submit_cmd =
+  let pool_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pool" ] ~docv:"FILE"
+          ~doc:"LBRC pool file to submit (e.g. from `lbr-reduce export --pool').  Without it, a \
+                benchmark is generated from --seed/--classes.")
+  in
+  let priority_arg =
+    Arg.(
+      value
+      & opt (enum [ ("normal", Lbr_server.Wire.Normal); ("high", Lbr_server.Wire.High) ])
+          Lbr_server.Wire.Normal
+      & info [ "priority" ] ~docv:"PRIORITY" ~doc:"Admission priority: normal or high.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Oracle retries for transient tool failures on the server.")
+  in
+  let run socket pool_file seed classes strategy tool priority retries output output_pool =
+    let pool_bytes =
+      match pool_file with
+      | Some file -> (
+          match
+            let ic = open_in_bin file in
+            let data = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            data
+          with
+          | data -> data
+          | exception Sys_error m ->
+              prerr_endline ("lbr-reduce submit: " ^ m);
+              exit 1)
+      | None ->
+          Lbr_jvm.Serialize.to_bytes
+            (Lbr_workload.Generator.generate ~seed
+               (Lbr_workload.Generator.njr_profile ~classes))
+    in
+    let spec =
+      {
+        Lbr_server.Wire.tool = Option.value ~default:"" tool;
+        strategy;
+        priority;
+        crash_policy = Lbr_runtime.Oracle.Crash_raises;
+        retries;
+        pool_bytes;
+      }
+    in
+    match Lbr_server.Client.connect socket with
+    | Error m ->
+        prerr_endline ("lbr-reduce submit: " ^ m);
+        exit 1
+    | Ok client -> (
+        let on_progress (p : Lbr_server.Client.progress) =
+          Printf.printf "progress: %d classes, %d bytes at %.0fs simulated\n%!" p.classes
+            p.bytes p.sim_time
+        in
+        match Lbr_server.Client.submit client ~on_progress spec with
+        | Error m ->
+            Lbr_server.Client.close client;
+            prerr_endline ("lbr-reduce submit: " ^ m);
+            exit 1
+        | Ok (job_id, stats, reduced_bytes) ->
+            Lbr_server.Client.close client;
+            Printf.printf
+              "%s: %d -> %d classes, %d -> %d bytes, %d predicate runs (%d replayed), %.0fs \
+               simulated%s\n"
+              job_id stats.classes0 stats.classes1 stats.bytes0 stats.bytes1
+              stats.predicate_runs stats.replayed_runs stats.sim_time
+              (if stats.ok then "" else " [NOT REPRODUCED]");
+            (match output_pool with
+            | None -> ()
+            | Some file ->
+                let oc = open_out_bin file in
+                output_string oc reduced_bytes;
+                close_out oc;
+                Printf.printf "reduced pool written to %s\n" file);
+            (match output with
+            | None -> ()
+            | Some file -> (
+                match Lbr_jvm.Serialize.of_bytes reduced_bytes with
+                | Error m -> prerr_endline ("undecodable reduced pool: " ^ m)
+                | Ok reduced ->
+                    let oc = open_out file in
+                    output_string oc (Lbr_decompiler.Source.decompile reduced);
+                    close_out oc;
+                    Printf.printf "reduced decompiled source written to %s\n" file)))
+  in
+  let output_pool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output-pool" ] ~docv:"FILE" ~doc:"Write the reduced pool (LBRC binary) to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a class pool to a running `lbr-reduce serve' daemon and wait for the result.")
+    Term.(
+      const run $ socket_arg $ pool_file_arg $ seed_arg $ classes_arg $ strategy_arg $ tool_arg
+      $ priority_arg $ retries_arg $ output_arg $ output_pool_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -278,4 +492,7 @@ let () =
     Cmd.info "lbr-reduce" ~version:"1.0.0"
       ~doc:"Logical bytecode reduction (PLDI 2021) — reference OCaml implementation."
   in
-  exit (Cmd.eval (Cmd.group info [ example_cmd; reduce_cmd; stats_cmd; export_cmd; tools_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ example_cmd; reduce_cmd; serve_cmd; submit_cmd; stats_cmd; export_cmd; tools_cmd ]))

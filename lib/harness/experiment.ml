@@ -18,6 +18,7 @@ type outcome = {
   sim_time : float;
   wall_time : float;
   predicate_runs : int;
+  replayed_runs : int;
   classes0 : int;
   classes1 : int;
   bytes0 : int;
@@ -30,6 +31,18 @@ type outcome = {
 }
 
 let default_cost pool = 1.0 +. (4e-4 *. float_of_int (Size.bytes pool))
+
+exception Cancelled
+
+type evaluation = Fresh of bool | Replayed of bool
+
+type hooks = {
+  on_improvement : (float -> int -> int -> unit) option;
+  should_stop : (unit -> bool) option;
+  evaluate : (key:string -> (unit -> bool) -> evaluation) option;
+}
+
+let default_hooks = { on_improvement = None; should_stop = None; evaluate = None }
 
 (* Sorted-list inclusion: is every baseline message present? *)
 let rec includes_sorted ~baseline messages =
@@ -48,28 +61,46 @@ type driver = {
   clock : float ref;
   improvements : (float * int * int) list ref;
   best : (int * int) ref;
+  replayed : int ref;
   check_pool : Classpool.t -> bool;
 }
 
-let make_driver (instance : Corpus.instance) ~cost =
+let make_driver (instance : Corpus.instance) ~cost ~hooks =
   let tool = instance.tool and baseline = instance.baseline_errors in
   let clock = ref 0.0 in
   let best = ref (max_int, max_int) in
   let improvements = ref [] in
+  let replayed = ref 0 in
   let check_pool sub =
+    (match hooks.should_stop with Some stop when stop () -> raise Cancelled | _ -> ());
     clock := !clock +. cost sub;
-    let ok = includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub) in
+    let eval () = includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub) in
+    let ok =
+      match hooks.evaluate with
+      | None -> eval ()
+      | Some evaluate -> (
+          (* The key must be stable across processes (it names journal
+             entries), so it digests the serialized sub-pool, not any
+             in-memory identity. *)
+          let key = Digest.to_hex (Digest.string (Serialize.to_bytes sub)) in
+          match evaluate ~key eval with
+          | Fresh ok -> ok
+          | Replayed ok ->
+              incr replayed;
+              ok)
+    in
     if ok then begin
       let c = Size.classes sub and b = Size.bytes sub in
       let bc, bb = !best in
       if b < bb || (b = bb && c < bc) then begin
         best := (min bc c, min bb b);
-        improvements := (!clock, c, b) :: !improvements
+        improvements := (!clock, c, b) :: !improvements;
+        match hooks.on_improvement with Some f -> f !clock c b | None -> ()
       end
     end;
     ok
   in
-  { clock; improvements; best; check_pool }
+  { clock; improvements; best; replayed; check_pool }
 
 let finish (instance : Corpus.instance) strategy driver ~runs ~ok ~final ~wall_time =
   let pool = instance.benchmark.pool in
@@ -80,6 +111,7 @@ let finish (instance : Corpus.instance) strategy driver ~runs ~ok ~final ~wall_t
     sim_time = !(driver.clock);
     wall_time;
     predicate_runs = runs;
+    replayed_runs = !(driver.replayed);
     classes0 = Size.classes pool;
     classes1 = Size.classes final;
     bytes0 = Size.bytes pool;
@@ -130,7 +162,7 @@ let restrict_classes pool keep_names =
   |> List.filter (fun (c : Classfile.cls) -> List.mem c.Classfile.name keep_names)
   |> Classpool.of_classes
 
-let run_jreduce instance ~cost =
+let run_jreduce instance ~cost ~hooks =
   let pool = instance.Corpus.benchmark.pool in
   let names = Array.of_list (Classpool.names pool) in
   let index_of =
@@ -149,7 +181,7 @@ let run_jreduce instance ~cost =
     Lbr_baselines.Binary_reduction.Graph_encoding.closures ~num_vars:(Array.length names)
       ~edges ~required:[]
   in
-  let driver = make_driver instance ~cost in
+  let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of assignment =
     restrict_classes pool (List.map (fun i -> names.(i)) (Assignment.to_list assignment))
   in
@@ -163,7 +195,8 @@ let run_jreduce instance ~cost =
     | Error `Predicate_inconsistent -> (Assignment.of_list (List.init (Array.length names) Fun.id), Lbr.Predicate.runs predicate, false)
   in
   let wall_time = Unix.gettimeofday () -. t0 in
-  finish instance Jreduce driver ~runs ~ok ~final:(sub_pool_of result) ~wall_time
+  let final = sub_pool_of result in
+  (finish instance Jreduce driver ~runs ~ok ~final ~wall_time, final)
 
 (* ------------------------------------------------------------------ *)
 (* Item-granularity strategies.                                       *)
@@ -175,7 +208,7 @@ let item_context instance =
   let cnf = Constraints.generate jv pool in
   (pool, vpool, jv, cnf)
 
-let run_lossy instance ~pick ~strategy ~cost =
+let run_lossy instance ~pick ~strategy ~cost ~hooks =
   let pool, vpool, jv, cnf = item_context instance in
   let encoded = Lbr.Lossy.encode cnf ~pick in
   let edges, required = Lbr.Lossy.to_graph encoded in
@@ -183,7 +216,7 @@ let run_lossy instance ~pick ~strategy ~cost =
     Lbr_baselines.Binary_reduction.Graph_encoding.closures ~num_vars:(Var.Pool.size vpool)
       ~edges ~required
   in
-  let driver = make_driver instance ~cost in
+  let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of = Reducer.prepare jv pool in
   let predicate =
     Lbr.Predicate.make ~name:"lossy" (fun phi -> driver.check_pool (sub_pool_of phi))
@@ -195,11 +228,12 @@ let run_lossy instance ~pick ~strategy ~cost =
     | Error `Predicate_inconsistent -> (Jvars.all jv, Lbr.Predicate.runs predicate, false)
   in
   let wall_time = Unix.gettimeofday () -. t0 in
-  finish instance strategy driver ~runs ~ok ~final:(sub_pool_of result) ~wall_time
+  let final = sub_pool_of result in
+  (finish instance strategy driver ~runs ~ok ~final ~wall_time, final)
 
-let run_gbr instance ~cost =
+let run_gbr instance ~cost ~hooks =
   let pool, vpool, jv, cnf = item_context instance in
-  let driver = make_driver instance ~cost in
+  let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of = Reducer.prepare jv pool in
   let predicate =
     Lbr.Predicate.make ~name:"gbr" (fun phi -> driver.check_pool (sub_pool_of phi))
@@ -216,23 +250,31 @@ let run_gbr instance ~cost =
         (Jvars.all jv, Lbr.Predicate.runs predicate, false)
   in
   let wall_time = Unix.gettimeofday () -. t0 in
-  finish instance Gbr driver ~runs ~ok ~final:(sub_pool_of result) ~wall_time
+  let final = sub_pool_of result in
+  (finish instance Gbr driver ~runs ~ok ~final ~wall_time, final)
 
-let run ?(cost = default_cost) strategy instance =
+let run_with ?(cost = default_cost) ?(hooks = default_hooks) strategy instance =
   match strategy with
-  | Jreduce -> run_jreduce instance ~cost
-  | Lossy_first -> run_lossy instance ~pick:Lbr.Lossy.First_first ~strategy:Lossy_first ~cost
-  | Lossy_last -> run_lossy instance ~pick:Lbr.Lossy.Last_last ~strategy:Lossy_last ~cost
-  | Gbr -> run_gbr instance ~cost
+  | Jreduce -> run_jreduce instance ~cost ~hooks
+  | Lossy_first ->
+      run_lossy instance ~pick:Lbr.Lossy.First_first ~strategy:Lossy_first ~cost ~hooks
+  | Lossy_last -> run_lossy instance ~pick:Lbr.Lossy.Last_last ~strategy:Lossy_last ~cost ~hooks
+  | Gbr -> run_gbr instance ~cost ~hooks
+
+let run ?(cost = default_cost) strategy instance = fst (run_with ~cost strategy instance)
 
 (* Instances are independent — each run builds its own variable pool,
    constraints, predicate, and driver — so fanning them across a domain
    pool changes nothing but wall clock.  [jobs = 1] deliberately bypasses
    the pool: it is byte-for-byte the sequential path above. *)
-let run_corpus ?(cost = default_cost) ?(jobs = 1) strategy instance_list =
+let run_corpus_full ?(cost = default_cost) ?(jobs = 1)
+    ?(hooks = fun (_ : Corpus.instance) -> default_hooks) strategy instance_list =
   if jobs < 1 then invalid_arg "Experiment.run_corpus: jobs must be >= 1";
-  if jobs = 1 then List.map (fun instance -> run ~cost strategy instance) instance_list
+  let run_one instance = run_with ~cost ~hooks:(hooks instance) strategy instance in
+  if jobs = 1 then List.map run_one instance_list
   else
     Lbr_runtime.Pool.with_pool ~jobs (fun pool ->
-        Lbr_runtime.Pool.map_list pool (fun instance -> run ~cost strategy instance)
-          instance_list)
+        Lbr_runtime.Pool.map_list pool run_one instance_list)
+
+let run_corpus ?(cost = default_cost) ?(jobs = 1) strategy instance_list =
+  List.map fst (run_corpus_full ~cost ~jobs strategy instance_list)

@@ -21,6 +21,9 @@ type outcome = {
   sim_time : float;  (** simulated seconds spent in predicate runs *)
   wall_time : float;
   predicate_runs : int;
+  replayed_runs : int;
+      (** predicate runs answered by [hooks.evaluate] returning [Replayed]
+          (e.g. the server's journal replay); always 0 without hooks *)
   classes0 : int;
   classes1 : int;
   bytes0 : int;
@@ -37,7 +40,43 @@ type outcome = {
 val default_cost : Classpool.t -> float
 (** [1.0 + 4e-4 × bytes] simulated seconds per decompile+recompile. *)
 
+exception Cancelled
+(** Raised out of a run when [hooks.should_stop] returns [true]. *)
+
+type evaluation = Fresh of bool | Replayed of bool
+(** How a hooked predicate evaluation was answered: by actually running the
+    tool ([Fresh]) or from a replayed/memoized source ([Replayed]). *)
+
+type hooks = {
+  on_improvement : (float -> int -> int -> unit) option;
+      (** called with (simulated time, classes, bytes) at every timeline
+          improvement — how the server streams progress *)
+  should_stop : (unit -> bool) option;
+      (** polled before every predicate run; [true] raises {!Cancelled} *)
+  evaluate : (key:string -> (unit -> bool) -> evaluation) option;
+      (** full interception of the tool run.  [key] is the hex digest of the
+          candidate sub-pool's serialized bytes (stable across processes, so
+          it can key a write-ahead journal); the thunk performs the real
+          decompile+recompile check.  The simulated clock has already been
+          charged when this is called, so replaying a memoized result keeps
+          [sim_time] — and hence the whole outcome — identical to a cold
+          run. *)
+}
+
+val default_hooks : hooks
+(** All fields [None]: exactly the unhooked behaviour. *)
+
 val run : ?cost:(Classpool.t -> float) -> strategy -> Corpus.instance -> outcome
+
+val run_with :
+  ?cost:(Classpool.t -> float) ->
+  ?hooks:hooks ->
+  strategy ->
+  Corpus.instance ->
+  outcome * Classpool.t
+(** Like {!run} but also returns the final reduced pool (what the server
+    serializes back to the client), and threads [hooks] through the
+    driver.  [run] is [fst ∘ run_with ~hooks:default_hooks]. *)
 
 val run_corpus :
   ?cost:(Classpool.t -> float) ->
@@ -52,3 +91,15 @@ val run_corpus :
     deterministic — identical for any [jobs] — because instances share no
     mutable state (the global pattern memo caches are mutex-guarded and
     pure in their keys). *)
+
+val run_corpus_full :
+  ?cost:(Classpool.t -> float) ->
+  ?jobs:int ->
+  ?hooks:(Corpus.instance -> hooks) ->
+  strategy ->
+  Corpus.instance list ->
+  (outcome * Classpool.t) list
+(** [run_corpus] that also returns each instance's final reduced pool and
+    lets the caller attach per-instance hooks (the CLI uses [should_stop]
+    for graceful SIGINT/SIGTERM drain).  A {!Cancelled} raised by any
+    instance propagates after in-flight instances finish. *)

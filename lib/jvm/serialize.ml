@@ -93,15 +93,28 @@ let rec w_jtype w tab = function
       w_u8 w 6;
       w_jtype w tab t
 
-let rec r_jtype r strings =
+(* The server feeds this reader attacker-shaped bytes straight off a
+   socket, so every access must fail with [Malformed], never raise
+   anything else: string indices are bounds-checked and array-type
+   nesting is depth-capped (the writer never emits anywhere near this
+   depth; unchecked recursion would let a tag-6 run overflow the stack). *)
+let max_array_depth = 64
+
+let r_string r strings =
+  let i = r_u16 r in
+  if i >= Array.length strings then fail "string index %d out of range" i;
+  strings.(i)
+
+let rec r_jtype ?(depth = 0) r strings =
+  if depth > max_array_depth then fail "array type nested deeper than %d" max_array_depth;
   match r_u8 r with
   | 0 -> Jtype.Int
   | 1 -> Jtype.Long
   | 2 -> Jtype.Double
   | 3 -> Jtype.Bool
   | 4 -> Jtype.Void
-  | 5 -> Jtype.Ref strings.(r_u16 r)
-  | 6 -> Jtype.Array (r_jtype r strings)
+  | 5 -> Jtype.Ref (r_string r strings)
+  | 6 -> Jtype.Array (r_jtype ~depth:(depth + 1) r strings)
   | t -> fail "unknown type tag %d" t
 
 let collect_insn_strings tab = function
@@ -137,7 +150,7 @@ let w_insn w tab insn =
   | Return_insn -> w_u8 w 12
 
 let r_insn r strings =
-  let s () = strings.(r_u16 r) in
+  let s () = r_string r strings in
   match r_u8 r with
   | 0 -> let owner = s () in Invoke_virtual { owner; meth = s () }
   | 1 -> let owner = s () in Invoke_interface { owner; meth = s () }
@@ -226,11 +239,7 @@ let r_class r =
         r_bytes r len)
     |> Array.of_list
   in
-  let str () =
-    let i = r_u16 r in
-    if i >= Array.length strings then fail "string index %d out of range" i;
-    strings.(i)
-  in
+  let str () = r_string r strings in
   let name = str () in
   let super = str () in
   let flags = r_u8 r in
@@ -291,6 +300,7 @@ let class_of_bytes data =
   match r_class { data; pos = 0 } with
   | c -> Ok c
   | exception Malformed m -> Error m
+  | exception Invalid_argument m -> Error m
 
 let to_bytes pool =
   let w = { buf = Buffer.create 4096 } in

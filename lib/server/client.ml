@@ -1,0 +1,83 @@
+type t = { fd : Unix.file_descr; mutable version : int }
+
+type progress = { sim_time : float; classes : int; bytes : int }
+
+let negotiated_version t = t.version
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    Wire.write_message fd (Wire.Hello Wire.protocol_version);
+    Wire.read_message fd
+  with
+  | Ok (Wire.Hello_ok v) -> Ok { fd; version = v }
+  | Ok (Wire.Protocol_error m) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error ("server refused handshake: " ^ m)
+  | Ok _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error "unexpected handshake reply"
+  | Error `Closed ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error "server closed the connection during handshake"
+  | Error (`Malformed m) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error ("malformed handshake reply: " ^ m)
+  | exception (Unix.Unix_error (e, _, _)) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (path ^ ": " ^ Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_or_error t =
+  match Wire.read_message t.fd with
+  | Ok msg -> Ok msg
+  | Error `Closed -> Error "server closed the connection"
+  | Error (`Malformed m) -> Error ("malformed server frame: " ^ m)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let submit t ?(on_progress = fun (_ : progress) -> ()) spec =
+  match Wire.write_message t.fd (Wire.Submit spec) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () -> (
+      (* First the admission reply... *)
+      match read_or_error t with
+      | Error _ as e -> e
+      | Ok (Wire.Rejected { reason; retry_after }) ->
+          Error
+            (if retry_after > 0. then
+               Printf.sprintf "rejected: %s (retry in %.1fs)" reason retry_after
+             else "rejected: " ^ reason)
+      | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+      | Ok (Wire.Accepted job_id) ->
+          (* ...then the job's event stream up to its terminal frame. *)
+          let rec wait () =
+            match read_or_error t with
+            | Error _ as e -> e
+            | Ok (Wire.Progress p) when p.job_id = job_id ->
+                on_progress
+                  { sim_time = p.sim_time; classes = p.classes; bytes = p.bytes };
+                wait ()
+            | Ok (Wire.Result r) when r.job_id = job_id ->
+                Ok (job_id, r.stats, r.pool_bytes)
+            | Ok (Wire.Job_failed { job_id = id; reason }) when id = job_id ->
+                Error (Printf.sprintf "job %s failed: %s" id reason)
+            | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+            | Ok _ -> wait ()  (* frames for other jobs on a shared connection *)
+          in
+          wait ()
+      | Ok _ -> Error "unexpected reply to submit")
+
+let cancel t job_id =
+  match Wire.write_message t.fd (Wire.Cancel job_id) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () ->
+      let rec wait () =
+        match read_or_error t with
+        | Error _ as e -> e
+        | Ok (Wire.Cancel_ok { job_id = id; found }) when id = job_id -> Ok found
+        | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+        | Ok _ -> wait ()
+      in
+      wait ()

@@ -1,0 +1,32 @@
+(** Client side of the reduction service protocol — used by
+    [lbr-reduce submit] and the end-to-end tests.
+
+    One connection, synchronous usage: {!connect} performs the
+    [Hello]/[Hello_ok] handshake, {!submit} sends one job and blocks —
+    streaming [Progress] frames to the callback — until its terminal
+    [Result] or [Job_failed] frame arrives. *)
+
+type t
+
+type progress = { sim_time : float; classes : int; bytes : int }
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's socket and negotiate the protocol version. *)
+
+val negotiated_version : t -> int
+
+val submit :
+  t ->
+  ?on_progress:(progress -> unit) ->
+  Wire.spec ->
+  (string * Wire.stats * string, string) result
+(** [Ok (job_id, stats, reduced_pool_bytes)] once the job completes.
+    [Error _] on rejection (backpressure/draining — the message includes
+    the server's retry-after hint), job failure, or a broken/closed
+    connection (e.g. the daemon drained and shut down mid-stream). *)
+
+val cancel : t -> string -> (bool, string) result
+(** Ask the server to cancel a job; [Ok found] echoes whether the server
+    still knew a cancellable job by that id. *)
+
+val close : t -> unit

@@ -1,0 +1,165 @@
+type t = {
+  root : string;
+  mutex : Mutex.t;
+  logs : (string, out_channel) Hashtbl.t;  (* open preds.log handles *)
+}
+
+let mkdir_p path =
+  let rec go path =
+    if path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let open_dir root =
+  mkdir_p root;
+  if not (Sys.is_directory root) then
+    raise (Sys_error (root ^ ": journal path is not a directory"));
+  { root; mutex = Mutex.create (); logs = Hashtbl.create 16 }
+
+let dir t = t.root
+
+(* Job ids become path components; reject anything that could escape the
+   journal root (recovered ids come off the filesystem, but submitted ids
+   could in principle be attacker-shaped). *)
+let check_id id =
+  let ok_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true | _ -> false in
+  if id = "" || String.length id > 64 || not (String.for_all ok_char id) then
+    invalid_arg ("Journal: unsafe job id " ^ String.escaped id)
+
+let job_dir t id =
+  check_id id;
+  Filename.concat t.root id
+
+let spec_file t id = Filename.concat (job_dir t id) "spec"
+let preds_file t id = Filename.concat (job_dir t id) "preds.log"
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  flush oc;
+  close_out oc;
+  Sys.rename tmp path
+
+let record_job t ~id ~spec =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      mkdir_p (job_dir t id);
+      write_file_atomic (spec_file t id) spec)
+
+let log_channel t id =
+  match Hashtbl.find_opt t.logs id with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (preds_file t id)
+      in
+      Hashtbl.replace t.logs id oc;
+      oc
+
+let append_pred t ~id ~key ok =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let oc = log_channel t id in
+      output_string oc key;
+      output_char oc ' ';
+      output_char oc (if ok then '1' else '0');
+      output_char oc '\n';
+      (* flush to the OS: survives kill -9 (though not power loss) *)
+      flush oc)
+
+let close_log_locked t id =
+  match Hashtbl.find_opt t.logs id with
+  | Some oc ->
+      Hashtbl.remove t.logs id;
+      close_out_noerr oc
+  | None -> ()
+
+let mark t ~id ~marker ~contents =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      close_log_locked t id;
+      mkdir_p (job_dir t id);
+      write_file_atomic (Filename.concat (job_dir t id) marker) contents)
+
+let mark_done t ~id = mark t ~id ~marker:"done" ~contents:""
+let mark_cancelled t ~id = mark t ~id ~marker:"cancelled" ~contents:""
+let mark_failed t ~id ~reason = mark t ~id ~marker:"failed" ~contents:(reason ^ "\n")
+
+let is_terminal t id =
+  List.exists
+    (fun m -> Sys.file_exists (Filename.concat (job_dir t id) m))
+    [ "done"; "cancelled"; "failed" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let pending t =
+  Sys.readdir t.root |> Array.to_list |> List.sort String.compare
+  |> List.filter_map (fun id ->
+         match check_id id with
+         | exception Invalid_argument _ -> None
+         | () ->
+             if
+               Sys.is_directory (Filename.concat t.root id)
+               && Sys.file_exists (spec_file t id)
+               && not (is_terminal t id)
+             then
+               match read_file (spec_file t id) with
+               | spec -> Some (id, spec)
+               | exception Sys_error _ -> None
+             else None)
+
+let replay t ~id =
+  let table = Hashtbl.create 256 in
+  (match open_in_bin (preds_file t id) with
+  | exception Sys_error _ -> ()
+  | ic ->
+      (try
+         while true do
+           let line = input_line ic in
+           (* "<32 hex> 0|1"; anything else — e.g. the torn last line of a
+              crashed daemon — is skipped *)
+           if String.length line = 34 && line.[32] = ' ' then
+             match line.[33] with
+             | '0' -> Hashtbl.replace table (String.sub line 0 32) false
+             | '1' -> Hashtbl.replace table (String.sub line 0 32) true
+             | _ -> ()
+         done
+       with End_of_file -> ());
+      close_in_noerr ic);
+  table
+
+let max_job_number t =
+  Sys.readdir t.root |> Array.to_list
+  |> List.fold_left
+       (fun acc name ->
+         match
+           if String.length name > 4 && String.sub name 0 4 = "job-" then
+             int_of_string_opt (String.sub name 4 (String.length name - 4))
+           else None
+         with
+         | Some n -> max acc n
+         | None -> acc)
+       0
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.iter (fun _ oc -> close_out_noerr oc) t.logs;
+      Hashtbl.reset t.logs)

@@ -1,0 +1,104 @@
+module Experiment = Lbr_harness.Experiment
+module Oracle = Lbr_runtime.Oracle
+module Serialize = Lbr_jvm.Serialize
+module Tool = Lbr_decompiler.Tool
+
+(* Map a 32-hex-char digest onto an assignment over variables 0..127:
+   hex char [i] contributes its 4 bits at positions [4i .. 4i+3].  The
+   mapping is injective, so an oracle memo keyed on the assignment is
+   exactly a memo keyed on the digest. *)
+let key_assignment key =
+  let vars = ref [] in
+  String.iteri
+    (fun i c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Runner: non-hex digest key"
+      in
+      for b = 0 to 3 do
+        if v land (1 lsl b) <> 0 then vars := (i * 4) + b :: !vars
+      done)
+    key;
+  Lbr_logic.Assignment.of_list !vars
+
+let resolve_tool name pool =
+  match name with
+  | "" -> (
+      match List.find_opt (fun t -> Tool.is_buggy_on t pool) Tool.all with
+      | Some t -> Ok t
+      | None -> Error "no tool is buggy on this pool")
+  | name -> (
+      match List.find_opt (fun t -> t.Tool.name = name) Tool.all with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "unknown tool %S" name))
+
+let reduce (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
+  match Serialize.of_bytes spec.pool_bytes with
+  | Error m -> Error ("undecodable pool: " ^ m)
+  | Ok pool -> (
+      match resolve_tool spec.tool pool with
+      | Error _ as e -> e
+      | Ok tool -> (
+          match Tool.errors tool pool with
+          | [] ->
+              Error (Printf.sprintf "tool %s is not buggy on this pool" tool.Tool.name)
+          | baseline_errors ->
+              let instance =
+                {
+                  Lbr_harness.Corpus.instance_id = ctx.job_id;
+                  benchmark =
+                    { Lbr_harness.Corpus.bench_id = ctx.job_id; seed = 0; pool };
+                  tool;
+                  baseline_errors;
+                }
+              in
+              (* The oracle's black box is whatever thunk the current
+                 evaluation handed us; single-threaded per job, so a plain
+                 ref is safe. *)
+              let current : (unit -> bool) ref = ref (fun () -> false) in
+              let config =
+                {
+                  Oracle.default_config with
+                  crash_policy = spec.crash_policy;
+                  retries = spec.retries;
+                  transient = (function Tool.Transient_failure _ -> true | _ -> false);
+                }
+              in
+              let oracle = Oracle.make ~config ~name:ctx.job_id (fun _ -> !current ()) in
+              let evaluate ~key thunk =
+                match Hashtbl.find_opt ctx.replay key with
+                | Some cached -> Experiment.Replayed cached
+                | None ->
+                    current := thunk;
+                    let ok = Oracle.run oracle (key_assignment key) in
+                    ctx.record key ok;
+                    Experiment.Fresh ok
+              in
+              let hooks =
+                {
+                  Experiment.on_improvement = Some ctx.progress;
+                  should_stop = Some ctx.should_stop;
+                  evaluate = Some evaluate;
+                }
+              in
+              let outcome, final = Experiment.run_with ~hooks spec.strategy instance in
+              let stats =
+                {
+                  Wire.ok = outcome.ok;
+                  predicate_runs = outcome.predicate_runs;
+                  replayed_runs = outcome.replayed_runs;
+                  tool_executions = Oracle.executions oracle;
+                  oracle_retries = Oracle.retries_used oracle;
+                  oracle_crashes = Oracle.crashes oracle;
+                  sim_time = outcome.sim_time;
+                  wall_time = outcome.wall_time;
+                  classes0 = outcome.classes0;
+                  classes1 = outcome.classes1;
+                  bytes0 = outcome.bytes0;
+                  bytes1 = outcome.bytes1;
+                }
+              in
+              Ok (stats, Serialize.to_bytes final)))

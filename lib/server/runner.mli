@@ -1,0 +1,27 @@
+(** The production job runner: executes one wire-submitted reduction.
+
+    Decodes the LBRC pool, resolves the tool, and drives
+    [Lbr_harness.Experiment.run_with] with hooks wired to the scheduler
+    context: [should_stop] polls the job's cancel flag, [on_improvement]
+    streams progress, and [evaluate] routes every predicate run through
+
+    - the journal replay table first (a resumed job answers already-paid
+      evaluations without touching the tool, counted as [replayed_runs]),
+    - then a per-job [Lbr_runtime.Oracle] carrying the spec's crash policy
+      and retry budget, whose thread-safe memo/retry/crash-classification
+      machinery is reused verbatim by keying it on the candidate's digest
+      (the 128-bit digest maps collision-free onto an assignment over
+      variables 0..127),
+
+    and records each fresh result in the WAL before it is used.
+
+    Invariant: the simulated clock is charged before [evaluate], so a
+    replayed run produces the same [sim_time] — and hence byte-identical
+    reduced pools and identical non-wall-time stats — as a cold run. *)
+
+val reduce : Scheduler.runner_ctx -> Wire.spec -> (Wire.stats * string, string) result
+(** [Error _] on an undecodable pool, unknown tool, or a pool the tool is
+    not buggy on.  Raises [Lbr_harness.Experiment.Cancelled] when the
+    context's [should_stop] fires, and [Lbr_runtime.Oracle.Crashed] under
+    the [Crash_raises] policy — the scheduler maps both to terminal job
+    states. *)

@@ -1,0 +1,274 @@
+module Pool = Lbr_runtime.Pool
+
+type status =
+  | Queued
+  | Running
+  | Done of Wire.stats * string
+  | Failed of string
+  | Cancelled
+
+type event =
+  | Started
+  | Progress of { sim_time : float; classes : int; bytes : int }
+  | Finished of status
+
+type runner_ctx = {
+  job_id : string;
+  should_stop : unit -> bool;
+  progress : float -> int -> int -> unit;
+  replay : (string, bool) Hashtbl.t;
+  record : string -> bool -> unit;
+}
+
+type runner = runner_ctx -> Wire.spec -> (Wire.stats * string, string) result
+
+type job = {
+  id : string;
+  spec : Wire.spec;
+  on_event : event -> unit;
+  replay_table : (string, bool) Hashtbl.t;
+  cancel_requested : bool Atomic.t;
+  mutable state : status;
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (* broadcast on any job state change *)
+  pool : Pool.t;
+  runner : runner;
+  journal : Journal.t option;
+  queue_depth : int;
+  high : job Queue.t;
+  normal : job Queue.t;
+  table : (string, job) Hashtbl.t;
+  mutable next_id : int;
+  mutable queued_count : int;
+  mutable running_count : int;  (* includes jobs being finalized *)
+  mutable draining : bool;
+  mutable shut : bool;
+}
+
+let create ~runner ~jobs ~queue_depth ?journal () =
+  if jobs < 1 then invalid_arg "Scheduler.create: jobs must be >= 1";
+  if queue_depth < 1 then invalid_arg "Scheduler.create: queue_depth must be >= 1";
+  let next_id =
+    match journal with Some j -> Journal.max_job_number j + 1 | None -> 1
+  in
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    pool = Pool.create ~jobs ();
+    runner;
+    journal;
+    queue_depth;
+    high = Queue.create ();
+    normal = Queue.create ();
+    table = Hashtbl.create 64;
+    next_id;
+    queued_count = 0;
+    running_count = 0;
+    draining = false;
+    shut = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Journal marker, terminal event, then state change + wake-up.  The
+   event is delivered while the job still counts as running and before
+   [await]/[drain] can observe the terminal state — so a drain returning
+   means every Result/Job_failed frame has already been handed to its
+   connection.  The event runs outside the scheduler lock (handlers write
+   to sockets) and its exceptions are contained. *)
+let finalize t job status =
+  (match t.journal with
+  | None -> ()
+  | Some j -> (
+      match status with
+      | Done _ -> Journal.mark_done j ~id:job.id
+      | Cancelled -> Journal.mark_cancelled j ~id:job.id
+      | Failed reason -> Journal.mark_failed j ~id:job.id ~reason
+      | Queued | Running -> ()));
+  (try job.on_event (Finished status) with _ -> ());
+  locked t (fun () ->
+      job.state <- status;
+      t.running_count <- t.running_count - 1;
+      Condition.broadcast t.cond)
+
+let run_job t job =
+  job.on_event Started;
+  let ctx =
+    {
+      job_id = job.id;
+      should_stop = (fun () -> Atomic.get job.cancel_requested);
+      progress =
+        (fun sim_time classes bytes ->
+          job.on_event (Progress { sim_time; classes; bytes }));
+      replay = job.replay_table;
+      record =
+        (fun key ok ->
+          match t.journal with
+          | Some j -> Journal.append_pred j ~id:job.id ~key ok
+          | None -> ());
+    }
+  in
+  let status =
+    match t.runner ctx job.spec with
+    | Ok (stats, pool_bytes) -> Done (stats, pool_bytes)
+    | Error reason -> Failed reason
+    | exception Lbr_harness.Experiment.Cancelled -> Cancelled
+    | exception exn -> Failed (Printexc.to_string exn)
+  in
+  finalize t job status
+
+(* One dispatch token is pool-submitted per admission; each token claims
+   the best-priority job waiting at execution time.  Jobs cancelled while
+   queued are finalized here (cheaply, without running), and the token
+   moves on — token count stays equal to admission count, so every queued
+   job is eventually claimed and no token is ever short a job. *)
+let rec dispatch t () =
+  let claim () =
+    let q =
+      if not (Queue.is_empty t.high) then Some t.high
+      else if not (Queue.is_empty t.normal) then Some t.normal
+      else None
+    in
+    match q with
+    | None -> None
+    | Some q ->
+        let job = Queue.pop q in
+        t.queued_count <- t.queued_count - 1;
+        t.running_count <- t.running_count + 1;
+        if Atomic.get job.cancel_requested then Some (job, `Discard)
+        else begin
+          job.state <- Running;
+          Some (job, `Run)
+        end
+  in
+  match locked t claim with
+  | None -> ()
+  | Some (job, `Discard) ->
+      finalize t job Cancelled;
+      dispatch t ()
+  | Some (job, `Run) -> run_job t job
+
+let enqueue_locked t job =
+  Hashtbl.replace t.table job.id job;
+  Queue.push job (match job.spec.Wire.priority with High -> t.high | Normal -> t.normal);
+  t.queued_count <- t.queued_count + 1
+
+let retry_after t = 1.0 +. (float_of_int t.queued_count /. float_of_int (Pool.jobs t.pool))
+
+let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) spec =
+  let admitted =
+    locked t (fun () ->
+        if t.draining || t.shut then Error `Draining
+        else if t.queued_count >= t.queue_depth then
+          Error (`Queue_full (retry_after t))
+        else begin
+          let id = Printf.sprintf "job-%06d" t.next_id in
+          t.next_id <- t.next_id + 1;
+          let job =
+            {
+              id;
+              spec;
+              on_event = (fun ev -> on_event id ev);
+              replay_table = Hashtbl.create 16;
+              cancel_requested = Atomic.make false;
+              state = Queued;
+            }
+          in
+          (* WAL before the job becomes claimable: the spec must be on
+             disk (and its journal directory exist, for [append_pred])
+             before any dispatch token can start running it. *)
+          (match t.journal with
+          | Some j -> Journal.record_job j ~id ~spec:(Wire.spec_to_string spec)
+          | None -> ());
+          enqueue_locked t job;
+          Ok id
+        end)
+  in
+  match admitted with
+  | Error _ as e -> e
+  | Ok id ->
+      ignore (Pool.submit t.pool (dispatch t) : unit Pool.future);
+      Ok id
+
+let cancel t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table id with
+      | None -> false
+      | Some job -> (
+          match job.state with
+          | Queued | Running ->
+              Atomic.set job.cancel_requested true;
+              true
+          | Done _ | Failed _ | Cancelled -> false))
+
+let status t id = locked t (fun () -> Option.map (fun j -> j.state) (Hashtbl.find_opt t.table id))
+
+let await t id =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let rec loop () =
+        match Hashtbl.find_opt t.table id with
+        | None -> invalid_arg ("Scheduler.await: unknown job " ^ id)
+        | Some job -> (
+            match job.state with
+            | Queued | Running ->
+                Condition.wait t.cond t.mutex;
+                loop ()
+            | (Done _ | Failed _ | Cancelled) as s -> s)
+      in
+      loop ())
+
+let recover t =
+  match t.journal with
+  | None -> 0
+  | Some j ->
+      let resumed =
+        List.filter_map
+          (fun (id, spec_bytes) ->
+            match Wire.spec_of_string spec_bytes with
+            | Error reason ->
+                Journal.mark_failed j ~id ~reason:("corrupt journaled spec: " ^ reason);
+                None
+            | Ok spec ->
+                let replay_table = Journal.replay j ~id in
+                let job =
+                  {
+                    id;
+                    spec;
+                    on_event = (fun _ -> ());
+                    replay_table;
+                    cancel_requested = Atomic.make false;
+                    state = Queued;
+                  }
+                in
+                Some job)
+          (Journal.pending j)
+      in
+      locked t (fun () -> List.iter (enqueue_locked t) resumed);
+      List.iter (fun _ -> ignore (Pool.submit t.pool (dispatch t) : unit Pool.future)) resumed;
+      List.length resumed
+
+let queued t = locked t (fun () -> t.queued_count)
+let running t = locked t (fun () -> t.running_count)
+
+let drain t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      t.draining <- true;
+      while t.queued_count + t.running_count > 0 do
+        Condition.wait t.cond t.mutex
+      done)
+
+let shutdown t =
+  drain t;
+  let already = locked t (fun () -> let s = t.shut in t.shut <- true; s) in
+  if not already then Pool.shutdown t.pool

@@ -1,0 +1,90 @@
+(** Bounded, journaled job scheduler for the reduction service.
+
+    Layered on [Lbr_runtime.Pool]: admitted jobs wait in a two-level
+    (high/normal) FIFO; every admission enqueues one dispatch token on the
+    pool, and each token — executed by whichever worker domain frees up
+    first — pops the highest-priority job waiting {e at that moment}.  So
+    priority is decided at dispatch time, results never reorder (each job
+    completes independently), and the pool stays a plain FIFO of thunks.
+
+    Backpressure: at most [queue_depth] jobs may be waiting (running jobs
+    do not count); past that {!submit} rejects with a retry-after hint
+    instead of queueing unboundedly — the caller (the wire layer) turns
+    that into a [Rejected] frame.
+
+    Journal: when created with one, every admission is WAL-ed before
+    {!submit} returns, every completed predicate evaluation is appended by
+    the runner via the context's [record], and terminal states write
+    markers.  {!recover} re-admits journaled jobs that never reached a
+    terminal state, handing the runner their replay table so already-paid
+    predicate executions are not paid again. *)
+
+type status =
+  | Queued
+  | Running
+  | Done of Wire.stats * string  (** stats + reduced LBRC pool bytes *)
+  | Failed of string
+  | Cancelled
+
+type event =
+  | Started
+  | Progress of { sim_time : float; classes : int; bytes : int }
+  | Finished of status
+
+type runner_ctx = {
+  job_id : string;
+  should_stop : unit -> bool;  (** true once the job is cancelled *)
+  progress : float -> int -> int -> unit;  (** (sim_time, classes, bytes) *)
+  replay : (string, bool) Hashtbl.t;  (** journal replay memo; empty when cold *)
+  record : string -> bool -> unit;  (** WAL a completed predicate evaluation *)
+}
+
+type runner = runner_ctx -> Wire.spec -> (Wire.stats * string, string) result
+(** Executes one job; [Ok (stats, reduced_pool_bytes)] or [Error reason].
+    Raising [Lbr_harness.Experiment.Cancelled] ends the job as
+    {!Cancelled}; any other exception as {!Failed}.  The production runner
+    is {!Runner.reduce}; tests inject stubs. *)
+
+type t
+
+val create :
+  runner:runner -> jobs:int -> queue_depth:int -> ?journal:Journal.t -> unit -> t
+(** [jobs >= 1] worker domains, [queue_depth >= 1] waiting slots
+    ([Invalid_argument] otherwise). *)
+
+val submit :
+  t ->
+  ?on_event:(string -> event -> unit) ->
+  Wire.spec ->
+  (string, [ `Queue_full of float | `Draining ]) result
+(** Admit a job; returns its id.  [on_event] is registered atomically with
+    admission (no events can be missed; it also receives the job id, which
+    is not yet known when the callback is built) and is invoked from
+    worker domains — it must be thread-safe.  The terminal [Finished]
+    event is delivered {e before} the job's state becomes observable via
+    {!await}/{!drain}, so a completed drain implies every handler ran.
+    [`Queue_full retry_after] is the backpressure path. *)
+
+val cancel : t -> string -> bool
+(** Request cancellation.  [true] if the job was queued or running; a
+    queued job is discarded before it starts, a running job stops at its
+    next predicate-run boundary. *)
+
+val status : t -> string -> status option
+val await : t -> string -> status
+(** Block until the job reaches a terminal state. *)
+
+val recover : t -> int
+(** Re-admit journaled jobs with no terminal marker (in admission order,
+    exempt from the queue-depth bound — they were admitted once already).
+    Returns how many were resumed.  No-op without a journal. *)
+
+val queued : t -> int
+val running : t -> int
+
+val drain : t -> unit
+(** Stop admitting and block until every accepted job has reached a
+    terminal state. *)
+
+val shutdown : t -> unit
+(** {!drain}, then join the worker domains.  Idempotent. *)

@@ -1,0 +1,211 @@
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_depth : int;
+  journal_dir : string option;
+}
+
+type t = {
+  config : config;
+  scheduler : Scheduler.t;
+  journal : Journal.t option;
+  listen_fd : Unix.file_descr;
+  recovered : int;
+  stop_flag : bool Atomic.t;
+  stopped : bool Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : Unix.file_descr list;  (* live connection fds *)
+  mutable accept_thread : Thread.t option;
+}
+
+let scheduler t = t.scheduler
+let recovered t = t.recovered
+
+(* ------------------------------------------------------------------ *)
+(* Connection bookkeeping                                              *)
+
+let register_conn t fd =
+  Mutex.lock t.conns_mutex;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.conns_mutex
+
+(* Whoever removes the fd from the registry closes it — exactly once,
+   whether that is the handler thread (peer closed / protocol error) or
+   {!stop} sweeping all live connections. *)
+let forget_conn t fd =
+  Mutex.lock t.conns_mutex;
+  let present = List.memq fd t.conns in
+  if present then t.conns <- List.filter (fun fd' -> fd' != fd) t.conns;
+  Mutex.unlock t.conns_mutex;
+  if present then begin
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection protocol                                             *)
+
+(* All frames on one connection — synchronous replies from this thread,
+   streamed job events from worker domains — go through [send], serialized
+   by a per-connection mutex.  A write failure (peer gone) is swallowed;
+   the read loop will see the close. *)
+let handle_connection t fd =
+  let write_mutex = Mutex.create () in
+  let send msg =
+    Mutex.lock write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () -> try Wire.write_message fd msg with Unix.Unix_error _ | Sys_error _ -> ())
+  in
+  let on_event job_id (ev : Scheduler.event) =
+    match ev with
+    | Scheduler.Started -> ()
+    | Scheduler.Progress { sim_time; classes; bytes } ->
+        send (Wire.Progress { job_id; sim_time; classes; bytes })
+    | Scheduler.Finished (Scheduler.Done (stats, pool_bytes)) ->
+        send (Wire.Result { job_id; stats; pool_bytes })
+    | Scheduler.Finished (Scheduler.Failed reason) ->
+        send (Wire.Job_failed { job_id; reason })
+    | Scheduler.Finished Scheduler.Cancelled ->
+        send (Wire.Job_failed { job_id; reason = "cancelled" })
+    | Scheduler.Finished (Scheduler.Queued | Scheduler.Running) -> ()
+  in
+  let fatal reason =
+    send (Wire.Protocol_error reason);
+    forget_conn t fd
+  in
+  (* Version negotiation first: anything else is a protocol error. *)
+  match Wire.read_message fd with
+  | Error `Closed -> forget_conn t fd
+  | Error (`Malformed m) -> fatal ("malformed hello: " ^ m)
+  | Ok (Wire.Hello v) when v >= 1 ->
+      send (Wire.Hello_ok (min v Wire.protocol_version));
+      let rec loop () =
+        match Wire.read_message fd with
+        | Error `Closed -> forget_conn t fd
+        | Error (`Malformed m) -> fatal ("malformed frame: " ^ m)
+        | Ok (Wire.Submit spec) ->
+            (match Scheduler.submit t.scheduler ~on_event spec with
+            | Ok id -> send (Wire.Accepted id)
+            | Error (`Queue_full retry_after) ->
+                send (Wire.Rejected { reason = "queue full"; retry_after })
+            | Error `Draining ->
+                send (Wire.Rejected { reason = "draining"; retry_after = 0. }));
+            loop ()
+        | Ok (Wire.Cancel job_id) ->
+            send (Wire.Cancel_ok { job_id; found = Scheduler.cancel t.scheduler job_id });
+            loop ()
+        | Ok (Wire.Hello _) -> fatal "duplicate hello"
+        | Ok _ -> fatal "unexpected server-side message kind"
+      in
+      loop ()
+  | Ok (Wire.Hello v) ->
+      fatal (Printf.sprintf "unsupported protocol version %d" v)
+  | Ok _ -> fatal "expected hello"
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              register_conn t fd;
+              ignore
+                (Thread.create
+                   (fun () ->
+                     try handle_connection t fd with _ -> forget_conn t fd)
+                   ()
+                  : Thread.t)
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+(* A socket file can be a live daemon or the corpse of a crashed one: a
+   probe connect tells them apart. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith (path ^ ": socket is in use by a running daemon");
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let start config =
+  (* A client closing mid-write must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let journal = Option.map Journal.open_dir config.journal_dir in
+  let scheduler =
+    Scheduler.create ~runner:Runner.reduce ~jobs:config.jobs
+      ~queue_depth:config.queue_depth ?journal ()
+  in
+  let recovered = Scheduler.recover scheduler in
+  claim_socket_path config.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      config;
+      scheduler;
+      journal;
+      listen_fd;
+      recovered;
+      stop_flag = Atomic.make false;
+      stopped = Atomic.make false;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  if Atomic.compare_and_set t.stopped false true then begin
+    Atomic.set t.stop_flag true;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    (* Every in-flight job finishes and its terminal frame is written
+       (finalize delivers events before drain can observe completion). *)
+    Scheduler.shutdown t.scheduler;
+    Mutex.lock t.conns_mutex;
+    let conns = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.conns_mutex;
+    List.iter
+      (fun fd ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      conns;
+    match t.journal with Some j -> Journal.close j | None -> ()
+  end
+
+let run ?shutdown config =
+  let shutdown = match shutdown with Some s -> s | None -> Shutdown.install () in
+  let t = start config in
+  Shutdown.on_drain shutdown (fun () -> stop t);
+  while not (Shutdown.requested shutdown) do
+    Thread.delay 0.1
+  done;
+  Shutdown.run_drain shutdown

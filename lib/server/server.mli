@@ -1,0 +1,44 @@
+(** The [lbr-serve] daemon: a Unix-domain-socket front end over
+    {!Scheduler} + {!Runner}.
+
+    One accept loop (a thread polling with [select] so it can notice a
+    stop request), one handler thread per connection.  A connection must
+    open with [Hello]; after the [Hello_ok] reply the client may pipeline
+    [Submit] and [Cancel] frames.  Replies and streamed job events share
+    the connection under a per-connection write lock.  A malformed frame
+    gets a [Protocol_error] reply and the connection is closed; a clean
+    EOF just closes it (outstanding jobs keep running — results for them
+    are dropped, which is fine because they are journaled).
+
+    Lifecycle: {!start} binds the socket (recovering journaled jobs
+    first), {!stop} stops admitting, drains in-flight jobs — every
+    accepted job reaches a terminal state and its Result frame is written
+    — then closes every socket.  {!run} is the blocking CLI entry: it
+    serves until the {!Shutdown} flag fires, then performs the same
+    drain. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains *)
+  queue_depth : int;  (** max jobs waiting (backpressure past this) *)
+  journal_dir : string option;  (** enables WAL + crash recovery *)
+}
+
+type t
+
+val start : config -> t
+(** Bind and serve in background threads.  Raises [Failure] if the socket
+    path is in use by a live daemon (a stale socket file left by a crash
+    is detected by a probe connect and replaced). *)
+
+val recovered : t -> int
+(** How many journaled in-flight jobs {!start} resumed. *)
+
+val scheduler : t -> Scheduler.t
+
+val stop : t -> unit
+(** Graceful drain as described above.  Idempotent, blocking. *)
+
+val run : ?shutdown:Shutdown.t -> config -> unit
+(** [start], then block until SIGINT/SIGTERM (or [Shutdown.request] on the
+    provided handle), then {!stop}. *)

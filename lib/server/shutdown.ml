@@ -1,0 +1,47 @@
+type t = {
+  flag : bool Atomic.t;
+  name : string option Atomic.t;
+  drained : bool Atomic.t;
+  mutex : Mutex.t;
+  mutable actions : (unit -> unit) list;  (* reversed registration order *)
+}
+
+let request t = Atomic.set t.flag true
+
+let fire t name =
+  ignore (Atomic.compare_and_set t.name None (Some name) : bool);
+  request t
+
+let install () =
+  let t =
+    {
+      flag = Atomic.make false;
+      name = Atomic.make None;
+      drained = Atomic.make false;
+      mutex = Mutex.create ();
+      actions = [];
+    }
+  in
+  let hook signal name =
+    try Sys.set_signal signal (Sys.Signal_handle (fun _ -> fire t name))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  hook Sys.sigint "INT";
+  hook Sys.sigterm "TERM";
+  t
+
+let requested t = Atomic.get t.flag
+let signal_name t = Atomic.get t.name
+
+let on_drain t f =
+  Mutex.lock t.mutex;
+  t.actions <- f :: t.actions;
+  Mutex.unlock t.mutex
+
+let run_drain t =
+  if Atomic.compare_and_set t.drained false true then begin
+    Mutex.lock t.mutex;
+    let actions = List.rev t.actions in
+    Mutex.unlock t.mutex;
+    List.iter (fun f -> try f () with _ -> ()) actions
+  end

@@ -1,0 +1,33 @@
+(** Graceful SIGINT / SIGTERM handling, shared by the daemon and the
+    one-shot CLI.
+
+    The signal handler only flips a flag — all real work (stop admitting,
+    drain in-flight jobs, flush timelines, close sockets) happens in
+    normal control flow: long-running loops poll {!requested} (the daemon
+    via its accept-loop select timeout, the one-shot reducer via the
+    experiment's [should_stop] hook) and then call {!run_drain}. *)
+
+type t
+
+val install : unit -> t
+(** Install handlers for SIGINT and SIGTERM.  Safe to call when the
+    signals are not supported (e.g. inside some test harnesses): failures
+    to install are ignored and the flag can still be set with
+    {!request}. *)
+
+val requested : t -> bool
+(** True once a signal arrived (or {!request} was called). *)
+
+val request : t -> unit
+(** Programmatic trigger — lets tests exercise the drain path without
+    delivering real signals. *)
+
+val signal_name : t -> string option
+(** Which signal fired first ("INT" / "TERM"), if any. *)
+
+val on_drain : t -> (unit -> unit) -> unit
+(** Register a drain action.  Actions run in registration order. *)
+
+val run_drain : t -> unit
+(** Run the registered drain actions exactly once (subsequent calls are
+    no-ops); exceptions from one action do not stop the rest. *)

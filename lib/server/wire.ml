@@ -1,0 +1,378 @@
+let protocol_version = 1
+let max_frame = 64 * 1024 * 1024
+
+type priority = Normal | High
+
+type spec = {
+  tool : string;
+  strategy : Lbr_harness.Experiment.strategy;
+  priority : priority;
+  crash_policy : Lbr_runtime.Oracle.crash_policy;
+  retries : int;
+  pool_bytes : string;
+}
+
+type stats = {
+  ok : bool;
+  predicate_runs : int;
+  replayed_runs : int;
+  tool_executions : int;
+  oracle_retries : int;
+  oracle_crashes : int;
+  sim_time : float;
+  wall_time : float;
+  classes0 : int;
+  classes1 : int;
+  bytes0 : int;
+  bytes1 : int;
+}
+
+type message =
+  | Hello of int
+  | Hello_ok of int
+  | Submit of spec
+  | Accepted of string
+  | Rejected of { reason : string; retry_after : float }
+  | Cancel of string
+  | Cancel_ok of { job_id : string; found : bool }
+  | Progress of { job_id : string; sim_time : float; classes : int; bytes : int }
+  | Result of { job_id : string; stats : stats; pool_bytes : string }
+  | Job_failed of { job_id : string; reason : string }
+  | Protocol_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Writer primitives                                                   *)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+let w_u16 b n =
+  if n < 0 || n > 0xFFFF then invalid_arg "Wire: u16 overflow";
+  w_u8 b (n lsr 8);
+  w_u8 b n
+
+let w_u32 b n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Wire: u32 overflow";
+  w_u8 b (n lsr 24);
+  w_u8 b (n lsr 16);
+  w_u8 b (n lsr 8);
+  w_u8 b n
+
+let w_f64 b f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical bits (i * 8)))
+  done
+
+let w_str16 b s =
+  if String.length s > 0xFFFF then invalid_arg "Wire: string too long";
+  w_u16 b (String.length s);
+  Buffer.add_string b s
+
+let w_bytes32 b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reader primitives — total, they only raise the local [Malformed]    *)
+
+type reader = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let r_u8 r =
+  if r.pos >= String.length r.data then fail "truncated (u8 at %d)" r.pos;
+  let n = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  n
+
+let r_u16 r =
+  let hi = r_u8 r in
+  (hi lsl 8) lor r_u8 r
+
+let r_u32 r =
+  let hi = r_u16 r in
+  (hi lsl 16) lor r_u16 r
+
+let r_f64 r =
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r_u8 r))
+  done;
+  Int64.float_of_bits !bits
+
+let r_bytes r n =
+  if n < 0 || r.pos + n > String.length r.data then fail "truncated (%d bytes at %d)" n r.pos;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_str16 r = r_bytes r (r_u16 r)
+
+let r_bytes32 r =
+  let n = r_u32 r in
+  if n > max_frame then fail "bytes32 length %d exceeds frame limit" n;
+  r_bytes r n
+
+let r_bool r = match r_u8 r with 0 -> false | 1 -> true | n -> fail "bad bool %d" n
+
+let r_end r = if r.pos <> String.length r.data then fail "trailing garbage at %d" r.pos
+
+(* ------------------------------------------------------------------ *)
+(* Enums                                                               *)
+
+let strategy_code : Lbr_harness.Experiment.strategy -> int = function
+  | Jreduce -> 0
+  | Lossy_first -> 1
+  | Lossy_last -> 2
+  | Gbr -> 3
+
+let strategy_of_code : int -> Lbr_harness.Experiment.strategy option = function
+  | 0 -> Some Jreduce
+  | 1 -> Some Lossy_first
+  | 2 -> Some Lossy_last
+  | 3 -> Some Gbr
+  | _ -> None
+
+let priority_code = function Normal -> 0 | High -> 1
+
+let priority_of_code = function
+  | 0 -> Normal
+  | 1 -> High
+  | n -> fail "bad priority %d" n
+
+let crash_policy_code : Lbr_runtime.Oracle.crash_policy -> int = function
+  | Crash_fails -> 0
+  | Crash_passes -> 1
+  | Crash_raises -> 2
+
+let crash_policy_of_code : int -> Lbr_runtime.Oracle.crash_policy = function
+  | 0 -> Crash_fails
+  | 1 -> Crash_passes
+  | 2 -> Crash_raises
+  | n -> fail "bad crash policy %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Spec — shared by the Submit frame and the journal                   *)
+
+let w_spec b spec =
+  w_str16 b spec.tool;
+  w_u8 b (strategy_code spec.strategy);
+  w_u8 b (priority_code spec.priority);
+  w_u8 b (crash_policy_code spec.crash_policy);
+  w_u16 b spec.retries;
+  w_bytes32 b spec.pool_bytes
+
+let r_spec r =
+  let tool = r_str16 r in
+  let strategy =
+    let c = r_u8 r in
+    match strategy_of_code c with Some s -> s | None -> fail "bad strategy %d" c
+  in
+  let priority = priority_of_code (r_u8 r) in
+  let crash_policy = crash_policy_of_code (r_u8 r) in
+  let retries = r_u16 r in
+  let pool_bytes = r_bytes32 r in
+  { tool; strategy; priority; crash_policy; retries; pool_bytes }
+
+let spec_to_string spec =
+  let b = Buffer.create (String.length spec.pool_bytes + 32) in
+  w_spec b spec;
+  Buffer.contents b
+
+let spec_of_string data =
+  let r = { data; pos = 0 } in
+  match
+    let spec = r_spec r in
+    r_end r;
+    spec
+  with
+  | spec -> Ok spec
+  | exception Malformed m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let w_stats b s =
+  w_bool b s.ok;
+  w_u32 b s.predicate_runs;
+  w_u32 b s.replayed_runs;
+  w_u32 b s.tool_executions;
+  w_u32 b s.oracle_retries;
+  w_u32 b s.oracle_crashes;
+  w_f64 b s.sim_time;
+  w_f64 b s.wall_time;
+  w_u32 b s.classes0;
+  w_u32 b s.classes1;
+  w_u32 b s.bytes0;
+  w_u32 b s.bytes1
+
+let r_stats r =
+  let ok = r_bool r in
+  let predicate_runs = r_u32 r in
+  let replayed_runs = r_u32 r in
+  let tool_executions = r_u32 r in
+  let oracle_retries = r_u32 r in
+  let oracle_crashes = r_u32 r in
+  let sim_time = r_f64 r in
+  let wall_time = r_f64 r in
+  let classes0 = r_u32 r in
+  let classes1 = r_u32 r in
+  let bytes0 = r_u32 r in
+  let bytes1 = r_u32 r in
+  {
+    ok;
+    predicate_runs;
+    replayed_runs;
+    tool_executions;
+    oracle_retries;
+    oracle_crashes;
+    sim_time;
+    wall_time;
+    classes0;
+    classes1;
+    bytes0;
+    bytes1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+
+let kind_of = function
+  | Hello _ -> 0x01
+  | Submit _ -> 0x02
+  | Cancel _ -> 0x03
+  | Hello_ok _ -> 0x81
+  | Accepted _ -> 0x82
+  | Rejected _ -> 0x83
+  | Cancel_ok _ -> 0x84
+  | Progress _ -> 0x85
+  | Result _ -> 0x86
+  | Job_failed _ -> 0x87
+  | Protocol_error _ -> 0x88
+
+let encode_payload msg =
+  let b = Buffer.create 64 in
+  w_u8 b (kind_of msg);
+  (match msg with
+  | Hello v | Hello_ok v -> w_u16 b v
+  | Submit spec -> w_spec b spec
+  | Accepted id | Cancel id -> w_str16 b id
+  | Rejected { reason; retry_after } ->
+      w_str16 b reason;
+      w_f64 b retry_after
+  | Cancel_ok { job_id; found } ->
+      w_str16 b job_id;
+      w_bool b found
+  | Progress { job_id; sim_time; classes; bytes } ->
+      w_str16 b job_id;
+      w_f64 b sim_time;
+      w_u32 b classes;
+      w_u32 b bytes
+  | Result { job_id; stats; pool_bytes } ->
+      w_str16 b job_id;
+      w_stats b stats;
+      w_bytes32 b pool_bytes
+  | Job_failed { job_id; reason } ->
+      w_str16 b job_id;
+      w_str16 b reason
+  | Protocol_error m -> w_str16 b m);
+  Buffer.contents b
+
+let encode msg =
+  let payload = encode_payload msg in
+  let b = Buffer.create (String.length payload + 4) in
+  w_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_payload data =
+  let r = { data; pos = 0 } in
+  match
+    let msg =
+      match r_u8 r with
+      | 0x01 -> Hello (r_u16 r)
+      | 0x81 -> Hello_ok (r_u16 r)
+      | 0x02 -> Submit (r_spec r)
+      | 0x82 -> Accepted (r_str16 r)
+      | 0x03 -> Cancel (r_str16 r)
+      | 0x83 ->
+          let reason = r_str16 r in
+          Rejected { reason; retry_after = r_f64 r }
+      | 0x84 ->
+          let job_id = r_str16 r in
+          Cancel_ok { job_id; found = r_bool r }
+      | 0x85 ->
+          let job_id = r_str16 r in
+          let sim_time = r_f64 r in
+          let classes = r_u32 r in
+          Progress { job_id; sim_time; classes; bytes = r_u32 r }
+      | 0x86 ->
+          let job_id = r_str16 r in
+          let stats = r_stats r in
+          Result { job_id; stats; pool_bytes = r_bytes32 r }
+      | 0x87 ->
+          let job_id = r_str16 r in
+          Job_failed { job_id; reason = r_str16 r }
+      | 0x88 -> Protocol_error (r_str16 r)
+      | k -> fail "unknown message kind 0x%02x" k
+    in
+    r_end r;
+    msg
+  with
+  | msg -> Ok msg
+  | exception Malformed m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Socket IO                                                           *)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let write_message fd msg = write_all fd (encode msg)
+
+(* Read exactly [n] bytes; [`Closed] only if EOF hits before the first
+   byte (a clean close between frames), [`Short] otherwise. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then `Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then `Closed else `Short
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_message fd =
+  match read_exact fd 4 with
+  | `Closed -> Error `Closed
+  | `Short -> Error (`Malformed "truncated length prefix")
+  | `Ok header -> (
+      let len =
+        (Char.code header.[0] lsl 24)
+        lor (Char.code header.[1] lsl 16)
+        lor (Char.code header.[2] lsl 8)
+        lor Char.code header.[3]
+      in
+      if len = 0 then Error (`Malformed "empty frame")
+      else if len > max_frame then
+        Error (`Malformed (Printf.sprintf "frame of %d bytes exceeds %d limit" len max_frame))
+      else
+        match read_exact fd len with
+        | `Closed | `Short -> Error (`Malformed "truncated frame body")
+        | `Ok payload -> (
+            match decode_payload payload with
+            | Ok msg -> Ok msg
+            | Error m -> Error (`Malformed m)))

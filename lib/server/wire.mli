@@ -1,0 +1,104 @@
+(** The reduction service's wire protocol.
+
+    Length-prefixed binary frames over a Unix domain socket; every integer
+    is big-endian, matching [Lbr_jvm.Serialize]'s conventions (the LBRC
+    pool container is the payload of submissions and results).
+
+    {v
+    frame    := len(u32) payload                  — len = |payload|, ≤ 64 MiB
+    payload  := kind(u8) body
+    str16    := len(u16) bytes
+    bytes32  := len(u32) bytes
+    f64      := IEEE-754 bits, 8 bytes big-endian
+    v}
+
+    A connection starts with version negotiation: the client sends
+    [Hello v] (the highest protocol version it speaks) and the server
+    answers [Hello_ok (min v protocol_version)] — or [Protocol_error] and
+    closes if the versions share no common ground.  After that the client
+    may pipeline [Submit] and [Cancel] requests; the server interleaves
+    [Accepted]/[Rejected]/[Cancel_ok] replies with streamed [Progress]
+    events and a terminal [Result]/[Job_failed] per job.
+
+    Decoding is total: malformed bytes (bad magic kind, truncated body,
+    oversized length, trailing garbage) come back as [Error _] — never an
+    exception — because the daemon reads these frames from untrusted
+    clients. *)
+
+val protocol_version : int
+(** Currently [1]. *)
+
+val max_frame : int
+(** Hard ceiling on a frame payload (64 MiB); larger lengths are rejected
+    during {!read_message} without allocating. *)
+
+type priority = Normal | High
+
+type spec = {
+  tool : string;  (** decompiler name; [""] = first buggy one server-side *)
+  strategy : Lbr_harness.Experiment.strategy;
+  priority : priority;
+  crash_policy : Lbr_runtime.Oracle.crash_policy;
+      (** how the job's oracle classifies tool crashes *)
+  retries : int;  (** oracle retries for transient tool failures *)
+  pool_bytes : string;  (** the LBRC-serialized class pool to reduce *)
+}
+
+type stats = {
+  ok : bool;
+  predicate_runs : int;
+  replayed_runs : int;  (** predicate runs answered from the journal *)
+  tool_executions : int;  (** actual black-box attempts, incl. retries *)
+  oracle_retries : int;
+  oracle_crashes : int;
+  sim_time : float;
+  wall_time : float;
+  classes0 : int;
+  classes1 : int;
+  bytes0 : int;
+  bytes1 : int;
+}
+
+type message =
+  | Hello of int  (** client → server: highest version the client speaks *)
+  | Hello_ok of int  (** server → client: negotiated version *)
+  | Submit of spec
+  | Accepted of string  (** job id *)
+  | Rejected of { reason : string; retry_after : float }
+      (** backpressure: the queue is full; retry in [retry_after] seconds *)
+  | Cancel of string
+  | Cancel_ok of { job_id : string; found : bool }
+  | Progress of { job_id : string; sim_time : float; classes : int; bytes : int }
+  | Result of { job_id : string; stats : stats; pool_bytes : string }
+  | Job_failed of { job_id : string; reason : string }
+  | Protocol_error of string
+
+(* ------------------------------------------------------------------ *)
+
+val encode : message -> string
+(** Full frame: length prefix + payload. *)
+
+val decode_payload : string -> (message, string) result
+(** Parse one payload (no length prefix).  Total: any input produces
+    [Ok] or [Error], never an exception. *)
+
+val write_message : Unix.file_descr -> message -> unit
+(** Write one frame; may raise [Unix.Unix_error] (e.g. [EPIPE]) if the
+    peer is gone. *)
+
+val read_message :
+  Unix.file_descr -> (message, [ `Closed | `Malformed of string ]) result
+(** Read one frame.  [`Closed] on clean EOF at a frame boundary;
+    [`Malformed] on truncation mid-frame, oversized length, or a payload
+    that does not decode. *)
+
+(* ------------------------------------------------------------------ *)
+
+val spec_to_string : spec -> string
+(** Standalone spec serialization — the same bytes as a [Submit] body,
+    reused by the journal to persist accepted jobs. *)
+
+val spec_of_string : string -> (spec, string) result
+
+val strategy_code : Lbr_harness.Experiment.strategy -> int
+val strategy_of_code : int -> Lbr_harness.Experiment.strategy option

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the reduction service:
+#   1. start `lbr-reduce serve` in the background (journal enabled),
+#   2. submit one generated instance over the Unix socket,
+#   3. check the reduced pool is byte-identical to an in-process
+#      `lbr-reduce reduce` of the same instance,
+#   4. SIGTERM the daemon and require a clean drain + zero exit.
+#
+# Usage: scripts/e2e_smoke.sh  (after `dune build`; override BIN to point
+# at the lbr_reduce executable if it lives elsewhere)
+set -euo pipefail
+
+BIN=${BIN:-_build/default/bin/lbr_reduce.exe}
+[ -x "$BIN" ] || { echo "lbr_reduce binary not found at $BIN (run dune build)"; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+SOCK="$WORK/lbr.sock"
+
+"$BIN" serve --socket "$SOCK" --jobs 2 --queue-depth 8 --journal "$WORK/journal" \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK"; cat "$WORK/serve.log"; exit 1; }
+
+"$BIN" submit --socket "$SOCK" --seed 1 --classes 30 --output-pool "$WORK/socket.lbrc"
+"$BIN" reduce --seed 1 --classes 30 --output-pool "$WORK/inproc.lbrc" > /dev/null
+
+cmp "$WORK/socket.lbrc" "$WORK/inproc.lbrc"
+echo "OK: socket result is byte-identical to the in-process run"
+
+test -f "$WORK/journal/job-000001/done" || { echo "journal has no done marker"; exit 1; }
+echo "OK: journal recorded the job and its terminal marker"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"  # set -e: a non-zero daemon exit fails the smoke test
+grep -q "drained" "$WORK/serve.log" || { echo "daemon did not report a drain"; cat "$WORK/serve.log"; exit 1; }
+echo "OK: daemon drained and exited cleanly on SIGTERM"

@@ -320,6 +320,82 @@ let test_serialize_rejects_garbage () =
   | Ok _ -> Alcotest.fail "accepted truncated input"
   | Error _ -> ()
 
+(* The server feeds of_bytes/class_of_bytes attacker-shaped bytes straight
+   off a socket: every truncation and every bit flip must come back as
+   [Error _] — an exception here is a daemon crash. *)
+let never_raises ~what parse data =
+  match parse data with
+  | (Ok _ : (_, string) result) -> true
+  | Error _ -> true
+  | exception e ->
+      QCheck.Test.fail_reportf "%s raised %s on %S" what (Printexc.to_string e)
+        (String.escaped (String.sub data 0 (min 64 (String.length data))))
+
+let prop_serialize_truncation_safe =
+  QCheck.Test.make ~count:100 ~name:"of_bytes: truncated inputs give Error, never raise"
+    QCheck.(make Gen.(pair (int_range 1 5_000) (int_bound 10_000)))
+    (fun (seed, cut) ->
+      let pool =
+        Lbr_workload.Generator.generate ~seed
+          { Lbr_workload.Generator.default_profile with classes = 12 }
+      in
+      let bytes = Serialize.to_bytes pool in
+      let cut = cut mod String.length bytes in
+      let truncated = String.sub bytes 0 cut in
+      never_raises ~what:"of_bytes" Serialize.of_bytes truncated
+      && never_raises ~what:"class_of_bytes" Serialize.class_of_bytes truncated
+      &&
+      match Serialize.of_bytes truncated with
+      | Ok _ -> cut = String.length bytes (* only the untruncated input may parse *)
+      | Error _ -> true)
+
+let prop_serialize_bitflip_safe =
+  QCheck.Test.make ~count:200 ~name:"of_bytes: bit-flipped inputs give Ok or Error, never raise"
+    QCheck.(make Gen.(triple (int_range 1 5_000) (int_bound 100_000) (int_bound 7)))
+    (fun (seed, pos, bit) ->
+      let pool =
+        Lbr_workload.Generator.generate ~seed
+          { Lbr_workload.Generator.default_profile with classes = 12 }
+      in
+      let bytes = Bytes.of_string (Serialize.to_bytes pool) in
+      let pos = pos mod Bytes.length bytes in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl bit)));
+      let flipped = Bytes.to_string bytes in
+      never_raises ~what:"of_bytes" Serialize.of_bytes flipped
+      && never_raises ~what:"class_of_bytes" Serialize.class_of_bytes flipped)
+
+let prop_serialize_random_bytes_safe =
+  QCheck.Test.make ~count:200 ~name:"of_bytes: arbitrary bytes give Error, never raise"
+    QCheck.(string_gen Gen.char)
+    (fun data ->
+      (* arbitrary strings are overwhelmingly not valid pools, but the only
+         contract is: no exception escapes *)
+      never_raises ~what:"of_bytes" Serialize.of_bytes data
+      && never_raises ~what:"class_of_bytes" Serialize.class_of_bytes data)
+
+let test_serialize_deep_array_nesting_safe () =
+  (* a class whose first field's type is tag-6 ("array of") repeated: an
+     unbounded reader would recurse once per byte *)
+  let b = Buffer.create 256 in
+  let u16 n =
+    Buffer.add_char b (Char.chr (n lsr 8));
+    Buffer.add_char b (Char.chr (n land 0xFF))
+  in
+  u16 1 (* strtab count *);
+  u16 1;
+  Buffer.add_string b "A" (* one string "A" *);
+  u16 0 (* name *);
+  u16 0 (* super *);
+  Buffer.add_char b '\000' (* flags *);
+  u16 0 (* interfaces *);
+  u16 1 (* one field *);
+  u16 0 (* f_name *);
+  Buffer.add_string b (String.make 100_000 '\006') (* Array (Array (... *);
+  match Serialize.class_of_bytes (Buffer.contents b) with
+  | Ok _ -> Alcotest.fail "accepted absurdly nested array type"
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
+
 let test_serialize_file_io () =
   let pool = sample_pool () in
   let path = Filename.temp_file "lbr" ".pool" in
@@ -376,10 +452,17 @@ let () =
         [
           Alcotest.test_case "sample round-trip" `Quick test_serialize_roundtrip_sample;
           Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+          Alcotest.test_case "deep array nesting" `Quick test_serialize_deep_array_nesting_safe;
           Alcotest.test_case "file io" `Quick test_serialize_file_io;
           Alcotest.test_case "size shrinks" `Quick test_serialized_size_shrinks;
         ] );
-      qsuite "serialize-prop" [ prop_serialize_roundtrip ];
+      qsuite "serialize-prop"
+        [
+          prop_serialize_roundtrip;
+          prop_serialize_truncation_safe;
+          prop_serialize_bitflip_safe;
+          prop_serialize_random_bytes_safe;
+        ];
       ( "reducer",
         [
           Alcotest.test_case "identity on full assignment" `Quick

@@ -1,0 +1,809 @@
+(* Tests for the reduction service: wire codec totality and round-trips,
+   the write-ahead journal, scheduler admission/backpressure/cancellation
+   (with stub runners), crash-resume replay with the real runner, and the
+   socket server end to end against in-process reference runs. *)
+
+open Lbr_server
+
+let qsuite name props = (name, List.map QCheck_alcotest.to_alcotest props)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun label ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lbr-server-test-%d-%d-%s" (Unix.getpid ()) !counter label)
+    in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm dir;
+    Unix.mkdir dir 0o755;
+    dir
+
+let pool_bytes_of_seed ?(classes = 18) seed =
+  Lbr_jvm.Serialize.to_bytes
+    (Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes))
+
+let spec_of_seed ?classes ?(priority = Wire.Normal)
+    ?(strategy = Lbr_harness.Experiment.Gbr) seed =
+  {
+    Wire.tool = "";
+    strategy;
+    priority;
+    crash_policy = Lbr_runtime.Oracle.Crash_raises;
+    retries = 0;
+    pool_bytes = pool_bytes_of_seed ?classes seed;
+  }
+
+(* The in-process reference for what the service should compute on
+   [spec_of_seed seed]: same pool, same tool-resolution rule as
+   Runner.reduce. *)
+let reference_run ?classes ?(strategy = Lbr_harness.Experiment.Gbr) seed =
+  let pool =
+    match Lbr_jvm.Serialize.of_bytes (pool_bytes_of_seed ?classes seed) with
+    | Ok pool -> pool
+    | Error m -> Alcotest.failf "reference pool does not decode: %s" m
+  in
+  let tool =
+    match
+      List.find_opt (fun t -> Lbr_decompiler.Tool.is_buggy_on t pool) Lbr_decompiler.Tool.all
+    with
+    | Some t -> t
+    | None -> Alcotest.failf "seed %d: no tool is buggy; pick another fixture seed" seed
+  in
+  let instance =
+    {
+      Lbr_harness.Corpus.instance_id = Printf.sprintf "ref-%d" seed;
+      benchmark = { Lbr_harness.Corpus.bench_id = Printf.sprintf "ref-%d" seed; seed; pool };
+      tool;
+      baseline_errors = Lbr_decompiler.Tool.errors tool pool;
+    }
+  in
+  let outcome, final = Lbr_harness.Experiment.run_with strategy instance in
+  (outcome, Lbr_jvm.Serialize.to_bytes final)
+
+let some_stats =
+  {
+    Wire.ok = true;
+    predicate_runs = 123;
+    replayed_runs = 7;
+    tool_executions = 130;
+    oracle_retries = 4;
+    oracle_crashes = 1;
+    sim_time = 34.5;
+    wall_time = 0.75;
+    classes0 = 30;
+    classes1 = 7;
+    bytes0 = 21862;
+    bytes1 = 1914;
+  }
+
+let sample_messages =
+  [
+    Wire.Hello 1;
+    Wire.Hello_ok 1;
+    Wire.Submit (spec_of_seed ~classes:6 1);
+    Wire.Accepted "job-000042";
+    Wire.Rejected { reason = "queue full"; retry_after = 2.5 };
+    Wire.Cancel "job-000042";
+    Wire.Cancel_ok { job_id = "job-000042"; found = true };
+    Wire.Progress { job_id = "job-000042"; sim_time = 17.25; classes = 12; bytes = 4096 };
+    Wire.Result { job_id = "job-000042"; stats = some_stats; pool_bytes = "LBRC-ish bytes" };
+    Wire.Job_failed { job_id = "job-000042"; reason = "tool is not buggy" };
+    Wire.Protocol_error "expected hello";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let check_message_equal what (a : Wire.message) (b : Wire.message) =
+  (* structural equality is fine: messages are immutable data *)
+  Alcotest.(check bool) what true (a = b)
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun msg ->
+      let frame = Wire.encode msg in
+      (* strip the length prefix to get the payload back *)
+      let payload = String.sub frame 4 (String.length frame - 4) in
+      match Wire.decode_payload payload with
+      | Ok decoded -> check_message_equal "roundtrip" msg decoded
+      | Error m -> Alcotest.failf "decode failed: %s" m)
+    sample_messages
+
+let test_wire_socket_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  List.iter
+    (fun msg ->
+      Wire.write_message a msg;
+      match Wire.read_message b with
+      | Ok decoded -> check_message_equal "socket roundtrip" msg decoded
+      | Error `Closed -> Alcotest.fail "unexpected close"
+      | Error (`Malformed m) -> Alcotest.failf "malformed: %s" m)
+    sample_messages;
+  Unix.close a;
+  (match Wire.read_message b with
+  | Error `Closed -> ()
+  | _ -> Alcotest.fail "expected Closed after peer shutdown");
+  Unix.close b
+
+let test_wire_rejects_oversized_and_truncated () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* length prefix larger than max_frame *)
+  let huge = Bytes.create 4 in
+  Bytes.set huge 0 '\xff';
+  Bytes.set huge 1 '\xff';
+  Bytes.set huge 2 '\xff';
+  Bytes.set huge 3 '\xff';
+  ignore (Unix.write a huge 0 4 : int);
+  (match Wire.read_message b with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "oversized frame must be malformed");
+  Unix.close a;
+  Unix.close b;
+  (* frame body cut short by a closing peer *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let frame = Wire.encode (Wire.Accepted "job-000001") in
+  ignore (Unix.write_substring a frame 0 (String.length frame - 3) : int);
+  Unix.close a;
+  (match Wire.read_message b with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "truncated frame must be malformed");
+  Unix.close b
+
+let test_wire_empty_frame_is_malformed () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore (Unix.write a (Bytes.make 4 '\000') 0 4 : int);
+  (match Wire.read_message b with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "empty frame must be malformed");
+  Unix.close a;
+  Unix.close b
+
+(* decode_payload must be total on adversarial input *)
+let prop_wire_decode_never_raises =
+  QCheck.Test.make ~count:500 ~name:"decode_payload never raises on random bytes"
+    QCheck.(string_of_size Gen.(0 -- 2048))
+    (fun data ->
+      match Wire.decode_payload data with Ok _ | Error _ -> true)
+
+let prop_wire_truncation_rejected =
+  QCheck.Test.make ~count:300 ~name:"truncated payloads decode to Error or valid prefix"
+    QCheck.(pair (int_bound (List.length sample_messages - 1)) (int_bound 1000))
+    (fun (i, cut) ->
+      let msg = List.nth sample_messages i in
+      let frame = Wire.encode msg in
+      let payload = String.sub frame 4 (String.length frame - 4) in
+      let keep = cut * (String.length payload - 1) / 1000 in
+      let truncated = String.sub payload 0 keep in
+      match Wire.decode_payload truncated with
+      | Ok _ -> false (* a strict prefix can never be a whole message *)
+      | Error _ -> true)
+
+let prop_wire_bitflip_never_raises =
+  QCheck.Test.make ~count:300 ~name:"bit-flipped payloads never raise"
+    QCheck.(pair (int_bound (List.length sample_messages - 1)) (pair small_nat (int_bound 7)))
+    (fun (i, (pos, bit)) ->
+      let msg = List.nth sample_messages i in
+      let frame = Wire.encode msg in
+      let payload = Bytes.of_string (String.sub frame 4 (String.length frame - 4)) in
+      let pos = pos mod Bytes.length payload in
+      Bytes.set payload pos
+        (Char.chr (Char.code (Bytes.get payload pos) lxor (1 lsl bit)));
+      match Wire.decode_payload (Bytes.to_string payload) with Ok _ | Error _ -> true)
+
+let test_spec_string_roundtrip () =
+  let spec = spec_of_seed ~classes:10 ~priority:Wire.High 3 in
+  match Wire.spec_of_string (Wire.spec_to_string spec) with
+  | Ok spec' -> Alcotest.(check bool) "spec roundtrip" true (spec = spec')
+  | Error m -> Alcotest.failf "spec does not roundtrip: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let test_journal_record_and_replay () =
+  let j = Journal.open_dir (fresh_dir "journal") in
+  Journal.record_job j ~id:"job-000001" ~spec:"SPEC BYTES";
+  Journal.append_pred j ~id:"job-000001" ~key:(String.make 32 'a') true;
+  Journal.append_pred j ~id:"job-000001" ~key:(String.make 32 'b') false;
+  Alcotest.(check (list (pair string string)))
+    "pending sees the job"
+    [ ("job-000001", "SPEC BYTES") ]
+    (Journal.pending j);
+  let table = Journal.replay j ~id:"job-000001" in
+  Alcotest.(check (option bool)) "true entry" (Some true)
+    (Hashtbl.find_opt table (String.make 32 'a'));
+  Alcotest.(check (option bool)) "false entry" (Some false)
+    (Hashtbl.find_opt table (String.make 32 'b'));
+  Journal.mark_done j ~id:"job-000001";
+  Alcotest.(check (list (pair string string))) "done job no longer pending" []
+    (Journal.pending j);
+  Alcotest.(check int) "max job number" 1 (Journal.max_job_number j);
+  Journal.close j
+
+let test_journal_tolerates_torn_line () =
+  let dir = fresh_dir "torn" in
+  let j = Journal.open_dir dir in
+  Journal.record_job j ~id:"job-000007" ~spec:"S";
+  Journal.append_pred j ~id:"job-000007" ~key:(String.make 32 '1') true;
+  Journal.close j;
+  (* simulate a crash mid-append: a torn trailing line *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644
+      (Filename.concat (Filename.concat dir "job-000007") "preds.log")
+  in
+  output_string oc (String.make 10 '2');
+  close_out oc;
+  let j = Journal.open_dir dir in
+  let table = Journal.replay j ~id:"job-000007" in
+  Alcotest.(check int) "only the whole line survives" 1 (Hashtbl.length table);
+  Alcotest.(check int) "max job number" 7 (Journal.max_job_number j);
+  Journal.close j
+
+let test_journal_rejects_unsafe_ids () =
+  let j = Journal.open_dir (fresh_dir "ids") in
+  Alcotest.check_raises "path escape" (Invalid_argument "Journal: unsafe job id ../evil")
+    (fun () -> Journal.record_job j ~id:"../evil" ~spec:"S");
+  Journal.close j
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler (stub runners)                                            *)
+
+let await_done sched id =
+  match Scheduler.await sched id with
+  | Scheduler.Done (stats, bytes) -> (stats, bytes)
+  | Scheduler.Failed m -> Alcotest.failf "job failed: %s" m
+  | Scheduler.Cancelled -> Alcotest.fail "job cancelled"
+  | Scheduler.Queued | Scheduler.Running -> assert false
+
+let trivial_stats =
+  {
+    Wire.ok = true;
+    predicate_runs = 0;
+    replayed_runs = 0;
+    tool_executions = 0;
+    oracle_retries = 0;
+    oracle_crashes = 0;
+    sim_time = 0.;
+    wall_time = 0.;
+    classes0 = 0;
+    classes1 = 0;
+    bytes0 = 0;
+    bytes1 = 0;
+  }
+
+(* a runner that blocks until [gate] opens, then echoes the job id *)
+let gated_runner gate started (ctx : Scheduler.runner_ctx) (_ : Wire.spec) =
+  Atomic.incr started;
+  while not (Atomic.get gate) do
+    if ctx.should_stop () then raise Lbr_harness.Experiment.Cancelled;
+    Thread.delay 0.002
+  done;
+  Ok (trivial_stats, ctx.job_id)
+
+let tiny_spec = lazy (spec_of_seed ~classes:6 1)
+let tiny_spec_high =
+  lazy { (Lazy.force tiny_spec) with Wire.priority = Wire.High }
+
+let test_scheduler_backpressure () =
+  let gate = Atomic.make false in
+  let started = Atomic.make 0 in
+  let sched =
+    Scheduler.create ~runner:(gated_runner gate started) ~jobs:1 ~queue_depth:2 ()
+  in
+  let submit () = Scheduler.submit sched (Lazy.force tiny_spec) in
+  let submit_ok () =
+    match submit () with
+    | Ok id -> id
+    | Error _ -> Alcotest.fail "early submission rejected"
+  in
+  (* one job occupies the worker... *)
+  let first = submit_ok () in
+  while Atomic.get started < 1 do
+    Thread.delay 0.002
+  done;
+  (* ...then two fill the queue *)
+  let ids = [ first; submit_ok (); submit_ok () ] in
+  (match submit () with
+  | Error (`Queue_full retry_after) ->
+      Alcotest.(check bool) "retry_after positive" true (retry_after > 0.)
+  | Ok _ -> Alcotest.fail "queue-full submission accepted"
+  | Error `Draining -> Alcotest.fail "not draining");
+  Atomic.set gate true;
+  List.iter
+    (fun id ->
+      let _, echoed = await_done sched id in
+      Alcotest.(check string) "runner saw its own id" id echoed)
+    ids;
+  (* queue drained: admissions open again *)
+  (match submit () with
+  | Ok id -> ignore (await_done sched id)
+  | Error _ -> Alcotest.fail "post-drain submission rejected");
+  Scheduler.shutdown sched
+
+let test_scheduler_cancel_running () =
+  let gate = Atomic.make false in
+  let started = Atomic.make 0 in
+  let sched =
+    Scheduler.create ~runner:(gated_runner gate started) ~jobs:1 ~queue_depth:4 ()
+  in
+  let id =
+    match Scheduler.submit sched (Lazy.force tiny_spec) with
+    | Ok id -> id
+    | Error _ -> Alcotest.fail "submission rejected"
+  in
+  while Atomic.get started < 1 do
+    Thread.delay 0.002
+  done;
+  Alcotest.(check bool) "cancel finds the running job" true (Scheduler.cancel sched id);
+  (match Scheduler.await sched id with
+  | Scheduler.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Cancelled");
+  Alcotest.(check bool) "second cancel is a no-op" false (Scheduler.cancel sched id);
+  Scheduler.shutdown sched
+
+let test_scheduler_cancel_queued_never_runs () =
+  let gate = Atomic.make false in
+  let started = Atomic.make 0 in
+  let sched =
+    Scheduler.create ~runner:(gated_runner gate started) ~jobs:1 ~queue_depth:4 ()
+  in
+  let submit () =
+    match Scheduler.submit sched (Lazy.force tiny_spec) with
+    | Ok id -> id
+    | Error _ -> Alcotest.fail "submission rejected"
+  in
+  let first = submit () in
+  while Atomic.get started < 1 do
+    Thread.delay 0.002
+  done;
+  let queued = submit () in
+  Alcotest.(check bool) "cancel finds the queued job" true (Scheduler.cancel sched queued);
+  Atomic.set gate true;
+  (match Scheduler.await sched queued with
+  | Scheduler.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Cancelled");
+  ignore (await_done sched first);
+  Alcotest.(check int) "cancelled queued job never started" 1 (Atomic.get started);
+  Scheduler.shutdown sched
+
+let test_scheduler_priority_order () =
+  let gate = Atomic.make false in
+  let order_mutex = Mutex.create () in
+  let order = ref [] in
+  let runner (ctx : Scheduler.runner_ctx) (_ : Wire.spec) =
+    while not (Atomic.get gate) do
+      Thread.delay 0.002
+    done;
+    Mutex.lock order_mutex;
+    order := ctx.job_id :: !order;
+    Mutex.unlock order_mutex;
+    Ok (trivial_stats, ctx.job_id)
+  in
+  let sched = Scheduler.create ~runner ~jobs:1 ~queue_depth:8 () in
+  let submit spec =
+    match Scheduler.submit sched spec with
+    | Ok id -> id
+    | Error _ -> Alcotest.fail "submission rejected"
+  in
+  (* the blocker occupies the single worker; normal then high wait *)
+  let blocker = submit (Lazy.force tiny_spec) in
+  while Scheduler.running sched < 1 do
+    Thread.delay 0.002
+  done;
+  let normal = submit (Lazy.force tiny_spec) in
+  let high = submit (Lazy.force tiny_spec_high) in
+  Atomic.set gate true;
+  List.iter (fun id -> ignore (await_done sched id)) [ blocker; normal; high ];
+  Alcotest.(check (list string))
+    "high priority overtakes earlier normal submission"
+    [ blocker; high; normal ] (List.rev !order);
+  Scheduler.shutdown sched
+
+let test_scheduler_drain_rejects () =
+  let sched =
+    Scheduler.create
+      ~runner:(fun (ctx : Scheduler.runner_ctx) _ -> Ok (trivial_stats, ctx.job_id))
+      ~jobs:1 ~queue_depth:2 ()
+  in
+  (match Scheduler.submit sched (Lazy.force tiny_spec) with
+  | Ok id -> ignore (await_done sched id)
+  | Error _ -> Alcotest.fail "submission rejected");
+  Scheduler.drain sched;
+  (match Scheduler.submit sched (Lazy.force tiny_spec) with
+  | Error `Draining -> ()
+  | _ -> Alcotest.fail "draining scheduler accepted a job");
+  Scheduler.shutdown sched
+
+let test_scheduler_events_in_order () =
+  let events_mutex = Mutex.create () in
+  let events = ref [] in
+  let runner (ctx : Scheduler.runner_ctx) (_ : Wire.spec) =
+    ctx.progress 1.0 10 100;
+    ctx.progress 2.0 5 50;
+    Ok (trivial_stats, ctx.job_id)
+  in
+  let sched = Scheduler.create ~runner ~jobs:1 ~queue_depth:2 () in
+  let on_event _id ev =
+    Mutex.lock events_mutex;
+    events := ev :: !events;
+    Mutex.unlock events_mutex
+  in
+  (match Scheduler.submit sched ~on_event (Lazy.force tiny_spec) with
+  | Ok id -> ignore (await_done sched id)
+  | Error _ -> Alcotest.fail "submission rejected");
+  (* the terminal event is delivered before await returns *)
+  (match List.rev !events with
+  | [ Scheduler.Started;
+      Scheduler.Progress { sim_time = 1.0; classes = 10; bytes = 100 };
+      Scheduler.Progress { sim_time = 2.0; classes = 5; bytes = 50 };
+      Scheduler.Finished (Scheduler.Done _) ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected event sequence (%d events)" (List.length evs));
+  Scheduler.shutdown sched
+
+(* ------------------------------------------------------------------ *)
+(* Journal replay with the real runner                                 *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_journal_replay_resumes_with_fewer_executions () =
+  (* Cold run, journaled. *)
+  let dir1 = fresh_dir "cold" in
+  let j1 = Journal.open_dir dir1 in
+  let sched1 =
+    Scheduler.create ~runner:Runner.reduce ~jobs:1 ~queue_depth:2 ~journal:j1 ()
+  in
+  let spec = spec_of_seed ~classes:18 11 in
+  let id1 =
+    match Scheduler.submit sched1 spec with
+    | Ok id -> id
+    | Error _ -> Alcotest.fail "cold submission rejected"
+  in
+  let cold_stats, cold_bytes = await_done sched1 id1 in
+  Scheduler.shutdown sched1;
+  Journal.close j1;
+  Alcotest.(check int) "cold run replays nothing" 0 cold_stats.Wire.replayed_runs;
+  Alcotest.(check bool) "cold run paid executions" true (cold_stats.Wire.tool_executions > 5);
+  (* Fabricate the kill -9 state: same spec, a strict prefix of the
+     predicate log, no terminal marker. *)
+  let cold_log = read_lines (Filename.concat (Filename.concat dir1 id1) "preds.log") in
+  let prefix_len = List.length cold_log / 2 in
+  Alcotest.(check bool) "enough log to truncate" true (prefix_len >= 1);
+  let dir2 = fresh_dir "resume" in
+  let j2 = Journal.open_dir dir2 in
+  Journal.record_job j2 ~id:id1 ~spec:(Wire.spec_to_string spec);
+  List.iteri
+    (fun i line ->
+      if i < prefix_len then
+        Journal.append_pred j2 ~id:id1
+          ~key:(String.sub line 0 32)
+          (line.[33] = '1'))
+    cold_log;
+  (* Restart: recover must re-admit exactly this job and finish it with
+     strictly fewer tool executions, same everything else. *)
+  let sched2 =
+    Scheduler.create ~runner:Runner.reduce ~jobs:1 ~queue_depth:2 ~journal:j2 ()
+  in
+  Alcotest.(check int) "one job recovered" 1 (Scheduler.recover sched2);
+  let warm_stats, warm_bytes = await_done sched2 id1 in
+  Scheduler.shutdown sched2;
+  Journal.close j2;
+  Alcotest.(check string) "resumed pool is byte-identical" cold_bytes warm_bytes;
+  Alcotest.(check int) "same predicate runs" cold_stats.Wire.predicate_runs
+    warm_stats.Wire.predicate_runs;
+  Alcotest.(check (float 1e-9)) "same simulated time" cold_stats.Wire.sim_time
+    warm_stats.Wire.sim_time;
+  Alcotest.(check int) "replayed exactly the journaled prefix" prefix_len
+    warm_stats.Wire.replayed_runs;
+  Alcotest.(check bool) "strictly fewer tool executions" true
+    (warm_stats.Wire.tool_executions < cold_stats.Wire.tool_executions);
+  Alcotest.(check bool) "resumed run reaches done" true
+    (Sys.file_exists (Filename.concat (Filename.concat dir2 id1) "done"))
+
+(* run_with with a pass-through evaluate hook must change nothing *)
+let test_hooks_passthrough_identical () =
+  let _, reference = reference_run ~classes:16 21 in
+  let pool =
+    match Lbr_jvm.Serialize.of_bytes (pool_bytes_of_seed ~classes:16 21) with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "pool: %s" m
+  in
+  let tool =
+    List.find (fun t -> Lbr_decompiler.Tool.is_buggy_on t pool) Lbr_decompiler.Tool.all
+  in
+  let instance =
+    {
+      Lbr_harness.Corpus.instance_id = "hooked";
+      benchmark = { Lbr_harness.Corpus.bench_id = "hooked"; seed = 21; pool };
+      tool;
+      baseline_errors = Lbr_decompiler.Tool.errors tool pool;
+    }
+  in
+  let keys = ref 0 in
+  let hooks =
+    {
+      Lbr_harness.Experiment.default_hooks with
+      evaluate =
+        Some
+          (fun ~key thunk ->
+            Alcotest.(check int) "digest key length" 32 (String.length key);
+            incr keys;
+            Lbr_harness.Experiment.Fresh (thunk ()));
+    }
+  in
+  let outcome, final =
+    Lbr_harness.Experiment.run_with ~hooks Lbr_harness.Experiment.Gbr instance
+  in
+  Alcotest.(check string) "hooked run is byte-identical" reference
+    (Lbr_jvm.Serialize.to_bytes final);
+  Alcotest.(check int) "every predicate run passed through the hook" outcome.predicate_runs
+    !keys;
+  Alcotest.(check int) "pass-through replays nothing" 0 outcome.replayed_runs
+
+(* ------------------------------------------------------------------ *)
+(* Socket server end to end                                            *)
+
+let with_server ?(jobs = 2) ?(queue_depth = 8) ?journal_dir label f =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lbr-test-%d-%s.sock" (Unix.getpid ()) label)
+  in
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let server =
+    Server.start { Server.socket_path; jobs; queue_depth; journal_dir }
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f socket_path server)
+
+let test_server_submit_matches_in_process () =
+  with_server "match" (fun socket _server ->
+      let seed = 21 in
+      let ref_outcome, ref_bytes = reference_run ~classes:16 seed in
+      match Client.connect socket with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok client ->
+          let progress = ref 0 in
+          let result =
+            Client.submit client
+              ~on_progress:(fun _ -> incr progress)
+              (spec_of_seed ~classes:16 seed)
+          in
+          Client.close client;
+          (match result with
+          | Error m -> Alcotest.failf "submit: %s" m
+          | Ok (_, stats, bytes) ->
+              Alcotest.(check string) "socket result is byte-identical to Experiment.run"
+                ref_bytes bytes;
+              Alcotest.(check int) "same predicate runs" ref_outcome.predicate_runs
+                stats.Wire.predicate_runs;
+              Alcotest.(check (float 1e-9)) "same simulated time" ref_outcome.sim_time
+                stats.Wire.sim_time;
+              Alcotest.(check int) "progress streamed per improvement"
+                (List.length ref_outcome.timeline)
+                !progress))
+
+let test_server_three_concurrent_clients_jobs4 () =
+  with_server ~jobs:4 "concurrent" (fun socket _server ->
+      let seeds = [ 21; 22; 23 ] in
+      let references = List.map (fun seed -> reference_run ~classes:16 seed) seeds in
+      let results = Array.make (List.length seeds) (Error "not run") in
+      let threads =
+        List.mapi
+          (fun i seed ->
+            Thread.create
+              (fun () ->
+                match Client.connect socket with
+                | Error m -> results.(i) <- Error ("connect: " ^ m)
+                | Ok client ->
+                    results.(i) <- Client.submit client (spec_of_seed ~classes:16 seed);
+                    Client.close client)
+              ())
+          seeds
+      in
+      List.iter Thread.join threads;
+      List.iteri
+        (fun i (ref_outcome, ref_bytes) ->
+          match results.(i) with
+          | Error m -> Alcotest.failf "client %d: %s" i m
+          | Ok (_, stats, bytes) ->
+              Alcotest.(check string)
+                (Printf.sprintf "client %d byte-identical" i)
+                ref_bytes bytes;
+              Alcotest.(check int)
+                (Printf.sprintf "client %d predicate runs" i)
+                ref_outcome.Lbr_harness.Experiment.predicate_runs stats.Wire.predicate_runs)
+        references)
+
+let test_server_rejects_bad_hello () =
+  with_server "badhello" (fun socket _server ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      (* a Submit before Hello is a protocol error *)
+      Wire.write_message fd (Wire.Cancel "job-000001");
+      (match Wire.read_message fd with
+      | Ok (Wire.Protocol_error _) -> ()
+      | _ -> Alcotest.fail "expected Protocol_error");
+      (* and the server closes the connection *)
+      (match Wire.read_message fd with
+      | Error `Closed -> ()
+      | _ -> Alcotest.fail "expected close after protocol error");
+      Unix.close fd)
+
+let test_server_rejects_malformed_frame () =
+  with_server "malformed" (fun socket _server ->
+      match Client.connect socket with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok client ->
+          (* handshake done; now inject garbage through a raw fd *)
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          Wire.write_message fd (Wire.Hello Wire.protocol_version);
+          (match Wire.read_message fd with
+          | Ok (Wire.Hello_ok v) ->
+              Alcotest.(check int) "negotiated version" Wire.protocol_version v
+          | _ -> Alcotest.fail "handshake failed");
+          let garbage = "\x00\x00\x00\x03\xfe\xfe\xfe" in
+          ignore (Unix.write_substring fd garbage 0 (String.length garbage) : int);
+          (match Wire.read_message fd with
+          | Ok (Wire.Protocol_error _) -> ()
+          | _ -> Alcotest.fail "expected Protocol_error for unknown kind");
+          Unix.close fd;
+          Client.close client)
+
+let test_server_cancel_over_socket () =
+  (* queue_depth 1 and jobs 1: park a long job, cancel it over the wire *)
+  with_server ~jobs:1 "cancel" (fun socket server ->
+      ignore server;
+      match Client.connect socket with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok client -> (
+          (* a larger pool so the job is still running when Cancel lands *)
+          let submit_result = ref (Error "not run") in
+          let th =
+            Thread.create
+              (fun () ->
+                submit_result := Client.submit client (spec_of_seed ~classes:120 31))
+              ()
+          in
+          (* separate connection for control while the first blocks *)
+          match Client.connect socket with
+          | Error m -> Alcotest.failf "control connect: %s" m
+          | Ok control ->
+              (* the daemon assigns job ids sequentially from 1 *)
+              let rec cancel_until_found tries =
+                match Client.cancel control "job-000001" with
+                | Ok true -> ()
+                | Ok false when tries > 0 ->
+                    Thread.delay 0.01;
+                    cancel_until_found (tries - 1)
+                | Ok false -> Alcotest.fail "job never became cancellable"
+                | Error m -> Alcotest.failf "cancel: %s" m
+              in
+              cancel_until_found 200;
+              Thread.join th;
+              Client.close control;
+              Client.close client;
+              (match !submit_result with
+              | Error m ->
+                  let contains_cancelled =
+                    let n = String.length m and p = "cancelled" in
+                    let pl = String.length p in
+                    let rec go i = i + pl <= n && (String.sub m i pl = p || go (i + 1)) in
+                    go 0
+                  in
+                  Alcotest.(check bool) "failure mentions cancellation" true
+                    contains_cancelled
+              | Ok _ -> Alcotest.fail "cancelled job returned a result")))
+
+let test_server_draining_rejects_submissions () =
+  with_server "drain" (fun socket server ->
+      match Client.connect socket with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok client ->
+          Scheduler.drain (Server.scheduler server);
+          (match Client.submit client (spec_of_seed ~classes:6 1) with
+          | Error m ->
+              Alcotest.(check bool) "rejection mentions draining" true
+                (String.length m > 0)
+          | Ok _ -> Alcotest.fail "draining server accepted a job");
+          Client.close client)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown helper                                                     *)
+
+let test_shutdown_drain_runs_once_in_order () =
+  let s = Shutdown.install () in
+  Alcotest.(check bool) "not requested initially" false (Shutdown.requested s);
+  let log = ref [] in
+  Shutdown.on_drain s (fun () -> log := "first" :: !log);
+  Shutdown.on_drain s (fun () -> failwith "a failing action must not stop the rest");
+  Shutdown.on_drain s (fun () -> log := "second" :: !log);
+  Shutdown.request s;
+  Alcotest.(check bool) "requested after request" true (Shutdown.requested s);
+  Shutdown.run_drain s;
+  Shutdown.run_drain s;
+  Alcotest.(check (list string)) "actions ran once, in order" [ "first"; "second" ]
+    (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "message roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "socket roundtrip + clean close" `Quick test_wire_socket_roundtrip;
+          Alcotest.test_case "oversized and truncated frames" `Quick
+            test_wire_rejects_oversized_and_truncated;
+          Alcotest.test_case "empty frame" `Quick test_wire_empty_frame_is_malformed;
+          Alcotest.test_case "spec string roundtrip" `Quick test_spec_string_roundtrip;
+        ] );
+      qsuite "wire-prop"
+        [ prop_wire_decode_never_raises; prop_wire_truncation_rejected;
+          prop_wire_bitflip_never_raises ];
+      ( "journal",
+        [
+          Alcotest.test_case "record, replay, terminal markers" `Quick
+            test_journal_record_and_replay;
+          Alcotest.test_case "torn trailing line is skipped" `Quick
+            test_journal_tolerates_torn_line;
+          Alcotest.test_case "unsafe job ids rejected" `Quick test_journal_rejects_unsafe_ids;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "queue-full backpressure" `Quick test_scheduler_backpressure;
+          Alcotest.test_case "cancel a running job" `Quick test_scheduler_cancel_running;
+          Alcotest.test_case "cancel a queued job before it runs" `Quick
+            test_scheduler_cancel_queued_never_runs;
+          Alcotest.test_case "high priority dispatches first" `Quick
+            test_scheduler_priority_order;
+          Alcotest.test_case "draining rejects" `Quick test_scheduler_drain_rejects;
+          Alcotest.test_case "events stream in order" `Quick test_scheduler_events_in_order;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "resume replays journal, fewer executions" `Slow
+            test_journal_replay_resumes_with_fewer_executions;
+          Alcotest.test_case "pass-through hooks change nothing" `Quick
+            test_hooks_passthrough_identical;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "submit matches in-process run" `Slow
+            test_server_submit_matches_in_process;
+          Alcotest.test_case "3 concurrent clients, jobs=4, byte-identical" `Slow
+            test_server_three_concurrent_clients_jobs4;
+          Alcotest.test_case "hello required" `Quick test_server_rejects_bad_hello;
+          Alcotest.test_case "malformed frame gets Protocol_error" `Quick
+            test_server_rejects_malformed_frame;
+          Alcotest.test_case "cancel over the socket" `Slow test_server_cancel_over_socket;
+          Alcotest.test_case "draining rejects submissions" `Quick
+            test_server_draining_rejects_submissions;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "drain actions run once, in order" `Quick
+            test_shutdown_drain_runs_once_in_order;
+        ] );
+    ]
