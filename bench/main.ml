@@ -425,6 +425,28 @@ let table_e6 instances =
 (* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 
+(* Direct GBR on one corpus instance, bypassing the experiment wrapper, to
+   contrast the incremental and rebuild reduction cores head to head.  The
+   model derivation runs once (setup); each timed run gets a fresh
+   predicate so memoization cannot leak between runs. *)
+let gbr_direct_setup (instance : Corpus.instance) =
+  let pool = instance.benchmark.pool in
+  let vpool = Var.Pool.create () in
+  let jv = Lbr_jvm.Jvars.derive vpool pool in
+  let cnf = Lbr_jvm.Constraints.generate jv pool in
+  let universe = Lbr_jvm.Jvars.all jv in
+  let order = Lbr_sat.Order.by_creation vpool in
+  fun ~incremental ->
+    let predicate =
+      Lbr.Predicate.make (fun phi ->
+          let errors =
+            Lbr_decompiler.Tool.errors instance.tool (Lbr_jvm.Reducer.apply jv pool phi)
+          in
+          List.for_all (fun m -> List.mem m errors) instance.baseline_errors)
+    in
+    let problem = Lbr.Problem.make ~pool:vpool ~universe ~constraints:cnf ~predicate in
+    Lbr.Gbr.reduce problem ~order ~incremental
+
 let micro () =
   header "Micro-benchmarks (Bechamel; ns per run)";
   let open Bechamel in
@@ -470,6 +492,23 @@ let micro () =
       Test.make ~name:"core:progression-40cls"
         (Staged.stage (fun () ->
              Lbr.Progression.build ~cnf:cnf40 ~order:order40 ~learned:[] ~universe:universe40));
+      (Test.make ~name:"sat:engine-add-clause"
+         (* One learned-set append + structural rollback on a warm engine:
+            the per-iteration cost add_clause replaces r_plus with. *)
+         (let engine =
+            match Lbr_sat.Msa.Engine.create cnf40 ~order:order40 ~universe:universe40 with
+            | Ok e -> e
+            | Error `Conflict -> failwith "sat:engine-add-clause: unexpected conflict"
+          in
+          let disj =
+            Assignment.to_list universe40 |> List.filteri (fun i _ -> i mod 50 = 0)
+          in
+          Staged.stage (fun () ->
+              let snap = Lbr_sat.Msa.Engine.snapshot engine in
+              (match Lbr_sat.Msa.Engine.add_clause engine ~pos:disj with
+              | Ok () -> ()
+              | Error `Conflict -> failwith "sat:engine-add-clause: conflict");
+              Lbr_sat.Msa.Engine.rollback engine snap)));
       Test.make ~name:"graph:closure-table-40cls"
         (Staged.stage (fun () ->
              let edges =
@@ -486,11 +525,16 @@ let micro () =
     match instance40 with
     | None -> []
     | Some instance ->
+        let run_gbr_direct = gbr_direct_setup instance in
         [
           Test.make ~name:"fig8a:gbr-one-instance"
             (Staged.stage (fun () -> Experiment.run Experiment.Gbr instance));
           Test.make ~name:"fig8a:jreduce-one-instance"
             (Staged.stage (fun () -> Experiment.run Experiment.Jreduce instance));
+          Test.make ~name:"core:gbr-incremental-one-instance"
+            (Staged.stage (fun () -> run_gbr_direct ~incremental:true));
+          Test.make ~name:"core:gbr-rebuild-one-instance"
+            (Staged.stage (fun () -> run_gbr_direct ~incremental:false));
         ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
@@ -544,7 +588,7 @@ let git_commit () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json path options strategies micro_rows =
+let write_json path options strategies micro_rows counter_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -575,6 +619,17 @@ let write_json path options strategies micro_rows =
         (if i > 0 then "," else "")
         (json_escape name) (json_num ns))
     micro_rows;
+  p "\n  ],\n";
+  (* Cumulative phase counters for the whole invocation (tables + micro). *)
+  p "  \"counters\": [";
+  List.iteri
+    (fun i (r : Counters.row) ->
+      p
+        "%s\n    { \"name\": \"%s\", \"calls\": %d, \"seconds\": %s, \
+         \"minor_words\": %s }"
+        (if i > 0 then "," else "")
+        (json_escape r.name) r.calls (json_num r.seconds) (json_num r.minor_words))
+    counter_rows;
   p "\n  ]\n}\n";
   close_out oc;
   Printf.printf "[json] wrote %s\n" path
@@ -602,7 +657,10 @@ let () =
     table_e6 instances
   end;
   let micro_rows = if options.run_micro then micro () else [] in
+  let counter_rows = Counters.aggregate () in
+  header "Phase counters (cumulative, all domains)";
+  print_string (Counters.report counter_rows);
   (match options.json_path with
-  | Some path -> write_json path options !strategy_rows micro_rows
+  | Some path -> write_json path options !strategy_rows micro_rows counter_rows
   | None -> ());
   print_newline ()

@@ -1,4 +1,5 @@
 open Lbr_logic
+open Lbr_sat
 
 type stats = {
   iterations : int;
@@ -18,16 +19,17 @@ let progression_violation ~cnf ~learned ~universe entries prefixes =
     Some "prefix union does not cover the search space"
   else begin
     let entries = Array.of_list entries in
-    let disjoint = ref None in
-    Array.iteri
-      (fun i di ->
-        Array.iteri
-          (fun j dj ->
-            if i < j && not (Assignment.disjoint di dj) then
-              disjoint := Some (Printf.sprintf "entries %d and %d overlap" i j))
-          entries)
-      entries;
-    match !disjoint with
+    let ne = Array.length entries in
+    (* Early-exit on the first overlapping pair instead of scanning the
+       rest of the O(n²) pair space. *)
+    let rec overlap i j =
+      if i >= ne then None
+      else if j >= ne then overlap (i + 1) (i + 2)
+      else if not (Assignment.disjoint entries.(i) entries.(j)) then
+        Some (Printf.sprintf "entries %d and %d overlap" i j)
+      else overlap i (j + 1)
+    in
+    match overlap 0 1 with
     | Some _ as v -> v
     | None ->
         let restricted = Cnf.restrict cnf ~keep:universe in
@@ -61,16 +63,86 @@ let binary_search predicate prefixes ~lo ~hi =
   in
   go lo hi
 
-let reduce ?(check_invariants = false) (problem : Problem.t) ~order =
+let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.t)
+    ~order =
   let predicate = problem.predicate in
   let runs0 = Predicate.runs predicate and queries0 = Predicate.queries predicate in
   let max_iterations = Assignment.cardinal problem.universe + 1 in
-  let rec loop learned j iterations prog_lengths =
+  (* The persistent engine threaded through every iteration.  [None] means
+     the per-iteration rebuild path (r_plus + Engine.create) — by request
+     ([~incremental:false], the reference oracle), or permanently after any
+     conflict: the rebuild's fast path meets the same conflict and hands
+     over to the slow path for formulas outside the implication fragment,
+     so the fallback is byte-identical to never having had an engine. *)
+  let engine =
+    ref
+      (if incremental then
+         match
+           Msa.Engine.create problem.constraints ~order ~universe:problem.universe
+         with
+         | Ok e -> Some e
+         | Error `Conflict -> None
+       else None)
+  in
+  (* The current search space in [order]-ascending order, maintained by
+     filtering the previous iteration's array — the shrunk universe is a
+     subsequence of it, so re-sorting per iteration is redundant. *)
+  let sorted_cache = ref None in
+  let sorted_universe j =
+    let sorted =
+      match !sorted_cache with
+      | Some prev ->
+          let out = Array.make (Assignment.cardinal j) 0 in
+          let k = ref 0 in
+          Array.iter
+            (fun v ->
+              if Assignment.mem v j then begin
+                out.(!k) <- v;
+                incr k
+              end)
+            prev;
+          out
+      | None -> Assignment.to_list j |> Order.sort order |> Array.of_list
+    in
+    sorted_cache := Some sorted;
+    sorted
+  in
+  let build_entries ~fresh learned j =
+    let fallback () =
+      Progression.build ~cnf:problem.constraints ~order ~learned ~universe:j
+    in
+    match !engine with
+    | None -> fallback ()
+    | Some e -> (
+        let prepared =
+          match fresh with
+          | None -> Ok ()  (* first iteration: the engine is freshly created *)
+          | Some l -> (
+              (* Append the just-learned set, then shrink the search space —
+                 the whole inter-iteration update, replacing the full-CNF
+                 copy and re-index. *)
+              match Msa.Engine.add_clause e ~pos:(Assignment.to_list l) with
+              | Error `Conflict -> Error `Conflict
+              | Ok () -> Msa.Engine.narrow e ~keep:j)
+        in
+        match prepared with
+        | Error `Conflict ->
+            engine := None;
+            fallback ()
+        | Ok () -> (
+            match
+              Progression.build_incremental ~sorted:(sorted_universe j) ~engine:e
+                ~order ~universe:j ()
+            with
+            | Ok entries -> Ok entries
+            | Error `Conflict ->
+                engine := None;
+                fallback ()))
+  in
+  let rec loop ~fresh learned j iterations prog_lengths =
     if iterations > max_iterations then Error `Predicate_inconsistent
     else
-      match
-        Progression.build ~cnf:problem.constraints ~order ~learned ~universe:j
-      with
+      match build_entries ~fresh learned j with
       | Error `Unsat -> Error `Unsat
       | Ok entries -> (
           let prefixes = Progression.prefix_unions entries in
@@ -105,7 +177,8 @@ let reduce ?(check_invariants = false) (problem : Problem.t) ~order =
             let r = binary_search predicate prefixes ~lo:0 ~hi:(n - 1) in
             let entries = Array.of_list entries in
             let learned = entries.(r) :: learned in
-            loop learned prefixes.(r) (iterations + 1) prog_lengths
+            loop ~fresh:(Some entries.(r)) learned prefixes.(r) (iterations + 1)
+              prog_lengths
           end)
   in
-  loop [] problem.universe 1 []
+  loop ~fresh:None [] problem.universe 1 []

@@ -35,6 +35,7 @@ type error =
 
 val reduce :
   ?check_invariants:bool ->
+  ?incremental:bool ->
   Problem.t ->
   order:Order.t ->
   (Assignment.t * stats, error) result
@@ -42,6 +43,17 @@ val reduce :
     ([𝒫(I)], [R_I(I)], monotonicity) — use {!Problem.validate} first when in
     doubt.  The returned assignment satisfies both the constraints and the
     predicate.
+
+    [~incremental:true] (the default) threads one persistent
+    {!Msa.Engine} through every iteration — learned sets are appended with
+    {!Msa.Engine.add_clause} and the search space shrunk with
+    {!Msa.Engine.narrow}, eliminating the per-iteration [r_plus] formula
+    copy and engine re-index.  [~incremental:false] rebuilds from scratch
+    every iteration (the reference oracle); both paths produce byte-identical
+    results and statistics — on any engine conflict (formulas outside the
+    implication fragment) the incremental path permanently falls back to the
+    rebuild path, which meets the same conflict and dispatches to the slow
+    progression.
 
     [~check_invariants:true] (default [false]) validates Lemma 4.3's
     invariants on every progression: the entries are non-empty, pairwise

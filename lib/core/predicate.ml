@@ -39,7 +39,7 @@ let locked t f =
    concurrent caller on the slowest predicate execution. *)
 let execute t input =
   locked t (fun () -> t.runs <- t.runs + 1);
-  let outcome = t.black_box input in
+  let outcome = Perf.time "core.predicate" (fun () -> t.black_box input) in
   let observers = locked t (fun () -> t.observers) in
   List.iter (fun observe -> observe input outcome) observers;
   outcome

@@ -5,33 +5,42 @@ let r_plus cnf learned =
   Cnf.add_clauses cnf
     (List.map (fun l -> Clause.of_disjunction ~pos:(Assignment.to_list l)) learned)
 
-(* Fast path: one incremental MSA engine per progression; each variable of
-   the universe is propagated at most once in total.  The next excluded
-   variable is found by a pointer scan over the [<]-sorted universe — the
-   covered set only grows, so the pointer never moves back and the whole
-   scan is O(|universe|) across all entries, where recomputing
-   [universe \ covered] and its minimum per entry was quadratic. *)
+(* Entry construction over a prepared engine (fresh from [create], or a
+   persistent engine after [add_clause] + [narrow]); each variable of the
+   universe is propagated at most once in total.  The next excluded variable
+   is found by a pointer scan over the [<]-sorted universe — the covered set
+   only grows, so the pointer never moves back and the whole scan is
+   O(|universe|) across all entries, where recomputing [universe \ covered]
+   and its minimum per entry was quadratic.  Entries come from the
+   propagation trail ([delta_since]) instead of diffing two closure copies,
+   cutting the per-entry allocation from two universe-sized sets and a diff
+   to one delta-sized set. *)
+let entries_on_engine ?sorted engine ~order ~universe =
+  Perf.time "sat.engine-propagate" @@ fun () ->
+  let sorted =
+    match sorted with
+    | Some s -> s
+    | None -> Assignment.to_list universe |> Order.sort order |> Array.of_list
+  in
+  let n = Array.length sorted in
+  let rec entries acc i =
+    if i >= n then Ok (List.rev acc)
+    else if Msa.Engine.is_true engine sorted.(i) then entries acc (i + 1)
+    else
+      let m = Msa.Engine.mark engine in
+      match Msa.Engine.assume engine sorted.(i) with
+      | Error `Conflict -> Error `Conflict
+      | Ok () -> entries (Msa.Engine.delta_since engine m :: acc) (i + 1)
+  in
+  (* D₀ may be empty when nothing is required; the progression is still
+     well-defined (its first prefix is the empty, valid sub-input). *)
+  entries [ Msa.Engine.true_set engine ] 0
+
+(* Fast path: a fresh engine per progression. *)
 let build_fast ~cnf ~order ~universe =
   match Msa.Engine.create cnf ~order ~universe with
   | Error `Conflict -> Error `Conflict
-  | Ok engine ->
-      let sorted = Assignment.to_list universe |> Order.sort order |> Array.of_list in
-      let n = Array.length sorted in
-      let rec entries acc i =
-        if i >= n then Ok (List.rev acc)
-        else if Msa.Engine.is_true engine sorted.(i) then entries acc (i + 1)
-        else
-          let covered = Msa.Engine.true_set engine in
-          match Msa.Engine.assume engine sorted.(i) with
-          | Error `Conflict -> Error `Conflict
-          | Ok () ->
-              let entry = Assignment.diff (Msa.Engine.true_set engine) covered in
-              entries (entry :: acc) (i + 1)
-      in
-      let d0 = Msa.Engine.true_set engine in
-      (* D₀ may be empty when nothing is required; the progression is still
-         well-defined (its first prefix is the empty, valid sub-input). *)
-      entries [ d0 ] 0
+  | Ok engine -> entries_on_engine engine ~order ~universe
 
 (* Slow path for formulas outside the implication fragment.  One engine is
    created and snapshotted at its post-[create] quiescent point; each entry
@@ -92,10 +101,23 @@ let build ~cnf ~order ~learned ~universe =
   | Ok entries -> Ok entries
   | Error `Conflict -> build_slow ~cnf ~order ~universe
 
+let build_incremental ?sorted ~engine ~order ~universe () =
+  entries_on_engine ?sorted engine ~order ~universe
+
 let prefix_unions entries =
   let arr = Array.of_list entries in
-  let unions = Array.make (Array.length arr) Assignment.empty in
+  let n = Array.length arr in
+  let width =
+    Array.fold_left (fun w d -> max w (Assignment.word_width d)) 0 arr
+  in
+  (* One scratch buffer accumulates the running union; each prefix is a
+     single snapshot of it, instead of a fresh union re-reading the previous
+     prefix per step. *)
+  let scratch = Array.make width 0 in
+  let unions = Array.make n Assignment.empty in
   Array.iteri
-    (fun i d -> unions.(i) <- (if i = 0 then d else Assignment.union unions.(i - 1) d))
+    (fun i d ->
+      Assignment.or_into d scratch;
+      unions.(i) <- Assignment.of_words scratch)
     arr;
   unions

@@ -25,6 +25,26 @@ val build :
     GBR's invariants if the caller maintained them, so GBR surfaces it as an
     error rather than an impossible state. *)
 
+val build_incremental :
+  ?sorted:Var.t array ->
+  engine:Msa.Engine.t ->
+  order:Order.t ->
+  universe:Assignment.t ->
+  unit ->
+  (Assignment.t list, [ `Conflict ]) result
+(** The progression over a persistent engine the caller has already brought
+    up to date (fresh from {!Msa.Engine.create}, or after
+    {!Msa.Engine.add_clause} of the newly learned set and
+    {!Msa.Engine.narrow} to [universe]) — no [r_plus] copy, no re-indexing.
+    [sorted], when given, must be exactly [universe] in [order]-ascending
+    order; the caller can maintain it across iterations by filtering the
+    previous iteration's array (the shrunk universe is a subsequence), which
+    replaces the per-iteration sort.
+    Produces entries byte-identical to {!build} on the rebuilt formula;
+    [`Conflict] exactly when {!build}'s fast path would conflict (the caller
+    falls back to {!build}, whose slow path handles formulas outside the
+    implication fragment).  The engine is left unusable on [`Conflict]. *)
+
 val prefix_unions : Assignment.t list -> Assignment.t array
 (** [prefix_unions d] is the array [D^∪] with
     [D^∪_r = D₀ ∪ … ∪ D_r]. *)

@@ -1,0 +1,27 @@
+(** Reporting layer over {!Lbr_logic.Perf}: the reduction core's phase
+    timing counters (engine create/propagate/narrow/add-clause, predicate
+    execution), formatted for the bench output, [bench --json], and the
+    serve journal. *)
+
+type row = Lbr_logic.Perf.row = {
+  name : string;
+  calls : int;
+  seconds : float;
+  minor_words : float;
+}
+
+val aggregate : unit -> row list
+(** Process-wide totals across all domains (see {!Lbr_logic.Perf.aggregate}). *)
+
+val snapshot_local : unit -> row list
+(** The calling domain's counters; pair two with {!since} for an exact
+    per-task delta (a scheduler job runs entirely on one domain). *)
+
+val since : before:row list -> after:row list -> row list
+val reset : unit -> unit
+
+val report : row list -> string
+(** Human-readable table (phase, calls, seconds, minor words). *)
+
+val serialize : row list -> string
+(** One [name calls seconds minor_words] line per phase, for journals. *)

@@ -11,18 +11,22 @@ open Classfile
 let max_clause_product = 64
 
 let bounded_disj disjuncts =
-  let weight f = max 1 (Formula.size f) in
-  let sorted = List.sort (fun a b -> Int.compare (weight a) (weight b)) disjuncts in
+  (* Weights are computed once up front — [Formula.size] is a full tree
+     walk, so recomputing it inside the sort comparator is O(n log n)
+     traversals for no benefit.  The sort is stable, so the decorated sort
+     keeps exactly the order the undecorated one produced. *)
+  let weighted = List.map (fun f -> (max 1 (Formula.size f), f)) disjuncts in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) weighted in
   let rec keep acc product = function
     | [] -> List.rev acc
-    | f :: rest ->
-        let product = product * weight f in
+    | (w, f) :: rest ->
+        let product = product * w in
         if acc <> [] && product > max_clause_product then List.rev acc
         else keep (f :: acc) product rest
   in
   match sorted with
   | [] -> Formula.False
-  | first :: rest -> Formula.disj (keep [ first ] (weight first) rest)
+  | (w0, first) :: rest -> Formula.disj (keep [ first ] w0 rest)
 
 let edge_formula jv = function
   | Hierarchy.Eext c -> Jvars.formula jv (Item.Extends c)

@@ -15,16 +15,26 @@ type prep_class = {
   base_bytes : int;  (* class header + name, per {!Size.class_bytes} *)
   iface_vars : (string * int) list;
   field_vars : (field * int) list;
-  meth_vars : (meth * int * int * int * int) list;
-      (* method item, code item, bytes if body kept, bytes if stubbed *)
-  ctor_vars : (ctor * int * int * int * int) array;
-      (* ctor item, ctor-code item, bytes if body kept, bytes if stubbed *)
+  meth_vars : (meth * int * int * int * int * bool) list;
+      (* method item, code item, bytes if body kept, bytes if stubbed,
+         body instantiates a pool class (may need ctor-index remapping) *)
+  ctor_vars : (ctor * int * int * int * int * bool) array;
+      (* ctor item, ctor-code item, bytes if body kept, bytes if stubbed,
+         body instantiates a pool class *)
   annot_vars : (string * int) list;
   inner_vars : (string * int) list;
 }
 
 let prepare jv pool =
   let var_of item = match Jvars.var_opt jv item with Some v -> v | None -> -1 in
+  (* Only [New_instance] sites on pool classes are ever renumbered; bodies
+     without one can be shared untouched between the original and every
+     sub-pool, which skips the per-application body rebuild entirely. *)
+  let references_pool_ctor body =
+    List.exists
+      (function New_instance { cls; _ } -> Classpool.mem pool cls | _ -> false)
+      body
+  in
   let prep =
     Classpool.fold
       (fun (c : cls) acc ->
@@ -55,8 +65,9 @@ let prepare jv pool =
                   Size.meth_bytes m,
                   (* remapping preserves per-instruction sizes, so the kept
                      and stubbed byte counts can both be fixed in advance *)
-                  if m.m_abstract then Size.meth_bytes m
-                  else Size.meth_bytes { m with m_body = [ Return_insn ] } ))
+                  (if m.m_abstract then Size.meth_bytes m
+                   else Size.meth_bytes { m with m_body = [ Return_insn ] }),
+                  references_pool_ctor m.m_body ))
               c.methods;
           ctor_vars =
             Array.of_list
@@ -66,7 +77,8 @@ let prepare jv pool =
                      var_of (Item.Ctor { cls = name; index }),
                      var_of (Item.Ctor_code { cls = name; index }),
                      Size.ctor_bytes k,
-                     Size.ctor_bytes { k with k_body = [ Return_insn ] } ))
+                     Size.ctor_bytes { k with k_body = [ Return_insn ] },
+                     references_pool_ctor k.k_body ))
                  c.ctors);
           annot_vars = List.mapi (fun index a -> (a, var_of (Item.Annotation { cls = name; index }))) c.annotations;
           inner_vars =
@@ -80,14 +92,18 @@ let prepare jv pool =
     (* Constructor indices in New_instance must follow the renumbering that
        dropping constructors induces. *)
     let ctor_index_map : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+    (* When no class drops a constructor ahead of a kept one, every mapping
+       is the identity and body remapping is a global no-op. *)
+    let all_identity = ref true in
     List.iter
       (fun p ->
         let mapping = Array.make (Array.length p.ctor_vars) (-1) in
         let next = ref 0 in
         Array.iteri
-          (fun i (_, kv, _, _, _) ->
+          (fun i (_, kv, _, _, _, _) ->
             if keep kv then begin
               mapping.(i) <- !next;
+              if !next <> i then all_identity := false;
               incr next
             end)
           p.ctor_vars;
@@ -104,7 +120,9 @@ let prepare jv pool =
       | Check_cast _ | Instance_of _ | Upcast _ | Load_const_class _ | Arith | Load_store
       | Return_insn -> insn
     in
-    let remap_body body = List.map remap_insn body in
+    let remap_body ~may_remap body =
+      if (not may_remap) || !all_identity then body else List.map remap_insn body
+    in
     (* The byte size of the sub-pool is accumulated arithmetically during
        filtering — member weights were fixed at preparation time — so the
        driver's cost function never has to re-walk the bodies. *)
@@ -128,12 +146,13 @@ let prepare jv pool =
         in
         let methods =
           List.filter_map
-            (fun ((m : meth), mv, cv, full, stub) ->
+            (fun ((m : meth), mv, cv, full, stub, may_remap) ->
               if not (keep mv) then None
               else if m.m_abstract then begin bytes := !bytes + full; Some m end
               else if keep cv then begin
                 bytes := !bytes + full;
-                Some { m with m_body = remap_body m.m_body }
+                let body = remap_body ~may_remap m.m_body in
+                Some (if body == m.m_body then m else { m with m_body = body })
               end
               else begin bytes := !bytes + stub; Some { m with m_body = [ Return_insn ] } end)
             p.meth_vars
@@ -144,11 +163,12 @@ let prepare jv pool =
            kept ones are renumbered. *)
         let ctors =
           Array.to_list p.ctor_vars
-          |> List.filter_map (fun ((k : ctor), kv, cv, full, stub) ->
+          |> List.filter_map (fun ((k : ctor), kv, cv, full, stub, may_remap) ->
                  if not (keep kv) then None
                  else if keep cv then begin
                    bytes := !bytes + full;
-                   Some { k with k_body = remap_body k.k_body }
+                   let body = remap_body ~may_remap k.k_body in
+                   Some (if body == k.k_body then k else { k with k_body = body })
                  end
                  else begin bytes := !bytes + stub; Some { k with k_body = [ Return_insn ] } end)
         in

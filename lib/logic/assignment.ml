@@ -84,6 +84,15 @@ let of_list vs =
 
 let of_words w = trim (Array.copy w)
 
+let word_width s = Array.length s
+
+let or_into s buf =
+  if Array.length buf < Array.length s then
+    invalid_arg "Assignment.or_into: buffer too short";
+  for i = 0 to Array.length s - 1 do
+    buf.(i) <- buf.(i) lor s.(i)
+  done
+
 let union a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 then b

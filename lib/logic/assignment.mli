@@ -21,6 +21,17 @@ val of_words : int array -> t
     library's bitsets) to hand over a set without an element-by-element
     rebuild. *)
 
+val word_width : t -> int
+(** Number of words in the canonical representation — the minimum buffer
+    length {!or_into} accepts. *)
+
+val or_into : t -> int array -> unit
+(** [or_into s buf] ors [s]'s words into [buf] in place: the scratch-buffer
+    companion to {!of_words}, letting running unions (prefix unions of a
+    progression) accumulate into one reused buffer instead of allocating an
+    intermediate set per step.  Raises [Invalid_argument] when [buf] is
+    shorter than [word_width s]. *)
+
 val add : Var.t -> t -> t
 val remove : Var.t -> t -> t
 val mem : Var.t -> t -> bool

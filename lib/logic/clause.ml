@@ -1,6 +1,6 @@
 type t = { neg : Var.t array; pos : Var.t array }
 
-let sorted_unique vars =
+let sorted_unique_general vars =
   let arr = Array.of_list vars in
   Array.sort compare arr;
   let n = Array.length arr in
@@ -25,20 +25,31 @@ let sorted_unique vars =
     end
   end
 
-let sorted_mem arr x =
-  let rec go lo hi =
-    if lo >= hi then false
+(* Clauses are overwhelmingly tiny; building them is on the constraint
+   generation hot path, so the 0/1/2-literal cases skip the generic
+   of_list + sort + dedup round trip. *)
+let sorted_unique vars =
+  match vars with
+  | [] -> [||]
+  | [ v ] -> [| v |]
+  | [ a; b ] -> if a = b then [| a |] else if a < b then [| a; b |] else [| b; a |]
+  | _ -> sorted_unique_general vars
+
+(* Both arrays sorted: a single merge scan replaces a binary search per
+   element. *)
+let disjoint_sorted a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec go i j =
+    if i >= na || j >= nb then true
     else
-      let mid = (lo + hi) / 2 in
-      if arr.(mid) = x then true
-      else if arr.(mid) < x then go (mid + 1) hi
-      else go lo mid
+      let x = a.(i) and y = b.(j) in
+      if x = y then false else if x < y then go (i + 1) j else go i (j + 1)
   in
-  go 0 (Array.length arr)
+  go 0 0
 
 let make ~neg ~pos =
   let neg = sorted_unique neg and pos = sorted_unique pos in
-  if Array.exists (sorted_mem pos) neg then None else Some { neg; pos }
+  if disjoint_sorted neg pos then Some { neg; pos } else None
 
 let make_exn ~neg ~pos =
   match make ~neg ~pos with

@@ -71,7 +71,11 @@ type proto = { pneg : Var.t list; ppos : Var.t list }
 let proto_lit polarity v =
   if polarity then { pneg = []; ppos = [ v ] } else { pneg = [ v ]; ppos = [] }
 
-let proto_union a b = { pneg = a.pneg @ b.pneg; ppos = a.ppos @ b.ppos }
+(* Literal order inside a proto-clause is irrelevant — [Clause.make] sorts —
+   so the unions use [rev_append], which never re-copies the longer side's
+   spine more than once. *)
+let proto_union a b =
+  { pneg = List.rev_append a.pneg b.pneg; ppos = List.rev_append a.ppos b.ppos }
 
 (* CNF of an NNF formula as a list of proto-clauses.  [None] stands for the
    unsatisfiable formula; the empty list for the valid one.  Tautological

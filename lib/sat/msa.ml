@@ -3,17 +3,39 @@ open Lbr_logic
 module Engine = struct
   let bits = Sys.int_size
 
+  (* Operations recorded since the last structural reset ([create] or
+     [narrow]), for replay by structural rollbacks: a non-negative entry is
+     an assumed variable, a negative entry [-(ci+1)] is the integration of
+     learned clause [ci]. *)
+  let op_add ci = -ci - 1
+  let op_ci op = -op - 1
+
+  (* A narrow is undone by restoring the variables it removed and — because
+     it reset the operation log — the log it discarded.  [nclauses_at]
+     remembers which learned clauses were part of its canonical base
+     propagation (later ones replay at their recorded log position). *)
+  type narrow_record = {
+    removed : Var.t list;
+    nclauses_at : int;
+    saved_ops : int array;
+  }
+
   type t = {
     order : Order.t;
     truth : int array;  (* bitset over variable ids, same layout as Assignment *)
     in_universe : bool array;
     nvars : int;
-    (* Clause state, indexed by clause id. *)
-    heads : Var.t array array;  (* positive literals inside the universe *)
-    premises_left : int array;
-    satisfied : bool array;
-    occurs_premise : int array array;  (* var id -> clauses where it is a premise *)
-    occurs_head : int array array;
+    original_nclauses : int;
+    (* Clause state, indexed by clause id.  Learned clauses are appended
+       past [original_nclauses], so these arrays are growable: [nclauses]
+       live entries, capacity = array length. *)
+    mutable nclauses : int;
+    mutable heads : Var.t array array;  (* positive literals inside the universe *)
+    mutable premises_left : int array;
+    mutable satisfied : bool array;
+    occurs_premise : int array array;  (* var id -> original clauses where it is a premise *)
+    occurs_head : int array array;  (* var id -> original clauses where it is a head *)
+    extra_occurs_head : int list array;  (* var id -> learned clauses, newest first *)
     (* Propagation trail: variables in the order they were made true.  The
        pending queue is the suffix [trail.(drained) .. trail.(trail_len - 1)]
        — a variable enters the trail exactly when it turns true, and [drain]
@@ -23,9 +45,22 @@ module Engine = struct
     mutable trail_len : int;
     mutable drained : int;
     mutable conflicted : bool;
+    (* Structural history. *)
+    mutable narrows : narrow_record list;  (* newest first *)
+    mutable narrow_count : int;
+    mutable ops : int array;  (* growable operation log since the last narrow *)
+    mutable op_len : int;
   }
 
-  type snapshot = int
+  (* Snapshots capture the four monotone cursors; a rollback that only moves
+     [s_trail] is the cheap trail unwind, one that moves the structural
+     cursors rebuilds by replay. *)
+  type snapshot = {
+    s_trail : int;
+    s_clauses : int;
+    s_narrows : int;
+    s_ops : int;
+  }
 
   let max_var cnf universe =
     let m = ref (-1) in
@@ -38,6 +73,26 @@ module Engine = struct
 
   let true_set t = Assignment.of_words t.truth
 
+  let mark t = t.trail_len
+
+  let delta_since t m =
+    (* The variables turned true since [m] are exactly the trail suffix;
+       building the set from it allocates entry-sized words instead of two
+       universe-sized closure copies and a diff. *)
+    if m >= t.trail_len then Assignment.empty
+    else begin
+      let hi = ref 0 in
+      for i = m to t.trail_len - 1 do
+        if t.trail.(i) > !hi then hi := t.trail.(i)
+      done;
+      let words = Array.make ((!hi / bits) + 1) 0 in
+      for i = m to t.trail_len - 1 do
+        let v = t.trail.(i) in
+        words.(v / bits) <- words.(v / bits) lor (1 lsl (v mod bits))
+      done;
+      Assignment.of_words words
+    end
+
   (* Turn [v] true and append it to the trail for propagation. *)
   let set_true t v =
     if t.truth.(v / bits) land (1 lsl (v mod bits)) = 0 then begin
@@ -48,7 +103,9 @@ module Engine = struct
 
   (* A clause whose premises are all true and whose satisfied flag is unset:
      all heads are false (head truths mark the flag eagerly), so choose the
-     [<]-smallest head, or conflict when there is none. *)
+     [<]-smallest head, or conflict when there is none.  Heads are filtered
+     to the universe at indexing time but the universe can shrink afterwards
+     ([narrow]), hence the [keep] check. *)
   let trigger t ci =
     if not t.satisfied.(ci) then begin
       (* A head may already be true but still sitting in the pending suffix
@@ -56,7 +113,7 @@ module Engine = struct
          choosing. *)
       if Array.exists (fun h -> is_true t h) t.heads.(ci) then t.satisfied.(ci) <- true
       else
-        match Order.min_of_array t.order t.heads.(ci) ~keep:(fun _ -> true) with
+        match Order.min_of_array t.order t.heads.(ci) ~keep:(fun h -> t.in_universe.(h)) with
         | None -> t.conflicted <- true
         | Some h ->
             t.satisfied.(ci) <- true;
@@ -68,6 +125,7 @@ module Engine = struct
       let v = t.trail.(t.drained) in
       t.drained <- t.drained + 1;
       Array.iter (fun ci -> t.satisfied.(ci) <- true) t.occurs_head.(v);
+      List.iter (fun ci -> t.satisfied.(ci) <- true) t.extra_occurs_head.(v);
       Array.iter
         (fun ci ->
           t.premises_left.(ci) <- t.premises_left.(ci) - 1;
@@ -75,7 +133,17 @@ module Engine = struct
         t.occurs_premise.(v)
     done
 
+  let push_op t op =
+    if t.op_len >= Array.length t.ops then begin
+      let a = Array.make (max 16 (2 * Array.length t.ops)) 0 in
+      Array.blit t.ops 0 a 0 t.op_len;
+      t.ops <- a
+    end;
+    t.ops.(t.op_len) <- op;
+    t.op_len <- t.op_len + 1
+
   let create cnf ~order ~universe =
+    Perf.time "sat.engine-create" @@ fun () ->
     let n = max_var cnf universe + 1 in
     let in_universe = Array.make n false in
     Assignment.iter (fun v -> in_universe.(v) <- true) universe;
@@ -125,15 +193,22 @@ module Engine = struct
         truth = Array.make ((n + bits - 1) / bits) 0;
         in_universe;
         nvars = n;
+        original_nclauses = nclauses;
+        nclauses;
         heads;
         premises_left = Array.map (fun (c : Clause.t) -> Array.length c.neg) relevant;
         satisfied = Array.make nclauses false;
         occurs_premise;
         occurs_head;
+        extra_occurs_head = Array.make n [];
         trail = Array.make n 0;
         trail_len = 0;
         drained = 0;
         conflicted = Cnf.is_unsat cnf;
+        narrows = [];
+        narrow_count = 0;
+        ops = [||];
+        op_len = 0;
       }
     in
     (* Zero-premise clauses fire immediately. *)
@@ -147,7 +222,11 @@ module Engine = struct
     else begin
       set_true t v;
       drain t;
-      if t.conflicted then Error `Conflict else Ok ()
+      if t.conflicted then Error `Conflict
+      else begin
+        push_op t v;
+        Ok ()
+      end
     end
 
   let assume_all t vs =
@@ -155,15 +234,65 @@ module Engine = struct
       (fun acc v -> match acc with Error _ as e -> e | Ok () -> assume t v)
       (Ok ()) vs
 
-  (* Snapshots are only meaningful at quiescent points (pending suffix
-     empty): [create] and every successful [assume] drain fully, and
-     [rollback] re-establishes quiescence, so the trail position is the
-     entire state. *)
-  let snapshot t =
-    assert (t.drained = t.trail_len);
-    t.trail_len
+  let add_clause t ~pos =
+    Perf.time "sat.engine-add-clause" @@ fun () ->
+    if t.conflicted then Error `Conflict
+    else begin
+      if t.nclauses >= Array.length t.premises_left then begin
+        let cap = max 8 (2 * Array.length t.premises_left) in
+        let grow blank a =
+          let g = Array.make cap blank in
+          Array.blit a 0 g 0 (Array.length a);
+          g
+        in
+        t.heads <- grow [||] t.heads;
+        t.premises_left <- grow 0 t.premises_left;
+        t.satisfied <- grow false t.satisfied
+      end;
+      (* Variables outside the universe (or past it) are fixed to false:
+         they cannot serve as heads, exactly as [create] restricts. *)
+      let heads =
+        List.filter (fun v -> v >= 0 && v < t.nvars && t.in_universe.(v)) pos
+        |> Array.of_list
+      in
+      let ci = t.nclauses in
+      t.nclauses <- ci + 1;
+      t.heads.(ci) <- heads;
+      t.premises_left.(ci) <- 0;
+      t.satisfied.(ci) <- false;
+      Array.iter (fun h -> t.extra_occurs_head.(h) <- ci :: t.extra_occurs_head.(h)) heads;
+      (* Integrate into the current fixpoint. *)
+      trigger t ci;
+      drain t;
+      if t.conflicted then Error `Conflict
+      else begin
+        push_op t (op_add ci);
+        Ok ()
+      end
+    end
 
-  let rollback t s =
+  (* Clause count at the current virgin base: learned clauses up to the most
+     recent narrow belong to its canonical base propagation; later ones
+     replay at their recorded log position. *)
+  let base_clauses t =
+    match t.narrows with [] -> t.original_nclauses | r :: _ -> r.nclauses_at
+
+  (* Propagate the virgin state in the canonical rebuild order.  [r_plus]
+     prepends learned clauses oldest-first, so a fresh [create] on the
+     rebuilt formula triggers learned zero-premise clauses (oldest to
+     newest) before the original ones — multi-head choices depend on that
+     order, and replicating it keeps narrow-then-build byte-identical to the
+     rebuild oracle. *)
+  let reinit t =
+    for ci = t.original_nclauses to base_clauses t - 1 do
+      if t.premises_left.(ci) = 0 then trigger t ci
+    done;
+    for ci = 0 to t.original_nclauses - 1 do
+      if t.premises_left.(ci) = 0 then trigger t ci
+    done;
+    drain t
+
+  let rollback_trail t s =
     (* Premise decrements were applied only for drained variables; undo
        those first. *)
     for i = s to t.drained - 1 do
@@ -182,13 +311,105 @@ module Engine = struct
        re-deriving the flag from current truths restores every flag —
        clauses satisfied before the snapshot keep an older true head. *)
     for i = s to t.trail_len - 1 do
-      Array.iter
-        (fun ci -> t.satisfied.(ci) <- Array.exists (fun h -> is_true t h) t.heads.(ci))
-        t.occurs_head.(t.trail.(i))
+      let v = t.trail.(i) in
+      let rederive ci =
+        t.satisfied.(ci) <- Array.exists (fun h -> is_true t h) t.heads.(ci)
+      in
+      Array.iter rederive t.occurs_head.(v);
+      List.iter rederive t.extra_occurs_head.(v)
     done;
     t.trail_len <- s;
     t.drained <- s;
     t.conflicted <- false
+
+  let narrow t ~keep =
+    Perf.time "sat.engine-narrow" @@ fun () ->
+    if t.conflicted then Error `Conflict
+    else begin
+      let removed = ref [] in
+      for v = t.nvars - 1 downto 0 do
+        if t.in_universe.(v) && not (Assignment.mem v keep) then removed := v :: !removed
+      done;
+      let saved_ops = Array.sub t.ops 0 t.op_len in
+      rollback_trail t 0;
+      List.iter (fun v -> t.in_universe.(v) <- false) !removed;
+      t.narrows <-
+        { removed = !removed; nclauses_at = t.nclauses; saved_ops } :: t.narrows;
+      t.narrow_count <- t.narrow_count + 1;
+      t.op_len <- 0;
+      reinit t;
+      if t.conflicted then Error `Conflict else Ok ()
+    end
+
+  (* Snapshots are only meaningful at quiescent points (pending suffix
+     empty): [create] and every successful operation drain fully, and
+     [rollback] re-establishes quiescence, so the four cursors are the
+     entire state. *)
+  let snapshot t =
+    assert (t.drained = t.trail_len);
+    {
+      s_trail = t.trail_len;
+      s_clauses = t.nclauses;
+      s_narrows = t.narrow_count;
+      s_ops = t.op_len;
+    }
+
+  let remove_learned t ~down_to =
+    (* Popping from the newest clause down keeps each variable's extra
+       occurrence list aligned: the clause being removed is always at the
+       head of its heads' lists. *)
+    for ci = t.nclauses - 1 downto down_to do
+      Array.iter
+        (fun h ->
+          match t.extra_occurs_head.(h) with
+          | c :: rest when c = ci -> t.extra_occurs_head.(h) <- rest
+          | _ -> ())
+        t.heads.(ci);
+      t.heads.(ci) <- [||]
+    done;
+    t.nclauses <- down_to
+
+  let replay t =
+    for i = 0 to t.op_len - 1 do
+      let op = t.ops.(i) in
+      if op >= 0 then set_true t op else trigger t (op_ci op);
+      drain t
+    done
+
+  let rollback t s =
+    if s.s_clauses = t.nclauses && s.s_narrows = t.narrow_count then begin
+      (* Structure unchanged: the cheap trail unwind. *)
+      rollback_trail t s.s_trail;
+      t.op_len <- s.s_ops
+    end
+    else begin
+      (* Structure changed: drop the clauses and narrows taken since, then
+         rebuild the snapshot state from the virgin base by replaying the
+         recorded operation prefix.  Each replayed op previously succeeded
+         in this exact structural context, so the replay is deterministic
+         and conflict-free. *)
+      rollback_trail t 0;
+      if s.s_clauses < t.nclauses then remove_learned t ~down_to:s.s_clauses;
+      if s.s_narrows < t.narrow_count then begin
+        let rec undo n narrows =
+          if n = s.s_narrows then narrows
+          else
+            match narrows with
+            | [] -> narrows
+            | r :: rest ->
+                List.iter (fun v -> t.in_universe.(v) <- true) r.removed;
+                (* The op log at the snapshot is a prefix of the log saved
+                   by the first narrow that followed it. *)
+                if n - 1 = s.s_narrows then t.ops <- Array.copy r.saved_ops;
+                undo (n - 1) rest
+        in
+        t.narrows <- undo t.narrow_count t.narrows;
+        t.narrow_count <- s.s_narrows
+      end;
+      t.op_len <- s.s_ops;
+      reinit t;
+      replay t
+    end
 end
 
 let compute cnf ~order ?universe ?(required = Assignment.empty) () =

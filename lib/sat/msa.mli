@@ -13,10 +13,15 @@
     {- on the graph/Horn fragment (single-variable heads) this computes the
        exact least model, which is what Theorem 4.5's minimality relies on.}}
 
-    The {!Engine} exposes the fixpoint incrementally: GBR's progression
-    subroutine calls [MSA_<(R⁺ ∧ x | D^∪ = 1)] for growing [D^∪], which maps
-    to one {!Engine.assume} per step, each variable being processed at most
-    once over a whole progression. *)
+    The {!Engine} exposes the fixpoint incrementally, in two dimensions:
+
+    {ul
+    {- {e within} a progression, one {!Engine.assume} per step, each
+       variable being processed at most once over the whole progression;}
+    {- {e across} GBR iterations, {!Engine.add_clause} appends a learned
+       disjunction in place and {!Engine.narrow} shrinks the universe to a
+       prefix union — so one engine survives the whole reduction instead of
+       re-indexing the growing formula every iteration.}} *)
 
 open Lbr_logic
 
@@ -33,9 +38,26 @@ module Engine : sig
   val assume : t -> Var.t -> (unit, [ `Conflict ]) result
   (** Set a variable to true and close under the fixpoint.  The engine is
       monotone: assumptions accumulate.  After a [`Conflict] the engine must
-      be discarded. *)
+      be rolled back or discarded. *)
 
   val assume_all : t -> Var.t list -> (unit, [ `Conflict ]) result
+
+  val add_clause : t -> pos:Var.t list -> (unit, [ `Conflict ]) result
+  (** Append the disjunction [⋁ pos] (a learned set) in place — the clause
+      state grows incrementally, with no re-indexing of the formula — and
+      integrate it into the current fixpoint: if no listed variable is
+      already true, the [<]-smallest one inside the universe turns true and
+      propagates.  [`Conflict] when the clause has no head inside the
+      universe (the engine must then be rolled back or discarded). *)
+
+  val narrow : t -> keep:Assignment.t -> (unit, [ `Conflict ]) result
+  (** Shrink the universe to [universe ∩ keep], discard every assumption,
+      and recompute the base closure.  The recomputation triggers learned
+      clauses oldest-first before the original clauses — exactly the
+      propagation order of a fresh {!create} on [r_plus], so a
+      narrow-then-build is byte-identical to the per-iteration rebuild it
+      replaces.  [`Conflict] exactly when that fresh [create] would
+      conflict. *)
 
   val is_true : t -> Var.t -> bool
 
@@ -43,18 +65,33 @@ module Engine : sig
   (** The current closure (the MSA of the formula conditioned on everything
       assumed so far). *)
 
+  val mark : t -> int
+  (** The current propagation-trail position.  Only meaningful on a
+      quiescent engine (like {!snapshot}). *)
+
+  val delta_since : t -> int -> Assignment.t
+  (** [delta_since t m] is the set of variables turned true since the
+      {!mark} [m] — equal to [diff (true_set t) (true-set at m)] but built
+      from the trail suffix, allocating delta-sized instead of
+      universe-sized. *)
+
   type snapshot
 
   val snapshot : t -> snapshot
   (** Capture the current state.  Only valid on a quiescent engine (after
-      [create] or a successful [assume]); cheap — a trail position. *)
+      [create] or a successful operation); cheap — four cursor positions. *)
 
   val rollback : t -> snapshot -> unit
-  (** Undo every assumption and propagation made since the snapshot,
-      including clearing a conflict, in time proportional to the number of
-      variables turned true since.  This makes one engine reusable across
-      the entries of a whole progression: a failed [assume] rolls back
-      instead of forcing a rebuild. *)
+  (** Undo everything done since the snapshot, including clearing a
+      conflict.  When only assumptions were made, this is the cheap trail
+      unwind, proportional to the number of variables turned true since —
+      which makes one engine reusable across the entries of a whole
+      progression.  When the structure changed ({!add_clause} / {!narrow}),
+      the added clauses are dropped, the removed variables restored, and the
+      snapshot state rebuilt by replaying the recorded operation log from
+      the base closure — every replayed operation already succeeded in the
+      same structural context, so the replay is deterministic and restores
+      the state exactly. *)
 end
 
 val compute :

@@ -9,6 +9,9 @@
                                   evaluation: "<32-hex-digest> 0|1\n",
                                   appended and flushed before the result
                                   is used
+    <root>/<job-id>/counters    — phase timing counters of the run
+                                  (one "name calls seconds minor_words"
+                                  line per phase), written at completion
     <root>/<job-id>/done        — terminal marker (empty)
     <root>/<job-id>/cancelled   — terminal marker (empty)
     <root>/<job-id>/failed      — terminal marker (first line: reason)
@@ -36,6 +39,11 @@ val record_job : t -> id:string -> spec:string -> unit
 val append_pred : t -> id:string -> key:string -> bool -> unit
 (** Append one completed predicate evaluation and flush it to the OS —
     after this returns, a [kill -9] cannot lose the entry. *)
+
+val record_counters : t -> id:string -> contents:string -> unit
+(** Write the job's [counters] file (atomic tmp+rename): the per-job phase
+    timing delta ({!Lbr_harness.Counters.serialize} lines), written when the
+    job finishes running, before its terminal marker. *)
 
 val mark_done : t -> id:string -> unit
 val mark_cancelled : t -> id:string -> unit

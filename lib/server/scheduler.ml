@@ -113,6 +113,9 @@ let run_job t job =
           | None -> ());
     }
   in
+  (* A job runs as one pool task on one domain, so the domain-local counter
+     delta is exactly this job's phase timing. *)
+  let counters_before = Lbr_harness.Counters.snapshot_local () in
   let status =
     match t.runner ctx job.spec with
     | Ok (stats, pool_bytes) -> Done (stats, pool_bytes)
@@ -120,6 +123,15 @@ let run_job t job =
     | exception Lbr_harness.Experiment.Cancelled -> Cancelled
     | exception exn -> Failed (Printexc.to_string exn)
   in
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+      let rows =
+        Lbr_harness.Counters.since ~before:counters_before
+          ~after:(Lbr_harness.Counters.snapshot_local ())
+      in
+      Journal.record_counters j ~id:job.id
+        ~contents:(Lbr_harness.Counters.serialize rows));
   finalize t job status
 
 (* One dispatch token is pool-submitted per admission; each token claims

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Non-timing benchmark regression guard.
+#
+# Runs the evaluation harness on a small fixed corpus (--programs 5, default
+# seed) and compares the deterministic strategy counters — reduction ratios,
+# predicate-run geomeans, simulated time — against the committed baseline.
+# Wall-clock fields are stripped, so the check is stable across hosts; any
+# diff means reduction *behavior* changed.  If the change is intended,
+# regenerate the baseline and commit it:
+#
+#   scripts/bench_guard.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=scripts/bench_baseline_p5.txt
+json=$(mktemp)
+trap 'rm -f "$json"' EXIT
+
+dune exec bench/main.exe -- --programs 5 --skip-micro --json "$json" >/dev/null
+
+# One strategy object per line in the JSON dump; drop the host-dependent
+# timing fields, keep everything else byte-for-byte.
+extract() {
+  grep '"geo_sim_time_seconds"' "$1" |
+    sed -E 's/"wall_seconds": [^,]+, //; s/"speedup": [^,]+, //'
+}
+
+if [ "${1:-}" = "--update" ]; then
+  extract "$json" >"$baseline"
+  echo "bench_guard: baseline updated: $baseline"
+  exit 0
+fi
+
+if diff -u "$baseline" <(extract "$json"); then
+  echo "bench_guard: OK — strategy counters match $baseline"
+else
+  echo "bench_guard: FAIL — deterministic strategy counters drifted from $baseline" >&2
+  echo "bench_guard: if intended, regenerate with: scripts/bench_guard.sh --update" >&2
+  exit 1
+fi

@@ -209,6 +209,91 @@ let prop_gbr_invariants_hold =
           | Error (`Invariant_violation _) -> false
           | Error (`Unsat | `Predicate_inconsistent) -> false))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental engine vs per-iteration rebuild: the two code paths must be
+   observationally identical — same result, same predicate work, same
+   learned sets, same progression shapes.                               *)
+
+let run_gbr_mode cnf target n ~incremental =
+  let pool = Var.Pool.create () in
+  for i = 0 to n - 1 do
+    ignore (Var.Pool.fresh pool (Printf.sprintf "v%d" i))
+  done;
+  let predicate = Lbr.Predicate.make (fun s -> Assignment.subset target s) in
+  let problem =
+    Lbr.Problem.make ~pool ~universe:(universe_n n) ~constraints:cnf ~predicate
+  in
+  Lbr.Gbr.reduce problem ~order:(order_n n) ~incremental
+
+let stats_equal (a : Lbr.Gbr.stats) (b : Lbr.Gbr.stats) =
+  a.iterations = b.iterations
+  && a.predicate_runs = b.predicate_runs
+  && a.predicate_queries = b.predicate_queries
+  && List.equal Assignment.equal a.learned b.learned
+  && a.progression_lengths = b.progression_lengths
+
+let prop_gbr_incremental_equals_rebuild =
+  QCheck.Test.make ~count:300
+    ~name:"GBR incremental = rebuild (result, work, learned, progressions)"
+    (QCheck.make QCheck.Gen.(pair (implication_cnf_gen 7) (list_size (int_bound 3) (int_bound 6))))
+    (fun (cnf, target_seed) ->
+      let universe = universe_n 7 in
+      match
+        Msa.compute cnf ~order:(order_n 7) ~universe
+          ~required:(Assignment.of_list target_seed) ()
+      with
+      | None -> true
+      | Some target -> (
+          match
+            ( run_gbr_mode cnf target 7 ~incremental:true,
+              run_gbr_mode cnf target 7 ~incremental:false )
+          with
+          | Ok (m1, s1), Ok (m2, s2) -> Assignment.equal m1 m2 && stats_equal s1 s2
+          | Error e1, Error e2 -> e1 = e2
+          | Ok _, Error _ | Error _, Ok _ -> false))
+
+(* The same equivalence on real constraint models: every instance of a
+   seeded workload corpus, with the actual decompiler-simulator predicate —
+   the configuration the benchmarks measure. *)
+let test_gbr_incremental_on_workload () =
+  let benchmarks = Lbr_harness.Corpus.build ~seed:11 ~programs:2 ~mean_classes:25 in
+  let instances = Lbr_harness.Corpus.instances benchmarks in
+  Alcotest.(check bool) "workload produced instances" true (instances <> []);
+  List.iter
+    (fun (instance : Lbr_harness.Corpus.instance) ->
+      let pool = instance.benchmark.pool in
+      let run ~incremental =
+        let vpool = Var.Pool.create () in
+        let jv = Lbr_jvm.Jvars.derive vpool pool in
+        let cnf = Lbr_jvm.Constraints.generate jv pool in
+        let sub_pool_of = Lbr_jvm.Reducer.prepare jv pool in
+        let predicate =
+          Lbr.Predicate.make ~name:"gbr" (fun phi ->
+              let errors = Lbr_decompiler.Tool.errors instance.tool (sub_pool_of phi) in
+              List.for_all (fun b -> List.mem b errors) instance.baseline_errors)
+        in
+        let problem =
+          Lbr.Problem.make ~pool:vpool ~universe:(Lbr_jvm.Jvars.all jv)
+            ~constraints:cnf ~predicate
+        in
+        match Lbr.Gbr.reduce problem ~order:(Order.by_creation vpool) ~incremental with
+        | Ok (result, stats) -> (result, stats)
+        | Error _ -> Alcotest.failf "%s: GBR failed" instance.instance_id
+      in
+      let r1, s1 = run ~incremental:true in
+      let r2, s2 = run ~incremental:false in
+      let id = instance.instance_id in
+      Alcotest.(check bool) (id ^ ": same result") true (Assignment.equal r1 r2);
+      Alcotest.(check int) (id ^ ": same predicate runs") s2.predicate_runs s1.predicate_runs;
+      Alcotest.(check int)
+        (id ^ ": same predicate queries") s2.predicate_queries s1.predicate_queries;
+      Alcotest.(check bool)
+        (id ^ ": same learned sets") true
+        (List.equal Assignment.equal s1.learned s2.learned);
+      Alcotest.(check (list int))
+        (id ^ ": same progression lengths") s2.progression_lengths s1.progression_lengths)
+    instances
+
 let test_gbr_iteration_bound () =
   (* a chain of required singletons: every variable must be learned *)
   let n = 8 in
@@ -294,11 +379,14 @@ let () =
           prop_gbr_graph_any_order;
           prop_gbr_general_constraints;
           prop_gbr_invariants_hold;
+          prop_gbr_incremental_equals_rebuild;
         ];
       ( "gbr",
         [
           Alcotest.test_case "suboptimality example (§4.4)" `Quick test_gbr_suboptimal_example;
           Alcotest.test_case "iteration bound" `Quick test_gbr_iteration_bound;
+          Alcotest.test_case "incremental = rebuild on seeded workload" `Quick
+            test_gbr_incremental_on_workload;
         ] );
       qsuite "lossy-prop" [ prop_lossy_sound ];
       ( "lossy",

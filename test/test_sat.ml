@@ -229,6 +229,138 @@ let prop_engine_rollback_replay =
           && Option.equal Assignment.equal r2 (fresh second))
 
 (* ------------------------------------------------------------------ *)
+(* Structural operations (add_clause, narrow) composing with
+   snapshot/rollback: rolling back across a structural change must restore
+   the engine exactly — same closure now, same behavior on every subsequent
+   operation as a fresh engine brought to the snapshot point. *)
+
+let universe6 = Assignment.of_list (List.init 6 Fun.id)
+
+(* A fresh engine advanced to the same assumptions — the reference the
+   rolled-back engine must be indistinguishable from. *)
+let twin_at cnf assumed =
+  match Msa.Engine.create cnf ~order:order6 ~universe:universe6 with
+  | Error `Conflict -> None
+  | Ok e -> (
+      match Msa.Engine.assume_all e assumed with
+      | Ok () -> Some e
+      | Error `Conflict -> None)
+
+(* Same visible state now, and the same result + state after every probe
+   assumption (out-of-universe and conflicting assumes included). *)
+let behaves_like e f probes =
+  Assignment.equal (Msa.Engine.true_set e) (Msa.Engine.true_set f)
+  && List.for_all
+       (fun v ->
+         let re = Msa.Engine.assume e v and rf = Msa.Engine.assume f v in
+         re = rf && Assignment.equal (Msa.Engine.true_set e) (Msa.Engine.true_set f))
+       probes
+
+let probes6 = List.init 6 Fun.id
+
+let prop_add_clause_rollback =
+  QCheck.Test.make ~count:300 ~name:"add_clause + rollback restores the engine exactly"
+    (QCheck.make
+       QCheck.Gen.(
+         quad (implication_cnf_gen 6)
+           (list_size (int_bound 3) (int_bound 5))
+           (list_size (int_range 1 3) (int_bound 5))
+           (list_size (int_bound 3) (int_bound 5))))
+    (fun (cnf, pre, pos, post) ->
+      match Msa.Engine.create cnf ~order:order6 ~universe:universe6 with
+      | Error `Conflict -> true
+      | Ok e -> (
+          match Msa.Engine.assume_all e pre with
+          | Error `Conflict -> true
+          | Ok () -> (
+              let snap = Msa.Engine.snapshot e in
+              let before = Msa.Engine.true_set e in
+              match Msa.Engine.add_clause e ~pos:(List.sort_uniq compare pos) with
+              | Error `Conflict -> true
+              | Ok () ->
+                  (match Msa.Engine.assume_all e post with
+                  | Ok () | Error `Conflict -> ());
+                  Msa.Engine.rollback e snap;
+                  Assignment.equal (Msa.Engine.true_set e) before
+                  && (match twin_at cnf pre with
+                     | None -> false
+                     | Some f -> behaves_like e f probes6))))
+
+let prop_narrow_rollback =
+  QCheck.Test.make ~count:300 ~name:"narrow + rollback restores the engine exactly"
+    (QCheck.make
+       QCheck.Gen.(
+         quad (implication_cnf_gen 6)
+           (list_size (int_bound 3) (int_bound 5))
+           (list_size (int_bound 5) (int_bound 5))
+           (list_size (int_bound 3) (int_bound 5))))
+    (fun (cnf, pre, keep_list, post) ->
+      match Msa.Engine.create cnf ~order:order6 ~universe:universe6 with
+      | Error `Conflict -> true
+      | Ok e -> (
+          match Msa.Engine.assume_all e pre with
+          | Error `Conflict -> true
+          | Ok () ->
+              let snap = Msa.Engine.snapshot e in
+              let before = Msa.Engine.true_set e in
+              let keep = Assignment.of_list keep_list in
+              (* A conflicting narrow leaves the engine unusable until rolled
+                 back — the rollback must restore it either way. *)
+              (match Msa.Engine.narrow e ~keep with
+              | Ok () -> (
+                  match
+                    Msa.Engine.assume_all e
+                      (List.filter (fun v -> Assignment.mem v keep) post)
+                  with
+                  | Ok () | Error `Conflict -> ())
+              | Error `Conflict -> ());
+              Msa.Engine.rollback e snap;
+              Assignment.equal (Msa.Engine.true_set e) before
+              && (match twin_at cnf pre with
+                 | None -> false
+                 | Some f -> behaves_like e f probes6)))
+
+(* The inter-iteration update of the incremental GBR core: appending a
+   learned disjunction and narrowing must be indistinguishable from a fresh
+   engine on the rebuilt formula ([r_plus] prepends the learned clause) at
+   the shrunk universe — including conflict parity. *)
+let prop_add_narrow_equals_rebuild =
+  QCheck.Test.make ~count:300
+    ~name:"add_clause + narrow = fresh create on the rebuilt formula"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (implication_cnf_gen 6)
+           (list_size (int_range 1 3) (int_bound 5))
+           (list_size (int_bound 5) (int_bound 5))))
+    (fun (cnf, pos, keep_list) ->
+      let pos = List.sort_uniq compare pos in
+      let keep = Assignment.of_list keep_list in
+      match Msa.Engine.create cnf ~order:order6 ~universe:universe6 with
+      | Error `Conflict -> true
+      | Ok e -> (
+          let incremental =
+            match Msa.Engine.add_clause e ~pos with
+            | Error `Conflict -> None
+            | Ok () -> (
+                match Msa.Engine.narrow e ~keep with
+                | Error `Conflict -> None
+                | Ok () -> Some e)
+          in
+          let rebuilt =
+            match
+              Msa.Engine.create
+                (Cnf.add_clause cnf (Clause.of_disjunction ~pos))
+                ~order:order6 ~universe:keep
+            with
+            | Error `Conflict -> None
+            | Ok f -> Some f
+          in
+          match incremental, rebuilt with
+          | None, None -> true
+          | Some e, Some f -> behaves_like e f probes6
+          | None, Some _ | Some _, None -> false))
+
+(* ------------------------------------------------------------------ *)
 (* Pinned values on a realistic workload: any change to MSA head choice,
    clause indexing order, or the engine's undo discipline shows up here. *)
 
@@ -283,6 +415,9 @@ let () =
           prop_msa_respects_universe;
           prop_engine_monotone;
           prop_engine_rollback_replay;
+          prop_add_clause_rollback;
+          prop_narrow_rollback;
+          prop_add_narrow_equals_rebuild;
         ];
       ( "msa",
         [
