@@ -24,6 +24,8 @@ type options = {
   run_tables : bool;
   run_micro : bool;
   json_path : string option;
+  trace_path : string option;
+  prometheus_path : string option;
 }
 
 let parse_options () =
@@ -37,6 +39,8 @@ let parse_options () =
         run_tables = true;
         run_micro = true;
         json_path = None;
+        trace_path = None;
+        prometheus_path = None;
       }
   in
   let rec go = function
@@ -71,7 +75,16 @@ let parse_options () =
         (try close_out (open_out path) with Sys_error msg -> failwith msg);
         options := { !options with json_path = Some path };
         go rest
-    | [ (("--programs" | "--mean-classes" | "--seed" | "--jobs" | "--json") as flag) ] ->
+    | "--trace" :: path :: rest ->
+        (try close_out (open_out path) with Sys_error msg -> failwith msg);
+        options := { !options with trace_path = Some path };
+        go rest
+    | "--prometheus" :: path :: rest ->
+        (try close_out (open_out path) with Sys_error msg -> failwith msg);
+        options := { !options with prometheus_path = Some path };
+        go rest
+    | [ (("--programs" | "--mean-classes" | "--seed" | "--jobs" | "--json" | "--trace"
+         | "--prometheus") as flag) ] ->
         failwith (flag ^ " requires a value")
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -509,6 +522,11 @@ let micro () =
               | Ok () -> ()
               | Error `Conflict -> failwith "sat:engine-add-clause: conflict");
               Lbr_sat.Msa.Engine.rollback engine snap)));
+      Test.make ~name:"sat:trace-disabled-overhead"
+        (* The cost contract of Lbr_obs.Trace: a span at a disabled call
+           site is one atomic load and a branch (budget: 50ns/run).  Under
+           bench --trace this instead measures the enabled recording path. *)
+        (Staged.stage (fun () -> Lbr_obs.Trace.with_span "noop" (fun () -> ())));
       Test.make ~name:"graph:closure-table-40cls"
         (Staged.stage (fun () ->
              let edges =
@@ -588,7 +606,7 @@ let git_commit () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json path options strategies micro_rows counter_rows =
+let write_json path options strategies micro_rows counter_rows metric_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -620,6 +638,28 @@ let write_json path options strategies micro_rows counter_rows =
         (json_escape name) (json_num ns))
     micro_rows;
   p "\n  ],\n";
+  (* The Lbr_obs metric registry (oracle/scheduler/span aggregates).  Every
+     row carries a "kind" field so the CI determinism diff can strip them
+     wholesale — counts vary with timing and parallel interleaving. *)
+  p "  \"metrics\": [";
+  List.iteri
+    (fun i (r : Lbr_obs.Metrics.row) ->
+      let sep = if i > 0 then "," else "" in
+      match r with
+      | Lbr_obs.Metrics.Counter_row { name; value } ->
+          p "%s\n    { \"kind\": \"counter\", \"name\": \"%s\", \"value\": %d }" sep
+            (json_escape name) value
+      | Lbr_obs.Metrics.Gauge_row { name; value } ->
+          p "%s\n    { \"kind\": \"gauge\", \"name\": \"%s\", \"value\": %s }" sep
+            (json_escape name) (json_num value)
+      | Lbr_obs.Metrics.Histogram_row { name; count; sum; p50; p90; p99 } ->
+          p
+            "%s\n    { \"kind\": \"histogram\", \"name\": \"%s\", \"count\": %d, \"sum\": \
+             %s, \"p50\": %s, \"p90\": %s, \"p99\": %s }"
+            sep (json_escape name) count (json_num sum) (json_num p50) (json_num p90)
+            (json_num p99))
+    metric_rows;
+  p "\n  ],\n";
   (* Cumulative phase counters for the whole invocation (tables + micro). *)
   p "  \"counters\": [";
   List.iteri
@@ -638,6 +678,7 @@ let write_json path options strategies micro_rows counter_rows =
 
 let () =
   let options = parse_options () in
+  if options.trace_path <> None then Lbr_obs.Trace.start ();
   Printf.printf
     "Logical Bytecode Reduction — evaluation harness (programs=%d, mean-classes=%d, seed=%d)\n"
     options.programs options.mean_classes options.seed;
@@ -660,7 +701,23 @@ let () =
   let counter_rows = Counters.aggregate () in
   header "Phase counters (cumulative, all domains)";
   print_string (Counters.report counter_rows);
+  let metric_rows = Lbr_obs.Metrics.rows () in
   (match options.json_path with
-  | Some path -> write_json path options !strategy_rows micro_rows counter_rows
+  | Some path -> write_json path options !strategy_rows micro_rows counter_rows metric_rows
+  | None -> ());
+  (match options.prometheus_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lbr_obs.Metrics.render_prometheus ());
+      close_out oc;
+      Printf.printf "[prometheus] wrote %s\n" path
+  | None -> ());
+  (match options.trace_path with
+  | Some path ->
+      Lbr_obs.Trace.stop ();
+      Lbr_obs.Trace.write_file path;
+      Printf.printf "[trace] wrote %s (%d events, %d dropped)\n" path
+        (List.length (Lbr_obs.Trace.events ()))
+        (Lbr_obs.Trace.dropped ())
   | None -> ());
   print_newline ()

@@ -68,10 +68,84 @@ let tool_arg =
     & info [ "tool" ] ~docv:"TOOL"
         ~doc:"Decompiler to reduce against (default: first buggy one).")
 
+(* Output paths are validated at argument-parse time, not at first write:
+   a reduction can run for minutes before anything is written, and
+   discovering a typo'd directory only then wastes the whole run.  The
+   file may not exist yet — its parent directory must exist and be
+   writable. *)
+let writable_file =
+  let parse s =
+    if s = "" then Error (`Msg "output path is empty")
+    else if Sys.file_exists s && Sys.is_directory s then
+      Error (`Msg (s ^ ": is a directory"))
+    else
+      let dir = Filename.dirname s in
+      if not (Sys.file_exists dir) then
+        Error (`Msg (Printf.sprintf "%s: parent directory %s does not exist" s dir))
+      else if not (Sys.is_directory dir) then
+        Error (`Msg (Printf.sprintf "%s: %s is not a directory" s dir))
+      else
+        match Unix.access dir [ Unix.W_OK; Unix.X_OK ] with
+        | () -> Ok s
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (`Msg (Printf.sprintf "%s: directory %s: %s" s dir (Unix.error_message e)))
+  in
+  Arg.conv ~docv:"FILE" (parse, Format.pp_print_string)
+
+(* Same idea for directories the command will create (e.g. a fresh journal
+   dir): walk up to the nearest existing ancestor and require it to be a
+   writable directory. *)
+let writable_dir =
+  let parse s =
+    if s = "" then Error (`Msg "directory path is empty")
+    else
+      let rec nearest d =
+        if Sys.file_exists d then d
+        else
+          let parent = Filename.dirname d in
+          if parent = d then d else nearest parent
+      in
+      let anc = nearest s in
+      if not (Sys.file_exists anc) || not (Sys.is_directory anc) then
+        Error (`Msg (Printf.sprintf "%s: %s is not a directory" s anc))
+      else if Sys.file_exists s && not (Sys.is_directory s) then
+        Error (`Msg (s ^ ": exists and is not a directory"))
+      else
+        match Unix.access anc [ Unix.W_OK; Unix.X_OK ] with
+        | () -> Ok s
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (`Msg (Printf.sprintf "%s: %s: %s" s anc (Unix.error_message e)))
+  in
+  Arg.conv ~docv:"DIR" (parse, Format.pp_print_string)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some writable_file) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event timeline of the run and write it to FILE on exit; \
+           load it in chrome://tracing or ui.perfetto.dev.")
+
+(* Flush the recorded timeline — shared by reduce (normal and interrupted
+   exits) and serve's drain hook. *)
+let write_trace = function
+  | None -> ()
+  | Some file ->
+      Lbr_obs.Trace.stop ();
+      Lbr_obs.Trace.write_file file;
+      Printf.eprintf "trace (%d events%s) written to %s\n%!"
+        (List.length (Lbr_obs.Trace.events ()))
+        (match Lbr_obs.Trace.dropped () with
+        | 0 -> ""
+        | n -> Printf.sprintf ", %d dropped" n)
+        file
+
 let output_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some writable_file) None
     & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the reduced decompiled source to FILE.")
 
 (* A [--jobs 0] or [--jobs -3] should die in argument parsing with a
@@ -95,7 +169,8 @@ let jobs_arg =
            sequential behaviour (first buggy decompiler only).")
 
 let reduce_cmd =
-  let run seed classes strategy tool jobs output output_pool =
+  let run seed classes strategy tool jobs output output_pool trace =
+    if trace <> None then Lbr_obs.Trace.start ();
     let pool =
       Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes)
     in
@@ -158,15 +233,44 @@ let reduce_cmd =
         in
         let hooks (instance : Lbr_harness.Corpus.instance) =
           let improvements = List.assoc instance.instance_id partial in
+          (* Under --trace, route predicate runs through a per-instance
+             runtime oracle purely so the timeline shows oracle.attempt /
+             oracle.memo events.  retries = 0 and Crash_raises make it
+             behaviourally transparent — the predicate memo above this hook
+             already deduplicates, so the oracle only ever sees fresh keys
+             and the reduction stays byte-identical to the untraced run. *)
+          let evaluate =
+            match trace with
+            | None -> None
+            | Some _ ->
+                let current : (unit -> bool) ref = ref (fun () -> false) in
+                let oracle =
+                  Lbr_runtime.Oracle.make
+                    ~config:
+                      {
+                        Lbr_runtime.Oracle.default_config with
+                        crash_policy = Lbr_runtime.Oracle.Crash_raises;
+                        retries = 0;
+                      }
+                    ~name:instance.instance_id
+                    (fun _ -> !current ())
+                in
+                Some
+                  (fun ~key thunk ->
+                    current := thunk;
+                    Lbr_harness.Experiment.Fresh
+                      (Lbr_runtime.Oracle.run oracle (Lbr_server.Runner.key_assignment key)))
+          in
           {
-            Lbr_harness.Experiment.default_hooks with
-            should_stop = Some (fun () -> Lbr_server.Shutdown.requested shutdown);
+            Lbr_harness.Experiment.should_stop =
+              Some (fun () -> Lbr_server.Shutdown.requested shutdown);
             on_improvement =
               Some
                 (fun sim_time cls bytes ->
                   Mutex.lock partial_mutex;
                   improvements := (sim_time, cls, bytes) :: !improvements;
                   Mutex.unlock partial_mutex);
+            evaluate;
           }
         in
         let results =
@@ -183,7 +287,8 @@ let reduce_cmd =
                       | (sim_time, cls, bytes) :: _ ->
                           Printf.eprintf "  %s: best so far %d classes, %d bytes at %.0fs\n" id
                             cls bytes sim_time)
-                    partial);
+                    partial;
+                  write_trace trace);
               Lbr_server.Shutdown.run_drain shutdown;
               exit (match Lbr_server.Shutdown.signal_name shutdown with
                     | Some "TERM" -> 143
@@ -214,12 +319,13 @@ let reduce_cmd =
         | Some file, Some reduced ->
             Lbr_jvm.Serialize.write_file file reduced;
             Printf.printf "reduced pool written to %s\n" file
-        | _ -> ())
+        | _ -> ());
+        write_trace trace
   in
   let output_pool_arg =
     Arg.(
       value
-      & opt (some string) None
+      & opt (some writable_file) None
       & info [ "output-pool" ] ~docv:"FILE"
           ~doc:"Write the reduced class pool (LBRC binary) of the first instance to FILE.")
   in
@@ -228,7 +334,7 @@ let reduce_cmd =
        ~doc:"Generate a benchmark program and reduce it against a buggy decompiler.")
     Term.(
       const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ jobs_arg $ output_arg
-      $ output_pool_arg)
+      $ output_pool_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Reduction as a service                                              *)
@@ -250,13 +356,14 @@ let serve_cmd =
   let journal_arg =
     Arg.(
       value
-      & opt (some string) None
+      & opt (some writable_dir) None
       & info [ "journal" ] ~docv:"DIR"
           ~doc:"Write-ahead journal directory.  Accepted jobs and completed predicate \
                 evaluations are logged there, and a restarted daemon resumes unfinished jobs, \
                 replaying paid-for predicate results.")
   in
-  let run socket jobs queue_depth journal_dir =
+  let run socket jobs queue_depth journal_dir trace =
+    if trace <> None then Lbr_obs.Trace.start ();
     let shutdown = Lbr_server.Shutdown.install () in
     let server =
       try
@@ -279,6 +386,7 @@ let serve_cmd =
           | Some s -> "SIG" ^ s
           | None -> "stop request");
         Lbr_server.Server.stop server;
+        write_trace trace;
         print_endline "lbr-serve: drained, bye");
     while not (Lbr_server.Shutdown.requested shutdown) do
       Thread.delay 0.1
@@ -290,7 +398,7 @@ let serve_cmd =
        ~doc:
          "Run the reduction daemon: accept LBRC class pools over a Unix domain socket, reduce \
           them on a domain pool, stream progress, and journal for crash recovery.")
-    Term.(const run $ socket_arg $ jobs_arg $ queue_depth_arg $ journal_arg)
+    Term.(const run $ socket_arg $ jobs_arg $ queue_depth_arg $ journal_arg $ trace_arg)
 
 let submit_cmd =
   let pool_file_arg =
@@ -397,6 +505,123 @@ let submit_cmd =
       $ priority_arg $ retries_arg $ output_arg $ output_pool_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Live (and post-mortem) daemon introspection                          *)
+
+let top_cmd =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Post-mortem mode: instead of querying a live daemon, reconstruct per-job \
+                predicate-latency statistics from a (possibly dead) daemon's journal \
+                directory.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Also print the daemon's full Prometheus metrics snapshot.")
+  in
+  let online socket metrics =
+    match Lbr_server.Client.connect socket with
+    | Error m ->
+        prerr_endline ("lbr-reduce top: " ^ m);
+        exit 1
+    | Ok client -> (
+        let result = Lbr_server.Client.stats client in
+        Lbr_server.Client.close client;
+        match result with
+        | Error m ->
+            prerr_endline ("lbr-reduce top: " ^ m);
+            exit 1
+        | Ok (s : Lbr_server.Wire.daemon_stats) ->
+            Printf.printf "daemon: up %.0fs   queued: %d   running: %d\n" s.uptime
+              s.queued_jobs s.running_jobs;
+            let hit_rate =
+              if s.oracle_queries = 0 then 0.
+              else 100. *. float_of_int s.oracle_memo_hits /. float_of_int s.oracle_queries
+            in
+            Printf.printf "oracle: %d queries, %d memo hits (%.1f%% hit rate)\n"
+              s.oracle_queries s.oracle_memo_hits hit_rate;
+            (match s.job_stats with
+            | [] -> print_endline "no jobs in flight"
+            | jobs ->
+                List.iter
+                  (fun (j : Lbr_server.Wire.job_stat) ->
+                    let state = if j.js_running then "running" else "queued" in
+                    match j.js_best with
+                    | None -> Printf.printf "  %-16s %-8s best: -\n" j.js_id state
+                    | Some (sim_time, classes, bytes) ->
+                        Printf.printf "  %-16s %-8s best: %d classes, %d bytes at %.0fs\n"
+                          j.js_id state classes bytes sim_time)
+                  jobs);
+            if metrics then (
+              print_newline ();
+              print_string s.metrics_text))
+  in
+  (* Rebuild what the live Stats reply derives from in-memory metrics out
+     of the journal's v2 verdict lines instead. *)
+  let offline dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      prerr_endline ("lbr-reduce top: " ^ dir ^ ": not a journal directory");
+      exit 1
+    end;
+    let journal = Lbr_server.Journal.open_dir dir in
+    Fun.protect
+      ~finally:(fun () -> Lbr_server.Journal.close journal)
+      (fun () ->
+        match Lbr_server.Journal.jobs journal with
+        | [] -> Printf.printf "journal %s: no jobs recorded\n" dir
+        | jobs ->
+            Printf.printf "journal %s: %d job%s\n" dir (List.length jobs)
+              (if List.length jobs = 1 then "" else "s");
+            let total = ref (Lbr_obs.Metrics.Histogram.create ()) in
+            List.iter
+              (fun id ->
+                let verdicts = Lbr_server.Journal.verdicts journal ~id in
+                let hist = Lbr_obs.Metrics.Histogram.create () in
+                let fails = ref 0 and retries = ref 0 and timed = ref 0 in
+                List.iter
+                  (fun (v : Lbr_server.Journal.verdict) ->
+                    if not v.v_ok then incr fails;
+                    retries := !retries + Option.value ~default:0 v.v_retries;
+                    match v.v_latency with
+                    | Some l ->
+                        incr timed;
+                        Lbr_obs.Metrics.Histogram.observe hist l
+                    | None -> ())
+                  verdicts;
+                Printf.printf "  %-16s %d verdicts (%d fail, %d oracle retries)" id
+                  (List.length verdicts) !fails !retries;
+                if !timed = 0 then
+                  (* v1 journal lines carry no latency *)
+                  print_endline "  latency: n/a"
+                else
+                  Printf.printf "  latency p50/p90/p99: %.3fs / %.3fs / %.3fs\n"
+                    (Lbr_obs.Metrics.Histogram.quantile hist 0.5)
+                    (Lbr_obs.Metrics.Histogram.quantile hist 0.9)
+                    (Lbr_obs.Metrics.Histogram.quantile hist 0.99);
+                total := Lbr_obs.Metrics.Histogram.merge !total hist)
+              jobs;
+            if Lbr_obs.Metrics.Histogram.count !total > 0 then
+              Printf.printf "overall latency: %d timed verdicts, p50 %.3fs, p99 %.3fs\n"
+                (Lbr_obs.Metrics.Histogram.count !total)
+                (Lbr_obs.Metrics.Histogram.quantile !total 0.5)
+                (Lbr_obs.Metrics.Histogram.quantile !total 0.99))
+  in
+  let run socket journal metrics =
+    match journal with None -> online socket metrics | Some dir -> offline dir
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Introspect a running `lbr-reduce serve' daemon: queue depth, running jobs with \
+          best-so-far sizes, oracle memo hit rate and (with --metrics) the Prometheus \
+          metric snapshot.  With --journal DIR, reconstruct predicate-latency statistics \
+          from a dead daemon's journal instead.")
+    Term.(const run $ socket_arg $ journal_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let stats_cmd =
   let programs_arg =
@@ -495,4 +720,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ example_cmd; reduce_cmd; serve_cmd; submit_cmd; stats_cmd; export_cmd; tools_cmd ]))
+          [
+            example_cmd;
+            reduce_cmd;
+            serve_cmd;
+            submit_cmd;
+            top_cmd;
+            stats_cmd;
+            export_cmd;
+            tools_cmd;
+          ]))

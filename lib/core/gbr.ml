@@ -139,11 +139,12 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
                 engine := None;
                 fallback ()))
   in
-  let rec loop ~fresh learned j iterations prog_lengths =
-    if iterations > max_iterations then Error `Predicate_inconsistent
-    else
+  (* One iteration, factored out of [loop] so the [gbr.iteration] trace
+     span covers exactly this iteration's work — recursing inside the span
+     would nest every later iteration under the first. *)
+  let iterate ~fresh learned j iterations prog_lengths =
       match build_entries ~fresh learned j with
-      | Error `Unsat -> Error `Unsat
+      | Error `Unsat -> `Done (Error `Unsat)
       | Ok entries -> (
           let prefixes = Progression.prefix_unions entries in
           match
@@ -152,7 +153,7 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
                 prefixes
             else None
           with
-          | Some message -> Error (`Invariant_violation message)
+          | Some message -> `Done (Error (`Invariant_violation message))
           | None ->
           let n = Array.length prefixes in
           let prog_lengths = n :: prog_lengths in
@@ -167,18 +168,35 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
                 progression_lengths = List.rev prog_lengths;
               }
             in
-            Ok (head, stats)
+            `Done (Ok (head, stats))
           else if n = 1 then
             (* The head is the whole search space J, which satisfied the
                predicate when it became the search space: the predicate is
                not behaving like a function of its input. *)
-            Error `Predicate_inconsistent
+            `Done (Error `Predicate_inconsistent)
           else begin
             let r = binary_search predicate prefixes ~lo:0 ~hi:(n - 1) in
             let entries = Array.of_list entries in
             let learned = entries.(r) :: learned in
-            loop ~fresh:(Some entries.(r)) learned prefixes.(r) (iterations + 1)
-              prog_lengths
+            `Continue (entries.(r), learned, prefixes.(r), iterations + 1, prog_lengths)
           end)
+  in
+  let rec loop ~fresh learned j iterations prog_lengths =
+    if iterations > max_iterations then Error `Predicate_inconsistent
+    else
+      let step =
+        Lbr_obs.Trace.with_span "gbr.iteration"
+          ~args:(fun () ->
+            [
+              ("iteration", Lbr_obs.Trace.Int iterations);
+              ("universe", Lbr_obs.Trace.Int (Assignment.cardinal j));
+              ("learned", Lbr_obs.Trace.Int (List.length learned));
+            ])
+          (fun () -> iterate ~fresh learned j iterations prog_lengths)
+      in
+      match step with
+      | `Done result -> result
+      | `Continue (entry, learned, j, iterations, prog_lengths) ->
+          loop ~fresh:(Some entry) learned j iterations prog_lengths
   in
   loop ~fresh:None [] problem.universe 1 []

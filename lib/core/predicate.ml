@@ -35,11 +35,24 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let latency_hist =
+  lazy
+    (Lbr_obs.Metrics.histogram ~help:"Black-box predicate execution latency."
+       "lbr_predicate_latency_seconds")
+
 (* The black box runs outside the lock: holding it would serialize every
    concurrent caller on the slowest predicate execution. *)
 let execute t input =
   locked t (fun () -> t.runs <- t.runs + 1);
-  let outcome = Perf.time "core.predicate" (fun () -> t.black_box input) in
+  let t0 = Lbr_obs.Trace.now () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Lbr_obs.Trace.now () in
+        Lbr_obs.Trace.span_between "core.predicate" ~start:t0 ~finish:t1;
+        Lbr_obs.Metrics.observe (Lazy.force latency_hist) (t1 -. t0))
+      (fun () -> Perf.time "core.predicate" (fun () -> t.black_box input))
+  in
   let observers = locked t (fun () -> t.observers) in
   List.iter (fun observe -> observe input outcome) observers;
   outcome

@@ -16,6 +16,9 @@ let r_plus cnf learned =
    cutting the per-entry allocation from two universe-sized sets and a diff
    to one delta-sized set. *)
 let entries_on_engine ?sorted engine ~order ~universe =
+  Lbr_obs.Trace.with_span "sat.engine-propagate"
+    ~args:(fun () -> [ ("universe", Lbr_obs.Trace.Int (Assignment.cardinal universe)) ])
+  @@ fun () ->
   Perf.time "sat.engine-propagate" @@ fun () ->
   let sorted =
     match sorted with

@@ -254,6 +254,13 @@ let run_gbr instance ~cost ~hooks =
   (finish instance Gbr driver ~runs ~ok ~final ~wall_time, final)
 
 let run_with ?(cost = default_cost) ?(hooks = default_hooks) strategy instance =
+  Lbr_obs.Trace.with_span "harness.instance"
+    ~args:(fun () ->
+      [
+        ("instance", Lbr_obs.Trace.Str instance.Corpus.instance_id);
+        ("strategy", Lbr_obs.Trace.Str (strategy_name strategy));
+      ])
+  @@ fun () ->
   match strategy with
   | Jreduce -> run_jreduce instance ~cost ~hooks
   | Lossy_first ->

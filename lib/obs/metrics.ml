@@ -1,0 +1,245 @@
+(* Exact, mutex-guarded metrics.  Each metric owns a lock taken on every
+   update; the registry lock is only taken on registration and snapshot,
+   so steady-state updates from different metrics never contend with each
+   other. *)
+
+module Histogram = struct
+  type t = {
+    le : float array;  (* bucket upper bounds; le.(n-1) = infinity *)
+    counts : int array;
+    mutable sum : float;
+    mutable count : int;
+    lo : float;
+    growth : float;
+  }
+
+  let create ?(lo = 1e-6) ?(growth = 2.0) ?(buckets = 32) () =
+    if not (lo > 0. && growth > 1. && buckets >= 2) then
+      invalid_arg "Metrics.Histogram.create: need lo > 0, growth > 1, buckets >= 2";
+    let le =
+      Array.init buckets (fun i ->
+          if i = buckets - 1 then infinity else lo *. (growth ** float_of_int i))
+    in
+    { le; counts = Array.make buckets 0; sum = 0.; count = 0; lo; growth }
+
+  (* First bucket whose upper bound admits [v]; the last bucket catches
+     everything (including nan, which compares false everywhere). *)
+  let bucket_index t v =
+    let n = Array.length t.le in
+    let rec go i = if i >= n - 1 || v <= t.le.(i) then i else go (i + 1) in
+    go 0
+
+  let observe t v =
+    let i = bucket_index t v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v
+
+  let count t = t.count
+  let sum t = t.sum
+  let upper_bounds t = Array.copy t.le
+  let bucket_counts t = Array.copy t.counts
+
+  let same_layout a b =
+    a.lo = b.lo && a.growth = b.growth && Array.length a.le = Array.length b.le
+
+  let merge a b =
+    if not (same_layout a b) then
+      invalid_arg "Metrics.Histogram.merge: incompatible bucket layouts";
+    let t = create ~lo:a.lo ~growth:a.growth ~buckets:(Array.length a.le) () in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t.sum <- a.sum +. b.sum;
+    t.count <- a.count + b.count;
+    t
+
+  let quantile t q =
+    if t.count = 0 || Float.is_nan q then nan
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+      let n = Array.length t.le in
+      let rec go i acc =
+        let acc = acc + t.counts.(i) in
+        if acc >= rank || i = n - 1 then i else go (i + 1) acc
+      in
+      let i = go 0 0 in
+      if i = n - 1 then
+        (* Open-ended bucket: report one growth step past its lower bound
+           rather than infinity. *)
+        t.lo *. (t.growth ** float_of_int (n - 1))
+      else t.le.(i)
+    end
+
+  let reset t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.sum <- 0.;
+    t.count <- 0
+
+  let copy t =
+    { t with le = Array.copy t.le; counts = Array.copy t.counts }
+end
+
+type counter = { c_mutex : Mutex.t; mutable c_value : int }
+type gauge = { g_mutex : Mutex.t; mutable g_value : float }
+type histogram = { h_mutex : Mutex.t; h_state : Histogram.t }
+
+type metric = Counter of counter | Gauge of gauge | Hist of histogram
+
+let registry : (string, string * metric) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock m)
+
+let name_ok name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let register name help make unwrap kind =
+  if not (name_ok name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  locked registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (_, m) -> (
+          match unwrap m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered with a different kind (wanted %s)"
+                   name kind))
+      | None ->
+          let v, m = make () in
+          Hashtbl.replace registry name (help, m);
+          v)
+
+let counter ?(help = "") name =
+  register name help
+    (fun () ->
+      let c = { c_mutex = Mutex.create (); c_value = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let incr c = locked c.c_mutex (fun () -> c.c_value <- c.c_value + 1)
+let add c n = locked c.c_mutex (fun () -> c.c_value <- c.c_value + n)
+let counter_value c = locked c.c_mutex (fun () -> c.c_value)
+
+let gauge ?(help = "") name =
+  register name help
+    (fun () ->
+      let g = { g_mutex = Mutex.create (); g_value = 0. } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let set_gauge g v = locked g.g_mutex (fun () -> g.g_value <- v)
+let add_gauge g v = locked g.g_mutex (fun () -> g.g_value <- g.g_value +. v)
+let gauge_value g = locked g.g_mutex (fun () -> g.g_value)
+
+let histogram ?(help = "") ?lo ?growth ?buckets name =
+  register name help
+    (fun () ->
+      let h =
+        { h_mutex = Mutex.create (); h_state = Histogram.create ?lo ?growth ?buckets () }
+      in
+      (h, Hist h))
+    (function Hist h -> Some h | _ -> None)
+    "histogram"
+
+let observe h v = locked h.h_mutex (fun () -> Histogram.observe h.h_state v)
+let histogram_state h = locked h.h_mutex (fun () -> Histogram.copy h.h_state)
+
+let find_counter_value name =
+  locked registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (_, Counter c) -> Some (counter_value c)
+      | _ -> None)
+
+type row =
+  | Counter_row of { name : string; value : int }
+  | Gauge_row of { name : string; value : float }
+  | Histogram_row of {
+      name : string;
+      count : int;
+      sum : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+let sorted_entries () =
+  let entries =
+    locked registry_mutex (fun () ->
+        Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry [])
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
+
+let rows () =
+  List.map
+    (fun (name, _, m) ->
+      match m with
+      | Counter c -> Counter_row { name; value = counter_value c }
+      | Gauge g -> Gauge_row { name; value = gauge_value g }
+      | Hist h ->
+          let s = histogram_state h in
+          Histogram_row
+            {
+              name;
+              count = Histogram.count s;
+              sum = Histogram.sum s;
+              p50 = Histogram.quantile s 0.5;
+              p90 = Histogram.quantile s 0.9;
+              p99 = Histogram.quantile s 0.99;
+            })
+    (sorted_entries ())
+
+(* Prometheus floats: %g gives "1e-06", "0.00032768", "+Inf" handled
+   explicitly. *)
+let prom_float v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%g" v
+
+let render_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, m) ->
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      match m with
+      | Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (counter_value c))
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (prom_float (gauge_value g)))
+      | Hist h ->
+          let s = histogram_state h in
+          let le = Histogram.upper_bounds s in
+          let counts = Histogram.bucket_counts s in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let acc = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              acc := !acc + counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float bound) !acc))
+            le;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" name (prom_float (Histogram.sum s)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name (Histogram.count s)))
+    (sorted_entries ());
+  Buffer.contents buf
+
+let reset_all () =
+  let entries = sorted_entries () in
+  List.iter
+    (fun (_, _, m) ->
+      match m with
+      | Counter c -> locked c.c_mutex (fun () -> c.c_value <- 0)
+      | Gauge g -> locked g.g_mutex (fun () -> g.g_value <- 0.)
+      | Hist h -> locked h.h_mutex (fun () -> Histogram.reset h.h_state))
+    entries

@@ -1,0 +1,195 @@
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_ph : char;
+  ev_ts : float;
+  ev_dur : float;
+  ev_tid : int;
+  ev_args : (string * arg) list;
+}
+
+(* Per-domain ring buffer.  Only its owning domain writes; readers accept
+   the quiescence caveat documented in the interface. *)
+type ring = {
+  mutable buf : event array;
+  mutable first : int;  (* index of the oldest event *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let none_event =
+  { ev_name = ""; ev_ph = 'i'; ev_ts = 0.; ev_dur = 0.; ev_tid = 0; ev_args = [] }
+
+let default_capacity = 65536
+let ring_capacity = Atomic.make default_capacity
+
+(* The only state a disabled call site reads. *)
+let on = Atomic.make false
+let epoch = Atomic.make 0.0
+
+let registry : ring list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r = { buf = [||]; first = 0; count = 0; dropped = 0 } in
+      Mutex.lock registry_mutex;
+      registry := r :: !registry;
+      Mutex.unlock registry_mutex;
+      r)
+
+let push ev =
+  let r = Domain.DLS.get ring_key in
+  let cap = Atomic.get ring_capacity in
+  (* Storage is allocated on first use after [start], so idle domains and
+     disabled runs never pay for the ring. *)
+  if Array.length r.buf <> cap then begin
+    r.buf <- Array.make cap none_event;
+    r.first <- 0;
+    r.count <- 0
+  end;
+  if r.count = cap then begin
+    r.buf.(r.first) <- ev;
+    r.first <- (r.first + 1) mod cap;
+    r.dropped <- r.dropped + 1
+  end
+  else begin
+    r.buf.((r.first + r.count) mod cap) <- ev;
+    r.count <- r.count + 1
+  end
+
+let enabled () = Atomic.get on
+
+let start ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.start: capacity must be >= 1";
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun r ->
+      r.buf <- [||];
+      r.first <- 0;
+      r.count <- 0;
+      r.dropped <- 0)
+    !registry;
+  Mutex.unlock registry_mutex;
+  Atomic.set ring_capacity capacity;
+  Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set on true
+
+let stop () = Atomic.set on false
+let now () = Unix.gettimeofday ()
+
+let eval_args = function None -> [] | Some f -> ( try f () with _ -> [])
+
+(* Span durations feed a metrics histogram so `bench --json` and the
+   Prometheus dump can summarize where traced time went without parsing
+   the trace itself.  Only touched while tracing is enabled. *)
+let span_hist =
+  lazy
+    (Metrics.histogram ~help:"Traced span durations (tracing enabled only)."
+       ~lo:1e-6 ~growth:4.0 ~buckets:24 "lbr_span_duration_seconds")
+
+let record ?args name ~t0 ~t1 ~ph =
+  let e = Atomic.get epoch in
+  push
+    {
+      ev_name = name;
+      ev_ph = ph;
+      ev_ts = (t0 -. e) *. 1e6;
+      ev_dur = (t1 -. t0) *. 1e6;
+      ev_tid = (Domain.self () :> int);
+      ev_args = eval_args args;
+    };
+  if ph = 'X' then Metrics.observe (Lazy.force span_hist) (t1 -. t0)
+
+let with_span ?args name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect f ~finally:(fun () ->
+        record ?args name ~t0 ~t1:(Unix.gettimeofday ()) ~ph:'X')
+  end
+
+let instant ?args name =
+  if Atomic.get on then begin
+    let t = Unix.gettimeofday () in
+    record ?args name ~t0:t ~t1:t ~ph:'i'
+  end
+
+let span_between ?args name ~start ~finish =
+  if Atomic.get on then record ?args name ~t0:start ~t1:finish ~ph:'X'
+
+let rings () =
+  Mutex.lock registry_mutex;
+  let rs = !registry in
+  Mutex.unlock registry_mutex;
+  rs
+
+let events () =
+  let collect r =
+    let len = Array.length r.buf in
+    if len = 0 then []
+    else List.init r.count (fun i -> r.buf.((r.first + i) mod len))
+  in
+  List.concat_map collect (rings ())
+  |> List.sort (fun a b -> Float.compare a.ev_ts b.ev_ts)
+
+let dropped () = List.fold_left (fun acc r -> acc + r.dropped) 0 (rings ())
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v = if Float.is_nan v then "0" else Printf.sprintf "%.3f" v
+
+let arg_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f -> if Float.is_nan f || Float.abs f = infinity then "null" else Printf.sprintf "%.6g" f
+  | Bool b -> if b then "true" else "false"
+
+let event_json buf ev =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"lbr\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%s"
+       (json_escape ev.ev_name) ev.ev_ph ev.ev_tid (json_float ev.ev_ts));
+  if ev.ev_ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (json_float ev.ev_dur))
+  else if ev.ev_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  (match ev.ev_args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v)))
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let to_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      event_json buf ev)
+    (events ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    (fun () -> output_string oc (to_json ()))
+    ~finally:(fun () -> close_out oc)

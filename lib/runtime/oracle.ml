@@ -66,25 +66,69 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Process-wide oracle metrics: oracles are short-lived (one per job in
+   the daemon), so rates like the memo hit ratio are only meaningful
+   aggregated across instances. *)
+let m_queries = lazy (Lbr_obs.Metrics.counter ~help:"Oracle queries." "lbr_oracle_queries_total")
+
+let m_memo_hits =
+  lazy (Lbr_obs.Metrics.counter ~help:"Oracle queries answered from the memo." "lbr_oracle_memo_hits_total")
+
+let m_executions =
+  lazy (Lbr_obs.Metrics.counter ~help:"Black-box attempts, including retries." "lbr_oracle_executions_total")
+
+let m_retries = lazy (Lbr_obs.Metrics.counter ~help:"Retried attempts." "lbr_oracle_retries_total")
+let m_crashes = lazy (Lbr_obs.Metrics.counter ~help:"Queries whose every attempt failed." "lbr_oracle_crashes_total")
+
+let m_attempt_latency =
+  lazy
+    (Lbr_obs.Metrics.histogram ~help:"Oracle black-box attempt latency."
+       "lbr_oracle_attempt_latency_seconds")
+
 (* One attempt, without the lock held (the black box may be slow).
    [Ok b] is a usable outcome; [Error reason] is a failed attempt with
-   [`Transient] worth retrying and [`Crash] not. *)
-let attempt t input =
+   [`Transient] worth retrying and [`Crash] not.  [attempt_no] is 1 for
+   the first try; the trace span records it plus how the attempt was
+   classified. *)
+let attempt t input ~attempt_no =
   locked t (fun () -> t.executions <- t.executions + 1);
+  Lbr_obs.Metrics.incr (Lazy.force m_executions);
+  let classification = ref "ok" in
+  Lbr_obs.Trace.with_span "oracle.attempt"
+    ~args:(fun () ->
+      [
+        ("oracle", Lbr_obs.Trace.Str t.name);
+        ("attempt", Lbr_obs.Trace.Int attempt_no);
+        ("retry", Lbr_obs.Trace.Int (attempt_no - 1));
+        ("classification", Lbr_obs.Trace.Str !classification);
+      ])
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  let finish r =
+    Lbr_obs.Metrics.observe (Lazy.force m_attempt_latency) (Unix.gettimeofday () -. t0);
+    r
+  in
   match t.black_box input with
   | outcome -> (
       let elapsed = Unix.gettimeofday () -. t0 in
       match t.config.timeout with
       | Some limit when elapsed > limit ->
           locked t (fun () -> t.timeouts <- t.timeouts + 1);
-          Error
-            ( `Transient,
-              Printf.sprintf "attempt exceeded the %.3fs timeout (took %.3fs)" limit elapsed )
-      | Some _ | None -> Ok outcome)
+          classification := "timeout";
+          finish
+            (Error
+               ( `Transient,
+                 Printf.sprintf "attempt exceeded the %.3fs timeout (took %.3fs)" limit
+                   elapsed ))
+      | Some _ | None ->
+          classification := (if outcome then "pass" else "fail");
+          finish (Ok outcome))
   | exception e when t.config.transient e ->
-      Error (`Transient, "transient failure: " ^ Printexc.to_string e)
-  | exception e -> Error (`Crash, "crash: " ^ Printexc.to_string e)
+      classification := "transient";
+      finish (Error (`Transient, "transient failure: " ^ Printexc.to_string e))
+  | exception e ->
+      classification := "crash";
+      finish (Error (`Crash, "crash: " ^ Printexc.to_string e))
 
 let run t input =
   let cached =
@@ -96,17 +140,27 @@ let run t input =
             Some outcome
         | None -> None)
   in
+  Lbr_obs.Metrics.incr (Lazy.force m_queries);
+  (match cached with
+  | Some _ ->
+      Lbr_obs.Metrics.incr (Lazy.force m_memo_hits);
+      Lbr_obs.Trace.instant "oracle.memo"
+        ~args:(fun () -> [ ("oracle", Lbr_obs.Trace.Str t.name); ("hit", Lbr_obs.Trace.Bool true) ])
+  | None ->
+      Lbr_obs.Trace.instant "oracle.memo"
+        ~args:(fun () -> [ ("oracle", Lbr_obs.Trace.Str t.name); ("hit", Lbr_obs.Trace.Bool false) ]));
   match cached with
   | Some outcome -> outcome
   | None ->
       let max_attempts = t.config.retries + 1 in
       let rec go k =
-        match attempt t input with
+        match attempt t input ~attempt_no:k with
         | Ok outcome -> Ok (outcome, k)
         | Error (`Transient, _reason) when k < max_attempts ->
             if t.config.backoff > 0.0 then
               Unix.sleepf (t.config.backoff *. (2.0 ** float_of_int (k - 1)));
             locked t (fun () -> t.retries_used <- t.retries_used + 1);
+            Lbr_obs.Metrics.incr (Lazy.force m_retries);
             go (k + 1)
         | Error ((`Transient | `Crash), reason) -> Error (reason, k)
       in
@@ -118,6 +172,7 @@ let run t input =
       | Ok (outcome, _) -> memoize outcome
       | Error (reason, attempts) -> (
           locked t (fun () -> t.crashes <- t.crashes + 1);
+          Lbr_obs.Metrics.incr (Lazy.force m_crashes);
           match t.config.crash_policy with
           | Crash_fails -> memoize false
           | Crash_passes -> memoize true

@@ -26,7 +26,7 @@ let rec worker_loop pool =
   else begin
     let job = Queue.pop pool.queue in
     Mutex.unlock pool.mutex;
-    job ();
+    Lbr_obs.Trace.with_span "pool.task" (fun () -> job ());
     worker_loop pool
   end
 

@@ -143,6 +143,10 @@ module Engine = struct
     t.op_len <- t.op_len + 1
 
   let create cnf ~order ~universe =
+    Lbr_obs.Trace.with_span "sat.engine-create"
+      ~args:(fun () ->
+        [ ("universe", Lbr_obs.Trace.Int (Assignment.cardinal universe)) ])
+    @@ fun () ->
     Perf.time "sat.engine-create" @@ fun () ->
     let n = max_var cnf universe + 1 in
     let in_universe = Array.make n false in
@@ -235,6 +239,9 @@ module Engine = struct
       (Ok ()) vs
 
   let add_clause t ~pos =
+    Lbr_obs.Trace.with_span "sat.engine-add-clause"
+      ~args:(fun () -> [ ("literals", Lbr_obs.Trace.Int (List.length pos)) ])
+    @@ fun () ->
     Perf.time "sat.engine-add-clause" @@ fun () ->
     if t.conflicted then Error `Conflict
     else begin
@@ -323,6 +330,9 @@ module Engine = struct
     t.conflicted <- false
 
   let narrow t ~keep =
+    Lbr_obs.Trace.with_span "sat.engine-narrow"
+      ~args:(fun () -> [ ("keep", Lbr_obs.Trace.Int (Assignment.cardinal keep)) ])
+    @@ fun () ->
     Perf.time "sat.engine-narrow" @@ fun () ->
     if t.conflicted then Error `Conflict
     else begin

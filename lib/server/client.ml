@@ -69,6 +69,21 @@ let submit t ?(on_progress = fun (_ : progress) -> ()) spec =
           wait ()
       | Ok _ -> Error "unexpected reply to submit")
 
+let stats t =
+  if t.version < 2 then Error "server is too old for stats (protocol < 2)"
+  else
+    match Wire.write_message t.fd Wire.Stats_request with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | () ->
+        let rec wait () =
+          match read_or_error t with
+          | Error _ as e -> e
+          | Ok (Wire.Stats_reply s) -> Ok s
+          | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+          | Ok _ -> wait ()  (* frames for jobs on a shared connection *)
+        in
+        wait ()
+
 let cancel t job_id =
   match Wire.write_message t.fd (Wire.Cancel job_id) with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)

@@ -29,4 +29,9 @@ val cancel : t -> string -> (bool, string) result
 (** Ask the server to cancel a job; [Ok found] echoes whether the server
     still knew a cancellable job by that id. *)
 
+val stats : t -> (Wire.daemon_stats, string) result
+(** One live introspection snapshot (queue depth, per-job best-so-far,
+    oracle memo hit rate, Prometheus metrics text).  Requires negotiated
+    protocol version ≥ 2. *)
+
 val close : t -> unit

@@ -62,7 +62,13 @@ let log_channel t id =
       Hashtbl.replace t.logs id oc;
       oc
 
-let append_pred t ~id ~key ok =
+(* Verdict line formats, distinguished by field count so old journals
+   replay unchanged under new code:
+     v1:  "<32-hex-digest> 0|1"
+     v2:  "<32-hex-digest> 0|1 <latency-microseconds> <retries>"
+   Both keep the verdict at byte 33, so every reader branches on the same
+   offset. *)
+let append_pred t ~id ~key ?latency ?(retries = 0) ok =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
@@ -71,6 +77,11 @@ let append_pred t ~id ~key ok =
       output_string oc key;
       output_char oc ' ';
       output_char oc (if ok then '1' else '0');
+      (match latency with
+      | None -> ()
+      | Some seconds ->
+          let us = int_of_float (Float.max 0. (seconds *. 1e6) +. 0.5) in
+          output_string oc (Printf.sprintf " %d %d" us retries));
       output_char oc '\n';
       (* flush to the OS: survives kill -9 (though not power loss) *)
       flush oc)
@@ -132,25 +143,68 @@ let pending t =
                | exception Sys_error _ -> None
              else None)
 
-let replay t ~id =
-  let table = Hashtbl.create 256 in
-  (match open_in_bin (preds_file t id) with
-  | exception Sys_error _ -> ()
+(* A verdict line of either version: 34 bytes exactly (v1) or a v2 line
+   whose latency/retry tail starts right after the verdict.  Torn last
+   lines of a crashed daemon match neither shape and are skipped. *)
+let parse_verdict_line line =
+  let len = String.length line in
+  if len >= 34 && line.[32] = ' ' && (len = 34 || line.[34] = ' ') then
+    match line.[33] with
+    | ('0' | '1') as v -> (
+        let key = String.sub line 0 32 in
+        let ok = v = '1' in
+        if len = 34 then Some (key, ok, None)
+        else
+          match String.split_on_char ' ' (String.sub line 35 (len - 35)) with
+          | [ us; retries ] -> (
+              match (int_of_string_opt us, int_of_string_opt retries) with
+              | Some us, Some retries when us >= 0 && retries >= 0 ->
+                  Some (key, ok, Some (float_of_int us *. 1e-6, retries))
+              | _ -> None)
+          | _ -> None)
+    | _ -> None
+  else None
+
+let fold_verdict_lines t ~id ~init ~f =
+  match open_in_bin (preds_file t id) with
+  | exception Sys_error _ -> init
   | ic ->
+      let acc = ref init in
       (try
          while true do
-           let line = input_line ic in
-           (* "<32 hex> 0|1"; anything else — e.g. the torn last line of a
-              crashed daemon — is skipped *)
-           if String.length line = 34 && line.[32] = ' ' then
-             match line.[33] with
-             | '0' -> Hashtbl.replace table (String.sub line 0 32) false
-             | '1' -> Hashtbl.replace table (String.sub line 0 32) true
-             | _ -> ()
+           match parse_verdict_line (input_line ic) with
+           | Some v -> acc := f !acc v
+           | None -> ()
          done
        with End_of_file -> ());
-      close_in_noerr ic);
+      close_in_noerr ic;
+      !acc
+
+let replay t ~id =
+  let table = Hashtbl.create 256 in
+  fold_verdict_lines t ~id ~init:() ~f:(fun () (key, ok, _) ->
+      Hashtbl.replace table key ok);
   table
+
+type verdict = { v_key : string; v_ok : bool; v_latency : float option; v_retries : int option }
+
+let verdicts t ~id =
+  fold_verdict_lines t ~id ~init:[] ~f:(fun acc (key, ok, extra) ->
+      {
+        v_key = key;
+        v_ok = ok;
+        v_latency = Option.map fst extra;
+        v_retries = Option.map snd extra;
+      }
+      :: acc)
+  |> List.rev
+
+let jobs t =
+  Sys.readdir t.root |> Array.to_list |> List.sort String.compare
+  |> List.filter (fun id ->
+         match check_id id with
+         | exception Invalid_argument _ -> false
+         | () -> Sys.is_directory (Filename.concat t.root id))
 
 let max_job_number t =
   Sys.readdir t.root |> Array.to_list

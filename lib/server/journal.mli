@@ -6,9 +6,14 @@
     <root>/<job-id>/spec        — Wire.spec_to_string bytes (written
                                   tmp+rename, so it is present iff whole)
     <root>/<job-id>/preds.log   — one line per completed predicate
-                                  evaluation: "<32-hex-digest> 0|1\n",
-                                  appended and flushed before the result
-                                  is used
+                                  evaluation, appended and flushed before
+                                  the result is used.  Two line versions:
+                                    v1: "<32-hex-digest> 0|1\n"
+                                    v2: "<32-hex-digest> 0|1 <us> <retries>\n"
+                                  where <us> is the evaluation's wall
+                                  latency in microseconds and <retries>
+                                  how many extra oracle attempts it took.
+                                  Old (v1) journals replay unchanged.
     <root>/<job-id>/counters    — phase timing counters of the run
                                   (one "name calls seconds minor_words"
                                   line per phase), written at completion
@@ -36,9 +41,14 @@ val record_job : t -> id:string -> spec:string -> unit
 (** WAL the admission of a job.  The spec file is written to a temp name
     and renamed, so a crash can never leave a torn spec. *)
 
-val append_pred : t -> id:string -> key:string -> bool -> unit
+val append_pred :
+  t -> id:string -> key:string -> ?latency:float -> ?retries:int -> bool -> unit
 (** Append one completed predicate evaluation and flush it to the OS —
-    after this returns, a [kill -9] cannot lose the entry. *)
+    after this returns, a [kill -9] cannot lose the entry.  With
+    [latency] (seconds; [retries] defaults to 0) the v2 line format is
+    written, letting [lbr-reduce top --journal] reconstruct latency
+    histograms post-mortem; without it the v1 format, byte-identical to
+    what older daemons wrote. *)
 
 val record_counters : t -> id:string -> contents:string -> unit
 (** Write the job's [counters] file (atomic tmp+rename): the per-job phase
@@ -56,7 +66,22 @@ val pending : t -> (string * string) list
 
 val replay : t -> id:string -> (string, bool) Hashtbl.t
 (** The completed predicate evaluations of a job, keyed by digest.
-    Malformed lines are skipped. *)
+    Malformed lines are skipped; v1 and v2 lines both count. *)
+
+type verdict = {
+  v_key : string;
+  v_ok : bool;
+  v_latency : float option;  (** seconds; [None] on v1 lines *)
+  v_retries : int option;  (** [None] on v1 lines *)
+}
+
+val verdicts : t -> id:string -> verdict list
+(** Every parseable verdict line of a job, in append order — the raw
+    material for post-mortem latency histograms.  Empty if the job has no
+    predicate log. *)
+
+val jobs : t -> string list
+(** Every job directory in the journal (terminal or not), in id order. *)
 
 val max_job_number : t -> int
 (** Largest numeric suffix among [job-N] directories (0 if none) — lets a

@@ -73,8 +73,12 @@ let reduce (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
                 | Some cached -> Experiment.Replayed cached
                 | None ->
                     current := thunk;
+                    let retries0 = Oracle.retries_used oracle in
+                    let t0 = Unix.gettimeofday () in
                     let ok = Oracle.run oracle (key_assignment key) in
-                    ctx.record key ok;
+                    ctx.record ~key ~ok
+                      ~latency:(Unix.gettimeofday () -. t0)
+                      ~retries:(Oracle.retries_used oracle - retries0);
                     Experiment.Fresh ok
               in
               let hooks =

@@ -19,6 +19,13 @@
     replayed run produces the same [sim_time] — and hence byte-identical
     reduced pools and identical non-wall-time stats — as a cold run. *)
 
+val key_assignment : string -> Lbr_logic.Assignment.t
+(** The collision-free digest → assignment mapping described above: hex
+    char [i] of the 32-char digest contributes its 4 bits at variables
+    [4i .. 4i+3].  Exposed so other oracle-backed predicate adapters
+    (e.g. [lbr-reduce reduce --trace]) key their memo the same way.
+    Raises [Invalid_argument] on a non-hex character. *)
+
 val reduce : Scheduler.runner_ctx -> Wire.spec -> (Wire.stats * string, string) result
 (** [Error _] on an undecodable pool, unknown tool, or a pool the tool is
     not buggy on.  Raises [Lbr_harness.Experiment.Cancelled] when the

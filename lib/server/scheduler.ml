@@ -17,7 +17,7 @@ type runner_ctx = {
   should_stop : unit -> bool;
   progress : float -> int -> int -> unit;
   replay : (string, bool) Hashtbl.t;
-  record : string -> bool -> unit;
+  record : key:string -> ok:bool -> latency:float -> retries:int -> unit;
 }
 
 type runner = runner_ctx -> Wire.spec -> (Wire.stats * string, string) result
@@ -28,7 +28,18 @@ type job = {
   on_event : event -> unit;
   replay_table : (string, bool) Hashtbl.t;
   cancel_requested : bool Atomic.t;
+  submitted_at : float;
   mutable state : status;
+  (* Latest improvement reported through the progress event stream —
+     (sim_time, classes, bytes) — mirrored here (under the scheduler
+     lock) so a Stats snapshot never has to ask the job itself. *)
+  mutable best : (float * int * int) option;
+}
+
+type job_info = {
+  info_id : string;
+  info_running : bool;
+  info_best : (float * int * int) option;
 }
 
 type t = {
@@ -47,6 +58,25 @@ type t = {
   mutable draining : bool;
   mutable shut : bool;
 }
+
+(* Scheduler metrics: queue/running gauges track every transition under
+   the scheduler lock; histograms record queue wait (admission → claim)
+   and submitted pool sizes. *)
+let m_submitted = lazy (Lbr_obs.Metrics.counter ~help:"Jobs admitted." "lbr_jobs_submitted_total")
+let m_rejected = lazy (Lbr_obs.Metrics.counter ~help:"Jobs rejected by backpressure." "lbr_jobs_rejected_total")
+let m_done = lazy (Lbr_obs.Metrics.counter ~help:"Jobs completed successfully." "lbr_jobs_done_total")
+let m_failed = lazy (Lbr_obs.Metrics.counter ~help:"Jobs that failed." "lbr_jobs_failed_total")
+let m_cancelled = lazy (Lbr_obs.Metrics.counter ~help:"Jobs cancelled." "lbr_jobs_cancelled_total")
+let m_queue_depth = lazy (Lbr_obs.Metrics.gauge ~help:"Jobs waiting in the queue." "lbr_queue_depth")
+let m_running = lazy (Lbr_obs.Metrics.gauge ~help:"Jobs currently running." "lbr_running_jobs")
+
+let m_queue_wait =
+  lazy (Lbr_obs.Metrics.histogram ~help:"Seconds between admission and dispatch." "lbr_queue_wait_seconds")
+
+let m_job_bytes =
+  lazy
+    (Lbr_obs.Metrics.histogram ~help:"Submitted pool size in bytes." ~lo:64. ~growth:4.0
+       ~buckets:16 "lbr_job_pool_bytes")
 
 let create ~runner ~jobs ~queue_depth ?journal () =
   if jobs < 1 then invalid_arg "Scheduler.create: jobs must be >= 1";
@@ -91,9 +121,15 @@ let finalize t job status =
       | Failed reason -> Journal.mark_failed j ~id:job.id ~reason
       | Queued | Running -> ()));
   (try job.on_event (Finished status) with _ -> ());
+  (match status with
+  | Done _ -> Lbr_obs.Metrics.incr (Lazy.force m_done)
+  | Failed _ -> Lbr_obs.Metrics.incr (Lazy.force m_failed)
+  | Cancelled -> Lbr_obs.Metrics.incr (Lazy.force m_cancelled)
+  | Queued | Running -> ());
   locked t (fun () ->
       job.state <- status;
       t.running_count <- t.running_count - 1;
+      Lbr_obs.Metrics.set_gauge (Lazy.force m_running) (float_of_int t.running_count);
       Condition.broadcast t.cond)
 
 let run_job t job =
@@ -104,12 +140,16 @@ let run_job t job =
       should_stop = (fun () -> Atomic.get job.cancel_requested);
       progress =
         (fun sim_time classes bytes ->
+          (* Mirror the improvement for Stats snapshots before forwarding
+             it — introspection rides the existing event stream, nothing
+             polls the job. *)
+          locked t (fun () -> job.best <- Some (sim_time, classes, bytes));
           job.on_event (Progress { sim_time; classes; bytes }));
       replay = job.replay_table;
       record =
-        (fun key ok ->
+        (fun ~key ~ok ~latency ~retries ->
           match t.journal with
-          | Some j -> Journal.append_pred j ~id:job.id ~key ok
+          | Some j -> Journal.append_pred j ~id:job.id ~key ~latency ~retries ok
           | None -> ());
     }
   in
@@ -117,6 +157,9 @@ let run_job t job =
      delta is exactly this job's phase timing. *)
   let counters_before = Lbr_harness.Counters.snapshot_local () in
   let status =
+    Lbr_obs.Trace.with_span "scheduler.job"
+      ~args:(fun () -> [ ("job", Lbr_obs.Trace.Str job.id) ])
+    @@ fun () ->
     match t.runner ctx job.spec with
     | Ok (stats, pool_bytes) -> Done (stats, pool_bytes)
     | Error reason -> Failed reason
@@ -152,6 +195,8 @@ let rec dispatch t () =
         let job = Queue.pop q in
         t.queued_count <- t.queued_count - 1;
         t.running_count <- t.running_count + 1;
+        Lbr_obs.Metrics.set_gauge (Lazy.force m_queue_depth) (float_of_int t.queued_count);
+        Lbr_obs.Metrics.set_gauge (Lazy.force m_running) (float_of_int t.running_count);
         if Atomic.get job.cancel_requested then Some (job, `Discard)
         else begin
           job.state <- Running;
@@ -163,12 +208,19 @@ let rec dispatch t () =
   | Some (job, `Discard) ->
       finalize t job Cancelled;
       dispatch t ()
-  | Some (job, `Run) -> run_job t job
+  | Some (job, `Run) ->
+      let claimed_at = Lbr_obs.Trace.now () in
+      Lbr_obs.Metrics.observe (Lazy.force m_queue_wait) (claimed_at -. job.submitted_at);
+      Lbr_obs.Trace.span_between "scheduler.queue-wait" ~start:job.submitted_at
+        ~finish:claimed_at
+        ~args:(fun () -> [ ("job", Lbr_obs.Trace.Str job.id) ]);
+      run_job t job
 
 let enqueue_locked t job =
   Hashtbl.replace t.table job.id job;
   Queue.push job (match job.spec.Wire.priority with High -> t.high | Normal -> t.normal);
-  t.queued_count <- t.queued_count + 1
+  t.queued_count <- t.queued_count + 1;
+  Lbr_obs.Metrics.set_gauge (Lazy.force m_queue_depth) (float_of_int t.queued_count)
 
 let retry_after t = 1.0 +. (float_of_int t.queued_count /. float_of_int (Pool.jobs t.pool))
 
@@ -176,8 +228,10 @@ let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) spec =
   let admitted =
     locked t (fun () ->
         if t.draining || t.shut then Error `Draining
-        else if t.queued_count >= t.queue_depth then
+        else if t.queued_count >= t.queue_depth then begin
+          Lbr_obs.Metrics.incr (Lazy.force m_rejected);
           Error (`Queue_full (retry_after t))
+        end
         else begin
           let id = Printf.sprintf "job-%06d" t.next_id in
           t.next_id <- t.next_id + 1;
@@ -188,9 +242,14 @@ let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) spec =
               on_event = (fun ev -> on_event id ev);
               replay_table = Hashtbl.create 16;
               cancel_requested = Atomic.make false;
+              submitted_at = Lbr_obs.Trace.now ();
               state = Queued;
+              best = None;
             }
           in
+          Lbr_obs.Metrics.incr (Lazy.force m_submitted);
+          Lbr_obs.Metrics.observe (Lazy.force m_job_bytes)
+            (float_of_int (String.length spec.Wire.pool_bytes));
           (* WAL before the job becomes claimable: the spec must be on
              disk (and its journal directory exist, for [append_pred])
              before any dispatch token can start running it. *)
@@ -257,7 +316,9 @@ let recover t =
                     on_event = (fun _ -> ());
                     replay_table;
                     cancel_requested = Atomic.make false;
+                    submitted_at = Lbr_obs.Trace.now ();
                     state = Queued;
+                    best = None;
                   }
                 in
                 Some job)
@@ -269,6 +330,24 @@ let recover t =
 
 let queued t = locked t (fun () -> t.queued_count)
 let running t = locked t (fun () -> t.running_count)
+
+(* Every non-terminal job, in id order.  Consistent under the scheduler
+   lock: a job is either here or has delivered its terminal event. *)
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ job acc ->
+          match job.state with
+          | Queued | Running ->
+              {
+                info_id = job.id;
+                info_running = (job.state = Running);
+                info_best = job.best;
+              }
+              :: acc
+          | Done _ | Failed _ | Cancelled -> acc)
+        t.table [])
+  |> List.sort (fun a b -> String.compare a.info_id b.info_id)
 
 let drain t =
   Mutex.lock t.mutex;

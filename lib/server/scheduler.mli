@@ -36,7 +36,9 @@ type runner_ctx = {
   should_stop : unit -> bool;  (** true once the job is cancelled *)
   progress : float -> int -> int -> unit;  (** (sim_time, classes, bytes) *)
   replay : (string, bool) Hashtbl.t;  (** journal replay memo; empty when cold *)
-  record : string -> bool -> unit;  (** WAL a completed predicate evaluation *)
+  record : key:string -> ok:bool -> latency:float -> retries:int -> unit;
+      (** WAL a completed predicate evaluation: digest, verdict, wall
+          latency (seconds) and extra oracle attempts it took *)
 }
 
 type runner = runner_ctx -> Wire.spec -> (Wire.stats * string, string) result
@@ -81,6 +83,18 @@ val recover : t -> int
 
 val queued : t -> int
 val running : t -> int
+
+type job_info = {
+  info_id : string;
+  info_running : bool;  (** [false] = queued *)
+  info_best : (float * int * int) option;
+      (** last improvement's (sim_time, classes, bytes), mirrored from the
+          job's event stream — nothing is polled from inside the job *)
+}
+
+val snapshot : t -> job_info list
+(** Every non-terminal job in id order — one consistent view taken under
+    the scheduler lock, for the wire layer's [Stats_reply]. *)
 
 val drain : t -> unit
 (** Stop admitting and block until every accepted job has reached a

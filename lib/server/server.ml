@@ -11,6 +11,7 @@ type t = {
   journal : Journal.t option;
   listen_fd : Unix.file_descr;
   recovered : int;
+  started_at : float;
   stop_flag : bool Atomic.t;
   stopped : bool Atomic.t;
   conns_mutex : Mutex.t;
@@ -20,6 +21,27 @@ type t = {
 
 let scheduler t = t.scheduler
 let recovered t = t.recovered
+
+(* One consistent introspection snapshot: scheduler view under its lock,
+   process-wide oracle counters and the full metric registry rendered as
+   Prometheus text.  Built entirely from state the event stream already
+   maintains — nothing reaches into running jobs. *)
+let daemon_stats t =
+  let jobs = Scheduler.snapshot t.scheduler in
+  let value name = Option.value ~default:0 (Lbr_obs.Metrics.find_counter_value name) in
+  {
+    Wire.queued_jobs = List.length (List.filter (fun j -> not j.Scheduler.info_running) jobs);
+    running_jobs = List.length (List.filter (fun j -> j.Scheduler.info_running) jobs);
+    job_stats =
+      List.map
+        (fun (j : Scheduler.job_info) ->
+          { Wire.js_id = j.info_id; js_running = j.info_running; js_best = j.info_best })
+        jobs;
+    oracle_queries = value "lbr_oracle_queries_total";
+    oracle_memo_hits = value "lbr_oracle_memo_hits_total";
+    uptime = Unix.gettimeofday () -. t.started_at;
+    metrics_text = Lbr_obs.Metrics.render_prometheus ();
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Connection bookkeeping                                              *)
@@ -94,6 +116,9 @@ let handle_connection t fd =
             loop ()
         | Ok (Wire.Cancel job_id) ->
             send (Wire.Cancel_ok { job_id; found = Scheduler.cancel t.scheduler job_id });
+            loop ()
+        | Ok Wire.Stats_request ->
+            send (Wire.Stats_reply (daemon_stats t));
             loop ()
         | Ok (Wire.Hello _) -> fatal "duplicate hello"
         | Ok _ -> fatal "unexpected server-side message kind"
@@ -170,6 +195,7 @@ let start config =
       journal;
       listen_fd;
       recovered;
+      started_at = Unix.gettimeofday ();
       stop_flag = Atomic.make false;
       stopped = Atomic.make false;
       conns_mutex = Mutex.create ();

@@ -1,4 +1,6 @@
-let protocol_version = 1
+(* v1: handshake, submit/cancel, progress/result streams.
+   v2: adds Stats_request/Stats_reply (live daemon introspection). *)
+let protocol_version = 2
 let max_frame = 64 * 1024 * 1024
 
 type priority = Normal | High
@@ -27,6 +29,22 @@ type stats = {
   bytes1 : int;
 }
 
+type job_stat = {
+  js_id : string;
+  js_running : bool;
+  js_best : (float * int * int) option;
+}
+
+type daemon_stats = {
+  queued_jobs : int;
+  running_jobs : int;
+  job_stats : job_stat list;
+  oracle_queries : int;
+  oracle_memo_hits : int;
+  uptime : float;
+  metrics_text : string;
+}
+
 type message =
   | Hello of int
   | Hello_ok of int
@@ -39,6 +57,8 @@ type message =
   | Result of { job_id : string; stats : stats; pool_bytes : string }
   | Job_failed of { job_id : string; reason : string }
   | Protocol_error of string
+  | Stats_request
+  | Stats_reply of daemon_stats
 
 (* ------------------------------------------------------------------ *)
 (* Writer primitives                                                   *)
@@ -239,12 +259,61 @@ let r_stats r =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Daemon stats (v2)                                                   *)
+
+let w_job_stat b js =
+  w_str16 b js.js_id;
+  w_bool b js.js_running;
+  (match js.js_best with
+  | None ->
+      w_bool b false;
+      w_f64 b 0.;
+      w_u32 b 0;
+      w_u32 b 0
+  | Some (sim_time, classes, bytes) ->
+      w_bool b true;
+      w_f64 b sim_time;
+      w_u32 b classes;
+      w_u32 b bytes)
+
+let r_job_stat r =
+  let js_id = r_str16 r in
+  let js_running = r_bool r in
+  let has_best = r_bool r in
+  let sim_time = r_f64 r in
+  let classes = r_u32 r in
+  let bytes = r_u32 r in
+  { js_id; js_running; js_best = (if has_best then Some (sim_time, classes, bytes) else None) }
+
+let w_daemon_stats b s =
+  w_u32 b s.queued_jobs;
+  w_u32 b s.running_jobs;
+  w_u16 b (List.length s.job_stats);
+  List.iter (w_job_stat b) s.job_stats;
+  w_u32 b s.oracle_queries;
+  w_u32 b s.oracle_memo_hits;
+  w_f64 b s.uptime;
+  w_bytes32 b s.metrics_text
+
+let r_daemon_stats r =
+  let queued_jobs = r_u32 r in
+  let running_jobs = r_u32 r in
+  let n = r_u16 r in
+  let job_stats = List.init n (fun _ -> r_job_stat r) in
+  let oracle_queries = r_u32 r in
+  let oracle_memo_hits = r_u32 r in
+  let uptime = r_f64 r in
+  let metrics_text = r_bytes32 r in
+  { queued_jobs; running_jobs; job_stats; oracle_queries; oracle_memo_hits; uptime; metrics_text }
+
+(* ------------------------------------------------------------------ *)
 (* Messages                                                            *)
 
 let kind_of = function
   | Hello _ -> 0x01
   | Submit _ -> 0x02
   | Cancel _ -> 0x03
+  | Stats_request -> 0x04
   | Hello_ok _ -> 0x81
   | Accepted _ -> 0x82
   | Rejected _ -> 0x83
@@ -253,6 +322,7 @@ let kind_of = function
   | Result _ -> 0x86
   | Job_failed _ -> 0x87
   | Protocol_error _ -> 0x88
+  | Stats_reply _ -> 0x89
 
 let encode_payload msg =
   let b = Buffer.create 64 in
@@ -279,7 +349,9 @@ let encode_payload msg =
   | Job_failed { job_id; reason } ->
       w_str16 b job_id;
       w_str16 b reason
-  | Protocol_error m -> w_str16 b m);
+  | Protocol_error m -> w_str16 b m
+  | Stats_request -> ()
+  | Stats_reply s -> w_daemon_stats b s);
   Buffer.contents b
 
 let encode msg =
@@ -318,6 +390,8 @@ let decode_payload data =
           let job_id = r_str16 r in
           Job_failed { job_id; reason = r_str16 r }
       | 0x88 -> Protocol_error (r_str16 r)
+      | 0x04 -> Stats_request
+      | 0x89 -> Stats_reply (r_daemon_stats r)
       | k -> fail "unknown message kind 0x%02x" k
     in
     r_end r;

@@ -26,7 +26,8 @@
     clients. *)
 
 val protocol_version : int
-(** Currently [1]. *)
+(** Currently [2].  v2 added [Stats_request]/[Stats_reply]; a v1 peer
+    negotiates down during the handshake and simply never sends them. *)
 
 val max_frame : int
 (** Hard ceiling on a frame payload (64 MiB); larger lengths are rejected
@@ -59,6 +60,24 @@ type stats = {
   bytes1 : int;
 }
 
+type job_stat = {
+  js_id : string;
+  js_running : bool;  (** [false] = still queued *)
+  js_best : (float * int * int) option;
+      (** latest improvement's (sim_time, classes, bytes); [None] before
+          the first one *)
+}
+
+type daemon_stats = {
+  queued_jobs : int;
+  running_jobs : int;
+  job_stats : job_stat list;  (** every non-terminal job, id order *)
+  oracle_queries : int;  (** process-wide, across all jobs so far *)
+  oracle_memo_hits : int;
+  uptime : float;  (** seconds since the daemon started *)
+  metrics_text : string;  (** Prometheus text-format metric snapshot *)
+}
+
 type message =
   | Hello of int  (** client → server: highest version the client speaks *)
   | Hello_ok of int  (** server → client: negotiated version *)
@@ -72,6 +91,8 @@ type message =
   | Result of { job_id : string; stats : stats; pool_bytes : string }
   | Job_failed of { job_id : string; reason : string }
   | Protocol_error of string
+  | Stats_request  (** v2, client → server: live introspection snapshot *)
+  | Stats_reply of daemon_stats  (** v2, server → client *)
 
 (* ------------------------------------------------------------------ *)
 

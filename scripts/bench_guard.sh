@@ -19,9 +19,13 @@ trap 'rm -f "$json"' EXIT
 dune exec bench/main.exe -- --programs 5 --skip-micro --json "$json" >/dev/null
 
 # One strategy object per line in the JSON dump; drop the host-dependent
-# timing fields, keep everything else byte-for-byte.
+# timing fields, keep everything else byte-for-byte.  The positive grep
+# also keeps the Lbr_obs metric rows (tagged "kind": latency histograms,
+# span aggregates) out of the baseline: their values are wall-clock
+# dependent, so they are stripped from this non-timing diff.
 extract() {
   grep '"geo_sim_time_seconds"' "$1" |
+    grep -v '"kind"' |
     sed -E 's/"wall_seconds": [^,]+, //; s/"speedup": [^,]+, //'
 }
 

@@ -3,11 +3,14 @@
 #   1. start `lbr-reduce serve` in the background (journal enabled),
 #   2. submit one generated instance over the Unix socket,
 #   3. check the reduced pool is byte-identical to an in-process
-#      `lbr-reduce reduce` of the same instance,
-#   4. SIGTERM the daemon and require a clean drain + zero exit.
+#      `lbr-reduce reduce` of the same instance — run with --trace, which
+#      doubles as the check that tracing never changes results,
+#   4. validate the emitted Chrome trace JSON (≥1 gbr.iteration span),
+#   5. SIGTERM the daemon and require a clean drain + zero exit.
 #
 # Usage: scripts/e2e_smoke.sh  (after `dune build`; override BIN to point
-# at the lbr_reduce executable if it lives elsewhere)
+# at the lbr_reduce executable if it lives elsewhere, and TRACE_OUT to
+# keep the trace file, e.g. for a CI artifact)
 set -euo pipefail
 
 BIN=${BIN:-_build/default/bin/lbr_reduce.exe}
@@ -27,11 +30,27 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "daemon never bound $SOCK"; cat "$WORK/serve.log"; exit 1; }
 
+TRACE_OUT=${TRACE_OUT:-$WORK/reduce-trace.json}
+
 "$BIN" submit --socket "$SOCK" --seed 1 --classes 30 --output-pool "$WORK/socket.lbrc"
-"$BIN" reduce --seed 1 --classes 30 --output-pool "$WORK/inproc.lbrc" > /dev/null
+"$BIN" reduce --seed 1 --classes 30 --output-pool "$WORK/inproc.lbrc" \
+  --trace "$TRACE_OUT" > /dev/null 2>&1
 
 cmp "$WORK/socket.lbrc" "$WORK/inproc.lbrc"
-echo "OK: socket result is byte-identical to the in-process run"
+echo "OK: socket result is byte-identical to the in-process (traced) run"
+
+# The traced run must have produced a loadable Chrome trace with at least
+# one GBR iteration span.  jq where available, grep as the fallback.
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.traceEvents | length > 0' "$TRACE_OUT" > /dev/null \
+    || { echo "trace has no events"; exit 1; }
+  jq -e '[.traceEvents[] | select(.name == "gbr.iteration")] | length >= 1' \
+    "$TRACE_OUT" > /dev/null || { echo "trace has no gbr.iteration span"; exit 1; }
+else
+  grep -q '"traceEvents"' "$TRACE_OUT" || { echo "not a trace file"; exit 1; }
+  grep -q '"gbr.iteration"' "$TRACE_OUT" || { echo "trace has no gbr.iteration span"; exit 1; }
+fi
+echo "OK: --trace emitted valid Chrome trace JSON with gbr.iteration spans"
 
 test -f "$WORK/journal/job-000001/done" || { echo "journal has no done marker"; exit 1; }
 echo "OK: journal recorded the job and its terminal marker"

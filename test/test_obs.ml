@@ -1,0 +1,306 @@
+(* Tests for Lbr_obs (tracing + metrics) and the Counters.since delta
+   semantics it leans on.
+
+   Trace and the metric registry are process-global; every trace test
+   begins with [Trace.start] (which resets the rings) and ends with
+   [Trace.stop], and metric names are unique per test so registry state
+   cannot leak between cases. *)
+
+module Trace = Lbr_obs.Trace
+module Metrics = Lbr_obs.Metrics
+module Histogram = Lbr_obs.Metrics.Histogram
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Trace: spans and ring buffers                                       *)
+
+let test_disabled_passthrough () =
+  Trace.start ();
+  Trace.stop ();
+  (* disabled: values flow through, nothing is recorded *)
+  Alcotest.(check int) "value" 42 (Trace.with_span "off" (fun () -> 42));
+  Trace.instant "off-instant";
+  Trace.span_between "off-between" ~start:0. ~finish:1.;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()));
+  Alcotest.(check bool) "disabled" false (Trace.enabled ())
+
+let test_enabled_recording () =
+  Trace.start ();
+  let r = ref 0 in
+  let v =
+    Trace.with_span "outer"
+      ~args:(fun () -> [ ("observed", Trace.Int !r) ])
+      (fun () ->
+        Trace.with_span "inner" (fun () -> r := 7);
+        Trace.instant "mark";
+        !r)
+  in
+  Trace.stop ();
+  Alcotest.(check int) "result" 7 v;
+  let events = Trace.events () in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  let by_name n = List.find (fun (e : Trace.event) -> e.ev_name = n) events in
+  let outer = by_name "outer" and inner = by_name "inner" and mark = by_name "mark" in
+  Alcotest.(check char) "span ph" 'X' outer.ev_ph;
+  Alcotest.(check char) "instant ph" 'i' mark.ev_ph;
+  Alcotest.(check bool) "inner nested in outer" true (inner.ev_dur <= outer.ev_dur);
+  (* args thunks run at span end, so they see state the body wrote *)
+  match List.assoc_opt "observed" outer.ev_args with
+  | Some (Trace.Int 7) -> ()
+  | _ -> Alcotest.fail "outer args should carry the post-body value 7"
+
+let test_span_on_exception () =
+  Trace.start ();
+  (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Trace.stop ();
+  match Trace.events () with
+  | [ e ] ->
+      Alcotest.(check string) "name" "boom" e.ev_name;
+      Alcotest.(check char) "ph" 'X' e.ev_ph
+  | es -> Alcotest.failf "expected exactly the boom span, got %d events" (List.length es)
+
+let test_ring_overflow_drops () =
+  Trace.start ~capacity:8 ();
+  for i = 1 to 20 do
+    Trace.instant (string_of_int i)
+  done;
+  Trace.stop ();
+  Alcotest.(check int) "ring keeps capacity" 8 (List.length (Trace.events ()));
+  Alcotest.(check int) "dropped counted" 12 (Trace.dropped ());
+  (* the ring keeps the most recent window; sort because equal-microsecond
+     timestamps make the ts order between neighbours unspecified *)
+  let names =
+    List.map (fun (e : Trace.event) -> e.ev_name) (Trace.events ()) |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "newest survive"
+    [ "13"; "14"; "15"; "16"; "17"; "18"; "19"; "20" ]
+    names
+
+let test_span_between () =
+  Trace.start ();
+  let t0 = Trace.now () in
+  Trace.span_between "wait" ~start:t0 ~finish:(t0 +. 0.25);
+  Trace.stop ();
+  match Trace.events () with
+  | [ e ] ->
+      Alcotest.(check string) "name" "wait" e.ev_name;
+      Alcotest.(check bool) "duration ~250ms in us" true (abs_float (e.ev_dur -. 250_000.) < 1.)
+  | es -> Alcotest.failf "expected one span, got %d" (List.length es)
+
+let test_trace_json_shape () =
+  Trace.start ();
+  Trace.with_span "js\"on" (fun () -> ());
+  Trace.stop ();
+  let json = Trace.to_json () in
+  Alcotest.(check bool) "has traceEvents" true (contains ~affix:{|"traceEvents"|} json);
+  Alcotest.(check bool) "escapes quotes" true (contains ~affix:{|js\"on|} json)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let test_counter_create_or_get () =
+  let a = Metrics.counter "test_obs_requests_total" in
+  let b = Metrics.counter "test_obs_requests_total" in
+  Metrics.incr a;
+  Metrics.add b 2;
+  Alcotest.(check int) "shared state" 3 (Metrics.counter_value a);
+  Alcotest.(check (option int))
+    "find_counter_value" (Some 3)
+    (Metrics.find_counter_value "test_obs_requests_total");
+  Alcotest.(check (option int)) "unknown name" None (Metrics.find_counter_value "test_obs_nope")
+
+let test_kind_mismatch () =
+  let (_ : Metrics.counter) = Metrics.counter "test_obs_kind_clash" in
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument
+       "Metrics: \"test_obs_kind_clash\" already registered with a different kind (wanted gauge)")
+    (fun () -> ignore (Metrics.gauge "test_obs_kind_clash"));
+  Alcotest.check_raises "invalid name"
+    (Invalid_argument "Metrics: invalid metric name \"with space\"") (fun () ->
+      ignore (Metrics.counter "with space"))
+
+let test_gauge_ops () =
+  let g = Metrics.gauge "test_obs_depth" in
+  Metrics.set_gauge g 4.;
+  Metrics.add_gauge g (-1.5);
+  Alcotest.(check (float 1e-9)) "gauge value" 2.5 (Metrics.gauge_value g)
+
+(* Pin the Prometheus text rendering for one counter and one histogram
+   with hand-computed buckets (values chosen exactly representable). *)
+let test_prometheus_pinned () =
+  let c = Metrics.counter ~help:"Pinned counter." "test_obs_pin_total" in
+  Metrics.add c 3;
+  let h =
+    Metrics.histogram ~help:"Pinned histogram." ~lo:0.25 ~growth:4.0 ~buckets:4
+      "test_obs_pin_latency_seconds"
+  in
+  List.iter (Metrics.observe h) [ 0.125; 0.5; 2.0; 8.0 ];
+  let rendered = Metrics.render_prometheus () in
+  let ours =
+    String.split_on_char '\n' rendered
+    |> List.filter (contains ~affix:"test_obs_pin_")
+    |> String.concat "\n"
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP test_obs_pin_latency_seconds Pinned histogram.";
+        "# TYPE test_obs_pin_latency_seconds histogram";
+        {|test_obs_pin_latency_seconds_bucket{le="0.25"} 1|};
+        {|test_obs_pin_latency_seconds_bucket{le="1"} 2|};
+        {|test_obs_pin_latency_seconds_bucket{le="4"} 3|};
+        {|test_obs_pin_latency_seconds_bucket{le="+Inf"} 4|};
+        "test_obs_pin_latency_seconds_sum 10.625";
+        "test_obs_pin_latency_seconds_count 4";
+        "# HELP test_obs_pin_total Pinned counter.";
+        "# TYPE test_obs_pin_total counter";
+        "test_obs_pin_total 3";
+      ]
+  in
+  Alcotest.(check string) "prometheus text" expected ours
+
+(* ------------------------------------------------------------------ *)
+(* Histogram properties                                                *)
+
+let layout_gen =
+  QCheck.Gen.(triple (float_range 1e-9 100.) (float_range 1.1 10.) (int_range 2 40))
+
+let values_gen = QCheck.Gen.(list_size (int_range 0 200) (float_range 1e-9 1e6))
+
+let prop_bucket_monotonic =
+  QCheck.Test.make ~count:300 ~name:"histogram bucket bounds strictly increase"
+    (QCheck.make QCheck.Gen.(pair layout_gen (float_range 0. 1e7)))
+    (fun ((lo, growth, buckets), v) ->
+      let h = Histogram.create ~lo ~growth ~buckets () in
+      let le = Histogram.upper_bounds h in
+      let n = Array.length le in
+      let increasing = ref true in
+      for i = 1 to n - 1 do
+        if not (le.(i) > le.(i - 1)) then increasing := false
+      done;
+      let i = Histogram.bucket_index h v in
+      !increasing
+      && le.(n - 1) = infinity
+      && (v <= le.(i) || i = n - 1)
+      && (i = 0 || v > le.(i - 1)))
+
+let prop_merge_conserves =
+  QCheck.Test.make ~count:300 ~name:"merge conserves count, sum and buckets"
+    (QCheck.make QCheck.Gen.(pair values_gen values_gen))
+    (fun (xs, ys) ->
+      let a = Histogram.create ~lo:1e-6 ~growth:2.0 ~buckets:24 () in
+      let b = Histogram.create ~lo:1e-6 ~growth:2.0 ~buckets:24 () in
+      List.iter (Histogram.observe a) xs;
+      List.iter (Histogram.observe b) ys;
+      let m = Histogram.merge a b in
+      Histogram.count m = Histogram.count a + Histogram.count b
+      && Histogram.sum m = Histogram.sum a +. Histogram.sum b
+      && Array.for_all2 (fun c (ca, cb) -> c = ca + cb)
+           (Histogram.bucket_counts m)
+           (Array.combine (Histogram.bucket_counts a) (Histogram.bucket_counts b)))
+
+let prop_merge_rejects_layouts =
+  QCheck.Test.make ~count:50 ~name:"merge rejects differing layouts"
+    (QCheck.make layout_gen)
+    (fun (lo, growth, buckets) ->
+      let a = Histogram.create ~lo ~growth ~buckets () in
+      let b = Histogram.create ~lo ~growth ~buckets:(buckets + 1) () in
+      match Histogram.merge a b with
+      | (_ : Histogram.t) -> false
+      | exception Invalid_argument _ -> true)
+
+let prop_quantile_within_bucket =
+  QCheck.Test.make ~count:300 ~name:"quantile lands in the exact value's bucket"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 200) (float_range 1e-9 1e6))
+           (float_range 0. 1.)))
+    (fun (xs, q) ->
+      let h = Histogram.create ~lo:1e-6 ~growth:2.0 ~buckets:24 () in
+      List.iter (Histogram.observe h) xs;
+      let n = List.length xs in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let exact = List.nth (List.sort compare xs) (rank - 1) in
+      let estimate = Histogram.quantile h q in
+      abs (Histogram.bucket_index h estimate - Histogram.bucket_index h exact) <= 1)
+
+let test_quantile_empty_nan () =
+  let h = Histogram.create () in
+  Alcotest.(check bool) "nan on empty" true (Float.is_nan (Histogram.quantile h 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Counters.since: keyed on name, tolerant of after-only phases        *)
+
+let row name calls seconds minor_words =
+  { Lbr_harness.Counters.name; calls; seconds; minor_words }
+
+let check_rows msg expected actual =
+  let pp fmt (r : Lbr_harness.Counters.row) =
+    Format.fprintf fmt "%s/%d/%.3f/%.0f" r.name r.calls r.seconds r.minor_words
+  in
+  let row_t = Alcotest.testable pp ( = ) in
+  Alcotest.(check (list row_t)) msg expected actual
+
+let test_since_keys_on_name () =
+  (* rows deliberately misaligned by position: since must match by name *)
+  let before = [ row "b" 2 1.0 10.; row "a" 1 0.5 4. ] in
+  let after = [ row "a" 4 2.0 16.; row "b" 2 1.0 10. ] in
+  check_rows "delta keyed by name"
+    [ row "a" 3 1.5 12. ]
+    (Lbr_harness.Counters.since ~before ~after)
+
+let test_since_after_only_phase () =
+  (* a phase first seen after the snapshot (fresh domain mid-task) is
+     reported whole, not dropped or misattributed *)
+  let before = [ row "a" 1 0.5 4. ] in
+  let after = [ row "a" 1 0.5 4.; row "fresh" 5 2.5 20. ] in
+  check_rows "after-only phase kept"
+    [ row "fresh" 5 2.5 20. ]
+    (Lbr_harness.Counters.since ~before ~after)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "lbr_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled passthrough" `Quick test_disabled_passthrough;
+          Alcotest.test_case "enabled recording + end-of-span args" `Quick
+            test_enabled_recording;
+          Alcotest.test_case "span recorded on exception" `Quick test_span_on_exception;
+          Alcotest.test_case "ring overflow drops oldest" `Quick test_ring_overflow_drops;
+          Alcotest.test_case "span_between duration" `Quick test_span_between;
+          Alcotest.test_case "trace JSON shape" `Quick test_trace_json_shape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter create-or-get" `Quick test_counter_create_or_get;
+          Alcotest.test_case "kind/name validation" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge ops" `Quick test_gauge_ops;
+          Alcotest.test_case "prometheus rendering (pinned)" `Quick test_prometheus_pinned;
+          Alcotest.test_case "quantile of empty is nan" `Quick test_quantile_empty_nan;
+        ] );
+      ( "histogram-properties",
+        qsuite
+          [
+            prop_bucket_monotonic;
+            prop_merge_conserves;
+            prop_merge_rejects_layouts;
+            prop_quantile_within_bucket;
+          ] );
+      ( "counters",
+        [
+          Alcotest.test_case "since keys on name" `Quick test_since_keys_on_name;
+          Alcotest.test_case "since tolerates after-only phases" `Quick
+            test_since_after_only_phase;
+        ] );
+    ]

@@ -306,6 +306,33 @@ let test_run_corpus_parallel_deterministic () =
   let parallel = Lbr_harness.Experiment.run_corpus ~jobs:4 Lbr_harness.Experiment.Gbr instances in
   check_outcomes_equal_modulo_wall ~what:"gbr jobs=4 vs jobs=1" sequential parallel
 
+(* Tracing must be observation only: the same corpus reduced with the
+   recorder on yields outcome-identical results, sequentially and on a
+   domain pool — while actually capturing gbr.iteration spans. *)
+let test_run_corpus_tracing_is_transparent () =
+  let instances = Lazy.force ten_instances in
+  let traced jobs =
+    Lbr_obs.Trace.start ();
+    let outcomes =
+      Fun.protect
+        ~finally:(fun () -> Lbr_obs.Trace.stop ())
+        (fun () -> Lbr_harness.Experiment.run_corpus ~jobs Lbr_harness.Experiment.Gbr instances)
+    in
+    let iterations =
+      List.length
+        (List.filter
+           (fun (e : Lbr_obs.Trace.event) -> e.ev_name = "gbr.iteration")
+           (Lbr_obs.Trace.events ()))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d captured gbr.iteration spans" jobs)
+      true (iterations > 0);
+    outcomes
+  in
+  let plain1 = Lbr_harness.Experiment.run_corpus ~jobs:1 Lbr_harness.Experiment.Gbr instances in
+  check_outcomes_equal_modulo_wall ~what:"traced jobs=1 vs plain jobs=1" plain1 (traced 1);
+  check_outcomes_equal_modulo_wall ~what:"traced jobs=4 vs plain jobs=1" plain1 (traced 4)
+
 let test_run_corpus_jobs1_matches_run () =
   let instances = Lazy.force ten_instances in
   let direct = List.map (Lbr_harness.Experiment.run Lbr_harness.Experiment.Jreduce) instances in
@@ -352,5 +379,7 @@ let () =
             test_run_corpus_parallel_deterministic;
           Alcotest.test_case "jobs=1 equals direct run (jreduce)" `Slow
             test_run_corpus_jobs1_matches_run;
+          Alcotest.test_case "tracing on equals tracing off (jobs=1 and 4)" `Slow
+            test_run_corpus_tracing_is_transparent;
         ] );
     ]

@@ -102,6 +102,21 @@ let sample_messages =
     Wire.Result { job_id = "job-000042"; stats = some_stats; pool_bytes = "LBRC-ish bytes" };
     Wire.Job_failed { job_id = "job-000042"; reason = "tool is not buggy" };
     Wire.Protocol_error "expected hello";
+    Wire.Stats_request;
+    Wire.Stats_reply
+      {
+        Wire.queued_jobs = 2;
+        running_jobs = 1;
+        job_stats =
+          [
+            { Wire.js_id = "job-000001"; js_running = true; js_best = Some (12.5, 9, 4210) };
+            { Wire.js_id = "job-000002"; js_running = false; js_best = None };
+          ];
+        oracle_queries = 321;
+        oracle_memo_hits = 45;
+        uptime = 98.5;
+        metrics_text = "# TYPE lbr_oracle_queries_total counter\nlbr_oracle_queries_total 321\n";
+      };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -249,6 +264,38 @@ let test_journal_tolerates_torn_line () =
   let table = Journal.replay j ~id:"job-000007" in
   Alcotest.(check int) "only the whole line survives" 1 (Hashtbl.length table);
   Alcotest.(check int) "max job number" 7 (Journal.max_job_number j);
+  Journal.close j
+
+let test_journal_v2_latency_retries () =
+  let dir = fresh_dir "v2" in
+  let j = Journal.open_dir dir in
+  Journal.record_job j ~id:"job-000003" ~spec:"S";
+  (* mixed vintages in one log: a v1 line (no latency) among v2 lines *)
+  Journal.append_pred j ~id:"job-000003" ~key:(String.make 32 'a') true;
+  Journal.append_pred j ~id:"job-000003" ~key:(String.make 32 'b') ~latency:0.25 ~retries:2
+    false;
+  Journal.append_pred j ~id:"job-000003" ~key:(String.make 32 'c') ~latency:1e-6 true;
+  Journal.close j;
+  let j = Journal.open_dir dir in
+  let table = Journal.replay j ~id:"job-000003" in
+  Alcotest.(check int) "all three vintages replay" 3 (Hashtbl.length table);
+  Alcotest.(check (option bool)) "v2 verdict readable" (Some false)
+    (Hashtbl.find_opt table (String.make 32 'b'));
+  (match Journal.verdicts j ~id:"job-000003" with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "v1 line has no latency" true (a.Journal.v_latency = None);
+      Alcotest.(check (option int)) "v1 line has no retries" None a.Journal.v_retries;
+      (match b.Journal.v_latency with
+      | Some l -> Alcotest.(check (float 1e-9)) "v2 latency survives (us precision)" 0.25 l
+      | None -> Alcotest.fail "v2 line lost its latency");
+      Alcotest.(check (option int)) "v2 retries survive" (Some 2) b.Journal.v_retries;
+      (match c.Journal.v_latency with
+      | Some l -> Alcotest.(check (float 1e-12)) "1us latency survives" 1e-6 l
+      | None -> Alcotest.fail "v2 line lost its 1us latency");
+      Alcotest.(check bool) "append order preserved" true (a.Journal.v_ok && c.Journal.v_ok)
+  | vs -> Alcotest.failf "expected 3 verdicts, got %d" (List.length vs));
+  Alcotest.(check (list string)) "jobs lists the journaled job" [ "job-000003" ]
+    (Journal.jobs j);
   Journal.close j
 
 let test_journal_rejects_unsafe_ids () =
@@ -634,6 +681,85 @@ let test_server_three_concurrent_clients_jobs4 () =
                 ref_outcome.Lbr_harness.Experiment.predicate_runs stats.Wire.predicate_runs)
         references)
 
+(* The acceptance scenario for `lbr-reduce top': three jobs submitted to a
+   jobs=1 daemon, a dedicated introspection connection polling Stats while
+   they are in flight.  At the high-water mark one job runs and two wait;
+   the running job's best-so-far is mirrored from its progress stream. *)
+let test_server_top_stats () =
+  with_server ~jobs:1 "topstats" (fun socket _server ->
+      let seeds = [ 21; 22; 23 ] in
+      let results = Array.make (List.length seeds) (Error "not run") in
+      let threads =
+        List.mapi
+          (fun i seed ->
+            Thread.create
+              (fun () ->
+                match Client.connect socket with
+                | Error m -> results.(i) <- Error ("connect: " ^ m)
+                | Ok client ->
+                    results.(i) <- Client.submit client (spec_of_seed ~classes:16 seed);
+                    Client.close client)
+              ())
+          seeds
+      in
+      (match Client.connect socket with
+      | Error m -> Alcotest.failf "stats connect: %s" m
+      | Ok stats_client ->
+          Alcotest.(check int) "protocol v2 negotiated" 2
+            (Client.negotiated_version stats_client);
+          let saw_three = ref false and saw_best = ref false in
+          let deadline = Unix.gettimeofday () +. 30. in
+          while (not (!saw_three && !saw_best)) && Unix.gettimeofday () < deadline do
+            (match Client.stats stats_client with
+            | Error m -> Alcotest.failf "stats: %s" m
+            | Ok s ->
+                if s.Wire.queued_jobs = 2 && s.Wire.running_jobs = 1 then begin
+                  saw_three := true;
+                  Alcotest.(check int) "job_stats lists all three" 3
+                    (List.length s.Wire.job_stats);
+                  Alcotest.(check int) "exactly one marked running" 1
+                    (List.length
+                       (List.filter (fun j -> j.Wire.js_running) s.Wire.job_stats))
+                end;
+                if
+                  List.exists
+                    (fun j -> j.Wire.js_running && j.Wire.js_best <> None)
+                    s.Wire.job_stats
+                then saw_best := true);
+            Thread.delay 0.002
+          done;
+          Alcotest.(check bool) "saw 1 running + 2 queued" true !saw_three;
+          Alcotest.(check bool) "saw a running job's best-so-far" true !saw_best;
+          List.iter Thread.join threads;
+          (* The result reply races the scheduler's own bookkeeping: a
+             client can hold its [Job_result] a beat before the job
+             leaves the running table, so poll the snapshot to
+             quiescence instead of trusting the first one. *)
+          let final = ref None in
+          let deadline = Unix.gettimeofday () +. 30. in
+          while !final = None && Unix.gettimeofday () < deadline do
+            (match Client.stats stats_client with
+            | Error m -> Alcotest.failf "final stats: %s" m
+            | Ok s ->
+                if s.Wire.queued_jobs + s.Wire.running_jobs = 0 then
+                  final := Some s);
+            if !final = None then Thread.delay 0.002
+          done;
+          (match !final with
+          | None -> Alcotest.fail "jobs still in flight after results delivered"
+          | Some s ->
+              Alcotest.(check bool) "oracle queries counted" true (s.Wire.oracle_queries > 0);
+              Alcotest.(check bool) "memo hit rate well-formed" true
+                (s.Wire.oracle_memo_hits >= 0
+                && s.Wire.oracle_memo_hits <= s.Wire.oracle_queries);
+              Alcotest.(check bool) "prometheus snapshot present" true
+                (String.length s.Wire.metrics_text > 0);
+              Alcotest.(check bool) "uptime positive" true (s.Wire.uptime > 0.));
+          Client.close stats_client);
+      Array.iter
+        (function Error m -> Alcotest.failf "job: %s" m | Ok _ -> ())
+        results)
+
 let test_server_rejects_bad_hello () =
   with_server "badhello" (fun socket _server ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -768,6 +894,8 @@ let () =
             test_journal_record_and_replay;
           Alcotest.test_case "torn trailing line is skipped" `Quick
             test_journal_tolerates_torn_line;
+          Alcotest.test_case "v2 verdict lines: latency + retries" `Quick
+            test_journal_v2_latency_retries;
           Alcotest.test_case "unsafe job ids rejected" `Quick test_journal_rejects_unsafe_ids;
         ] );
       ( "scheduler",
@@ -794,6 +922,8 @@ let () =
             test_server_submit_matches_in_process;
           Alcotest.test_case "3 concurrent clients, jobs=4, byte-identical" `Slow
             test_server_three_concurrent_clients_jobs4;
+          Alcotest.test_case "live stats: queue depth, best-so-far, memo rate" `Slow
+            test_server_top_stats;
           Alcotest.test_case "hello required" `Quick test_server_rejects_bad_hello;
           Alcotest.test_case "malformed frame gets Protocol_error" `Quick
             test_server_rejects_malformed_frame;
