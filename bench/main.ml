@@ -142,10 +142,19 @@ let table_e1 () =
    with N workers on >= N free cores it approaches N.  The true cross-run
    speedup is elapsed(jobs=1) / elapsed(jobs=N) over two invocations —
    this per-run figure tracks it without double-counting wait time when
-   cores are oversubscribed. *)
+   cores are oversubscribed.
+
+   The ratio is only meaningful when parallelism was requested AND the
+   host can deliver it: with jobs=1, or on a single-core host, CPU/wall
+   sits just below 1.0 (~0.97 of scheduler noise) and reporting it as a
+   "speedup" pollutes trend dashboards with a phantom slowdown.  Those
+   runs report no speedup (null in --json); host_cores in the dump lets
+   the reader see why. *)
 let cpu_seconds () =
   let t = Unix.times () in
   t.Unix.tms_utime +. t.Unix.tms_stime
+
+let speedup_measurable jobs = jobs > 1 && Domain.recommended_domain_count () > 1
 
 let run_corpus options =
   let t0 = Unix.gettimeofday () in
@@ -157,6 +166,10 @@ let run_corpus options =
   Printf.printf "\n[corpus] %d programs, %d reduction instances (%.1fs to build)\n"
     (List.length benchmarks) (List.length instances)
     (Unix.gettimeofday () -. t0);
+  (* Corpus generation exercises the same instrumented phases as the runs
+     (baseline error computation, sanity reductions), so the counter window
+     for the strategy tables opens here, after the corpus is built. *)
+  let counters_before = Counters.aggregate () in
   let outcomes =
     List.map
       (fun strategy ->
@@ -164,11 +177,19 @@ let run_corpus options =
         let c1 = cpu_seconds () in
         let outcomes = Experiment.run_corpus ~jobs:options.jobs strategy instances in
         let wall = Unix.gettimeofday () -. t1 in
-        let speedup = if wall > 0.0 then (cpu_seconds () -. c1) /. wall else nan in
+        let speedup =
+          if speedup_measurable options.jobs && wall > 0.0 then
+            (cpu_seconds () -. c1) /. wall
+          else nan
+        in
         if options.jobs = 1 then
           Printf.printf "[run] %-12s done in %.1fs wall\n%!"
             (Experiment.strategy_name strategy)
             wall
+        else if Float.is_nan speedup then
+          Printf.printf "[run] %-12s done in %.1fs wall (jobs=%d, speedup n/a on 1 core)\n%!"
+            (Experiment.strategy_name strategy)
+            wall options.jobs
         else
           Printf.printf "[run] %-12s done in %.1fs wall (jobs=%d, speedup x%.1f)\n%!"
             (Experiment.strategy_name strategy)
@@ -176,7 +197,7 @@ let run_corpus options =
         (strategy, (wall, speedup, outcomes)))
       Experiment.all_strategies
   in
-  (benchmarks, instances, outcomes)
+  (benchmarks, instances, outcomes, counters_before)
 
 let outcomes_of strategy outcomes =
   let _, _, os = List.assoc strategy outcomes in
@@ -383,18 +404,17 @@ let table_e6 instances =
         let cnf = Lbr_jvm.Constraints.generate jv pool in
         let universe = Lbr_jvm.Jvars.all jv in
         let baseline = instance.baseline_errors in
+        let sub_pool_of = Lbr_jvm.Reducer.prepare jv pool in
         let predicate =
           Lbr.Predicate.make (fun phi ->
-              let errors =
-                Lbr_decompiler.Tool.errors instance.tool (Lbr_jvm.Reducer.apply jv pool phi)
-              in
+              let errors = Lbr_decompiler.Tool.errors instance.tool (sub_pool_of phi) in
               List.for_all (fun m -> List.mem m errors) baseline)
         in
         let problem = Lbr.Problem.make ~pool:vpool ~universe ~constraints:cnf ~predicate in
         match Lbr.Gbr.reduce problem ~order:(order_of vpool cnf universe) with
         | Error _ -> (nan, 0)
         | Ok (result, stats) ->
-            let final = Lbr_jvm.Reducer.apply jv pool result in
+            let final = sub_pool_of result in
             ( 100.
               *. float_of_int (Lbr_jvm.Size.bytes final)
               /. float_of_int (Lbr_jvm.Size.bytes pool),
@@ -441,7 +461,8 @@ let table_e6 instances =
 (* Direct GBR on one corpus instance, bypassing the experiment wrapper, to
    contrast the incremental and rebuild reduction cores head to head.  The
    model derivation runs once (setup); each timed run gets a fresh
-   predicate so memoization cannot leak between runs. *)
+   predicate and a fresh prepared applier so no memoization — predicate
+   or reducer-cache — can leak between runs. *)
 let gbr_direct_setup (instance : Corpus.instance) =
   let pool = instance.benchmark.pool in
   let vpool = Var.Pool.create () in
@@ -450,11 +471,10 @@ let gbr_direct_setup (instance : Corpus.instance) =
   let universe = Lbr_jvm.Jvars.all jv in
   let order = Lbr_sat.Order.by_creation vpool in
   fun ~incremental ->
+    let sub_pool_of = Lbr_jvm.Reducer.prepare jv pool in
     let predicate =
       Lbr.Predicate.make (fun phi ->
-          let errors =
-            Lbr_decompiler.Tool.errors instance.tool (Lbr_jvm.Reducer.apply jv pool phi)
-          in
+          let errors = Lbr_decompiler.Tool.errors instance.tool (sub_pool_of phi) in
           List.for_all (fun m -> List.mem m errors) instance.baseline_errors)
     in
     let problem = Lbr.Problem.make ~pool:vpool ~universe ~constraints:cnf ~predicate in
@@ -522,6 +542,33 @@ let micro () =
               | Ok () -> ()
               | Error `Conflict -> failwith "sat:engine-add-clause: conflict");
               Lbr_sat.Msa.Engine.rollback engine snap)));
+      (Test.make ~name:"sat:propagate-watched-40cls"
+         (* Pure watched propagation on a warm engine: assume a spread of
+            universe variables under a snapshot, roll back.  No engine
+            construction in the timed loop — this isolates the per-drain
+            watcher-list walk. *)
+         (let engine =
+            match Lbr_sat.Msa.Engine.create cnf40 ~order:order40 ~universe:universe40 with
+            | Ok e -> e
+            | Error `Conflict -> failwith "sat:propagate-watched-40cls: unexpected conflict"
+          in
+          let vars =
+            Assignment.to_list universe40 |> List.filteri (fun i _ -> i mod 7 = 0)
+          in
+          Staged.stage (fun () ->
+              let snap = Lbr_sat.Msa.Engine.snapshot engine in
+              (match Lbr_sat.Msa.Engine.assume_all engine vars with
+              | Ok () | Error `Conflict -> ());
+              Lbr_sat.Msa.Engine.rollback engine snap)));
+      (Test.make ~name:"sat:engine-reset"
+         (* One create-or-reset + release cycle against a private arena:
+            the amortized cost of engine acquisition once the pool is
+            warm (the second iteration onward reuses the shell). *)
+         (let arena = Lbr_sat.Msa.Arena.create () in
+          Staged.stage (fun () ->
+              match Lbr_sat.Msa.Engine.create ~arena cnf40 ~order:order40 ~universe:universe40 with
+              | Ok e -> Lbr_sat.Msa.Arena.release arena e
+              | Error `Conflict -> failwith "sat:engine-reset: unexpected conflict")));
       Test.make ~name:"sat:trace-disabled-overhead"
         (* The cost contract of Lbr_obs.Trace: a span at a disabled call
            site is one atomic load and a branch (budget: 50ns/run).  Under
@@ -660,7 +707,8 @@ let write_json path options strategies micro_rows counter_rows metric_rows =
             (json_num p99))
     metric_rows;
   p "\n  ],\n";
-  (* Cumulative phase counters for the whole invocation (tables + micro). *)
+  (* Phase counters for the strategy-table runs (micro and corpus
+     generation excluded — see the capture site in the main driver). *)
   p "  \"counters\": [";
   List.iteri
     (fun i (r : Counters.row) ->
@@ -683,9 +731,10 @@ let () =
     "Logical Bytecode Reduction — evaluation harness (programs=%d, mean-classes=%d, seed=%d)\n"
     options.programs options.mean_classes options.seed;
   let strategy_rows = ref [] in
+  let counter_rows = ref [] in
   if options.run_tables then begin
     table_e1 ();
-    let benchmarks, instances, outcomes = run_corpus options in
+    let benchmarks, instances, outcomes, counters_before = run_corpus options in
     strategy_rows :=
       List.map
         (fun (strategy, (wall, speedup, os)) ->
@@ -695,11 +744,20 @@ let () =
     table_e2 outcomes;
     table_e3 outcomes;
     table_e5 instances outcomes;
-    table_e6 instances
+    table_e6 instances;
+    (* Counters are captured here, before the micro loops, and windowed to
+       the strategy runs: Bechamel runs each micro under a time quota, so
+       its counter contribution scales with host speed — folding it in
+       would make the dump useless as a deterministic workload measure (and
+       would hide improvements: faster code does more quota iterations,
+       keeping phase seconds constant).  Corpus generation is excluded by
+       the [since] delta for the same reason: it is setup, not workload. *)
+    counter_rows := Counters.since ~before:counters_before ~after:(Counters.aggregate ())
   end;
   let micro_rows = if options.run_micro then micro () else [] in
-  let counter_rows = Counters.aggregate () in
-  header "Phase counters (cumulative, all domains)";
+  if not options.run_tables then counter_rows := Counters.aggregate ();
+  let counter_rows = !counter_rows in
+  header "Phase counters (tables phase, all domains)";
   print_string (Counters.report counter_rows);
   let metric_rows = Lbr_obs.Metrics.rows () in
   (match options.json_path with

@@ -59,15 +59,18 @@ let binary_search predicate prefixes ~lo ~hi =
     if hi - lo <= 1 then hi
     else
       let mid = (lo + hi) / 2 in
-      if Predicate.run predicate prefixes.(mid) then go lo mid else go mid hi
+      if Predicate.run predicate (Progression.Prefixes.get prefixes mid) then
+        go lo mid
+      else go mid hi
   in
   go lo hi
 
-let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.t)
-    ~order =
+let reduce ?(check_invariants = false) ?(incremental = true) ?arena
+    (problem : Problem.t) ~order =
   let predicate = problem.predicate in
   let runs0 = Predicate.runs predicate and queries0 = Predicate.queries predicate in
   let max_iterations = Assignment.cardinal problem.universe + 1 in
+  let arena = match arena with Some a -> a | None -> Msa.Arena.default () in
   (* The persistent engine threaded through every iteration.  [None] means
      the per-iteration rebuild path (r_plus + Engine.create) — by request
      ([~incremental:false], the reference oracle), or permanently after any
@@ -78,11 +81,21 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
     ref
       (if incremental then
          match
-           Msa.Engine.create problem.constraints ~order ~universe:problem.universe
+           Msa.Engine.create ~arena problem.constraints ~order
+             ~universe:problem.universe
          with
          | Ok e -> Some e
          | Error `Conflict -> None
        else None)
+  in
+  (* Retiring the engine — permanently (conflict fallback) or at the end —
+     returns its storage to the arena for the next reduction. *)
+  let retire_engine () =
+    match !engine with
+    | Some e ->
+        engine := None;
+        Msa.Arena.release arena e
+    | None -> ()
   in
   (* The current search space in [order]-ascending order, maintained by
      filtering the previous iteration's array — the shrunk universe is a
@@ -127,7 +140,7 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
         in
         match prepared with
         | Error `Conflict ->
-            engine := None;
+            retire_engine ();
             fallback ()
         | Ok () -> (
             match
@@ -136,7 +149,7 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
             with
             | Ok entries -> Ok entries
             | Error `Conflict ->
-                engine := None;
+                retire_engine ();
                 fallback ()))
   in
   (* One iteration, factored out of [loop] so the [gbr.iteration] trace
@@ -146,18 +159,20 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
       match build_entries ~fresh learned j with
       | Error `Unsat -> `Done (Error `Unsat)
       | Ok entries -> (
-          let prefixes = Progression.prefix_unions entries in
+          (* Prefix snapshots are materialized lazily: each iteration reads
+             only the head plus the O(log n) probes of the binary search. *)
+          let prefixes = Progression.Prefixes.of_entries entries in
           match
             if check_invariants then
               progression_violation ~cnf:problem.constraints ~learned ~universe:j entries
-                prefixes
+                (Progression.Prefixes.to_array prefixes)
             else None
           with
           | Some message -> `Done (Error (`Invariant_violation message))
           | None ->
-          let n = Array.length prefixes in
+          let n = Progression.Prefixes.length prefixes in
           let prog_lengths = n :: prog_lengths in
-          let head = prefixes.(0) in
+          let head = Progression.Prefixes.get prefixes 0 in
           if Predicate.run predicate head then
             let stats =
               {
@@ -178,7 +193,9 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
             let r = binary_search predicate prefixes ~lo:0 ~hi:(n - 1) in
             let entries = Array.of_list entries in
             let learned = entries.(r) :: learned in
-            `Continue (entries.(r), learned, prefixes.(r), iterations + 1, prog_lengths)
+            `Continue
+              (entries.(r), learned, Progression.Prefixes.get prefixes r,
+               iterations + 1, prog_lengths)
           end)
   in
   let rec loop ~fresh learned j iterations prog_lengths =
@@ -199,4 +216,6 @@ let reduce ?(check_invariants = false) ?(incremental = true) (problem : Problem.
       | `Continue (entry, learned, j, iterations, prog_lengths) ->
           loop ~fresh:(Some entry) learned j iterations prog_lengths
   in
-  loop ~fresh:None [] problem.universe 1 []
+  let result = loop ~fresh:None [] problem.universe 1 [] in
+  retire_engine ();
+  result

@@ -36,6 +36,7 @@ type error =
 val reduce :
   ?check_invariants:bool ->
   ?incremental:bool ->
+  ?arena:Msa.Arena.t ->
   Problem.t ->
   order:Order.t ->
   (Assignment.t * stats, error) result
@@ -43,6 +44,11 @@ val reduce :
     ([𝒫(I)], [R_I(I)], monotonicity) — use {!Problem.validate} first when in
     doubt.  The returned assignment satisfies both the constraints and the
     predicate.
+
+    [~arena] (default: the domain's shared {!Msa.Arena.default}) supplies
+    recycled engine storage; the persistent engine is acquired from it and
+    released back when the reduction finishes or falls back, so reducing
+    many instances in sequence reallocates no solver state.
 
     [~incremental:true] (the default) threads one persistent
     {!Msa.Engine} through every iteration — learned sets are appended with

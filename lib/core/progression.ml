@@ -37,13 +37,19 @@ let entries_on_engine ?sorted engine ~order ~universe =
   in
   (* D₀ may be empty when nothing is required; the progression is still
      well-defined (its first prefix is the empty, valid sub-input). *)
-  entries [ Msa.Engine.true_set engine ] 0
+  let result = entries [ Msa.Engine.true_set engine ] 0 in
+  Msa.Engine.flush_counters engine;
+  result
 
-(* Fast path: a fresh engine per progression. *)
+(* Fast path: an arena-recycled engine per progression. *)
 let build_fast ~cnf ~order ~universe =
-  match Msa.Engine.create cnf ~order ~universe with
+  let arena = Msa.Arena.default () in
+  match Msa.Engine.create ~arena cnf ~order ~universe with
   | Error `Conflict -> Error `Conflict
-  | Ok engine -> entries_on_engine engine ~order ~universe
+  | Ok engine ->
+      let result = entries_on_engine engine ~order ~universe in
+      Msa.Arena.release arena engine;
+      result
 
 (* Slow path for formulas outside the implication fragment.  One engine is
    created and snapshotted at its post-[create] quiescent point; each entry
@@ -72,8 +78,9 @@ let build_slow ~cnf ~order ~universe =
             Msa.Engine.rollback engine base;
             general_msa ~required)
   in
+  let arena = Msa.Arena.default () in
   let engine =
-    match Msa.Engine.create cnf ~order ~universe with
+    match Msa.Engine.create ~arena cnf ~order ~universe with
     | Error `Conflict -> None
     | Ok e -> Some (e, Msa.Engine.snapshot e)
   in
@@ -82,21 +89,25 @@ let build_slow ~cnf ~order ~universe =
     | None -> general_msa ~required:Assignment.empty
     | Some (e, _) -> Some (Msa.Engine.true_set e)
   in
-  match d0 with
-  | None -> Error `Unsat
-  | Some d0 ->
-      let rec entries acc covered =
-        let remaining = Assignment.diff universe covered in
-        match Order.min_of order remaining with
-        | None -> Ok (List.rev acc)
-        | Some x -> (
-            match entry_closure ~engine ~required:(Assignment.add x covered) with
-            | None -> Error `Unsat
-            | Some closure ->
-                let entry = Assignment.diff closure covered in
-                entries (entry :: acc) (Assignment.union covered closure))
-      in
-      entries [ d0 ] d0
+  let result =
+    match d0 with
+    | None -> Error `Unsat
+    | Some d0 ->
+        let rec entries acc covered =
+          let remaining = Assignment.diff universe covered in
+          match Order.min_of order remaining with
+          | None -> Ok (List.rev acc)
+          | Some x -> (
+              match entry_closure ~engine ~required:(Assignment.add x covered) with
+              | None -> Error `Unsat
+              | Some closure ->
+                  let entry = Assignment.diff closure covered in
+                  entries (entry :: acc) (Assignment.union covered closure))
+        in
+        entries [ d0 ] d0
+  in
+  (match engine with Some (e, _) -> Msa.Arena.release arena e | None -> ());
+  result
 
 let build ~cnf ~order ~learned ~universe =
   let cnf = r_plus cnf learned in
@@ -124,3 +135,60 @@ let prefix_unions entries =
       unions.(i) <- Assignment.of_words scratch)
     arr;
   unions
+
+(* Lazy counterpart of [prefix_unions]: GBR's binary search reads only
+   O(log n) of the n prefixes per iteration (plus the head), so snapshotting
+   all of them is mostly wasted allocation.  The view materializes a prefix
+   on first access by advancing a running-union scratch buffer, memoizes it,
+   and restarts from the nearest memoized prefix when asked for an earlier
+   index.  Materialized values are exactly [prefix_unions]'s. *)
+module Prefixes = struct
+  type t = {
+    entries : Assignment.t array;
+    memo : Assignment.t option array;
+    scratch : int array;
+    mutable cursor : int;  (* scratch = union of entries.(0 .. cursor) *)
+  }
+
+  let of_entries entries =
+    let entries = Array.of_list entries in
+    let width =
+      Array.fold_left (fun w d -> max w (Assignment.word_width d)) 0 entries
+    in
+    {
+      entries;
+      memo = Array.make (max (Array.length entries) 1) None;
+      scratch = Array.make (max width 1) 0;
+      cursor = -1;
+    }
+
+  let length t = Array.length t.entries
+
+  let get t r =
+    match t.memo.(r) with
+    | Some p -> p
+    | None ->
+        if r < t.cursor then begin
+          (* Rewind: restart the scratch union from the nearest memoized
+             prefix at or below r (or from empty). *)
+          let j = ref r in
+          while !j >= 0 && (match t.memo.(!j) with None -> true | Some _ -> false) do
+            decr j
+          done;
+          Array.fill t.scratch 0 (Array.length t.scratch) 0;
+          (if !j >= 0 then
+             match t.memo.(!j) with
+             | Some p -> Assignment.or_into p t.scratch
+             | None -> assert false);
+          t.cursor <- !j
+        end;
+        for i = t.cursor + 1 to r do
+          Assignment.or_into t.entries.(i) t.scratch
+        done;
+        t.cursor <- r;
+        let p = Assignment.of_words t.scratch in
+        t.memo.(r) <- Some p;
+        p
+
+  let to_array t = Array.init (length t) (get t)
+end

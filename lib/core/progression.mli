@@ -48,3 +48,21 @@ val build_incremental :
 val prefix_unions : Assignment.t list -> Assignment.t array
 (** [prefix_unions d] is the array [D^∪] with
     [D^∪_r = D₀ ∪ … ∪ D_r]. *)
+
+(** Lazy view of {!prefix_unions}: prefixes are materialized (and memoized)
+    on first access, so a caller probing only O(log n) of the n prefixes —
+    GBR's binary search — skips the other snapshots entirely.  [get] returns
+    values equal to the corresponding {!prefix_unions} entries. *)
+module Prefixes : sig
+  type t
+
+  val of_entries : Assignment.t list -> t
+  val length : t -> int
+
+  val get : t -> int -> Assignment.t
+  (** [get t r] is [D^∪_r]; raises [Invalid_argument] outside
+      [0 .. length t - 1]. *)
+
+  val to_array : t -> Assignment.t array
+  (** All prefixes, equal to [prefix_unions] of the original entries. *)
+end

@@ -34,88 +34,147 @@ type loc = Cls of string | Meth of string * string | Ctor of string * int
 let where_of = function
   | Cls name -> name
   | Meth (cls, meth) -> cls ^ "." ^ meth
-  | Ctor (cls, index) -> Printf.sprintf "%s.<init>#%d" cls index
+  | Ctor (cls, index) -> cls ^ ".<init>#" ^ string_of_int index
 
-(* The gate depends only on the pattern and the location — never on the
-   pool — so each decision is shared across the thousands of sub-pools a
-   reduction probes the tool with.  The memos sit on the hot path of every
-   predicate run, and a parallel corpus run probes tools from several
-   domains at once; Hashtbl is not safe under concurrent mutation (a
-   resize can corrupt the table), so each domain gets its own table via
-   [Domain.DLS] — no locking on the hot path, at the cost of each domain
-   re-deriving the (pure, deterministic) gate values it needs. *)
-let selective_memo_key : (string * loc, bool) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+(* The gate value: depends only on the pattern and the location — never on
+   the pool — so each decision is shared across the thousands of sub-pools
+   a reduction probes the tool with. *)
+let gate_value pattern loc modulus =
+  let where = where_of loc in
+  Hashtbl.hash (pattern ^ "@" ^ package_of where) mod package_modulus = 0
+  && Hashtbl.hash (pattern ^ "/" ^ where) mod modulus = 0
 
-let selective pattern loc modulus =
-  let memo = Domain.DLS.get selective_memo_key in
-  let key = (pattern, loc) in
-  match Hashtbl.find_opt memo key with
-  | Some gate -> gate
-  | None ->
-      let where = where_of loc in
-      let gate =
-        Hashtbl.hash (pattern ^ "@" ^ package_of where) mod package_modulus = 0
-        && Hashtbl.hash (pattern ^ "/" ^ where) mod modulus = 0
-      in
-      Hashtbl.add memo key gate;
-      gate
+(* Gate memos.  They sit on the hot path of every predicate run: one
+   lookup per (class × pattern) plus one per surviving member, so the
+   tables are nested by class name — the probe key is always a string (or
+   int) the caller already holds, never a freshly built tuple, and the
+   hit path allocates nothing.  A parallel corpus run probes tools from
+   several domains at once and Hashtbl is not safe under concurrent
+   mutation, so each domain gets its own tables via [Domain.DLS] — no
+   locking, at the cost of each domain re-deriving the (pure,
+   deterministic) gate values it needs. *)
+type gates = {
+  g_pkg : (string, bool) Hashtbl.t;  (* class-level package prefilter *)
+  g_cls : (string, bool) Hashtbl.t;  (* full gate for [Cls] locations *)
+  g_meth : (string, (string, bool) Hashtbl.t) Hashtbl.t;  (* cls -> meth *)
+  g_ctor : (string, (int, bool) Hashtbl.t) Hashtbl.t;  (* cls -> ctor index *)
+}
+
+let gates_key : (string, gates) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let gates_for pattern =
+  let tbl = Domain.DLS.get gates_key in
+  try Hashtbl.find tbl pattern
+  with Not_found ->
+    let g =
+      {
+        g_pkg = Hashtbl.create 1024;
+        g_cls = Hashtbl.create 1024;
+        g_meth = Hashtbl.create 1024;
+        g_ctor = Hashtbl.create 64;
+      }
+    in
+    Hashtbl.add tbl pattern g;
+    g
 
 (* Class-level prefilter.  When the class name carries a package prefix
    (always, for generated pools), every member location shares the class's
    package, so a failed package gate rules out the whole class — one memo
    lookup instead of one per body. *)
-let class_gate_memo_key : (string * string, bool) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+let class_may_fire g pattern cls_name =
+  try Hashtbl.find g.g_pkg cls_name
+  with Not_found ->
+    let v =
+      match String.index_opt cls_name '/' with
+      | None -> true (* no package: member wheres hash independently *)
+      | Some i ->
+          Hashtbl.hash (pattern ^ "@" ^ String.sub cls_name 0 i) mod package_modulus = 0
+    in
+    Hashtbl.add g.g_pkg cls_name v;
+    v
 
-let class_may_fire pattern cls_name =
-  let memo = Domain.DLS.get class_gate_memo_key in
-  let key = (pattern, cls_name) in
-  match Hashtbl.find_opt memo key with
-  | Some g -> g
-  | None ->
-      let g =
-        match String.index_opt cls_name '/' with
-        | None -> true (* no package: member wheres hash independently *)
-        | Some i ->
-            Hashtbl.hash (pattern ^ "@" ^ String.sub cls_name 0 i) mod package_modulus = 0
-      in
-      Hashtbl.add memo key g;
-      g
+let cls_gate g pattern cls_name modulus =
+  try Hashtbl.find g.g_cls cls_name
+  with Not_found ->
+    let v = gate_value pattern (Cls cls_name) modulus in
+    Hashtbl.add g.g_cls cls_name v;
+    v
+
+let inner_table outer cls_name create =
+  try Hashtbl.find outer cls_name
+  with Not_found ->
+    let t = Hashtbl.create create in
+    Hashtbl.add outer cls_name t;
+    t
+
+let meth_gate g pattern cls_name meth_name modulus =
+  let mg = inner_table g.g_meth cls_name 8 in
+  try Hashtbl.find mg meth_name
+  with Not_found ->
+    let v = gate_value pattern (Meth (cls_name, meth_name)) modulus in
+    Hashtbl.add mg meth_name v;
+    v
+
+let ctor_gate g pattern cls_name index modulus =
+  let cg = inner_table g.g_ctor cls_name 4 in
+  try Hashtbl.find cg index
+  with Not_found ->
+    let v = gate_value pattern (Ctor (cls_name, index)) modulus in
+    Hashtbl.add cg index v;
+    v
 
 (* Iterate over every gated (class, method-or-ctor context, body): [f] only
-   sees bodies whose location passes [selective pattern _ modulus]. *)
+   sees bodies whose location passes the [gate_value pattern _ modulus]
+   gate. *)
 let fold_gated_bodies pool pattern modulus f acc =
+  let g = gates_for pattern in
   Classpool.fold
     (fun (c : cls) acc ->
-      if not (class_may_fire pattern c.name) then acc
+      if not (class_may_fire g pattern c.name) then acc
       else
-        let acc =
-          List.fold_left
-            (fun acc (m : meth) ->
-              if m.m_abstract then acc
-              else
-                let loc = Meth (c.name, m.m_name) in
-                if not (selective pattern loc modulus) then acc
-                else f acc c (Item.Code { cls = c.name; meth = m.m_name }) loc m.m_body)
-            acc c.methods
+        let rec meths acc = function
+          | [] -> acc
+          | (m : meth) :: rest ->
+              let acc =
+                if m.m_abstract || not (meth_gate g pattern c.name m.m_name modulus) then acc
+                else
+                  f acc c
+                    (Item.Code { cls = c.name; meth = m.m_name })
+                    (Meth (c.name, m.m_name))
+                    m.m_body
+              in
+              meths acc rest
         in
-        List.fold_left
-          (fun (acc, index) (k : ctor) ->
-            let loc = Ctor (c.name, index) in
-            ( (if selective pattern loc modulus then
-                 f acc c (Item.Ctor_code { cls = c.name; index }) loc k.k_body
-               else acc),
-              index + 1 ))
-          (acc, 0) c.ctors
-        |> fst)
+        let rec ctors acc index = function
+          | [] -> acc
+          | (k : ctor) :: rest ->
+              let acc =
+                if not (ctor_gate g pattern c.name index modulus) then acc
+                else
+                  f acc c
+                    (Item.Ctor_code { cls = c.name; index })
+                    (Ctor (c.name, index))
+                    k.k_body
+              in
+              ctors acc (index + 1) rest
+        in
+        ctors (meths acc c.methods) 0 c.ctors)
     pool acc
+
+(* Class-level gate for patterns that fire on the class itself. *)
+let selective pattern cls_name modulus = cls_gate (gates_for pattern) pattern cls_name modulus
 
 let is_internal_interface pool name =
   match Classpool.find pool name with Some c -> c.is_interface | None -> false
 
 (* Pattern: a checkcast to an internal interface inside a body confuses the
    decompiler's type reconstruction. *)
+let rec first_iface_cast pool = function
+  | [] -> None
+  | Check_cast t :: _ when is_internal_interface pool t -> Some t
+  | _ :: rest -> first_iface_cast pool rest
+
 let iface_cast =
   {
     name = "iface-cast";
@@ -123,19 +182,13 @@ let iface_cast =
       (fun pool ->
         fold_gated_bodies pool "iface-cast" 6
           (fun acc _c code_item loc body ->
-              let hits =
-                List.filter_map
-                  (function
-                    | Check_cast t when is_internal_interface pool t -> Some t
-                    | _ -> None)
-                  body
-              in
-              match hits with
-              | [] -> acc
-              | t :: _ ->
+              (* Only the first hit matters, so stop at it instead of
+                 collecting every occurrence. *)
+              match first_iface_cast pool body with
+              | None -> acc
+              | Some t ->
                   mk "iface-cast"
-                    (Printf.sprintf "error: incompatible types: required %s (in %s)" t
-                       (where_of loc))
+                    ("error: incompatible types: required " ^ t ^ " (in " ^ where_of loc ^ ")")
                     [ code_item; Item.Class t ]
                   :: acc)
           []);
@@ -143,6 +196,11 @@ let iface_cast =
 
 (* Pattern: reflective class constants are decompiled into raw types that
    no longer compile. *)
+let rec first_pool_ldc pool = function
+  | [] -> None
+  | Load_const_class t :: _ when Classpool.mem pool t -> Some t
+  | _ :: rest -> first_pool_ldc pool rest
+
 let reflective_ldc =
   {
     name = "reflective-ldc";
@@ -150,17 +208,11 @@ let reflective_ldc =
       (fun pool ->
         fold_gated_bodies pool "reflective-ldc" 3
           (fun acc _c code_item loc body ->
-              let hits =
-                List.filter_map
-                  (function Load_const_class t when Classpool.mem pool t -> Some t | _ -> None)
-                  body
-              in
-              match hits with
-              | [] -> acc
-              | t :: _ ->
+              match first_pool_ldc pool body with
+              | None -> acc
+              | Some t ->
                   mk "reflective-ldc"
-                    (Printf.sprintf "error: unchecked class literal %s.class (in %s)" t
-                       (where_of loc))
+                    ("error: unchecked class literal " ^ t ^ ".class (in " ^ where_of loc ^ ")")
                     [ code_item; Item.Class t ]
                   :: acc)
           []);
@@ -168,6 +220,26 @@ let reflective_ldc =
 
 (* Pattern: a class implementing two or more interfaces while one of its
    bodies makes an interface call — the decompiler picks the wrong bound. *)
+let rec body_has_icall = function
+  | [] -> false
+  | Invoke_interface _ :: _ -> true
+  | _ :: rest -> body_has_icall rest
+
+let rec has_icall = function
+  | [] -> false
+  | (m : meth) :: rest -> body_has_icall m.m_body || has_icall rest
+
+let rec first_two_internal pool = function
+  | [] -> None
+  | i1 :: rest -> (
+      if not (Classpool.mem pool i1) then first_two_internal pool rest
+      else
+        let rec second = function
+          | [] -> None
+          | i2 :: rest -> if Classpool.mem pool i2 then Some (i1, i2) else second rest
+        in
+        second rest)
+
 let diamond =
   {
     name = "diamond";
@@ -177,25 +249,18 @@ let diamond =
            while any of its bodies makes an interface call. *)
         Classpool.fold
           (fun (c : cls) acc ->
-            if c.is_interface || not (selective "diamond" (Cls c.name) 2) then acc
+            if c.is_interface || not (selective "diamond" c.name 2) then acc
             else
-            let internal_ifaces = List.filter (Classpool.mem pool) c.interfaces in
-            let has_icall () =
-              List.exists
-                (fun (m : meth) ->
-                  List.exists (function Invoke_interface _ -> true | _ -> false) m.m_body)
-                c.methods
-            in
-            match internal_ifaces with
-            | i1 :: i2 :: _ when has_icall () ->
-                mk "diamond"
-                  (Printf.sprintf "error: ambiguous supertype bound (class %s)" c.name)
-                  [
-                    Item.Implements { cls = c.name; iface = i1 };
-                    Item.Implements { cls = c.name; iface = i2 };
-                  ]
-                :: acc
-            | _ -> acc)
+              match first_two_internal pool c.interfaces with
+              | Some (i1, i2) when has_icall c.methods ->
+                  mk "diamond"
+                    ("error: ambiguous supertype bound (class " ^ c.name ^ ")")
+                    [
+                      Item.Implements { cls = c.name; iface = i1 };
+                      Item.Implements { cls = c.name; iface = i2 };
+                    ]
+                  :: acc
+              | Some _ | None -> acc)
           pool []);
   }
 
@@ -208,10 +273,10 @@ let inner_annot =
       (fun pool ->
         Classpool.fold
           (fun (c : cls) acc ->
-            if c.annotations <> [] && c.inner_classes <> [] && selective "inner-annot" (Cls c.name) 2
+            if c.annotations <> [] && c.inner_classes <> [] && selective "inner-annot" c.name 2
             then
               mk "inner-annot"
-                (Printf.sprintf "error: illegal start of type (class %s)" c.name)
+                ("error: illegal start of type (class " ^ c.name ^ ")")
                 [
                   Item.Annotation { cls = c.name; index = 0 };
                   Item.Inner_class { cls = c.name; index = 0 };
@@ -223,6 +288,18 @@ let inner_annot =
 
 (* Pattern: a static call that resolves through a superclass is decompiled
    as an instance call. *)
+let rec has_super_static pool = function
+  | [] -> false
+  | Invoke_static { owner; meth } :: rest -> (
+      (match Classpool.find pool owner with
+      | Some oc -> (
+          match Classfile.find_method oc meth with
+          | Some _ -> false (* defined directly: decompiles fine *)
+          | None -> Hierarchy.method_candidates pool ~owner ~meth ~static:true <> [])
+      | None -> false)
+      || has_super_static pool rest)
+  | _ :: rest -> has_super_static pool rest
+
 let static_through_super =
   {
     name = "static-super";
@@ -230,24 +307,9 @@ let static_through_super =
       (fun pool ->
         fold_gated_bodies pool "static-super" 5
           (fun acc _c code_item loc body ->
-              let hit =
-                List.exists
-                  (function
-                    | Invoke_static { owner; meth } -> (
-                        match Classpool.find pool owner with
-                        | Some oc -> (
-                            match Classfile.find_method oc meth with
-                            | Some _ -> false (* defined directly: decompiles fine *)
-                            | None ->
-                                Hierarchy.method_candidates pool ~owner ~meth ~static:true <> [])
-                        | None -> false)
-                    | _ -> false)
-                  body
-              in
-              if hit then
+              if has_super_static pool body then
                 mk "static-super"
-                  (Printf.sprintf "error: non-static method referenced from static context (in %s)"
-                     (where_of loc))
+                  ("error: non-static method referenced from static context (in " ^ where_of loc ^ ")")
                   [ code_item ]
                 :: acc
               else acc)
@@ -268,10 +330,9 @@ let abstract_super =
               match Classpool.find pool c.super with
               | Some s
                 when s.is_abstract && (not s.is_interface)
-                     && selective "abstract-super" (Cls c.name) 3 ->
+                     && selective "abstract-super" c.name 3 ->
                   mk "abstract-super"
-                    (Printf.sprintf "error: %s is not abstract and does not override (%s)" c.name
-                       c.super)
+                    ("error: " ^ c.name ^ " is not abstract and does not override (" ^ c.super ^ ")")
                     [ Item.Extends c.name; Item.Class c.super ]
                   :: acc
               | Some _ | None -> acc)
@@ -280,6 +341,11 @@ let abstract_super =
 
 (* Pattern: an upcast whose target is an interface — the decompiler inserts
    a spurious cast that breaks generics inference. *)
+let rec first_upcast_iface pool = function
+  | [] -> None
+  | Upcast { to_; _ } :: _ when is_internal_interface pool to_ -> Some to_
+  | _ :: rest -> first_upcast_iface pool rest
+
 let upcast_iface =
   {
     name = "upcast-iface";
@@ -287,25 +353,22 @@ let upcast_iface =
       (fun pool ->
         fold_gated_bodies pool "upcast-iface" 8
           (fun acc _c code_item loc body ->
-              let hits =
-                List.filter_map
-                  (function
-                    | Upcast { from_; to_ } when is_internal_interface pool to_ -> Some (from_, to_)
-                    | _ -> None)
-                  body
-              in
-              match hits with
-              | [] -> acc
-              | (_, t) :: _ ->
+              match first_upcast_iface pool body with
+              | None -> acc
+              | Some t ->
                   mk "upcast-iface"
-                    (Printf.sprintf "error: inference variable %s has incompatible bounds (in %s)"
-                       t (where_of loc))
+                    ("error: inference variable " ^ t ^ " has incompatible bounds (in " ^ where_of loc ^ ")")
                     [ code_item; Item.Class t ]
                   :: acc)
           []);
   }
 
 (* Pattern: use of a non-zero-argument constructor overload. *)
+let rec first_ctor_overload pool = function
+  | [] -> None
+  | New_instance { cls; ctor } :: _ when ctor > 0 && Classpool.mem pool cls -> Some (cls, ctor)
+  | _ :: rest -> first_ctor_overload pool rest
+
 let ctor_overload =
   {
     name = "ctor-overload";
@@ -313,20 +376,11 @@ let ctor_overload =
       (fun pool ->
         fold_gated_bodies pool "ctor-overload" 8
           (fun acc _c code_item loc body ->
-              let hits =
-                List.filter_map
-                  (function
-                    | New_instance { cls; ctor } when ctor > 0 && Classpool.mem pool cls ->
-                        Some (cls, ctor)
-                    | _ -> None)
-                  body
-              in
-              match hits with
-              | [] -> acc
-              | (cls, ctor) :: _ ->
+              match first_ctor_overload pool body with
+              | None -> acc
+              | Some (cls, ctor) ->
                   mk "ctor-overload"
-                    (Printf.sprintf "error: constructor %s cannot be applied (in %s)" cls
-                       (where_of loc))
+                    ("error: constructor " ^ cls ^ " cannot be applied (in " ^ where_of loc ^ ")")
                     [ code_item; Item.Ctor { cls; index = ctor } ]
                   :: acc)
           []);

@@ -107,8 +107,9 @@ let instances t pool = List.concat_map (fun (p : Pattern.t) -> p.detect pool) t.
 
 let errors t pool =
   (match t.faults with None -> () | Some faults -> Faults.draw faults t.name);
-  instances t pool
-  |> List.map (fun (i : Pattern.instance) -> i.message)
-  |> List.sort_uniq String.compare
+  Lbr_logic.Perf.time "tool.errors" (fun () ->
+      instances t pool
+      |> List.map (fun (i : Pattern.instance) -> i.message)
+      |> List.sort_uniq String.compare)
 
 let is_buggy_on t pool = errors t pool <> []

@@ -62,7 +62,7 @@ type driver = {
   improvements : (float * int * int) list ref;
   best : (int * int) ref;
   replayed : int ref;
-  check_pool : Classpool.t -> bool;
+  check_pool : ?phi:Assignment.t -> Classpool.t -> bool;
 }
 
 let make_driver (instance : Corpus.instance) ~cost ~hooks =
@@ -71,7 +71,8 @@ let make_driver (instance : Corpus.instance) ~cost ~hooks =
   let best = ref (max_int, max_int) in
   let improvements = ref [] in
   let replayed = ref 0 in
-  let check_pool sub =
+  let check_pool ?phi sub =
+    Lbr_logic.Perf.time "core.check-pool" @@ fun () ->
     (match hooks.should_stop with Some stop when stop () -> raise Cancelled | _ -> ());
     clock := !clock +. cost sub;
     let eval () = includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub) in
@@ -80,9 +81,16 @@ let make_driver (instance : Corpus.instance) ~cost ~hooks =
       | None -> eval ()
       | Some evaluate -> (
           (* The key must be stable across processes (it names journal
-             entries), so it digests the serialized sub-pool, not any
-             in-memory identity. *)
-          let key = Digest.to_hex (Digest.string (Serialize.to_bytes sub)) in
+             entries, which are scoped to one job).  The assignment that
+             produced the sub-pool determines it, so digesting the
+             assignment's words gives the same memoization as digesting the
+             serialized sub-pool without serializing anything; serialization
+             remains the fallback for callers with no assignment. *)
+          let key =
+            match phi with
+            | Some phi -> Assignment.digest_hex phi
+            | None -> Digest.to_hex (Digest.string (Serialize.to_bytes sub))
+          in
           match evaluate ~key eval with
           | Fresh ok -> ok
           | Replayed ok ->
@@ -183,10 +191,11 @@ let run_jreduce instance ~cost ~hooks =
   in
   let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of assignment =
+    Lbr_logic.Perf.time "jvm.restrict-classes" @@ fun () ->
     restrict_classes pool (List.map (fun i -> names.(i)) (Assignment.to_list assignment))
   in
   let predicate =
-    Lbr.Predicate.make ~name:"jreduce" (fun a -> driver.check_pool (sub_pool_of a))
+    Lbr.Predicate.make ~name:"jreduce" (fun a -> driver.check_pool ~phi:a (sub_pool_of a))
   in
   let t0 = Unix.gettimeofday () in
   let result, runs, ok =
@@ -219,7 +228,7 @@ let run_lossy instance ~pick ~strategy ~cost ~hooks =
   let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of = Reducer.prepare jv pool in
   let predicate =
-    Lbr.Predicate.make ~name:"lossy" (fun phi -> driver.check_pool (sub_pool_of phi))
+    Lbr.Predicate.make ~name:"lossy" (fun phi -> driver.check_pool ~phi (sub_pool_of phi))
   in
   let t0 = Unix.gettimeofday () in
   let result, runs, ok =
@@ -236,7 +245,7 @@ let run_gbr instance ~cost ~hooks =
   let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of = Reducer.prepare jv pool in
   let predicate =
-    Lbr.Predicate.make ~name:"gbr" (fun phi -> driver.check_pool (sub_pool_of phi))
+    Lbr.Predicate.make ~name:"gbr" (fun phi -> driver.check_pool ~phi (sub_pool_of phi))
   in
   let problem =
     Lbr.Problem.make ~pool:vpool ~universe:(Jvars.all jv) ~constraints:cnf ~predicate

@@ -31,3 +31,13 @@ let fold f pool acc = SMap.fold (fun _ c acc -> f c acc) pool.map acc
 let memo_bytes pool compute =
   if pool.bytes_memo < 0 then pool.bytes_memo <- compute pool;
   pool.bytes_memo
+
+let empty = { map = SMap.empty; bytes_memo = -1 }
+
+let set pool (c : Classfile.cls) = { map = SMap.add c.name c pool.map; bytes_memo = -1 }
+
+let unset pool name =
+  if SMap.mem name pool.map then { map = SMap.remove name pool.map; bytes_memo = -1 }
+  else pool
+
+let with_bytes pool bytes = { pool with bytes_memo = bytes }

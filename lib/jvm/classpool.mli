@@ -24,3 +24,15 @@ val fold : (Classfile.cls -> 'a -> 'a) -> t -> 'a -> 'a
 val memo_bytes : t -> (t -> int) -> int
 (** Memoization slot for {!Size.bytes}: runs [compute] on the first call
     and caches the (non-negative) result on the pool. *)
+
+val empty : t
+
+val set : t -> Classfile.cls -> t
+(** Functional add-or-replace by the class's own name. *)
+
+val unset : t -> string -> t
+(** Functional removal; identity when the name is absent. *)
+
+val with_bytes : t -> int -> t
+(** The pool with its byte size already memoized — for builders that
+    accumulate the size while assembling the map. *)

@@ -35,10 +35,10 @@ let edge_formula jv = function
 
 let path_formula jv path = Formula.conj (List.map (edge_formula jv) path)
 
-let subtype_formula jv pool ~sub ~sup =
+let subtype_formula jv hx ~sub ~sup =
   if sub = sup || Classfile.is_external sub || (sup = object_name) then Formula.True
   else
-    match Hierarchy.subtype_paths pool ~sub ~sup with
+    match Hierarchy.Ctx.subtype_paths hx ~sub ~sup with
     | [] -> Formula.False
     | paths -> bounded_disj (List.map (path_formula jv) paths)
 
@@ -66,6 +66,10 @@ let resolution_formula jv candidates ~member =
 let generate jv pool =
   let formulas = ref [] in
   let emit f = formulas := f :: !formulas in
+  (* One memoizing hierarchy context for the whole generation: resolution
+     and obligation queries repeat the same reachability walks and path
+     enumerations heavily across call sites. *)
+  let hx = Hierarchy.Ctx.create pool in
   (* An instruction's validity formula depends only on the instruction and
      the (fixed) pool, and call sites repeat heavily across bodies, so the
      whole resolution — hierarchy search included — is shared per distinct
@@ -78,7 +82,7 @@ let generate jv pool =
           [
             cls_formula jv owner;
             resolution_formula jv
-              (Hierarchy.method_candidates pool ~owner ~meth ~static:false)
+              (Hierarchy.Ctx.method_candidates hx ~owner ~meth ~static:false)
               ~member:(fun d -> Jvars.formula jv (Item.Method { cls = d; meth }));
           ]
     | Invoke_static { owner; meth } ->
@@ -86,7 +90,7 @@ let generate jv pool =
           [
             cls_formula jv owner;
             resolution_formula jv
-              (Hierarchy.method_candidates pool ~owner ~meth ~static:true)
+              (Hierarchy.Ctx.method_candidates hx ~owner ~meth ~static:true)
               ~member:(fun d -> Jvars.formula jv (Item.Method { cls = d; meth }));
           ]
     | New_instance { cls; ctor } ->
@@ -99,14 +103,14 @@ let generate jv pool =
           [
             cls_formula jv owner;
             resolution_formula jv
-              (Hierarchy.field_candidates pool ~owner ~field)
+              (Hierarchy.Ctx.field_candidates hx ~owner ~field)
               ~member:(fun d -> Jvars.formula jv (Item.Field { cls = d; field }));
           ]
     | Check_cast t | Instance_of t -> cls_formula jv t
     | Upcast { from_; to_ } ->
         Formula.conj
           [ cls_formula jv from_; cls_formula jv to_;
-            subtype_formula jv pool ~sub:from_ ~sup:to_ ]
+            subtype_formula jv hx ~sub:from_ ~sup:to_ ]
     | Load_const_class c ->
         (* Generics/reflection approximation (§3): reflection on [c] makes
            this body depend on [c] keeping all its supertype relations. *)
@@ -121,7 +125,7 @@ let generate jv pool =
                 (fun (edge, target) ->
                   edges := edge_formula jv edge :: !edges;
                   collect target)
-                (Hierarchy.out_edges pool name)
+                (Hierarchy.Ctx.out_edges hx name)
             end
           in
           collect c;
@@ -222,7 +226,7 @@ let generate jv pool =
       List.iter
         (fun (t, m) ->
           let concrete_candidates =
-            Hierarchy.method_candidates pool ~owner:c.name ~meth:m ~static:false
+            Hierarchy.Ctx.method_candidates hx ~owner:c.name ~meth:m ~static:false
             |> List.filter (fun (d, _) ->
                    match Classpool.find pool d with
                    | None -> false
@@ -238,7 +242,7 @@ let generate jv pool =
           let decl = Jvars.formula jv (Item.Method { cls = t; meth = m }) in
           let max_premise_paths = 48 in
           let paths =
-            Hierarchy.paths_between pool ~src:c.name ~dst:t ~max_paths:max_premise_paths
+            Hierarchy.Ctx.paths_to hx ~src:c.name ~dst:t ~max_paths:max_premise_paths
           in
           if List.length paths >= max_premise_paths then
             emit (Formula.imply (Formula.conj [ vc; decl ]) conclusion)
@@ -250,7 +254,7 @@ let generate jv pool =
                      (Formula.conj [ vc; path_formula jv path; decl ])
                      conclusion))
               paths)
-        (List.sort_uniq compare (Hierarchy.abstract_obligations pool c))
+        (List.sort_uniq compare (Hierarchy.Ctx.abstract_obligations hx c))
   in
   List.iter gen_class (Classpool.classes pool);
   let formula = Formula.conj (List.rev !formulas) in

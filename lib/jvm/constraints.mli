@@ -21,6 +21,7 @@ val generate : Jvars.t -> Classpool.t -> Cnf.t
 val path_formula : Jvars.t -> Hierarchy.path -> Formula.t
 (** Conjunction of the relation variables along a hierarchy path. *)
 
-val subtype_formula : Jvars.t -> Classpool.t -> sub:string -> sup:string -> Formula.t
+val subtype_formula :
+  Jvars.t -> Hierarchy.Ctx.t -> sub:string -> sup:string -> Formula.t
 (** Disjunction over all relation paths witnessing [sub ≤ sup]; [⊤] when
     trivial, [⊥] when the relation does not hold in the original pool. *)

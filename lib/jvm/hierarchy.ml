@@ -5,19 +5,222 @@ type edge =
 
 type path = edge list
 
-(* Outgoing supertype edges of a node: (edge, target) pairs.  External
-   classes are opaque: no out-edges. *)
-let out_edges pool name =
-  match Classpool.find pool name with
-  | None -> []
-  | Some (c : Classfile.cls) ->
-      if c.is_interface then List.map (fun j -> (Eiext (name, j), j)) c.interfaces
-      else
-        let ext = if Classfile.is_external c.super then [] else [ (Eext name, c.super) ] in
-        ext @ List.map (fun i -> (Eimpl (name, i), i)) c.interfaces
+(* All queries below are pure functions of the pool, and one constraint
+   generation (or validity check) asks the same questions about the same
+   hierarchy hundreds of times — every distinct call site resolves against
+   the supertype graph of its owner, every obligation re-walks the same
+   reachable set.  [Ctx] carries the pool together with lazy memo tables so
+   adjacency lists, reachability bits, and enumerated paths are computed
+   once per pool instead of once per query.  The tables only ever cache
+   final results of the same recursions the un-cached code ran, so a
+   context answers byte-for-byte what the one-shot functions answer. *)
+module Ctx = struct
+  type t = {
+    pool : Classpool.t;
+    edges : (string, (edge * string) list) Hashtbl.t;
+    reach : (string, string list) Hashtbl.t;
+    (* Per-destination "can this node reach dst" bits, shared across every
+       path enumeration targeting dst. *)
+    reaches : (string, (string, bool) Hashtbl.t) Hashtbl.t;
+    paths : (string * string * int, path list) Hashtbl.t;
+    meths : (string * string * bool, (string * path) list) Hashtbl.t;
+    fields : (string * string, (string * path) list) Hashtbl.t;
+  }
+
+  let create pool =
+    {
+      pool;
+      edges = Hashtbl.create 64;
+      reach = Hashtbl.create 64;
+      reaches = Hashtbl.create 16;
+      paths = Hashtbl.create 64;
+      meths = Hashtbl.create 64;
+      fields = Hashtbl.create 16;
+    }
+
+  (* Outgoing supertype edges of a node: (edge, target) pairs.  External
+     classes are opaque: no out-edges. *)
+  let out_edges t name =
+    try Hashtbl.find t.edges name
+    with Not_found ->
+      let es =
+        match Classpool.find t.pool name with
+        | None -> []
+        | Some (c : Classfile.cls) ->
+            if c.is_interface then List.map (fun j -> (Eiext (name, j), j)) c.interfaces
+            else
+              let ext =
+                if Classfile.is_external c.super then [] else [ (Eext name, c.super) ]
+              in
+              ext @ List.map (fun i -> (Eimpl (name, i), i)) c.interfaces
+      in
+      Hashtbl.add t.edges name es;
+      es
+
+  (* Supertype nodes reachable from [start] (excluding [start] itself), in
+     visit order, each visited once. *)
+  let reachable_supertypes t start =
+    try Hashtbl.find t.reach start
+    with Not_found ->
+      let seen = Hashtbl.create 16 in
+      let acc = ref [] in
+      let rec dfs name =
+        List.iter
+          (fun (_, target) ->
+            if not (Hashtbl.mem seen target) then begin
+              Hashtbl.add seen target ();
+              acc := target :: !acc;
+              dfs target
+            end)
+          (out_edges t name)
+      in
+      Hashtbl.add seen start ();
+      dfs start;
+      let r = List.rev !acc in
+      Hashtbl.add t.reach start r;
+      r
+
+  (* The supertype DAG can contain exponentially many paths (diamonds stack
+     multiplicatively), so path enumeration is pruned by a memoized
+     can-reach-destination test — dead branches are never entered — and
+     capped at [max_paths] results.  Dropping paths only strengthens the
+     generated constraints (fewer witnesses in a disjunction), which
+     preserves soundness. *)
+  let paths_to t ~src ~dst ~max_paths =
+    try Hashtbl.find t.paths (src, dst, max_paths)
+    with Not_found ->
+      let memo =
+        try Hashtbl.find t.reaches dst
+        with Not_found ->
+          let m = Hashtbl.create 16 in
+          Hashtbl.add t.reaches dst m;
+          m
+      in
+      let rec reaches n =
+        match Hashtbl.find_opt memo n with
+        | Some b -> b
+        | None ->
+            Hashtbl.add memo n false;
+            let b = n = dst || List.exists (fun (_, tg) -> reaches tg) (out_edges t n) in
+            Hashtbl.replace memo n b;
+            b
+      in
+      let result =
+        if not (reaches src) then []
+        else begin
+          let acc = ref [] in
+          let count = ref 0 in
+          let rec dfs n rev_path =
+            if !count < max_paths then begin
+              if n = dst then begin
+                incr count;
+                acc := List.rev rev_path :: !acc
+              end
+              else
+                List.iter
+                  (fun (e, tg) -> if reaches tg then dfs tg (e :: rev_path))
+                  (out_edges t n)
+            end
+          in
+          dfs src [];
+          List.rev !acc
+        end
+      in
+      Hashtbl.add t.paths (src, dst, max_paths) result;
+      result
+
+  let method_matches ~static (m : Classfile.meth) name =
+    m.m_name = name && m.m_static = static
+
+  (* Per-destination path budget for resolution witnesses. *)
+  let candidate_paths = 2
+
+  let method_candidates t ~owner ~meth ~static =
+    try Hashtbl.find t.meths (owner, meth, static)
+    with Not_found ->
+      let result =
+        if Classfile.is_external owner || not (Classpool.mem t.pool owner) then
+          [ ("", []) ]
+        else begin
+          let defines name =
+            match Classpool.find t.pool name with
+            | None -> false
+            | Some c -> (
+                match Classfile.find_method c meth with
+                | Some m -> method_matches ~static m meth
+                | None -> false)
+          in
+          let targets = owner :: reachable_supertypes t owner in
+          List.concat_map
+            (fun d ->
+              if not (defines d) then []
+              else
+                paths_to t ~src:owner ~dst:d ~max_paths:candidate_paths
+                |> List.map (fun p -> (d, p)))
+            targets
+        end
+      in
+      Hashtbl.add t.meths (owner, meth, static) result;
+      result
+
+  let field_candidates t ~owner ~field =
+    try Hashtbl.find t.fields (owner, field)
+    with Not_found ->
+      let result =
+        if Classfile.is_external owner || not (Classpool.mem t.pool owner) then
+          [ ("", []) ]
+        else begin
+          (* Fields resolve on the class chain only, which is a simple path. *)
+          let acc = ref [] in
+          let rec go name rev_path =
+            match Classpool.find t.pool name with
+            | None -> ()
+            | Some c ->
+                (match Classfile.find_field c field with
+                | Some _ -> acc := (name, List.rev rev_path) :: !acc
+                | None -> ());
+                if (not c.is_interface) && not (Classfile.is_external c.super) then
+                  go c.super (Eext name :: rev_path)
+          in
+          go owner [];
+          List.rev !acc
+        end
+      in
+      Hashtbl.add t.fields (owner, field) result;
+      result
+
+  let interfaces_of t start =
+    reachable_supertypes t start
+    |> List.concat_map (fun name ->
+           match Classpool.find t.pool name with
+           | Some c when c.Classfile.is_interface ->
+               paths_to t ~src:start ~dst:name ~max_paths:candidate_paths
+               |> List.map (fun p -> (name, p))
+           | Some _ | None -> [])
+
+  let subtype_paths t ~sub ~sup = paths_to t ~src:sub ~dst:sup ~max_paths:3
+
+  let abstract_obligations t (cls : Classfile.cls) =
+    let start = cls.Classfile.name in
+    reachable_supertypes t start
+    |> List.concat_map (fun name ->
+           match Classpool.find t.pool name with
+           | Some c when c.Classfile.is_interface || c.Classfile.is_abstract ->
+               List.filter_map
+                 (fun (m : Classfile.meth) ->
+                   if m.m_abstract then Some (name, m.m_name) else None)
+                 c.Classfile.methods
+           | Some _ | None -> [])
+end
+
+(* One-shot forms: a fresh context per call, exactly the pre-context
+   behavior (fresh memo tables each time). *)
+
+let out_edges pool name = Ctx.out_edges (Ctx.create pool) name
 
 let check_acyclic pool =
   (* Colour-marking DFS over the supertype graph. *)
+  let ctx = Ctx.create pool in
   let state = Hashtbl.create 64 in
   let rec visit name =
     match Hashtbl.find_opt state name with
@@ -30,7 +233,7 @@ let check_acyclic pool =
           | (_, target) :: rest -> (
               match visit target with Ok () -> all rest | Error _ as e -> e)
         in
-        let result = all (out_edges pool name) in
+        let result = all (Ctx.out_edges ctx name) in
         Hashtbl.replace state name `Done;
         result
   in
@@ -46,128 +249,17 @@ let super_chain pool start =
   in
   go [] start
 
-(* Supertype nodes reachable from [start] (excluding [start] itself), in
-   visit order, each visited once. *)
-let reachable_supertypes pool start =
-  let seen = Hashtbl.create 16 in
-  let acc = ref [] in
-  let rec dfs name =
-    List.iter
-      (fun (_, target) ->
-        if not (Hashtbl.mem seen target) then begin
-          Hashtbl.add seen target ();
-          acc := target :: !acc;
-          dfs target
-        end)
-      (out_edges pool name)
-  in
-  Hashtbl.add seen start ();
-  dfs start;
-  List.rev !acc
+let paths_between pool ~src ~dst ~max_paths =
+  Ctx.paths_to (Ctx.create pool) ~src ~dst ~max_paths
 
-(* The supertype DAG can contain exponentially many paths (diamonds stack
-   multiplicatively), so path enumeration is pruned by a memoized
-   can-reach-destination test — dead branches are never entered — and capped
-   at [max_paths] results.  Dropping paths only strengthens the generated
-   constraints (fewer witnesses in a disjunction), which preserves
-   soundness. *)
-let paths_to pool ~src ~dst ~max_paths =
-  let memo = Hashtbl.create 16 in
-  let rec reaches n =
-    match Hashtbl.find_opt memo n with
-    | Some b -> b
-    | None ->
-        Hashtbl.add memo n false;
-        let b = n = dst || List.exists (fun (_, t) -> reaches t) (out_edges pool n) in
-        Hashtbl.replace memo n b;
-        b
-  in
-  if not (reaches src) then []
-  else begin
-    let acc = ref [] in
-    let count = ref 0 in
-    let rec dfs n rev_path =
-      if !count < max_paths then begin
-        if n = dst then begin
-          incr count;
-          acc := List.rev rev_path :: !acc
-        end
-        else
-          List.iter
-            (fun (e, t) -> if reaches t then dfs t (e :: rev_path))
-            (out_edges pool n)
-      end
-    in
-    dfs src [];
-    List.rev !acc
-  end
-
-let paths_between pool ~src ~dst ~max_paths = paths_to pool ~src ~dst ~max_paths
-
-let subtype_paths pool ~sub ~sup = paths_to pool ~src:sub ~dst:sup ~max_paths:3
-
-let method_matches ~static (m : Classfile.meth) name = m.m_name = name && m.m_static = static
-
-(* Per-destination path budget for resolution witnesses. *)
-let candidate_paths = 2
+let subtype_paths pool ~sub ~sup = Ctx.subtype_paths (Ctx.create pool) ~sub ~sup
 
 let method_candidates pool ~owner ~meth ~static =
-  if Classfile.is_external owner || not (Classpool.mem pool owner) then [ ("", []) ]
-  else begin
-    let defines name =
-      match Classpool.find pool name with
-      | None -> false
-      | Some c -> (
-          match Classfile.find_method c meth with
-          | Some m -> method_matches ~static m meth
-          | None -> false)
-    in
-    let targets = owner :: reachable_supertypes pool owner in
-    List.concat_map
-      (fun d ->
-        if not (defines d) then []
-        else
-          paths_to pool ~src:owner ~dst:d ~max_paths:candidate_paths
-          |> List.map (fun p -> (d, p)))
-      targets
-  end
+  Ctx.method_candidates (Ctx.create pool) ~owner ~meth ~static
 
 let field_candidates pool ~owner ~field =
-  if Classfile.is_external owner || not (Classpool.mem pool owner) then [ ("", []) ]
-  else begin
-    (* Fields resolve on the class chain only, which is a simple path. *)
-    let acc = ref [] in
-    let rec go name rev_path =
-      match Classpool.find pool name with
-      | None -> ()
-      | Some c ->
-          (match Classfile.find_field c field with
-          | Some _ -> acc := (name, List.rev rev_path) :: !acc
-          | None -> ());
-          if (not c.is_interface) && not (Classfile.is_external c.super) then
-            go c.super (Eext name :: rev_path)
-    in
-    go owner [];
-    List.rev !acc
-  end
+  Ctx.field_candidates (Ctx.create pool) ~owner ~field
 
-let interfaces_of pool start =
-  reachable_supertypes pool start
-  |> List.concat_map (fun name ->
-         match Classpool.find pool name with
-         | Some c when c.Classfile.is_interface ->
-             paths_to pool ~src:start ~dst:name ~max_paths:candidate_paths
-             |> List.map (fun p -> (name, p))
-         | Some _ | None -> [])
+let interfaces_of pool start = Ctx.interfaces_of (Ctx.create pool) start
 
-let abstract_obligations pool (cls : Classfile.cls) =
-  let start = cls.Classfile.name in
-  reachable_supertypes pool start
-  |> List.concat_map (fun name ->
-         match Classpool.find pool name with
-         | Some c when c.Classfile.is_interface || c.Classfile.is_abstract ->
-             List.filter_map
-               (fun (m : Classfile.meth) ->
-                 if m.m_abstract then Some (name, m.m_name) else None)
-               c.Classfile.methods
-         | Some _ | None -> [])
+let abstract_obligations pool cls = Ctx.abstract_obligations (Ctx.create pool) cls

@@ -14,6 +14,30 @@ type edge =
 
 type path = edge list
 
+(** A query context over one fixed pool: the same queries as the one-shot
+    functions below, backed by lazy memo tables (adjacency, reachability
+    bits, enumerated paths, resolution results) so repeated questions about
+    one hierarchy — a constraint generation asks hundreds — are answered
+    once.  Answers are byte-for-byte those of the one-shot functions.  A
+    context must not outlive mutations of the hierarchy it was created on
+    (pools are immutable values, so in practice: don't reuse a context for
+    a different pool), and is not thread-safe. *)
+module Ctx : sig
+  type t
+
+  val create : Classpool.t -> t
+  val out_edges : t -> string -> (edge * string) list
+  val paths_to : t -> src:string -> dst:string -> max_paths:int -> path list
+  val subtype_paths : t -> sub:string -> sup:string -> path list
+
+  val method_candidates :
+    t -> owner:string -> meth:string -> static:bool -> (string * path) list
+
+  val field_candidates : t -> owner:string -> field:string -> (string * path) list
+  val interfaces_of : t -> string -> (string * path) list
+  val abstract_obligations : t -> Classfile.cls -> (string * string) list
+end
+
 val out_edges : Classpool.t -> string -> (edge * string) list
 (** Outgoing supertype edges of a class or interface (external names have
     none): the extends edge when the superclass is internal, and one edge

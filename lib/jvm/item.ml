@@ -11,18 +11,21 @@ type t =
   | Annotation of { cls : string; index : int }
   | Inner_class of { cls : string; index : int }
 
+(* Direct concatenation: [to_string] runs once per item on every variable
+   derivation, and format interpretation costs several times the append
+   itself. *)
 let to_string = function
   | Class c -> c
-  | Extends c -> Printf.sprintf "%s!extends" c
-  | Implements { cls; iface } -> Printf.sprintf "%s<%s" cls iface
-  | Iface_extends { iface; super } -> Printf.sprintf "%s<:%s" iface super
-  | Field { cls; field } -> Printf.sprintf "%s#%s" cls field
-  | Method { cls; meth } -> Printf.sprintf "%s.%s()" cls meth
-  | Code { cls; meth } -> Printf.sprintf "%s.%s()!code" cls meth
-  | Ctor { cls; index } -> Printf.sprintf "%s.<init>#%d" cls index
-  | Ctor_code { cls; index } -> Printf.sprintf "%s.<init>#%d!code" cls index
-  | Annotation { cls; index } -> Printf.sprintf "%s@%d" cls index
-  | Inner_class { cls; index } -> Printf.sprintf "%s$%d" cls index
+  | Extends c -> c ^ "!extends"
+  | Implements { cls; iface } -> cls ^ "<" ^ iface
+  | Iface_extends { iface; super } -> iface ^ "<:" ^ super
+  | Field { cls; field } -> cls ^ "#" ^ field
+  | Method { cls; meth } -> cls ^ "." ^ meth ^ "()"
+  | Code { cls; meth } -> cls ^ "." ^ meth ^ "()!code"
+  | Ctor { cls; index } -> cls ^ ".<init>#" ^ string_of_int index
+  | Ctor_code { cls; index } -> cls ^ ".<init>#" ^ string_of_int index ^ "!code"
+  | Annotation { cls; index } -> cls ^ "@" ^ string_of_int index
+  | Inner_class { cls; index } -> cls ^ "$" ^ string_of_int index
 
 let owner = function
   | Class c | Extends c -> c

@@ -86,6 +86,34 @@ let of_words w = trim (Array.copy w)
 
 let word_width s = Array.length s
 
+let digest_hex s =
+  (* The canonical word array (nonzero last word) makes the digest a
+     function of the set, and the 8-byte little-endian framing makes it
+     stable across processes on the same platform. *)
+  let n = Array.length s in
+  let b = Bytes.create (n * 8) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le b (i * 8) (Int64.of_int s.(i))
+  done;
+  Digest.to_hex (Digest.bytes b)
+
+let word_at s i = if i < Array.length s then Array.unsafe_get s i else 0
+
+let masks_of vs =
+  let vs = List.sort_uniq Int.compare vs in
+  let idxs = ref [] and masks = ref [] in
+  List.iter
+    (fun v ->
+      if v < 0 then invalid_arg "Assignment.masks_of: negative variable";
+      let w = word v and b = bit v in
+      match (!idxs, !masks) with
+      | i :: _, m :: rest when i = w -> masks := m lor (1 lsl b) :: rest
+      | _ ->
+          idxs := w :: !idxs;
+          masks := 1 lsl b :: !masks)
+    vs;
+  (Array.of_list (List.rev !idxs), Array.of_list (List.rev !masks))
+
 let or_into s buf =
   if Array.length buf < Array.length s then
     invalid_arg "Assignment.or_into: buffer too short";

@@ -25,6 +25,21 @@ val word_width : t -> int
 (** Number of words in the canonical representation — the minimum buffer
     length {!or_into} accepts. *)
 
+val digest_hex : t -> string
+(** A 32-hex-character digest of the set, stable across processes on the
+    same platform and injective up to digest collisions — a set-sized
+    stand-in for digesting a serialized artifact derived from the set. *)
+
+val word_at : t -> int -> int
+(** The [i]-th representation word, [0] beyond {!word_width} — for readers
+    that compare membership of a fixed variable set word-at-a-time. *)
+
+val masks_of : Var.t list -> int array * int array
+(** [masks_of vs] is [(words, masks)]: the distinct representation-word
+    indices covering [vs] (ascending) and, per index, the bit mask of the
+    variables of [vs] that live in it.  [word_at s words.(i) land masks.(i)]
+    then reads the membership bits of those variables in one operation. *)
+
 val or_into : t -> int array -> unit
 (** [or_into s buf] ors [s]'s words into [buf] in place: the scratch-buffer
     companion to {!of_words}, letting running unions (prefix unions of a

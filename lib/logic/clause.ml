@@ -2,7 +2,9 @@ type t = { neg : Var.t array; pos : Var.t array }
 
 let sorted_unique_general vars =
   let arr = Array.of_list vars in
-  Array.sort compare arr;
+  (* [Var.t] is an immediate int: the monomorphic comparator lets the sort
+     skip the polymorphic-compare dispatch per element pair. *)
+  Array.sort Int.compare arr;
   let n = Array.length arr in
   if n <= 1 then arr
   else begin

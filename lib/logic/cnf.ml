@@ -382,4 +382,10 @@ module Packed = struct
       if Bytes.unsafe_get t.value v = '\000' then acc := v :: !acc
     done;
     !acc
+
+  let iter_clause_unassigned t ci f =
+    for k = t.cstart.(ci) to t.cstart.(ci + 1) - 1 do
+      let v = t.lits.(k) lsr 1 in
+      if Bytes.unsafe_get t.value v = '\000' then f v
+    done
 end

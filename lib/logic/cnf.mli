@@ -132,4 +132,9 @@ module Packed : sig
 
   val clause_unassigned_vars : t -> int -> Var.t list
   (** The unassigned variables of clause [ci], ascending. *)
+
+  val iter_clause_unassigned : t -> int -> (Var.t -> unit) -> unit
+  (** Apply [f] to each unassigned variable of clause [ci], ascending —
+      {!clause_unassigned_vars} without building the list, for callers that
+      fold the variables into reused scratch state. *)
 end

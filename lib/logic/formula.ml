@@ -42,29 +42,6 @@ let rec size = function
   | And fs | Or fs -> List.fold_left (fun acc g -> acc + size g) 1 fs
   | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
 
-(* Negation normal form, tracking polarity.  [Iff] is expanded into the two
-   implications before lowering. *)
-type nnf =
-  | NTrue
-  | NFalse
-  | NLit of bool * Var.t  (* polarity, variable *)
-  | NAnd of nnf list
-  | NOr of nnf list
-
-let rec nnf polarity f =
-  match f, polarity with
-  | True, true | False, false -> NTrue
-  | True, false | False, true -> NFalse
-  | Var v, p -> NLit (p, v)
-  | Not g, p -> nnf (not p) g
-  | And fs, true -> NAnd (List.map (nnf true) fs)
-  | And fs, false -> NOr (List.map (nnf false) fs)
-  | Or fs, true -> NOr (List.map (nnf true) fs)
-  | Or fs, false -> NAnd (List.map (nnf false) fs)
-  | Implies (a, b), true -> NOr [ nnf false a; nnf true b ]
-  | Implies (a, b), false -> NAnd [ nnf true a; nnf false b ]
-  | Iff (a, b), p -> nnf p (And [ Implies (a, b); Implies (b, a) ])
-
 (* A clause under construction: negated and positive variable lists. *)
 type proto = { pneg : Var.t list; ppos : Var.t list }
 
@@ -77,37 +54,109 @@ let proto_lit polarity v =
 let proto_union a b =
   { pneg = List.rev_append a.pneg b.pneg; ppos = List.rev_append a.ppos b.ppos }
 
-(* CNF of an NNF formula as a list of proto-clauses.  [None] stands for the
-   unsatisfiable formula; the empty list for the valid one.  Tautological
-   clauses are dropped eagerly via [Clause.make]. *)
-let rec cnf_clauses = function
-  | NTrue -> Some []
-  | NFalse -> None
-  | NLit (p, v) -> Some [ proto_lit p v ]
-  | NAnd fs ->
-      List.fold_left
-        (fun acc f ->
-          match acc, cnf_clauses f with
-          | Some cs, Some cs' -> Some (List.rev_append cs' cs)
-          | None, _ | _, None -> None)
-        (Some []) fs
-  | NOr fs ->
-      (* Distribute: the clause set of a disjunction is the cross product of
-         the children's clause sets, unioning literals.  An unsatisfiable
-         child contributes nothing to the disjunction and is dropped — unless
-         every child was unsatisfiable. *)
-      let children = List.filter_map cnf_clauses fs in
-      if children = [] && fs <> [] then None else Some (cross children)
-
-and cross = function
+let rec cross = function
   | [] -> [ { pneg = []; ppos = [] } ] (* empty disjunction: the empty clause *)
   | [ cs ] -> cs
   | cs :: rest ->
       let tail = cross rest in
       List.concat_map (fun c -> List.map (proto_union c) tail) cs
 
+(* CNF of a formula under a polarity, as a list of proto-clauses.  [None]
+   stands for the unsatisfiable formula; the empty list for the valid one.
+   This fuses the former negation-normal-form pass with the distribution
+   pass — no NNF tree is materialized — and the clause LIST it produces is
+   byte-identical to NNF-then-distribute's, order included (reduction
+   outputs are order-sensitive through the engine trail, and the bench
+   guard diffs them).  [lower] is only used at disjunctive positions,
+   where the whole child clause set is needed for the cross product;
+   conjunctive spines — the overwhelming bulk of generated constraint
+   formulas — go through the [conj_rev]/[conj_fwd] pair, which prepends
+   clauses directly onto the caller's accumulator instead of building
+   per-child lists and re-copying them at every level of the spine.
+
+   The old NNF fold [rev_append]ed each child's clause list into its
+   conjunction's accumulator, so every nesting level reversed once and
+   two levels cancelled.  The pair replays that exactly: [conj_rev]
+   prepends the REVERSE of [f]'s clause list (one level of rev),
+   [conj_fwd] prepends it in order (two levels, cancelled), and each
+   conjunction case calls the other function on its children — left to
+   right under [conj_fwd], right to left under [conj_rev]. *)
+let rec lower polarity f =
+  match f, polarity with
+  | True, true | False, false -> Some []
+  | True, false | False, true -> None
+  | Var v, p -> Some [ proto_lit p v ]
+  | Not g, p -> lower (not p) g
+  | And _, true | Or _, false | Implies (_, _), false -> conj_fwd polarity f []
+  | Iff (a, b), p -> lower p (And [ Implies (a, b); Implies (b, a) ])
+  | And fs, false | Or fs, true ->
+      (* Distribute: the clause set of a disjunction is the cross product of
+         the children's clause sets, unioning literals.  An unsatisfiable
+         child contributes nothing to the disjunction and is dropped — unless
+         every child was unsatisfiable. *)
+      let children = List.filter_map (lower polarity) fs in
+      if children = [] && fs <> [] then None else Some (cross children)
+  | Implies (a, b), true ->
+      let children = List.filter_map Fun.id [ lower false a; lower true b ] in
+      if children = [] then None else Some (cross children)
+
+(* [conj_rev polarity f acc] prepends the reverse of [f]'s clause list. *)
+and conj_rev polarity f acc =
+  match f, polarity with
+  | True, true | False, false -> Some acc
+  | True, false | False, true -> None
+  | Var v, p -> Some (proto_lit p v :: acc)
+  | Not g, p -> conj_rev (not p) g acc
+  | And fs, true | Or fs, false ->
+      (* rev of the fold's output restores child order: f1's clauses first. *)
+      let rec go = function
+        | [] -> Some acc
+        | g :: rest -> (
+            match go rest with
+            | None -> None
+            | Some acc -> conj_fwd polarity g acc)
+      in
+      go fs
+  | Implies (a, b), false -> (
+      match conj_fwd false b acc with
+      | None -> None
+      | Some acc -> conj_fwd true a acc)
+  | Iff (a, b), p -> conj_rev p (And [ Implies (a, b); Implies (b, a) ]) acc
+  | And _, false | Or _, true | Implies (_, _), true -> (
+      match lower polarity f with
+      | None -> None
+      | Some cs -> Some (List.rev_append cs acc))
+
+(* [conj_fwd polarity f acc] prepends [f]'s clause list in order. *)
+and conj_fwd polarity f acc =
+  match f, polarity with
+  | True, true | False, false -> Some acc
+  | True, false | False, true -> None
+  | Var v, p -> Some (proto_lit p v :: acc)
+  | Not g, p -> conj_fwd (not p) g acc
+  | And fs, true | Or fs, false ->
+      (* The old fold itself: each child's list lands reversed, left to
+         right, so the LAST child's clauses head the result. *)
+      let rec go acc = function
+        | [] -> Some acc
+        | g :: rest -> (
+            match conj_rev polarity g acc with
+            | None -> None
+            | Some acc -> go acc rest)
+      in
+      go acc fs
+  | Implies (a, b), false -> (
+      match conj_rev true a acc with
+      | None -> None
+      | Some acc -> conj_rev false b acc)
+  | Iff (a, b), p -> conj_fwd p (And [ Implies (a, b); Implies (b, a) ]) acc
+  | And _, false | Or _, true | Implies (_, _), true -> (
+      match lower polarity f with
+      | None -> None
+      | Some cs -> Some (List.rev_append (List.rev cs) acc))
+
 let to_cnf f =
-  match cnf_clauses (nnf true f) with
+  match conj_fwd true f [] with
   | None ->
       (* The empty clause marks the CNF unsatisfiable. *)
       Cnf.make [ Clause.make_exn ~neg:[] ~pos:[] ]

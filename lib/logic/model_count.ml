@@ -38,11 +38,24 @@ let count_naive cnf ~over =
    {!Cnf.Packed.clause_is_active}.  Free variables not mentioned by any
    active clause of the scope contribute a factor of two each. *)
 
-module ISet = Set.Make (Int)
+(* Reused scratch for the variable-indexed working sets of one count: an
+   epoch stamp per variable replaces the per-call hash tables and int
+   sets, so the hot recursion allocates only the component lists it
+   returns.  Every use bumps [epoch] and completes before any recursive
+   call, so a single scratch serves the whole recursion tree. *)
+type scratch = {
+  stamp : int array;  (* epoch at which the variable was last touched *)
+  data : int array;   (* per-use payload: owning slot, or occurrence count *)
+  mutable epoch : int;
+}
+
+let make_scratch nvars =
+  { stamp = Array.make nvars 0; data = Array.make nvars 0; epoch = 0 }
 
 (* Split the scope's active clauses into connected components (clauses
-   linked by shared unassigned variables). *)
-let components p scope =
+   linked by shared unassigned variables).  [sc.data] holds the slot that
+   first claimed each variable in this epoch. *)
+let components sc p scope =
   match scope with
   | [] -> []
   | _ ->
@@ -54,26 +67,27 @@ let components p scope =
         let ri = find i and rj = find j in
         if ri <> rj then parent.(ri) <- rj
       in
-      let owner : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      sc.epoch <- sc.epoch + 1;
+      let e = sc.epoch in
       Array.iteri
         (fun i ci ->
-          List.iter
-            (fun v ->
-              match Hashtbl.find_opt owner v with
-              | None -> Hashtbl.add owner v i
-              | Some j -> union i j)
-            (Cnf.Packed.clause_unassigned_vars p ci))
+          Cnf.Packed.iter_clause_unassigned p ci (fun v ->
+              if sc.stamp.(v) = e then union i sc.data.(v)
+              else begin
+                sc.stamp.(v) <- e;
+                sc.data.(v) <- i
+              end))
         arr;
-      let buckets : (int, int list) Hashtbl.t = Hashtbl.create 8 in
-      Array.iteri
-        (fun i ci ->
-          let r = find i in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt buckets r) in
-          Hashtbl.replace buckets r (ci :: prev))
-        arr;
-      Hashtbl.fold (fun _ cs acc -> cs :: acc) buckets []
+      let buckets = Array.make n [] in
+      let roots = ref [] in
+      for i = n - 1 downto 0 do
+        let r = find i in
+        if buckets.(r) = [] then roots := r :: !roots;
+        buckets.(r) <- arr.(i) :: buckets.(r)
+      done;
+      List.rev_map (fun r -> buckets.(r)) !roots
 
-let rec count_scope p scope nfree =
+let rec count_scope sc p scope nfree =
   let m = Cnf.Packed.mark p in
   if not (Cnf.Packed.propagate p) then begin
     Cnf.Packed.undo_to p m;
@@ -83,18 +97,20 @@ let rec count_scope p scope nfree =
     let fixed = Cnf.Packed.mark p - m in
     let nfree = nfree - fixed in
     let active = List.filter (Cnf.Packed.clause_is_active p) scope in
-    let cvars =
-      List.fold_left
-        (fun acc ci ->
-          List.fold_left
-            (fun acc v -> ISet.add v acc)
-            acc
-            (Cnf.Packed.clause_unassigned_vars p ci))
-        ISet.empty active
-    in
-    let constrained = ISet.cardinal cvars in
-    assert (constrained <= nfree);
-    let free_factor = pow2 (nfree - constrained) in
+    (* Distinct unassigned variables across the active clauses. *)
+    sc.epoch <- sc.epoch + 1;
+    let e = sc.epoch in
+    let constrained = ref 0 in
+    List.iter
+      (fun ci ->
+        Cnf.Packed.iter_clause_unassigned p ci (fun v ->
+            if sc.stamp.(v) <> e then begin
+              sc.stamp.(v) <- e;
+              incr constrained
+            end))
+      active;
+    assert (!constrained <= nfree);
+    let free_factor = pow2 (nfree - !constrained) in
     let result =
       if active = [] then free_factor
       else
@@ -103,36 +119,42 @@ let rec count_scope p scope nfree =
             (fun acc comp ->
               if acc = 0 then 0
               else begin
-                (* Branch on the most frequent variable of the component. *)
-                let freq : (int, int) Hashtbl.t = Hashtbl.create 16 in
+                (* Branch on the most frequent variable of the component;
+                   occurrence counts live in the scratch payload.  The
+                   exact count is independent of the branch variable, so
+                   the first-to-reach-maximum tie-break is free to differ
+                   from a hash-order fold. *)
+                sc.epoch <- sc.epoch + 1;
+                let e = sc.epoch in
+                let nv = ref 0 and branch_var = ref (-1) and best = ref 0 in
                 List.iter
                   (fun ci ->
-                    List.iter
-                      (fun v ->
-                        Hashtbl.replace freq v
-                          (1 + Option.value ~default:0 (Hashtbl.find_opt freq v)))
-                      (Cnf.Packed.clause_unassigned_vars p ci))
+                    Cnf.Packed.iter_clause_unassigned p ci (fun v ->
+                        let c =
+                          if sc.stamp.(v) = e then sc.data.(v) + 1
+                          else begin
+                            sc.stamp.(v) <- e;
+                            incr nv;
+                            1
+                          end
+                        in
+                        sc.data.(v) <- c;
+                        if c > !best then begin
+                          best := c;
+                          branch_var := v
+                        end))
                   comp;
-                let nv = Hashtbl.length freq in
-                let branch_var =
-                  Hashtbl.fold
-                    (fun v n best ->
-                      match best with
-                      | Some (_, bn) when bn >= n -> best
-                      | _ -> Some (v, n))
-                    freq None
-                  |> Option.get |> fst
-                in
+                let branch_var = !branch_var and nv = !nv in
                 let branch value =
                   let m2 = Cnf.Packed.mark p in
                   Cnf.Packed.assign p branch_var value;
-                  let r = count_scope p comp (nv - 1) in
+                  let r = count_scope sc p comp (nv - 1) in
                   Cnf.Packed.undo_to p m2;
                   r
                 in
                 acc * (branch true + branch false)
               end)
-            1 (components p active)
+            1 (components sc p active)
         in
         free_factor * product
     in
@@ -145,6 +167,7 @@ let count cnf ~over =
   if Cnf.is_unsat cnf then 0
   else begin
     let p = Cnf.Packed.make cnf in
+    let sc = make_scratch (Cnf.Packed.num_vars p) in
     let scope = List.init (Cnf.Packed.num_clauses p) (fun i -> i) in
-    count_scope p scope (List.length over)
+    count_scope sc p scope (List.length over)
   end

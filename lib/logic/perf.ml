@@ -32,6 +32,10 @@ let totals_for table name =
       Hashtbl.replace table name c;
       c
 
+let add name n =
+  let c = totals_for (Domain.DLS.get table_key) name in
+  c.calls <- c.calls + n
+
 let time name f =
   let c = totals_for (Domain.DLS.get table_key) name in
   let t0 = Unix.gettimeofday () in

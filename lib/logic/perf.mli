@@ -22,6 +22,12 @@ val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f ()] and charges its duration and allocation to the
     calling domain's [name] counter (also on exception). *)
 
+val add : string -> int -> unit
+(** [add name n] bumps [name]'s call count by [n] without timing anything —
+    for event counters maintained cheaply by the hot path and flushed in
+    batches (watch-list visits, arena reuse hits).  Such rows report zero
+    seconds and zero minor words. *)
+
 val snapshot_local : unit -> row list
 (** The calling domain's counters, sorted by name.  Pair two snapshots with
     {!since} for an exact per-task delta — exact because each domain owns

@@ -20,28 +20,53 @@ module Engine = struct
     saved_ops : int array;
   }
 
+  (* Everything is a flat array over variable or clause indices, and every
+     field is mutable so an {!arena} can reset an engine in place: arrays
+     are capacity-sized (length >= the logical bound, [nvars] or
+     [nclauses]) and only reallocated when a reset needs more room. *)
   type t = {
-    order : Order.t;
-    truth : int array;  (* bitset over variable ids, same layout as Assignment *)
-    in_universe : bool array;
-    nvars : int;
-    original_nclauses : int;
-    (* Clause state, indexed by clause id.  Learned clauses are appended
-       past [original_nclauses], so these arrays are growable: [nclauses]
-       live entries, capacity = array length. *)
+    mutable order : Order.t;
+    mutable truth : int array;  (* bitset over variable ids, same layout as Assignment *)
+    mutable pos_in_trail : int array;  (* var -> trail index, valid while true *)
+    mutable in_universe : bool array;
+    mutable nvars : int;
+    mutable original_nclauses : int;
     mutable nclauses : int;
-    mutable heads : Var.t array array;  (* positive literals inside the universe *)
-    mutable premises_left : int array;
-    mutable satisfied : bool array;
-    occurs_premise : int array array;  (* var id -> original clauses where it is a premise *)
-    occurs_head : int array array;  (* var id -> original clauses where it is a head *)
-    extra_occurs_head : int list array;  (* var id -> learned clauses, newest first *)
+    (* Original clauses in CSR form: clause [ci]'s premises are
+       [prem_data.(prem_off.(ci)) .. prem_data.(prem_off.(ci+1) - 1)], its
+       in-universe heads likewise under [head_off]/[head_data]. *)
+    mutable prem_off : int array;
+    mutable prem_data : Var.t array;
+    mutable head_off : int array;
+    mutable head_data : Var.t array;
+    (* var -> original clauses where it is a head, in decreasing clause
+       order (CSR); used only to re-derive satisfied flags on rollback. *)
+    mutable occh_off : int array;
+    mutable occh_data : int array;
+    (* Learned clauses (premise-free, appended past [original_nclauses]):
+       clause [original_nclauses + j]'s heads live at
+       [lhead_data.(lhead_off.(j)) .. lhead_data.(lhead_off.(j+1) - 1)]. *)
+    mutable lhead_off : int array;
+    mutable lhead_data : Var.t array;
+    mutable satisfied : bool array;  (* original + learned, indexed by clause *)
+    mutable extra_occurs_head : int list array;  (* var -> learned clauses, newest first *)
+    (* Watched-premise lists.  Each original clause with at least one
+       premise watches exactly one premise that is not yet drained; the
+       per-variable watcher lists are singly linked through the clauses:
+       [watch_head.(v)] is the first watching clause (or -1) and
+       [watch_next.(ci)] the next one.  [watch_slot.(ci)] indexes
+       [prem_data] at the watched premise, so membership is implicit:
+       clause [ci] is on the list of [prem_data.(watch_slot.(ci))]. *)
+    mutable watch_head : int array;
+    mutable watch_next : int array;
+    mutable watch_slot : int array;
+    mutable fire_buf : int array;  (* scratch: clauses completed by one drain step *)
     (* Propagation trail: variables in the order they were made true.  The
        pending queue is the suffix [trail.(drained) .. trail.(trail_len - 1)]
        — a variable enters the trail exactly when it turns true, and [drain]
        consumes in FIFO order, so no separate queue is needed.  This makes
        {!rollback} a walk down the trail. *)
-    trail : Var.t array;
+    mutable trail : Var.t array;
     mutable trail_len : int;
     mutable drained : int;
     mutable conflicted : bool;
@@ -50,7 +75,14 @@ module Engine = struct
     mutable narrow_count : int;
     mutable ops : int array;  (* growable operation log since the last narrow *)
     mutable op_len : int;
+    mutable watch_visits : int;  (* watcher-list nodes visited since the last flush *)
   }
+
+  (* A pool of dead engines: [create ?arena] pops one and resets it in
+     place, reallocating only the arrays whose capacity no longer fits, so
+     per-iteration engine churn costs array fills instead of fresh solver
+     state. *)
+  type arena = { mutable pool : t list; mutable reused : int; mutable fresh : int }
 
   (* Snapshots capture the four monotone cursors; a rollback that only moves
      [s_trail] is the cheap trail unwind, one that moves the structural
@@ -93,44 +125,148 @@ module Engine = struct
       Assignment.of_words words
     end
 
+  let flush_counters t =
+    if t.watch_visits > 0 then begin
+      Perf.add "sat.watch-visits" t.watch_visits;
+      t.watch_visits <- 0
+    end
+
   (* Turn [v] true and append it to the trail for propagation. *)
   let set_true t v =
     if t.truth.(v / bits) land (1 lsl (v mod bits)) = 0 then begin
       t.truth.(v / bits) <- t.truth.(v / bits) lor (1 lsl (v mod bits));
+      t.pos_in_trail.(v) <- t.trail_len;
       t.trail.(t.trail_len) <- v;
       t.trail_len <- t.trail_len + 1
     end
 
-  (* A clause whose premises are all true and whose satisfied flag is unset:
-     all heads are false (head truths mark the flag eagerly), so choose the
-     [<]-smallest head, or conflict when there is none.  Heads are filtered
-     to the universe at indexing time but the universe can shrink afterwards
-     ([narrow]), hence the [keep] check. *)
+  (* The heads of clause [ci]: [(data, lo, hi)] with the heads at
+     [data.(lo) .. data.(hi - 1)]. *)
+  let head_range t ci =
+    if ci < t.original_nclauses then
+      (t.head_data, t.head_off.(ci), t.head_off.(ci + 1))
+    else
+      let j = ci - t.original_nclauses in
+      (t.lhead_data, t.lhead_off.(j), t.lhead_off.(j + 1))
+
+  let exists_true_head t ci =
+    let data, lo, hi = head_range t ci in
+    let found = ref false in
+    let i = ref lo in
+    while (not !found) && !i < hi do
+      if is_true t data.(!i) then found := true;
+      incr i
+    done;
+    !found
+
+  (* A clause whose premises are all drained and whose satisfied flag is
+     unset: choose the [<]-smallest head, or conflict when there is none.
+     The satisfied flag is a pure cache of "some head is true": a head may
+     already be true but still sitting in the pending suffix, so recheck
+     before choosing.  Heads are filtered to the universe at indexing time
+     but the universe can shrink afterwards ([narrow]), hence the
+     in-universe check. *)
   let trigger t ci =
     if not t.satisfied.(ci) then begin
-      (* A head may already be true but still sitting in the pending suffix
-         (its satisfied-flag sweep has not run yet); recheck before
-         choosing. *)
-      if Array.exists (fun h -> is_true t h) t.heads.(ci) then t.satisfied.(ci) <- true
-      else
-        match Order.min_of_array t.order t.heads.(ci) ~keep:(fun h -> t.in_universe.(h)) with
-        | None -> t.conflicted <- true
-        | Some h ->
-            t.satisfied.(ci) <- true;
-            set_true t h
+      if exists_true_head t ci then t.satisfied.(ci) <- true
+      else begin
+        let data, lo, hi = head_range t ci in
+        (* First strictly-smaller rank wins, matching the order the heads
+           were stored in (ascending variable id within the clause). *)
+        let best = ref (-1) and best_rank = ref 0 in
+        for i = lo to hi - 1 do
+          let h = data.(i) in
+          if t.in_universe.(h) then begin
+            let r = Order.rank t.order h in
+            if !best < 0 || r < !best_rank then begin
+              best := h;
+              best_rank := r
+            end
+          end
+        done;
+        if !best < 0 then t.conflicted <- true
+        else begin
+          t.satisfied.(ci) <- true;
+          set_true t !best
+        end
+      end
     end
 
+  (* Sort the completed-clause batch into decreasing clause order: the old
+     occurrence scan visited clauses in decreasing index per drained
+     variable, multi-head choices depend on that firing order, and the
+     watcher lists present clauses in whatever order watch moves left them.
+     Batches are almost always tiny, so insertion sort. *)
+  let sort_desc a len =
+    for i = 1 to len - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) < x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+
+  (* Propagate the pending trail suffix.  Draining a variable visits only
+     the clauses watching it: each either moves its watch to another
+     undrained premise (false, or true but still pending) or has every
+     premise drained and fires.  A completed clause keeps watching the
+     variable that completed it — after any rollback that variable is false
+     again, so the watch invariant (every watch rests on an undrained
+     premise) survives rollbacks with no undo log: watches only ever move
+     onto variables that are unwound with them. *)
   let drain t =
     while (not t.conflicted) && t.drained < t.trail_len do
       let v = t.trail.(t.drained) in
       t.drained <- t.drained + 1;
-      Array.iter (fun ci -> t.satisfied.(ci) <- true) t.occurs_head.(v);
-      List.iter (fun ci -> t.satisfied.(ci) <- true) t.extra_occurs_head.(v);
-      Array.iter
-        (fun ci ->
-          t.premises_left.(ci) <- t.premises_left.(ci) - 1;
-          if t.premises_left.(ci) = 0 then trigger t ci)
-        t.occurs_premise.(v)
+      let fire_len = ref 0 in
+      let c = ref t.watch_head.(v) in
+      if !c >= 0 then begin
+        t.watch_head.(v) <- -1;
+        while !c >= 0 do
+          let ci = !c in
+          t.watch_visits <- t.watch_visits + 1;
+          let next = t.watch_next.(ci) in
+          let lo = t.prem_off.(ci) and hi = t.prem_off.(ci + 1) in
+          let len = hi - lo in
+          (* Scan circularly from just past the stale watch so repeated
+             repairs of one clause sweep its premises once overall. *)
+          let start = t.watch_slot.(ci) + 1 in
+          let slot = ref (-1) in
+          let k = ref 0 in
+          while !slot < 0 && !k < len do
+            let p = start + !k in
+            let i = if p >= hi then p - len else p in
+            let u = t.prem_data.(i) in
+            if (not (is_true t u)) || t.pos_in_trail.(u) >= t.drained then
+              slot := i;
+            incr k
+          done;
+          if !slot >= 0 then begin
+            t.watch_slot.(ci) <- !slot;
+            let w = t.prem_data.(!slot) in
+            t.watch_next.(ci) <- t.watch_head.(w);
+            t.watch_head.(w) <- ci
+          end
+          else begin
+            (* Every premise drained: keep watching [v] (see above) and
+               queue the clause for firing. *)
+            t.watch_next.(ci) <- t.watch_head.(v);
+            t.watch_head.(v) <- ci;
+            t.fire_buf.(!fire_len) <- ci;
+            incr fire_len
+          end;
+          c := next
+        done;
+        sort_desc t.fire_buf !fire_len;
+        (* Fire the whole batch even through a conflict, exactly as the
+           occurrence scan kept decrementing and triggering to the end of
+           the drained variable's clause list. *)
+        for k = 0 to !fire_len - 1 do
+          trigger t t.fire_buf.(k)
+        done
+      end
     done
 
   let push_op t op =
@@ -142,87 +278,189 @@ module Engine = struct
     t.ops.(t.op_len) <- op;
     t.op_len <- t.op_len + 1
 
-  let create cnf ~order ~universe =
+  let fresh_shell order =
+    {
+      order;
+      truth = [||];
+      pos_in_trail = [||];
+      in_universe = [||];
+      nvars = 0;
+      original_nclauses = 0;
+      nclauses = 0;
+      prem_off = [| 0 |];
+      prem_data = [||];
+      head_off = [| 0 |];
+      head_data = [||];
+      occh_off = [| 0 |];
+      occh_data = [||];
+      lhead_off = [| 0 |];
+      lhead_data = [||];
+      satisfied = [||];
+      extra_occurs_head = [||];
+      watch_head = [||];
+      watch_next = [||];
+      watch_slot = [||];
+      fire_buf = [||];
+      trail = [||];
+      trail_len = 0;
+      drained = 0;
+      conflicted = false;
+      narrows = [];
+      narrow_count = 0;
+      ops = [||];
+      op_len = 0;
+      watch_visits = 0;
+    }
+
+  let grab_int a len = if Array.length a < len then Array.make len 0 else a
+  let grab_bool a len = if Array.length a < len then Array.make len false else a
+
+  let create ?arena cnf ~order ~universe =
     Lbr_obs.Trace.with_span "sat.engine-create"
       ~args:(fun () ->
         [ ("universe", Lbr_obs.Trace.Int (Assignment.cardinal universe)) ])
     @@ fun () ->
     Perf.time "sat.engine-create" @@ fun () ->
-    let n = max_var cnf universe + 1 in
-    let in_universe = Array.make n false in
-    Assignment.iter (fun v -> in_universe.(v) <- true) universe;
-    let relevant =
-      (* Drop clauses pre-satisfied by the restriction: any premise outside
-         the universe is false, making the clause true. *)
-      List.filter
-        (fun (c : Clause.t) -> Array.for_all (fun v -> in_universe.(v)) c.neg)
-        (Cnf.clauses cnf)
-      |> Array.of_list
-    in
-    let nclauses = Array.length relevant in
-    let heads =
-      Array.map
-        (fun (c : Clause.t) ->
-          Array.to_list c.pos |> List.filter (fun v -> in_universe.(v)) |> Array.of_list)
-        relevant
-    in
-    let premise_count = Array.make n 0 and head_count = Array.make n 0 in
-    Array.iteri
-      (fun ci (c : Clause.t) ->
-        Array.iter (fun v -> premise_count.(v) <- premise_count.(v) + 1) c.neg;
-        Array.iter (fun v -> head_count.(v) <- head_count.(v) + 1) heads.(ci))
-      relevant;
-    let occurs_premise = Array.init n (fun v -> Array.make premise_count.(v) 0) in
-    let occurs_head = Array.init n (fun v -> Array.make head_count.(v) 0) in
-    (* Fill from the last clause down so each variable's occurrence array
-       runs through clauses in decreasing index — the order the previous
-       cons-built lists presented, which the closure construction (and thus
-       the head choices recorded in reduction traces) is sensitive to. *)
-    for ci = nclauses - 1 downto 0 do
-      let c = relevant.(ci) in
-      Array.iter
-        (fun v ->
-          premise_count.(v) <- premise_count.(v) - 1;
-          occurs_premise.(v).(Array.length occurs_premise.(v) - 1 - premise_count.(v)) <- ci)
-        c.neg;
-      Array.iter
-        (fun v ->
-          head_count.(v) <- head_count.(v) - 1;
-          occurs_head.(v).(Array.length occurs_head.(v) - 1 - head_count.(v)) <- ci)
-        heads.(ci)
-    done;
     let t =
-      {
-        order;
-        truth = Array.make ((n + bits - 1) / bits) 0;
-        in_universe;
-        nvars = n;
-        original_nclauses = nclauses;
-        nclauses;
-        heads;
-        premises_left = Array.map (fun (c : Clause.t) -> Array.length c.neg) relevant;
-        satisfied = Array.make nclauses false;
-        occurs_premise;
-        occurs_head;
-        extra_occurs_head = Array.make n [];
-        trail = Array.make n 0;
-        trail_len = 0;
-        drained = 0;
-        conflicted = Cnf.is_unsat cnf;
-        narrows = [];
-        narrow_count = 0;
-        ops = [||];
-        op_len = 0;
-      }
+      match arena with
+      | Some a -> (
+          match a.pool with
+          | e :: rest ->
+              a.pool <- rest;
+              a.reused <- a.reused + 1;
+              Perf.add "sat.arena-reuse" 1;
+              e
+          | [] ->
+              a.fresh <- a.fresh + 1;
+              fresh_shell order)
+      | None -> fresh_shell order
     in
+    t.order <- order;
+    let n = max_var cnf universe + 1 in
+    let words = (n + bits - 1) / bits in
+    t.truth <- grab_int t.truth words;
+    Array.fill t.truth 0 words 0;
+    t.in_universe <- grab_bool t.in_universe n;
+    Array.fill t.in_universe 0 n false;
+    Assignment.iter (fun v -> t.in_universe.(v) <- true) universe;
+    t.pos_in_trail <- grab_int t.pos_in_trail n;
+    t.trail <- grab_int t.trail n;
+    t.watch_head <- grab_int t.watch_head n;
+    Array.fill t.watch_head 0 n (-1);
+    if Array.length t.extra_occurs_head < n then t.extra_occurs_head <- Array.make n []
+    else Array.fill t.extra_occurs_head 0 n [];
+    t.occh_off <- grab_int t.occh_off (n + 1);
+    Array.fill t.occh_off 0 (n + 1) 0;
+    t.nvars <- n;
+    (* Pass 1: count.  Clauses with any premise outside the universe are
+       pre-satisfied by the restriction (that premise is fixed false) and
+       dropped; heads are filtered to the universe.  Head-occurrence counts
+       accumulate in [occh_off]. *)
+    let clauses = Cnf.clauses cnf in
+    let keep (c : Clause.t) = Array.for_all (fun v -> t.in_universe.(v)) c.neg in
+    let nc = ref 0 and tot_prem = ref 0 and tot_head = ref 0 in
+    List.iter
+      (fun (c : Clause.t) ->
+        if keep c then begin
+          incr nc;
+          tot_prem := !tot_prem + Array.length c.neg;
+          Array.iter
+            (fun h ->
+              if t.in_universe.(h) then begin
+                incr tot_head;
+                t.occh_off.(h) <- t.occh_off.(h) + 1
+              end)
+            c.pos
+        end)
+      clauses;
+    let nc = !nc in
+    t.prem_off <- grab_int t.prem_off (nc + 1);
+    t.head_off <- grab_int t.head_off (nc + 1);
+    t.satisfied <- grab_bool t.satisfied nc;
+    t.watch_next <- grab_int t.watch_next nc;
+    t.watch_slot <- grab_int t.watch_slot nc;
+    t.fire_buf <- grab_int t.fire_buf nc;
+    t.prem_data <- grab_int t.prem_data !tot_prem;
+    t.head_data <- grab_int t.head_data !tot_head;
+    t.occh_data <- grab_int t.occh_data !tot_head;
+    t.lhead_off <- grab_int t.lhead_off 1;
+    t.lhead_off.(0) <- 0;
+    (* Prefix-sum head-occurrence counts to bucket ends; pass 2 fills each
+       bucket back to front while walking clauses in increasing index, so a
+       bucket read forward lists clauses in decreasing index — the order
+       the closure construction (and thus the head choices recorded in
+       reduction traces) is sensitive to — and [occh_off.(v)] lands on the
+       bucket start. *)
+    let sum = ref 0 in
+    for v = 0 to n - 1 do
+      sum := !sum + t.occh_off.(v);
+      t.occh_off.(v) <- !sum
+    done;
+    t.occh_off.(n) <- !sum;
+    (* Pass 2: fill the CSRs. *)
+    let ci = ref 0 and pcur = ref 0 and hcur = ref 0 in
+    List.iter
+      (fun (c : Clause.t) ->
+        if keep c then begin
+          let i = !ci in
+          t.prem_off.(i) <- !pcur;
+          Array.iter
+            (fun v ->
+              t.prem_data.(!pcur) <- v;
+              incr pcur)
+            c.neg;
+          t.head_off.(i) <- !hcur;
+          Array.iter
+            (fun h ->
+              if t.in_universe.(h) then begin
+                t.head_data.(!hcur) <- h;
+                incr hcur;
+                t.occh_off.(h) <- t.occh_off.(h) - 1;
+                t.occh_data.(t.occh_off.(h)) <- i
+              end)
+            c.pos;
+          t.satisfied.(i) <- false;
+          incr ci
+        end)
+      clauses;
+    t.prem_off.(nc) <- !pcur;
+    t.head_off.(nc) <- !hcur;
+    t.original_nclauses <- nc;
+    t.nclauses <- nc;
+    (* Initial watches: the first premise — every variable is false, so any
+       premise is undrained. *)
+    for i = 0 to nc - 1 do
+      if t.prem_off.(i + 1) > t.prem_off.(i) then begin
+        let slot = t.prem_off.(i) in
+        let v = t.prem_data.(slot) in
+        t.watch_slot.(i) <- slot;
+        t.watch_next.(i) <- t.watch_head.(v);
+        t.watch_head.(v) <- i
+      end
+    done;
+    t.trail_len <- 0;
+    t.drained <- 0;
+    t.conflicted <- Cnf.is_unsat cnf;
+    t.narrows <- [];
+    t.narrow_count <- 0;
+    t.op_len <- 0;
+    t.watch_visits <- 0;
     (* Zero-premise clauses fire immediately. *)
-    Array.iteri (fun ci pl -> if pl = 0 then trigger t ci) t.premises_left;
+    for i = 0 to nc - 1 do
+      if t.prem_off.(i + 1) = t.prem_off.(i) then trigger t i
+    done;
     drain t;
-    if t.conflicted then Error `Conflict else Ok t
+    flush_counters t;
+    if t.conflicted then begin
+      (* The shell is still reusable: hand it straight back. *)
+      (match arena with Some a -> a.pool <- t :: a.pool | None -> ());
+      Error `Conflict
+    end
+    else Ok t
 
   let assume t v =
     if t.conflicted then Error `Conflict
-    else if v >= Array.length t.in_universe || not t.in_universe.(v) then Error `Conflict
+    else if v >= t.nvars || not t.in_universe.(v) then Error `Conflict
     else begin
       set_true t v;
       drain t;
@@ -245,32 +483,46 @@ module Engine = struct
     Perf.time "sat.engine-add-clause" @@ fun () ->
     if t.conflicted then Error `Conflict
     else begin
-      if t.nclauses >= Array.length t.premises_left then begin
-        let cap = max 8 (2 * Array.length t.premises_left) in
-        let grow blank a =
-          let g = Array.make cap blank in
-          Array.blit a 0 g 0 (Array.length a);
-          g
-        in
-        t.heads <- grow [||] t.heads;
-        t.premises_left <- grow 0 t.premises_left;
-        t.satisfied <- grow false t.satisfied
+      let j = t.nclauses - t.original_nclauses in
+      if j + 2 > Array.length t.lhead_off then begin
+        let a = Array.make (max 8 (2 * Array.length t.lhead_off)) 0 in
+        Array.blit t.lhead_off 0 a 0 (j + 1);
+        t.lhead_off <- a
+      end;
+      let base = t.lhead_off.(j) in
+      let cap_needed = base + List.length pos in
+      if cap_needed > Array.length t.lhead_data then begin
+        let a = Array.make (max 16 (max cap_needed (2 * Array.length t.lhead_data))) 0 in
+        Array.blit t.lhead_data 0 a 0 base;
+        t.lhead_data <- a
       end;
       (* Variables outside the universe (or past it) are fixed to false:
          they cannot serve as heads, exactly as [create] restricts. *)
-      let heads =
-        List.filter (fun v -> v >= 0 && v < t.nvars && t.in_universe.(v)) pos
-        |> Array.of_list
-      in
+      let cursor = ref base in
+      List.iter
+        (fun v ->
+          if v >= 0 && v < t.nvars && t.in_universe.(v) then begin
+            t.lhead_data.(!cursor) <- v;
+            incr cursor
+          end)
+        pos;
+      t.lhead_off.(j + 1) <- !cursor;
       let ci = t.nclauses in
       t.nclauses <- ci + 1;
-      t.heads.(ci) <- heads;
-      t.premises_left.(ci) <- 0;
+      if ci >= Array.length t.satisfied then begin
+        let a = Array.make (max 8 (2 * Array.length t.satisfied)) false in
+        Array.blit t.satisfied 0 a 0 ci;
+        t.satisfied <- a
+      end;
       t.satisfied.(ci) <- false;
-      Array.iter (fun h -> t.extra_occurs_head.(h) <- ci :: t.extra_occurs_head.(h)) heads;
+      for i = base to !cursor - 1 do
+        let h = t.lhead_data.(i) in
+        t.extra_occurs_head.(h) <- ci :: t.extra_occurs_head.(h)
+      done;
       (* Integrate into the current fixpoint. *)
       trigger t ci;
       drain t;
+      flush_counters t;
       if t.conflicted then Error `Conflict
       else begin
         push_op t (op_add ci);
@@ -292,38 +544,33 @@ module Engine = struct
      rebuild oracle. *)
   let reinit t =
     for ci = t.original_nclauses to base_clauses t - 1 do
-      if t.premises_left.(ci) = 0 then trigger t ci
+      trigger t ci
     done;
     for ci = 0 to t.original_nclauses - 1 do
-      if t.premises_left.(ci) = 0 then trigger t ci
+      if t.prem_off.(ci + 1) = t.prem_off.(ci) then trigger t ci
     done;
     drain t
 
   let rollback_trail t s =
-    (* Premise decrements were applied only for drained variables; undo
-       those first. *)
-    for i = s to t.drained - 1 do
-      Array.iter
-        (fun ci -> t.premises_left.(ci) <- t.premises_left.(ci) + 1)
-        t.occurs_premise.(t.trail.(i))
-    done;
     for i = s to t.trail_len - 1 do
       let v = t.trail.(i) in
       t.truth.(v / bits) <- t.truth.(v / bits) land lnot (1 lsl (v mod bits))
     done;
-    (* Any satisfied flag set since the snapshot is witnessed by a head
-       turned true since the snapshot (flags follow head truths, and the
-       [<]-chosen head of a premise-triggered clause turns true on the
-       spot), so sweeping the unwound variables' head occurrences and
-       re-deriving the flag from current truths restores every flag —
-       clauses satisfied before the snapshot keep an older true head. *)
+    (* A satisfied flag is only ever set with a currently-true head as
+       witness, and every true variable is on the trail — so sweeping the
+       unwound variables' head occurrences and re-deriving each flag from
+       the remaining truths clears every flag whose witness went away.
+       Watches need no repair: watch moves since the snapshot only landed
+       on variables drained after it (unwound here) or still false. *)
     for i = s to t.trail_len - 1 do
       let v = t.trail.(i) in
-      let rederive ci =
-        t.satisfied.(ci) <- Array.exists (fun h -> is_true t h) t.heads.(ci)
-      in
-      Array.iter rederive t.occurs_head.(v);
-      List.iter rederive t.extra_occurs_head.(v)
+      for k = t.occh_off.(v) to t.occh_off.(v + 1) - 1 do
+        let ci = t.occh_data.(k) in
+        t.satisfied.(ci) <- exists_true_head t ci
+      done;
+      List.iter
+        (fun ci -> t.satisfied.(ci) <- exists_true_head t ci)
+        t.extra_occurs_head.(v)
     done;
     t.trail_len <- s;
     t.drained <- s;
@@ -348,6 +595,7 @@ module Engine = struct
       t.narrow_count <- t.narrow_count + 1;
       t.op_len <- 0;
       reinit t;
+      flush_counters t;
       if t.conflicted then Error `Conflict else Ok ()
     end
 
@@ -369,13 +617,13 @@ module Engine = struct
        occurrence list aligned: the clause being removed is always at the
        head of its heads' lists. *)
     for ci = t.nclauses - 1 downto down_to do
-      Array.iter
-        (fun h ->
-          match t.extra_occurs_head.(h) with
-          | c :: rest when c = ci -> t.extra_occurs_head.(h) <- rest
-          | _ -> ())
-        t.heads.(ci);
-      t.heads.(ci) <- [||]
+      let j = ci - t.original_nclauses in
+      for i = t.lhead_off.(j) to t.lhead_off.(j + 1) - 1 do
+        let h = t.lhead_data.(i) in
+        match t.extra_occurs_head.(h) with
+        | c :: rest when c = ci -> t.extra_occurs_head.(h) <- rest
+        | _ -> ()
+      done
     done;
     t.nclauses <- down_to
 
@@ -422,6 +670,21 @@ module Engine = struct
     end
 end
 
+module Arena = struct
+  type t = Engine.arena
+
+  let create () : t = { Engine.pool = []; reused = 0; fresh = 0 }
+
+  let release (a : t) (e : Engine.t) =
+    Engine.flush_counters e;
+    a.Engine.pool <- e :: a.Engine.pool
+
+  let reuse_hits (a : t) = a.Engine.reused
+
+  let key = Domain.DLS.new_key create
+  let default () : t = Domain.DLS.get key
+end
+
 let compute cnf ~order ?universe ?(required = Assignment.empty) () =
   let universe =
     match universe with
@@ -430,13 +693,18 @@ let compute cnf ~order ?universe ?(required = Assignment.empty) () =
   in
   if not (Assignment.subset required universe) then None
   else
+    let arena = Arena.default () in
     let fast =
-      match Engine.create cnf ~order ~universe with
+      match Engine.create ~arena cnf ~order ~universe with
       | Error `Conflict -> None
-      | Ok engine -> (
-          match Engine.assume_all engine (Assignment.to_list required) with
-          | Ok () -> Some (Engine.true_set engine)
-          | Error `Conflict -> None)
+      | Ok engine ->
+          let result =
+            match Engine.assume_all engine (Assignment.to_list required) with
+            | Ok () -> Some (Engine.true_set engine)
+            | Error `Conflict -> None
+          in
+          Arena.release arena engine;
+          result
     in
     match fast with
     | Some _ as result -> result

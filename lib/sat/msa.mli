@@ -28,12 +28,23 @@ open Lbr_logic
 module Engine : sig
   type t
 
+  type arena
+  (** A pool of dead engines.  {!create} with an arena pops a pooled engine
+      and resets it in place — arrays are reallocated only when their
+      capacity no longer fits, so per-iteration engine churn costs array
+      fills instead of fresh solver state. *)
+
   val create :
-    Cnf.t -> order:Order.t -> universe:Assignment.t -> (t, [ `Conflict ]) result
+    ?arena:arena ->
+    Cnf.t ->
+    order:Order.t ->
+    universe:Assignment.t ->
+    (t, [ `Conflict ]) result
   (** Index the formula restricted to [universe] (variables outside it are
       fixed to false) and propagate all zero-premise clauses.  [`Conflict]
       when a clause has all premises inside the initial closure but no head
-      inside the universe. *)
+      inside the universe (on conflict an arena-backed shell returns to the
+      pool immediately). *)
 
   val assume : t -> Var.t -> (unit, [ `Conflict ]) result
   (** Set a variable to true and close under the fixpoint.  The engine is
@@ -92,6 +103,31 @@ module Engine : sig
       the base closure — every replayed operation already succeeded in the
       same structural context, so the replay is deterministic and restores
       the state exactly. *)
+
+  val flush_counters : t -> unit
+  (** Flush the engine's internally-batched event counters (watch-list
+      visits) into the calling domain's {!Lbr_logic.Perf} table.  Called
+      automatically by the structural operations and by {!Arena.release};
+      call it after a burst of {!assume}s when exact counter attribution
+      matters. *)
+end
+
+module Arena : sig
+  type t = Engine.arena
+
+  val create : unit -> t
+
+  val default : unit -> t
+  (** The calling domain's shared arena (domain-local, so pooled engines
+      never cross domains). *)
+
+  val release : t -> Engine.t -> unit
+  (** Return an engine to the pool.  The engine must not be used afterwards
+      — the next {!Engine.create} on this arena may recycle its storage. *)
+
+  val reuse_hits : t -> int
+  (** How many {!Engine.create} calls were served by resetting a pooled
+      engine instead of allocating. *)
 end
 
 val compute :

@@ -32,4 +32,15 @@ let min_of_array t arr ~keep =
         | Some b -> if t.rank_of v < t.rank_of b then Some v else best)
     None arr
 
-let sort t vars = List.sort (compare t) vars
+(* Universes overwhelmingly arrive already rank-ascending — bitset
+   enumeration yields ascending variable ids and [by_creation] ranks by id —
+   so an O(n) presorted check saves the O(n log n) sort on the common path.
+   The check costs one extra scan when the input is genuinely unsorted. *)
+let sort t vars =
+  let rec is_sorted prev = function
+    | [] -> true
+    | v :: rest -> t.rank_of prev <= t.rank_of v && is_sorted v rest
+  in
+  match vars with
+  | [] | [ _ ] -> vars
+  | v :: rest -> if is_sorted v rest then vars else List.sort (compare t) vars

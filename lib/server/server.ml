@@ -107,12 +107,28 @@ let handle_connection t fd =
         | Error `Closed -> forget_conn t fd
         | Error (`Malformed m) -> fatal ("malformed frame: " ^ m)
         | Ok (Wire.Submit spec) ->
-            (match Scheduler.submit t.scheduler ~on_event spec with
-            | Ok id -> send (Wire.Accepted id)
-            | Error (`Queue_full retry_after) ->
-                send (Wire.Rejected { reason = "queue full"; retry_after })
-            | Error `Draining ->
-                send (Wire.Rejected { reason = "draining"; retry_after = 0. }));
+            (* The admission reply must reach the wire before any event
+               frame for the new job: a worker can run a small job to
+               completion before this thread regains the CPU, and its
+               [Result] would otherwise overtake [Accepted].  Holding the
+               write lock across submission makes the worker's first
+               [send] wait behind the reply.  [Scheduler.submit] never
+               invokes [on_event] synchronously (dispatch goes through
+               the worker pool), so this cannot self-deadlock. *)
+            Mutex.lock write_mutex;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock write_mutex)
+              (fun () ->
+                let reply =
+                  match Scheduler.submit t.scheduler ~on_event spec with
+                  | Ok id -> Wire.Accepted id
+                  | Error (`Queue_full retry_after) ->
+                      Wire.Rejected { reason = "queue full"; retry_after }
+                  | Error `Draining ->
+                      Wire.Rejected { reason = "draining"; retry_after = 0. }
+                in
+                try Wire.write_message fd reply
+                with Unix.Unix_error _ | Sys_error _ -> ());
             loop ()
         | Ok (Wire.Cancel job_id) ->
             send (Wire.Cancel_ok { job_id; found = Scheduler.cancel t.scheduler job_id });

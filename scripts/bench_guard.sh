@@ -2,17 +2,27 @@
 # Non-timing benchmark regression guard.
 #
 # Runs the evaluation harness on a small fixed corpus (--programs 5, default
-# seed) and compares the deterministic strategy counters — reduction ratios,
-# predicate-run geomeans, simulated time — against the committed baseline.
-# Wall-clock fields are stripped, so the check is stable across hosts; any
-# diff means reduction *behavior* changed.  If the change is intended,
-# regenerate the baseline and commit it:
+# seed) and compares two classes of deterministic output against committed
+# baselines:
+#
+#   1. Strategy counters — reduction ratios, predicate-run geomeans,
+#      simulated time.  Wall-clock fields are stripped, so the check is
+#      stable across hosts; any diff means reduction *behavior* changed.
+#   2. Allocation counters — per-phase calls and minor words from the Perf
+#      registry.  Calls must match exactly; minor words get a ±10% band
+#      (the allocation sequence is deterministic at jobs=1, the band
+#      absorbs stdlib/runtime drift across compiler versions).  A phase
+#      silently doubling its allocations fails the gate even when timing
+#      and behavior look fine.
+#
+# If a change is intended, regenerate the baselines and commit them:
 #
 #   scripts/bench_guard.sh --update
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=scripts/bench_baseline_p5.txt
+alloc_baseline=scripts/bench_alloc_baseline_p5.txt
 json=$(mktemp)
 trap 'rm -f "$json"' EXIT
 
@@ -29,16 +39,67 @@ extract() {
     sed -E 's/"wall_seconds": [^,]+, //; s/"speedup": [^,]+, //'
 }
 
+# Phase counter rows ("counters" array): name, calls, minor_words.  The
+# seconds field is wall-clock and dropped here.
+extract_alloc() {
+  grep '"minor_words"' "$1" |
+    sed -E 's/.*"name": "([^"]+)", "calls": ([0-9]+), "seconds": [^,]+, "minor_words": ([^ }]+).*/\1 \2 \3/'
+}
+
 if [ "${1:-}" = "--update" ]; then
   extract "$json" >"$baseline"
-  echo "bench_guard: baseline updated: $baseline"
+  extract_alloc "$json" >"$alloc_baseline"
+  echo "bench_guard: baselines updated: $baseline, $alloc_baseline"
   exit 0
 fi
+
+fail=0
 
 if diff -u "$baseline" <(extract "$json"); then
   echo "bench_guard: OK — strategy counters match $baseline"
 else
   echo "bench_guard: FAIL — deterministic strategy counters drifted from $baseline" >&2
+  fail=1
+fi
+
+if [ -f "$alloc_baseline" ]; then
+  if extract_alloc "$json" | awk -v tol=0.10 '
+      NR == FNR { base_calls[$1] = $2; base_mw[$1] = $3; next }
+      {
+        seen[$1] = 1
+        if (!($1 in base_calls)) {
+          printf "bench_guard: new phase counter %s (not in baseline)\n", $1
+          bad = 1
+          next
+        }
+        if ($2 != base_calls[$1]) {
+          printf "bench_guard: %s: calls %s != baseline %s\n", $1, $2, base_calls[$1]
+          bad = 1
+        }
+        mw = $3 + 0; bmw = base_mw[$1] + 0
+        band = bmw * tol; if (band < 1000) band = 1000
+        d = mw - bmw; if (d < 0) d = -d
+        if (d > band) {
+          printf "bench_guard: %s: minor_words %g outside +/-%.0f%% of baseline %g\n", \
+            $1, mw, tol * 100, bmw
+          bad = 1
+        }
+      }
+      END {
+        for (n in base_calls)
+          if (!(n in seen)) { printf "bench_guard: phase counter %s disappeared\n", n; bad = 1 }
+        exit bad
+      }' "$alloc_baseline" -; then
+    echo "bench_guard: OK — allocation counters within band of $alloc_baseline"
+  else
+    echo "bench_guard: FAIL — per-phase allocation counters drifted from $alloc_baseline" >&2
+    fail=1
+  fi
+else
+  echo "bench_guard: NOTE — no allocation baseline ($alloc_baseline); run --update to create it"
+fi
+
+if [ "$fail" -ne 0 ]; then
   echo "bench_guard: if intended, regenerate with: scripts/bench_guard.sh --update" >&2
   exit 1
 fi

@@ -361,6 +361,176 @@ let prop_add_narrow_equals_rebuild =
           | None, Some _ | Some _, None -> false))
 
 (* ------------------------------------------------------------------ *)
+(* Watched-premise propagation vs the counter-based scan scheme it
+   replaced.  [Scan] is a direct reimplementation of the pre-watched
+   engine's propagation core — a premises-left counter per clause, eager
+   satisfied-flag sweeps, occurrence lists in decreasing clause order —
+   with none of the watched machinery.  The two must produce identical
+   closures and conflict verdicts after every assumption: the firing
+   schedule is observable (head tie-breaks depend on which clause fires
+   first), so this pins schedule equivalence, not just least-model
+   equality. *)
+module Scan = struct
+  type t = {
+    order : Order.t;
+    truth : bool array;
+    in_universe : bool array;
+    heads : Var.t array array;
+    premises_left : int array;
+    satisfied : bool array;
+    occs_premise : int list array;  (* var -> premise clauses, decreasing ci *)
+    occs_head : int list array;
+    trail : Var.t array;
+    mutable trail_len : int;
+    mutable drained : int;
+    mutable conflicted : bool;
+  }
+
+  let set_true t v =
+    if not t.truth.(v) then begin
+      t.truth.(v) <- true;
+      t.trail.(t.trail_len) <- v;
+      t.trail_len <- t.trail_len + 1
+    end
+
+  let trigger t ci =
+    if not t.satisfied.(ci) then
+      if Array.exists (fun h -> t.truth.(h)) t.heads.(ci) then t.satisfied.(ci) <- true
+      else
+        match Order.min_of_array t.order t.heads.(ci) ~keep:(fun h -> t.in_universe.(h)) with
+        | None -> t.conflicted <- true
+        | Some h ->
+            t.satisfied.(ci) <- true;
+            set_true t h
+
+  let drain t =
+    while (not t.conflicted) && t.drained < t.trail_len do
+      let v = t.trail.(t.drained) in
+      t.drained <- t.drained + 1;
+      List.iter (fun ci -> t.satisfied.(ci) <- true) t.occs_head.(v);
+      List.iter
+        (fun ci ->
+          t.premises_left.(ci) <- t.premises_left.(ci) - 1;
+          if t.premises_left.(ci) = 0 then trigger t ci)
+        t.occs_premise.(v)
+    done
+
+  let create cnf ~order ~universe =
+    let n =
+      let m = ref (-1) in
+      Assignment.iter (fun v -> if v > !m then m := v) (Cnf.vars cnf);
+      Assignment.iter (fun v -> if v > !m then m := v) universe;
+      !m + 1
+    in
+    let in_universe = Array.make n false in
+    Assignment.iter (fun v -> in_universe.(v) <- true) universe;
+    let relevant =
+      List.filter
+        (fun (c : Clause.t) -> Array.for_all (fun v -> in_universe.(v)) c.neg)
+        (Cnf.clauses cnf)
+      |> Array.of_list
+    in
+    let nclauses = Array.length relevant in
+    let heads =
+      Array.map
+        (fun (c : Clause.t) ->
+          Array.to_list c.pos |> List.filter (fun v -> in_universe.(v)) |> Array.of_list)
+        relevant
+    in
+    let occs_premise = Array.make n [] and occs_head = Array.make n [] in
+    for ci = 0 to nclauses - 1 do
+      Array.iter (fun v -> occs_premise.(v) <- ci :: occs_premise.(v)) relevant.(ci).neg;
+      Array.iter (fun v -> occs_head.(v) <- ci :: occs_head.(v)) heads.(ci)
+    done;
+    let t =
+      {
+        order;
+        truth = Array.make n false;
+        in_universe;
+        heads;
+        premises_left = Array.map (fun (c : Clause.t) -> Array.length c.neg) relevant;
+        satisfied = Array.make nclauses false;
+        occs_premise;
+        occs_head;
+        trail = Array.make n 0;
+        trail_len = 0;
+        drained = 0;
+        conflicted = Cnf.is_unsat cnf;
+      }
+    in
+    Array.iteri (fun ci pl -> if pl = 0 then trigger t ci) t.premises_left;
+    drain t;
+    if t.conflicted then Error `Conflict else Ok t
+
+  let assume t v =
+    if t.conflicted then Error `Conflict
+    else if v >= Array.length t.in_universe || not t.in_universe.(v) then Error `Conflict
+    else begin
+      set_true t v;
+      drain t;
+      if t.conflicted then Error `Conflict else Ok ()
+    end
+
+  let true_set t =
+    let acc = ref [] in
+    for v = Array.length t.truth - 1 downto 0 do
+      if t.truth.(v) then acc := v :: !acc
+    done;
+    Assignment.of_list !acc
+end
+
+(* Lockstep comparison: same create verdict, same closure, and after every
+   assumption the same verdict and closure again.  Stops at the first
+   conflict (both engines are unusable past it by contract). *)
+let watched_equals_scan cnf ~order ~universe assumes =
+  match Msa.Engine.create cnf ~order ~universe, Scan.create cnf ~order ~universe with
+  | Error `Conflict, Error `Conflict -> true
+  | Error `Conflict, Ok _ | Ok _, Error `Conflict -> false
+  | Ok e, Ok s ->
+      Assignment.equal (Msa.Engine.true_set e) (Scan.true_set s)
+      &&
+      let rec go = function
+        | [] -> true
+        | v :: rest -> (
+            match Msa.Engine.assume e v, Scan.assume s v with
+            | Ok (), Ok () ->
+                Assignment.equal (Msa.Engine.true_set e) (Scan.true_set s) && go rest
+            | Error `Conflict, Error `Conflict -> true
+            | Ok (), Error `Conflict | Error `Conflict, Ok () -> false)
+      in
+      go assumes
+
+let prop_watched_equals_scan_implications =
+  QCheck.Test.make ~count:400 ~name:"watched = counter-scan (implication fragment)"
+    (QCheck.make
+       QCheck.Gen.(pair (implication_cnf_gen 6) (list_size (int_bound 5) (int_bound 7))))
+    (fun (cnf, assumes) ->
+      watched_equals_scan cnf ~order:order6
+        ~universe:(Assignment.of_list (List.init 6 Fun.id))
+        assumes)
+
+let prop_watched_equals_scan_general =
+  QCheck.Test.make ~count:400 ~name:"watched = counter-scan (conflicting clauses)"
+    (QCheck.make
+       QCheck.Gen.(pair (random_cnf_gen 6) (list_size (int_bound 5) (int_bound 7))))
+    (fun (cnf, assumes) ->
+      watched_equals_scan cnf ~order:order6
+        ~universe:(Assignment.of_list (List.init 6 Fun.id))
+        assumes)
+
+(* And on a shrunk universe, where clauses get dropped or their head lists
+   filtered at indexing time. *)
+let prop_watched_equals_scan_narrowed_universe =
+  QCheck.Test.make ~count:400 ~name:"watched = counter-scan (partial universe)"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (random_cnf_gen 6)
+           (list_size (int_range 1 5) (int_bound 5))
+           (list_size (int_bound 5) (int_bound 7))))
+    (fun (cnf, uni, assumes) ->
+      watched_equals_scan cnf ~order:order6 ~universe:(Assignment.of_list uni) assumes)
+
+(* ------------------------------------------------------------------ *)
 (* Pinned values on a realistic workload: any change to MSA head choice,
    clause indexing order, or the engine's undo discipline shows up here. *)
 
@@ -393,6 +563,15 @@ let test_msa_pinned_workload () =
   (match msa [ 1111 ] with
   | None -> ()
   | Some _ -> Alcotest.fail "required {1111} should be unsat");
+  (* The watched engine against the counter-scan reference on the real
+     constraint system, not just random 6-variable formulas. *)
+  List.iter
+    (fun req ->
+      Alcotest.(check bool)
+        (Printf.sprintf "watched = scan on workload, %d assumes" (List.length req))
+        true
+        (watched_equals_scan cnf ~order ~universe req))
+    [ []; [ 0 ]; [ 17 ]; [ 123 ]; [ 500 ]; [ 17; 123; 500 ]; [ 1111 ] ];
   match Lbr.Progression.build ~cnf ~order ~learned:[] ~universe with
   | Error `Unsat -> Alcotest.fail "progression unexpectedly unsat"
   | Ok entries ->
@@ -418,6 +597,9 @@ let () =
           prop_add_clause_rollback;
           prop_narrow_rollback;
           prop_add_narrow_equals_rebuild;
+          prop_watched_equals_scan_implications;
+          prop_watched_equals_scan_general;
+          prop_watched_equals_scan_narrowed_universe;
         ];
       ( "msa",
         [

@@ -684,7 +684,9 @@ let test_server_three_concurrent_clients_jobs4 () =
 (* The acceptance scenario for `lbr-reduce top': three jobs submitted to a
    jobs=1 daemon, a dedicated introspection connection polling Stats while
    they are in flight.  At the high-water mark one job runs and two wait;
-   the running job's best-so-far is mirrored from its progress stream. *)
+   the running job's best-so-far is mirrored from its progress stream.
+   The jobs must be big enough that all three are in flight at once for
+   several poll intervals — small pools reduce too fast to observe. *)
 let test_server_top_stats () =
   with_server ~jobs:1 "topstats" (fun socket _server ->
       let seeds = [ 21; 22; 23 ] in
@@ -697,7 +699,7 @@ let test_server_top_stats () =
                 match Client.connect socket with
                 | Error m -> results.(i) <- Error ("connect: " ^ m)
                 | Ok client ->
-                    results.(i) <- Client.submit client (spec_of_seed ~classes:16 seed);
+                    results.(i) <- Client.submit client (spec_of_seed ~classes:64 seed);
                     Client.close client)
               ())
           seeds
