@@ -339,11 +339,25 @@ let reduce_cmd =
 (* ------------------------------------------------------------------ *)
 (* Reduction as a service                                              *)
 
+(* Cluster addresses are validated at parse time like output paths: a
+   host:port with a port outside 0-65535 (or a bare ":8080") should be a
+   cmdliner error, not a connect failure minutes into a run.  Accepts a
+   Unix socket path, [unix:PATH], or [tcp:]HOST:PORT; port 0 asks the
+   kernel for a free port when listening. *)
+let cluster_addr =
+  let parse s =
+    match Lbr_server.Addr.parse s with Ok a -> Ok a | Error m -> Error (`Msg m)
+  in
+  let print ppf a = Format.pp_print_string ppf (Lbr_server.Addr.to_string a) in
+  Arg.conv ~docv:"ADDR" (parse, print)
+
 let socket_arg =
   Arg.(
     value
-    & opt string "/tmp/lbr-serve.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path of the daemon.")
+    & opt cluster_addr (Lbr_server.Addr.Unix_path "/tmp/lbr-serve.sock")
+    & info [ "socket" ] ~docv:"ADDR"
+        ~doc:"Daemon address: a Unix socket path (or unix:PATH) or a TCP host:port, \
+              e.g. 127.0.0.1:7199 (port 0 lets the kernel pick when serving).")
 
 let serve_cmd =
   let queue_depth_arg =
@@ -368,12 +382,14 @@ let serve_cmd =
     let server =
       try
         Lbr_server.Server.start
-          { Lbr_server.Server.socket_path = socket; jobs; queue_depth; journal_dir }
+          { Lbr_server.Server.listen = socket; jobs; queue_depth; journal_dir }
       with Failure m | Sys_error m ->
         prerr_endline ("lbr-serve: " ^ m);
         exit 1
     in
-    Printf.printf "lbr-serve: listening on %s (%d worker%s, queue depth %d%s)\n%!" socket jobs
+    Printf.printf "lbr-serve: listening on %s (%d worker%s, queue depth %d%s)\n%!"
+      (Lbr_server.Addr.to_string (Lbr_server.Server.bound_addr server))
+      jobs
       (if jobs = 1 then "" else "s")
       queue_depth
       (match journal_dir with Some d -> ", journal " ^ d | None -> "");
@@ -399,6 +415,107 @@ let serve_cmd =
          "Run the reduction daemon: accept LBRC class pools over a Unix domain socket, reduce \
           them on a domain pool, stream progress, and journal for crash recovery.")
     Term.(const run $ socket_arg $ jobs_arg $ queue_depth_arg $ journal_arg $ trace_arg)
+
+let coordinate_cmd =
+  let listen_arg =
+    Arg.(
+      value
+      & opt cluster_addr (Lbr_server.Addr.Unix_path "/tmp/lbr-coordinate.sock")
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Address the coordinator serves on: a Unix socket path or a TCP host:port \
+                (use port 0 to let the kernel pick).")
+  in
+  let workers_arg =
+    Arg.(
+      non_empty & opt_all cluster_addr []
+      & info [ "worker" ] ~docv:"ADDR"
+          ~doc:"Address of a worker daemon (repeatable).  Every worker is pinged at startup \
+                and must speak protocol v3.")
+  in
+  let lanes_arg =
+    Arg.(
+      value & opt pos_int 1
+      & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent delegated jobs per worker.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt pos_int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Cluster-wide cap on queued jobs; submissions past this are rejected with a \
+                retry-after hint.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some writable_file) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"Persist the content-addressed verdict cache to FILE (append-only; reloaded \
+                on restart).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some writable_dir) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Coordinator write-ahead journal: admitted jobs and mirrored worker verdicts. \
+                A restarted coordinator resubmits unfinished jobs seeded with their paid \
+                verdicts.")
+  in
+  let run listen workers lanes queue_depth cache_path journal_dir =
+    let shutdown = Lbr_server.Shutdown.install () in
+    let coordinator =
+      match
+        Lbr_cluster.Coordinator.create
+          { Lbr_cluster.Coordinator.workers; lanes; queue_depth; cache_path; journal_dir }
+      with
+      | c -> c
+      | exception (Failure m | Sys_error m) ->
+          prerr_endline ("lbr-coordinate: " ^ m);
+          exit 1
+      | exception Unix.Unix_error (e, _, _) ->
+          prerr_endline ("lbr-coordinate: " ^ Unix.error_message e);
+          exit 1
+    in
+    let server =
+      try
+        Lbr_server.Server.start_backend ~listen
+          (Lbr_cluster.Coordinator.backend coordinator)
+      with Failure m | Sys_error m ->
+        prerr_endline ("lbr-coordinate: " ^ m);
+        exit 1
+    in
+    Printf.printf "lbr-coordinate: listening on %s, %d worker%s (%s)\n%!"
+      (Lbr_server.Addr.to_string (Lbr_server.Server.bound_addr server))
+      (List.length workers)
+      (if List.length workers = 1 then "" else "s")
+      (String.concat ", " (List.map Lbr_server.Addr.to_string workers));
+    (match Lbr_cluster.Coordinator.recovered coordinator with
+    | 0 -> ()
+    | n ->
+        Printf.printf "lbr-coordinate: resubmitted %d journaled job%s\n%!" n
+          (if n = 1 then "" else "s"));
+    Lbr_server.Shutdown.on_drain shutdown (fun () ->
+        Printf.printf "lbr-coordinate: %s received, draining delegated jobs...\n%!"
+          (match Lbr_server.Shutdown.signal_name shutdown with
+          | Some s -> "SIG" ^ s
+          | None -> "stop request");
+        Lbr_server.Server.stop server;
+        print_endline "lbr-coordinate: drained, bye");
+    while not (Lbr_server.Shutdown.requested shutdown) do
+      Thread.delay 0.1
+    done;
+    Lbr_server.Shutdown.run_drain shutdown
+  in
+  Cmd.v
+    (Cmd.info "coordinate"
+       ~doc:
+         "Run the cluster coordinator: front N `lbr-reduce serve' worker daemons behind one \
+          service address, sharding submitted jobs with work stealing, sharing a \
+          content-addressed verdict cache, and failing jobs over (seeded with their paid \
+          verdicts) when a worker dies.")
+    Term.(
+      const run $ listen_arg $ workers_arg $ lanes_arg $ queue_depth_arg $ cache_arg
+      $ journal_arg)
 
 let submit_cmd =
   let pool_file_arg =
@@ -451,7 +568,7 @@ let submit_cmd =
         pool_bytes;
       }
     in
-    match Lbr_server.Client.connect socket with
+    match Lbr_server.Client.connect (Lbr_server.Addr.to_string socket) with
     | Error m ->
         prerr_endline ("lbr-reduce submit: " ^ m);
         exit 1
@@ -522,8 +639,59 @@ let top_cmd =
       value & flag
       & info [ "metrics" ] ~doc:"Also print the daemon's full Prometheus metrics snapshot.")
   in
+  (* Cluster health lives in the Prometheus text (per-worker queue-depth
+     gauges, cache hit/miss counters); surface it without requiring
+     --metrics when the daemon is a coordinator. *)
+  let cluster_section text =
+    let sample line =
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.index_opt line ' ' with
+        | None -> None
+        | Some i ->
+            let name = String.sub line 0 i in
+            let v =
+              float_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            Option.map (fun v -> (name, v)) v
+    in
+    let samples = List.filter_map sample (String.split_on_char '\n' text) in
+    let value name = List.assoc_opt name samples in
+    let depth_of (name, v) =
+      let prefix = "lbr_cluster_w" and suffix = "_queue_depth" in
+      if
+        String.starts_with ~prefix name
+        && String.ends_with ~suffix name
+        && String.length name > String.length prefix + String.length suffix
+      then
+        Some
+          ( String.sub name (String.length prefix)
+              (String.length name - String.length prefix - String.length suffix),
+            v )
+      else None
+    in
+    let depths = List.filter_map depth_of samples in
+    (match (value "lbr_cluster_workers_alive", depths) with
+    | None, [] -> ()
+    | alive, depths ->
+        Printf.printf "cluster: %s worker(s) alive; queue depth %s\n"
+          (match alive with Some a -> string_of_int (int_of_float a) | None -> "?")
+          (match depths with
+          | [] -> "-"
+          | _ ->
+              String.concat " "
+                (List.map (fun (i, v) -> Printf.sprintf "w%s=%d" i (int_of_float v)) depths)));
+    match (value "lbr_cluster_cache_hits_total", value "lbr_cluster_cache_misses_total") with
+    | Some hits, Some misses ->
+        let total = hits +. misses in
+        Printf.printf "cluster cache: %d hits, %d misses (%.1f%% hit rate)\n"
+          (int_of_float hits) (int_of_float misses)
+          (if total = 0. then 0. else 100. *. hits /. total)
+    | _ -> ()
+  in
   let online socket metrics =
-    match Lbr_server.Client.connect socket with
+    match Lbr_server.Client.connect (Lbr_server.Addr.to_string socket) with
     | Error m ->
         prerr_endline ("lbr-reduce top: " ^ m);
         exit 1
@@ -543,6 +711,7 @@ let top_cmd =
             in
             Printf.printf "oracle: %d queries, %d memo hits (%.1f%% hit rate)\n"
               s.oracle_queries s.oracle_memo_hits hit_rate;
+            cluster_section s.metrics_text;
             (match s.job_stats with
             | [] -> print_endline "no jobs in flight"
             | jobs ->
@@ -724,6 +893,7 @@ let () =
             example_cmd;
             reduce_cmd;
             serve_cmd;
+            coordinate_cmd;
             submit_cmd;
             top_cmd;
             stats_cmd;

@@ -1,0 +1,523 @@
+module Addr = Lbr_server.Addr
+module Wire = Lbr_server.Wire
+module Client = Lbr_server.Client
+module Journal = Lbr_server.Journal
+module Scheduler = Lbr_server.Scheduler
+module Server = Lbr_server.Server
+module Metrics = Lbr_obs.Metrics
+
+type config = {
+  workers : Addr.t list;
+  lanes : int;
+  queue_depth : int;
+  cache_path : string option;
+  journal_dir : string option;
+}
+
+type cjob = {
+  cj_id : string;
+  cj_spec : Wire.spec;
+  cj_key : string;  (* content digest — the cache's job key *)
+  cj_on_event : Scheduler.event -> unit;  (* never raises *)
+  cj_cancelled : bool Atomic.t;
+  mutable cj_started : bool;  (* Started already emitted (failover re-runs don't repeat it) *)
+  mutable cj_attempts : int;  (* failover resubmissions so far *)
+  mutable cj_best : (float * int * int) option;
+  mutable cj_status : Scheduler.status;
+  mutable cj_remote : (int * string) option;  (* worker id, worker-side job id *)
+}
+
+type worker = {
+  w_id : int;
+  w_addr : Addr.t;
+  w_queue : cjob Queue.t;
+  mutable w_alive : bool;
+  w_gauge : Metrics.gauge;
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (* work available / drain progress; broadcast on every transition *)
+  workers : worker array;
+  lanes : int;
+  queue_depth : int;
+  vcache : Cache.t;
+  journal : Journal.t option;
+  table : (string, cjob) Hashtbl.t;
+  mutable seq : int;
+  mutable queued : int;
+  mutable running : int;
+  mutable draining : bool;
+  mutable pumps : Thread.t list;
+  mutable rr : int;  (* round-robin shard pointer *)
+  started_at : float;
+  mutable recovered : int;
+  m_steals : Metrics.counter;
+  m_failovers : Metrics.counter;
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_submitted : Metrics.counter;
+  m_done : Metrics.counter;
+  m_failed : Metrics.counter;
+  g_alive : Metrics.gauge;
+  g_entries : Metrics.gauge;
+}
+
+let recovered t = t.recovered
+let cache t = t.vcache
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let set_depth w = Metrics.set_gauge w.w_gauge (float_of_int (Queue.length w.w_queue))
+
+let alive_count t =
+  Array.fold_left (fun n w -> if w.w_alive then n + 1 else n) 0 t.workers
+
+(* Shortest live queue — where redistributed jobs land. *)
+let shortest_live t =
+  Array.fold_left
+    (fun best w ->
+      if not w.w_alive then best
+      else
+        match best with
+        | Some b when Queue.length b.w_queue <= Queue.length w.w_queue -> best
+        | _ -> Some w)
+    None t.workers
+
+(* Longest non-empty live queue other than [self] — who to steal from. *)
+let steal_victim t self =
+  Array.fold_left
+    (fun best w ->
+      if (not w.w_alive) || w.w_id = self.w_id || Queue.is_empty w.w_queue then
+        best
+      else
+        match best with
+        | Some b when Queue.length b.w_queue >= Queue.length w.w_queue -> best
+        | _ -> Some w)
+    None t.workers
+
+let journal_marker t j (status : Scheduler.status) =
+  match t.journal with
+  | None -> ()
+  | Some jr -> (
+      match status with
+      | Done _ -> Journal.mark_done jr ~id:j.cj_id
+      | Failed reason -> Journal.mark_failed jr ~id:j.cj_id ~reason
+      | Cancelled -> Journal.mark_cancelled jr ~id:j.cj_id
+      | Queued | Running -> ())
+
+(* Must hold the lock.  Moves [j] to a terminal state, accounts, journals,
+   and delivers the Finished event before anyone can observe the state
+   change (same discipline as the scheduler: a finished drain implies
+   every handler ran). *)
+let finalize t j status =
+  (match j.cj_status with
+  | Running -> t.running <- t.running - 1
+  | Queued -> t.queued <- t.queued - 1
+  | Done _ | Failed _ | Cancelled -> ());
+  j.cj_status <- status;
+  j.cj_remote <- None;
+  (match status with
+  | Done _ -> Metrics.incr t.m_done
+  | Failed _ -> Metrics.incr t.m_failed
+  | _ -> ());
+  journal_marker t j status;
+  j.cj_on_event (Scheduler.Finished status);
+  Condition.broadcast t.cond
+
+(* Must hold the lock.  Mark [w] dead and move its queue — plus the
+   in-flight job [inflight], if any — onto survivors.  With no survivors
+   left everything fails. *)
+let worker_dead t w inflight =
+  if w.w_alive then begin
+    w.w_alive <- false;
+    Metrics.set_gauge t.g_alive (float_of_int (alive_count t))
+  end;
+  let orphans = Queue.fold (fun acc j -> j :: acc) [] w.w_queue in
+  Queue.clear w.w_queue;
+  set_depth w;
+  let orphans = List.rev orphans in
+  let requeue from_running j =
+    if from_running then begin
+      j.cj_attempts <- j.cj_attempts + 1;
+      Metrics.incr t.m_failovers
+    end;
+    if Atomic.get j.cj_cancelled then finalize t j Cancelled
+    else if from_running && j.cj_attempts >= Array.length t.workers then
+      finalize t j
+        (Failed
+           (Printf.sprintf "gave up after %d worker failures" j.cj_attempts))
+    else
+      match shortest_live t with
+      | None -> finalize t j (Failed "no live workers")
+      | Some target ->
+          if from_running then begin
+            t.running <- t.running - 1;
+            t.queued <- t.queued + 1;
+            j.cj_status <- Scheduler.Queued;
+            j.cj_remote <- None
+          end;
+          Queue.push j target.w_queue;
+          set_depth target
+  in
+  List.iter (requeue false) orphans;
+  Option.iter (requeue true) inflight;
+  Condition.broadcast t.cond
+
+(* Fire-and-forget remote cancel of a delegated job. *)
+let remote_cancel t wid remote_id =
+  let w = t.workers.(wid) in
+  match Client.connect (Addr.to_string w.w_addr) with
+  | Error _ -> ()
+  | Ok c ->
+      ignore (Client.cancel c remote_id);
+      Client.close c
+
+(* Run one job on worker [w].  Called from a pump thread, lock NOT held. *)
+let run_one t w j =
+  let seeds = Cache.seeds t.vcache ~job:j.cj_key in
+  if not j.cj_started then begin
+    j.cj_started <- true;
+    j.cj_on_event Scheduler.Started
+  end;
+  match Client.connect (Addr.to_string w.w_addr) with
+  | Error _ -> locked t (fun () -> worker_dead t w (Some j))
+  | Ok c ->
+      let on_progress (p : Client.progress) =
+        j.cj_best <- Some (p.sim_time, p.classes, p.bytes);
+        j.cj_on_event
+          (Scheduler.Progress
+             { sim_time = p.sim_time; classes = p.classes; bytes = p.bytes })
+      in
+      let on_verdict ~key ~ok =
+        (* Mirror the worker's WAL before anything downstream can observe
+           the verdict: cache first (failover seeds come from here), then
+           our own journal, then the event stream. *)
+        Cache.store t.vcache ~job:j.cj_key ~key ok;
+        Metrics.set_gauge t.g_entries (float_of_int (Cache.entries t.vcache));
+        (match t.journal with
+        | Some jr -> Journal.append_pred jr ~id:j.cj_id ~key ok
+        | None -> ());
+        j.cj_on_event (Scheduler.Evaluated { key; ok })
+      in
+      let on_accepted remote_id =
+        let cancel_now =
+          locked t (fun () ->
+              j.cj_remote <- Some (w.w_id, remote_id);
+              Atomic.get j.cj_cancelled)
+        in
+        (* A cancel that raced the handoff could not reach the worker; it
+           parked the flag — honour it now that the remote id is known. *)
+        if cancel_now then remote_cancel t w.w_id remote_id
+      in
+      let result =
+        Client.submit_ex c ~on_progress ~on_verdict ~on_accepted ~seeds
+          j.cj_spec
+      in
+      Client.close c;
+      match result with
+      | Ok (_, stats, pool_bytes) ->
+          Metrics.add t.m_hits stats.Wire.replayed_runs;
+          Metrics.add t.m_misses
+            (max 0 (stats.Wire.predicate_runs - stats.Wire.replayed_runs));
+          locked t (fun () -> finalize t j (Done (stats, pool_bytes)))
+      | Error (`Job_failed reason) ->
+          locked t (fun () ->
+              if Atomic.get j.cj_cancelled then finalize t j Cancelled
+              else finalize t j (Failed reason))
+      | Error (`Rejected (_, retry_after)) ->
+          (* Transient backpressure on the worker, not a death: park the
+             job back on a queue and let the pumps breathe. *)
+          locked t (fun () ->
+              t.running <- t.running - 1;
+              t.queued <- t.queued + 1;
+              j.cj_status <- Scheduler.Queued;
+              (match shortest_live t with
+              | Some target -> Queue.push j target.w_queue; set_depth target
+              | None -> finalize t j (Failed "no live workers"));
+              Condition.broadcast t.cond);
+          Thread.delay (Float.min (Float.max retry_after 0.05) 1.0)
+      | Error (`Conn _) ->
+          (* The worker died under us (kill -9, reset, EOF mid-stream).
+             Every verdict it streamed before dying is already in the
+             cache, so the resubmission replays them instead of paying
+             again. *)
+          locked t (fun () -> worker_dead t w (Some j))
+
+(* Pump thread: drive worker [w], stealing when its queue runs dry. *)
+let pump t w () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec acquire () =
+      if not w.w_alive then None
+      else if not (Queue.is_empty w.w_queue) then Some (Queue.pop w.w_queue, w)
+      else
+        match steal_victim t w with
+        | Some victim ->
+            Metrics.incr t.m_steals;
+            Some (Queue.pop victim.w_queue, victim)
+        | None ->
+            if t.draining && t.queued = 0 && t.running = 0 then None
+            else begin
+              Condition.wait t.cond t.mutex;
+              acquire ()
+            end
+    in
+    let job = acquire () in
+    (match job with
+    | Some (j, from) ->
+        set_depth from;
+        t.queued <- t.queued - 1;
+        t.running <- t.running + 1;
+        j.cj_status <- Scheduler.Running
+    | None -> ());
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some (j, _) ->
+        if Atomic.get j.cj_cancelled then
+          locked t (fun () -> finalize t j Cancelled)
+        else run_one t w j;
+        next ()
+  in
+  next ()
+
+let ping_worker addr =
+  match Client.connect (Addr.to_string addr) with
+  | Error m ->
+      failwith (Printf.sprintf "worker %s unreachable: %s" (Addr.to_string addr) m)
+  | Ok c ->
+      let v = Client.negotiated_version c in
+      Client.close c;
+      if v < 3 then
+        failwith
+          (Printf.sprintf "worker %s speaks protocol v%d; the cluster needs v3"
+             (Addr.to_string addr) v)
+
+let next_id t =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "job-%06d" t.seq
+
+(* Must hold the lock.  Round-robin shard of a fresh job, starting at
+   worker 0 and skipping the dead.  The job counts as queued from here on
+   either way: finalize balances the count on the no-workers path. *)
+let shard t j =
+  t.queued <- t.queued + 1;
+  match shortest_live t with
+  | None -> finalize t j (Failed "no live workers")
+  | Some _ ->
+      let n = Array.length t.workers in
+      let rec pick i =
+        let w = t.workers.((t.rr + i) mod n) in
+        if w.w_alive then begin
+          t.rr <- (t.rr + i + 1) mod n;
+          w
+        end
+        else pick (i + 1)
+      in
+      let w = pick 0 in
+      Queue.push j w.w_queue;
+      set_depth w;
+      Condition.broadcast t.cond
+
+let create (config : config) =
+  if config.workers = [] then invalid_arg "Coordinator.create: no workers";
+  if config.lanes < 1 then invalid_arg "Coordinator.create: lanes < 1";
+  List.iter ping_worker config.workers;
+  let vcache = Cache.create ?path:config.cache_path () in
+  let journal = Option.map Journal.open_dir config.journal_dir in
+  let workers =
+    Array.of_list config.workers
+    |> Array.mapi (fun i addr ->
+           {
+             w_id = i;
+             w_addr = addr;
+             w_queue = Queue.create ();
+             w_alive = true;
+             w_gauge =
+               Metrics.gauge
+                 ~help:(Printf.sprintf "jobs queued for worker %d" i)
+                 (Printf.sprintf "lbr_cluster_w%d_queue_depth" i);
+           })
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      workers;
+      lanes = config.lanes;
+      queue_depth = max 1 config.queue_depth;
+      vcache;
+      journal;
+      table = Hashtbl.create 64;
+      seq = (match journal with Some j -> Journal.max_job_number j | None -> 0);
+      queued = 0;
+      running = 0;
+      draining = false;
+      pumps = [];
+      rr = 0;
+      started_at = Unix.gettimeofday ();
+      recovered = 0;
+      m_steals = Metrics.counter ~help:"jobs stolen between worker queues" "lbr_cluster_steals_total";
+      m_failovers = Metrics.counter ~help:"in-flight jobs resubmitted after a worker death" "lbr_cluster_failovers_total";
+      m_hits = Metrics.counter ~help:"predicate verdicts answered by the cluster cache" "lbr_cluster_cache_hits_total";
+      m_misses = Metrics.counter ~help:"predicate verdicts that had to execute" "lbr_cluster_cache_misses_total";
+      m_submitted = Metrics.counter ~help:"jobs admitted by the coordinator" "lbr_cluster_jobs_submitted_total";
+      m_done = Metrics.counter ~help:"delegated jobs completed" "lbr_cluster_jobs_done_total";
+      m_failed = Metrics.counter ~help:"delegated jobs failed" "lbr_cluster_jobs_failed_total";
+      g_alive = Metrics.gauge ~help:"live workers" "lbr_cluster_workers_alive";
+      g_entries = Metrics.gauge ~help:"verdicts in the cluster cache" "lbr_cluster_cache_entries";
+    }
+  in
+  Metrics.set_gauge t.g_alive (float_of_int (Array.length workers));
+  Metrics.set_gauge t.g_entries (float_of_int (Cache.entries vcache));
+  (* Re-admit journaled jobs that never reached a terminal marker, folding
+     their paid verdicts into the cache so the re-run replays them. *)
+  let recovered_n =
+    match journal with
+    | None -> 0
+    | Some jr ->
+        List.fold_left
+          (fun n (id, spec_bytes) ->
+            match Wire.spec_of_string spec_bytes with
+            | Error _ -> n
+            | Ok spec ->
+                let key = Cache.job_key spec in
+                Hashtbl.iter
+                  (fun k ok -> Cache.store t.vcache ~job:key ~key:k ok)
+                  (Journal.replay jr ~id);
+                let j =
+                  {
+                    cj_id = id;
+                    cj_spec = spec;
+                    cj_key = key;
+                    cj_on_event = ignore;
+                    cj_cancelled = Atomic.make false;
+                    cj_started = false;
+                    cj_attempts = 0;
+                    cj_best = None;
+                    cj_status = Scheduler.Queued;
+                    cj_remote = None;
+                  }
+                in
+                Hashtbl.replace t.table id j;
+                locked t (fun () -> shard t j);
+                n + 1)
+          0 (Journal.pending jr)
+  in
+  Metrics.set_gauge t.g_entries (float_of_int (Cache.entries vcache));
+  t.recovered <- recovered_n;
+  t.pumps <-
+    List.concat_map
+      (fun w ->
+        List.init t.lanes (fun _ -> Thread.create (pump t w) ()))
+      (Array.to_list workers);
+  t
+
+let submit t ~on_event ~seeds spec =
+  Mutex.lock t.mutex;
+  let outcome =
+    if t.draining then Error `Draining
+    else if t.queued >= t.queue_depth then
+      Error (`Queue_full (Float.max 0.1 (0.05 *. float_of_int t.queued)))
+    else begin
+      let id = next_id t in
+      let safe_event ev = try on_event id ev with _ -> () in
+      let key = Cache.job_key spec in
+      (* Client-supplied seeds pre-warm the shared cache: any worker that
+         later picks up this content digest replays them. *)
+      List.iter (fun (k, ok) -> Cache.store t.vcache ~job:key ~key:k ok) seeds;
+      (match t.journal with
+      | Some jr -> Journal.record_job jr ~id ~spec:(Wire.spec_to_string spec)
+      | None -> ());
+      let j =
+        {
+          cj_id = id;
+          cj_spec = spec;
+          cj_key = key;
+          cj_on_event = safe_event;
+          cj_cancelled = Atomic.make false;
+          cj_started = false;
+          cj_attempts = 0;
+          cj_best = None;
+          cj_status = Scheduler.Queued;
+          cj_remote = None;
+        }
+      in
+      Hashtbl.replace t.table id j;
+      Metrics.incr t.m_submitted;
+      shard t j;
+      Ok id
+    end
+  in
+  Mutex.unlock t.mutex;
+  outcome
+
+let cancel t id =
+  let found, remote =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | None -> (false, None)
+        | Some j -> (
+            match j.cj_status with
+            | Done _ | Failed _ | Cancelled -> (false, None)
+            | Queued | Running ->
+                Atomic.set j.cj_cancelled true;
+                Condition.broadcast t.cond;
+                (true, j.cj_remote)))
+  in
+  (match remote with
+  | Some (wid, remote_id) -> remote_cancel t wid remote_id
+  | None -> ());
+  found
+
+let stats t =
+  locked t (fun () ->
+      let job_stats =
+        Hashtbl.fold
+          (fun _ j acc ->
+            {
+              Wire.js_id = j.cj_id;
+              js_running = (j.cj_status = Scheduler.Running);
+              js_best = j.cj_best;
+            }
+            :: acc)
+          t.table []
+        |> List.sort (fun a b -> compare a.Wire.js_id b.Wire.js_id)
+      in
+      {
+        Wire.queued_jobs = t.queued;
+        running_jobs = t.running;
+        job_stats;
+        (* For a coordinator the "oracle" is the cluster cache: queries =
+           every predicate verdict observed, memo hits = the cached ones. *)
+        oracle_queries =
+          Metrics.counter_value t.m_hits + Metrics.counter_value t.m_misses;
+        oracle_memo_hits = Metrics.counter_value t.m_hits;
+        uptime = Unix.gettimeofday () -. t.started_at;
+        metrics_text = Metrics.render_prometheus ();
+      })
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  Condition.broadcast t.cond;
+  while t.queued + t.running > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  let pumps = t.pumps in
+  t.pumps <- [];
+  Mutex.unlock t.mutex;
+  List.iter Thread.join pumps;
+  Cache.close t.vcache;
+  Option.iter Journal.close t.journal
+
+let backend t =
+  {
+    Server.b_submit = (fun ~on_event ~seeds spec -> submit t ~on_event ~seeds spec);
+    b_cancel = cancel t;
+    b_stats = (fun () -> stats t);
+    b_drain = (fun () -> drain t);
+  }

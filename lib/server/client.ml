@@ -4,70 +4,103 @@ type progress = { sim_time : float; classes : int; bytes : int }
 
 let negotiated_version t = t.version
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    Wire.write_message fd (Wire.Hello Wire.protocol_version);
-    Wire.read_message fd
-  with
-  | Ok (Wire.Hello_ok v) -> Ok { fd; version = v }
-  | Ok (Wire.Protocol_error m) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error ("server refused handshake: " ^ m)
-  | Ok _ ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error "unexpected handshake reply"
-  | Error `Closed ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error "server closed the connection during handshake"
-  | Error (`Malformed m) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error ("malformed handshake reply: " ^ m)
-  | exception (Unix.Unix_error (e, _, _)) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error (path ^ ": " ^ Unix.error_message e)
+let connect ?(version = Wire.protocol_version) addr_string =
+  match Addr.parse addr_string with
+  | Error m -> Error m
+  | Ok addr -> (
+      match Addr.connect addr with
+      | Error m -> Error m
+      | Ok fd -> (
+          match
+            Wire.write_message fd (Wire.Hello version);
+            Wire.read_message fd
+          with
+          | Ok (Wire.Hello_ok v) -> Ok { fd; version = v }
+          | Ok (Wire.Protocol_error m) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error ("server refused handshake: " ^ m)
+          | Ok _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error "unexpected handshake reply"
+          | Error `Closed ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error "server closed the connection during handshake"
+          | Error (`Malformed m) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error ("malformed handshake reply: " ^ m)
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error (addr_string ^ ": " ^ Unix.error_message e)))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let read_or_error t =
+type submit_error =
+  [ `Rejected of string * float
+  | `Job_failed of string
+  | `Conn of string ]
+
+let read_or_conn t =
   match Wire.read_message t.fd with
   | Ok msg -> Ok msg
-  | Error `Closed -> Error "server closed the connection"
-  | Error (`Malformed m) -> Error ("malformed server frame: " ^ m)
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | Error `Closed -> Error (`Conn "server closed the connection")
+  | Error (`Malformed m) -> Error (`Conn ("malformed server frame: " ^ m))
+  | exception Unix.Unix_error (e, _, _) -> Error (`Conn (Unix.error_message e))
 
-let submit t ?(on_progress = fun (_ : progress) -> ()) spec =
-  match Wire.write_message t.fd (Wire.Submit spec) with
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+let submit_ex t ?(on_progress = fun (_ : progress) -> ())
+    ?(on_verdict = fun ~key:(_ : string) ~ok:(_ : bool) -> ())
+    ?(on_accepted = fun (_ : string) -> ()) ?(seeds = []) spec =
+  let request =
+    (* Seeded submission is v3 vocabulary; on an older negotiated version
+       the seeds cannot be expressed — fall back to a plain Submit (the
+       verdicts are then merely re-paid, never wrong). *)
+    if seeds <> [] && t.version >= 3 then Wire.Submit_seeded { spec; seeds }
+    else Wire.Submit spec
+  in
+  match Wire.write_message t.fd request with
+  | exception Unix.Unix_error (e, _, _) -> Error (`Conn (Unix.error_message e))
   | () -> (
       (* First the admission reply... *)
-      match read_or_error t with
+      match read_or_conn t with
       | Error _ as e -> e
       | Ok (Wire.Rejected { reason; retry_after }) ->
-          Error
-            (if retry_after > 0. then
-               Printf.sprintf "rejected: %s (retry in %.1fs)" reason retry_after
-             else "rejected: " ^ reason)
-      | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+          Error (`Rejected (reason, retry_after))
+      | Ok (Wire.Protocol_error m) -> Error (`Conn ("protocol error: " ^ m))
       | Ok (Wire.Accepted job_id) ->
+          on_accepted job_id;
           (* ...then the job's event stream up to its terminal frame. *)
           let rec wait () =
-            match read_or_error t with
+            match read_or_conn t with
             | Error _ as e -> e
             | Ok (Wire.Progress p) when p.job_id = job_id ->
                 on_progress
                   { sim_time = p.sim_time; classes = p.classes; bytes = p.bytes };
                 wait ()
+            | Ok (Wire.Verdict v) when v.job_id = job_id ->
+                on_verdict ~key:v.key ~ok:v.ok;
+                wait ()
             | Ok (Wire.Result r) when r.job_id = job_id ->
                 Ok (job_id, r.stats, r.pool_bytes)
             | Ok (Wire.Job_failed { job_id = id; reason }) when id = job_id ->
-                Error (Printf.sprintf "job %s failed: %s" id reason)
-            | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+                Error (`Job_failed reason)
+            | Ok (Wire.Protocol_error m) -> Error (`Conn ("protocol error: " ^ m))
             | Ok _ -> wait ()  (* frames for other jobs on a shared connection *)
           in
           wait ()
-      | Ok _ -> Error "unexpected reply to submit")
+      | Ok _ -> Error (`Conn "unexpected reply to submit"))
+
+let submit t ?on_progress ?on_verdict ?on_accepted ?seeds spec =
+  match submit_ex t ?on_progress ?on_verdict ?on_accepted ?seeds spec with
+  | Ok _ as ok -> ok
+  | Error (`Rejected (reason, retry_after)) ->
+      Error
+        (if retry_after > 0. then
+           Printf.sprintf "rejected: %s (retry in %.1fs)" reason retry_after
+         else "rejected: " ^ reason)
+  | Error (`Job_failed reason) -> Error ("job failed: " ^ reason)
+  | Error (`Conn m) -> Error m
+
+let read_or_error t =
+  match read_or_conn t with Ok _ as ok -> ok | Error (`Conn m) -> Error m
 
 let stats t =
   if t.version < 2 then Error "server is too old for stats (protocol < 2)"

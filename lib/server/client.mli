@@ -1,29 +1,61 @@
 (** Client side of the reduction service protocol — used by
-    [lbr-reduce submit] and the end-to-end tests.
+    [lbr-reduce submit], the cluster coordinator's worker links, and the
+    end-to-end tests.
 
     One connection, synchronous usage: {!connect} performs the
     [Hello]/[Hello_ok] handshake, {!submit} sends one job and blocks —
-    streaming [Progress] frames to the callback — until its terminal
-    [Result] or [Job_failed] frame arrives. *)
+    streaming [Progress] (and, on v3 connections, [Verdict]) frames to
+    the callbacks — until its terminal [Result] or [Job_failed] frame
+    arrives. *)
 
 type t
 
 type progress = { sim_time : float; classes : int; bytes : int }
 
-val connect : string -> (t, string) result
-(** Connect to the daemon's socket and negotiate the protocol version. *)
+val connect : ?version:int -> string -> (t, string) result
+(** Connect to a daemon and negotiate the protocol version.  The address
+    is parsed by {!Addr.parse}: a Unix socket path or a TCP [host:port].
+    [version] caps what the client offers (default
+    {!Wire.protocol_version}) — tests use it to act as an old client. *)
 
 val negotiated_version : t -> int
+
+type submit_error =
+  [ `Rejected of string * float  (** backpressure: reason, retry-after *)
+  | `Job_failed of string  (** the server ran the job and it failed *)
+  | `Conn of string  (** transport died — job outcome unknown *) ]
+
+val submit_ex :
+  t ->
+  ?on_progress:(progress -> unit) ->
+  ?on_verdict:(key:string -> ok:bool -> unit) ->
+  ?on_accepted:(string -> unit) ->
+  ?seeds:(string * bool) list ->
+  Wire.spec ->
+  (string * Wire.stats * string, submit_error) result
+(** Like {!submit} but with a typed error, so a caller that owns retry
+    policy (the cluster coordinator) can tell a dead worker ([`Conn] —
+    fail over) from a job that genuinely failed ([`Job_failed] — report). *)
 
 val submit :
   t ->
   ?on_progress:(progress -> unit) ->
+  ?on_verdict:(key:string -> ok:bool -> unit) ->
+  ?on_accepted:(string -> unit) ->
+  ?seeds:(string * bool) list ->
   Wire.spec ->
   (string * Wire.stats * string, string) result
 (** [Ok (job_id, stats, reduced_pool_bytes)] once the job completes.
     [Error _] on rejection (backpressure/draining — the message includes
     the server's retry-after hint), job failure, or a broken/closed
-    connection (e.g. the daemon drained and shut down mid-stream). *)
+    connection (e.g. the daemon drained and shut down mid-stream).
+
+    [on_accepted] fires with the server-side job id as soon as admission
+    is confirmed — the handle a caller needs to {!cancel} from another
+    connection.  [on_verdict] fires per fresh predicate evaluation
+    (v3 servers only).  [seeds] ships already-paid verdicts with the
+    submission ([Submit_seeded], v3); on a v2 connection they are
+    silently dropped and the work is re-paid. *)
 
 val cancel : t -> string -> (bool, string) result
 (** Ask the server to cancel a job; [Ok found] echoes whether the server

@@ -10,6 +10,7 @@ type status =
 type event =
   | Started
   | Progress of { sim_time : float; classes : int; bytes : int }
+  | Evaluated of { key : string; ok : bool }
   | Finished of status
 
 type runner_ctx = {
@@ -148,9 +149,12 @@ let run_job t job =
       replay = job.replay_table;
       record =
         (fun ~key ~ok ~latency ~retries ->
-          match t.journal with
+          (* WAL first, then stream: a Verdict frame must never name an
+             evaluation the journal could still lose. *)
+          (match t.journal with
           | Some j -> Journal.append_pred j ~id:job.id ~key ~latency ~retries ok
           | None -> ());
+          try job.on_event (Evaluated { key; ok }) with _ -> ());
     }
   in
   (* A job runs as one pool task on one domain, so the domain-local counter
@@ -224,7 +228,7 @@ let enqueue_locked t job =
 
 let retry_after t = 1.0 +. (float_of_int t.queued_count /. float_of_int (Pool.jobs t.pool))
 
-let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) spec =
+let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) ?(seeds = []) spec =
   let admitted =
     locked t (fun () ->
         if t.draining || t.shut then Error `Draining
@@ -235,12 +239,17 @@ let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) spec =
         else begin
           let id = Printf.sprintf "job-%06d" t.next_id in
           t.next_id <- t.next_id + 1;
+          (* Seeds land in the same replay table journal recovery fills:
+             the runner cannot tell a journal-replayed verdict from a
+             cluster-cache one, which is exactly the point. *)
+          let replay_table = Hashtbl.create (max 16 (List.length seeds)) in
+          List.iter (fun (key, ok) -> Hashtbl.replace replay_table key ok) seeds;
           let job =
             {
               id;
               spec;
               on_event = (fun ev -> on_event id ev);
-              replay_table = Hashtbl.create 16;
+              replay_table;
               cancel_requested = Atomic.make false;
               submitted_at = Lbr_obs.Trace.now ();
               state = Queued;

@@ -29,6 +29,10 @@ type status =
 type event =
   | Started
   | Progress of { sim_time : float; classes : int; bytes : int }
+  | Evaluated of { key : string; ok : bool }
+      (** one fresh predicate evaluation completed (and, when a journal is
+          configured, already WAL-ed) — the feed for the cluster-wide
+          verdict cache.  Replayed verdicts do not re-emit. *)
   | Finished of status
 
 type runner_ctx = {
@@ -57,6 +61,7 @@ val create :
 val submit :
   t ->
   ?on_event:(string -> event -> unit) ->
+  ?seeds:(string * bool) list ->
   Wire.spec ->
   (string, [ `Queue_full of float | `Draining ]) result
 (** Admit a job; returns its id.  [on_event] is registered atomically with
@@ -65,7 +70,10 @@ val submit :
     worker domains — it must be thread-safe.  The terminal [Finished]
     event is delivered {e before} the job's state becomes observable via
     {!await}/{!drain}, so a completed drain implies every handler ran.
-    [`Queue_full retry_after] is the backpressure path. *)
+    [`Queue_full retry_after] is the backpressure path.  [seeds] pre-fills
+    the job's replay table with already-paid verdicts (digest key →
+    outcome) — the coordinator's shared-cache/failover path; they count as
+    replayed runs, exactly like journal recovery. *)
 
 val cancel : t -> string -> bool
 (** Request cancellation.  [true] if the job was queued or running; a

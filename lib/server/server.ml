@@ -1,13 +1,31 @@
+(* The daemon front end is split from what it fronts: a [backend] is
+   anything that can admit, cancel and introspect jobs — the scheduler
+   (lbr-serve) or the cluster coordinator (lbr-reduce coordinate).  The
+   accept loop, per-connection protocol, version gating and lifecycle
+   are identical for both. *)
+
+type backend = {
+  b_submit :
+    on_event:(string -> Scheduler.event -> unit) ->
+    seeds:(string * bool) list ->
+    Wire.spec ->
+    (string, [ `Queue_full of float | `Draining ]) result;
+  b_cancel : string -> bool;
+  b_stats : unit -> Wire.daemon_stats;
+  b_drain : unit -> unit;
+}
+
 type config = {
-  socket_path : string;
+  listen : Addr.t;
   jobs : int;
   queue_depth : int;
   journal_dir : string option;
 }
 
 type t = {
-  config : config;
-  scheduler : Scheduler.t;
+  listen_addr : Addr.t;
+  backend : backend;
+  scheduler : Scheduler.t option;  (* Some for scheduler-backed daemons *)
   journal : Journal.t option;
   listen_fd : Unix.file_descr;
   recovered : int;
@@ -19,15 +37,26 @@ type t = {
   mutable accept_thread : Thread.t option;
 }
 
-let scheduler t = t.scheduler
+let scheduler t =
+  match t.scheduler with
+  | Some s -> s
+  | None -> invalid_arg "Server.scheduler: backend-served daemon has no scheduler"
+
 let recovered t = t.recovered
+
+(* The address the kernel actually bound — differs from the configured
+   one only for TCP port 0, where it carries the chosen port. *)
+let bound_addr t =
+  match t.listen_addr with
+  | Addr.Unix_path _ as a -> a
+  | Addr.Tcp (host, _) -> Addr.Tcp (host, Addr.bound_port t.listen_fd)
 
 (* One consistent introspection snapshot: scheduler view under its lock,
    process-wide oracle counters and the full metric registry rendered as
    Prometheus text.  Built entirely from state the event stream already
    maintains — nothing reaches into running jobs. *)
-let daemon_stats t =
-  let jobs = Scheduler.snapshot t.scheduler in
+let scheduler_stats scheduler started_at () =
+  let jobs = Scheduler.snapshot scheduler in
   let value name = Option.value ~default:0 (Lbr_obs.Metrics.find_counter_value name) in
   {
     Wire.queued_jobs = List.length (List.filter (fun j -> not j.Scheduler.info_running) jobs);
@@ -39,7 +68,7 @@ let daemon_stats t =
         jobs;
     oracle_queries = value "lbr_oracle_queries_total";
     oracle_memo_hits = value "lbr_oracle_memo_hits_total";
-    uptime = Unix.gettimeofday () -. t.started_at;
+    uptime = Unix.gettimeofday () -. started_at;
     metrics_text = Lbr_obs.Metrics.render_prometheus ();
   }
 
@@ -79,19 +108,6 @@ let handle_connection t fd =
       ~finally:(fun () -> Mutex.unlock write_mutex)
       (fun () -> try Wire.write_message fd msg with Unix.Unix_error _ | Sys_error _ -> ())
   in
-  let on_event job_id (ev : Scheduler.event) =
-    match ev with
-    | Scheduler.Started -> ()
-    | Scheduler.Progress { sim_time; classes; bytes } ->
-        send (Wire.Progress { job_id; sim_time; classes; bytes })
-    | Scheduler.Finished (Scheduler.Done (stats, pool_bytes)) ->
-        send (Wire.Result { job_id; stats; pool_bytes })
-    | Scheduler.Finished (Scheduler.Failed reason) ->
-        send (Wire.Job_failed { job_id; reason })
-    | Scheduler.Finished Scheduler.Cancelled ->
-        send (Wire.Job_failed { job_id; reason = "cancelled" })
-    | Scheduler.Finished (Scheduler.Queued | Scheduler.Running) -> ()
-  in
   let fatal reason =
     send (Wire.Protocol_error reason);
     forget_conn t fd
@@ -101,40 +117,65 @@ let handle_connection t fd =
   | Error `Closed -> forget_conn t fd
   | Error (`Malformed m) -> fatal ("malformed hello: " ^ m)
   | Ok (Wire.Hello v) when v >= 1 ->
-      send (Wire.Hello_ok (min v Wire.protocol_version));
+      let version = min v Wire.protocol_version in
+      send (Wire.Hello_ok version);
+      (* Frames a peer of this vintage cannot decode must never reach it:
+         Verdict is v3-only, so on older connections it is dropped here,
+         not at the call sites. *)
+      let on_event job_id (ev : Scheduler.event) =
+        match ev with
+        | Scheduler.Started -> ()
+        | Scheduler.Progress { sim_time; classes; bytes } ->
+            send (Wire.Progress { job_id; sim_time; classes; bytes })
+        | Scheduler.Evaluated { key; ok } ->
+            if version >= 3 then send (Wire.Verdict { job_id; key; ok })
+        | Scheduler.Finished (Scheduler.Done (stats, pool_bytes)) ->
+            send (Wire.Result { job_id; stats; pool_bytes })
+        | Scheduler.Finished (Scheduler.Failed reason) ->
+            send (Wire.Job_failed { job_id; reason })
+        | Scheduler.Finished Scheduler.Cancelled ->
+            send (Wire.Job_failed { job_id; reason = "cancelled" })
+        | Scheduler.Finished (Scheduler.Queued | Scheduler.Running) -> ()
+      in
+      let admit spec seeds =
+        (* The admission reply must reach the wire before any event
+           frame for the new job: a worker can run a small job to
+           completion before this thread regains the CPU, and its
+           [Result] would otherwise overtake [Accepted].  Holding the
+           write lock across submission makes the worker's first
+           [send] wait behind the reply.  [b_submit] never invokes
+           [on_event] synchronously (dispatch goes through the worker
+           pool), so this cannot self-deadlock. *)
+        Mutex.lock write_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock write_mutex)
+          (fun () ->
+            let reply =
+              match t.backend.b_submit ~on_event ~seeds spec with
+              | Ok id -> Wire.Accepted id
+              | Error (`Queue_full retry_after) ->
+                  Wire.Rejected { reason = "queue full"; retry_after }
+              | Error `Draining -> Wire.Rejected { reason = "draining"; retry_after = 0. }
+            in
+            try Wire.write_message fd reply with Unix.Unix_error _ | Sys_error _ -> ())
+      in
       let rec loop () =
         match Wire.read_message fd with
         | Error `Closed -> forget_conn t fd
         | Error (`Malformed m) -> fatal ("malformed frame: " ^ m)
         | Ok (Wire.Submit spec) ->
-            (* The admission reply must reach the wire before any event
-               frame for the new job: a worker can run a small job to
-               completion before this thread regains the CPU, and its
-               [Result] would otherwise overtake [Accepted].  Holding the
-               write lock across submission makes the worker's first
-               [send] wait behind the reply.  [Scheduler.submit] never
-               invokes [on_event] synchronously (dispatch goes through
-               the worker pool), so this cannot self-deadlock. *)
-            Mutex.lock write_mutex;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock write_mutex)
-              (fun () ->
-                let reply =
-                  match Scheduler.submit t.scheduler ~on_event spec with
-                  | Ok id -> Wire.Accepted id
-                  | Error (`Queue_full retry_after) ->
-                      Wire.Rejected { reason = "queue full"; retry_after }
-                  | Error `Draining ->
-                      Wire.Rejected { reason = "draining"; retry_after = 0. }
-                in
-                try Wire.write_message fd reply
-                with Unix.Unix_error _ | Sys_error _ -> ());
+            admit spec [];
+            loop ()
+        | Ok (Wire.Submit_seeded _) when version < 3 ->
+            fatal "Submit_seeded requires protocol version 3"
+        | Ok (Wire.Submit_seeded { spec; seeds }) ->
+            admit spec seeds;
             loop ()
         | Ok (Wire.Cancel job_id) ->
-            send (Wire.Cancel_ok { job_id; found = Scheduler.cancel t.scheduler job_id });
+            send (Wire.Cancel_ok { job_id; found = t.backend.b_cancel job_id });
             loop ()
         | Ok Wire.Stats_request ->
-            send (Wire.Stats_reply (daemon_stats t));
+            send (Wire.Stats_reply (t.backend.b_stats ()));
             loop ()
         | Ok (Wire.Hello _) -> fatal "duplicate hello"
         | Ok _ -> fatal "unexpected server-side message kind"
@@ -171,42 +212,15 @@ let accept_loop t =
 
 (* ------------------------------------------------------------------ *)
 
-(* A socket file can be a live daemon or the corpse of a crashed one: a
-   probe connect tells them apart. *)
-let claim_socket_path path =
-  if Sys.file_exists path then begin
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let live =
-      match Unix.connect probe (Unix.ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error _ -> false
-    in
-    (try Unix.close probe with Unix.Unix_error _ -> ());
-    if live then failwith (path ^ ": socket is in use by a running daemon");
-    try Unix.unlink path with Unix.Unix_error _ -> ()
-  end
-
-let start config =
+let start_backend ?scheduler ?journal ?(recovered = 0) ~listen backend =
   (* A client closing mid-write must not kill the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  let journal = Option.map Journal.open_dir config.journal_dir in
-  let scheduler =
-    Scheduler.create ~runner:Runner.reduce ~jobs:config.jobs
-      ~queue_depth:config.queue_depth ?journal ()
-  in
-  let recovered = Scheduler.recover scheduler in
-  claim_socket_path config.socket_path;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
-     Unix.listen listen_fd 16
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
+  let listen_fd = Addr.listen listen in
   let t =
     {
-      config;
+      listen_addr = listen;
+      backend;
       scheduler;
       journal;
       listen_fd;
@@ -222,25 +236,73 @@ let start config =
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
+let start config =
+  let journal = Option.map Journal.open_dir config.journal_dir in
+  let scheduler =
+    Scheduler.create ~runner:Runner.reduce ~jobs:config.jobs
+      ~queue_depth:config.queue_depth ?journal ()
+  in
+  let recovered = Scheduler.recover scheduler in
+  let started_at = Unix.gettimeofday () in
+  let backend =
+    {
+      b_submit =
+        (fun ~on_event ~seeds spec -> Scheduler.submit scheduler ~on_event ~seeds spec);
+      b_cancel = Scheduler.cancel scheduler;
+      b_stats = scheduler_stats scheduler started_at;
+      b_drain = (fun () -> Scheduler.shutdown scheduler);
+    }
+  in
+  match start_backend ~scheduler ?journal ~recovered ~listen:config.listen backend with
+  | t -> t
+  | exception e ->
+      Scheduler.shutdown scheduler;
+      (match journal with Some j -> Journal.close j | None -> ());
+      raise e
+
+let close_all_conns t =
+  Mutex.lock t.conns_mutex;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conns_mutex;
+  List.iter
+    (fun fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    conns
+
+let unlink_unix_path t =
+  match t.listen_addr with
+  | Addr.Unix_path p -> (
+      try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | Addr.Tcp _ -> ()
+
 let stop t =
   if Atomic.compare_and_set t.stopped false true then begin
     Atomic.set t.stop_flag true;
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    unlink_unix_path t;
     (* Every in-flight job finishes and its terminal frame is written
        (finalize delivers events before drain can observe completion). *)
-    Scheduler.shutdown t.scheduler;
-    Mutex.lock t.conns_mutex;
-    let conns = t.conns in
-    t.conns <- [];
-    Mutex.unlock t.conns_mutex;
-    List.iter
-      (fun fd ->
-        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-        try Unix.close fd with Unix.Unix_error _ -> ())
-      conns;
+    t.backend.b_drain ();
+    close_all_conns t;
     match t.journal with Some j -> Journal.close j | None -> ()
+  end
+
+(* The opposite of a graceful [stop]: drop everything on the floor, the
+   way kill -9 would.  Jobs already running on worker domains keep
+   running detached (domains cannot be killed from OCaml) — their event
+   frames land on closed sockets and are swallowed — but no new frame
+   leaves this daemon and no drain happens.  Tests use this to exercise
+   the coordinator's failover without forking a process to kill. *)
+let abort t =
+  if Atomic.compare_and_set t.stopped false true then begin
+    Atomic.set t.stop_flag true;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    unlink_unix_path t;
+    close_all_conns t
   end
 
 let run ?shutdown config =

@@ -1,6 +1,10 @@
 (* v1: handshake, submit/cancel, progress/result streams.
-   v2: adds Stats_request/Stats_reply (live daemon introspection). *)
-let protocol_version = 2
+   v2: adds Stats_request/Stats_reply (live daemon introspection).
+   v3: adds Submit_seeded (submission with pre-paid verdicts) and the
+       streamed Verdict frame — the cluster coordinator's vocabulary.
+       The framing itself is transport-agnostic; v3 daemons listen on
+       TCP as well as Unix sockets (see Addr). *)
+let protocol_version = 3
 let max_frame = 64 * 1024 * 1024
 
 type priority = Normal | High
@@ -49,6 +53,7 @@ type message =
   | Hello of int
   | Hello_ok of int
   | Submit of spec
+  | Submit_seeded of { spec : spec; seeds : (string * bool) list }
   | Accepted of string
   | Rejected of { reason : string; retry_after : float }
   | Cancel of string
@@ -59,6 +64,7 @@ type message =
   | Protocol_error of string
   | Stats_request
   | Stats_reply of daemon_stats
+  | Verdict of { job_id : string; key : string; ok : bool }
 
 (* ------------------------------------------------------------------ *)
 (* Writer primitives                                                   *)
@@ -307,6 +313,28 @@ let r_daemon_stats r =
   { queued_jobs; running_jobs; job_stats; oracle_queries; oracle_memo_hits; uptime; metrics_text }
 
 (* ------------------------------------------------------------------ *)
+(* Seed tables (v3) — pre-paid verdicts shipped with a submission       *)
+
+let w_seeds b seeds =
+  let n = List.length seeds in
+  if n > 0xFFFFFFFF then invalid_arg "Wire: too many seeds";
+  w_u32 b n;
+  List.iter
+    (fun (key, ok) ->
+      w_str16 b key;
+      w_bool b ok)
+    seeds
+
+let r_seeds r =
+  let n = r_u32 r in
+  (* each seed is at least 3 bytes on the wire; bound before allocating *)
+  if n > String.length r.data then fail "seed count %d exceeds frame" n;
+  List.init n (fun _ ->
+      let key = r_str16 r in
+      let ok = r_bool r in
+      (key, ok))
+
+(* ------------------------------------------------------------------ *)
 (* Messages                                                            *)
 
 let kind_of = function
@@ -314,6 +342,7 @@ let kind_of = function
   | Submit _ -> 0x02
   | Cancel _ -> 0x03
   | Stats_request -> 0x04
+  | Submit_seeded _ -> 0x05
   | Hello_ok _ -> 0x81
   | Accepted _ -> 0x82
   | Rejected _ -> 0x83
@@ -323,6 +352,7 @@ let kind_of = function
   | Job_failed _ -> 0x87
   | Protocol_error _ -> 0x88
   | Stats_reply _ -> 0x89
+  | Verdict _ -> 0x8A
 
 let encode_payload msg =
   let b = Buffer.create 64 in
@@ -330,6 +360,13 @@ let encode_payload msg =
   (match msg with
   | Hello v | Hello_ok v -> w_u16 b v
   | Submit spec -> w_spec b spec
+  | Submit_seeded { spec; seeds } ->
+      w_spec b spec;
+      w_seeds b seeds
+  | Verdict { job_id; key; ok } ->
+      w_str16 b job_id;
+      w_str16 b key;
+      w_bool b ok
   | Accepted id | Cancel id -> w_str16 b id
   | Rejected { reason; retry_after } ->
       w_str16 b reason;
@@ -392,6 +429,13 @@ let decode_payload data =
       | 0x88 -> Protocol_error (r_str16 r)
       | 0x04 -> Stats_request
       | 0x89 -> Stats_reply (r_daemon_stats r)
+      | 0x05 ->
+          let spec = r_spec r in
+          Submit_seeded { spec; seeds = r_seeds r }
+      | 0x8A ->
+          let job_id = r_str16 r in
+          let key = r_str16 r in
+          Verdict { job_id; key; ok = r_bool r }
       | k -> fail "unknown message kind 0x%02x" k
     in
     r_end r;

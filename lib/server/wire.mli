@@ -1,8 +1,10 @@
 (** The reduction service's wire protocol.
 
-    Length-prefixed binary frames over a Unix domain socket; every integer
-    is big-endian, matching [Lbr_jvm.Serialize]'s conventions (the LBRC
-    pool container is the payload of submissions and results).
+    Length-prefixed binary frames over a stream socket — a Unix domain
+    socket or, since v3, a TCP connection (see {!Addr}); the framing is
+    byte-identical on both transports.  Every integer is big-endian,
+    matching [Lbr_jvm.Serialize]'s conventions (the LBRC pool container
+    is the payload of submissions and results).
 
     {v
     frame    := len(u32) payload                  — len = |payload|, ≤ 64 MiB
@@ -26,8 +28,12 @@
     clients. *)
 
 val protocol_version : int
-(** Currently [2].  v2 added [Stats_request]/[Stats_reply]; a v1 peer
-    negotiates down during the handshake and simply never sends them. *)
+(** Currently [3].  v2 added [Stats_request]/[Stats_reply]; v3 added
+    [Submit_seeded]/[Verdict] (the cluster coordinator's vocabulary) and
+    TCP listeners.  A v1/v2 peer negotiates down during the handshake and
+    simply never sends — or receives — the newer frames: a v3 daemon
+    gates [Verdict] streaming on the connection's negotiated version, so
+    old clients interoperate unchanged. *)
 
 val max_frame : int
 (** Hard ceiling on a frame payload (64 MiB); larger lengths are rejected
@@ -82,6 +88,11 @@ type message =
   | Hello of int  (** client → server: highest version the client speaks *)
   | Hello_ok of int  (** server → client: negotiated version *)
   | Submit of spec
+  | Submit_seeded of { spec : spec; seeds : (string * bool) list }
+      (** v3, client → server: submit plus pre-paid predicate verdicts
+          (digest key, outcome) that seed the job's replay table — the
+          coordinator's failover and shared-cache path.  Replayed
+          verdicts count in [stats.replayed_runs], not tool executions. *)
   | Accepted of string  (** job id *)
   | Rejected of { reason : string; retry_after : float }
       (** backpressure: the queue is full; retry in [retry_after] seconds *)
@@ -93,6 +104,12 @@ type message =
   | Protocol_error of string
   | Stats_request  (** v2, client → server: live introspection snapshot *)
   | Stats_reply of daemon_stats  (** v2, server → client *)
+  | Verdict of { job_id : string; key : string; ok : bool }
+      (** v3, server → client, only on connections that negotiated ≥ 3:
+          one frame per {e fresh} predicate evaluation, emitted after the
+          verdict is journaled.  The coordinator folds these into the
+          cluster-wide verdict cache as they happen, so a job's paid
+          executions survive its worker. *)
 
 (* ------------------------------------------------------------------ *)
 

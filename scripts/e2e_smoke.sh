@@ -6,11 +6,17 @@
 #      `lbr-reduce reduce` of the same instance — run with --trace, which
 #      doubles as the check that tracing never changes results,
 #   4. validate the emitted Chrome trace JSON (≥1 gbr.iteration span),
-#   5. SIGTERM the daemon and require a clean drain + zero exit.
+#   5. SIGTERM the daemon and require a clean drain + zero exit,
+# then of the cluster service:
+#   6. start two TCP workers and a coordinator fronting them,
+#   7. submit a job through the coordinator, kill -9 a worker mid-job,
+#   8. check the result is byte-identical to a sequential run, that `top`
+#      reports cluster health, and that the coordinator drains cleanly.
 #
 # Usage: scripts/e2e_smoke.sh  (after `dune build`; override BIN to point
-# at the lbr_reduce executable if it lives elsewhere, and TRACE_OUT to
-# keep the trace file, e.g. for a CI artifact)
+# at the lbr_reduce executable if it lives elsewhere, TRACE_OUT to keep
+# the trace file and CLUSTER_JOURNAL_OUT to keep a copy of the
+# coordinator journal, e.g. for CI artifacts)
 set -euo pipefail
 
 BIN=${BIN:-_build/default/bin/lbr_reduce.exe}
@@ -59,3 +65,93 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"  # set -e: a non-zero daemon exit fails the smoke test
 grep -q "drained" "$WORK/serve.log" || { echo "daemon did not report a drain"; cat "$WORK/serve.log"; exit 1; }
 echo "OK: daemon drained and exited cleanly on SIGTERM"
+
+# ---------------------------------------------------------------------
+# Cluster: coordinator + two TCP workers, kill -9 one worker mid-job.
+
+"$BIN" serve --socket 127.0.0.1:0 --jobs 1 --queue-depth 8 > "$WORK/w1.log" 2>&1 &
+W1_PID=$!
+"$BIN" serve --socket 127.0.0.1:0 --jobs 1 --queue-depth 8 > "$WORK/w2.log" 2>&1 &
+W2_PID=$!
+
+worker_addr() {  # $1: logfile — wait for the bound TCP address to be printed
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^lbr-serve: listening on \([0-9.:]*\) .*/\1/p' "$1")
+    [ -n "$addr" ] && { echo "$addr"; return 0; }
+    sleep 0.1
+  done
+  return 1
+}
+W1_ADDR=$(worker_addr "$WORK/w1.log") || { echo "worker 1 never bound"; cat "$WORK/w1.log"; exit 1; }
+W2_ADDR=$(worker_addr "$WORK/w2.log") || { echo "worker 2 never bound"; cat "$WORK/w2.log"; exit 1; }
+
+COORD_SOCK="$WORK/coord.sock"
+COORD_JOURNAL="$WORK/coordjournal"
+"$BIN" coordinate --listen "$COORD_SOCK" --worker "$W1_ADDR" --worker "$W2_ADDR" \
+  --journal "$COORD_JOURNAL" --cache "$WORK/verdicts.cache" \
+  > "$WORK/coord.log" 2>&1 &
+COORD_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$COORD_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$COORD_SOCK" ] || { echo "coordinator never bound $COORD_SOCK"; cat "$WORK/coord.log"; exit 1; }
+
+"$BIN" submit --socket "$COORD_SOCK" --seed 21 --classes 64 \
+  --output-pool "$WORK/cluster.lbrc" > "$WORK/submit.log" 2>&1 &
+SUBMIT_PID=$!
+
+# Wait until the coordinator has mirrored a few of the worker's streamed
+# verdicts into its journal — proof the job is mid-reduction somewhere.
+VERDICTS=0
+for _ in $(seq 1 500); do
+  # The glob may not match yet; under pipefail the failing cat must not
+  # take the whole script down with it.
+  VERDICTS=$({ cat "$COORD_JOURNAL"/job-*/preds.log 2>/dev/null || true; } | wc -l)
+  [ "$VERDICTS" -ge 3 ] && break
+  sleep 0.01
+done
+
+# kill -9 the worker actually holding the job connection when we can tell
+# (the coordinator dials a worker only while a job runs there); default to
+# worker 1 otherwise.  Either way the coordinator must deliver the result.
+VICTIM=$W1_PID SURVIVOR=$W2_PID
+if command -v ss >/dev/null 2>&1; then
+  W2_PORT=${W2_ADDR##*:}
+  if ss -tn 2>/dev/null | grep -v LISTEN | grep -q "127.0.0.1:$W2_PORT"; then
+    VICTIM=$W2_PID SURVIVOR=$W1_PID
+  fi
+fi
+kill -9 "$VICTIM"
+echo "OK: killed a worker after $VERDICTS mirrored verdicts"
+
+wait "$SUBMIT_PID"  # set -e: the cluster submission must still succeed
+
+"$BIN" reduce --seed 21 --classes 64 --output-pool "$WORK/seq.lbrc" > /dev/null 2>&1
+cmp "$WORK/cluster.lbrc" "$WORK/seq.lbrc"
+echo "OK: cluster result (worker killed mid-job) is byte-identical to a sequential run"
+
+"$BIN" top --socket "$COORD_SOCK" > "$WORK/top.out"
+grep -q '^cluster:' "$WORK/top.out" || { echo "top lacks cluster health"; cat "$WORK/top.out"; exit 1; }
+grep -q '^cluster cache:' "$WORK/top.out" || { echo "top lacks cluster cache stats"; cat "$WORK/top.out"; exit 1; }
+echo "OK: top reports cluster worker and verdict-cache health"
+
+test -s "$COORD_JOURNAL"/job-000001/preds.log || { echo "coordinator journal mirrored no verdicts"; exit 1; }
+test -s "$WORK/verdicts.cache" || { echo "verdict cache file is empty"; exit 1; }
+echo "OK: coordinator journal and verdict cache were persisted"
+
+kill -TERM "$COORD_PID"
+wait "$COORD_PID"
+grep -q "drained" "$WORK/coord.log" || { echo "coordinator did not drain"; cat "$WORK/coord.log"; exit 1; }
+kill -TERM "$SURVIVOR" 2>/dev/null || true
+wait "$SURVIVOR" 2>/dev/null || true
+echo "OK: coordinator drained and exited cleanly on SIGTERM"
+
+# Keep the coordinator journal (e.g. as a CI artifact) when asked to.
+if [ -n "${CLUSTER_JOURNAL_OUT:-}" ]; then
+  rm -rf "$CLUSTER_JOURNAL_OUT"
+  cp -r "$COORD_JOURNAL" "$CLUSTER_JOURNAL_OUT"
+  cp "$WORK/verdicts.cache" "$CLUSTER_JOURNAL_OUT/verdicts.cache"
+  echo "OK: coordinator journal copied to $CLUSTER_JOURNAL_OUT"
+fi

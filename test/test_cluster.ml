@@ -1,0 +1,633 @@
+(* Tests for the cluster layer: the content-addressed verdict cache
+   (lookup semantics, disk persistence, qcheck properties), and the
+   coordinator end to end against real worker daemons on loopback TCP —
+   work stealing with stub workers, warm-cache resubmission, and the
+   kill-a-worker-mid-job failover acceptance scenario. *)
+
+open Lbr_server
+module Cache = Lbr_cluster.Cache
+module Coordinator = Lbr_cluster.Coordinator
+
+let qsuite name props = (name, List.map QCheck_alcotest.to_alcotest props)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures (mirroring test_server's)                                  *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun label ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lbr-cluster-test-%d-%d-%s" (Unix.getpid ()) !counter label)
+    in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm dir;
+    Unix.mkdir dir 0o755;
+    dir
+
+let pool_bytes_of_seed ?(classes = 18) seed =
+  Lbr_jvm.Serialize.to_bytes
+    (Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes))
+
+let spec_of_seed ?classes ?(retries = 0) seed =
+  {
+    Wire.tool = "";
+    strategy = Lbr_harness.Experiment.Gbr;
+    priority = Wire.Normal;
+    crash_policy = Lbr_runtime.Oracle.Crash_raises;
+    retries;
+    pool_bytes = pool_bytes_of_seed ?classes seed;
+  }
+
+let reference_run ?classes seed =
+  let pool =
+    match Lbr_jvm.Serialize.of_bytes (pool_bytes_of_seed ?classes seed) with
+    | Ok pool -> pool
+    | Error m -> Alcotest.failf "reference pool does not decode: %s" m
+  in
+  let tool =
+    match
+      List.find_opt (fun t -> Lbr_decompiler.Tool.is_buggy_on t pool) Lbr_decompiler.Tool.all
+    with
+    | Some t -> t
+    | None -> Alcotest.failf "seed %d: no tool is buggy; pick another fixture seed" seed
+  in
+  let instance =
+    {
+      Lbr_harness.Corpus.instance_id = Printf.sprintf "ref-%d" seed;
+      benchmark = { Lbr_harness.Corpus.bench_id = Printf.sprintf "ref-%d" seed; seed; pool };
+      tool;
+      baseline_errors = Lbr_decompiler.Tool.errors tool pool;
+    }
+  in
+  let outcome, final = Lbr_harness.Experiment.run_with Lbr_harness.Experiment.Gbr instance in
+  (outcome, Lbr_jvm.Serialize.to_bytes final)
+
+let counter_value name = Option.value ~default:0 (Lbr_obs.Metrics.find_counter_value name)
+
+let hex32 i = Printf.sprintf "%032x" (i land max_int)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let test_cache_store_find_first_wins () =
+  let c = Cache.create () in
+  let job = hex32 1 and k1 = hex32 11 and k2 = hex32 12 in
+  Alcotest.(check (option bool)) "miss on empty" None (Cache.find c ~job ~key:k1);
+  Cache.store c ~job ~key:k1 true;
+  Cache.store c ~job ~key:k2 false;
+  Alcotest.(check (option bool)) "hit true" (Some true) (Cache.find c ~job ~key:k1);
+  Alcotest.(check (option bool)) "hit false" (Some false) (Cache.find c ~job ~key:k2);
+  Alcotest.(check (option bool)) "other job is a miss" None
+    (Cache.find c ~job:(hex32 2) ~key:k1);
+  (* deterministic verdicts: a conflicting re-store keeps the original *)
+  Cache.store c ~job ~key:k1 false;
+  Alcotest.(check (option bool)) "first write wins" (Some true) (Cache.find c ~job ~key:k1);
+  Alcotest.(check int) "entries counts pairs once" 2 (Cache.entries c);
+  let seeds = List.sort compare (Cache.seeds c ~job) in
+  Alcotest.(check (list (pair string bool))) "seeds lists the job's verdicts"
+    (List.sort compare [ (k1, true); (k2, false) ])
+    seeds;
+  Cache.close c
+
+let test_cache_persists_across_restart () =
+  let path = Filename.concat (fresh_dir "cachefile") "verdicts.cache" in
+  let c = Cache.create ~path () in
+  let job = hex32 7 in
+  Cache.store c ~job ~key:(hex32 71) true;
+  Cache.store c ~job ~key:(hex32 72) false;
+  Cache.close c;
+  (* a torn trailing line (crash mid-append) must not poison the reload *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (hex32 7 ^ " " ^ String.make 10 'a');
+  close_out oc;
+  let c = Cache.create ~path () in
+  Alcotest.(check int) "whole entries survive, torn line skipped" 2 (Cache.entries c);
+  Alcotest.(check (option bool)) "verdict intact" (Some true)
+    (Cache.find c ~job ~key:(hex32 71));
+  (* the reopened cache still appends *)
+  Cache.store c ~job ~key:(hex32 73) true;
+  Cache.close c;
+  let c = Cache.create ~path () in
+  Alcotest.(check int) "append after reload persists" 3 (Cache.entries c);
+  Cache.close c
+
+let test_cache_job_key_content_addressing () =
+  let spec = spec_of_seed ~classes:6 1 in
+  let k = Cache.job_key spec in
+  Alcotest.(check int) "job key is 32 hex chars" 32 (String.length k);
+  Alcotest.(check string) "strategy does not change the key" k
+    (Cache.job_key { spec with strategy = Lbr_harness.Experiment.Jreduce });
+  Alcotest.(check string) "priority does not change the key" k
+    (Cache.job_key { spec with priority = Wire.High });
+  Alcotest.(check bool) "pool bytes change the key" true
+    (k <> Cache.job_key { spec with pool_bytes = spec.pool_bytes ^ "x" });
+  Alcotest.(check bool) "crash policy changes the key" true
+    (k <> Cache.job_key { spec with crash_policy = Lbr_runtime.Oracle.Crash_fails })
+
+(* hit => identical to recompute: modelled against a reference Hashtbl
+   holding the first-stored verdict per (job, key) pair *)
+let prop_cache_hit_matches_recompute =
+  QCheck.Test.make ~count:100 ~name:"cache hit is identical to recompute"
+    QCheck.(small_list (triple small_nat small_nat bool))
+    (fun entries ->
+      let c = Cache.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (j, k, ok) ->
+          let job = hex32 j and key = hex32 k in
+          Cache.store c ~job ~key ok;
+          if not (Hashtbl.mem model (job, key)) then Hashtbl.add model (job, key) ok)
+        entries;
+      let verdict =
+        List.for_all
+          (fun (j, k, _) ->
+            let job = hex32 j and key = hex32 k in
+            Cache.find c ~job ~key = Hashtbl.find_opt model (job, key))
+          entries
+        && Cache.entries c = Hashtbl.length model
+      in
+      Cache.close c;
+      verdict)
+
+let prop_cache_survives_restart =
+  QCheck.Test.make ~count:50 ~name:"persisted cache survives restart"
+    QCheck.(small_list (triple small_nat small_nat bool))
+    (fun entries ->
+      let path = Filename.concat (fresh_dir "cacheprop") "c.cache" in
+      let c = Cache.create ~path () in
+      List.iter
+        (fun (j, k, ok) -> Cache.store c ~job:(hex32 j) ~key:(hex32 k) ok)
+        entries;
+      let before =
+        List.map (fun (j, k, _) -> Cache.find c ~job:(hex32 j) ~key:(hex32 k)) entries
+      in
+      let n = Cache.entries c in
+      Cache.close c;
+      let c = Cache.create ~path () in
+      let after =
+        List.map (fun (j, k, _) -> Cache.find c ~job:(hex32 j) ~key:(hex32 k)) entries
+      in
+      let n' = Cache.entries c in
+      Cache.close c;
+      before = after && n = n')
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator plumbing helpers                                        *)
+
+(* Collect per-job terminal states delivered through a backend's event
+   stream, with a blocking wait. *)
+type collector = {
+  c_mutex : Mutex.t;
+  c_cond : Condition.t;
+  c_done : (string, Scheduler.status) Hashtbl.t;
+  c_verdicts : int Atomic.t;
+}
+
+let collector () =
+  {
+    c_mutex = Mutex.create ();
+    c_cond = Condition.create ();
+    c_done = Hashtbl.create 8;
+    c_verdicts = Atomic.make 0;
+  }
+
+let collect col id (ev : Scheduler.event) =
+  match ev with
+  | Scheduler.Evaluated _ -> Atomic.incr col.c_verdicts
+  | Scheduler.Finished ((Scheduler.Done _ | Scheduler.Failed _ | Scheduler.Cancelled) as st)
+    ->
+      Mutex.lock col.c_mutex;
+      Hashtbl.replace col.c_done id st;
+      Condition.broadcast col.c_cond;
+      Mutex.unlock col.c_mutex
+  | _ -> ()
+
+let await_done ?(timeout = 120.) col n =
+  let deadline = Unix.gettimeofday () +. timeout in
+  Mutex.lock col.c_mutex;
+  while Hashtbl.length col.c_done < n && Unix.gettimeofday () < deadline do
+    Mutex.unlock col.c_mutex;
+    Thread.delay 0.005;
+    Mutex.lock col.c_mutex
+  done;
+  let finished = Hashtbl.length col.c_done in
+  Mutex.unlock col.c_mutex;
+  if finished < n then Alcotest.failf "only %d of %d jobs finished in time" finished n
+
+let submit_ok backend col spec =
+  match backend.Server.b_submit ~on_event:(collect col) ~seeds:[] spec with
+  | Ok id -> id
+  | Error `Draining -> Alcotest.fail "coordinator draining"
+  | Error (`Queue_full _) -> Alcotest.fail "coordinator queue full"
+
+let start_worker () =
+  Server.start
+    {
+      Server.listen = Addr.Tcp ("127.0.0.1", 0);
+      jobs = 1;
+      queue_depth = 8;
+      journal_dir = None;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Work stealing, against stub workers whose job duration we control    *)
+
+let zero_stats =
+  {
+    Wire.queued_jobs = 0;
+    running_jobs = 0;
+    job_stats = [];
+    oracle_queries = 0;
+    oracle_memo_hits = 0;
+    uptime = 0.;
+    metrics_text = "";
+  }
+
+let stub_result_stats =
+  {
+    Wire.ok = true;
+    predicate_runs = 1;
+    replayed_runs = 0;
+    tool_executions = 1;
+    oracle_retries = 0;
+    oracle_crashes = 0;
+    sim_time = 0.;
+    wall_time = 0.;
+    classes0 = 1;
+    classes1 = 1;
+    bytes0 = 1;
+    bytes1 = 1;
+  }
+
+(* A wire-complete worker daemon whose "reduction" echoes the pool back.
+   Jobs whose spec carries [retries = 99] block until [gate] opens —
+   the knob the stealing test uses to wedge one worker. *)
+let stub_worker gate =
+  let seq = ref 0 in
+  let backend =
+    {
+      Server.b_submit =
+        (fun ~on_event ~seeds:_ spec ->
+          incr seq;
+          let id = Printf.sprintf "job-%06d" !seq in
+          ignore
+            (Thread.create
+               (fun () ->
+                 Thread.delay 0.01;
+                 if spec.Wire.retries = 99 then begin
+                   let m, c, open_ = gate in
+                   Mutex.lock m;
+                   while not !open_ do
+                     Condition.wait c m
+                   done;
+                   Mutex.unlock m
+                 end;
+                 on_event id
+                   (Scheduler.Finished (Scheduler.Done (stub_result_stats, spec.Wire.pool_bytes))))
+               ());
+          Ok id);
+      b_cancel = (fun _ -> false);
+      b_stats = (fun () -> zero_stats);
+      b_drain = (fun () -> ());
+    }
+  in
+  Server.start_backend ~listen:(Addr.Tcp ("127.0.0.1", 0)) backend
+
+let test_cluster_work_stealing () =
+  let gate = (Mutex.create (), Condition.create (), ref false) in
+  let w0 = stub_worker gate and w1 = stub_worker gate in
+  let steals0 = counter_value "lbr_cluster_steals_total" in
+  let coordinator =
+    Coordinator.create
+      {
+        Coordinator.workers = [ Server.bound_addr w0; Server.bound_addr w1 ];
+        lanes = 1;
+        queue_depth = 16;
+        cache_path = None;
+        journal_dir = None;
+      }
+  in
+  let backend = Coordinator.backend coordinator in
+  let col = collector () in
+  (* Round-robin puts the blocking job and one fast job on w0; w1 must
+     finish its own two and steal w0's queued fast job. *)
+  let blocked = submit_ok backend col { (spec_of_seed ~classes:6 1) with retries = 99 } in
+  let fast = List.init 3 (fun i -> submit_ok backend col (spec_of_seed ~classes:6 (2 + i))) in
+  await_done ~timeout:30. col 3;
+  Alcotest.(check bool) "steals happened" true
+    (counter_value "lbr_cluster_steals_total" - steals0 >= 1);
+  (* open the gate; the wedged job finishes too *)
+  let m, c, open_ = gate in
+  Mutex.lock m;
+  open_ := true;
+  Condition.broadcast c;
+  Mutex.unlock m;
+  await_done ~timeout:30. col 4;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt col.c_done id with
+      | Some (Scheduler.Done (_, bytes)) ->
+          Alcotest.(check bool) (id ^ " echoes its pool") true (String.length bytes > 0)
+      | other ->
+          Alcotest.failf "%s: unexpected terminal state %s" id
+            (match other with
+            | Some (Scheduler.Failed m) -> "failed: " ^ m
+            | Some Scheduler.Cancelled -> "cancelled"
+            | _ -> "missing"))
+    (blocked :: fast);
+  (* queue-depth gauges are registered and rendered *)
+  let prom = Lbr_obs.Metrics.render_prometheus () in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "w0 queue-depth gauge exported" true
+    (contains prom "lbr_cluster_w0_queue_depth");
+  Alcotest.(check bool) "w1 queue-depth gauge exported" true
+    (contains prom "lbr_cluster_w1_queue_depth");
+  backend.Server.b_drain ();
+  Server.stop w0;
+  Server.stop w1
+
+(* ------------------------------------------------------------------ *)
+(* Warm cache: an identical resubmission replays every verdict          *)
+
+let test_cluster_warm_cache_resubmission () =
+  let seed = 21 in
+  let _, ref_bytes = reference_run ~classes:16 seed in
+  let w = start_worker () in
+  let coordinator =
+    Coordinator.create
+      {
+        Coordinator.workers = [ Server.bound_addr w ];
+        lanes = 1;
+        queue_depth = 8;
+        cache_path = None;
+        journal_dir = None;
+      }
+  in
+  let backend = Coordinator.backend coordinator in
+  let col = collector () in
+  let id1 = submit_ok backend col (spec_of_seed ~classes:16 seed) in
+  await_done col 1;
+  let hits0 = counter_value "lbr_cluster_cache_hits_total" in
+  let id2 = submit_ok backend col (spec_of_seed ~classes:16 seed) in
+  await_done col 2;
+  let check_done id f =
+    match Hashtbl.find_opt col.c_done id with
+    | Some (Scheduler.Done (stats, bytes)) -> f stats bytes
+    | Some (Scheduler.Failed m) -> Alcotest.failf "%s failed: %s" id m
+    | _ -> Alcotest.failf "%s did not complete" id
+  in
+  check_done id1 (fun (stats : Wire.stats) bytes ->
+      Alcotest.(check string) "cold run byte-identical to reference" ref_bytes bytes;
+      Alcotest.(check int) "cold run replays nothing" 0 stats.Wire.replayed_runs);
+  check_done id2 (fun (stats : Wire.stats) bytes ->
+      Alcotest.(check string) "warm run byte-identical" ref_bytes bytes;
+      Alcotest.(check int) "warm run replays every verdict" stats.Wire.predicate_runs
+        stats.Wire.replayed_runs;
+      Alcotest.(check bool) "warm run executed nothing fresh" true
+        (stats.Wire.replayed_runs > 0));
+  Alcotest.(check bool) "cluster cache hits counted" true
+    (counter_value "lbr_cluster_cache_hits_total" - hits0 > 0);
+  backend.Server.b_drain ();
+  Server.stop w
+
+(* ------------------------------------------------------------------ *)
+(* Failover: kill a worker mid-job; the retry on the survivor must be
+   byte-identical and strictly cheaper (cached verdicts replayed)        *)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then raise End_of_file;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      let n = Unix.write fd buf off len in
+      go (off + n) (len - n)
+  in
+  go off len
+
+(* A one-shot kill switch shared by the proxies below: whichever proxy
+   streams the Nth Verdict frame severs ITS worker's connections, exactly
+   once cluster-wide.  [t_victim] records which worker died. *)
+type trigger = {
+  t_threshold : int;
+  t_seen : int Atomic.t;      (* verdict frames forwarded, cluster-wide *)
+  t_fired : bool Atomic.t;
+  t_victim : int Atomic.t;    (* proxy id that severed, -1 until fired *)
+}
+
+let trigger threshold =
+  {
+    t_threshold = threshold;
+    t_seen = Atomic.make 0;
+    t_fired = Atomic.make false;
+    t_victim = Atomic.make (-1);
+  }
+
+let verdict_tag = 0x8A  (* Wire.kind_of (Verdict _) *)
+
+(* A frame-level TCP proxy in front of a worker, simulating kill -9 at a
+   deterministic point.  The simulated oracle is so fast — and work
+   stealing makes placement so racy — that killing a worker from the
+   outside on a timer can land before the job starts or after it ends.
+   Instead the proxy itself watches the worker's frames and severs the
+   link the moment it would forward the trigger's Nth Verdict frame:
+   mid-job by construction, on whichever worker actually runs the job,
+   and the terminal Result frame can never slip through. *)
+let proxy_worker trig ~id upstream =
+  let upstream_sa =
+    match upstream with
+    | Addr.Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+    | Addr.Unix_path p -> Unix.ADDR_UNIX p
+  in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 16;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let severed = Atomic.make false in
+  let fds_mutex = Mutex.create () in
+  let fds = ref [ lsock ] in
+  let track fd =
+    Mutex.lock fds_mutex;
+    fds := fd :: !fds;
+    Mutex.unlock fds_mutex
+  in
+  (* shutdown, not close: a close from this thread neither wakes a peer
+     thread blocked in read(2) on the same socket nor sends the FIN while
+     that read still holds a reference — shutdown does both at once *)
+  let hangup fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> () in
+  let sever () =
+    if not (Atomic.exchange severed true) then begin
+      Mutex.lock fds_mutex;
+      List.iter
+        (fun fd ->
+          hangup fd;
+          try Unix.close fd with _ -> ())
+        !fds;
+      fds := [];
+      Mutex.unlock fds_mutex
+    end
+  in
+  (* coordinator -> worker: requests are tiny, plain byte copy is fine *)
+  let copy_raw src dst =
+    (try
+       while not (Atomic.get severed) do
+         let buf = Bytes.create 4096 in
+         let n = Unix.read src buf 0 4096 in
+         if n = 0 then raise Exit;
+         really_write dst buf 0 n
+       done
+     with _ -> ());
+    hangup src;
+    hangup dst
+  in
+  (* worker -> coordinator: length-prefixed frames, inspected one by one *)
+  let copy_frames src dst =
+    let hdr = Bytes.create 4 in
+    (try
+       while not (Atomic.get severed) do
+         really_read src hdr 0 4;
+         let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+         let payload = Bytes.create len in
+         really_read src payload 0 len;
+         let kill =
+           len > 0
+           && Char.code (Bytes.get payload 0) = verdict_tag
+           && Atomic.fetch_and_add trig.t_seen 1 + 1 >= trig.t_threshold
+           && Atomic.compare_and_set trig.t_fired false true
+         in
+         if kill then begin
+           Atomic.set trig.t_victim id;
+           sever ()
+         end
+         else begin
+           really_write dst hdr 0 4;
+           really_write dst payload 0 len
+         end
+       done
+     with _ -> ());
+    hangup src;
+    hangup dst
+  in
+  let accept_loop () =
+    try
+      while true do
+        let client, _ = Unix.accept lsock in
+        let up = Unix.socket (Unix.domain_of_sockaddr upstream_sa) Unix.SOCK_STREAM 0 in
+        Unix.connect up upstream_sa;
+        track client;
+        track up;
+        ignore (Thread.create (fun () -> copy_raw client up) ());
+        ignore (Thread.create (fun () -> copy_frames up client) ())
+      done
+    with _ -> ()
+  in
+  ignore (Thread.create accept_loop ());
+  Addr.Tcp ("127.0.0.1", port)
+
+let test_cluster_failover_byte_identical () =
+  let seed = 21 in
+  let ref_outcome, ref_bytes = reference_run ~classes:64 seed in
+  let w0 = start_worker () and w1 = start_worker () in
+  (* both workers sit behind killer proxies: work stealing makes the
+     job's placement racy, so whichever worker ends up streaming the 5th
+     verdict is the one that dies *)
+  let trig = trigger 5 in
+  let p0 = proxy_worker trig ~id:0 (Server.bound_addr w0) in
+  let p1 = proxy_worker trig ~id:1 (Server.bound_addr w1) in
+  let journal_dir = fresh_dir "coordjournal" in
+  let coordinator =
+    Coordinator.create
+      {
+        Coordinator.workers = [ p0; p1 ];
+        lanes = 1;
+        queue_depth = 8;
+        cache_path = Some (Filename.concat journal_dir "verdicts.cache");
+        journal_dir = Some journal_dir;
+      }
+  in
+  let backend = Coordinator.backend coordinator in
+  let col = collector () in
+  let hits0 = counter_value "lbr_cluster_cache_hits_total" in
+  let failovers0 = counter_value "lbr_cluster_failovers_total" in
+  let id = submit_ok backend col (spec_of_seed ~classes:64 seed) in
+  await_done col 1;
+  Alcotest.(check bool) "a worker was killed mid-job" true (Atomic.get trig.t_fired);
+  (match Hashtbl.find_opt col.c_done id with
+  | Some (Scheduler.Done (stats, bytes)) ->
+      Alcotest.(check string) "failover result byte-identical to reference" ref_bytes bytes;
+      Alcotest.(check int) "same total predicate runs as an uninterrupted run"
+        ref_outcome.Lbr_harness.Experiment.predicate_runs stats.Wire.predicate_runs;
+      Alcotest.(check bool) "cached verdicts replayed on the survivor" true
+        (stats.Wire.replayed_runs > 0);
+      Alcotest.(check bool) "strictly fewer fresh executions than a cold rerun" true
+        (stats.Wire.predicate_runs - stats.Wire.replayed_runs
+        < ref_outcome.Lbr_harness.Experiment.predicate_runs)
+  | Some (Scheduler.Failed m) -> Alcotest.failf "job failed instead of failing over: %s" m
+  | _ -> Alcotest.fail "job did not reach a terminal state");
+  Alcotest.(check bool) "failover counted" true
+    (counter_value "lbr_cluster_failovers_total" - failovers0 >= 1);
+  Alcotest.(check bool) "cache hits counted" true
+    (counter_value "lbr_cluster_cache_hits_total" - hits0 > 0);
+  (* the coordinator journal mirrored the worker's verdicts *)
+  let journal = Journal.open_dir journal_dir in
+  let mirrored = Journal.verdicts journal ~id in
+  Journal.close journal;
+  Alcotest.(check bool) "coordinator journal holds mirrored verdicts" true
+    (List.length mirrored > 0);
+  backend.Server.b_drain ();
+  (* the killed link's worker process is still alive and finishes its
+     orphaned job on its own, so both daemons stop gracefully *)
+  Server.stop w0;
+  Server.stop w1
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "store/find, first write wins" `Quick
+            test_cache_store_find_first_wins;
+          Alcotest.test_case "persists across restart, tolerates torn line" `Quick
+            test_cache_persists_across_restart;
+          Alcotest.test_case "job key is content-addressed" `Quick
+            test_cache_job_key_content_addressing;
+        ] );
+      qsuite "cache-prop" [ prop_cache_hit_matches_recompute; prop_cache_survives_restart ];
+      ( "coordinator",
+        [
+          Alcotest.test_case "work stealing drains the wedged worker's queue" `Slow
+            test_cluster_work_stealing;
+          Alcotest.test_case "warm cache: resubmission replays everything" `Slow
+            test_cluster_warm_cache_resubmission;
+          Alcotest.test_case "failover after kill: byte-identical, fewer executions" `Slow
+            test_cluster_failover_byte_identical;
+        ] );
+    ]

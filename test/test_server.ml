@@ -94,6 +94,12 @@ let sample_messages =
     Wire.Hello 1;
     Wire.Hello_ok 1;
     Wire.Submit (spec_of_seed ~classes:6 1);
+    Wire.Submit_seeded
+      {
+        spec = spec_of_seed ~classes:6 1;
+        seeds = [ (String.make 32 'a', true); (String.make 32 'b', false) ];
+      };
+    Wire.Verdict { job_id = "job-000042"; key = String.make 32 'c'; ok = true };
     Wire.Accepted "job-000042";
     Wire.Rejected { reason = "queue full"; retry_after = 2.5 };
     Wire.Cancel "job-000042";
@@ -223,6 +229,82 @@ let test_spec_string_roundtrip () =
   match Wire.spec_of_string (Wire.spec_to_string spec) with
   | Ok spec' -> Alcotest.(check bool) "spec roundtrip" true (spec = spec')
   | Error m -> Alcotest.failf "spec does not roundtrip: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Wire over TCP — the framing must behave identically over a loopback
+   TCP stream: same roundtrips, same total rejection of truncated and
+   bit-flipped frames.  (TCP can fragment writes at different boundaries
+   than a Unix socketpair, which is exactly what these exercise.) *)
+
+let tcp_pair () =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let a = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect a (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let b, _ = Unix.accept srv in
+  Unix.close srv;
+  (a, b)
+
+let test_wire_tcp_roundtrip () =
+  let a, b = tcp_pair () in
+  List.iter
+    (fun msg ->
+      Wire.write_message a msg;
+      match Wire.read_message b with
+      | Ok decoded -> check_message_equal "tcp roundtrip" msg decoded
+      | Error `Closed -> Alcotest.fail "unexpected close"
+      | Error (`Malformed m) -> Alcotest.failf "malformed over tcp: %s" m)
+    sample_messages;
+  Unix.close a;
+  (match Wire.read_message b with
+  | Error `Closed -> ()
+  | _ -> Alcotest.fail "expected Closed after tcp peer shutdown");
+  Unix.close b
+
+let prop_wire_tcp_truncation_rejected =
+  QCheck.Test.make ~count:100
+    ~name:"tcp: truncated frames never decode to a message"
+    QCheck.(pair (int_bound (List.length sample_messages - 1)) (int_bound 1000))
+    (fun (i, cut) ->
+      let msg = List.nth sample_messages i in
+      let frame = Wire.encode msg in
+      (* keep a strict prefix of the whole frame (prefix included), then
+         hang up — the reader must report Closed or Malformed, never Ok *)
+      let keep = cut * (String.length frame - 1) / 1000 in
+      let a, b = tcp_pair () in
+      ignore (Unix.write_substring a frame 0 keep : int);
+      Unix.close a;
+      let verdict =
+        match Wire.read_message b with Ok _ -> false | Error _ -> true
+      in
+      Unix.close b;
+      verdict)
+
+let prop_wire_tcp_bitflip_never_raises =
+  QCheck.Test.make ~count:100 ~name:"tcp: bit-flipped frames never raise"
+    QCheck.(pair (int_bound (List.length sample_messages - 1)) (pair small_nat (int_bound 7)))
+    (fun (i, (pos, bit)) ->
+      let msg = List.nth sample_messages i in
+      let frame = Bytes.of_string (Wire.encode msg) in
+      let pos = pos mod Bytes.length frame in
+      Bytes.set frame pos
+        (Char.chr (Char.code (Bytes.get frame pos) lxor (1 lsl bit)));
+      let a, b = tcp_pair () in
+      ignore (Unix.write a frame 0 (Bytes.length frame) : int);
+      (* close so a flipped (larger) length prefix hits EOF, not a hang *)
+      Unix.close a;
+      let verdict =
+        match Wire.read_message b with Ok _ | Error _ -> true
+      in
+      Unix.close b;
+      verdict)
 
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
@@ -618,7 +700,7 @@ let with_server ?(jobs = 2) ?(queue_depth = 8) ?journal_dir label f =
   in
   if Sys.file_exists socket_path then Sys.remove socket_path;
   let server =
-    Server.start { Server.socket_path; jobs; queue_depth; journal_dir }
+    Server.start { Server.listen = Addr.Unix_path socket_path; jobs; queue_depth; journal_dir }
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f socket_path server)
 
@@ -707,7 +789,7 @@ let test_server_top_stats () =
       (match Client.connect socket with
       | Error m -> Alcotest.failf "stats connect: %s" m
       | Ok stats_client ->
-          Alcotest.(check int) "protocol v2 negotiated" 2
+          Alcotest.(check int) "protocol v3 negotiated" 3
             (Client.negotiated_version stats_client);
           let saw_three = ref false and saw_best = ref false in
           let deadline = Unix.gettimeofday () +. 30. in
@@ -798,6 +880,75 @@ let test_server_rejects_malformed_frame () =
           Unix.close fd;
           Client.close client)
 
+(* A v2 client (pre-cluster vintage) against a v3 daemon: handshake
+   negotiates down to 2, the submission runs, the result is byte-identical
+   — and no v3 [Verdict] frames leak onto the connection. *)
+let test_server_v2_client_interop () =
+  with_server "v2compat" (fun socket _server ->
+      let seed = 21 in
+      let _, ref_bytes = reference_run ~classes:16 seed in
+      match Client.connect ~version:2 socket with
+      | Error m -> Alcotest.failf "v2 connect: %s" m
+      | Ok client ->
+          Alcotest.(check int) "negotiated down to 2" 2
+            (Client.negotiated_version client);
+          let verdicts = ref 0 in
+          let result =
+            Client.submit client
+              ~on_verdict:(fun ~key:_ ~ok:_ -> incr verdicts)
+              (spec_of_seed ~classes:16 seed)
+          in
+          Client.close client;
+          (match result with
+          | Error m -> Alcotest.failf "v2 submit: %s" m
+          | Ok (_, _, bytes) ->
+              Alcotest.(check string) "v2 result byte-identical" ref_bytes bytes;
+              Alcotest.(check int) "no Verdict frames on a v2 connection" 0
+                !verdicts))
+
+(* The flip side: a v3 connection streams one Verdict frame per fresh
+   predicate evaluation, in executed order. *)
+let test_server_v3_verdict_stream () =
+  with_server "v3verdicts" (fun socket _server ->
+      let seed = 21 in
+      match Client.connect socket with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok client ->
+          let verdicts = ref 0 in
+          let result =
+            Client.submit client
+              ~on_verdict:(fun ~key ~ok:_ ->
+                Alcotest.(check int) "verdict key is a 32-hex digest" 32
+                  (String.length key);
+                incr verdicts)
+              (spec_of_seed ~classes:16 seed)
+          in
+          Client.close client;
+          (match result with
+          | Error m -> Alcotest.failf "submit: %s" m
+          | Ok (_, stats, _) ->
+              Alcotest.(check int) "one Verdict per fresh evaluation"
+                stats.Wire.predicate_runs !verdicts;
+              Alcotest.(check bool) "evaluations happened" true (!verdicts > 0)))
+
+(* Submit_seeded is v3 vocabulary; on a v2 connection it is a protocol
+   error, not a silently mis-parsed frame. *)
+let test_server_seeded_submit_rejected_on_v2 () =
+  with_server "seededv2" (fun socket _server ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Wire.write_message fd (Wire.Hello 2);
+      (match Wire.read_message fd with
+      | Ok (Wire.Hello_ok 2) -> ()
+      | _ -> Alcotest.fail "expected Hello_ok 2");
+      Wire.write_message fd
+        (Wire.Submit_seeded
+           { spec = spec_of_seed ~classes:6 1; seeds = [ (String.make 32 'a', true) ] });
+      (match Wire.read_message fd with
+      | Ok (Wire.Protocol_error _) -> ()
+      | _ -> Alcotest.fail "expected Protocol_error for Submit_seeded on v2");
+      Unix.close fd)
+
 let test_server_cancel_over_socket () =
   (* queue_depth 1 and jobs 1: park a long job, cancel it over the wire *)
   with_server ~jobs:1 "cancel" (fun socket server ->
@@ -886,10 +1037,12 @@ let () =
             test_wire_rejects_oversized_and_truncated;
           Alcotest.test_case "empty frame" `Quick test_wire_empty_frame_is_malformed;
           Alcotest.test_case "spec string roundtrip" `Quick test_spec_string_roundtrip;
+          Alcotest.test_case "tcp roundtrip + clean close" `Quick test_wire_tcp_roundtrip;
         ] );
       qsuite "wire-prop"
         [ prop_wire_decode_never_raises; prop_wire_truncation_rejected;
-          prop_wire_bitflip_never_raises ];
+          prop_wire_bitflip_never_raises; prop_wire_tcp_truncation_rejected;
+          prop_wire_tcp_bitflip_never_raises ];
       ( "journal",
         [
           Alcotest.test_case "record, replay, terminal markers" `Quick
@@ -929,6 +1082,12 @@ let () =
           Alcotest.test_case "hello required" `Quick test_server_rejects_bad_hello;
           Alcotest.test_case "malformed frame gets Protocol_error" `Quick
             test_server_rejects_malformed_frame;
+          Alcotest.test_case "v2 client interoperates with v3 daemon" `Slow
+            test_server_v2_client_interop;
+          Alcotest.test_case "v3 connection streams Verdict frames" `Slow
+            test_server_v3_verdict_stream;
+          Alcotest.test_case "Submit_seeded rejected on v2" `Quick
+            test_server_seeded_submit_rejected_on_v2;
           Alcotest.test_case "cancel over the socket" `Slow test_server_cancel_over_socket;
           Alcotest.test_case "draining rejects submissions" `Quick
             test_server_draining_rejects_submissions;
