@@ -124,6 +124,10 @@ let finalize t j status =
   | Failed _ -> Metrics.incr t.m_failed
   | _ -> ());
   journal_marker t j status;
+  (* Terminal jobs leave the table — it indexes cancellable work, and an
+     unpruned table would both grow without bound and make [stats] list
+     every historical job forever. *)
+  Hashtbl.remove t.table j.cj_id;
   j.cj_on_event (Scheduler.Finished status);
   Condition.broadcast t.cond
 
@@ -175,6 +179,23 @@ let remote_cancel t wid remote_id =
       ignore (Client.cancel c remote_id);
       Client.close c
 
+(* A single failed connect is not a death certificate — a full accept
+   backlog or a momentary network blip refuses transiently, and treating
+   it as fatal would monotonically shrink the cluster.  Probe a few
+   times with backoff before giving up on the worker. *)
+let connect_worker w =
+  let rec go attempt delay =
+    match Client.connect (Addr.to_string w.w_addr) with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+        if attempt >= 3 then e
+        else begin
+          Thread.delay delay;
+          go (attempt + 1) (delay *. 2.)
+        end
+  in
+  go 1 0.05
+
 (* Run one job on worker [w].  Called from a pump thread, lock NOT held. *)
 let run_one t w j =
   let seeds = Cache.seeds t.vcache ~job:j.cj_key in
@@ -182,7 +203,7 @@ let run_one t w j =
     j.cj_started <- true;
     j.cj_on_event Scheduler.Started
   end;
-  match Client.connect (Addr.to_string w.w_addr) with
+  match connect_worker w with
   | Error _ -> locked t (fun () -> worker_dead t w (Some j))
   | Ok c ->
       let on_progress (p : Client.progress) =
@@ -475,15 +496,21 @@ let cancel t id =
 
 let stats t =
   locked t (fun () ->
+      (* Non-terminal jobs only, like [Scheduler.snapshot] — finalize
+         prunes the table, so the filter is just the same invariant
+         stated twice. *)
       let job_stats =
         Hashtbl.fold
           (fun _ j acc ->
-            {
-              Wire.js_id = j.cj_id;
-              js_running = (j.cj_status = Scheduler.Running);
-              js_best = j.cj_best;
-            }
-            :: acc)
+            match j.cj_status with
+            | Scheduler.Queued | Scheduler.Running ->
+                {
+                  Wire.js_id = j.cj_id;
+                  js_running = (j.cj_status = Scheduler.Running);
+                  js_best = j.cj_best;
+                }
+                :: acc
+            | Scheduler.Done _ | Scheduler.Failed _ | Scheduler.Cancelled -> acc)
           t.table []
         |> List.sort (fun a b -> compare a.Wire.js_id b.Wire.js_id)
       in

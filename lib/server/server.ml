@@ -141,23 +141,63 @@ let handle_connection t fd =
         (* The admission reply must reach the wire before any event
            frame for the new job: a worker can run a small job to
            completion before this thread regains the CPU, and its
-           [Result] would otherwise overtake [Accepted].  Holding the
-           write lock across submission makes the worker's first
-           [send] wait behind the reply.  [b_submit] never invokes
-           [on_event] synchronously (dispatch goes through the worker
-           pool), so this cannot self-deadlock. *)
-        Mutex.lock write_mutex;
+           [Result] would otherwise overtake [Accepted].  Events for
+           the new job are therefore parked behind a per-admission gate
+           that opens only once the reply is written.  The write lock
+           is deliberately NOT held across [b_submit]: backends deliver
+           events under their own locks, so holding it here orders the
+           two locks against each other — and a backend that finalizes
+           synchronously from submission (the coordinator with no live
+           workers) would relock [write_mutex] on this very thread.
+           Such same-thread deliveries are buffered and flushed, in
+           order, right after the reply. *)
+        let gate = Mutex.create () in
+        let gate_cond = Condition.create () in
+        let replied = ref false in
+        let parked = ref [] in  (* same-thread events, reversed *)
+        let submitter = Thread.id (Thread.self ()) in
+        let gated_on_event job_id ev =
+          let deliver =
+            Mutex.lock gate;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock gate)
+              (fun () ->
+                if !replied then true
+                else if Thread.id (Thread.self ()) = submitter then begin
+                  parked := (job_id, ev) :: !parked;
+                  false
+                end
+                else begin
+                  while not !replied do
+                    Condition.wait gate_cond gate
+                  done;
+                  true
+                end)
+          in
+          if deliver then on_event job_id ev
+        in
         Fun.protect
-          ~finally:(fun () -> Mutex.unlock write_mutex)
+          ~finally:(fun () ->
+            (* Flush while holding the gate so a concurrent waiter
+               cannot overtake a parked (necessarily terminal) event;
+               open it even if [b_submit] raised, or waiters leak. *)
+            Mutex.lock gate;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock gate)
+              (fun () ->
+                List.iter (fun (job_id, ev) -> on_event job_id ev) (List.rev !parked);
+                parked := [];
+                replied := true;
+                Condition.broadcast gate_cond))
           (fun () ->
             let reply =
-              match t.backend.b_submit ~on_event ~seeds spec with
+              match t.backend.b_submit ~on_event:gated_on_event ~seeds spec with
               | Ok id -> Wire.Accepted id
               | Error (`Queue_full retry_after) ->
                   Wire.Rejected { reason = "queue full"; retry_after }
               | Error `Draining -> Wire.Rejected { reason = "draining"; retry_after = 0. }
             in
-            try Wire.write_message fd reply with Unix.Unix_error _ | Sys_error _ -> ())
+            send reply)
       in
       let rec loop () =
         match Wire.read_message fd with

@@ -607,6 +607,60 @@ let test_cluster_failover_byte_identical () =
   Server.stop w1
 
 (* ------------------------------------------------------------------ *)
+(* Dead cluster: a submission with no live workers must still complete
+   the protocol — Accepted, then a terminal Job_failed — instead of the
+   coordinator's synchronous finalize relocking the connection's write
+   mutex and leaving the client waiting forever.  Also pins table
+   pruning: terminal jobs leave the coordinator's stats snapshot. *)
+
+let test_cluster_no_live_workers_fails_cleanly () =
+  let w = start_worker () in
+  let coordinator =
+    Coordinator.create
+      {
+        Coordinator.workers = [ Server.bound_addr w ];
+        lanes = 1;
+        queue_depth = 8;
+        cache_path = None;
+        journal_dir = None;
+      }
+  in
+  let backend = Coordinator.backend coordinator in
+  let front = Server.start_backend ~listen:(Addr.Tcp ("127.0.0.1", 0)) backend in
+  (* kill -9 the only worker, then let a first submission discover the
+     death (bounded connect retries, then failover gives up) *)
+  Server.abort w;
+  let col = collector () in
+  let id1 = submit_ok backend col (spec_of_seed ~classes:6 1) in
+  await_done ~timeout:30. col 1;
+  (match Hashtbl.find_opt col.c_done id1 with
+  | Some (Scheduler.Failed _) -> ()
+  | _ -> Alcotest.failf "%s should fail once its only worker is dead" id1);
+  (* over the socket: the submission must return, not hang *)
+  (match Client.connect (Addr.to_string (Server.bound_addr front)) with
+  | Error m -> Alcotest.failf "connect to coordinator front end: %s" m
+  | Ok c ->
+      let accepted = ref None in
+      (match
+         Client.submit_ex c
+           ~on_accepted:(fun id -> accepted := Some id)
+           (spec_of_seed ~classes:6 2)
+       with
+      | Error (`Job_failed reason) ->
+          Alcotest.(check string) "failure names the dead cluster" "no live workers"
+            reason
+      | Ok _ -> Alcotest.fail "job cannot succeed on a dead cluster"
+      | Error (`Rejected (r, _)) -> Alcotest.failf "rejected instead of failed: %s" r
+      | Error (`Conn m) -> Alcotest.failf "connection died instead of Job_failed: %s" m);
+      Alcotest.(check bool) "Accepted preceded the terminal frame" true
+        (!accepted <> None);
+      Client.close c);
+  let stats = backend.Server.b_stats () in
+  Alcotest.(check (list string)) "terminal jobs are pruned from stats" []
+    (List.map (fun js -> js.Wire.js_id) stats.Wire.job_stats);
+  Server.stop front
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "cluster"
@@ -629,5 +683,7 @@ let () =
             test_cluster_warm_cache_resubmission;
           Alcotest.test_case "failover after kill: byte-identical, fewer executions" `Slow
             test_cluster_failover_byte_identical;
+          Alcotest.test_case "dead cluster: Accepted then Job_failed, never a hang" `Quick
+            test_cluster_no_live_workers_fails_cleanly;
         ] );
     ]
