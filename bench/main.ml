@@ -624,6 +624,44 @@ let micro () =
     tests
 
 (* ================================================================== *)
+(* Non-JVM frontends: one deterministic reduction per frontend over a
+   fixed input, so `--json` rows are labelled by frontend and the dump
+   tracks every workload the service can reduce, not just class pools.
+   The inputs mirror the checked-in examples (examples/data/): the
+   PHP(3,2) pigeonhole CNF with its reduction directives, and the
+   Figure 1 FJ program with "class A" as the failure marker.          *)
+
+let frontend_php_cnf =
+  String.concat "\n"
+    [ "c lbr keep 1"; "c lbr implies 3 2"; "p cnf 8 11";
+      "1 2 0"; "3 4 0"; "5 6 0"; "-1 -3 0"; "-1 -5 0"; "-3 -5 0";
+      "-2 -4 0"; "-2 -6 0"; "-4 -6 0"; "7 8 0"; "-7 8 0"; "" ]
+
+let run_frontends () =
+  header "Frontend reductions (DIMACS core extraction, FJ tree reduction)";
+  let fj_text =
+    Lbr_fji.Pretty.program_to_string (Lbr_fji.Example.model ()).Lbr_fji.Example.program
+  in
+  List.filter_map
+    (fun (id, text, spec) ->
+      match Lbr_frontend.Registry.find id with
+      | Error m ->
+          Printf.printf "%-8s SKIPPED: %s\n" id m;
+          None
+      | Ok packed -> (
+          match Lbr_frontend.Run.reduce_text packed ~text ~spec with
+          | Error m ->
+              Printf.printf "%-8s FAILED: %s\n" id m;
+              None
+          | Ok (o, _) ->
+              Printf.printf
+                "%-8s %4d -> %4d items  %6d -> %6d bytes  %3d predicate runs  %7.1f s simulated\n"
+                id o.Lbr_frontend.Run.items0 o.items1 o.bytes0 o.bytes1
+                o.predicate_runs o.sim_time;
+              Some (id, o)))
+    [ ("dimacs", frontend_php_cnf, ""); ("fj", fj_text, "class A") ]
+
+(* ================================================================== *)
 (* --json: machine-readable dump of the headline numbers               *)
 
 let json_escape s =
@@ -653,7 +691,7 @@ let git_commit () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let write_json path options strategies micro_rows counter_rows metric_rows =
+let write_json path options strategies frontend_rows micro_rows counter_rows metric_rows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -667,8 +705,8 @@ let write_json path options strategies micro_rows counter_rows metric_rows =
   List.iteri
     (fun i (name, wall, speedup, (s : Stats.summary)) ->
       p
-        "%s\n    { \"name\": \"%s\", \"wall_seconds\": %s, \"speedup\": %s, \
-         \"geo_sim_time_seconds\": %s, \
+        "%s\n    { \"name\": \"%s\", \"frontend\": \"jvm\", \"wall_seconds\": %s, \
+         \"speedup\": %s, \"geo_sim_time_seconds\": %s, \
          \"geo_class_ratio\": %s, \"geo_byte_ratio\": %s, \"geo_line_ratio\": %s, \
          \"geo_predicate_runs\": %s }"
         (if i > 0 then "," else "")
@@ -676,6 +714,21 @@ let write_json path options strategies micro_rows counter_rows metric_rows =
         (json_num s.geo_class_ratio) (json_num s.geo_byte_ratio) (json_num s.geo_line_ratio)
         (json_num s.geo_runs))
     strategies;
+  p "\n  ],\n";
+  (* One row per non-JVM frontend over its fixed input; everything but
+     wall_seconds is deterministic.  The frontend label keys trajectory
+     tracking the same way "name" does for strategies. *)
+  p "  \"frontends\": [";
+  List.iteri
+    (fun i (id, (o : Lbr_frontend.Run.outcome)) ->
+      p
+        "%s\n    { \"frontend\": \"%s\", \"items0\": %d, \"items1\": %d, \
+         \"bytes0\": %d, \"bytes1\": %d, \"predicate_runs\": %d, \
+         \"sim_time_seconds\": %s, \"wall_seconds\": %s }"
+        (if i > 0 then "," else "")
+        (json_escape id) o.items0 o.items1 o.bytes0 o.bytes1 o.predicate_runs
+        (json_num o.sim_time) (json_num o.wall_time))
+    frontend_rows;
   p "\n  ],\n";
   p "  \"micro\": [";
   List.iteri
@@ -754,6 +807,7 @@ let () =
        the [since] delta for the same reason: it is setup, not workload. *)
     counter_rows := Counters.since ~before:counters_before ~after:(Counters.aggregate ())
   end;
+  let frontend_rows = if options.run_tables then run_frontends () else [] in
   let micro_rows = if options.run_micro then micro () else [] in
   if not options.run_tables then counter_rows := Counters.aggregate ();
   let counter_rows = !counter_rows in
@@ -761,7 +815,9 @@ let () =
   print_string (Counters.report counter_rows);
   let metric_rows = Lbr_obs.Metrics.rows () in
   (match options.json_path with
-  | Some path -> write_json path options !strategy_rows micro_rows counter_rows metric_rows
+  | Some path ->
+      write_json path options !strategy_rows frontend_rows micro_rows counter_rows
+        metric_rows
   | None -> ());
   (match options.prometheus_path with
   | Some path ->

@@ -68,6 +68,84 @@ let tool_arg =
     & info [ "tool" ] ~docv:"TOOL"
         ~doc:"Decompiler to reduce against (default: first buggy one).")
 
+(* Frontends are validated at argument-parse time: a typo'd --frontend
+   should be a cmdliner error listing the known ones, not a failure after
+   the workload is generated or read. *)
+let frontend_conv =
+  let parse s =
+    match Lbr_frontend.Registry.find s with
+    | Ok _ -> Ok s
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv ~docv:"FRONTEND" (parse, Format.pp_print_string)
+
+let frontend_arg =
+  Arg.(
+    value
+    & opt (some frontend_conv) None
+    & info [ "frontend" ] ~docv:"FRONTEND"
+        ~doc:
+          "Workload frontend: $(b,jvm) (generated benchmark class pools), $(b,dimacs) \
+           (clause-level CNF reduction preserving unsatisfiability) or $(b,fj) \
+           (Featherweight Java tree reduction).  Default: inferred from INPUT's \
+           extension; jvm when there is no INPUT.")
+
+let input_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"INPUT"
+        ~doc:
+          "Workload file for a non-jvm frontend (e.g. a .cnf or .fj file).  The jvm \
+           frontend generates its workload from --seed/--classes instead.")
+
+let require_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "require" ] ~docv:"SPEC"
+        ~doc:
+          "Frontend predicate spec.  For fj: a substring the reduced program must \
+           still contain (the failure marker); empty preserves typechecking only.  \
+           dimacs accepts no spec — the preserved property is unsatisfiability.  \
+           jvm uses --tool instead.")
+
+(* Resolve the effective frontend from the explicit flag and the input
+   path's extension, rejecting mismatches before anything is read: a
+   --frontend that contradicts what the extension says is almost always a
+   wrong file, and the reduction would otherwise fail only after parsing
+   (or worse, mis-parse). *)
+let resolve_frontend ~frontend ~input =
+  match (frontend, input) with
+  | None, None -> Ok "jvm"
+  | Some id, None -> Ok id
+  | None, Some path -> (
+      match Lbr_frontend.Registry.for_path path with
+      | Ok p -> Ok (Lbr_frontend.Frontend.id_of p)
+      | Error m -> Error m)
+  | Some id, Some path -> (
+      match Lbr_frontend.Registry.for_path path with
+      | Ok p when Lbr_frontend.Frontend.id_of p <> id ->
+          Error
+            (Printf.sprintf
+               "%s looks like a %s workload (extension %S) but --frontend %s was given; \
+                pass a matching file or drop --frontend"
+               path
+               (Lbr_frontend.Frontend.id_of p)
+               (Filename.extension path) id)
+      | Ok _ | Error _ ->
+          (* an unknown extension defers to the explicit flag *)
+          Ok id)
+
+let read_text_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Ok data
+  | exception Sys_error m -> Error m
+
 (* Output paths are validated at argument-parse time, not at first write:
    a reduction can run for minutes before anything is written, and
    discovering a typo'd directory only then wastes the whole run.  The
@@ -168,8 +246,97 @@ let jobs_arg =
            decompiler, fanning the instances across N domains; the default 1 keeps today's \
            sequential behaviour (first buggy decompiler only).")
 
+(* One-shot reduction of a non-jvm workload file: parse, reduce with GBR,
+   print (or write) the reduced artifact in the frontend's own format.
+   Shares the jvm path's graceful-shutdown behaviour: ^C stops at the next
+   predicate-run boundary and exits 128+signal. *)
+let reduce_via_frontend ~frontend_id ~path ~strategy ~require ~output ~trace =
+  (match strategy with
+  | Lbr_harness.Experiment.Gbr -> ()
+  | _ ->
+      Printf.eprintf "lbr-reduce: frontend %s only supports --strategy gbr\n" frontend_id;
+      exit 2);
+  let packed =
+    match Lbr_frontend.Registry.find frontend_id with
+    | Ok p -> p
+    | Error m ->
+        prerr_endline ("lbr-reduce: " ^ m);
+        exit 2
+  in
+  let text =
+    match read_text_file path with
+    | Ok text -> text
+    | Error m ->
+        prerr_endline ("lbr-reduce: " ^ m);
+        exit 1
+  in
+  if trace <> None then Lbr_obs.Trace.start ();
+  let shutdown = Lbr_server.Shutdown.install () in
+  let hooks =
+    {
+      Lbr_frontend.Run.default_hooks with
+      should_stop = Some (fun () -> Lbr_server.Shutdown.requested shutdown);
+    }
+  in
+  match Lbr_frontend.Run.reduce_text ~hooks packed ~text ~spec:require with
+  | exception Lbr_frontend.Run.Cancelled ->
+      Lbr_server.Shutdown.on_drain shutdown (fun () ->
+          Printf.eprintf "interrupted by SIG%s\n"
+            (Option.value ~default:"?" (Lbr_server.Shutdown.signal_name shutdown));
+          write_trace trace);
+      Lbr_server.Shutdown.run_drain shutdown;
+      exit (match Lbr_server.Shutdown.signal_name shutdown with Some "TERM" -> 143 | _ -> 130)
+  | Error m ->
+      prerr_endline ("lbr-reduce: " ^ m);
+      exit 1
+  | Ok (o, printed) ->
+      Printf.printf
+        "gbr [%s %s]: %d -> %d items (%.1f%%), %d -> %d bytes (%.1f%%), %d predicate runs, \
+         %.0fs simulated%s\n"
+        frontend_id (Filename.basename path) o.items0 o.items1
+        (100. *. float_of_int o.items1 /. float_of_int (max 1 o.items0))
+        o.bytes0 o.bytes1
+        (100. *. float_of_int o.bytes1 /. float_of_int (max 1 o.bytes0))
+        o.predicate_runs o.sim_time
+        (if o.ok then "" else " [NOT REPRODUCED]");
+      (match output with
+      | Some file ->
+          let oc = open_out_bin file in
+          output_string oc printed;
+          close_out oc;
+          Printf.printf "reduced %s workload written to %s\n" frontend_id file
+      | None ->
+          print_newline ();
+          print_string printed);
+      write_trace trace
+
 let reduce_cmd =
-  let run seed classes strategy tool jobs output output_pool trace =
+  let run seed classes strategy tool jobs output output_pool trace frontend input require =
+    match resolve_frontend ~frontend ~input with
+    | Error m ->
+        prerr_endline ("lbr-reduce: " ^ m);
+        exit 2
+    | Ok "jvm" when input <> None ->
+        prerr_endline
+          "lbr-reduce: the jvm frontend reduces generated benchmarks (--seed/--classes); \
+           submit an exported pool to a daemon with `lbr-reduce submit --pool' instead of \
+           passing INPUT";
+        exit 2
+    | Ok id when id <> "jvm" ->
+        let path =
+          match input with
+          | Some path -> path
+          | None ->
+              Printf.eprintf
+                "lbr-reduce: frontend %s needs an INPUT file to reduce\n" id;
+              exit 2
+        in
+        reduce_via_frontend ~frontend_id:id ~path ~strategy ~require ~output ~trace
+    | Ok _jvm ->
+    if require <> "" then begin
+      prerr_endline "lbr-reduce: --require applies to non-jvm frontends; use --tool";
+      exit 2
+    end;
     if trace <> None then Lbr_obs.Trace.start ();
     let pool =
       Lbr_workload.Generator.generate ~seed (Lbr_workload.Generator.njr_profile ~classes)
@@ -331,10 +498,13 @@ let reduce_cmd =
   in
   Cmd.v
     (Cmd.info "reduce"
-       ~doc:"Generate a benchmark program and reduce it against a buggy decompiler.")
+       ~doc:
+         "Reduce a workload: generate a benchmark program and reduce it against a buggy \
+          decompiler (jvm, the default), or reduce a DIMACS CNF / Featherweight Java file \
+          passed as INPUT (--frontend dimacs|fj).")
     Term.(
       const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ jobs_arg $ output_arg
-      $ output_pool_arg $ trace_arg)
+      $ output_pool_arg $ trace_arg $ frontend_arg $ input_arg $ require_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Reduction as a service                                              *)
@@ -539,33 +709,75 @@ let submit_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Oracle retries for transient tool failures on the server.")
   in
-  let run socket pool_file seed classes strategy tool priority retries output output_pool =
+  let run socket pool_file seed classes strategy tool priority retries output output_pool
+      frontend input require =
+    let frontend_id =
+      match resolve_frontend ~frontend ~input with
+      | Ok id -> id
+      | Error m ->
+          prerr_endline ("lbr-reduce submit: " ^ m);
+          exit 2
+    in
+    (match (frontend_id, input, pool_file) with
+    | "jvm", Some _, _ ->
+        prerr_endline
+          "lbr-reduce submit: jvm submissions take --pool (an LBRC file) or \
+           --seed/--classes, not a positional INPUT";
+        exit 2
+    | "jvm", None, _ -> ()
+    | id, None, _ ->
+        Printf.eprintf "lbr-reduce submit: frontend %s needs an INPUT file to submit\n" id;
+        exit 2
+    | id, Some _, Some _ ->
+        Printf.eprintf "lbr-reduce submit: --pool applies to the jvm frontend; pass the \
+                        %s workload as INPUT only\n" id;
+        exit 2
+    | _, Some _, None -> ());
+    (match (frontend_id, strategy) with
+    | "jvm", _ | _, Lbr_harness.Experiment.Gbr -> ()
+    | id, _ ->
+        Printf.eprintf "lbr-reduce submit: frontend %s only supports --strategy gbr\n" id;
+        exit 2);
+    (match (frontend_id, tool, require) with
+    | "jvm", _, "" -> ()
+    | "jvm", _, _ ->
+        prerr_endline "lbr-reduce submit: --require applies to non-jvm frontends; use --tool";
+        exit 2
+    | _, Some _, _ ->
+        prerr_endline "lbr-reduce submit: --tool applies to the jvm frontend; use --require";
+        exit 2
+    | _, None, _ -> ());
     let pool_bytes =
-      match pool_file with
-      | Some file -> (
-          match
-            let ic = open_in_bin file in
-            let data = really_input_string ic (in_channel_length ic) in
-            close_in ic;
-            data
-          with
-          | data -> data
-          | exception Sys_error m ->
+      match frontend_id with
+      | "jvm" -> (
+          match pool_file with
+          | Some file -> (
+              match read_text_file file with
+              | Ok data -> data
+              | Error m ->
+                  prerr_endline ("lbr-reduce submit: " ^ m);
+                  exit 1)
+          | None ->
+              Lbr_jvm.Serialize.to_bytes
+                (Lbr_workload.Generator.generate ~seed
+                   (Lbr_workload.Generator.njr_profile ~classes)))
+      | _ -> (
+          match read_text_file (Option.get input) with
+          | Ok data -> data
+          | Error m ->
               prerr_endline ("lbr-reduce submit: " ^ m);
               exit 1)
-      | None ->
-          Lbr_jvm.Serialize.to_bytes
-            (Lbr_workload.Generator.generate ~seed
-               (Lbr_workload.Generator.njr_profile ~classes))
     in
     let spec =
       {
-        Lbr_server.Wire.tool = Option.value ~default:"" tool;
+        Lbr_server.Wire.tool =
+          (if frontend_id = "jvm" then Option.value ~default:"" tool else require);
         strategy;
         priority;
         crash_policy = Lbr_runtime.Oracle.Crash_raises;
         retries;
         pool_bytes;
+        frontend = frontend_id;
       }
     in
     match Lbr_server.Client.connect (Lbr_server.Addr.to_string socket) with
@@ -585,9 +797,11 @@ let submit_cmd =
         | Ok (job_id, stats, reduced_bytes) ->
             Lbr_server.Client.close client;
             Printf.printf
-              "%s: %d -> %d classes, %d -> %d bytes, %d predicate runs (%d replayed), %.0fs \
+              "%s: %d -> %d %s, %d -> %d bytes, %d predicate runs (%d replayed), %.0fs \
                simulated%s\n"
-              job_id stats.classes0 stats.classes1 stats.bytes0 stats.bytes1
+              job_id stats.classes0 stats.classes1
+              (if frontend_id = "jvm" then "classes" else "items")
+              stats.bytes0 stats.bytes1
               stats.predicate_runs stats.replayed_runs stats.sim_time
               (if stats.ok then "" else " [NOT REPRODUCED]");
             (match output_pool with
@@ -596,9 +810,17 @@ let submit_cmd =
                 let oc = open_out_bin file in
                 output_string oc reduced_bytes;
                 close_out oc;
-                Printf.printf "reduced pool written to %s\n" file);
+                Printf.printf "reduced %s written to %s\n"
+                  (if frontend_id = "jvm" then "pool" else frontend_id ^ " workload")
+                  file);
             (match output with
             | None -> ()
+            | Some file when frontend_id <> "jvm" ->
+                (* non-jvm results are already the frontend's own text *)
+                let oc = open_out_bin file in
+                output_string oc reduced_bytes;
+                close_out oc;
+                Printf.printf "reduced %s workload written to %s\n" frontend_id file
             | Some file -> (
                 match Lbr_jvm.Serialize.of_bytes reduced_bytes with
                 | Error m -> prerr_endline ("undecodable reduced pool: " ^ m)
@@ -616,10 +838,14 @@ let submit_cmd =
   in
   Cmd.v
     (Cmd.info "submit"
-       ~doc:"Submit a class pool to a running `lbr-reduce serve' daemon and wait for the result.")
+       ~doc:
+         "Submit a workload to a running `lbr-reduce serve' daemon and wait for the result: \
+          a class pool (jvm, the default) or a DIMACS CNF / Featherweight Java file passed \
+          as INPUT (--frontend dimacs|fj).")
     Term.(
       const run $ socket_arg $ pool_file_arg $ seed_arg $ classes_arg $ strategy_arg $ tool_arg
-      $ priority_arg $ retries_arg $ output_arg $ output_pool_arg)
+      $ priority_arg $ retries_arg $ output_arg $ output_pool_arg $ frontend_arg $ input_arg
+      $ require_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Live (and post-mortem) daemon introspection                          *)

@@ -5,11 +5,15 @@ let is_hex32 s =
        s
 
 let job_key (spec : Lbr_server.Wire.spec) =
-  (* Only the verdict-relevant content: what tool is asked, how crashes
-     count, and the exact pool bytes.  Strategy and priority steer the
-     search, not any single verdict, so sharing across them is safe and
-     wanted. *)
+  (* Only the verdict-relevant content: which frontend interprets the
+     payload, what tool/spec is asked, how crashes count, and the exact
+     pool bytes.  Strategy and priority steer the search, not any single
+     verdict, so sharing across them is safe and wanted.  The frontend
+     joined the key in wire v4; caches persisted before that simply miss
+     (the old keys hash as frontend "jvm" did not exist), never collide. *)
   let b = Buffer.create (String.length spec.pool_bytes + 32) in
+  Buffer.add_string b spec.frontend;
+  Buffer.add_char b '\x00';
   Buffer.add_string b spec.tool;
   Buffer.add_char b '\x00';
   Buffer.add_uint8 b

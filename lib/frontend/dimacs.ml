@@ -1,0 +1,199 @@
+open Lbr_logic
+
+type t = {
+  num_vars : int;
+  clauses : int array array;
+  keeps : int list;
+  implications : (int * int) list;
+}
+
+type input = t
+
+let id = "dimacs"
+let doc = "reduce a DIMACS CNF file to a small unsatisfiable core (items = clauses)"
+let extensions = [ ".cnf"; ".dimacs" ]
+
+(* ------------------------------------------------------------------ *)
+(* Parser.  Line-oriented, but clauses may span lines; total.          *)
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let parse text =
+  let header = ref None in
+  let clauses = ref [] in
+  let pending = ref [] in  (* literals of the clause being read, reversed *)
+  let keeps = ref [] in
+  let implications = ref [] in
+  let directive line words =
+    match words with
+    | [ "keep"; i ] -> (
+        match int_of_string_opt i with
+        | Some i when i >= 1 -> keeps := i :: !keeps
+        | _ -> failf "line %d: bad clause index %S in 'c lbr keep'" line i)
+    | [ "implies"; i; j ] -> (
+        match (int_of_string_opt i, int_of_string_opt j) with
+        | Some i, Some j when i >= 1 && j >= 1 -> implications := (i, j) :: !implications
+        | _ -> failf "line %d: bad clause indices in 'c lbr implies'" line)
+    | w :: _ -> failf "line %d: unknown 'c lbr' directive %S (expected keep or implies)" line w
+    | [] -> failf "line %d: empty 'c lbr' directive" line
+  in
+  let tokens line_no line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+    |> fun toks ->
+    match toks with
+    | [] -> ()  (* blank line *)
+    | "c" :: "lbr" :: words -> directive line_no words
+    | tok :: _ when String.length tok > 0 && tok.[0] = 'c' -> ()  (* comment *)
+    | "p" :: rest -> (
+        if !header <> None then failf "line %d: duplicate DIMACS header" line_no;
+        if !pending <> [] || !clauses <> [] then
+          failf "line %d: header after clause data" line_no;
+        match rest with
+        | [ "cnf"; nv; nc ] -> (
+            match (int_of_string_opt nv, int_of_string_opt nc) with
+            | Some nv, Some nc when nv >= 0 && nc >= 0 -> header := Some (nv, nc)
+            | _ -> failf "line %d: malformed header counts (p cnf %s %s)" line_no nv nc)
+        | _ -> failf "line %d: malformed DIMACS header (expected p cnf <vars> <clauses>)" line_no)
+    | toks ->
+        let nv =
+          match !header with
+          | Some (nv, _) -> nv
+          | None -> failf "line %d: clause data before the DIMACS header" line_no
+        in
+        List.iter
+          (fun tok ->
+            match int_of_string_opt tok with
+            | None -> failf "line %d: bad literal %S" line_no tok
+            | Some 0 ->
+                clauses := Array.of_list (List.rev !pending) :: !clauses;
+                pending := []
+            | Some lit ->
+                if abs lit > nv then
+                  failf "line %d: literal %d out of range (header declares %d variables)"
+                    line_no lit nv;
+                pending := lit :: !pending)
+          toks
+  in
+  match
+    List.iteri (fun i line -> tokens (i + 1) line) (String.split_on_char '\n' text);
+    (match !pending with [] -> () | _ -> failf "unterminated clause (missing 0)");
+    let num_vars, declared =
+      match !header with
+      | Some h -> h
+      | None -> failf "missing DIMACS header (p cnf <vars> <clauses>)"
+    in
+    let clauses = Array.of_list (List.rev !clauses) in
+    if Array.length clauses <> declared then
+      failf "header declares %d clauses but %d were given" declared (Array.length clauses);
+    let check_index what i =
+      if i < 1 || i > Array.length clauses then
+        failf "'c lbr %s' references clause %d (only %d clauses)" what i (Array.length clauses)
+    in
+    List.iter (check_index "keep") !keeps;
+    List.iter
+      (fun (i, j) ->
+        check_index "implies" i;
+        check_index "implies" j)
+      !implications;
+    {
+      num_vars;
+      clauses;
+      keeps = List.rev !keeps;
+      implications = List.rev !implications;
+    }
+  with
+  | t -> Ok t
+  | exception Bad m -> Error m
+
+let print t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" t.num_vars (Array.length t.clauses));
+  List.iter (fun i -> Buffer.add_string buf (Printf.sprintf "c lbr keep %d\n" i)) t.keeps;
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "c lbr implies %d %d\n" i j))
+    t.implications;
+  Array.iter
+    (fun lits ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) lits;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf
+
+let items t = Array.length t.clauses
+let bytes t = String.length (print t)
+
+(* ------------------------------------------------------------------ *)
+(* Inventory and constraints: one selector variable per clause.        *)
+
+type ctx = Var.t array
+
+let derive vpool t =
+  Ok (Array.init (Array.length t.clauses) (fun i -> Var.Pool.fresh vpool (Printf.sprintf "clause#%d" (i + 1))))
+
+let universe (ctx : ctx) = Assignment.of_list (Array.to_list ctx)
+
+let constraints (ctx : ctx) t =
+  let keep = List.map (fun i -> Clause.unit_pos ctx.(i - 1)) t.keeps in
+  let implies =
+    (* i = j would be a tautology; Clause.make drops it. *)
+    List.filter_map
+      (fun (i, j) -> Clause.make ~neg:[ ctx.(i - 1) ] ~pos:[ ctx.(j - 1) ])
+      t.implications
+  in
+  Ok (Cnf.make (keep @ implies))
+
+let prepare (ctx : ctx) t =
+  fun phi ->
+    let n = Array.length t.clauses in
+    (* old (1-based) index -> new (1-based) index of surviving clauses *)
+    let remap = Array.make (n + 1) 0 in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if Assignment.mem ctx.(i) phi then begin
+        incr next;
+        remap.(i + 1) <- !next
+      end
+    done;
+    let clauses =
+      Array.of_list
+        (List.filteri (fun i _ -> remap.(i + 1) <> 0) (Array.to_list t.clauses))
+    in
+    (* R_I guarantees kept directives survive: unit_pos keeps the clause a
+       'keep' names, and the edge keeps an implication's target whenever
+       its source is in.  An implication whose source was dropped is
+       itself dropped (it constrains nothing anymore). *)
+    let keeps = List.filter_map (fun i -> if remap.(i) <> 0 then Some remap.(i) else None) t.keeps in
+    let implications =
+      List.filter_map
+        (fun (i, j) ->
+          if remap.(i) <> 0 && remap.(j) <> 0 then Some (remap.(i), remap.(j)) else None)
+        t.implications
+    in
+    { t with clauses; keeps; implications }
+
+(* ------------------------------------------------------------------ *)
+(* Predicate: the selected clauses still form an unsatisfiable formula.
+   Monotone by construction — adding clauses to an unsatisfiable formula
+   keeps it unsatisfiable. *)
+
+let formula_of t =
+  Cnf.make
+    (Array.to_list t.clauses
+    |> List.filter_map (fun lits ->
+           let neg = ref [] and pos = ref [] in
+           Array.iter
+             (fun l -> if l < 0 then neg := (-l - 1) :: !neg else pos := (l - 1) :: !pos)
+             lits;
+           Clause.make ~neg:!neg ~pos:!pos))
+
+let predicate (_ : ctx) t ~spec =
+  if spec <> "" then
+    Error (Printf.sprintf "the dimacs frontend takes no predicate spec (got %S)" spec)
+  else if Lbr_sat.Solver.satisfiable (formula_of t) then
+    Error "input formula is satisfiable; the dimacs predicate preserves unsatisfiability"
+  else Ok (fun sub -> not (Lbr_sat.Solver.satisfiable (formula_of sub)))

@@ -1,0 +1,123 @@
+open Lbr_logic
+open Lbr_fji
+open Syntax
+
+type input = Syntax.program
+type ctx = Vars.t
+
+let id = "fj"
+let doc = "reduce a Featherweight Java program (DRReduce-style def/use dependency edges)"
+let extensions = [ ".fj"; ".fji" ]
+
+let parse = Parse.program_of_string
+let print = Pretty.program_to_string
+let items = Reduce.size
+let bytes p = String.length (print p)
+
+let derive vpool program =
+  match Vars.derive vpool program with
+  | vars -> Ok vars
+  | exception Invalid_argument m -> Error m
+
+let universe = Vars.all
+
+(* ------------------------------------------------------------------ *)
+(* Dependency reconstruction: walk the tree, record which definition
+   every use site needs, dedup through the graph library.              *)
+
+let rec expr_type_refs acc = function
+  | Var _ -> acc
+  | Field (e, _) -> expr_type_refs acc e
+  | Call (e, _, args) -> List.fold_left expr_type_refs (expr_type_refs acc e) args
+  | New (c, args) -> List.fold_left expr_type_refs (c :: acc) args
+  | Cast (t, e) -> expr_type_refs (t :: acc) e
+
+let dependency_edges vars program =
+  let edges = ref [] in
+  let num_nodes = ref 0 in
+  let node v =
+    if v + 1 > !num_nodes then num_nodes := v + 1;
+    v
+  in
+  let edge x y = edges := (node x, node y) :: !edges in
+  (* use -> def edges to a (non-builtin) type from a source variable *)
+  let uses src tys =
+    List.iter (fun t -> if not (is_builtin t) then edge src (Vars.cls vars t)) tys
+  in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Class c ->
+          let cv = Vars.cls vars c.c_name in
+          (* the declaration's own spine *)
+          (match Vars.impl_opt vars ~c:c.c_name with
+          | Some iv ->
+              edge iv cv;
+              uses iv [ c.c_iface ]
+          | None -> ());
+          (* extends and field types are not separately removable in FJI:
+             the class keeps them, so the class requires their defs *)
+          uses cv (c.c_super :: List.map fst c.c_fields);
+          List.iter
+            (fun (m : meth) ->
+              let mv = Vars.meth vars ~c:c.c_name ~m:m.m_name in
+              let bv = Vars.code vars ~c:c.c_name ~m:m.m_name in
+              edge mv cv;
+              edge bv mv;
+              (* the signature survives with the method; the body's use
+                 sites survive only with the code *)
+              uses mv (m.m_ret :: List.map fst m.m_params);
+              uses bv (expr_type_refs [] m.m_body))
+            c.c_methods
+      | Interface i ->
+          let iv = Vars.cls vars i.i_name in
+          List.iter
+            (fun (s : signature) ->
+              let sv = Vars.sig_ vars ~i:i.i_name ~m:s.s_name in
+              edge sv iv;
+              uses sv (s.s_ret :: List.map fst s.s_params))
+            i.i_sigs)
+    program.decls;
+  match !edges with
+  | [] -> []
+  | edges -> Lbr_graph.Digraph.edges (Lbr_graph.Digraph.make ~n:!num_nodes ~edges)
+
+let constraints vars program =
+  match Typecheck.generate vars program with
+  | Error e -> Error (Format.asprintf "%a" Typecheck.pp_error e)
+  | Ok formula ->
+      let edges =
+        List.map (fun (x, y) -> Clause.edge x y) (dependency_edges vars program)
+      in
+      (* the main expression, when present, is never reduced: its use
+         sites are hard requirements *)
+      let required =
+        match program.main with
+        | None -> []
+        | Some e ->
+            List.filter_map
+              (fun t -> if is_builtin t then None else Some (Clause.unit_pos (Vars.cls vars t)))
+              (expr_type_refs [] e)
+      in
+      Ok (Cnf.add_clauses (Formula.to_cnf formula) (edges @ required))
+
+let prepare vars program = fun phi -> Reduce.reduce vars program phi
+
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let type_checks p = match Typecheck.check p with Ok () -> true | Error _ -> false
+
+let predicate (_ : ctx) program ~spec =
+  match Typecheck.check program with
+  | Error e -> Error (Format.asprintf "input does not type check: %a" Typecheck.pp_error e)
+  | Ok () ->
+      if not (contains ~needle:spec (print program)) then
+        Error (Printf.sprintf "required text %S does not occur in the input program" spec)
+      else Ok (fun sub -> type_checks sub && contains ~needle:spec (print sub))

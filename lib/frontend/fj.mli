@@ -1,0 +1,25 @@
+(** FJI tree reduction with dependency reconstruction.
+
+    Reduces Featherweight-Java-with-Interfaces programs ({!Lbr_fji}) in the
+    style of DRReduce: def/use edges are reconstructed from the syntax tree
+    — a use site (a [new C(…)], a cast, a field or signature type, an
+    [extends]/[implements] clause) requires its definition — deduplicated
+    through {!Lbr_graph.Digraph}, and emitted as implication clauses.  On
+    top of the edges, the paper's own constraint generator
+    ({!Lbr_fji.Typecheck.generate}, Figures 6–7) contributes the
+    non-graph obligations (interface-method requirements, call
+    resolution), so every constraint-satisfying assignment reduces to a
+    program that type checks (Theorem 3.1) — GBR never produces
+    unbound-variable garbage.
+
+    The predicate spec is a required substring of the printed program
+    (e.g. ["class A"]); [""] means "still type checks".  A substring
+    naming a kept declaration is monotone: valid supersets keep strictly
+    more text.  Items and variables follow {!Lbr_fji.Vars} (classes,
+    interfaces, implements relations, methods, bodies, signatures). *)
+
+include Frontend.S with type input = Lbr_fji.Syntax.program and type ctx = Lbr_fji.Vars.t
+
+val dependency_edges : Lbr_fji.Vars.t -> Lbr_fji.Syntax.program -> (Lbr_logic.Var.t * Lbr_logic.Var.t) list
+(** The reconstructed def/use edges (x, y) — keeping x requires keeping y —
+    after {!Lbr_graph.Digraph} deduplication.  Exposed for tests. *)

@@ -1,0 +1,14 @@
+(** The table of known frontends, keyed by id and by file extension. *)
+
+val all : Frontend.packed list
+(** [jvm], [dimacs], [fj] — registration order is display order. *)
+
+val ids : string list
+
+val find : string -> (Frontend.packed, string) result
+(** Lookup by id.  The error message lists every known frontend, so a
+    typo on the command line (or an unknown wire tag) is self-explaining. *)
+
+val for_path : string -> (Frontend.packed, string) result
+(** Infer a frontend from a file path's extension ([.cnf] → dimacs, [.fj]
+    → fj, [.lbrc] → jvm); the error lists the known extensions. *)

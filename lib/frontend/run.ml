@@ -1,0 +1,120 @@
+open Lbr_logic
+
+type evaluation = Fresh of bool | Replayed of bool
+
+type hooks = {
+  on_improvement : (float -> int -> int -> unit) option;
+  should_stop : (unit -> bool) option;
+  evaluate : (key:string -> (unit -> bool) -> evaluation) option;
+}
+
+let default_hooks = { on_improvement = None; should_stop = None; evaluate = None }
+
+exception Cancelled
+
+type outcome = {
+  frontend : string;
+  ok : bool;
+  sim_time : float;
+  wall_time : float;
+  predicate_runs : int;
+  replayed_runs : int;
+  items0 : int;
+  items1 : int;
+  bytes0 : int;
+  bytes1 : int;
+  timeline : (float * int * int) list;
+}
+
+let reduce_input (type i c) ?(hooks = default_hooks)
+    (module F : Frontend.S with type ctx = c and type input = i) (input : i) ~spec =
+  let vpool = Var.Pool.create () in
+  match F.derive vpool input with
+  | Error m -> Error (Printf.sprintf "%s: derivation failed: %s" F.id m)
+  | Ok ctx -> (
+      match F.constraints ctx input with
+      | Error m -> Error (Printf.sprintf "%s: constraint generation failed: %s" F.id m)
+      | Ok cnf -> (
+          match F.predicate ctx input ~spec with
+          | Error m -> Error (Printf.sprintf "%s: %s" F.id m)
+          | Ok check ->
+              let apply = F.prepare ctx input in
+              (* The same instrumented black box as the harness driver: a
+                 simulated clock charged per run, an improvement timeline
+                 on (bytes, items), and the scheduler's hook surface. *)
+              let clock = ref 0.0 in
+              let best = ref (max_int, max_int) in
+              let improvements = ref [] in
+              let replayed = ref 0 in
+              let black_box phi =
+                (match hooks.should_stop with
+                | Some stop when stop () -> raise Cancelled
+                | _ -> ());
+                let sub = apply phi in
+                clock := !clock +. 1.0 +. (4e-4 *. float_of_int (F.bytes sub));
+                let ok =
+                  match hooks.evaluate with
+                  | None -> check sub
+                  | Some evaluate -> (
+                      match evaluate ~key:(Assignment.digest_hex phi) (fun () -> check sub) with
+                      | Fresh ok -> ok
+                      | Replayed ok ->
+                          incr replayed;
+                          ok)
+                in
+                if ok then begin
+                  let c = F.items sub and b = F.bytes sub in
+                  let bc, bb = !best in
+                  if b < bb || (b = bb && c < bc) then begin
+                    best := (min bc c, min bb b);
+                    improvements := (!clock, c, b) :: !improvements;
+                    match hooks.on_improvement with Some f -> f !clock c b | None -> ()
+                  end
+                end;
+                ok
+              in
+              let predicate = Lbr.Predicate.make ~name:F.id black_box in
+              let problem =
+                Lbr.Problem.make ~pool:vpool ~universe:(F.universe ctx) ~constraints:cnf
+                  ~predicate
+              in
+              let t0 = Unix.gettimeofday () in
+              (* Validation runs the predicate once on the full input; the
+                 memo makes GBR's own full-input query free, so the clock
+                 stays identical to an unvalidated run. *)
+              match Lbr.Problem.validate problem with
+              | Error m -> Error (Printf.sprintf "%s: invalid problem: %s" F.id m)
+              | Ok () ->
+                  let result, runs, ok =
+                    match
+                      Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation vpool)
+                    with
+                    | Ok (result, stats) -> (result, stats.predicate_runs, true)
+                    | Error (`Unsat | `Predicate_inconsistent | `Invariant_violation _) ->
+                        (F.universe ctx, Lbr.Predicate.runs predicate, false)
+                  in
+                  let wall_time = Unix.gettimeofday () -. t0 in
+                  let final = apply result in
+                  Ok
+                    ( {
+                        frontend = F.id;
+                        ok;
+                        sim_time = !clock;
+                        wall_time;
+                        predicate_runs = runs;
+                        replayed_runs = !replayed;
+                        items0 = F.items input;
+                        items1 = F.items final;
+                        bytes0 = F.bytes input;
+                        bytes1 = F.bytes final;
+                        timeline = List.rev !improvements;
+                      },
+                      final )))
+
+let reduce_text ?hooks (Frontend.Packed (module F)) ~text ~spec =
+  match F.parse text with
+  | Error m -> Error (Printf.sprintf "%s: unparsable input: %s" F.id m)
+  | Ok input -> (
+      match reduce_input ?hooks (module F) input ~spec with
+      | Error _ as e -> e
+      | Ok (outcome, final) -> Ok (outcome, F.print final))

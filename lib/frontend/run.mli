@@ -1,0 +1,65 @@
+(** Generic GBR driver over any {!Frontend.S}.
+
+    The frontend-agnostic mirror of the harness driver: a simulated clock
+    charging [1 + 4e-4 × bytes] seconds per predicate run, an improvement
+    timeline on (bytes, items), memoized predicates keyed by the candidate
+    assignment's digest, and the same hook surface the server's scheduler
+    speaks — so journal replay, verdict streaming and cancellation work
+    unchanged over non-JVM workloads.
+
+    Only the GBR strategy is offered here: the baselines (J-Reduce, the
+    lossy encodings) are JVM-specific measurements and stay in
+    {!Lbr_harness.Experiment}. *)
+
+type evaluation = Fresh of bool | Replayed of bool
+
+type hooks = {
+  on_improvement : (float -> int -> int -> unit) option;
+      (** (simulated time, items, bytes) at each improvement *)
+  should_stop : (unit -> bool) option;
+      (** polled before every predicate run; [true] raises {!Cancelled} *)
+  evaluate : (key:string -> (unit -> bool) -> evaluation) option;
+      (** interception of the black-box run; [key] is the candidate
+          assignment's digest, stable across processes *)
+}
+
+val default_hooks : hooks
+
+exception Cancelled
+
+type outcome = {
+  frontend : string;
+  ok : bool;
+  sim_time : float;
+  wall_time : float;
+  predicate_runs : int;
+  replayed_runs : int;
+  items0 : int;
+  items1 : int;
+  bytes0 : int;
+  bytes1 : int;
+  timeline : (float * int * int) list;
+      (** (simulated time, items, bytes) at each improvement, oldest first *)
+}
+
+val reduce_input :
+  ?hooks:hooks ->
+  (module Frontend.S with type ctx = 'c and type input = 'i) ->
+  'i ->
+  spec:string ->
+  (outcome * 'i, string) result
+(** Derive, generate constraints, validate the problem (including one
+    predicate run on the full input) and run GBR in the creation order.
+    [Error] on malformed inputs, unsatisfiable-by-construction problems,
+    or a failing full-input predicate; a mid-flight GBR failure (e.g. an
+    inconsistent predicate) returns [Ok] with [ok = false] and the
+    original input, mirroring the harness. *)
+
+val reduce_text :
+  ?hooks:hooks ->
+  Frontend.packed ->
+  text:string ->
+  spec:string ->
+  (outcome * string, string) result
+(** {!reduce_input} over serialized bytes: parse, reduce, print.  This is
+    the wire-payload entry point the server's runner dispatches to. *)

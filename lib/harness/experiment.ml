@@ -44,16 +44,9 @@ type hooks = {
 
 let default_hooks = { on_improvement = None; should_stop = None; evaluate = None }
 
-(* Sorted-list inclusion: is every baseline message present? *)
-let rec includes_sorted ~baseline messages =
-  match baseline, messages with
-  | [], _ -> true
-  | _ :: _, [] -> false
-  | b :: bs, m :: ms ->
-      let c = String.compare b m in
-      if c = 0 then includes_sorted ~baseline:bs ms
-      else if c > 0 then includes_sorted ~baseline ms
-      else false
+(* Sorted-list inclusion: is every baseline message present?  Shared with
+   the frontend subsystem's JVM predicate bridge. *)
+let includes_sorted = Lbr_frontend.Jvm.includes_sorted
 
 (* Shared instrumentation: a simulated clock, an improvement timeline, and a
    predicate body evaluating a candidate sub-pool. *)
@@ -210,11 +203,24 @@ let run_jreduce instance ~cost ~hooks =
 (* ------------------------------------------------------------------ *)
 (* Item-granularity strategies.                                       *)
 
+(* The JVM path is just the [Frontend_jvm] instance of the frontend
+   signature: item inventory and constraint generation are delegated so the
+   harness exercises exactly the code the generic runner dispatches to.
+   [derive]/[constraints] only fail on pools that violate [Classpool]'s own
+   invariants, which [Corpus] never produces. *)
 let item_context instance =
   let pool = instance.Corpus.benchmark.pool in
   let vpool = Var.Pool.create () in
-  let jv = Jvars.derive vpool pool in
-  let cnf = Constraints.generate jv pool in
+  let jv =
+    match Lbr_frontend.Jvm.derive vpool pool with
+    | Ok jv -> jv
+    | Error m -> invalid_arg ("Experiment.item_context: " ^ m)
+  in
+  let cnf =
+    match Lbr_frontend.Jvm.constraints jv pool with
+    | Ok cnf -> cnf
+    | Error m -> invalid_arg ("Experiment.item_context: " ^ m)
+  in
   (pool, vpool, jv, cnf)
 
 let run_lossy instance ~pick ~strategy ~cost ~hooks =

@@ -49,6 +49,16 @@ let read_or_conn t =
 let submit_ex t ?(on_progress = fun (_ : progress) -> ())
     ?(on_verdict = fun ~key:(_ : string) ~ok:(_ : bool) -> ())
     ?(on_accepted = fun (_ : string) -> ()) ?(seeds = []) spec =
+  (* Non-JVM frontends are v4 vocabulary; unlike seeds there is no safe
+     fallback — an old daemon would misread the payload as a class pool —
+     so refuse locally with a clear message instead of submitting. *)
+  if spec.Wire.frontend <> "jvm" && t.version < 4 then
+    Error
+      (`Conn
+         (Printf.sprintf
+            "frontend %S requires protocol version 4 (server negotiated %d)"
+            spec.Wire.frontend t.version))
+  else
   let request =
     (* Seeded submission is v3 vocabulary; on an older negotiated version
        the seeds cannot be expressed — fall back to a plain Submit (the

@@ -35,7 +35,65 @@ let resolve_tool name pool =
       | Some t -> Ok t
       | None -> Error (Printf.sprintf "unknown tool %S" name))
 
-let reduce (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
+(* Non-JVM frontends run through the generic frontend driver.  There is no
+   out-of-process tool, hence no oracle: the predicate is the frontend's
+   own in-process bridge, so crash/retry accounting is structurally zero
+   and [tool_executions] is exactly the fresh (non-replayed) runs.  The
+   spec's [tool] field carries the frontend's predicate spec, and the
+   result's classes0/1 slots carry its item counts. *)
+let reduce_frontend (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
+  match Lbr_frontend.Registry.find spec.frontend with
+  | Error _ as e -> e
+  | Ok packed -> (
+      match spec.strategy with
+      | Experiment.Jreduce | Experiment.Lossy_first | Experiment.Lossy_last ->
+          Error
+            (Printf.sprintf "frontend %S only supports the gbr strategy"
+               spec.frontend)
+      | Experiment.Gbr -> (
+          let evaluate ~key thunk =
+            match Hashtbl.find_opt ctx.replay key with
+            | Some cached -> Lbr_frontend.Run.Replayed cached
+            | None ->
+                let t0 = Unix.gettimeofday () in
+                let ok = thunk () in
+                ctx.record ~key ~ok ~latency:(Unix.gettimeofday () -. t0) ~retries:0;
+                Lbr_frontend.Run.Fresh ok
+          in
+          let hooks =
+            {
+              Lbr_frontend.Run.on_improvement = Some ctx.progress;
+              should_stop = Some ctx.should_stop;
+              evaluate = Some evaluate;
+            }
+          in
+          match
+            try
+              Lbr_frontend.Run.reduce_text ~hooks packed ~text:spec.pool_bytes
+                ~spec:spec.tool
+            with Lbr_frontend.Run.Cancelled -> raise Experiment.Cancelled
+          with
+          | Error _ as e -> e
+          | Ok (outcome, printed) ->
+              let stats =
+                {
+                  Wire.ok = outcome.ok;
+                  predicate_runs = outcome.predicate_runs;
+                  replayed_runs = outcome.replayed_runs;
+                  tool_executions = outcome.predicate_runs - outcome.replayed_runs;
+                  oracle_retries = 0;
+                  oracle_crashes = 0;
+                  sim_time = outcome.sim_time;
+                  wall_time = outcome.wall_time;
+                  classes0 = outcome.items0;
+                  classes1 = outcome.items1;
+                  bytes0 = outcome.bytes0;
+                  bytes1 = outcome.bytes1;
+                }
+              in
+              Ok (stats, printed)))
+
+let reduce_jvm (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
   match Serialize.of_bytes spec.pool_bytes with
   | Error m -> Error ("undecodable pool: " ^ m)
   | Ok pool -> (
@@ -106,3 +164,8 @@ let reduce (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
                 }
               in
               Ok (stats, Serialize.to_bytes final)))
+
+let reduce ctx (spec : Wire.spec) =
+  match spec.Wire.frontend with
+  | "" | "jvm" -> reduce_jvm ctx spec
+  | _ -> reduce_frontend ctx spec

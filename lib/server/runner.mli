@@ -31,4 +31,14 @@ val reduce : Scheduler.runner_ctx -> Wire.spec -> (Wire.stats * string, string) 
     not buggy on.  Raises [Lbr_harness.Experiment.Cancelled] when the
     context's [should_stop] fires, and [Lbr_runtime.Oracle.Crashed] under
     the [Crash_raises] policy — the scheduler maps both to terminal job
-    states. *)
+    states.
+
+    Specs whose [frontend] is not ["jvm"] (or [""]) dispatch through
+    {!Lbr_frontend.Registry} and the generic {!Lbr_frontend.Run} driver
+    instead: [pool_bytes] is the frontend's own text format, [tool] is
+    its predicate spec, and only the [Gbr] strategy is accepted.  These
+    jobs have no out-of-process oracle, so retry/crash counters are
+    zero, [tool_executions] equals the fresh predicate runs, and the
+    result's [classes0]/[classes1] slots carry the frontend's item
+    counts.  Journal replay, progress streaming and cancellation behave
+    identically to the JVM path. *)

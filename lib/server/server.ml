@@ -203,6 +203,9 @@ let handle_connection t fd =
         match Wire.read_message fd with
         | Error `Closed -> forget_conn t fd
         | Error (`Malformed m) -> fatal ("malformed frame: " ^ m)
+        | Ok ((Wire.Submit spec | Wire.Submit_seeded { spec; _ }))
+          when spec.Wire.frontend <> "jvm" && version < 4 ->
+            fatal "non-jvm frontends require protocol version 4"
         | Ok (Wire.Submit spec) ->
             admit spec [];
             loop ()

@@ -3,8 +3,13 @@
    v3: adds Submit_seeded (submission with pre-paid verdicts) and the
        streamed Verdict frame — the cluster coordinator's vocabulary.
        The framing itself is transport-agnostic; v3 daemons listen on
-       TCP as well as Unix sockets (see Addr). *)
-let protocol_version = 3
+       TCP as well as Unix sockets (see Addr).
+   v4: adds the spec's frontend tag, encoded as an optional trailing
+       str16 at the very end of Submit/Submit_seeded payloads (and of
+       the journal's spec records), written only when the frontend is
+       not "jvm" — so every JVM frame is byte-identical to v3 and v3
+       journals replay unchanged. *)
+let protocol_version = 4
 let max_frame = 64 * 1024 * 1024
 
 type priority = Normal | High
@@ -16,6 +21,7 @@ type spec = {
   crash_policy : Lbr_runtime.Oracle.crash_policy;
   retries : int;
   pool_bytes : string;
+  frontend : string;
 }
 
 type stats = {
@@ -202,17 +208,27 @@ let r_spec r =
   let crash_policy = crash_policy_of_code (r_u8 r) in
   let retries = r_u16 r in
   let pool_bytes = r_bytes32 r in
-  { tool; strategy; priority; crash_policy; retries; pool_bytes }
+  { tool; strategy; priority; crash_policy; retries; pool_bytes; frontend = "jvm" }
+
+(* The frontend tag rides as an optional str16 at the very END of the
+   payload (after seeds in Submit_seeded), written only for non-JVM
+   frontends: v3 peers and journals produce exactly these bytes for the
+   JVM path, so the default fills in on absence. *)
+let w_frontend_tag b spec = if spec.frontend <> "jvm" then w_str16 b spec.frontend
+
+let r_frontend_tag r spec =
+  if r.pos < String.length r.data then { spec with frontend = r_str16 r } else spec
 
 let spec_to_string spec =
   let b = Buffer.create (String.length spec.pool_bytes + 32) in
   w_spec b spec;
+  w_frontend_tag b spec;
   Buffer.contents b
 
 let spec_of_string data =
   let r = { data; pos = 0 } in
   match
-    let spec = r_spec r in
+    let spec = r_frontend_tag r (r_spec r) in
     r_end r;
     spec
   with
@@ -359,10 +375,13 @@ let encode_payload msg =
   w_u8 b (kind_of msg);
   (match msg with
   | Hello v | Hello_ok v -> w_u16 b v
-  | Submit spec -> w_spec b spec
+  | Submit spec ->
+      w_spec b spec;
+      w_frontend_tag b spec
   | Submit_seeded { spec; seeds } ->
       w_spec b spec;
-      w_seeds b seeds
+      w_seeds b seeds;
+      w_frontend_tag b spec
   | Verdict { job_id; key; ok } ->
       w_str16 b job_id;
       w_str16 b key;
@@ -405,7 +424,7 @@ let decode_payload data =
       match r_u8 r with
       | 0x01 -> Hello (r_u16 r)
       | 0x81 -> Hello_ok (r_u16 r)
-      | 0x02 -> Submit (r_spec r)
+      | 0x02 -> Submit (r_frontend_tag r (r_spec r))
       | 0x82 -> Accepted (r_str16 r)
       | 0x03 -> Cancel (r_str16 r)
       | 0x83 ->
@@ -431,7 +450,8 @@ let decode_payload data =
       | 0x89 -> Stats_reply (r_daemon_stats r)
       | 0x05 ->
           let spec = r_spec r in
-          Submit_seeded { spec; seeds = r_seeds r }
+          let seeds = r_seeds r in
+          Submit_seeded { spec = r_frontend_tag r spec; seeds }
       | 0x8A ->
           let job_id = r_str16 r in
           let key = r_str16 r in

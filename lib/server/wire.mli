@@ -28,12 +28,16 @@
     clients. *)
 
 val protocol_version : int
-(** Currently [3].  v2 added [Stats_request]/[Stats_reply]; v3 added
+(** Currently [4].  v2 added [Stats_request]/[Stats_reply]; v3 added
     [Submit_seeded]/[Verdict] (the cluster coordinator's vocabulary) and
-    TCP listeners.  A v1/v2 peer negotiates down during the handshake and
-    simply never sends — or receives — the newer frames: a v3 daemon
-    gates [Verdict] streaming on the connection's negotiated version, so
-    old clients interoperate unchanged. *)
+    TCP listeners; v4 added the spec's [frontend] tag, an optional
+    trailing str16 at the very end of [Submit]/[Submit_seeded] payloads
+    written only for non-JVM frontends — JVM frames are byte-identical
+    to v3, and v3 journals replay with [frontend = "jvm"].  A peer on an
+    older version negotiates down during the handshake and simply never
+    sends — or receives — the newer frames: a v4 daemon rejects non-JVM
+    submissions on connections that negotiated < 4, and gates [Verdict]
+    streaming on ≥ 3, so old clients interoperate unchanged. *)
 
 val max_frame : int
 (** Hard ceiling on a frame payload (64 MiB); larger lengths are rejected
@@ -48,7 +52,15 @@ type spec = {
   crash_policy : Lbr_runtime.Oracle.crash_policy;
       (** how the job's oracle classifies tool crashes *)
   retries : int;  (** oracle retries for transient tool failures *)
-  pool_bytes : string;  (** the LBRC-serialized class pool to reduce *)
+  pool_bytes : string;
+      (** the serialized workload to reduce: an LBRC class pool for the
+          JVM frontend, the frontend's own text format otherwise *)
+  frontend : string;
+      (** which {!Lbr_frontend.Registry} frontend interprets
+          [pool_bytes]; ["jvm"] is the v3-compatible default.  For
+          non-JVM frontends [tool] carries the frontend's predicate
+          spec, and the result's [stats.classes0]/[classes1] carry the
+          frontend's item counts. *)
 }
 
 type stats = {

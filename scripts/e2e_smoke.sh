@@ -6,17 +6,22 @@
 #      `lbr-reduce reduce` of the same instance — run with --trace, which
 #      doubles as the check that tracing never changes results,
 #   4. validate the emitted Chrome trace JSON (≥1 gbr.iteration span),
-#   5. SIGTERM the daemon and require a clean drain + zero exit,
+#   5. reduce the checked-in DIMACS and FJ examples through the one-shot
+#      CLI and through the daemon; each daemon result must be
+#      byte-identical to the one-shot result and strictly smaller than
+#      the input,
+#   6. SIGTERM the daemon and require a clean drain + zero exit,
 # then of the cluster service:
-#   6. start two TCP workers and a coordinator fronting them,
-#   7. submit a job through the coordinator, kill -9 a worker mid-job,
-#   8. check the result is byte-identical to a sequential run, that `top`
+#   7. start two TCP workers and a coordinator fronting them,
+#   8. submit a job through the coordinator, kill -9 a worker mid-job,
+#   9. check the result is byte-identical to a sequential run, that `top`
 #      reports cluster health, and that the coordinator drains cleanly.
 #
 # Usage: scripts/e2e_smoke.sh  (after `dune build`; override BIN to point
 # at the lbr_reduce executable if it lives elsewhere, TRACE_OUT to keep
-# the trace file and CLUSTER_JOURNAL_OUT to keep a copy of the
-# coordinator journal, e.g. for CI artifacts)
+# the trace file, FRONTEND_OUT to keep the reduced DIMACS/FJ outputs and
+# CLUSTER_JOURNAL_OUT to keep a copy of the coordinator journal, e.g.
+# for CI artifacts)
 set -euo pipefail
 
 BIN=${BIN:-_build/default/bin/lbr_reduce.exe}
@@ -60,6 +65,41 @@ echo "OK: --trace emitted valid Chrome trace JSON with gbr.iteration spans"
 
 test -f "$WORK/journal/job-000001/done" || { echo "journal has no done marker"; exit 1; }
 echo "OK: journal recorded the job and its terminal marker"
+
+# ---------------------------------------------------------------------
+# Non-JVM frontends: reduce the checked-in DIMACS and FJ examples both
+# one-shot and through the daemon (wire v4 frontend tag); the daemon
+# result must be byte-identical and strictly smaller than the input.
+
+CNF_IN=examples/data/php.cnf
+FJ_IN=examples/data/figure1.fj
+[ -f "$CNF_IN" ] && [ -f "$FJ_IN" ] \
+  || { echo "frontend example inputs missing ($CNF_IN, $FJ_IN)"; exit 1; }
+
+"$BIN" reduce "$CNF_IN" --output "$WORK/php.oneshot.cnf" > /dev/null
+"$BIN" submit --socket "$SOCK" "$CNF_IN" --output "$WORK/php.daemon.cnf" > /dev/null
+cmp "$WORK/php.oneshot.cnf" "$WORK/php.daemon.cnf"
+[ "$(wc -c < "$WORK/php.daemon.cnf")" -lt "$(wc -c < "$CNF_IN")" ] \
+  || { echo "DIMACS reduction did not shrink the input"; exit 1; }
+grep -q '^p cnf ' "$WORK/php.daemon.cnf" || { echo "reduced DIMACS lacks a header"; exit 1; }
+echo "OK: DIMACS daemon reduction is byte-identical to the one-shot run and smaller"
+
+"$BIN" reduce "$FJ_IN" --require "class A" --output "$WORK/figure1.oneshot.fj" > /dev/null
+"$BIN" submit --socket "$SOCK" "$FJ_IN" --require "class A" \
+  --output "$WORK/figure1.daemon.fj" > /dev/null
+cmp "$WORK/figure1.oneshot.fj" "$WORK/figure1.daemon.fj"
+[ "$(wc -c < "$WORK/figure1.daemon.fj")" -lt "$(wc -c < "$FJ_IN")" ] \
+  || { echo "FJ reduction did not shrink the input"; exit 1; }
+grep -q 'class A' "$WORK/figure1.daemon.fj" || { echo "reduced FJ lost the required marker"; exit 1; }
+echo "OK: FJ daemon reduction is byte-identical to the one-shot run, smaller, marker kept"
+
+# Keep the reduced frontend outputs (e.g. as CI artifacts) when asked to.
+if [ -n "${FRONTEND_OUT:-}" ]; then
+  mkdir -p "$FRONTEND_OUT"
+  cp "$WORK/php.daemon.cnf" "$FRONTEND_OUT/php.reduced.cnf"
+  cp "$WORK/figure1.daemon.fj" "$FRONTEND_OUT/figure1.reduced.fj"
+  echo "OK: reduced frontend outputs copied to $FRONTEND_OUT"
+fi
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"  # set -e: a non-zero daemon exit fails the smoke test

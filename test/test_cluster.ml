@@ -46,6 +46,7 @@ let spec_of_seed ?classes ?(retries = 0) seed =
     crash_policy = Lbr_runtime.Oracle.Crash_raises;
     retries;
     pool_bytes = pool_bytes_of_seed ?classes seed;
+    frontend = "jvm";
   }
 
 let reference_run ?classes seed =

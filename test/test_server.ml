@@ -44,6 +44,7 @@ let spec_of_seed ?classes ?(priority = Wire.Normal)
     crash_policy = Lbr_runtime.Oracle.Crash_raises;
     retries = 0;
     pool_bytes = pool_bytes_of_seed ?classes seed;
+    frontend = "jvm";
   }
 
 (* The in-process reference for what the service should compute on
@@ -789,7 +790,7 @@ let test_server_top_stats () =
       (match Client.connect socket with
       | Error m -> Alcotest.failf "stats connect: %s" m
       | Ok stats_client ->
-          Alcotest.(check int) "protocol v3 negotiated" 3
+          Alcotest.(check int) "current protocol negotiated" Wire.protocol_version
             (Client.negotiated_version stats_client);
           let saw_three = ref false and saw_best = ref false in
           let deadline = Unix.gettimeofday () +. 30. in
