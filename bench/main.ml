@@ -197,7 +197,56 @@ let run_corpus options =
         (strategy, (wall, speedup, outcomes)))
       Experiment.all_strategies
   in
-  (benchmarks, instances, outcomes, counters_before)
+  (* Intra-instance speedup: the same GBR sweep run sequentially and with
+     speculative predicate pipelining ([--jobs] worker domains inside each
+     reduction, instances processed one at a time).  The two sweeps must
+     be byte-identical outcome-for-outcome and pool-for-pool — that gate
+     runs whenever [--jobs > 1], even on one core, so CI exercises the
+     speculation path; the wall-clock ratio is only reported when the
+     host can actually run domains in parallel (the PR 6 honesty
+     convention: a 1-core "speedup" is scheduler noise, not signal). *)
+  let intra =
+    if options.jobs <= 1 then nan
+    else begin
+      let strip (o : Experiment.outcome) = { o with Experiment.wall_time = 0.0 } in
+      let t_seq = Unix.gettimeofday () in
+      let seq = Experiment.run_corpus_full Experiment.Gbr instances in
+      let seq_wall = Unix.gettimeofday () -. t_seq in
+      let t_spec = Unix.gettimeofday () in
+      let spec =
+        Lbr_runtime.Pool.with_pool ~jobs:options.jobs @@ fun pool ->
+        Experiment.run_corpus_full ~speculate:pool Experiment.Gbr instances
+      in
+      let spec_wall = Unix.gettimeofday () -. t_spec in
+      let identical =
+        List.length seq = List.length spec
+        && List.for_all2
+             (fun (o1, p1) (o2, p2) ->
+               strip o1 = strip o2
+               && String.equal (Lbr_jvm.Serialize.to_bytes p1) (Lbr_jvm.Serialize.to_bytes p2))
+             seq spec
+      in
+      if not identical then begin
+        prerr_endline
+          "[run] FATAL: speculative GBR diverged from sequential GBR on the corpus";
+        exit 1
+      end;
+      if speedup_measurable options.jobs && spec_wall > 0.0 then begin
+        let intra = seq_wall /. spec_wall in
+        Printf.printf "[run] %-12s intra-instance speculation x%.2f (%.1fs -> %.1fs, jobs=%d)\n%!"
+          "gbr" intra seq_wall spec_wall options.jobs;
+        intra
+      end
+      else begin
+        Printf.printf
+          "[run] %-12s speculative sweep byte-identical (%.1fs seq -> %.1fs spec, jobs=%d, \
+           intra speedup n/a on 1 core)\n%!"
+          "gbr" seq_wall spec_wall options.jobs;
+        nan
+      end
+    end
+  in
+  (benchmarks, instances, outcomes, intra, counters_before)
 
 let outcomes_of strategy outcomes =
   let _, _, os = List.assoc strategy outcomes in
@@ -703,16 +752,16 @@ let write_json path options strategies frontend_rows micro_rows counter_rows met
   p "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"strategies\": [";
   List.iteri
-    (fun i (name, wall, speedup, (s : Stats.summary)) ->
+    (fun i (name, wall, speedup, intra, (s : Stats.summary)) ->
       p
         "%s\n    { \"name\": \"%s\", \"frontend\": \"jvm\", \"wall_seconds\": %s, \
-         \"speedup\": %s, \"geo_sim_time_seconds\": %s, \
+         \"speedup\": %s, \"intra_speedup\": %s, \"geo_sim_time_seconds\": %s, \
          \"geo_class_ratio\": %s, \"geo_byte_ratio\": %s, \"geo_line_ratio\": %s, \
          \"geo_predicate_runs\": %s }"
         (if i > 0 then "," else "")
-        (json_escape name) (json_num wall) (json_num speedup) (json_num s.geo_time)
-        (json_num s.geo_class_ratio) (json_num s.geo_byte_ratio) (json_num s.geo_line_ratio)
-        (json_num s.geo_runs))
+        (json_escape name) (json_num wall) (json_num speedup) (json_num intra)
+        (json_num s.geo_time) (json_num s.geo_class_ratio) (json_num s.geo_byte_ratio)
+        (json_num s.geo_line_ratio) (json_num s.geo_runs))
     strategies;
   p "\n  ],\n";
   (* One row per non-JVM frontend over its fixed input; everything but
@@ -787,11 +836,12 @@ let () =
   let counter_rows = ref [] in
   if options.run_tables then begin
     table_e1 ();
-    let benchmarks, instances, outcomes, counters_before = run_corpus options in
+    let benchmarks, instances, outcomes, intra, counters_before = run_corpus options in
     strategy_rows :=
       List.map
         (fun (strategy, (wall, speedup, os)) ->
-          (Experiment.strategy_name strategy, wall, speedup, Stats.summarize os))
+          let intra = if strategy = Experiment.Gbr then intra else nan in
+          (Experiment.strategy_name strategy, wall, speedup, intra, Stats.summarize os))
         outcomes;
     table_e4 benchmarks instances;
     table_e2 outcomes;

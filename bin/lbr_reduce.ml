@@ -244,13 +244,26 @@ let jobs_arg =
         ~doc:
           "Worker domains (a positive integer).  With N > 1, reduce against $(i,every) buggy \
            decompiler, fanning the instances across N domains; the default 1 keeps today's \
-           sequential behaviour (first buggy decompiler only).")
+           sequential behaviour (first buggy decompiler only).  With $(b,--speculate), the N \
+           domains instead pipeline a single reduction from within.")
+
+let speculate_arg =
+  Arg.(
+    value & flag
+    & info [ "speculate" ]
+        ~doc:
+          "Speculative predicate pipelining: while each predicate verdict is pending, run \
+           the probes both branches would need next on the $(b,--jobs) worker domains, \
+           cancelling the losing branch when the verdict lands.  The reduced output is \
+           byte-identical to the sequential run; only wall clock changes.  Applies to the \
+           first (sequentially-selected) instance; combine with $(b,--jobs) N >= 2.")
 
 (* One-shot reduction of a non-jvm workload file: parse, reduce with GBR,
    print (or write) the reduced artifact in the frontend's own format.
    Shares the jvm path's graceful-shutdown behaviour: ^C stops at the next
    predicate-run boundary and exits 128+signal. *)
-let reduce_via_frontend ~frontend_id ~path ~strategy ~require ~output ~trace =
+let reduce_via_frontend ~frontend_id ~path ~strategy ~require ~output ~trace ~jobs
+    ~speculate =
   (match strategy with
   | Lbr_harness.Experiment.Gbr -> ()
   | _ ->
@@ -278,7 +291,13 @@ let reduce_via_frontend ~frontend_id ~path ~strategy ~require ~output ~trace =
       should_stop = Some (fun () -> Lbr_server.Shutdown.requested shutdown);
     }
   in
-  match Lbr_frontend.Run.reduce_text ~hooks packed ~text ~spec:require with
+  let reduce () =
+    if speculate then
+      Lbr_runtime.Pool.with_pool ~jobs (fun pool ->
+          Lbr_frontend.Run.reduce_text ~hooks ~pool ~speculate packed ~text ~spec:require)
+    else Lbr_frontend.Run.reduce_text ~hooks packed ~text ~spec:require
+  in
+  match reduce () with
   | exception Lbr_frontend.Run.Cancelled ->
       Lbr_server.Shutdown.on_drain shutdown (fun () ->
           Printf.eprintf "interrupted by SIG%s\n"
@@ -311,7 +330,8 @@ let reduce_via_frontend ~frontend_id ~path ~strategy ~require ~output ~trace =
       write_trace trace
 
 let reduce_cmd =
-  let run seed classes strategy tool jobs output output_pool trace frontend input require =
+  let run seed classes strategy tool jobs output output_pool trace frontend input require
+      speculate =
     match resolve_frontend ~frontend ~input with
     | Error m ->
         prerr_endline ("lbr-reduce: " ^ m);
@@ -331,7 +351,8 @@ let reduce_cmd =
                 "lbr-reduce: frontend %s needs an INPUT file to reduce\n" id;
               exit 2
         in
-        reduce_via_frontend ~frontend_id:id ~path ~strategy ~require ~output ~trace
+        reduce_via_frontend ~frontend_id:id ~path ~strategy ~require ~output ~trace ~jobs
+          ~speculate
     | Ok _jvm ->
     if require <> "" then begin
       prerr_endline "lbr-reduce: --require applies to non-jvm frontends; use --tool";
@@ -368,7 +389,12 @@ let reduce_cmd =
         print_endline "no decompiler is buggy on this program; try another --seed";
         exit 0
     | (tool, baseline) :: _ ->
-        let selected = if jobs > 1 then buggy else [ (tool, baseline) ] in
+        (* --speculate spends the worker domains inside one reduction, so
+           instance selection stays the sequential one (first buggy tool)
+           and the output is comparable byte-for-byte. *)
+        let selected =
+          if jobs > 1 && not speculate then buggy else [ (tool, baseline) ]
+        in
         let instances =
           List.map
             (fun ((t : Lbr_decompiler.Tool.t), errors) ->
@@ -438,10 +464,18 @@ let reduce_cmd =
                   improvements := (sim_time, cls, bytes) :: !improvements;
                   Mutex.unlock partial_mutex);
             evaluate;
+            peek = None;
           }
         in
+        let run_corpus () =
+          if speculate then
+            Lbr_runtime.Pool.with_pool ~jobs (fun pool ->
+                Lbr_harness.Experiment.run_corpus_full ~jobs:1 ~hooks ~speculate:pool
+                  strategy instances)
+          else Lbr_harness.Experiment.run_corpus_full ~jobs ~hooks strategy instances
+        in
         let results =
-          match Lbr_harness.Experiment.run_corpus_full ~jobs ~hooks strategy instances with
+          match run_corpus () with
           | results -> results
           | exception Lbr_harness.Experiment.Cancelled ->
               Lbr_server.Shutdown.on_drain shutdown (fun () ->
@@ -467,7 +501,7 @@ let reduce_cmd =
               "%s%s: %d -> %d classes (%.1f%%), %d -> %d bytes (%.1f%%), %d tool runs, %.0fs \
                simulated\n"
               (Lbr_harness.Experiment.strategy_name strategy)
-              (if jobs > 1 then " [" ^ o.instance_id ^ "]" else "")
+              (if jobs > 1 && not speculate then " [" ^ o.instance_id ^ "]" else "")
               o.classes0 o.classes1
               (100. *. float_of_int o.classes1 /. float_of_int o.classes0)
               o.bytes0 o.bytes1
@@ -504,7 +538,8 @@ let reduce_cmd =
           passed as INPUT (--frontend dimacs|fj).")
     Term.(
       const run $ seed_arg $ classes_arg $ strategy_arg $ tool_arg $ jobs_arg $ output_arg
-      $ output_pool_arg $ trace_arg $ frontend_arg $ input_arg $ require_arg)
+      $ output_pool_arg $ trace_arg $ frontend_arg $ input_arg $ require_arg
+      $ speculate_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Reduction as a service                                              *)

@@ -65,7 +65,21 @@ let binary_search predicate prefixes ~lo ~hi =
   in
   go lo hi
 
-let reduce ?(check_invariants = false) ?(incremental = true) ?arena
+(* A speculatively prepared next iteration: the entries the winning
+   boundary's build would produce, plus the branch engine (forked, learned
+   clause added, narrowed, progression built) to adopt as the main engine.
+   [pb_engine = None] means the fork met a conflict and the entries come
+   from the rebuild fallback — adopting it retires the main engine, exactly
+   as the sequential conflict path would.  [pb_sorted] is the filtered
+   order-sorted universe the build used, to install in the sort cache on
+   adoption. *)
+type prebuilt = {
+  pb_entries : Assignment.t list;
+  pb_engine : Msa.Engine.t option;
+  pb_sorted : Var.t array option;
+}
+
+let reduce ?(check_invariants = false) ?(incremental = true) ?arena ?speculate
     (problem : Problem.t) ~order =
   let predicate = problem.predicate in
   let runs0 = Predicate.runs predicate and queries0 = Predicate.queries predicate in
@@ -152,11 +166,183 @@ let reduce ?(check_invariants = false) ?(incremental = true) ?arena
                 retire_engine ();
                 fallback ()))
   in
+  (* --- Speculation ------------------------------------------------------
+     With a {!Speculate} table, the sequential loop above stays the
+     authority for every verdict; speculation only prepares work the loop
+     is about to demand.  Two kinds of preparation:
+
+     - probe prefetch: before running the probe at [mid], hand both
+       branches' next probes to idle workers, and cancel the loser once
+       the real verdict lands;
+     - boundary builds: when a branch pins the search result [r], fork the
+       engine, apply the learned clause and narrow, and build the next
+       iteration's progression now — the winning build is adopted wholesale
+       (the fork becomes the main engine), the losing one is released.
+
+     Both are pure with respect to the loop's observable state: builds run
+     on forks, never the main engine, and every predicate verdict is still
+     consumed on the demand path in the sequential order. *)
+  let boundaries = ref [] in
+  let release_prebuilt pb =
+    match pb.pb_engine with
+    | Some f -> Msa.Arena.release arena f
+    | None -> ()
+  in
+  (* Release every cached boundary except [keep]'s, returning that one. *)
+  let flush_boundaries ?keep () =
+    let kept = ref None in
+    List.iter
+      (fun (r, pb) ->
+        if keep = Some r then kept := Some pb else release_prebuilt pb)
+      !boundaries;
+    boundaries := [];
+    !kept
+  in
+  (* Build iteration [k+1]'s progression under the assumption that the
+     current search lands on [r] — on a fork, leaving the main engine and
+     the sort cache untouched.  Mirrors [build_entries] branch for branch
+     so the adopted state is exactly what the inline path would compute. *)
+  let build_boundary entries prefixes learned r =
+    let entry = entries.(r) in
+    let j' = Progression.Prefixes.get prefixes r in
+    let learned' = entry :: learned in
+    let fallback () =
+      match
+        Progression.build ~cnf:problem.constraints ~order ~learned:learned'
+          ~universe:j'
+      with
+      | Error `Unsat ->
+          (* Don't cache: the demand path reproduces the [`Unsat] inline. *)
+          None
+      | Ok es -> Some { pb_entries = es; pb_engine = None; pb_sorted = None }
+    in
+    match !engine with
+    | None -> fallback ()
+    | Some e -> (
+        let f = Msa.Engine.fork ~arena e in
+        let prepared =
+          match Msa.Engine.add_clause f ~pos:(Assignment.to_list entry) with
+          | Error `Conflict -> Error `Conflict
+          | Ok () -> Msa.Engine.narrow f ~keep:j'
+        in
+        match prepared with
+        | Error `Conflict ->
+            Msa.Arena.release arena f;
+            fallback ()
+        | Ok () -> (
+            let sorted' =
+              match !sorted_cache with
+              | Some prev ->
+                  let out = Array.make (Assignment.cardinal j') 0 in
+                  let k = ref 0 in
+                  Array.iter
+                    (fun v ->
+                      if Assignment.mem v j' then begin
+                        out.(!k) <- v;
+                        incr k
+                      end)
+                    prev;
+                  out
+              | None -> Assignment.to_list j' |> Order.sort order |> Array.of_list
+            in
+            match
+              Progression.build_incremental ~sorted:sorted' ~engine:f ~order
+                ~universe:j' ()
+            with
+            | Ok es ->
+                Some { pb_entries = es; pb_engine = Some f; pb_sorted = Some sorted' }
+            | Error `Conflict ->
+                Msa.Arena.release arena f;
+                fallback ()))
+  in
+  (* The next demand inside the half-open search interval (lo, hi]: a probe
+     while the interval is wide, the next iteration's head once it pins
+     [r = hi].  Prefetching a boundary also builds and caches its
+     progression (see above). *)
+  let next_branch sp entries prefixes learned ~lo ~hi =
+    if hi - lo <= 1 then begin
+      if not (List.mem_assoc hi !boundaries) then begin
+        match build_boundary entries prefixes learned hi with
+        | Some pb ->
+            boundaries := (hi, pb) :: !boundaries;
+            Speculate.prefetch sp (List.hd pb.pb_entries)
+        | None -> ()
+      end;
+      `Boundary hi
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      Speculate.prefetch sp (Progression.Prefixes.get prefixes mid);
+      `Probe mid
+    end
+  in
+  let cancel_branch sp prefixes = function
+    | `Probe mid -> Speculate.cancel sp (Progression.Prefixes.get prefixes mid)
+    | `Boundary r -> (
+        match List.assoc_opt r !boundaries with
+        | Some pb ->
+            boundaries := List.remove_assoc r !boundaries;
+            Speculate.cancel sp (List.hd pb.pb_entries);
+            release_prebuilt pb
+        | None -> ())
+  in
+  (* [binary_search] with branch prefetching: same probes in the same
+     order, but before each verdict both possible next demands are already
+     on their way.  A verdict hint (a replay journal that already knows
+     this probe) prunes the prefetch to the branch that will be taken;
+     the hint is advisory — the authoritative verdict still comes from
+     [Predicate.run], and a wrong hint only forfeits a prefetch. *)
+  let search_speculative sp entries prefixes learned ~lo ~hi =
+    let rec go lo hi =
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        let phi = Progression.Prefixes.get prefixes mid in
+        let h = Speculate.hint sp phi in
+        let on_pass =
+          if h = Some false then None
+          else Some (next_branch sp entries prefixes learned ~lo ~hi:mid)
+        in
+        let on_fail =
+          if h = Some true then None
+          else Some (next_branch sp entries prefixes learned ~lo:mid ~hi)
+        in
+        if Predicate.run predicate phi then begin
+          Option.iter (cancel_branch sp prefixes) on_fail;
+          go lo mid
+        end
+        else begin
+          Option.iter (cancel_branch sp prefixes) on_pass;
+          go mid hi
+        end
+      end
+    in
+    go lo hi
+  in
   (* One iteration, factored out of [loop] so the [gbr.iteration] trace
      span covers exactly this iteration's work — recursing inside the span
-     would nest every later iteration under the first. *)
-  let iterate ~fresh learned j iterations prog_lengths =
-      match build_entries ~fresh learned j with
+     would nest every later iteration under the first.  [prebuilt] is the
+     adopted speculative build for this iteration, when the previous
+     search's winning boundary had one. *)
+  let iterate ~fresh ~prebuilt learned j iterations prog_lengths =
+      let built =
+        match prebuilt with
+        | Some pb ->
+            (* Adopt the branch state wholesale: the fork (or the fallback's
+               [None]) replaces the main engine, and the filtered sorted
+               universe lands in the cache exactly as [sorted_universe]
+               would have left it. *)
+            (match !engine with
+            | Some e -> Msa.Arena.release arena e
+            | None -> ());
+            engine := pb.pb_engine;
+            (match pb.pb_sorted with
+            | Some sorted -> sorted_cache := Some sorted
+            | None -> ());
+            Ok pb.pb_entries
+        | None -> build_entries ~fresh learned j
+      in
+      match built with
       | Error `Unsat -> `Done (Error `Unsat)
       | Ok entries -> (
           (* Prefix snapshots are materialized lazily: each iteration reads
@@ -172,8 +358,22 @@ let reduce ?(check_invariants = false) ?(incremental = true) ?arena
           | None ->
           let n = Progression.Prefixes.length prefixes in
           let prog_lengths = n :: prog_lengths in
+          let entries = Array.of_list entries in
           let head = Progression.Prefixes.get prefixes 0 in
-          if Predicate.run predicate head then
+          (* The head verdict's fail branch opens the search over
+             (0, n-1]: start it before the head runs.  A passing head ends
+             the reduction, so that branch has nothing to prefetch — and a
+             hint that the head passes prunes the fail prefetch too. *)
+          let head_fail =
+            match speculate with
+            | Some sp when n > 1 && Speculate.hint sp head <> Some true ->
+                Some (next_branch sp entries prefixes learned ~lo:0 ~hi:(n - 1))
+            | _ -> None
+          in
+          if Predicate.run predicate head then begin
+            (match (speculate, head_fail) with
+            | Some sp, Some branch -> cancel_branch sp prefixes branch
+            | _ -> ());
             let stats =
               {
                 iterations;
@@ -184,22 +384,31 @@ let reduce ?(check_invariants = false) ?(incremental = true) ?arena
               }
             in
             `Done (Ok (head, stats))
+          end
           else if n = 1 then
             (* The head is the whole search space J, which satisfied the
                predicate when it became the search space: the predicate is
                not behaving like a function of its input. *)
             `Done (Error `Predicate_inconsistent)
           else begin
-            let r = binary_search predicate prefixes ~lo:0 ~hi:(n - 1) in
-            let entries = Array.of_list entries in
+            let r =
+              match speculate with
+              | Some sp ->
+                  search_speculative sp entries prefixes learned ~lo:0 ~hi:(n - 1)
+              | None -> binary_search predicate prefixes ~lo:0 ~hi:(n - 1)
+            in
+            let prebuilt = flush_boundaries ~keep:r () in
             let learned = entries.(r) :: learned in
             `Continue
               (entries.(r), learned, Progression.Prefixes.get prefixes r,
-               iterations + 1, prog_lengths)
+               iterations + 1, prog_lengths, prebuilt)
           end)
   in
-  let rec loop ~fresh learned j iterations prog_lengths =
-    if iterations > max_iterations then Error `Predicate_inconsistent
+  let rec loop ~fresh ~prebuilt learned j iterations prog_lengths =
+    if iterations > max_iterations then begin
+      (match prebuilt with Some pb -> release_prebuilt pb | None -> ());
+      Error `Predicate_inconsistent
+    end
     else
       let step =
         Lbr_obs.Trace.with_span "gbr.iteration"
@@ -209,13 +418,14 @@ let reduce ?(check_invariants = false) ?(incremental = true) ?arena
               ("universe", Lbr_obs.Trace.Int (Assignment.cardinal j));
               ("learned", Lbr_obs.Trace.Int (List.length learned));
             ])
-          (fun () -> iterate ~fresh learned j iterations prog_lengths)
+          (fun () -> iterate ~fresh ~prebuilt learned j iterations prog_lengths)
       in
       match step with
       | `Done result -> result
-      | `Continue (entry, learned, j, iterations, prog_lengths) ->
-          loop ~fresh:(Some entry) learned j iterations prog_lengths
+      | `Continue (entry, learned, j, iterations, prog_lengths, prebuilt) ->
+          loop ~fresh:(Some entry) ~prebuilt learned j iterations prog_lengths
   in
-  let result = loop ~fresh:None [] problem.universe 1 [] in
+  let result = loop ~fresh:None ~prebuilt:None [] problem.universe 1 [] in
+  ignore (flush_boundaries () : prebuilt option);
   retire_engine ();
   result

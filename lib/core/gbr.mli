@@ -37,6 +37,7 @@ val reduce :
   ?check_invariants:bool ->
   ?incremental:bool ->
   ?arena:Msa.Arena.t ->
+  ?speculate:'a Speculate.t ->
   Problem.t ->
   order:Order.t ->
   (Assignment.t * stats, error) result
@@ -44,6 +45,17 @@ val reduce :
     ([𝒫(I)], [R_I(I)], monotonicity) — use {!Problem.validate} first when in
     doubt.  The returned assignment satisfies both the constraints and the
     predicate.
+
+    [~speculate] pipelines the otherwise-sequential loop: before each
+    predicate verdict lands, the assignments both branches would demand
+    next are {!Speculate.prefetch}ed onto idle workers (and the next
+    iteration's progression pre-built on an {!Msa.Engine.fork} when a
+    branch pins the search result), with the losing branch cancelled once
+    the real verdict arrives.  The demand sequence, results and statistics
+    are byte-identical to the sequential run — speculation only moves pure
+    predicate computation off-thread; the caller's predicate is expected
+    to consult the same table via {!Speculate.demand} (see
+    [Lbr_frontend.Run]).
 
     [~arena] (default: the domain's shared {!Msa.Arena.default}) supplies
     recycled engine storage; the persistent engine is acquired from it and

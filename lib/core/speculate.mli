@@ -1,0 +1,80 @@
+(** Speculative predicate execution for the GBR loop.
+
+    GBR's search tree is binary, and both children of a pending predicate
+    are computable before its verdict arrives — so idle workers can run
+    the next probes speculatively while the demand path waits on the
+    current one.  This module is the digest-keyed table mediating that:
+    the (sequential, authoritative) demand path {!prefetch}es the
+    assignments its branches may need, workers compute the pure check
+    off-thread, and {!demand} consumes a finished verdict or reclaims an
+    unstarted cell to compute inline.  {!cancel} aborts the losing branch
+    after each real verdict; a cell already running is left to finish (the
+    pool has no preemption) and merely counts as wasted work.
+
+    Determinism contract: with a [compute] that is pure and agrees with the
+    demand path's own check, a reduction using this table is byte-identical
+    to the sequential one — verdicts are identical wherever they were
+    computed, and every observable side effect (run counts, clocks,
+    evaluation journaling) happens on the demand path at consumption time.
+    A worker that raises poisons its cell; {!demand} then reports a miss
+    and the caller recomputes inline, preserving the contract even under
+    fault injection.
+
+    Thread-safety: {!prefetch}, {!cancel}, {!demand}, {!drain} and
+    {!stats} are demand-path operations (call them from the reduction
+    thread); only the worker closures passed to [spawn] run concurrently. *)
+
+open Lbr_logic
+
+type 'a t
+
+type stats = {
+  launched : int;  (** cells handed to [spawn] *)
+  committed : int;  (** verdicts consumed by {!demand} *)
+  cancelled : int;  (** cells aborted before a worker started them *)
+  wasted : int;  (** computed to completion but never demanded *)
+  failed : int;  (** worker raised; the demand path recomputed inline *)
+}
+
+val create :
+  spawn:((unit -> unit) -> unit) ->
+  ?should_launch:(Assignment.t -> bool) ->
+  ?verdict_hint:(Assignment.t -> bool option) ->
+  ?max_inflight:int ->
+  (Assignment.t -> 'a) ->
+  'a t
+(** [create ~spawn compute] builds a speculation table whose workers run
+    [compute] via [spawn] (typically [Lbr_runtime.Pool.submit]).
+    [should_launch] gates {!prefetch} — e.g. to skip assignments whose
+    verdict a replay journal already holds; [verdict_hint] is an advisory
+    oracle over the {e current} demand (e.g. a replay journal's recorded
+    verdict) letting the search prefetch only the branch that will be
+    taken — a wrong or absent hint costs speed, never correctness;
+    [max_inflight] (default 4) bounds the width of the speculation
+    frontier: prefetches beyond the budget are dropped, not queued. *)
+
+val hint : 'a t -> Assignment.t -> bool option
+(** The [verdict_hint] for [phi], if one was configured.  [Some v] means
+    the demand path is expected (not guaranteed) to observe verdict [v]. *)
+
+val prefetch : 'a t -> Assignment.t -> unit
+(** Launch [compute phi] speculatively.  No-op if the digest is already
+    tabled, the width budget is exhausted, or [should_launch] declines. *)
+
+val cancel : 'a t -> Assignment.t -> unit
+(** Abort the cell for [phi] if no worker has started it; a running cell
+    is left to finish and its result kept (a later {!demand} may still
+    use it). *)
+
+val demand : 'a t -> Assignment.t -> 'a option
+(** Consume the speculative verdict for [phi].  [Some v] if a worker
+    finished (or, after blocking, finishes) computing it; [None] if the
+    digest was never prefetched, was cancelled, or its worker raised — or
+    if the cell was still unstarted, in which case it is reclaimed so the
+    caller's inline computation is the only one. *)
+
+val drain : 'a t -> unit
+(** Cancel every unstarted cell and block until the running ones finish.
+    Call before tearing down the pool or reading final {!stats}. *)
+
+val stats : 'a t -> stats

@@ -6,9 +6,11 @@ type hooks = {
   on_improvement : (float -> int -> int -> unit) option;
   should_stop : (unit -> bool) option;
   evaluate : (key:string -> (unit -> bool) -> evaluation) option;
+  peek : (key:string -> bool option) option;
 }
 
-let default_hooks = { on_improvement = None; should_stop = None; evaluate = None }
+let default_hooks =
+  { on_improvement = None; should_stop = None; evaluate = None; peek = None }
 
 exception Cancelled
 
@@ -26,7 +28,14 @@ type outcome = {
   timeline : (float * int * int) list;
 }
 
-let reduce_input (type i c) ?(hooks = default_hooks)
+(* Everything the demand path charges and journals about one predicate run,
+   precomputed by a speculative worker.  The demand path consumes this
+   instead of re-applying the assignment: [apply] and the size accessors
+   are deterministic, so the payload is exactly what the inline computation
+   would have produced. *)
+type spec_payload = { sp_ok : bool; sp_items : int; sp_bytes : int }
+
+let reduce_input (type i c) ?(hooks = default_hooks) ?pool ?(speculate = false)
     (module F : Frontend.S with type ctx = c and type input = i) (input : i) ~spec =
   let vpool = Var.Pool.create () in
   match F.derive vpool input with
@@ -39,6 +48,40 @@ let reduce_input (type i c) ?(hooks = default_hooks)
           | Error m -> Error (Printf.sprintf "%s: %s" F.id m)
           | Ok check ->
               let apply = F.prepare ctx input in
+              let speculation =
+                match pool with
+                | Some p when speculate ->
+                    (* Workers get their own prepared applier (and check) —
+                       [F.prepare]'s result is domain-local state for the
+                       JVM frontend.  The check closure from [F.predicate]
+                       is pure, so sharing it is fine; building per-domain
+                       appliers through DLS keeps the rest isolated. *)
+                    let applier = Domain.DLS.new_key (fun () -> F.prepare ctx input) in
+                    let compute phi =
+                      let sub = (Domain.DLS.get applier) phi in
+                      { sp_ok = check sub; sp_items = F.items sub; sp_bytes = F.bytes sub }
+                    in
+                    let should_launch, verdict_hint =
+                      (* Never launch what a replay journal already knows,
+                         and hint the search with the journal's verdicts so
+                         it only prefetches branches replay will take: a
+                         fully replayed workload launches nothing, so
+                         speculation adds no fresh executions to it. *)
+                      match hooks.peek with
+                      | None -> (None, None)
+                      | Some peek ->
+                          let peek phi = peek ~key:(Assignment.digest_hex phi) in
+                          (Some (fun phi -> peek phi = None), Some peek)
+                    in
+                    Some
+                      (Lbr.Speculate.create
+                         ~spawn:(fun job ->
+                           ignore (Lbr_runtime.Pool.submit p job : unit Lbr_runtime.Pool.future))
+                         ?should_launch ?verdict_hint
+                         ~max_inflight:(2 * Lbr_runtime.Pool.jobs p)
+                         compute)
+                | _ -> None
+              in
               (* The same instrumented black box as the harness driver: a
                  simulated clock charged per run, an improvement timeline
                  on (bytes, items), and the scheduler's hook surface. *)
@@ -46,24 +89,23 @@ let reduce_input (type i c) ?(hooks = default_hooks)
               let best = ref (max_int, max_int) in
               let improvements = ref [] in
               let replayed = ref 0 in
-              let black_box phi =
-                (match hooks.should_stop with
-                | Some stop when stop () -> raise Cancelled
-                | _ -> ());
-                let sub = apply phi in
-                clock := !clock +. 1.0 +. (4e-4 *. float_of_int (F.bytes sub));
+              (* All observable accounting happens here, on the demand
+                 path, whether the verdict came from a speculative worker
+                 or was computed inline — byte-identical either way. *)
+              let settle ~ok ~items ~bytes ~charge ~key =
+                clock := !clock +. charge;
                 let ok =
                   match hooks.evaluate with
-                  | None -> check sub
+                  | None -> ok ()
                   | Some evaluate -> (
-                      match evaluate ~key:(Assignment.digest_hex phi) (fun () -> check sub) with
+                      match evaluate ~key ok with
                       | Fresh ok -> ok
                       | Replayed ok ->
                           incr replayed;
                           ok)
                 in
                 if ok then begin
-                  let c = F.items sub and b = F.bytes sub in
+                  let c = items () and b = bytes () in
                   let bc, bb = !best in
                   if b < bb || (b = bb && c < bc) then begin
                     best := (min bc c, min bb b);
@@ -73,12 +115,44 @@ let reduce_input (type i c) ?(hooks = default_hooks)
                 end;
                 ok
               in
+              let black_box phi =
+                (match hooks.should_stop with
+                | Some stop when stop () -> raise Cancelled
+                | _ -> ());
+                let key = Assignment.digest_hex phi in
+                match
+                  match speculation with
+                  | Some sp -> Lbr.Speculate.demand sp phi
+                  | None -> None
+                with
+                | Some payload ->
+                    settle
+                      ~ok:(fun () -> payload.sp_ok)
+                      ~items:(fun () -> payload.sp_items)
+                      ~bytes:(fun () -> payload.sp_bytes)
+                      ~charge:(1.0 +. (4e-4 *. float_of_int payload.sp_bytes))
+                      ~key
+                | None ->
+                    let sub = apply phi in
+                    settle
+                      ~ok:(fun () -> check sub)
+                      ~items:(fun () -> F.items sub)
+                      ~bytes:(fun () -> F.bytes sub)
+                      ~charge:(1.0 +. (4e-4 *. float_of_int (F.bytes sub)))
+                      ~key
+              in
               let predicate = Lbr.Predicate.make ~name:F.id black_box in
               let problem =
                 Lbr.Problem.make ~pool:vpool ~universe:(F.universe ctx) ~constraints:cnf
                   ~predicate
               in
               let t0 = Unix.gettimeofday () in
+              Fun.protect
+                ~finally:(fun () ->
+                  match speculation with
+                  | Some sp -> Lbr.Speculate.drain sp
+                  | None -> ())
+              @@ fun () ->
               (* Validation runs the predicate once on the full input; the
                  memo makes GBR's own full-input query free, so the clock
                  stays identical to an unvalidated run. *)
@@ -87,7 +161,8 @@ let reduce_input (type i c) ?(hooks = default_hooks)
               | Ok () ->
                   let result, runs, ok =
                     match
-                      Lbr.Gbr.reduce problem ~order:(Lbr_sat.Order.by_creation vpool)
+                      Lbr.Gbr.reduce ?speculate:speculation problem
+                        ~order:(Lbr_sat.Order.by_creation vpool)
                     with
                     | Ok (result, stats) -> (result, stats.predicate_runs, true)
                     | Error (`Unsat | `Predicate_inconsistent | `Invariant_violation _) ->
@@ -111,10 +186,10 @@ let reduce_input (type i c) ?(hooks = default_hooks)
                       },
                       final )))
 
-let reduce_text ?hooks (Frontend.Packed (module F)) ~text ~spec =
+let reduce_text ?hooks ?pool ?speculate (Frontend.Packed (module F)) ~text ~spec =
   match F.parse text with
   | Error m -> Error (Printf.sprintf "%s: unparsable input: %s" F.id m)
   | Ok input -> (
-      match reduce_input ?hooks (module F) input ~spec with
+      match reduce_input ?hooks ?pool ?speculate (module F) input ~spec with
       | Error _ as e -> e
       | Ok (outcome, final) -> Ok (outcome, F.print final))

@@ -21,6 +21,11 @@ type hooks = {
   evaluate : (key:string -> (unit -> bool) -> evaluation) option;
       (** interception of the black-box run; [key] is the candidate
           assignment's digest, stable across processes *)
+  peek : (key:string -> bool option) option;
+      (** non-executing verdict lookup (e.g. into a replay journal), used
+          to gate speculative launches: an assignment whose verdict is
+          already known is never executed speculatively, so speculation
+          adds no fresh executions to a replayed workload *)
 }
 
 val default_hooks : hooks
@@ -44,6 +49,8 @@ type outcome = {
 
 val reduce_input :
   ?hooks:hooks ->
+  ?pool:Lbr_runtime.Pool.t ->
+  ?speculate:bool ->
   (module Frontend.S with type ctx = 'c and type input = 'i) ->
   'i ->
   spec:string ->
@@ -53,10 +60,21 @@ val reduce_input :
     [Error] on malformed inputs, unsatisfiable-by-construction problems,
     or a failing full-input predicate; a mid-flight GBR failure (e.g. an
     inconsistent predicate) returns [Ok] with [ok = false] and the
-    original input, mirroring the harness. *)
+    original input, mirroring the harness.
+
+    [~pool] together with [~speculate:true] turns on speculative predicate
+    pipelining ({!Lbr.Speculate}): while each predicate verdict is pending,
+    the assignments GBR would demand next on either branch are computed on
+    the pool's idle workers, and the loser is cancelled when the verdict
+    lands.  Results, statistics, the simulated clock and the improvement
+    timeline are byte-identical to the sequential run; only wall-clock
+    changes.  Requires the predicate check to be pure (every built-in
+    frontend's is). *)
 
 val reduce_text :
   ?hooks:hooks ->
+  ?pool:Lbr_runtime.Pool.t ->
+  ?speculate:bool ->
   Frontend.packed ->
   text:string ->
   spec:string ->

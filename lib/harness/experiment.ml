@@ -40,9 +40,11 @@ type hooks = {
   on_improvement : (float -> int -> int -> unit) option;
   should_stop : (unit -> bool) option;
   evaluate : (key:string -> (unit -> bool) -> evaluation) option;
+  peek : (key:string -> bool option) option;
 }
 
-let default_hooks = { on_improvement = None; should_stop = None; evaluate = None }
+let default_hooks =
+  { on_improvement = None; should_stop = None; evaluate = None; peek = None }
 
 (* Sorted-list inclusion: is every baseline message present?  Shared with
    the frontend subsystem's JVM predicate bridge. *)
@@ -50,12 +52,24 @@ let includes_sorted = Lbr_frontend.Jvm.includes_sorted
 
 (* Shared instrumentation: a simulated clock, an improvement timeline, and a
    predicate body evaluating a candidate sub-pool. *)
+(* Everything the demand path charges and journals about one predicate
+   run, precomputed by a speculative worker: verdict, cost, and the sizes
+   the improvement timeline needs.  [cost]/[Size] are deterministic, so
+   the payload equals what the inline computation would have produced. *)
+type spec_payload = {
+  sp_ok : bool;
+  sp_cost : float;
+  sp_classes : int;
+  sp_bytes : int;
+}
+
 type driver = {
   clock : float ref;
   improvements : (float * int * int) list ref;
   best : (int * int) ref;
   replayed : int ref;
   check_pool : ?phi:Assignment.t -> Classpool.t -> bool;
+  check_payload : phi:Assignment.t -> spec_payload -> bool;
 }
 
 let make_driver (instance : Corpus.instance) ~cost ~hooks =
@@ -64,11 +78,13 @@ let make_driver (instance : Corpus.instance) ~cost ~hooks =
   let best = ref (max_int, max_int) in
   let improvements = ref [] in
   let replayed = ref 0 in
-  let check_pool ?phi sub =
+  (* All observable accounting for one predicate run, on the demand path —
+     identical whether the verdict/sizes were computed inline or arrive in
+     a speculative payload. *)
+  let account ?phi ~key_of ~charge ~eval ~size () =
     Lbr_logic.Perf.time "core.check-pool" @@ fun () ->
     (match hooks.should_stop with Some stop when stop () -> raise Cancelled | _ -> ());
-    clock := !clock +. cost sub;
-    let eval () = includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub) in
+    clock := !clock +. charge;
     let ok =
       match hooks.evaluate with
       | None -> eval ()
@@ -82,7 +98,7 @@ let make_driver (instance : Corpus.instance) ~cost ~hooks =
           let key =
             match phi with
             | Some phi -> Assignment.digest_hex phi
-            | None -> Digest.to_hex (Digest.string (Serialize.to_bytes sub))
+            | None -> key_of ()
           in
           match evaluate ~key eval with
           | Fresh ok -> ok
@@ -91,7 +107,7 @@ let make_driver (instance : Corpus.instance) ~cost ~hooks =
               ok)
     in
     if ok then begin
-      let c = Size.classes sub and b = Size.bytes sub in
+      let c, b = size () in
       let bc, bb = !best in
       if b < bb || (b = bb && c < bc) then begin
         best := (min bc c, min bb b);
@@ -101,7 +117,23 @@ let make_driver (instance : Corpus.instance) ~cost ~hooks =
     end;
     ok
   in
-  { clock; improvements; best; replayed; check_pool }
+  let check_pool ?phi sub =
+    account ?phi
+      ~key_of:(fun () -> Digest.to_hex (Digest.string (Serialize.to_bytes sub)))
+      ~charge:(cost sub)
+      ~eval:(fun () -> includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub))
+      ~size:(fun () -> (Size.classes sub, Size.bytes sub))
+      ()
+  in
+  let check_payload ~phi p =
+    account ~phi
+      ~key_of:(fun () -> assert false)
+      ~charge:p.sp_cost
+      ~eval:(fun () -> p.sp_ok)
+      ~size:(fun () -> (p.sp_classes, p.sp_bytes))
+      ()
+  in
+  { clock; improvements; best; replayed; check_pool; check_payload }
 
 let finish (instance : Corpus.instance) strategy driver ~runs ~ok ~final ~wall_time =
   let pool = instance.benchmark.pool in
@@ -246,20 +278,64 @@ let run_lossy instance ~pick ~strategy ~cost ~hooks =
   let final = sub_pool_of result in
   (finish instance strategy driver ~runs ~ok ~final ~wall_time, final)
 
-let run_gbr instance ~cost ~hooks =
+let run_gbr ?speculate instance ~cost ~hooks =
   let pool, vpool, jv, cnf = item_context instance in
   let driver = make_driver instance ~cost ~hooks in
   let sub_pool_of = Reducer.prepare jv pool in
+  let speculation =
+    match speculate with
+    | None -> None
+    | Some worker_pool ->
+        let tool = instance.Corpus.tool and baseline = instance.baseline_errors in
+        (* Workers each prepare their own applier ([Reducer.prepare]'s
+           result is domain-local state) via DLS; cost/Size/[Tool.errors]
+           on a fault-free tool are pure. *)
+        let applier = Domain.DLS.new_key (fun () -> Reducer.prepare jv pool) in
+        let compute phi =
+          let sub = (Domain.DLS.get applier) phi in
+          {
+            sp_ok = includes_sorted ~baseline (Lbr_decompiler.Tool.errors tool sub);
+            sp_cost = cost sub;
+            sp_classes = Size.classes sub;
+            sp_bytes = Size.bytes sub;
+          }
+        in
+        let should_launch =
+          (* Never launch what a replay journal already knows: speculation
+             must not add fresh executions to a replayed workload. *)
+          match hooks.peek with
+          | None -> None
+          | Some peek -> Some (fun phi -> peek ~key:(Assignment.digest_hex phi) = None)
+        in
+        Some
+          (Lbr.Speculate.create
+             ~spawn:(fun job ->
+               ignore (Lbr_runtime.Pool.submit worker_pool job : unit Lbr_runtime.Pool.future))
+             ?should_launch
+             ~max_inflight:(2 * Lbr_runtime.Pool.jobs worker_pool)
+             compute)
+  in
   let predicate =
-    Lbr.Predicate.make ~name:"gbr" (fun phi -> driver.check_pool ~phi (sub_pool_of phi))
+    Lbr.Predicate.make ~name:"gbr" (fun phi ->
+        match
+          match speculation with
+          | Some sp -> Lbr.Speculate.demand sp phi
+          | None -> None
+        with
+        | Some payload -> driver.check_payload ~phi payload
+        | None -> driver.check_pool ~phi (sub_pool_of phi))
   in
   let problem =
     Lbr.Problem.make ~pool:vpool ~universe:(Jvars.all jv) ~constraints:cnf ~predicate
   in
   let order = Lbr_sat.Order.by_creation vpool in
   let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      match speculation with Some sp -> Lbr.Speculate.drain sp | None -> ())
+  @@ fun () ->
   let result, runs, ok =
-    match Lbr.Gbr.reduce problem ~order with
+    match Lbr.Gbr.reduce ?speculate:speculation problem ~order with
     | Ok (result, stats) -> (result, stats.predicate_runs, true)
     | Error (`Unsat | `Predicate_inconsistent | `Invariant_violation _) ->
         (Jvars.all jv, Lbr.Predicate.runs predicate, false)
@@ -268,7 +344,8 @@ let run_gbr instance ~cost ~hooks =
   let final = sub_pool_of result in
   (finish instance Gbr driver ~runs ~ok ~final ~wall_time, final)
 
-let run_with ?(cost = default_cost) ?(hooks = default_hooks) strategy instance =
+let run_with ?(cost = default_cost) ?(hooks = default_hooks) ?speculate strategy
+    instance =
   Lbr_obs.Trace.with_span "harness.instance"
     ~args:(fun () ->
       [
@@ -281,7 +358,7 @@ let run_with ?(cost = default_cost) ?(hooks = default_hooks) strategy instance =
   | Lossy_first ->
       run_lossy instance ~pick:Lbr.Lossy.First_first ~strategy:Lossy_first ~cost ~hooks
   | Lossy_last -> run_lossy instance ~pick:Lbr.Lossy.Last_last ~strategy:Lossy_last ~cost ~hooks
-  | Gbr -> run_gbr instance ~cost ~hooks
+  | Gbr -> run_gbr ?speculate instance ~cost ~hooks
 
 let run ?(cost = default_cost) strategy instance = fst (run_with ~cost strategy instance)
 
@@ -290,9 +367,12 @@ let run ?(cost = default_cost) strategy instance = fst (run_with ~cost strategy 
    pool changes nothing but wall clock.  [jobs = 1] deliberately bypasses
    the pool: it is byte-for-byte the sequential path above. *)
 let run_corpus_full ?(cost = default_cost) ?(jobs = 1)
-    ?(hooks = fun (_ : Corpus.instance) -> default_hooks) strategy instance_list =
+    ?(hooks = fun (_ : Corpus.instance) -> default_hooks) ?speculate strategy
+    instance_list =
   if jobs < 1 then invalid_arg "Experiment.run_corpus: jobs must be >= 1";
-  let run_one instance = run_with ~cost ~hooks:(hooks instance) strategy instance in
+  let run_one instance =
+    run_with ~cost ~hooks:(hooks instance) ?speculate strategy instance
+  in
   if jobs = 1 then List.map run_one instance_list
   else
     Lbr_runtime.Pool.with_pool ~jobs (fun pool ->

@@ -61,6 +61,11 @@ type hooks = {
           charged when this is called, so replaying a memoized result keeps
           [sim_time] — and hence the whole outcome — identical to a cold
           run. *)
+  peek : (key:string -> bool option) option;
+      (** non-executing verdict lookup (e.g. into a replay journal), used
+          to gate speculative launches: an assignment whose verdict is
+          already known is never executed speculatively, so speculation
+          adds no fresh executions to a replayed workload *)
 }
 
 val default_hooks : hooks
@@ -71,12 +76,23 @@ val run : ?cost:(Classpool.t -> float) -> strategy -> Corpus.instance -> outcome
 val run_with :
   ?cost:(Classpool.t -> float) ->
   ?hooks:hooks ->
+  ?speculate:Lbr_runtime.Pool.t ->
   strategy ->
   Corpus.instance ->
   outcome * Classpool.t
 (** Like {!run} but also returns the final reduced pool (what the server
     serializes back to the client), and threads [hooks] through the
-    driver.  [run] is [fst ∘ run_with ~hooks:default_hooks]. *)
+    driver.  [run] is [fst ∘ run_with ~hooks:default_hooks].
+
+    [~speculate] (GBR only; the baselines ignore it) pipelines the
+    reduction loop over the given worker pool via {!Lbr.Speculate}: probes
+    and next-iteration builds for both branches of each pending verdict
+    run speculatively, with the losing branch cancelled when the verdict
+    lands.  Every outcome field except [wall_time] is byte-identical to
+    the sequential run.  Requires a deterministic [cost] function and a
+    fault-free tool (speculative workers execute the tool directly; with
+    {!Lbr_decompiler.Tool.Faults} injection the shared fault schedule's
+    draw order — hence byte-identity — is no longer guaranteed). *)
 
 val run_corpus :
   ?cost:(Classpool.t -> float) ->
@@ -96,10 +112,14 @@ val run_corpus_full :
   ?cost:(Classpool.t -> float) ->
   ?jobs:int ->
   ?hooks:(Corpus.instance -> hooks) ->
+  ?speculate:Lbr_runtime.Pool.t ->
   strategy ->
   Corpus.instance list ->
   (outcome * Classpool.t) list
 (** [run_corpus] that also returns each instance's final reduced pool and
     lets the caller attach per-instance hooks (the CLI uses [should_stop]
     for graceful SIGINT/SIGTERM drain).  A {!Cancelled} raised by any
-    instance propagates after in-flight instances finish. *)
+    instance propagates after in-flight instances finish.  [~speculate]
+    is threaded to {!run_with} per instance — pair it with [jobs = 1]
+    (intra-instance parallelism from the speculation pool replaces
+    cross-instance fan-out). *)

@@ -27,12 +27,19 @@ module AMap = Map.Make (struct
   let compare = Assignment.compare
 end)
 
+(* An input currently being executed by a leader: concurrent queries for
+   the same input wait on [done_cond] instead of launching a duplicate
+   black-box run.  [settled] flips exactly once, under the oracle mutex,
+   when the leader finishes (successfully or not). *)
+type inflight = { mutable settled : bool; done_cond : Condition.t }
+
 type t = {
   name : string;
   config : config;
   black_box : Assignment.t -> bool;
   mutex : Mutex.t;
   mutable memo : bool AMap.t;
+  mutable inflight : inflight AMap.t;
   mutable queries : int;
   mutable executions : int;
   mutable memo_hits : int;
@@ -49,6 +56,7 @@ let make ?(config = default_config) ?(name = "oracle") black_box =
     black_box;
     mutex = Mutex.create ();
     memo = AMap.empty;
+    inflight = AMap.empty;
     queries = 0;
     executions = 0;
     memo_hits = 0;
@@ -131,27 +139,55 @@ let attempt t input ~attempt_no =
       finish (Error (`Crash, "crash: " ^ Printexc.to_string e))
 
 let run t input =
-  let cached =
-    locked t (fun () ->
-        t.queries <- t.queries + 1;
-        match AMap.find_opt input t.memo with
-        | Some outcome ->
-            t.memo_hits <- t.memo_hits + 1;
-            Some outcome
-        | None -> None)
+  (* Memo lookup and in-flight arbitration under one lock: a second
+     concurrent query for an input already executing waits for the leader
+     to settle, then re-reads the memo — so N racing domains cost one
+     black-box execution, not N.  If the leader raised instead of
+     memoizing (Crash_raises), the longest waiter takes over as the new
+     leader. *)
+  let role =
+    Mutex.lock t.mutex;
+    t.queries <- t.queries + 1;
+    let rec decide () =
+      match AMap.find_opt input t.memo with
+      | Some outcome ->
+          t.memo_hits <- t.memo_hits + 1;
+          `Memo outcome
+      | None -> (
+          match AMap.find_opt input t.inflight with
+          | Some cell ->
+              while not cell.settled do
+                Condition.wait cell.done_cond t.mutex
+              done;
+              decide ()
+          | None ->
+              let cell = { settled = false; done_cond = Condition.create () } in
+              t.inflight <- AMap.add input cell t.inflight;
+              `Leader cell)
+    in
+    let role = decide () in
+    Mutex.unlock t.mutex;
+    role
   in
   Lbr_obs.Metrics.incr (Lazy.force m_queries);
-  (match cached with
-  | Some _ ->
+  (match role with
+  | `Memo _ ->
       Lbr_obs.Metrics.incr (Lazy.force m_memo_hits);
       Lbr_obs.Trace.instant "oracle.memo"
         ~args:(fun () -> [ ("oracle", Lbr_obs.Trace.Str t.name); ("hit", Lbr_obs.Trace.Bool true) ])
-  | None ->
+  | `Leader _ ->
       Lbr_obs.Trace.instant "oracle.memo"
         ~args:(fun () -> [ ("oracle", Lbr_obs.Trace.Str t.name); ("hit", Lbr_obs.Trace.Bool false) ]));
-  match cached with
-  | Some outcome -> outcome
-  | None ->
+  match role with
+  | `Memo outcome -> outcome
+  | `Leader cell ->
+      Fun.protect
+        ~finally:(fun () ->
+          locked t (fun () ->
+              cell.settled <- true;
+              Condition.broadcast cell.done_cond;
+              t.inflight <- AMap.remove input t.inflight))
+      @@ fun () ->
       let max_attempts = t.config.retries + 1 in
       let rec go k =
         match attempt t input ~attempt_no:k with

@@ -20,10 +20,15 @@
     injection raises instead of sleeping).
 
     Concurrency contract: {!run} may be called from any number of domains.
-    Counters are mutex-guarded and exact.  Two domains racing on the same
-    uncached input may both execute the black box (both executions are
-    counted); the memo keeps one of the — identical, the black box being
-    deterministic modulo faults — results. *)
+    Counters are mutex-guarded and exact.  Concurrent queries for the same
+    uncached input are deduplicated in flight: the first caller becomes the
+    leader and executes the black box (with retries); the others block until
+    the leader settles, then re-read the memo — each waiter still counts as
+    a query, and a waiter answered from the leader's memoized result counts
+    as a memo hit.  If the leader raised instead of memoizing
+    ([Crash_raises]), one waiter takes over as the new leader, so a
+    transiently-crashing input costs one full retry ladder per waking
+    caller, never duplicate concurrent executions. *)
 
 open Lbr_logic
 

@@ -339,7 +339,10 @@ module Engine = struct
     let n = max_var cnf universe + 1 in
     let words = (n + bits - 1) / bits in
     t.truth <- grab_int t.truth words;
-    Array.fill t.truth 0 words 0;
+    (* Invariant: truth words beyond the logical prefix stay zero.  [true_set]
+       reads the physical array, and a recycled shell from a larger reduction
+       would otherwise leak its stale bits into this one's assignments. *)
+    Array.fill t.truth 0 (Array.length t.truth) 0;
     t.in_universe <- grab_bool t.in_universe n;
     Array.fill t.in_universe 0 n false;
     Assignment.iter (fun v -> t.in_universe.(v) <- true) universe;
@@ -668,6 +671,82 @@ module Engine = struct
       reinit t;
       replay t
     end
+
+  (* An independent copy of a quiescent engine: every mutable array is
+     blitted at its logical length into a pooled (or fresh) shell, so the
+     branch and the original never alias state that either side resets or
+     grows in place.  Immutable structure is shared: the order, the narrow
+     records (their [saved_ops] are only ever replaced wholesale, via
+     [Array.copy], never mutated) and the tails of the learned-occurrence
+     lists ([add_clause] conses, [remove_learned] pops — cells themselves
+     are never rewritten).  [fire_buf] is per-drain scratch, so the fork
+     only needs capacity.  O(state size), no propagation. *)
+  let fork ?arena t =
+    assert (t.drained = t.trail_len && not t.conflicted);
+    Perf.time "sat.engine-fork" @@ fun () ->
+    let f =
+      match arena with
+      | Some a -> (
+          match a.pool with
+          | e :: rest ->
+              a.pool <- rest;
+              e
+          | [] -> fresh_shell t.order)
+      | None -> fresh_shell t.order
+    in
+    f.order <- t.order;
+    let n = t.nvars in
+    let words = (n + bits - 1) / bits in
+    let onc = t.original_nclauses in
+    let j = t.nclauses - onc in
+    let copy_int dst src len =
+      let dst = grab_int dst len in
+      Array.blit src 0 dst 0 len;
+      dst
+    in
+    let copy_bool dst src len =
+      let dst = grab_bool dst len in
+      Array.blit src 0 dst 0 len;
+      dst
+    in
+    f.truth <- copy_int f.truth t.truth words;
+    (* Same invariant as [create]: an oversized recycled shell keeps stale
+       truth bits past [words] that [true_set]'s physical read would see. *)
+    Array.fill f.truth words (Array.length f.truth - words) 0;
+    f.pos_in_trail <- copy_int f.pos_in_trail t.pos_in_trail n;
+    f.in_universe <- copy_bool f.in_universe t.in_universe n;
+    f.prem_off <- copy_int f.prem_off t.prem_off (onc + 1);
+    f.prem_data <- copy_int f.prem_data t.prem_data t.prem_off.(onc);
+    f.head_off <- copy_int f.head_off t.head_off (onc + 1);
+    f.head_data <- copy_int f.head_data t.head_data t.head_off.(onc);
+    f.occh_off <- copy_int f.occh_off t.occh_off (n + 1);
+    f.occh_data <- copy_int f.occh_data t.occh_data t.occh_off.(n);
+    f.lhead_off <- copy_int f.lhead_off t.lhead_off (j + 1);
+    f.lhead_data <- copy_int f.lhead_data t.lhead_data t.lhead_off.(j);
+    f.satisfied <- copy_bool f.satisfied t.satisfied t.nclauses;
+    (let eoh =
+       if Array.length f.extra_occurs_head < n then Array.make n []
+       else f.extra_occurs_head
+     in
+     Array.blit t.extra_occurs_head 0 eoh 0 n;
+     f.extra_occurs_head <- eoh);
+    f.watch_head <- copy_int f.watch_head t.watch_head n;
+    f.watch_next <- copy_int f.watch_next t.watch_next onc;
+    f.watch_slot <- copy_int f.watch_slot t.watch_slot onc;
+    f.fire_buf <- grab_int f.fire_buf onc;
+    f.trail <- copy_int f.trail t.trail n;
+    f.ops <- copy_int f.ops t.ops t.op_len;
+    f.nvars <- n;
+    f.original_nclauses <- onc;
+    f.nclauses <- t.nclauses;
+    f.trail_len <- t.trail_len;
+    f.drained <- t.drained;
+    f.conflicted <- false;
+    f.narrows <- t.narrows;
+    f.narrow_count <- t.narrow_count;
+    f.op_len <- t.op_len;
+    f.watch_visits <- 0;
+    f
 end
 
 module Arena = struct

@@ -110,6 +110,15 @@ module Engine : sig
       automatically by the structural operations and by {!Arena.release};
       call it after a burst of {!assume}s when exact counter attribution
       matters. *)
+
+  val fork : ?arena:arena -> t -> t
+  (** An independent copy of a quiescent, conflict-free engine, suitable
+      for exploring a speculative branch: mutating either copy (assume,
+      add_clause, narrow, rollback) never affects the other, and identical
+      operation sequences on the two produce identical results.  Storage
+      comes from the arena when given (release the fork back when the
+      branch is abandoned or adopted over).  Cost is proportional to the
+      engine's state size — no propagation is redone. *)
 end
 
 module Arena : sig

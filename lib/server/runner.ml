@@ -65,6 +65,7 @@ let reduce_frontend (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
               Lbr_frontend.Run.on_improvement = Some ctx.progress;
               should_stop = Some ctx.should_stop;
               evaluate = Some evaluate;
+              peek = Some (fun ~key -> Hashtbl.find_opt ctx.replay key);
             }
           in
           match
@@ -144,6 +145,7 @@ let reduce_jvm (ctx : Scheduler.runner_ctx) (spec : Wire.spec) =
                   Experiment.on_improvement = Some ctx.progress;
                   should_stop = Some ctx.should_stop;
                   evaluate = Some evaluate;
+                  peek = Some (fun ~key -> Hashtbl.find_opt ctx.replay key);
                 }
               in
               let outcome, final = Experiment.run_with ~hooks spec.strategy instance in

@@ -24,7 +24,8 @@ cd "$(dirname "$0")/.."
 baseline=scripts/bench_baseline_p5.txt
 alloc_baseline=scripts/bench_alloc_baseline_p5.txt
 json=$(mktemp)
-trap 'rm -f "$json"' EXIT
+spec_json=$(mktemp)
+trap 'rm -f "$json" "$spec_json"' EXIT
 
 dune exec bench/main.exe -- --programs 5 --skip-micro --json "$json" >/dev/null
 
@@ -36,7 +37,7 @@ dune exec bench/main.exe -- --programs 5 --skip-micro --json "$json" >/dev/null
 extract() {
   grep '"geo_sim_time_seconds"' "$1" |
     grep -v '"kind"' |
-    sed -E 's/"wall_seconds": [^,]+, //; s/"speedup": [^,]+, //'
+    sed -E 's/"wall_seconds": [^,]+, //; s/"speedup": [^,]+, //; s/"intra_speedup": [^,]+, //'
 }
 
 # Phase counter rows ("counters" array): name, calls, minor_words.  The
@@ -97,6 +98,26 @@ if [ -f "$alloc_baseline" ]; then
   fi
 else
   echo "bench_guard: NOTE — no allocation baseline ($alloc_baseline); run --update to create it"
+fi
+
+# Speculative pipelining gate: the same corpus at --jobs 2 runs GBR's
+# speculative sweep (bench itself aborts on any byte divergence from the
+# sequential sweep); on top of that, geo_predicate_runs must stay within
+# a 1% band of the committed sequential baseline — speculation may waste
+# idle-core work, but must never inflate the *charged*,
+# sequential-equivalent predicate runs.
+dune exec bench/main.exe -- --programs 5 --skip-micro --jobs 2 --json "$spec_json" >/dev/null
+runs_of_gbr() {
+  grep '"name": "gbr"' "$1" | sed -E 's/.*"geo_predicate_runs": ([0-9.eE+-]+).*/\1/'
+}
+spec_runs=$(runs_of_gbr "$spec_json")
+base_runs=$(runs_of_gbr "$baseline")
+if awk -v a="$spec_runs" -v b="$base_runs" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(b > 0 && d / b <= 0.01) }'; then
+  echo "bench_guard: OK — speculative (jobs=2) geo_predicate_runs $spec_runs within 1% of baseline $base_runs"
+else
+  echo "bench_guard: FAIL — speculative (jobs=2) geo_predicate_runs $spec_runs drifted >1% from baseline $base_runs" >&2
+  fail=1
 fi
 
 if [ "$fail" -ne 0 ]; then

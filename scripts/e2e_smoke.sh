@@ -93,6 +93,21 @@ cmp "$WORK/figure1.oneshot.fj" "$WORK/figure1.daemon.fj"
 grep -q 'class A' "$WORK/figure1.daemon.fj" || { echo "reduced FJ lost the required marker"; exit 1; }
 echo "OK: FJ daemon reduction is byte-identical to the one-shot run, smaller, marker kept"
 
+# ---------------------------------------------------------------------
+# Speculative predicate pipelining: the same one-shot reductions with
+# --speculate --jobs 2 must be byte-identical to their sequential runs,
+# on every frontend (jvm, dimacs, fj).
+
+"$BIN" reduce --seed 1 --classes 30 --speculate --jobs 2 \
+  --output-pool "$WORK/inproc.spec.lbrc" > /dev/null 2>&1
+cmp "$WORK/inproc.spec.lbrc" "$WORK/inproc.lbrc"
+"$BIN" reduce "$CNF_IN" --speculate --jobs 2 --output "$WORK/php.spec.cnf" > /dev/null
+cmp "$WORK/php.spec.cnf" "$WORK/php.oneshot.cnf"
+"$BIN" reduce "$FJ_IN" --require "class A" --speculate --jobs 2 \
+  --output "$WORK/figure1.spec.fj" > /dev/null
+cmp "$WORK/figure1.spec.fj" "$WORK/figure1.oneshot.fj"
+echo "OK: --speculate --jobs 2 is byte-identical to sequential on jvm, dimacs and fj"
+
 # Keep the reduced frontend outputs (e.g. as CI artifacts) when asked to.
 if [ -n "${FRONTEND_OUT:-}" ]; then
   mkdir -p "$FRONTEND_OUT"

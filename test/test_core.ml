@@ -309,6 +309,216 @@ let test_gbr_iteration_bound () =
   | Error _, _ -> Alcotest.fail "GBR failed"
 
 (* ------------------------------------------------------------------ *)
+(* Speculation table: lifecycle, width budget, gating, poisoning — all
+   with a hand-driven spawn so state transitions are deterministic.     *)
+
+let phi_of l = Assignment.of_list l
+
+let test_speculate_lifecycle () =
+  let pending = Queue.create () in
+  let computed = ref 0 in
+  let sp =
+    Lbr.Speculate.create
+      ~spawn:(fun job -> Queue.add job pending)
+      (fun phi ->
+        incr computed;
+        Assignment.cardinal phi)
+  in
+  let a = phi_of [ 0; 1 ] and b = phi_of [ 2 ] and c = phi_of [ 3; 4; 5 ] in
+  Lbr.Speculate.prefetch sp a;
+  Lbr.Speculate.prefetch sp a (* same digest: deduplicated *);
+  Lbr.Speculate.prefetch sp b;
+  Lbr.Speculate.prefetch sp c;
+  Alcotest.(check int) "three launches" 3 (Lbr.Speculate.stats sp).launched;
+  Lbr.Speculate.cancel sp b;
+  Queue.iter (fun job -> job ()) pending;
+  Queue.clear pending;
+  Alcotest.(check int) "cancelled cell never computed" 2 !computed;
+  Alcotest.(check (option int)) "a demanded" (Some 2) (Lbr.Speculate.demand sp a);
+  Alcotest.(check (option int)) "b was cancelled" None (Lbr.Speculate.demand sp b);
+  Alcotest.(check (option int))
+    "never prefetched" None
+    (Lbr.Speculate.demand sp (phi_of [ 9 ]));
+  Lbr.Speculate.drain sp;
+  let s = Lbr.Speculate.stats sp in
+  Alcotest.(check int) "committed" 1 s.committed;
+  Alcotest.(check int) "cancelled" 1 s.cancelled;
+  Alcotest.(check int) "c wasted (computed, never demanded)" 1 s.wasted;
+  Alcotest.(check int) "no failures" 0 s.failed
+
+let test_speculate_width_budget () =
+  let pending = Queue.create () in
+  let sp =
+    Lbr.Speculate.create
+      ~spawn:(fun job -> Queue.add job pending)
+      ~max_inflight:2
+      (fun phi -> Assignment.cardinal phi)
+  in
+  List.iter (fun i -> Lbr.Speculate.prefetch sp (phi_of [ i ])) [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "width-capped" 2 (Lbr.Speculate.stats sp).launched;
+  (* Demand on an unstarted cell reclaims it — the caller's inline
+     computation becomes the only one, and the worker that later picks
+     the job up walks away. *)
+  Alcotest.(check (option int))
+    "unstarted cell reclaimed" None
+    (Lbr.Speculate.demand sp (phi_of [ 0 ]));
+  Queue.iter (fun job -> job ()) pending;
+  Lbr.Speculate.drain sp;
+  Alcotest.(check int) "reclaim counted as a cancel" 1 (Lbr.Speculate.stats sp).cancelled
+
+let test_speculate_gate_and_poison () =
+  let sp =
+    Lbr.Speculate.create
+      ~spawn:(fun job -> job ())
+      ~should_launch:(fun phi -> not (Assignment.mem 7 phi))
+      (fun phi -> if Assignment.mem 3 phi then failwith "boom" else Assignment.cardinal phi)
+  in
+  Lbr.Speculate.prefetch sp (phi_of [ 7 ]);
+  Alcotest.(check int) "gated launch dropped" 0 (Lbr.Speculate.stats sp).launched;
+  Lbr.Speculate.prefetch sp (phi_of [ 3 ]);
+  Alcotest.(check (option int))
+    "poisoned worker reads as a miss" None
+    (Lbr.Speculate.demand sp (phi_of [ 3 ]));
+  Lbr.Speculate.drain sp;
+  Alcotest.(check int) "failure counted" 1 (Lbr.Speculate.stats sp).failed
+
+(* ------------------------------------------------------------------ *)
+(* Speculative GBR must be byte-identical to sequential GBR: same
+   result, same predicate work, same learned sets, same progression
+   shapes — with verdicts actually computed on pool workers.           *)
+
+let run_gbr_speculative cnf target n ~jobs =
+  Lbr_runtime.Pool.with_pool ~jobs @@ fun pool ->
+  let vpool = Var.Pool.create () in
+  for i = 0 to n - 1 do
+    ignore (Var.Pool.fresh vpool (Printf.sprintf "v%d" i))
+  done;
+  let check phi = Assignment.subset target phi in
+  let sp =
+    Lbr.Speculate.create
+      ~spawn:(fun job ->
+        ignore (Lbr_runtime.Pool.submit pool job : unit Lbr_runtime.Pool.future))
+      ~max_inflight:(2 * jobs)
+      check
+  in
+  let predicate =
+    Lbr.Predicate.make (fun phi ->
+        match Lbr.Speculate.demand sp phi with Some ok -> ok | None -> check phi)
+  in
+  let problem =
+    Lbr.Problem.make ~pool:vpool ~universe:(universe_n n) ~constraints:cnf ~predicate
+  in
+  Fun.protect ~finally:(fun () -> Lbr.Speculate.drain sp) @@ fun () ->
+  Lbr.Gbr.reduce ~speculate:sp problem ~order:(order_n n)
+
+let prop_gbr_speculative_equals_sequential =
+  QCheck.Test.make ~count:60
+    ~name:"GBR speculative = sequential (result, work, learned, progressions)"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (implication_cnf_gen 7)
+           (list_size (int_bound 3) (int_bound 6))
+           (oneofl [ 2; 4 ])))
+    (fun (cnf, target_seed, jobs) ->
+      let universe = universe_n 7 in
+      match
+        Msa.compute cnf ~order:(order_n 7) ~universe
+          ~required:(Assignment.of_list target_seed) ()
+      with
+      | None -> true
+      | Some target -> (
+          match
+            (run_gbr_speculative cnf target 7 ~jobs, run_gbr cnf target 7 |> fst)
+          with
+          | Ok (m1, s1), Ok (m2, s2) -> Assignment.equal m1 m2 && stats_equal s1 s2
+          | Error e1, Error e2 -> e1 = e2
+          | Ok _, Error _ | Error _, Ok _ -> false))
+
+(* The same equivalence on the pinned seeded workload, with the real
+   decompiler-simulator predicate — once with healthy workers, once with
+   fault-injected workers (a poisoned cell must degrade to the inline
+   verdict, never to a different answer). *)
+let test_gbr_speculative_on_workload () =
+  let benchmarks = Lbr_harness.Corpus.build ~seed:11 ~programs:2 ~mean_classes:25 in
+  let instances = Lbr_harness.Corpus.instances benchmarks in
+  Alcotest.(check bool) "workload produced instances" true (instances <> []);
+  Lbr_runtime.Pool.with_pool ~jobs:2 @@ fun pool ->
+  List.iter
+    (fun (instance : Lbr_harness.Corpus.instance) ->
+      let jpool = instance.benchmark.pool in
+      let run ~mode =
+        let vpool = Var.Pool.create () in
+        let jv = Lbr_jvm.Jvars.derive vpool jpool in
+        let cnf = Lbr_jvm.Constraints.generate jv jpool in
+        let check tool sub_pool_of phi =
+          let errors = Lbr_decompiler.Tool.errors tool (sub_pool_of phi) in
+          List.for_all (fun b -> List.mem b errors) instance.baseline_errors
+        in
+        let speculation =
+          match mode with
+          | `Sequential -> None
+          | `Speculative | `Faulty_workers ->
+              let worker_tool =
+                match mode with
+                | `Faulty_workers ->
+                    Lbr_decompiler.Tool.with_faults
+                      (Lbr_decompiler.Tool.Faults.make ~flaky_rate:0.4 ~seed:42 ())
+                      instance.tool
+                | _ -> instance.tool
+              in
+              (* Workers need their own prepared applier: [Reducer.prepare]
+                 returns domain-local mutable state. *)
+              let applier =
+                Domain.DLS.new_key (fun () -> Lbr_jvm.Reducer.prepare jv jpool)
+              in
+              Some
+                (Lbr.Speculate.create
+                   ~spawn:(fun job ->
+                     ignore
+                       (Lbr_runtime.Pool.submit pool job : unit Lbr_runtime.Pool.future))
+                   (fun phi -> check worker_tool (Domain.DLS.get applier) phi))
+        in
+        let inline_applier = Lbr_jvm.Reducer.prepare jv jpool in
+        let predicate =
+          Lbr.Predicate.make ~name:"gbr" (fun phi ->
+              match Option.bind speculation (fun sp -> Lbr.Speculate.demand sp phi) with
+              | Some ok -> ok
+              | None -> check instance.tool inline_applier phi)
+        in
+        let problem =
+          Lbr.Problem.make ~pool:vpool ~universe:(Lbr_jvm.Jvars.all jv) ~constraints:cnf
+            ~predicate
+        in
+        Fun.protect ~finally:(fun () -> Option.iter Lbr.Speculate.drain speculation)
+        @@ fun () ->
+        match
+          Lbr.Gbr.reduce ?speculate:speculation problem ~order:(Order.by_creation vpool)
+        with
+        | Ok (result, stats) -> (result, stats)
+        | Error _ -> Alcotest.failf "%s: GBR failed" instance.instance_id
+      in
+      let id = instance.instance_id in
+      let r_seq, s_seq = run ~mode:`Sequential in
+      List.iter
+        (fun (tag, mode) ->
+          let r, s = run ~mode in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s same result" id tag)
+            true (Assignment.equal r r_seq);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s same predicate runs" id tag)
+            s_seq.predicate_runs s.predicate_runs;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s same learned sets" id tag)
+            true
+            (List.equal Assignment.equal s.learned s_seq.learned);
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: %s same progression lengths" id tag)
+            s_seq.progression_lengths s.progression_lengths)
+        [ ("speculative", `Speculative); ("faulty workers", `Faulty_workers) ])
+    instances
+
+(* ------------------------------------------------------------------ *)
 (* Lossy encodings                                                     *)
 
 let prop_lossy_sound =
@@ -380,6 +590,7 @@ let () =
           prop_gbr_general_constraints;
           prop_gbr_invariants_hold;
           prop_gbr_incremental_equals_rebuild;
+          prop_gbr_speculative_equals_sequential;
         ];
       ( "gbr",
         [
@@ -387,6 +598,14 @@ let () =
           Alcotest.test_case "iteration bound" `Quick test_gbr_iteration_bound;
           Alcotest.test_case "incremental = rebuild on seeded workload" `Quick
             test_gbr_incremental_on_workload;
+          Alcotest.test_case "speculative = sequential on seeded workload" `Quick
+            test_gbr_speculative_on_workload;
+        ] );
+      ( "speculate",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_speculate_lifecycle;
+          Alcotest.test_case "width budget and reclaim" `Quick test_speculate_width_budget;
+          Alcotest.test_case "gating and poisoning" `Quick test_speculate_gate_and_poison;
         ] );
       qsuite "lossy-prop" [ prop_lossy_sound ];
       ( "lossy",

@@ -369,6 +369,95 @@ let test_jvm_predicate_bridge () =
   Alcotest.(check bool) "default spec reproduces on full pool" true (default_check pool)
 
 (* ------------------------------------------------------------------ *)
+(* Speculative reduction: --speculate must be byte-identical to the
+   sequential run on every frontend, and must never launch a worker for
+   a verdict the replay journal already holds.                          *)
+
+let test_speculate_byte_identical () =
+  let jpool, tool, _ = pinned_instance () in
+  let cases =
+    [
+      ("dimacs", php_text, "");
+      ("fj", fj_text, "class A");
+      ("jvm", Lbr_jvm.Serialize.to_bytes jpool, tool.Lbr_decompiler.Tool.name);
+    ]
+  in
+  List.iter
+    (fun (fe, text, spec) ->
+      let packed = ok_exn "find" (Registry.find fe) in
+      let seq_o, seq_printed = ok_exn "sequential" (Run.reduce_text packed ~text ~spec) in
+      List.iter
+        (fun jobs ->
+          Lbr_runtime.Pool.with_pool ~jobs @@ fun pool ->
+          let o, printed =
+            ok_exn "speculative" (Run.reduce_text ~pool ~speculate:true packed ~text ~spec)
+          in
+          let ctx f = Printf.sprintf "%s jobs=%d: %s" fe jobs f in
+          Alcotest.(check string) (ctx "byte-identical output") seq_printed printed;
+          Alcotest.(check int)
+            (ctx "same predicate runs")
+            seq_o.Run.predicate_runs o.Run.predicate_runs;
+          Alcotest.(check (float 1e-9)) (ctx "same sim time") seq_o.Run.sim_time o.Run.sim_time;
+          Alcotest.(check int)
+            (ctx "same timeline length")
+            (List.length seq_o.Run.timeline)
+            (List.length o.Run.timeline))
+        [ 2; 4 ])
+    cases
+
+let spec_launched () =
+  match
+    List.find_opt (fun (r : Perf.row) -> r.name = "spec.launched") (Perf.aggregate ())
+  with
+  | Some r -> r.calls
+  | None -> 0
+
+let test_speculate_replay_launches_nothing () =
+  let packed = ok_exn "find" (Registry.find "dimacs") in
+  let journal : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let record_hooks =
+    {
+      Run.default_hooks with
+      evaluate =
+        Some
+          (fun ~key thunk ->
+            let ok = thunk () in
+            Hashtbl.replace journal key ok;
+            Run.Fresh ok);
+    }
+  in
+  let _, seq_printed =
+    ok_exn "recording run" (Run.reduce_text ~hooks:record_hooks packed ~text:php_text ~spec:"")
+  in
+  let fresh = ref 0 in
+  let replay_hooks =
+    {
+      Run.default_hooks with
+      evaluate =
+        Some
+          (fun ~key thunk ->
+            match Hashtbl.find_opt journal key with
+            | Some ok -> Run.Replayed ok
+            | None ->
+                incr fresh;
+                Run.Fresh (thunk ()));
+      peek = Some (fun ~key -> Hashtbl.find_opt journal key);
+    }
+  in
+  let before = spec_launched () in
+  ( Lbr_runtime.Pool.with_pool ~jobs:2 @@ fun pool ->
+    let o, printed =
+      ok_exn "replayed run"
+        (Run.reduce_text ~hooks:replay_hooks ~pool ~speculate:true packed ~text:php_text
+           ~spec:"")
+    in
+    Alcotest.(check string) "byte-identical output" seq_printed printed;
+    Alcotest.(check int) "no fresh executions on replay" 0 !fresh;
+    Alcotest.(check bool) "runs were replayed" true (o.Run.replayed_runs > 0) );
+  Alcotest.(check int) "no speculative launches on a replayed workload" before
+    (spec_launched ())
+
+(* ------------------------------------------------------------------ *)
 (* Wire v4: the frontend tag                                           *)
 
 let wire_spec frontend =
@@ -458,6 +547,13 @@ let () =
             test_jvm_constraints_equivalent;
           Alcotest.test_case "full GBR byte-identical" `Quick test_jvm_gbr_byte_identical;
           Alcotest.test_case "predicate bridge" `Quick test_jvm_predicate_bridge;
+        ] );
+      ( "speculate",
+        [
+          Alcotest.test_case "byte-identical on every frontend" `Quick
+            test_speculate_byte_identical;
+          Alcotest.test_case "replayed workload launches nothing" `Quick
+            test_speculate_replay_launches_nothing;
         ] );
       ( "wire-v4",
         [

@@ -192,6 +192,77 @@ let test_oracle_of_predicate_layers () =
     (Oracle.run oracle (assignment_of_int 3));
   Alcotest.(check int) "predicate saw one execution" 1 (Lbr.Predicate.runs predicate)
 
+(* In-flight dedup: concurrent queries for one uncached input must cost a
+   single black-box execution.  The leader's black box blocks until the
+   test releases it, so the other queries demonstrably arrive while it is
+   still running; the counters are the same even if a straggler arrives
+   after the leader settled (it then scores a plain memo hit), so the
+   assertions are scheduling-independent. *)
+let test_oracle_inflight_dedup () =
+  let executing = Atomic.make false and release = Atomic.make false in
+  let oracle =
+    Oracle.make ~name:"dedup" (fun _ ->
+        Atomic.set executing true;
+        while not (Atomic.get release) do
+          Unix.sleepf 0.001
+        done;
+        true)
+  in
+  let input = Assignment.of_list [ 1; 2; 3 ] in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let futures =
+        List.init 4 (fun _ -> Pool.submit pool (fun () -> Oracle.run oracle input))
+      in
+      while not (Atomic.get executing) do
+        Unix.sleepf 0.001
+      done;
+      (* let the other three queries pile up behind the leader *)
+      Unix.sleepf 0.02;
+      Atomic.set release true;
+      List.iter (fun f -> Alcotest.(check bool) "verdict" true (Pool.await f)) futures);
+  Alcotest.(check int) "one black-box execution" 1 (Oracle.executions oracle);
+  Alcotest.(check int) "four queries" 4 (Oracle.queries oracle);
+  Alcotest.(check int) "three memo hits" 3 (Oracle.memo_hits oracle)
+
+(* A leader that raises (Crash_raises memoizes nothing) must not strand
+   its waiters: one of them takes over as the new leader and executes. *)
+let test_oracle_inflight_leader_crash_takeover () =
+  let calls = Atomic.make 0 in
+  let executing = Atomic.make false and release = Atomic.make false in
+  let oracle =
+    Oracle.make ~name:"takeover" (fun _ ->
+        if Atomic.fetch_and_add calls 1 = 0 then begin
+          Atomic.set executing true;
+          while not (Atomic.get release) do
+            Unix.sleepf 0.001
+          done;
+          raise (Lbr_decompiler.Tool.Tool_crash "leader dies")
+        end
+        else true)
+  in
+  let input = assignment_of_int 7 in
+  let outcomes =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        let futures =
+          List.init 2 (fun _ ->
+              Pool.submit pool (fun () ->
+                  match Oracle.run oracle input with
+                  | b -> `Ok b
+                  | exception Oracle.Crashed _ -> `Crashed))
+        in
+        while not (Atomic.get executing) do
+          Unix.sleepf 0.001
+        done;
+        Unix.sleepf 0.02;
+        Atomic.set release true;
+        List.map Pool.await futures)
+  in
+  Alcotest.(check int) "two executions (the takeover reruns)" 2 (Oracle.executions oracle);
+  Alcotest.(check int) "one crash" 1 (Oracle.crashes oracle);
+  Alcotest.(check bool) "one caller saw the crash" true (List.mem `Crashed outcomes);
+  Alcotest.(check bool) "one caller got the verdict" true (List.mem (`Ok true) outcomes);
+  Alcotest.(check bool) "takeover memoized the verdict" true (Oracle.run oracle input)
+
 (* ------------------------------------------------------------------ *)
 (* Fault injection through the simulated decompiler                   *)
 
@@ -365,6 +436,9 @@ let () =
             test_oracle_transient_exhaustion_classified;
           Alcotest.test_case "advisory timeout" `Quick test_oracle_advisory_timeout;
           Alcotest.test_case "layers over Predicate" `Quick test_oracle_of_predicate_layers;
+          Alcotest.test_case "in-flight dedup" `Quick test_oracle_inflight_dedup;
+          Alcotest.test_case "leader crash takeover" `Quick
+            test_oracle_inflight_leader_crash_takeover;
         ] );
       ( "faults",
         [

@@ -360,6 +360,43 @@ let prop_add_narrow_equals_rebuild =
           | Some e, Some f -> behaves_like e f probes6
           | None, Some _ | Some _, None -> false))
 
+(* Fork must produce a fully independent twin of a quiescent engine: one
+   fork behaves exactly like the original on every subsequent probe, and
+   driving a second fork through assumes and a narrow never moves the
+   original.  Arena-backed forks must behave the same after a
+   release/refork cycle (the arena resets recycled shells in place). *)
+let prop_fork_independent =
+  QCheck.Test.make ~count:300 ~name:"fork = independent twin"
+    (QCheck.make
+       QCheck.Gen.(
+         quad (implication_cnf_gen 6)
+           (list_size (int_bound 3) (int_bound 5))
+           (list_size (int_range 1 3) (int_bound 5))
+           (list_size (int_bound 4) (int_bound 5))))
+    (fun (cnf, pre, pos, post) ->
+      match Msa.Engine.create cnf ~order:order6 ~universe:universe6 with
+      | Error `Conflict -> true
+      | Ok e -> (
+          match Msa.Engine.assume_all e pre with
+          | Error `Conflict -> true
+          | Ok () -> (
+              match Msa.Engine.add_clause e ~pos:(List.sort_uniq compare pos) with
+              | Error `Conflict -> true
+              | Ok () ->
+                  let before = Msa.Engine.true_set e in
+                  let arena = Msa.Arena.create () in
+                  let scratch = Msa.Engine.fork ~arena e in
+                  (match Msa.Engine.assume_all scratch post with
+                  | Ok () -> (
+                      match Msa.Engine.narrow scratch ~keep:(Assignment.of_list post) with
+                      | Ok () | Error `Conflict -> ())
+                  | Error `Conflict -> ());
+                  Msa.Arena.release arena scratch;
+                  (* A recycled shell must fork just as cleanly as a fresh one. *)
+                  let twin = Msa.Engine.fork ~arena e in
+                  Assignment.equal (Msa.Engine.true_set e) before
+                  && behaves_like e twin probes6)))
+
 (* ------------------------------------------------------------------ *)
 (* Watched-premise propagation vs the counter-based scan scheme it
    replaced.  [Scan] is a direct reimplementation of the pre-watched
@@ -597,6 +634,7 @@ let () =
           prop_add_clause_rollback;
           prop_narrow_rollback;
           prop_add_narrow_equals_rebuild;
+          prop_fork_independent;
           prop_watched_equals_scan_implications;
           prop_watched_equals_scan_general;
           prop_watched_equals_scan_narrowed_universe;
