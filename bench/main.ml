@@ -790,24 +790,39 @@ let write_json path options strategies frontend_rows micro_rows counter_rows met
   (* The Lbr_obs metric registry (oracle/scheduler/span aggregates).  Every
      row carries a "kind" field so the CI determinism diff can strip them
      wholesale — counts vary with timing and parallel interleaving. *)
+  let p_metric_rows rows =
+    List.iteri
+      (fun i (r : Lbr_obs.Metrics.row) ->
+        let sep = if i > 0 then "," else "" in
+        match r with
+        | Lbr_obs.Metrics.Counter_row { name; value } ->
+            p "%s\n    { \"kind\": \"counter\", \"name\": \"%s\", \"value\": %d }" sep
+              (json_escape name) value
+        | Lbr_obs.Metrics.Gauge_row { name; value } ->
+            p "%s\n    { \"kind\": \"gauge\", \"name\": \"%s\", \"value\": %s }" sep
+              (json_escape name) (json_num value)
+        | Lbr_obs.Metrics.Histogram_row { name; count; sum; p50; p90; p99 } ->
+            p
+              "%s\n    { \"kind\": \"histogram\", \"name\": \"%s\", \"count\": %d, \"sum\": \
+               %s, \"p50\": %s, \"p90\": %s, \"p99\": %s }"
+              sep (json_escape name) count (json_num sum) (json_num p50) (json_num p90)
+              (json_num p99))
+      rows
+  in
   p "  \"metrics\": [";
-  List.iteri
-    (fun i (r : Lbr_obs.Metrics.row) ->
-      let sep = if i > 0 then "," else "" in
-      match r with
-      | Lbr_obs.Metrics.Counter_row { name; value } ->
-          p "%s\n    { \"kind\": \"counter\", \"name\": \"%s\", \"value\": %d }" sep
-            (json_escape name) value
-      | Lbr_obs.Metrics.Gauge_row { name; value } ->
-          p "%s\n    { \"kind\": \"gauge\", \"name\": \"%s\", \"value\": %s }" sep
-            (json_escape name) (json_num value)
-      | Lbr_obs.Metrics.Histogram_row { name; count; sum; p50; p90; p99 } ->
-          p
-            "%s\n    { \"kind\": \"histogram\", \"name\": \"%s\", \"count\": %d, \"sum\": \
-             %s, \"p50\": %s, \"p90\": %s, \"p99\": %s }"
-            sep (json_escape name) count (json_num sum) (json_num p50) (json_num p90)
-            (json_num p99))
-    metric_rows;
+  p_metric_rows metric_rows;
+  p "\n  ],\n";
+  (* Metrics federation round-trip: the same registry as a cluster
+     coordinator would see it — snapshotted with Metrics.dump, pushed
+     through the wire codec, and exact-merged with itself.  Counters and
+     histogram counts come out at exactly 2x the "metrics" section (the
+     merge-is-exact-sum invariant, visible in the artifact); rows are
+     "kind"-tagged like "metrics" so determinism diffs strip them. *)
+  p "  \"federated\": [";
+  (let d = Lbr_obs.Metrics.dump () in
+   match Lbr_obs.Metrics.decode_dump (Lbr_obs.Metrics.encode_dump d) with
+   | Ok d' -> p_metric_rows (Lbr_obs.Metrics.rows_of_dump (Lbr_obs.Metrics.merge_dumps [ d; d' ]))
+   | Error m -> failwith ("bench: metrics dump codec round-trip failed: " ^ m));
   p "\n  ],\n";
   (* Phase counters for the strategy-table runs (micro and corpus
      generation excluded — see the capture site in the main driver). *)

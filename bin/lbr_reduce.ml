@@ -220,6 +220,16 @@ let write_trace = function
         | n -> Printf.sprintf ", %d dropped" n)
         file
 
+let prometheus_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "prometheus-listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve the metric registry as a Prometheus text endpoint on 127.0.0.1:PORT (0 lets \
+           the kernel pick; the chosen port is printed).  On a coordinator the payload is the \
+           federated view: local registry, per-worker dumps and the merged cluster totals.")
+
 let output_arg =
   Arg.(
     value
@@ -581,8 +591,13 @@ let serve_cmd =
                 evaluations are logged there, and a restarted daemon resumes unfinished jobs, \
                 replaying paid-for predicate results.")
   in
-  let run socket jobs queue_depth journal_dir trace =
+  let run socket jobs queue_depth journal_dir trace prometheus =
     if trace <> None then Lbr_obs.Trace.start ();
+    (* The flight recorder needs somewhere durable to drop its dump; the
+       journal directory is exactly that.  No journal, no recorder. *)
+    (match journal_dir with
+    | Some dir -> Lbr_obs.Flight.arm ~node:"serve" ~dir ()
+    | None -> ());
     let shutdown = Lbr_server.Shutdown.install () in
     let server =
       try
@@ -591,6 +606,22 @@ let serve_cmd =
       with Failure m | Sys_error m ->
         prerr_endline ("lbr-serve: " ^ m);
         exit 1
+    in
+    let exporter =
+      match prometheus with
+      | None -> None
+      | Some port -> (
+          match Lbr_obs.Exporter.start ~port Lbr_obs.Metrics.render_prometheus with
+          | e ->
+              Printf.printf "lbr-serve: metrics on http://127.0.0.1:%d/metrics\n%!"
+                (Lbr_obs.Exporter.port e);
+              Some e
+          | exception (Failure m | Sys_error m) ->
+              prerr_endline ("lbr-serve: --prometheus-listen: " ^ m);
+              exit 1
+          | exception Unix.Unix_error (e, _, _) ->
+              prerr_endline ("lbr-serve: --prometheus-listen: " ^ Unix.error_message e);
+              exit 1)
     in
     Printf.printf "lbr-serve: listening on %s (%d worker%s, queue depth %d%s)\n%!"
       (Lbr_server.Addr.to_string (Lbr_server.Server.bound_addr server))
@@ -607,7 +638,9 @@ let serve_cmd =
           | Some s -> "SIG" ^ s
           | None -> "stop request");
         Lbr_server.Server.stop server;
+        Option.iter Lbr_obs.Exporter.stop exporter;
         write_trace trace;
+        ignore (Lbr_obs.Flight.dump ~reason:"drain" : string option);
         print_endline "lbr-serve: drained, bye");
     while not (Lbr_server.Shutdown.requested shutdown) do
       Thread.delay 0.1
@@ -619,7 +652,9 @@ let serve_cmd =
        ~doc:
          "Run the reduction daemon: accept LBRC class pools over a Unix domain socket, reduce \
           them on a domain pool, stream progress, and journal for crash recovery.")
-    Term.(const run $ socket_arg $ jobs_arg $ queue_depth_arg $ journal_arg $ trace_arg)
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_depth_arg $ journal_arg $ trace_arg
+      $ prometheus_arg)
 
 let coordinate_cmd =
   let listen_arg =
@@ -666,12 +701,32 @@ let coordinate_cmd =
                 A restarted coordinator resubmits unfinished jobs seeded with their paid \
                 verdicts.")
   in
-  let run listen workers lanes queue_depth cache_path journal_dir =
+  let poll_interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "poll-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "How often the federation thread pulls each worker's metric registry (heartbeat \
+             ages, cluster totals).  0 disables polling.")
+  in
+  let run listen workers lanes queue_depth cache_path journal_dir poll_interval trace
+      prometheus =
+    if trace <> None then Lbr_obs.Trace.start ();
+    (match journal_dir with
+    | Some dir -> Lbr_obs.Flight.arm ~node:"coordinate" ~dir ()
+    | None -> ());
     let shutdown = Lbr_server.Shutdown.install () in
     let coordinator =
       match
         Lbr_cluster.Coordinator.create
-          { Lbr_cluster.Coordinator.workers; lanes; queue_depth; cache_path; journal_dir }
+          {
+            Lbr_cluster.Coordinator.workers;
+            lanes;
+            queue_depth;
+            cache_path;
+            journal_dir;
+            poll_interval;
+          }
       with
       | c -> c
       | exception (Failure m | Sys_error m) ->
@@ -689,6 +744,37 @@ let coordinate_cmd =
         prerr_endline ("lbr-coordinate: " ^ m);
         exit 1
     in
+    let exporter =
+      match prometheus with
+      | None -> None
+      | Some port -> (
+          let render () =
+            let per_worker, merged = Lbr_cluster.Coordinator.federated coordinator in
+            String.concat ""
+              ((Lbr_obs.Metrics.render_prometheus ()
+               :: List.map
+                    (fun (lbl, d) ->
+                      Lbr_obs.Metrics.render_prometheus_dump ~label:("worker", lbl) d)
+                    per_worker)
+              @ [
+                  Lbr_obs.Metrics.render_prometheus_dump
+                    ~label:("worker", "cluster") merged;
+                ])
+          in
+          match Lbr_obs.Exporter.start ~port render with
+          | e ->
+              Printf.printf
+                "lbr-coordinate: federated metrics on http://127.0.0.1:%d/metrics\n%!"
+                (Lbr_obs.Exporter.port e);
+              Some e
+          | exception (Failure m | Sys_error m) ->
+              prerr_endline ("lbr-coordinate: --prometheus-listen: " ^ m);
+              exit 1
+          | exception Unix.Unix_error (e, _, _) ->
+              prerr_endline
+                ("lbr-coordinate: --prometheus-listen: " ^ Unix.error_message e);
+              exit 1)
+    in
     Printf.printf "lbr-coordinate: listening on %s, %d worker%s (%s)\n%!"
       (Lbr_server.Addr.to_string (Lbr_server.Server.bound_addr server))
       (List.length workers)
@@ -705,6 +791,9 @@ let coordinate_cmd =
           | Some s -> "SIG" ^ s
           | None -> "stop request");
         Lbr_server.Server.stop server;
+        Option.iter Lbr_obs.Exporter.stop exporter;
+        write_trace trace;
+        ignore (Lbr_obs.Flight.dump ~reason:"drain" : string option);
         print_endline "lbr-coordinate: drained, bye");
     while not (Lbr_server.Shutdown.requested shutdown) do
       Thread.delay 0.1
@@ -720,7 +809,7 @@ let coordinate_cmd =
           verdicts) when a worker dies.")
     Term.(
       const run $ listen_arg $ workers_arg $ lanes_arg $ queue_depth_arg $ cache_arg
-      $ journal_arg)
+      $ journal_arg $ poll_interval_arg $ trace_arg $ prometheus_arg)
 
 let submit_cmd =
   let pool_file_arg =
@@ -813,6 +902,7 @@ let submit_cmd =
         retries;
         pool_bytes;
         frontend = frontend_id;
+        trace_ctx = None;
       }
     in
     match Lbr_server.Client.connect (Lbr_server.Addr.to_string socket) with
@@ -900,10 +990,7 @@ let top_cmd =
       value & flag
       & info [ "metrics" ] ~doc:"Also print the daemon's full Prometheus metrics snapshot.")
   in
-  (* Cluster health lives in the Prometheus text (per-worker queue-depth
-     gauges, cache hit/miss counters); surface it without requiring
-     --metrics when the daemon is a coordinator. *)
-  let cluster_section text =
+  let prom_samples text =
     let sample line =
       if line = "" || line.[0] = '#' then None
       else
@@ -917,7 +1004,13 @@ let top_cmd =
             in
             Option.map (fun v -> (name, v)) v
     in
-    let samples = List.filter_map sample (String.split_on_char '\n' text) in
+    List.filter_map sample (String.split_on_char '\n' text)
+  in
+  (* Cluster health lives in the Prometheus text (per-worker queue-depth
+     gauges, cache hit/miss counters); surface it without requiring
+     --metrics when the daemon is a coordinator. *)
+  let cluster_section text =
+    let samples = prom_samples text in
     let value name = List.assoc_opt name samples in
     let depth_of (name, v) =
       let prefix = "lbr_cluster_w" and suffix = "_queue_depth" in
@@ -951,6 +1044,28 @@ let top_cmd =
           (if total = 0. then 0. else 100. *. hits /. total)
     | _ -> ()
   in
+  (* Speculation counters: local on a worker, under the federated
+     [worker="cluster"] label on a coordinator — prefer the cluster view
+     when both exist. *)
+  let spec_section text =
+    let samples = prom_samples text in
+    let value name =
+      match List.assoc_opt (name ^ "{worker=\"cluster\"}") samples with
+      | Some _ as v -> v
+      | None -> List.assoc_opt name samples
+    in
+    match value "lbr_spec_launched_total" with
+    | None -> ()
+    | Some launched ->
+        let count n = int_of_float (Option.value ~default:0. (value n)) in
+        let committed = count "lbr_spec_committed_total" in
+        let cancelled = count "lbr_spec_cancelled_total" in
+        Printf.printf
+          "speculation: %d launched, %d committed, %d cancelled (%.1f%% wasted)\n"
+          (int_of_float launched) committed cancelled
+          (if launched = 0. then 0.
+           else 100. *. float_of_int cancelled /. launched)
+  in
   let online socket metrics =
     match Lbr_server.Client.connect (Lbr_server.Addr.to_string socket) with
     | Error m ->
@@ -973,6 +1088,7 @@ let top_cmd =
             Printf.printf "oracle: %d queries, %d memo hits (%.1f%% hit rate)\n"
               s.oracle_queries s.oracle_memo_hits hit_rate;
             cluster_section s.metrics_text;
+            spec_section s.metrics_text;
             (match s.job_stats with
             | [] -> print_endline "no jobs in flight"
             | jobs ->
@@ -1050,6 +1166,385 @@ let top_cmd =
           metric snapshot.  With --journal DIR, reconstruct predicate-latency statistics \
           from a dead daemon's journal instead.")
     Term.(const run $ socket_arg $ journal_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed trace capture and merging                               *)
+
+let trace_dump_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some writable_file) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write the node's span rings as a binary .tdump capture to FILE.")
+  in
+  let run socket out =
+    match Lbr_cluster.Trace_merge.fetch (Lbr_server.Addr.to_string socket) with
+    | Error m ->
+        prerr_endline ("lbr-reduce trace-dump: " ^ m);
+        exit 1
+    | Ok d ->
+        Lbr_cluster.Trace_merge.write_file out d;
+        Printf.printf "trace-dump: %d events from %s written to %s\n"
+          (List.length d.Lbr_cluster.Trace_merge.nd_events)
+          d.Lbr_cluster.Trace_merge.nd_node out
+  in
+  Cmd.v
+    (Cmd.info "trace-dump"
+       ~doc:
+         "Capture a live daemon's span rings into a binary .tdump file — the e2e harness \
+          dumps every worker before killing one, so the victim's spans survive into the \
+          merged trace.  Requires a daemon with tracing enabled (--trace) and protocol v5.")
+    Term.(const run $ socket_arg $ out_arg)
+
+let trace_merge_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some writable_file) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the merged Chrome trace JSON to FILE.")
+  in
+  let sources_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SOURCE"
+          ~doc:
+            "A trace source: a live daemon address (Unix socket path or host:port), a .tdump \
+             file from trace-dump, or either prefixed with LABEL= to name its lane.  Sources \
+             sharing a lane name are deduplicated into one lane.")
+  in
+  let load source =
+    let label, src =
+      (* A LABEL= prefix names the lane; addresses never contain '='. *)
+      match String.index_opt source '=' with
+      | Some i when i > 0 ->
+          ( Some (String.sub source 0 i),
+            String.sub source (i + 1) (String.length source - i - 1) )
+      | _ -> (None, source)
+    in
+    let is_regular_file p =
+      (* a Unix-socket daemon address also "exists" — only regular files
+         are .tdump captures, everything else is dialed *)
+      match (Unix.stat p).Unix.st_kind with
+      | Unix.S_REG -> true
+      | _ | (exception Unix.Unix_error _) -> false
+    in
+    let loaded =
+      if is_regular_file src then Lbr_cluster.Trace_merge.read_file src
+      else Lbr_cluster.Trace_merge.fetch src
+    in
+    Result.map
+      (fun d ->
+        match label with
+        | None -> d
+        | Some l -> { d with Lbr_cluster.Trace_merge.nd_node = l })
+      loaded
+  in
+  let run out sources =
+    let dumps, errors =
+      List.fold_left
+        (fun (ds, es) s ->
+          match load s with Ok d -> (d :: ds, es) | Error m -> (ds, (s ^ ": " ^ m) :: es))
+        ([], []) sources
+    in
+    List.iter (fun m -> prerr_endline ("lbr-reduce trace-merge: " ^ m)) (List.rev errors);
+    match List.rev dumps with
+    | [] ->
+        prerr_endline "lbr-reduce trace-merge: no sources could be loaded";
+        exit 1
+    | dumps ->
+        let json = Lbr_cluster.Trace_merge.merge dumps in
+        let oc = open_out out in
+        Fun.protect
+          (fun () -> output_string oc json)
+          ~finally:(fun () -> close_out oc);
+        Printf.printf "trace-merge: %d lane%s (%s), %d events -> %s\n"
+          (List.length dumps)
+          (if List.length dumps = 1 then "" else "s")
+          (String.concat ", "
+             (List.map (fun d -> d.Lbr_cluster.Trace_merge.nd_node) dumps))
+          (List.fold_left
+             (fun n d -> n + List.length d.Lbr_cluster.Trace_merge.nd_events)
+             0 dumps)
+          out;
+        if errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Merge trace dumps from several cluster nodes — live daemons and/or .tdump captures \
+          — into one skew-corrected Chrome trace with a process lane per node and flow \
+          arrows from each coordinator job span to its worker-side spans.")
+    Term.(const run $ out_arg $ sources_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Post-mortem flight-recorder reports                                 *)
+
+let report_cmd =
+  let journal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"The dead daemon's journal directory: flight-recorder dumps plus per-job \
+                verdict logs.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  (* The flight dump is machine-written JSON with one record per line in
+     its spans/transitions/metrics arrays — extract fields line-wise
+     rather than pulling in a JSON parser for one tool. *)
+  let field line key =
+    let marker = "\"" ^ key ^ "\":" in
+    let rec find from =
+      match String.index_from_opt line from '"' with
+      | None -> None
+      | Some i ->
+          if
+            i + String.length marker <= String.length line
+            && String.sub line i (String.length marker) = marker
+          then Some (i + String.length marker)
+          else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        let depth = ref 0 in
+        let in_str = ref false in
+        (try
+           while !stop < String.length line do
+             (match line.[!stop] with
+             | '"' when !stop = start || line.[!stop - 1] <> '\\' ->
+                 in_str := not !in_str
+             | ('{' | '[') when not !in_str -> incr depth
+             | ('}' | ']') when not !in_str ->
+                 if !depth = 0 then raise Exit else decr depth
+             | ',' when (not !in_str) && !depth = 0 -> raise Exit
+             | _ -> ());
+             incr stop
+           done
+         with Exit -> ());
+        Some (String.sub line start (!stop - start))
+  in
+  let strip_quotes s =
+    if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+      String.sub s 1 (String.length s - 2)
+    else s
+  in
+  let str_field line key = Option.map strip_quotes (field line key) in
+  let float_field line key = Option.bind (field line key) float_of_string_opt in
+  (* A spans/transitions/metrics line, shorn of indentation and its
+     trailing record separator — a reusable JSON object literal. *)
+  let clean_record l =
+    let s = String.trim l in
+    if String.length s > 0 && s.[String.length s - 1] = ',' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  let run dir json =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      prerr_endline ("lbr-reduce report: " ^ dir ^ ": not a journal directory");
+      exit 1
+    end;
+    let flights =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             String.starts_with ~prefix:"flight-" f && Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    (* Verdict latency quantiles and cache hit rates, from the journal's
+       v2 verdict lines — the ground truth that survives any crash. *)
+    let journal = Lbr_server.Journal.open_dir dir in
+    let jobs, latency, verdict_count, fail_count =
+      Fun.protect
+        ~finally:(fun () -> Lbr_server.Journal.close journal)
+        (fun () ->
+          let jobs = Lbr_server.Journal.jobs journal in
+          let hist = Lbr_obs.Metrics.Histogram.create () in
+          let count = ref 0 and fails = ref 0 in
+          List.iter
+            (fun id ->
+              List.iter
+                (fun (v : Lbr_server.Journal.verdict) ->
+                  incr count;
+                  if not v.v_ok then incr fails;
+                  Option.iter (Lbr_obs.Metrics.Histogram.observe hist) v.v_latency)
+                (Lbr_server.Journal.verdicts journal ~id))
+            jobs;
+          (jobs, hist, !count, !fails))
+    in
+    (* Each flight dump: header + span/transition lines. *)
+    let parse_dump file =
+      let path = Filename.concat dir file in
+      let ic = open_in path in
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      in
+      let node = ref "?" and reason = ref "?" and time = ref 0. in
+      let spans = ref [] and transitions = ref [] and metric_lines = ref [] in
+      let section = ref `Header in
+      List.iter
+        (fun line ->
+          (match str_field line "node" with
+          | Some n when !section = `Header -> node := n
+          | _ -> ());
+          (match str_field line "reason" with
+          | Some r when !section = `Header -> reason := r
+          | _ -> ());
+          (match float_field line "time" with
+          | Some t when !section = `Header -> time := t
+          | _ -> ());
+          if String.length line >= 9 && String.sub line 0 9 = "\"spans\":[" then
+            section := `Spans
+          else if
+            String.length line >= 15 && String.sub line 0 15 = "\"transitions\":["
+          then section := `Transitions
+          else if String.length line >= 11 && String.sub line 0 11 = "\"metrics\":["
+          then section := `Metrics
+          else
+            match !section with
+            | `Spans ->
+                if String.trim line <> "]," && String.trim line <> "" then
+                  spans := line :: !spans
+            | `Transitions ->
+                if String.trim line <> "]," && String.trim line <> "" then
+                  transitions := line :: !transitions
+            | `Metrics ->
+                if String.trim line <> "]}" && String.trim line <> "" then
+                  metric_lines := line :: !metric_lines
+            | `Header -> ())
+        lines;
+      (file, !node, !reason, !time, List.rev !spans, List.rev !transitions,
+       List.rev !metric_lines)
+    in
+    let dumps = List.map parse_dump flights in
+    let q p =
+      let v = Lbr_obs.Metrics.Histogram.quantile latency p in
+      if Float.is_finite v then v else 0.
+    in
+    if json then begin
+      Printf.printf "{\"journal\":\"%s\",\"jobs\":%d,\"verdicts\":%d,\"failedVerdicts\":%d,"
+        (Lbr_obs.Trace.json_escape dir) (List.length jobs) verdict_count fail_count;
+      Printf.printf "\"latency\":{\"count\":%d,\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f},"
+        (Lbr_obs.Metrics.Histogram.count latency)
+        (q 0.5) (q 0.9) (q 0.99);
+      Printf.printf "\"flights\":[";
+      List.iteri
+        (fun i (file, node, reason, time, spans, transitions, metric_lines) ->
+          if i > 0 then print_char ',';
+          Printf.printf
+            "{\"file\":\"%s\",\"node\":\"%s\",\"reason\":\"%s\",\"time\":%.6f,\"spans\":[%s],\"transitions\":[%s],\"metrics\":[%s]}"
+            (Lbr_obs.Trace.json_escape file)
+            (Lbr_obs.Trace.json_escape node)
+            (Lbr_obs.Trace.json_escape reason)
+            time
+            (String.concat "," (List.map clean_record spans))
+            (String.concat "," (List.map clean_record transitions))
+            (String.concat "," (List.map clean_record metric_lines)))
+        dumps;
+      print_string "]}\n"
+    end
+    else begin
+      Printf.printf "journal %s: %d job%s, %d verdicts (%d failed)\n" dir
+        (List.length jobs)
+        (if List.length jobs = 1 then "" else "s")
+        verdict_count fail_count;
+      if Lbr_obs.Metrics.Histogram.count latency > 0 then
+        Printf.printf "verdict latency p50/p90/p99: %.3fs / %.3fs / %.3fs\n" (q 0.5)
+          (q 0.9) (q 0.99);
+      if dumps = [] then print_endline "no flight-recorder dumps found"
+      else
+        List.iter
+          (fun (file, node, reason, time, spans, transitions, metric_lines) ->
+            Printf.printf "\nflight %s: node %s, reason %s, at %.3f\n" file node reason
+              time;
+            (* Cache and memo effectiveness straight from the recorded
+               metric rows. *)
+            let counter name =
+              List.find_map
+                (fun l ->
+                  match (str_field l "name", field l "value") with
+                  | Some n, Some v when n = name -> float_of_string_opt v
+                  | _ -> None)
+                metric_lines
+            in
+            (match (counter "lbr_oracle_queries_total", counter "lbr_oracle_memo_hits_total") with
+            | Some q_, Some h when q_ > 0. ->
+                Printf.printf "  oracle: %.0f queries, %.0f memo hits (%.1f%% hit rate)\n"
+                  q_ h (100. *. h /. q_)
+            | _ -> ());
+            (match (counter "lbr_cluster_cache_hits_total", counter "lbr_cluster_cache_misses_total") with
+            | Some h, Some m when h +. m > 0. ->
+                Printf.printf "  cluster cache: %.0f hits, %.0f misses (%.1f%% hit rate)\n"
+                  h m (100. *. h /. (h +. m))
+            | _ -> ());
+            (* Job state histories from the transition ring. *)
+            let by_job = Hashtbl.create 8 in
+            let job_order = ref [] in
+            List.iter
+              (fun l ->
+                match (str_field l "job", str_field l "state", float_field l "ts") with
+                | Some job, Some state, Some ts ->
+                    if not (Hashtbl.mem by_job job) then job_order := job :: !job_order;
+                    Hashtbl.replace by_job job
+                      ((ts, state) :: (try Hashtbl.find by_job job with Not_found -> []))
+                | _ -> ())
+              transitions;
+            List.iter
+              (fun job ->
+                let hist = List.rev (Hashtbl.find by_job job) in
+                Printf.printf "  %-16s %s\n" job
+                  (String.concat " -> "
+                     (List.map (fun (_, s) -> s) hist)))
+              (List.rev !job_order);
+            (* The span tree: roots are spans with no ctx.parent (or whose
+               parent is not a recorded span id here); children indent
+               under the job they name. *)
+            let span_info l =
+              match (str_field l "name", float_field l "ts") with
+              | Some name, Some ts ->
+                  let dur = Option.value ~default:0. (float_field l "dur") in
+                  let job = str_field l "job" in
+                  let parent = str_field l "ctx.parent" in
+                  Some (name, ts, dur, job, parent)
+              | _ -> None
+            in
+            let spans = List.filter_map span_info spans in
+            let parented, roots =
+              List.partition (fun (_, _, _, _, parent) -> parent <> None) spans
+            in
+            let print_span indent (name, ts, dur, job, _) =
+              Printf.printf "  %s%-28s %12.3fus  %10.0fus%s\n" indent name ts dur
+                (match job with Some j -> "  " ^ j | None -> "")
+            in
+            List.iter
+              (fun ((_, _, _, job, _) as root) ->
+                print_span "" root;
+                List.iter
+                  (fun ((_, _, _, cjob, _) as child) ->
+                    if cjob = job || job = None then print_span "  " child)
+                  parented)
+              (if roots = [] then parented else roots))
+          dumps
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a post-mortem report from a daemon's journal directory: flight-recorder \
+          dumps (last spans and job state transitions before death), verdict latency \
+          quantiles from the journal, and cache/memo hit rates.")
+    Term.(const run $ journal_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1157,6 +1652,9 @@ let () =
             coordinate_cmd;
             submit_cmd;
             top_cmd;
+            trace_dump_cmd;
+            trace_merge_cmd;
+            report_cmd;
             stats_cmd;
             export_cmd;
             tools_cmd;

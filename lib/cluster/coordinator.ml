@@ -5,6 +5,8 @@ module Journal = Lbr_server.Journal
 module Scheduler = Lbr_server.Scheduler
 module Server = Lbr_server.Server
 module Metrics = Lbr_obs.Metrics
+module Trace = Lbr_obs.Trace
+module Flight = Lbr_obs.Flight
 
 type config = {
   workers : Addr.t list;
@@ -12,14 +14,23 @@ type config = {
   queue_depth : int;
   cache_path : string option;
   journal_dir : string option;
+  poll_interval : float;
+      (* seconds between federation sweeps over the workers; <= 0 disables
+         the background thread (tests call [poll_workers] directly) *)
 }
 
 type cjob = {
   cj_id : string;
   cj_spec : Wire.spec;
   cj_key : string;  (* content digest — the cache's job key *)
+  cj_ctx : Trace.Context.t option;
+      (* forwarded to workers: trace id (client's or minted here) and the
+         coordinator's per-job span id as the parent, so every worker-side
+         span the job records parents under this coordinator's span *)
   cj_on_event : Scheduler.event -> unit;  (* never raises *)
   cj_cancelled : bool Atomic.t;
+  cj_submitted : float;  (* Trace.now at admission — the job span's start *)
+  mutable cj_queued_at : float;  (* last time it entered a worker queue *)
   mutable cj_started : bool;  (* Started already emitted (failover re-runs don't repeat it) *)
   mutable cj_attempts : int;  (* failover resubmissions so far *)
   mutable cj_best : (float * int * int) option;
@@ -33,6 +44,8 @@ type worker = {
   w_queue : cjob Queue.t;
   mutable w_alive : bool;
   w_gauge : Metrics.gauge;
+  w_hb_gauge : Metrics.gauge;  (* seconds since the last successful poll *)
+  mutable w_last_poll : float;
 }
 
 type t = {
@@ -52,6 +65,12 @@ type t = {
   mutable rr : int;  (* round-robin shard pointer *)
   started_at : float;
   mutable recovered : int;
+  poll_interval : float;
+  fed_mutex : Mutex.t;  (* guards fed_dumps; never taken under [mutex] held
+                           by someone who also wants [fed_mutex] first *)
+  fed_dumps : Metrics.dump option array;  (* last pull, indexed by worker id *)
+  fed_stop : bool Atomic.t;
+  mutable fed_thread : Thread.t option;
   m_steals : Metrics.counter;
   m_failovers : Metrics.counter;
   m_hits : Metrics.counter;
@@ -61,6 +80,7 @@ type t = {
   m_failed : Metrics.counter;
   g_alive : Metrics.gauge;
   g_entries : Metrics.gauge;
+  g_waste : Metrics.gauge;
 }
 
 let recovered t = t.recovered
@@ -123,6 +143,31 @@ let finalize t j status =
   | Done _ -> Metrics.incr t.m_done
   | Failed _ -> Metrics.incr t.m_failed
   | _ -> ());
+  let state_name =
+    match status with
+    | Scheduler.Done _ -> "done"
+    | Scheduler.Failed _ -> "failed"
+    | Scheduler.Cancelled -> "cancelled"
+    | Scheduler.Queued -> "queued"
+    | Scheduler.Running -> "running"
+  in
+  Flight.transition ~job:j.cj_id ~state:state_name;
+  (* The coordinator's job span: admission to terminal state.  Its
+     [span_id] arg is the span id every worker-side span for this job
+     carries as [ctx.parent] — the merge key for cross-node parenting. *)
+  (match j.cj_ctx with
+  | None -> ()
+  | Some ctx ->
+      Trace.span_between "coordinator.job" ~start:j.cj_submitted
+        ~finish:(Trace.now ())
+        ~args:(fun () ->
+          [
+            ("job", Trace.Str j.cj_id);
+            ("span_id", Trace.Str ctx.Trace.Context.parent_span);
+            ("ctx.trace", Trace.Str ctx.Trace.Context.trace_id);
+            ("state", Trace.Str state_name);
+            ("attempts", Trace.Int j.cj_attempts);
+          ]));
   journal_marker t j status;
   (* Terminal jobs leave the table — it indexes cancellable work, and an
      unpruned table would both grow without bound and make [stats] list
@@ -146,7 +191,17 @@ let worker_dead t w inflight =
   let requeue from_running j =
     if from_running then begin
       j.cj_attempts <- j.cj_attempts + 1;
-      Metrics.incr t.m_failovers
+      Metrics.incr t.m_failovers;
+      (* One edge per reseed: from the dispatch that died to the moment
+         the coordinator re-queued the job elsewhere. *)
+      Trace.span_between "cluster.failover" ~start:j.cj_queued_at
+        ~finish:(Trace.now ())
+        ~args:(fun () ->
+          [
+            ("job", Trace.Str j.cj_id);
+            ("dead_worker", Trace.Int w.w_id);
+            ("attempt", Trace.Int j.cj_attempts);
+          ])
     end;
     if Atomic.get j.cj_cancelled then finalize t j Cancelled
     else if from_running && j.cj_attempts >= Array.length t.workers then
@@ -163,6 +218,7 @@ let worker_dead t w inflight =
             j.cj_status <- Scheduler.Queued;
             j.cj_remote <- None
           end;
+          j.cj_queued_at <- Trace.now ();
           Queue.push j target.w_queue;
           set_depth target
   in
@@ -196,13 +252,19 @@ let connect_worker w =
   in
   go 1 0.05
 
-(* Run one job on worker [w].  Called from a pump thread, lock NOT held. *)
+(* Run one job on worker [w].  Called from a pump thread, lock NOT held.
+   Runs under the job's trace context so every span and instant the
+   dispatch records carries the job's trace id and parent span. *)
 let run_one t w j =
+  Trace.with_context j.cj_ctx @@ fun () ->
   let seeds = Cache.seeds t.vcache ~job:j.cj_key in
   if not j.cj_started then begin
     j.cj_started <- true;
     j.cj_on_event Scheduler.Started
   end;
+  Trace.instant "coordinator.dispatch"
+    ~args:(fun () ->
+      [ ("job", Trace.Str j.cj_id); ("worker", Trace.Int w.w_id) ]);
   match connect_worker w with
   | Error _ -> locked t (fun () -> worker_dead t w (Some j))
   | Ok c ->
@@ -221,7 +283,7 @@ let run_one t w j =
         (match t.journal with
         | Some jr -> Journal.append_pred jr ~id:j.cj_id ~key ok
         | None -> ());
-        j.cj_on_event (Scheduler.Evaluated { key; ok })
+        j.cj_on_event (Scheduler.Evaluated { key; ok; ctx = j.cj_ctx })
       in
       let on_accepted remote_id =
         let cancel_now =
@@ -278,7 +340,18 @@ let pump t w () =
         match steal_victim t w with
         | Some victim ->
             Metrics.incr t.m_steals;
-            Some (Queue.pop victim.w_queue, victim)
+            let j = Queue.pop victim.w_queue in
+            (* The steal edge: how long the job sat on the victim's queue
+               before this pump carried it across. *)
+            Trace.span_between "cluster.steal" ~start:j.cj_queued_at
+              ~finish:(Trace.now ())
+              ~args:(fun () ->
+                [
+                  ("job", Trace.Str j.cj_id);
+                  ("from_worker", Trace.Int victim.w_id);
+                  ("to_worker", Trace.Int w.w_id);
+                ]);
+            Some (j, victim)
         | None ->
             if t.draining && t.queued = 0 && t.running = 0 then None
             else begin
@@ -292,7 +365,8 @@ let pump t w () =
         set_depth from;
         t.queued <- t.queued - 1;
         t.running <- t.running + 1;
-        j.cj_status <- Scheduler.Running
+        j.cj_status <- Scheduler.Running;
+        Flight.transition ~job:j.cj_id ~state:"running"
     | None -> ());
     Mutex.unlock t.mutex;
     match job with
@@ -339,9 +413,79 @@ let shard t j =
         else pick (i + 1)
       in
       let w = pick 0 in
+      j.cj_queued_at <- Trace.now ();
       Queue.push j w.w_queue;
       set_depth w;
       Condition.broadcast t.cond
+
+(* ------------------------------------------------------------------ *)
+(* Metrics federation                                                  *)
+
+let worker_label w = Printf.sprintf "w%d" w.w_id
+
+(* Per-worker dumps (workers that have been polled at least once) plus
+   the exact merge of the coordinator's own registry with all of them —
+   the "cluster" view.  Merge semantics are {!Metrics.merge_dumps}:
+   counters and gauges sum, histograms merge bucket-wise. *)
+let federated t =
+  Mutex.lock t.fed_mutex;
+  let per_worker =
+    Array.to_list t.workers
+    |> List.filter_map (fun w ->
+           Option.map (fun d -> (worker_label w, d)) t.fed_dumps.(w.w_id))
+  in
+  Mutex.unlock t.fed_mutex;
+  let merged = Metrics.merge_dumps (Metrics.dump () :: List.map snd per_worker) in
+  (per_worker, merged)
+
+(* One federation sweep: pull every live worker's registry over
+   [Metrics_dump_request], refresh heartbeat-age gauges, and recompute
+   the cluster-wide speculation waste ratio from the merged view.  All
+   network I/O happens outside both locks; a failed pull leaves the
+   previous dump in place (and the heartbeat age growing). *)
+let poll_workers t =
+  Array.iter
+    (fun w ->
+      if w.w_alive then
+        match Client.connect (Addr.to_string w.w_addr) with
+        | Error _ -> ()
+        | Ok c ->
+            (match Client.metrics_dump c with
+            | Ok (_node, dump) ->
+                Mutex.lock t.fed_mutex;
+                t.fed_dumps.(w.w_id) <- Some dump;
+                w.w_last_poll <- Unix.gettimeofday ();
+                Mutex.unlock t.fed_mutex
+            | Error _ -> ());
+            Client.close c)
+    t.workers;
+  let now = Unix.gettimeofday () in
+  Array.iter
+    (fun w -> Metrics.set_gauge w.w_hb_gauge (now -. w.w_last_poll))
+    t.workers;
+  let _, merged = federated t in
+  let cval name =
+    match Metrics.find_in_dump merged name with
+    | Some (Metrics.D_counter n) -> n
+    | _ -> 0
+  in
+  let launched = cval "lbr_spec_launched_total" in
+  let cancelled = cval "lbr_spec_cancelled_total" in
+  if launched > 0 then
+    Metrics.set_gauge t.g_waste (float_of_int cancelled /. float_of_int launched)
+
+let fed_loop t () =
+  while not (Atomic.get t.fed_stop) do
+    poll_workers t;
+    (* Sleep in slices so drain never waits out a full interval. *)
+    let rec sleep remaining =
+      if remaining > 0. && not (Atomic.get t.fed_stop) then begin
+        Thread.delay (Float.min 0.1 remaining);
+        sleep (remaining -. 0.1)
+      end
+    in
+    sleep t.poll_interval
+  done
 
 let create (config : config) =
   if config.workers = [] then invalid_arg "Coordinator.create: no workers";
@@ -361,6 +505,13 @@ let create (config : config) =
                Metrics.gauge
                  ~help:(Printf.sprintf "jobs queued for worker %d" i)
                  (Printf.sprintf "lbr_cluster_w%d_queue_depth" i);
+             w_hb_gauge =
+               Metrics.gauge
+                 ~help:
+                   (Printf.sprintf
+                      "seconds since worker %d's registry was last pulled" i)
+                 (Printf.sprintf "lbr_cluster_w%d_heartbeat_age_seconds" i);
+             w_last_poll = Unix.gettimeofday ();
            })
   in
   let t =
@@ -381,6 +532,11 @@ let create (config : config) =
       rr = 0;
       started_at = Unix.gettimeofday ();
       recovered = 0;
+      poll_interval = config.poll_interval;
+      fed_mutex = Mutex.create ();
+      fed_dumps = Array.make (Array.length workers) None;
+      fed_stop = Atomic.make false;
+      fed_thread = None;
       m_steals = Metrics.counter ~help:"jobs stolen between worker queues" "lbr_cluster_steals_total";
       m_failovers = Metrics.counter ~help:"in-flight jobs resubmitted after a worker death" "lbr_cluster_failovers_total";
       m_hits = Metrics.counter ~help:"predicate verdicts answered by the cluster cache" "lbr_cluster_cache_hits_total";
@@ -390,6 +546,7 @@ let create (config : config) =
       m_failed = Metrics.counter ~help:"delegated jobs failed" "lbr_cluster_jobs_failed_total";
       g_alive = Metrics.gauge ~help:"live workers" "lbr_cluster_workers_alive";
       g_entries = Metrics.gauge ~help:"verdicts in the cluster cache" "lbr_cluster_cache_entries";
+      g_waste = Metrics.gauge ~help:"cluster-wide speculation waste: cancelled launches / all launches" "lbr_cluster_spec_waste_ratio";
     }
   in
   Metrics.set_gauge t.g_alive (float_of_int (Array.length workers));
@@ -414,8 +571,14 @@ let create (config : config) =
                     cj_id = id;
                     cj_spec = spec;
                     cj_key = key;
+                    (* The persisted spec carries the original forwarded
+                       context, so a recovered job keeps its trace id and
+                       its coordinator span id across the restart. *)
+                    cj_ctx = spec.Wire.trace_ctx;
                     cj_on_event = ignore;
                     cj_cancelled = Atomic.make false;
+                    cj_submitted = Trace.now ();
+                    cj_queued_at = Trace.now ();
                     cj_started = false;
                     cj_attempts = 0;
                     cj_best = None;
@@ -435,6 +598,8 @@ let create (config : config) =
       (fun w ->
         List.init t.lanes (fun _ -> Thread.create (pump t w) ()))
       (Array.to_list workers);
+  if config.poll_interval > 0. then
+    t.fed_thread <- Some (Thread.create (fed_loop t) ());
   t
 
 let submit t ~on_event ~seeds spec =
@@ -447,6 +612,26 @@ let submit t ~on_event ~seeds spec =
       let id = next_id t in
       let safe_event ev = try on_event id ev with _ -> () in
       let key = Cache.job_key spec in
+      (* Distributed trace identity: keep the client's trace id when it
+         sent one (the trace started there), mint one when tracing is
+         live here, stay context-free otherwise so untraced journals are
+         byte-identical to v4.  Either way the parent span forwarded to
+         workers is a fresh coordinator-side job span id — worker spans
+         parent under the coordinator, and the client's own parent (if
+         any) stays visible on its side of the trace. *)
+      let ctx =
+        match spec.Wire.trace_ctx with
+        | Some c ->
+            Some
+              {
+                Trace.Context.trace_id = c.Trace.Context.trace_id;
+                parent_span = Trace.Context.fresh_span_id ();
+              }
+        | None -> if Trace.enabled () then Some (Trace.Context.mint ()) else None
+      in
+      let spec =
+        match ctx with None -> spec | Some _ -> { spec with Wire.trace_ctx = ctx }
+      in
       (* Client-supplied seeds pre-warm the shared cache: any worker that
          later picks up this content digest replays them. *)
       List.iter (fun (k, ok) -> Cache.store t.vcache ~job:key ~key:k ok) seeds;
@@ -458,8 +643,11 @@ let submit t ~on_event ~seeds spec =
           cj_id = id;
           cj_spec = spec;
           cj_key = key;
+          cj_ctx = ctx;
           cj_on_event = safe_event;
           cj_cancelled = Atomic.make false;
+          cj_submitted = Trace.now ();
+          cj_queued_at = Trace.now ();
           cj_started = false;
           cj_attempts = 0;
           cj_best = None;
@@ -469,6 +657,7 @@ let submit t ~on_event ~seeds spec =
       in
       Hashtbl.replace t.table id j;
       Metrics.incr t.m_submitted;
+      Flight.transition ~job:id ~state:"queued";
       shard t j;
       Ok id
     end
@@ -524,7 +713,18 @@ let stats t =
           Metrics.counter_value t.m_hits + Metrics.counter_value t.m_misses;
         oracle_memo_hits = Metrics.counter_value t.m_hits;
         uptime = Unix.gettimeofday () -. t.started_at;
-        metrics_text = Metrics.render_prometheus ();
+        metrics_text =
+          (* Local registry first, then each worker's last-pulled dump
+             under a [worker="wN"] label, then the exact merge of all of
+             them as [worker="cluster"] — one text payload, three views. *)
+          (let per_worker, merged = federated t in
+           String.concat ""
+             ((Metrics.render_prometheus ()
+              :: List.map
+                   (fun (lbl, d) ->
+                     Metrics.render_prometheus_dump ~label:("worker", lbl) d)
+                   per_worker)
+             @ [ Metrics.render_prometheus_dump ~label:("worker", "cluster") merged ]));
       })
 
 let drain t =
@@ -538,6 +738,9 @@ let drain t =
   t.pumps <- [];
   Mutex.unlock t.mutex;
   List.iter Thread.join pumps;
+  Atomic.set t.fed_stop true;
+  (match t.fed_thread with Some th -> Thread.join th | None -> ());
+  t.fed_thread <- None;
   Cache.close t.vcache;
   Option.iter Journal.close t.journal
 

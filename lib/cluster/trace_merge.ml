@@ -1,0 +1,287 @@
+(* Merging per-node trace dumps into one Chrome trace.
+
+   Every node records spans against its own monotonic-ish clock (µs since
+   its [Trace.start]) and ships, with each dump, the absolute second that
+   zero maps to ([epoch]) plus its wall clock at dump time ([server_now]).
+   The dumper brackets the request with its own clock ([client_mid] = the
+   midpoint of send/receive) — the classic NTP half-RTT estimate — so the
+   merger can place every node on the dumper's timeline:
+
+     absolute(ev) = epoch + ev_ts/1e6 + (client_mid - server_now)
+
+   The merged trace uses the earliest corrected epoch as its zero and one
+   Chrome [pid] lane per node name.  Dumps sharing a node name (a live
+   pull plus an earlier pre-kill .tdump of the same daemon) collapse into
+   one lane, deduplicating byte-identical events — the surviving-worker
+   case, where the pre-kill capture is a prefix of the final dump. *)
+
+module Wire = Lbr_server.Wire
+module Client = Lbr_server.Client
+module Trace = Lbr_obs.Trace
+
+type node_dump = {
+  nd_node : string;  (* lane label *)
+  nd_epoch : float;  (* node-clock second its ts = 0 maps to *)
+  nd_server_now : float;  (* node clock at dump time *)
+  nd_client_mid : float;  (* dumper clock at (roughly) the same instant *)
+  nd_dropped : int;
+  nd_events : Trace.event list;
+}
+
+let skew d = d.nd_client_mid -. d.nd_server_now
+
+(* ------------------------------------------------------------------ *)
+(* Live capture                                                        *)
+
+let fetch addr =
+  match Client.connect addr with
+  | Error m -> Error m
+  | Ok c ->
+      let t0 = Unix.gettimeofday () in
+      let result = Client.trace_dump c in
+      let t1 = Unix.gettimeofday () in
+      Client.close c;
+      Result.map
+        (fun (d : Client.trace_dump) ->
+          {
+            nd_node = d.td_node;
+            nd_epoch = d.td_epoch;
+            nd_server_now = d.td_server_now;
+            nd_client_mid = (t0 +. t1) /. 2.;
+            nd_dropped = d.td_dropped;
+            nd_events = d.td_events;
+          })
+        result
+
+(* ------------------------------------------------------------------ *)
+(* .tdump files — pre-kill victim captures                             *)
+
+let magic = "LBRTD1"
+
+let w_u32 b n =
+  Buffer.add_uint8 b ((n lsr 24) land 0xff);
+  Buffer.add_uint8 b ((n lsr 16) land 0xff);
+  Buffer.add_uint8 b ((n lsr 8) land 0xff);
+  Buffer.add_uint8 b (n land 0xff)
+
+let w_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let w_str16 b s =
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let to_string d =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  w_str16 b d.nd_node;
+  w_f64 b d.nd_epoch;
+  w_f64 b d.nd_server_now;
+  w_f64 b d.nd_client_mid;
+  w_u32 b d.nd_dropped;
+  Buffer.add_string b (Wire.trace_events_to_string d.nd_events);
+  Buffer.contents b
+
+let of_string data =
+  let pos = ref 0 in
+  let len = String.length data in
+  let need n what =
+    if !pos + n > len then Error (Printf.sprintf "truncated .tdump (%s)" what)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = need (String.length magic) "magic" in
+  if String.sub data 0 (String.length magic) <> magic then
+    Error "not a .tdump file (bad magic)"
+  else begin
+    pos := String.length magic;
+    let u8 () =
+      let n = Char.code data.[!pos] in
+      pos := !pos + 1;
+      n
+    in
+    let* () = need 2 "node length" in
+    (* force left-to-right byte order: OCaml evaluates operator operands
+       right to left, so inlining the u8 calls would swap the bytes *)
+    let u16 () =
+      let hi = u8 () in
+      let lo = u8 () in
+      (hi lsl 8) lor lo
+    in
+    let u32 () =
+      let hi = u16 () in
+      let lo = u16 () in
+      (hi lsl 16) lor lo
+    in
+    let node_len = u16 () in
+    let* () = need node_len "node" in
+    let nd_node = String.sub data !pos node_len in
+    pos := !pos + node_len;
+    let f64 () =
+      let bits = ref 0L in
+      for _ = 1 to 8 do
+        bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (u8 ()))
+      done;
+      Int64.float_of_bits !bits
+    in
+    let* () = need 28 "header" in
+    let nd_epoch = f64 () in
+    let nd_server_now = f64 () in
+    let nd_client_mid = f64 () in
+    let nd_dropped = u32 () in
+    let* nd_events =
+      Wire.trace_events_of_string (String.sub data !pos (len - !pos))
+    in
+    Ok { nd_node; nd_epoch; nd_server_now; nd_client_mid; nd_dropped; nd_events }
+  end
+
+let write_file path d =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string d))
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> of_string data
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error (path ^ ": truncated")
+
+(* ------------------------------------------------------------------ *)
+(* Merge                                                               *)
+
+let str_arg ev key =
+  List.find_map
+    (function k, Trace.Str v when k = key -> Some v | _ -> None)
+    ev.Trace.ev_args
+
+(* Same-lane dedup key: the raw (pre-correction) event identity.  Two
+   dumps of the same process share an epoch, so identical events collide
+   exactly. *)
+let event_key (e : Trace.event) =
+  (e.ev_name, e.ev_ph, e.ev_ts, e.ev_dur, e.ev_tid)
+
+(* Group dumps by node name, dedup within each group, correct each
+   node's events onto the dumper timeline, and render one Chrome trace
+   with a [pid] lane (plus a [process_name] metadata record) per node
+   and a flow arrow from every [coordinator.job] span to the first
+   worker-side event that names it as [ctx.parent]. *)
+let merge dumps =
+  (* Lane order = first appearance; later same-name dumps fold in. *)
+  let lanes = ref [] in
+  List.iter
+    (fun d ->
+      match List.assoc_opt d.nd_node !lanes with
+      | Some group -> group := d :: !group
+      | None -> lanes := !lanes @ [ (d.nd_node, ref [ d ]) ])
+    dumps;
+  let lanes =
+    List.mapi
+      (fun i (node, group) -> (i + 1, node, List.rev !group))
+      !lanes
+  in
+  (* Per lane: skew from its first dump, events deduped across dumps. *)
+  let corrected =
+    List.map
+      (fun (pid, node, group) ->
+        let first = List.hd group in
+        let offset = first.nd_epoch +. skew first in
+        let seen = Hashtbl.create 256 in
+        let events =
+          List.concat_map (fun d -> d.nd_events) group
+          |> List.filter (fun e ->
+                 let k = event_key e in
+                 if Hashtbl.mem seen k then false
+                 else begin
+                   Hashtbl.add seen k ();
+                   true
+                 end)
+        in
+        let dropped = List.fold_left (fun n d -> n + d.nd_dropped) 0 group in
+        (pid, node, offset, dropped, events))
+      lanes
+  in
+  (* The merged timeline's zero: the earliest corrected epoch. *)
+  let ref_epoch =
+    List.fold_left
+      (fun acc (_, _, offset, _, _) -> Float.min acc offset)
+      infinity corrected
+  in
+  let ref_epoch = if ref_epoch = infinity then 0. else ref_epoch in
+  let shifted =
+    List.map
+      (fun (pid, node, offset, dropped, events) ->
+        let delta = (offset -. ref_epoch) *. 1e6 in
+        ( pid,
+          node,
+          dropped,
+          List.map (fun e -> { e with Trace.ev_ts = e.Trace.ev_ts +. delta }) events
+        ))
+      corrected
+  in
+  (* Cross-node flows: coordinator job span -> first event on another
+     lane carrying that span id as its ctx.parent. *)
+  let job_spans =
+    List.concat_map
+      (fun (pid, _, _, events) ->
+        List.filter_map
+          (fun e ->
+            if e.Trace.ev_name = "coordinator.job" then
+              Option.map (fun id -> (id, pid, e)) (str_arg e "span_id")
+            else None)
+          events)
+      shifted
+  in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"epochSeconds\":";
+  Buffer.add_string buf (Printf.sprintf "%.6f" ref_epoch);
+  Buffer.add_string buf ",\"traceEvents\":[";
+  let first_ev = ref true in
+  let emit json =
+    if not !first_ev then Buffer.add_char buf ',';
+    first_ev := false;
+    Buffer.add_string buf json
+  in
+  List.iter
+    (fun (pid, node, _, _) ->
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+           pid (Trace.json_escape node)))
+    shifted;
+  List.iter
+    (fun (pid, _, _, events) ->
+      List.iter (fun e -> emit (Trace.event_json_string ~pid e)) events)
+    shifted;
+  (* Flow arrows, one per (job span, foreign lane) pair. *)
+  let flow_seq = ref 0 in
+  List.iter
+    (fun (span_id, coord_pid, coord_ev) ->
+      let linked = Hashtbl.create 4 in
+      List.iter
+        (fun (pid, _, _, events) ->
+          if pid <> coord_pid && not (Hashtbl.mem linked pid) then
+            match
+              List.find_opt (fun e -> str_arg e "ctx.parent" = Some span_id) events
+            with
+            | None -> ()
+            | Some target ->
+                Hashtbl.add linked pid ();
+                incr flow_seq;
+                let id = !flow_seq in
+                emit
+                  (Printf.sprintf
+                     "{\"ph\":\"s\",\"name\":\"job\",\"cat\":\"job\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":%.3f}"
+                     id coord_pid coord_ev.Trace.ev_tid coord_ev.Trace.ev_ts);
+                emit
+                  (Printf.sprintf
+                     "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"job\",\"cat\":\"job\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":%.3f}"
+                     id pid target.Trace.ev_tid target.Trace.ev_ts))
+        shifted)
+    job_spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

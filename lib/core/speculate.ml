@@ -85,7 +85,12 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let worker t cell () =
+(* [ctx] is the trace context of the domain that launched the
+   speculation, re-installed here so the speculative predicate's spans
+   parent under the same job as the demand path that (maybe) consumes
+   the verdict — a speculation pool runs on its own domains, which
+   otherwise have no context. *)
+let worker t ctx cell () =
   let claimed =
     locked t (fun () ->
         match cell.state with
@@ -96,6 +101,7 @@ let worker t cell () =
   in
   if claimed then begin
     let outcome =
+      Lbr_obs.Trace.with_context ctx @@ fun () ->
       match t.compute cell.phi with v -> Done v | exception _ -> Poisoned
     in
     Mutex.lock t.mutex;
@@ -126,7 +132,7 @@ let prefetch t phi =
         Perf.add "spec.launched" 1;
         Lbr_obs.Metrics.incr (Lazy.force m_launched);
         Lbr_obs.Trace.instant "spec.launch";
-        t.spawn (worker t cell)
+        t.spawn (worker t (Lbr_obs.Trace.current_context ()) cell)
   end
 
 (* Cancel a cell on the demand path; caller holds the lock.  Returns

@@ -1,0 +1,80 @@
+(* A deliberately tiny Prometheus scrape endpoint: one listener thread,
+   one short-lived HTTP/1.0 exchange per accepted connection.  Every GET
+   gets the render callback's output as text/plain; nothing else of HTTP
+   is implemented because scrapers need nothing else. *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  thread : Thread.t;
+}
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let respond client body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      content_type (String.length body)
+  in
+  let msg = Bytes.of_string (head ^ body) in
+  let rec write_all off =
+    if off < Bytes.length msg then
+      let n = Unix.write client msg off (Bytes.length msg - off) in
+      write_all (off + n)
+  in
+  write_all 0
+
+let serve_client render client =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Drain the request head (best effort — a scraper that sends
+         nothing still gets its metrics). *)
+      Unix.setsockopt_float client Unix.SO_RCVTIMEO 2.0;
+      let buf = Bytes.create 4096 in
+      (try ignore (Unix.read client buf 0 (Bytes.length buf) : int)
+       with Unix.Unix_error _ -> ());
+      let body = try render () with _ -> "# render failed\n" in
+      respond client body)
+
+let accept_loop t render =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.fd with
+        | client, _ -> ( try serve_client render client with _ -> ())
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  done;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let start ?(host = "127.0.0.1") ~port render =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> invalid_arg (Printf.sprintf "Exporter.start: bad host %S" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (inet, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { fd; port; stop_flag = Atomic.make false; thread = Thread.self () } in
+  let thread = Thread.create (fun () -> accept_loop t render) () in
+  { t with thread }
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  try Thread.join t.thread with _ -> ()

@@ -1,0 +1,20 @@
+(** A minimal Prometheus scrape endpoint: a background thread serving
+    every HTTP request on a TCP port with the render callback's output as
+    [text/plain] (the Prometheus text exposition content type).  Used by
+    [lbr-reduce serve --prometheus-listen] (node-local registry) and
+    [lbr-reduce coordinate --prometheus-listen] (federated cluster
+    view). *)
+
+type t
+
+(** [start ?host ~port render] binds and serves in a background thread.
+    [port = 0] picks a free port (see {!port}).  Raises [Unix.Unix_error]
+    if the bind fails.  [render] runs on the listener thread per scrape;
+    exceptions in it produce a comment body, never kill the listener. *)
+val start : ?host:string -> port:int -> (unit -> string) -> t
+
+(** The bound port (kernel-chosen when [start] was given 0). *)
+val port : t -> int
+
+(** Stop the listener and join its thread.  Idempotent. *)
+val stop : t -> unit

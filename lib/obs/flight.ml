@@ -1,0 +1,217 @@
+(* Crash flight recorder: an always-on bounded ring of the most recent
+   spans plus the last K job state transitions, dumped to the journal
+   directory when the process dies badly (SIGSEGV, uncaught exception)
+   or is asked to stop (the daemons call [dump] from their SIGTERM drain
+   hook).  `lbr-reduce report` renders the dump post-mortem.
+
+   Span capture rides {!Trace.set_flight_hook}: while armed, every span
+   and instant is mirrored here with absolute wall-clock timestamps even
+   when classic tracing is off — so a crash of an untraced production
+   daemon still leaves the last window of evidence.  The hook path is a
+   mutex + two array stores; the rings are small by design (the point is
+   the last few hundred events, not a full trace). *)
+
+type transition = { tr_ts : float; tr_job : string; tr_state : string }
+
+type t = {
+  mutex : Mutex.t;
+  node : string;
+  dir : string;
+  spans : Trace.event array;  (* ev_ts/ev_dur in absolute microseconds *)
+  mutable s_first : int;
+  mutable s_count : int;
+  trans : transition array;
+  mutable t_first : int;
+  mutable t_count : int;
+  mutable dumped : string list;  (* paths written, latest first *)
+}
+
+let none_transition = { tr_ts = 0.; tr_job = ""; tr_state = "" }
+
+(* Single armed recorder per process, like the metrics registry. *)
+let current : t option ref = ref None
+let armed () = !current <> None
+
+let push_ring buf first count v =
+  let cap = Array.length buf in
+  if count = cap then begin
+    buf.(first) <- v;
+    ((first + 1) mod cap, count)
+  end
+  else begin
+    buf.((first + count) mod cap) <- v;
+    (first, count + 1)
+  end
+
+let note_span t ~name ~ph ~t0 ~t1 ~args =
+  Mutex.lock t.mutex;
+  let first, count =
+    push_ring t.spans t.s_first t.s_count
+      {
+        Trace.ev_name = name;
+        ev_ph = ph;
+        ev_ts = t0 *. 1e6;
+        ev_dur = (t1 -. t0) *. 1e6;
+        ev_tid = (Domain.self () :> int);
+        ev_args = args;
+      }
+  in
+  t.s_first <- first;
+  t.s_count <- count;
+  Mutex.unlock t.mutex
+
+let transition ~job ~state =
+  match !current with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.mutex;
+      let first, count =
+        push_ring t.trans t.t_first t.t_count
+          { tr_ts = Unix.gettimeofday (); tr_job = job; tr_state = state }
+      in
+      t.t_first <- first;
+      t.t_count <- count;
+      Mutex.unlock t.mutex
+
+let ring_to_list buf first count =
+  List.init count (fun i -> buf.((first + i) mod Array.length buf))
+
+let render_rows buf rows =
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      match r with
+      | Metrics.Counter_row { name; value } ->
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"kind\":\"counter\",\"name\":\"%s\",\"value\":%d}"
+               (Trace.json_escape name) value)
+      | Metrics.Gauge_row { name; value } ->
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"kind\":\"gauge\",\"name\":\"%s\",\"value\":%s}"
+               (Trace.json_escape name)
+               (if Float.is_finite value then Printf.sprintf "%.6g" value else "null"))
+      | Metrics.Histogram_row { name; count; sum; p50; p90; p99 } ->
+          let n v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    {\"kind\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+               (Trace.json_escape name) count (n sum) (n p50) (n p90) (n p99)))
+    rows
+
+let render t ~reason =
+  let spans, trans =
+    Mutex.lock t.mutex;
+    let s = ring_to_list t.spans t.s_first t.s_count in
+    let tr = ring_to_list t.trans t.t_first t.t_count in
+    Mutex.unlock t.mutex;
+    (s, tr)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"flightRecorder\":1,\n\"node\":\"%s\",\n\"pid\":%d,\n\"reason\":\"%s\",\n\"time\":%.6f,\n"
+       (Trace.json_escape t.node) (Unix.getpid ()) (Trace.json_escape reason)
+       (Unix.gettimeofday ()));
+  Buffer.add_string buf "\"spans\":[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf ("    " ^ Trace.event_json_string ev))
+    spans;
+  Buffer.add_string buf "\n],\n\"transitions\":[\n";
+  List.iteri
+    (fun i { tr_ts; tr_job; tr_state } ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"ts\":%.6f,\"job\":\"%s\",\"state\":\"%s\"}" tr_ts
+           (Trace.json_escape tr_job) (Trace.json_escape tr_state)))
+    trans;
+  Buffer.add_string buf "\n],\n\"metrics\":[\n";
+  render_rows buf (Metrics.rows ());
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let dump_t t ~reason =
+  let path =
+    Filename.concat t.dir (Printf.sprintf "flight-%d-%s.json" (Unix.getpid ()) reason)
+  in
+  let body = render t ~reason in
+  let oc = open_out path in
+  Fun.protect
+    (fun () -> output_string oc body)
+    ~finally:(fun () -> close_out oc);
+  Mutex.lock t.mutex;
+  t.dumped <- path :: t.dumped;
+  Mutex.unlock t.mutex;
+  path
+
+let dump ~reason =
+  match !current with
+  | None -> None
+  | Some t -> ( try Some (dump_t t ~reason) with _ -> None)
+
+let install_crash_handlers () =
+  (* SIGSEGV delivery after real memory corruption may not survive long
+     enough to write the dump — this is strictly best-effort, and the
+     common OCaml case (stack overflow mapped to sigsegv) does work. *)
+  (try
+     Sys.set_signal Sys.sigsegv
+       (Sys.Signal_handle
+          (fun _ ->
+            ignore (dump ~reason:"sigsegv");
+            exit 139))
+   with Invalid_argument _ | Sys_error _ -> ());
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      ignore (dump ~reason:"uncaught-exn");
+      Printexc.default_uncaught_exception_handler exn bt)
+
+let arm ?(node = Printf.sprintf "pid-%d" (Unix.getpid ())) ?(spans = 512)
+    ?(transitions = 256) ~dir () =
+  if spans < 1 || transitions < 1 then invalid_arg "Flight.arm: capacities must be >= 1";
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> invalid_arg (Printf.sprintf "Flight.arm: %s is not a directory" dir)
+  | exception Sys_error _ -> Unix.mkdir dir 0o755);
+  let t =
+    {
+      mutex = Mutex.create ();
+      node;
+      dir;
+      spans = Array.make spans Trace.{ ev_name = ""; ev_ph = 'i'; ev_ts = 0.; ev_dur = 0.; ev_tid = 0; ev_args = [] };
+      s_first = 0;
+      s_count = 0;
+      trans = Array.make transitions none_transition;
+      t_first = 0;
+      t_count = 0;
+      dumped = [];
+    }
+  in
+  current := Some t;
+  Trace.set_flight_hook
+    (Some (fun ~name ~ph ~t0 ~t1 ~args -> note_span t ~name ~ph ~t0 ~t1 ~args));
+  install_crash_handlers ()
+
+let disarm () =
+  Trace.set_flight_hook None;
+  current := None
+
+let render_current ~reason =
+  match !current with None -> None | Some t -> Some (render t ~reason)
+
+let span_count () =
+  match !current with
+  | None -> 0
+  | Some t ->
+      Mutex.lock t.mutex;
+      let n = t.s_count in
+      Mutex.unlock t.mutex;
+      n
+
+let transition_count () =
+  match !current with
+  | None -> 0
+  | Some t ->
+      Mutex.lock t.mutex;
+      let n = t.t_count in
+      Mutex.unlock t.mutex;
+      n

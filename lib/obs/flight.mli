@@ -1,0 +1,38 @@
+(** Crash flight recorder: a bounded, always-on ring of the most recent
+    spans plus the last K job state transitions, dumped to the journal
+    directory when the process dies badly (SIGSEGV, uncaught exception)
+    or drains on SIGTERM.  Rendered post-mortem by [lbr-reduce report].
+
+    Arming taps {!Trace.set_flight_hook}, so spans are mirrored here with
+    absolute wall-clock timestamps even when classic tracing is off.  The
+    rings are deliberately small: the product is the last few hundred
+    events before death, not a full trace.  One recorder per process. *)
+
+(** Arm the recorder: ring capacities (spans, transitions), a node label
+    for the dump, and the directory dumps are written to (created if
+    missing).  Installs a best-effort SIGSEGV handler and chains the
+    uncaught-exception handler; SIGTERM is {e not} hooked here — the
+    daemons' drain path calls {!dump} so the recorder composes with
+    {!Lbr_server.Shutdown} instead of racing it. *)
+val arm : ?node:string -> ?spans:int -> ?transitions:int -> dir:string -> unit -> unit
+
+val armed : unit -> bool
+
+(** Drop the recorder and the trace hook (test helper; signal handlers
+    stay installed but become no-ops). *)
+val disarm : unit -> unit
+
+(** Record a job state transition, e.g. [~job:"job-3" ~state:"running"].
+    No-op unless armed. *)
+val transition : job:string -> state:string -> unit
+
+(** Write [flight-<pid>-<reason>.json] into the armed directory.  [None]
+    when not armed or the write failed (a dying process never dies twice
+    here). *)
+val dump : reason:string -> string option
+
+(** The dump body as a string, without touching the filesystem. *)
+val render_current : reason:string -> string option
+
+val span_count : unit -> int
+val transition_count : unit -> int

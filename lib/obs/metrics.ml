@@ -243,3 +243,256 @@ let reset_all () =
       | Gauge g -> locked g.g_mutex (fun () -> g.g_value <- 0.)
       | Hist h -> locked h.h_mutex (fun () -> Histogram.reset h.h_state))
     entries
+
+(* ------------------------------------------------------------------ *)
+(* Registry dumps: a value snapshot of every metric, serializable so a
+   coordinator can pull worker registries over the wire and merge them
+   exactly — counters and gauges by addition, histograms bucket-by-bucket
+   via the same layout check {!Histogram.merge} enforces. *)
+
+type dumped =
+  | D_counter of int
+  | D_gauge of float
+  | D_hist of { d_lo : float; d_growth : float; d_counts : int array; d_sum : float }
+
+type dump = (string * string * dumped) list
+
+let dump () =
+  List.map
+    (fun (name, help, m) ->
+      let v =
+        match m with
+        | Counter c -> D_counter (counter_value c)
+        | Gauge g -> D_gauge (gauge_value g)
+        | Hist h ->
+            let s = histogram_state h in
+            D_hist
+              {
+                d_lo = s.Histogram.lo;
+                d_growth = s.Histogram.growth;
+                d_counts = Histogram.bucket_counts s;
+                d_sum = Histogram.sum s;
+              }
+      in
+      (name, help, v))
+    (sorted_entries ())
+
+(* Wire form: "LBRM1", then n(u32) entries of
+   name str16 | help str16 | tag u8 | payload (all big-endian).  Kept
+   here (not in the server's Wire module) because the codec is the
+   federation payload on every transport, including files. *)
+
+let dump_magic = "LBRM1"
+
+let w_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let w_u16 b v = Buffer.add_uint16_be b (v land 0xffff)
+let w_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let w_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let w_str16 b s =
+  if String.length s > 0xffff then invalid_arg "Metrics.encode_dump: string too long";
+  w_u16 b (String.length s);
+  Buffer.add_string b s
+
+let encode_dump d =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b dump_magic;
+  Buffer.add_int32_be b (Int32.of_int (List.length d));
+  List.iter
+    (fun (name, help, v) ->
+      w_str16 b name;
+      w_str16 b help;
+      match v with
+      | D_counter c ->
+          w_u8 b 0;
+          w_i64 b c
+      | D_gauge g ->
+          w_u8 b 1;
+          w_f64 b g
+      | D_hist { d_lo; d_growth; d_counts; d_sum } ->
+          w_u8 b 2;
+          w_f64 b d_lo;
+          w_f64 b d_growth;
+          w_u16 b (Array.length d_counts);
+          Array.iter (fun c -> w_i64 b c) d_counts;
+          w_f64 b d_sum)
+    d;
+  Buffer.contents b
+
+exception Malformed_dump of string
+
+let decode_dump s =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then raise (Malformed_dump "truncated dump")
+  in
+  let r_u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    pos := !pos + 1;
+    v
+  in
+  let r_u16 () =
+    need 2;
+    let v = String.get_uint16_be s !pos in
+    pos := !pos + 2;
+    v
+  in
+  let r_u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_be s !pos) land 0xffffffff in
+    pos := !pos + 4;
+    v
+  in
+  let r_i64 () =
+    need 8;
+    let v = Int64.to_int (String.get_int64_be s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let r_f64 () =
+    need 8;
+    let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let r_str16 () =
+    let n = r_u16 () in
+    need n;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  try
+    need (String.length dump_magic);
+    if String.sub s 0 (String.length dump_magic) <> dump_magic then
+      raise (Malformed_dump "bad dump magic");
+    pos := String.length dump_magic;
+    let n = r_u32 () in
+    if n > 1_000_000 then raise (Malformed_dump "implausible entry count");
+    let entries =
+      List.init n (fun _ ->
+          let name = r_str16 () in
+          let help = r_str16 () in
+          let v =
+            match r_u8 () with
+            | 0 -> D_counter (r_i64 ())
+            | 1 -> D_gauge (r_f64 ())
+            | 2 ->
+                let d_lo = r_f64 () in
+                let d_growth = r_f64 () in
+                let buckets = r_u16 () in
+                let d_counts = Array.init buckets (fun _ -> r_i64 ()) in
+                let d_sum = r_f64 () in
+                D_hist { d_lo; d_growth; d_counts; d_sum }
+            | t -> raise (Malformed_dump (Printf.sprintf "unknown metric tag %d" t))
+          in
+          (name, help, v))
+    in
+    if !pos <> String.length s then raise (Malformed_dump "trailing garbage in dump");
+    Ok entries
+  with
+  | Malformed_dump m -> Error m
+  | _ -> Error "malformed metrics dump"
+
+let merge_values a b =
+  match (a, b) with
+  | D_counter x, D_counter y -> D_counter (x + y)
+  | D_gauge x, D_gauge y -> D_gauge (x +. y)
+  | ( D_hist { d_lo; d_growth; d_counts; d_sum },
+      D_hist { d_lo = lo'; d_growth = g'; d_counts = c'; d_sum = s' } )
+    when d_lo = lo' && d_growth = g' && Array.length d_counts = Array.length c' ->
+      D_hist
+        {
+          d_lo;
+          d_growth;
+          d_counts = Array.mapi (fun i c -> c + c'.(i)) d_counts;
+          d_sum = d_sum +. s';
+        }
+  (* Kind or layout mismatch across nodes (version skew): first wins,
+     never raise — federation must degrade, not die. *)
+  | a, _ -> a
+
+let merge_dumps dumps =
+  let table : (string, string * dumped) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, help, v) ->
+         match Hashtbl.find_opt table name with
+         | None -> Hashtbl.replace table name (help, v)
+         | Some (help0, v0) ->
+             Hashtbl.replace table name
+               ((if help0 = "" then help else help0), merge_values v0 v)))
+    dumps;
+  Hashtbl.fold (fun name (help, v) acc -> (name, help, v) :: acc) table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let hist_of_dumped d_lo d_growth d_counts d_sum =
+  let h = Histogram.create ~lo:d_lo ~growth:d_growth ~buckets:(Array.length d_counts) () in
+  Array.iteri (fun i c -> h.Histogram.counts.(i) <- c) d_counts;
+  h.Histogram.count <- Array.fold_left ( + ) 0 d_counts;
+  h.Histogram.sum <- d_sum;
+  h
+
+let rows_of_dump d =
+  List.map
+    (fun (name, _, v) ->
+      match v with
+      | D_counter value -> Counter_row { name; value }
+      | D_gauge value -> Gauge_row { name; value }
+      | D_hist { d_lo; d_growth; d_counts; d_sum } ->
+          let s = hist_of_dumped d_lo d_growth d_counts d_sum in
+          Histogram_row
+            {
+              name;
+              count = Histogram.count s;
+              sum = Histogram.sum s;
+              p50 = Histogram.quantile s 0.5;
+              p90 = Histogram.quantile s 0.9;
+              p99 = Histogram.quantile s 0.99;
+            })
+    d
+
+let find_in_dump d name =
+  List.find_map (fun (n, _, v) -> if n = name then Some v else None) d
+
+let render_prometheus_dump ?label d =
+  let lbl =
+    match label with
+    | None -> ""
+    | Some (k, v) -> Printf.sprintf "{%s=\"%s\"}" k v
+  in
+  let lbl_with extra =
+    match label with
+    | None -> Printf.sprintf "{%s}" extra
+    | Some (k, v) -> Printf.sprintf "{%s=\"%s\",%s}" k v extra
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, v) ->
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      match v with
+      | D_counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name lbl c)
+      | D_gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name lbl (prom_float g))
+      | D_hist { d_lo; d_growth; d_counts; d_sum } ->
+          let s = hist_of_dumped d_lo d_growth d_counts d_sum in
+          let le = Histogram.upper_bounds s in
+          let counts = Histogram.bucket_counts s in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let acc = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              acc := !acc + counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (lbl_with (Printf.sprintf "le=\"%s\"" (prom_float bound)))
+                   !acc))
+            le;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name lbl (prom_float (Histogram.sum s)));
+          Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name lbl (Histogram.count s)))
+    d;
+  Buffer.contents buf

@@ -103,3 +103,42 @@ val render_prometheus : unit -> string
 
 (** Zero every registered metric (registrations survive).  Test helper. *)
 val reset_all : unit -> unit
+
+(** {2 Registry dumps — metrics federation}
+
+    A [dump] is a value snapshot of a whole registry: one
+    [(name, help, value)] triple per metric, sorted by name.  Dumps are
+    what a cluster coordinator pulls from each worker over the
+    [Metrics_dump] wire request; {!merge_dumps} combines them {e exactly}
+    — counters and gauges by addition, histograms bucket-by-bucket under
+    the same layout check {!Histogram.merge} enforces (a kind or layout
+    mismatch keeps the first value rather than raising: federation
+    degrades under version skew, never dies). *)
+
+type dumped =
+  | D_counter of int
+  | D_gauge of float
+  | D_hist of { d_lo : float; d_growth : float; d_counts : int array; d_sum : float }
+
+type dump = (string * string * dumped) list
+
+(** Snapshot every registered metric. *)
+val dump : unit -> dump
+
+(** Compact binary form ("LBRM1" magic, big-endian). *)
+val encode_dump : dump -> string
+
+(** Total: any input yields [Ok] or [Error], never an exception. *)
+val decode_dump : string -> (dump, string) result
+
+val merge_dumps : dump list -> dump
+
+(** Dump rows in the same shape {!rows} produces for the live registry
+    ([bench --json] federated rows, [top]). *)
+val rows_of_dump : dump -> row list
+
+val find_in_dump : dump -> string -> dumped option
+
+(** Prometheus text for a dump; [label] (e.g. [("worker", "w0")]) is
+    attached to every sample, composing with histogram [le] labels. *)
+val render_prometheus_dump : ?label:string * string -> dump -> string

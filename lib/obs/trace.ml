@@ -24,9 +24,21 @@ let none_event =
 let default_capacity = 65536
 let ring_capacity = Atomic.make default_capacity
 
-(* The only state a disabled call site reads. *)
-let on = Atomic.make false
+(* The only state a disabled call site reads: a bitmask so the flight
+   recorder (bit 1) can observe spans without a second atomic on the hot
+   path.  Bit 0 is classic tracing; 0 means every span is free. *)
+let trace_bit = 1
+let flight_bit = 2
+let state = Atomic.make 0
 let epoch = Atomic.make 0.0
+
+(* Armed by {!Flight}; receives every span/instant with absolute
+   timestamps (seconds) while [flight_bit] is set.  Must never raise. *)
+let flight_hook :
+    (name:string -> ph:char -> t0:float -> t1:float -> args:(string * arg) list -> unit)
+    option
+    ref =
+  ref None
 
 let registry : ring list ref = ref []
 let registry_mutex = Mutex.create ()
@@ -59,7 +71,15 @@ let push ev =
     r.count <- r.count + 1
   end
 
-let enabled () = Atomic.get on
+let enabled () = Atomic.get state land trace_bit <> 0
+
+let set_bit bit on =
+  let rec go () =
+    let s = Atomic.get state in
+    let s' = if on then s lor bit else s land lnot bit in
+    if not (Atomic.compare_and_set state s s') then go ()
+  in
+  go ()
 
 let start ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Trace.start: capacity must be >= 1";
@@ -74,12 +94,64 @@ let start ?(capacity = default_capacity) () =
   Mutex.unlock registry_mutex;
   Atomic.set ring_capacity capacity;
   Atomic.set epoch (Unix.gettimeofday ());
-  Atomic.set on true
+  set_bit trace_bit true
 
-let stop () = Atomic.set on false
+let stop () = set_bit trace_bit false
 let now () = Unix.gettimeofday ()
+let epoch_seconds () = Atomic.get epoch
 
-let eval_args = function None -> [] | Some f -> ( try f () with _ -> [])
+(* ------------------------------------------------------------------ *)
+(* Trace contexts: the causal identity a job carries across processes.  *)
+
+module Context = struct
+  type t = { trace_id : string; parent_span : string }
+
+  (* Ids are 16 hex chars: a process-unique seed hashed with a counter.
+     Uniqueness across a cluster comes from pid + wall clock in the seed;
+     no global coordination needed. *)
+  let seed =
+    lazy
+      (Digest.to_hex
+         (Digest.string
+            (Printf.sprintf "%d.%.9f.%d" (Unix.getpid ()) (Unix.gettimeofday ())
+               (Hashtbl.hash Sys.executable_name))))
+
+  let counter = Atomic.make 0
+
+  let fresh_span_id () =
+    let n = Atomic.fetch_and_add counter 1 in
+    String.sub
+      (Digest.to_hex (Digest.string (Printf.sprintf "%s-%d" (Lazy.force seed) n)))
+      0 16
+
+  let mint () = { trace_id = fresh_span_id (); parent_span = fresh_span_id () }
+end
+
+let ctx_key : Context.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_context () = !(Domain.DLS.get ctx_key)
+
+let with_context ctx f =
+  let cell = Domain.DLS.get ctx_key in
+  let saved = !cell in
+  cell := ctx;
+  Fun.protect f ~finally:(fun () -> cell := saved)
+
+(* ------------------------------------------------------------------ *)
+
+(* A raising thunk poisons only its own span's args: the span is kept,
+   its args replaced by a marker, so instrumentation bugs show up in the
+   trace instead of silently erasing evidence. *)
+let eval_args = function
+  | None -> []
+  | Some f -> ( try f () with _ -> [ ("args", Str "<error>") ])
+
+let ctx_args () =
+  match current_context () with
+  | None -> []
+  | Some { Context.trace_id; parent_span } ->
+      [ ("ctx.trace", Str trace_id); ("ctx.parent", Str parent_span) ]
 
 (* Span durations feed a metrics histogram so `bench --json` and the
    Prometheus dump can summarize where traced time went without parsing
@@ -90,20 +162,30 @@ let span_hist =
        ~lo:1e-6 ~growth:4.0 ~buckets:24 "lbr_span_duration_seconds")
 
 let record ?args name ~t0 ~t1 ~ph =
-  let e = Atomic.get epoch in
-  push
-    {
-      ev_name = name;
-      ev_ph = ph;
-      ev_ts = (t0 -. e) *. 1e6;
-      ev_dur = (t1 -. t0) *. 1e6;
-      ev_tid = (Domain.self () :> int);
-      ev_args = eval_args args;
-    };
-  if ph = 'X' then Metrics.observe (Lazy.force span_hist) (t1 -. t0)
+  let s = Atomic.get state in
+  if s <> 0 then begin
+    let args = eval_args args @ ctx_args () in
+    if s land trace_bit <> 0 then begin
+      let e = Atomic.get epoch in
+      push
+        {
+          ev_name = name;
+          ev_ph = ph;
+          ev_ts = (t0 -. e) *. 1e6;
+          ev_dur = (t1 -. t0) *. 1e6;
+          ev_tid = (Domain.self () :> int);
+          ev_args = args;
+        };
+      if ph = 'X' then Metrics.observe (Lazy.force span_hist) (t1 -. t0)
+    end;
+    if s land flight_bit <> 0 then
+      match !flight_hook with
+      | None -> ()
+      | Some hook -> ( try hook ~name ~ph ~t0 ~t1 ~args with _ -> ())
+  end
 
 let with_span ?args name f =
-  if not (Atomic.get on) then f ()
+  if Atomic.get state = 0 then f ()
   else begin
     let t0 = Unix.gettimeofday () in
     Fun.protect f ~finally:(fun () ->
@@ -111,13 +193,17 @@ let with_span ?args name f =
   end
 
 let instant ?args name =
-  if Atomic.get on then begin
+  if Atomic.get state <> 0 then begin
     let t = Unix.gettimeofday () in
     record ?args name ~t0:t ~t1:t ~ph:'i'
   end
 
 let span_between ?args name ~start ~finish =
-  if Atomic.get on then record ?args name ~t0:start ~t1:finish ~ph:'X'
+  if Atomic.get state <> 0 then record ?args name ~t0:start ~t1:finish ~ph:'X'
+
+let set_flight_hook hook =
+  flight_hook := hook;
+  set_bit flight_bit (hook <> None)
 
 let rings () =
   Mutex.lock registry_mutex;
@@ -159,10 +245,10 @@ let arg_json = function
   | Float f -> if Float.is_nan f || Float.abs f = infinity then "null" else Printf.sprintf "%.6g" f
   | Bool b -> if b then "true" else "false"
 
-let event_json buf ev =
+let event_json ?(pid = 1) buf ev =
   Buffer.add_string buf
-    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"lbr\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%s"
-       (json_escape ev.ev_name) ev.ev_ph ev.ev_tid (json_float ev.ev_ts));
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"lbr\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%s"
+       (json_escape ev.ev_name) ev.ev_ph pid ev.ev_tid (json_float ev.ev_ts));
   if ev.ev_ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (json_float ev.ev_dur))
   else if ev.ev_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
   (match ev.ev_args with
@@ -177,9 +263,15 @@ let event_json buf ev =
       Buffer.add_char buf '}');
   Buffer.add_char buf '}'
 
+let event_json_string ?pid ev =
+  let buf = Buffer.create 128 in
+  event_json ?pid buf ev;
+  Buffer.contents buf
+
 let to_json () =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"traceEvents\":[";
+  Buffer.add_string buf
+    (Printf.sprintf "{\"epochSeconds\":%.6f,\"traceEvents\":[" (Atomic.get epoch));
   List.iteri
     (fun i ev ->
       if i > 0 then Buffer.add_string buf ",\n";

@@ -7,9 +7,11 @@
     Tracing is off by default.  A disabled call site costs one atomic flag
     load and a branch — single-digit nanoseconds, verified by the
     [sat:trace-disabled-overhead] micro-benchmark (budget: 50ns/call).
-    Instrumentation must therefore never compute span attributes eagerly:
-    [args] is a thunk, evaluated only when tracing is enabled, at span
-    {e end} — so it may read state the traced section updates.
+    The flag is a bitmask (tracing | flight recorder) so arming the
+    {!Flight} recorder does not add a second load.  Instrumentation must
+    therefore never compute span attributes eagerly: [args] is a thunk,
+    evaluated only when recording is enabled, at span {e end} — so it may
+    read state the traced section updates.
 
     {2 Concurrency}
 
@@ -40,9 +42,36 @@ val start : ?capacity:int -> unit -> unit
 (** Disable tracing.  Recorded events stay readable. *)
 val stop : unit -> unit
 
+(** The trace context a job carries across every process boundary: minted
+    once per job, shipped in wire v5 frames, and installed (via
+    {!with_context}) around the code that runs the job so every span it
+    records — on whichever node — names the same trace and the same
+    parent span. *)
+module Context : sig
+  type t = {
+    trace_id : string;  (** 16 hex chars; constant for the job's lifetime *)
+    parent_span : string;  (** span id the receiving side parents under *)
+  }
+
+  (** Fresh trace id + fresh root span id. *)
+  val mint : unit -> t
+
+  (** A fresh 16-hex-char span id (same generator as {!mint}). *)
+  val fresh_span_id : unit -> string
+end
+
+(** [with_context ctx f] runs [f ()] with [ctx] as the domain-local
+    current context (restored afterwards, also on exception).  While a
+    context is installed, every recorded event gains
+    [ctx.trace]/[ctx.parent] args. *)
+val with_context : Context.t option -> (unit -> 'a) -> 'a
+
+val current_context : unit -> Context.t option
+
 (** [with_span ?args name f] runs [f ()]; when tracing is enabled, records
     a complete span covering it (also on exception).  [args] is evaluated
-    once, after [f] returns; exceptions it raises are swallowed. *)
+    once, after [f] returns; a raising thunk poisons only that span's args
+    (they are recorded as [{"args": "<error>"}]), never the span. *)
 val with_span : ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
 
 (** Zero-duration marker event. *)
@@ -50,6 +79,11 @@ val instant : ?args:(unit -> (string * arg) list) -> string -> unit
 
 (** Wall-clock seconds ([Unix.gettimeofday]), for [span_between]. *)
 val now : unit -> float
+
+(** Absolute wall-clock second that [ts = 0] maps to — the moment of the
+    last {!start} ([0.] before the first).  Trace dumps ship it so a
+    merger can align nodes on absolute time. *)
+val epoch_seconds : unit -> float
 
 (** Record a span from timestamps captured with [now] — for durations
     that don't nest as a call scope (e.g. queue wait measured between
@@ -64,7 +98,24 @@ val events : unit -> event list
 val dropped : unit -> int
 
 (** Chrome [trace_event] JSON ({["traceEvents"]} array of ["X"]/["i"]
-    events with [ts]/[dur] in microseconds). *)
+    events with [ts]/[dur] in microseconds, plus an ["epochSeconds"]
+    top-level key). *)
 val to_json : unit -> string
 
 val write_file : string -> unit
+
+(** One event as a Chrome [trace_event] JSON object, under an explicit
+    process lane (default [pid = 1]).  Used by [trace-merge] and the
+    flight recorder. *)
+val event_json_string : ?pid:int -> event -> string
+
+val json_escape : string -> string
+
+(** {!Flight}'s tap: while set, every span/instant is also delivered to
+    the hook with {e absolute} wall-clock seconds, even when classic
+    tracing is off.  The hook must not raise (exceptions are swallowed).
+    Internal — use {!Flight.arm}. *)
+val set_flight_hook :
+  (name:string -> ph:char -> t0:float -> t1:float -> args:(string * arg) list -> unit)
+  option ->
+  unit

@@ -59,6 +59,10 @@ let submit_ex t ?(on_progress = fun (_ : progress) -> ())
             "frontend %S requires protocol version 4 (server negotiated %d)"
             spec.Wire.frontend t.version))
   else
+  (* A pre-v5 daemon cannot decode the trailing trace context; strip it so
+     the encoded frame is exactly what that vintage expects.  The job loses
+     distributed attribution, never correctness. *)
+  let spec = if t.version < 5 then { spec with Wire.trace_ctx = None } else spec in
   let request =
     (* Seeded submission is v3 vocabulary; on an older negotiated version
        the seeds cannot be expressed — fall back to a plain Submit (the
@@ -124,6 +128,52 @@ let stats t =
           | Ok (Wire.Stats_reply s) -> Ok s
           | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
           | Ok _ -> wait ()  (* frames for jobs on a shared connection *)
+        in
+        wait ()
+
+type trace_dump = {
+  td_node : string;
+  td_epoch : float;
+  td_server_now : float;
+  td_dropped : int;
+  td_events : Lbr_obs.Trace.event list;
+}
+
+let trace_dump t =
+  if t.version < 5 then Error "server is too old for trace dumps (protocol < 5)"
+  else
+    match Wire.write_message t.fd Wire.Trace_dump_request with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | () ->
+        let rec wait () =
+          match read_or_error t with
+          | Error _ as e -> e
+          | Ok (Wire.Trace_dump_reply { node; epoch; server_now; dropped; events }) ->
+              Ok
+                {
+                  td_node = node;
+                  td_epoch = epoch;
+                  td_server_now = server_now;
+                  td_dropped = dropped;
+                  td_events = events;
+                }
+          | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+          | Ok _ -> wait ()
+        in
+        wait ()
+
+let metrics_dump t =
+  if t.version < 5 then Error "server is too old for metrics dumps (protocol < 5)"
+  else
+    match Wire.write_message t.fd Wire.Metrics_dump_request with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | () ->
+        let rec wait () =
+          match read_or_error t with
+          | Error _ as e -> e
+          | Ok (Wire.Metrics_dump_reply { node; dump }) -> Ok (node, dump)
+          | Ok (Wire.Protocol_error m) -> Error ("protocol error: " ^ m)
+          | Ok _ -> wait ()
         in
         wait ()
 

@@ -66,4 +66,21 @@ val stats : t -> (Wire.daemon_stats, string) result
     oracle memo hit rate, Prometheus metrics text).  Requires negotiated
     protocol version ≥ 2. *)
 
+type trace_dump = {
+  td_node : string;  (** the daemon's lane label (its bound address) *)
+  td_epoch : float;  (** absolute second its trace [ts = 0] maps to *)
+  td_server_now : float;  (** its wall clock when the dump was taken *)
+  td_dropped : int;
+  td_events : Lbr_obs.Trace.event list;
+}
+
+val trace_dump : t -> (trace_dump, string) result
+(** Pull the daemon's span rings ([Trace_dump_request], v5).  Capture
+    [Trace.now]-style timestamps around the call and compare them with
+    [td_server_now] to estimate clock skew. *)
+
+val metrics_dump : t -> (string * Lbr_obs.Metrics.dump, string) result
+(** Pull the daemon's metric registry ([Metrics_dump_request], v5) —
+    [(node, dump)], mergeable with {!Lbr_obs.Metrics.merge_dumps}. *)
+
 val close : t -> unit

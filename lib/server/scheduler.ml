@@ -10,7 +10,7 @@ type status =
 type event =
   | Started
   | Progress of { sim_time : float; classes : int; bytes : int }
-  | Evaluated of { key : string; ok : bool }
+  | Evaluated of { key : string; ok : bool; ctx : Lbr_obs.Trace.Context.t option }
   | Finished of status
 
 type runner_ctx = {
@@ -121,6 +121,14 @@ let finalize t job status =
       | Cancelled -> Journal.mark_cancelled j ~id:job.id
       | Failed reason -> Journal.mark_failed j ~id:job.id ~reason
       | Queued | Running -> ()));
+  Lbr_obs.Flight.transition ~job:job.id
+    ~state:
+      (match status with
+      | Done _ -> "done"
+      | Failed _ -> "failed"
+      | Cancelled -> "cancelled"
+      | Queued -> "queued"
+      | Running -> "running");
   (try job.on_event (Finished status) with _ -> ());
   (match status with
   | Done _ -> Lbr_obs.Metrics.incr (Lazy.force m_done)
@@ -154,13 +162,19 @@ let run_job t job =
           (match t.journal with
           | Some j -> Journal.append_pred j ~id:job.id ~key ~latency ~retries ok
           | None -> ());
-          try job.on_event (Evaluated { key; ok }) with _ -> ());
+          try job.on_event (Evaluated { key; ok; ctx = job.spec.Wire.trace_ctx })
+          with _ -> ());
     }
   in
   (* A job runs as one pool task on one domain, so the domain-local counter
      delta is exactly this job's phase timing. *)
   let counters_before = Lbr_harness.Counters.snapshot_local () in
   let status =
+    (* The job's trace context is installed for the whole run: every span
+       the runner (and anything it calls — oracle, frontends, speculative
+       workers) records on this domain carries the job's trace id and the
+       admitting node's job span as parent. *)
+    Lbr_obs.Trace.with_context job.spec.Wire.trace_ctx @@ fun () ->
     Lbr_obs.Trace.with_span "scheduler.job"
       ~args:(fun () -> [ ("job", Lbr_obs.Trace.Str job.id) ])
     @@ fun () ->
@@ -214,6 +228,7 @@ let rec dispatch t () =
       dispatch t ()
   | Some (job, `Run) ->
       let claimed_at = Lbr_obs.Trace.now () in
+      Lbr_obs.Flight.transition ~job:job.id ~state:"running";
       Lbr_obs.Metrics.observe (Lazy.force m_queue_wait) (claimed_at -. job.submitted_at);
       Lbr_obs.Trace.span_between "scheduler.queue-wait" ~start:job.submitted_at
         ~finish:claimed_at
@@ -229,6 +244,15 @@ let enqueue_locked t job =
 let retry_after t = 1.0 +. (float_of_int t.queued_count /. float_of_int (Pool.jobs t.pool))
 
 let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) ?(seeds = []) spec =
+  (* First admitting node mints the job's trace context (the coordinator
+     did it already for delegated jobs).  Only when tracing is live: the
+     context is journaled with the spec, and untraced daemons must keep
+     producing byte-identical journals to v4. *)
+  let spec =
+    if spec.Wire.trace_ctx = None && Lbr_obs.Trace.enabled () then
+      { spec with Wire.trace_ctx = Some (Lbr_obs.Trace.Context.mint ()) }
+    else spec
+  in
   let admitted =
     locked t (fun () ->
         if t.draining || t.shut then Error `Draining
@@ -265,6 +289,7 @@ let submit t ?(on_event = fun (_ : string) (_ : event) -> ()) ?(seeds = []) spec
           (match t.journal with
           | Some j -> Journal.record_job j ~id ~spec:(Wire.spec_to_string spec)
           | None -> ());
+          Lbr_obs.Flight.transition ~job:id ~state:"queued";
           enqueue_locked t job;
           Ok id
         end)

@@ -29,10 +29,12 @@ type status =
 type event =
   | Started
   | Progress of { sim_time : float; classes : int; bytes : int }
-  | Evaluated of { key : string; ok : bool }
+  | Evaluated of { key : string; ok : bool; ctx : Lbr_obs.Trace.Context.t option }
       (** one fresh predicate evaluation completed (and, when a journal is
           configured, already WAL-ed) — the feed for the cluster-wide
-          verdict cache.  Replayed verdicts do not re-emit. *)
+          verdict cache.  Replayed verdicts do not re-emit.  [ctx] is the
+          job's trace context (minted at admission when tracing is live),
+          echoed so the wire layer can stamp v5 [Verdict] frames. *)
   | Finished of status
 
 type runner_ctx = {
@@ -64,10 +66,12 @@ val submit :
   ?seeds:(string * bool) list ->
   Wire.spec ->
   (string, [ `Queue_full of float | `Draining ]) result
-(** Admit a job; returns its id.  [on_event] is registered atomically with
-    admission (no events can be missed; it also receives the job id, which
-    is not yet known when the callback is built) and is invoked from
-    worker domains — it must be thread-safe.  The terminal [Finished]
+(** Admit a job; returns its id.  When tracing is enabled and the spec
+    carries no trace context yet, one is minted here and journaled with
+    the spec, so the job's identity survives recovery.  [on_event] is
+    registered atomically with admission (no events can be missed; it
+    also receives the job id, which is not yet known when the callback is
+    built) and is invoked from worker domains — it must be thread-safe.  The terminal [Finished]
     event is delivered {e before} the job's state becomes observable via
     {!await}/{!drain}, so a completed drain implies every handler ran.
     [`Queue_full retry_after] is the backpressure path.  [seeds] pre-fills

@@ -127,8 +127,13 @@ let handle_connection t fd =
         | Scheduler.Started -> ()
         | Scheduler.Progress { sim_time; classes; bytes } ->
             send (Wire.Progress { job_id; sim_time; classes; bytes })
-        | Scheduler.Evaluated { key; ok } ->
-            if version >= 3 then send (Wire.Verdict { job_id; key; ok })
+        | Scheduler.Evaluated { key; ok; ctx } ->
+            (* The trace context rides the verdict only on v5 peers; older
+               ones get the exact v3/v4 bytes. *)
+            if version >= 3 then
+              send
+                (Wire.Verdict
+                   { job_id; key; ok; ctx = (if version >= 5 then ctx else None) })
         | Scheduler.Finished (Scheduler.Done (stats, pool_bytes)) ->
             send (Wire.Result { job_id; stats; pool_bytes })
         | Scheduler.Finished (Scheduler.Failed reason) ->
@@ -219,6 +224,27 @@ let handle_connection t fd =
             loop ()
         | Ok Wire.Stats_request ->
             send (Wire.Stats_reply (t.backend.b_stats ()));
+            loop ()
+        | Ok (Wire.Trace_dump_request | Wire.Metrics_dump_request) when version < 5 ->
+            fatal "observability dumps require protocol version 5"
+        | Ok Wire.Trace_dump_request ->
+            send
+              (Wire.Trace_dump_reply
+                 {
+                   node = Addr.to_string (bound_addr t);
+                   epoch = Lbr_obs.Trace.epoch_seconds ();
+                   server_now = Unix.gettimeofday ();
+                   dropped = Lbr_obs.Trace.dropped ();
+                   events = Lbr_obs.Trace.events ();
+                 });
+            loop ()
+        | Ok Wire.Metrics_dump_request ->
+            send
+              (Wire.Metrics_dump_reply
+                 {
+                   node = Addr.to_string (bound_addr t);
+                   dump = Lbr_obs.Metrics.dump ();
+                 });
             loop ()
         | Ok (Wire.Hello _) -> fatal "duplicate hello"
         | Ok _ -> fatal "unexpected server-side message kind"

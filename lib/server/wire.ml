@@ -8,8 +8,17 @@
        str16 at the very end of Submit/Submit_seeded payloads (and of
        the journal's spec records), written only when the frontend is
        not "jvm" — so every JVM frame is byte-identical to v3 and v3
-       journals replay unchanged. *)
-let protocol_version = 4
+       journals replay unchanged.
+   v5: distributed observability.  Submit/Submit_seeded may carry a
+       per-job trace context, encoded as two more trailing str16s after
+       the (then always written) frontend tag; Verdict may carry the
+       same context as two trailing str16s.  Both are written only when
+       a context exists, so context-free v5 frames are byte-identical
+       to v4 and a v5 client talking to a ≤v4 server simply strips the
+       context.  Adds Trace_dump_request/_reply (the node's span ring +
+       clocks, for `trace-merge`) and Metrics_dump_request/_reply (the
+       node's metric registry snapshot, for federation). *)
+let protocol_version = 5
 let max_frame = 64 * 1024 * 1024
 
 type priority = Normal | High
@@ -22,6 +31,7 @@ type spec = {
   retries : int;
   pool_bytes : string;
   frontend : string;
+  trace_ctx : Lbr_obs.Trace.Context.t option;
 }
 
 type stats = {
@@ -70,7 +80,22 @@ type message =
   | Protocol_error of string
   | Stats_request
   | Stats_reply of daemon_stats
-  | Verdict of { job_id : string; key : string; ok : bool }
+  | Verdict of {
+      job_id : string;
+      key : string;
+      ok : bool;
+      ctx : Lbr_obs.Trace.Context.t option;
+    }
+  | Trace_dump_request
+  | Trace_dump_reply of {
+      node : string;
+      epoch : float;
+      server_now : float;
+      dropped : int;
+      events : Lbr_obs.Trace.event list;
+    }
+  | Metrics_dump_request
+  | Metrics_dump_reply of { node : string; dump : Lbr_obs.Metrics.dump }
 
 (* ------------------------------------------------------------------ *)
 (* Writer primitives                                                   *)
@@ -208,27 +233,62 @@ let r_spec r =
   let crash_policy = crash_policy_of_code (r_u8 r) in
   let retries = r_u16 r in
   let pool_bytes = r_bytes32 r in
-  { tool; strategy; priority; crash_policy; retries; pool_bytes; frontend = "jvm" }
+  {
+    tool;
+    strategy;
+    priority;
+    crash_policy;
+    retries;
+    pool_bytes;
+    frontend = "jvm";
+    trace_ctx = None;
+  }
 
-(* The frontend tag rides as an optional str16 at the very END of the
-   payload (after seeds in Submit_seeded), written only for non-JVM
-   frontends: v3 peers and journals produce exactly these bytes for the
-   JVM path, so the default fills in on absence. *)
-let w_frontend_tag b spec = if spec.frontend <> "jvm" then w_str16 b spec.frontend
+(* Optional spec fields ride as trailing str16s at the very END of the
+   payload (after seeds in Submit_seeded), in one of three shapes:
 
-let r_frontend_tag r spec =
-  if r.pos < String.length r.data then { spec with frontend = r_str16 r } else spec
+     (none)                          — v3: JVM, no context
+     frontend                        — v4: non-JVM, no context
+     frontend trace_id parent_span   — v5: any frontend, with context
+
+   Absent fields fill in their defaults, so v3 peers and journals
+   produce exactly the zero-trailer bytes for the JVM path, v4 peers the
+   one-string shape, and a context-free v5 frame is byte-identical to
+   v4.  When a context is present the frontend is always written (even
+   "jvm") so the decoder can tell the shapes apart by count alone. *)
+let w_spec_trailer b spec =
+  match spec.trace_ctx with
+  | None -> if spec.frontend <> "jvm" then w_str16 b spec.frontend
+  | Some { Lbr_obs.Trace.Context.trace_id; parent_span } ->
+      w_str16 b spec.frontend;
+      w_str16 b trace_id;
+      w_str16 b parent_span
+
+let r_spec_trailer r spec =
+  let rec strs acc =
+    if r.pos < String.length r.data then strs (r_str16 r :: acc) else List.rev acc
+  in
+  match strs [] with
+  | [] -> spec
+  | [ frontend ] -> { spec with frontend }
+  | [ frontend; trace_id; parent_span ] ->
+      {
+        spec with
+        frontend;
+        trace_ctx = Some { Lbr_obs.Trace.Context.trace_id; parent_span };
+      }
+  | l -> fail "bad spec trailer (%d trailing strings)" (List.length l)
 
 let spec_to_string spec =
   let b = Buffer.create (String.length spec.pool_bytes + 32) in
   w_spec b spec;
-  w_frontend_tag b spec;
+  w_spec_trailer b spec;
   Buffer.contents b
 
 let spec_of_string data =
   let r = { data; pos = 0 } in
   match
-    let spec = r_frontend_tag r (r_spec r) in
+    let spec = r_spec_trailer r (r_spec r) in
     r_end r;
     spec
   with
@@ -351,6 +411,96 @@ let r_seeds r =
       (key, ok))
 
 (* ------------------------------------------------------------------ *)
+(* Trace events (v5) — the Trace_dump_reply payload                     *)
+
+let w_i64 b v =
+  let bits = Int64.of_int v in
+  for i = 7 downto 0 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical bits (i * 8)))
+  done
+
+let r_i64 r =
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r_u8 r))
+  done;
+  Int64.to_int !bits
+
+let w_trace_arg b : Lbr_obs.Trace.arg -> unit = function
+  | Str s ->
+      w_u8 b 0;
+      w_str16 b s
+  | Int i ->
+      w_u8 b 1;
+      w_i64 b i
+  | Float f ->
+      w_u8 b 2;
+      w_f64 b f
+  | Bool v ->
+      w_u8 b 3;
+      w_bool b v
+
+let r_trace_arg r : Lbr_obs.Trace.arg =
+  match r_u8 r with
+  | 0 -> Str (r_str16 r)
+  | 1 -> Int (r_i64 r)
+  | 2 -> Float (r_f64 r)
+  | 3 -> Bool (r_bool r)
+  | t -> fail "bad trace arg tag %d" t
+
+let w_trace_event b (e : Lbr_obs.Trace.event) =
+  w_str16 b e.ev_name;
+  w_u8 b (Char.code e.ev_ph);
+  w_f64 b e.ev_ts;
+  w_f64 b e.ev_dur;
+  w_u32 b e.ev_tid;
+  w_u16 b (List.length e.ev_args);
+  List.iter
+    (fun (k, v) ->
+      w_str16 b k;
+      w_trace_arg b v)
+    e.ev_args
+
+let r_trace_event r : Lbr_obs.Trace.event =
+  let ev_name = r_str16 r in
+  let ev_ph = Char.chr (r_u8 r) in
+  let ev_ts = r_f64 r in
+  let ev_dur = r_f64 r in
+  let ev_tid = r_u32 r in
+  let n_args = r_u16 r in
+  let ev_args =
+    List.init n_args (fun _ ->
+        let k = r_str16 r in
+        (k, r_trace_arg r))
+  in
+  { ev_name; ev_ph; ev_ts; ev_dur; ev_tid; ev_args }
+
+let w_trace_events b events =
+  w_u32 b (List.length events);
+  List.iter (w_trace_event b) events
+
+let r_trace_events r =
+  let n = r_u32 r in
+  (* each event is at least ~25 bytes on the wire; bound before allocating *)
+  if n > String.length r.data then fail "event count %d exceeds frame" n;
+  List.init n (fun _ -> r_trace_event r)
+
+(* Standalone event-list serialization — the same bytes as inside a
+   [Trace_dump_reply], reused by trace-merge's .tdump files. *)
+let trace_events_to_string events =
+  let b = Buffer.create 4096 in
+  w_trace_events b events;
+  Buffer.contents b
+
+let trace_events_of_string data =
+  let r = { data; pos = 0 } in
+  match r_trace_events r with
+  | events ->
+      if r.pos <> String.length data then Error "trailing garbage after events"
+      else Ok events
+  | exception Malformed m -> Error m
+
+(* ------------------------------------------------------------------ *)
 (* Messages                                                            *)
 
 let kind_of = function
@@ -369,6 +519,10 @@ let kind_of = function
   | Protocol_error _ -> 0x88
   | Stats_reply _ -> 0x89
   | Verdict _ -> 0x8A
+  | Trace_dump_request -> 0x06
+  | Trace_dump_reply _ -> 0x8B
+  | Metrics_dump_request -> 0x07
+  | Metrics_dump_reply _ -> 0x8C
 
 let encode_payload msg =
   let b = Buffer.create 64 in
@@ -377,15 +531,20 @@ let encode_payload msg =
   | Hello v | Hello_ok v -> w_u16 b v
   | Submit spec ->
       w_spec b spec;
-      w_frontend_tag b spec
+      w_spec_trailer b spec
   | Submit_seeded { spec; seeds } ->
       w_spec b spec;
       w_seeds b seeds;
-      w_frontend_tag b spec
-  | Verdict { job_id; key; ok } ->
+      w_spec_trailer b spec
+  | Verdict { job_id; key; ok; ctx } ->
       w_str16 b job_id;
       w_str16 b key;
-      w_bool b ok
+      w_bool b ok;
+      (match ctx with
+      | None -> ()
+      | Some { Lbr_obs.Trace.Context.trace_id; parent_span } ->
+          w_str16 b trace_id;
+          w_str16 b parent_span)
   | Accepted id | Cancel id -> w_str16 b id
   | Rejected { reason; retry_after } ->
       w_str16 b reason;
@@ -407,7 +566,18 @@ let encode_payload msg =
       w_str16 b reason
   | Protocol_error m -> w_str16 b m
   | Stats_request -> ()
-  | Stats_reply s -> w_daemon_stats b s);
+  | Stats_reply s -> w_daemon_stats b s
+  | Trace_dump_request -> ()
+  | Trace_dump_reply { node; epoch; server_now; dropped; events } ->
+      w_str16 b node;
+      w_f64 b epoch;
+      w_f64 b server_now;
+      w_u32 b dropped;
+      w_trace_events b events
+  | Metrics_dump_request -> ()
+  | Metrics_dump_reply { node; dump } ->
+      w_str16 b node;
+      w_bytes32 b (Lbr_obs.Metrics.encode_dump dump));
   Buffer.contents b
 
 let encode msg =
@@ -424,7 +594,7 @@ let decode_payload data =
       match r_u8 r with
       | 0x01 -> Hello (r_u16 r)
       | 0x81 -> Hello_ok (r_u16 r)
-      | 0x02 -> Submit (r_frontend_tag r (r_spec r))
+      | 0x02 -> Submit (r_spec_trailer r (r_spec r))
       | 0x82 -> Accepted (r_str16 r)
       | 0x03 -> Cancel (r_str16 r)
       | 0x83 ->
@@ -451,11 +621,37 @@ let decode_payload data =
       | 0x05 ->
           let spec = r_spec r in
           let seeds = r_seeds r in
-          Submit_seeded { spec = r_frontend_tag r spec; seeds }
+          Submit_seeded { spec = r_spec_trailer r spec; seeds }
       | 0x8A ->
           let job_id = r_str16 r in
           let key = r_str16 r in
-          Verdict { job_id; key; ok = r_bool r }
+          let ok = r_bool r in
+          let ctx =
+            if r.pos < String.length r.data then begin
+              let trace_id = r_str16 r in
+              let parent_span = r_str16 r in
+              Some { Lbr_obs.Trace.Context.trace_id; parent_span }
+            end
+            else None
+          in
+          Verdict { job_id; key; ok; ctx }
+      | 0x06 -> Trace_dump_request
+      | 0x8B ->
+          let node = r_str16 r in
+          let epoch = r_f64 r in
+          let server_now = r_f64 r in
+          let dropped = r_u32 r in
+          let events = r_trace_events r in
+          Trace_dump_reply { node; epoch; server_now; dropped; events }
+      | 0x07 -> Metrics_dump_request
+      | 0x8C ->
+          let node = r_str16 r in
+          let dump =
+            match Lbr_obs.Metrics.decode_dump (r_bytes32 r) with
+            | Ok d -> d
+            | Error m -> fail "bad metrics dump: %s" m
+          in
+          Metrics_dump_reply { node; dump }
       | k -> fail "unknown message kind 0x%02x" k
     in
     r_end r;

@@ -28,16 +28,23 @@
     clients. *)
 
 val protocol_version : int
-(** Currently [4].  v2 added [Stats_request]/[Stats_reply]; v3 added
+(** Currently [5].  v2 added [Stats_request]/[Stats_reply]; v3 added
     [Submit_seeded]/[Verdict] (the cluster coordinator's vocabulary) and
     TCP listeners; v4 added the spec's [frontend] tag, an optional
     trailing str16 at the very end of [Submit]/[Submit_seeded] payloads
     written only for non-JVM frontends — JVM frames are byte-identical
-    to v3, and v3 journals replay with [frontend = "jvm"].  A peer on an
-    older version negotiates down during the handshake and simply never
-    sends — or receives — the newer frames: a v4 daemon rejects non-JVM
-    submissions on connections that negotiated < 4, and gates [Verdict]
-    streaming on ≥ 3, so old clients interoperate unchanged. *)
+    to v3, and v3 journals replay with [frontend = "jvm"].  v5 adds
+    distributed observability: [Submit]/[Submit_seeded] may end with a
+    trace context (then the frontend tag is always written, followed by
+    trace id and parent span id), [Verdict] may end with the same
+    context, and [Trace_dump_request]/[Metrics_dump_request] pull a
+    node's span ring and metric registry.  Every optional v5 field is
+    written only when present, so context-free v5 frames are
+    byte-identical to v4.  A peer on an older version negotiates down
+    during the handshake and simply never sends — or receives — the
+    newer frames: a v5 daemon strips contexts on < 5 connections,
+    rejects non-JVM submissions on < 4, and gates [Verdict] streaming
+    on ≥ 3, so old clients interoperate unchanged. *)
 
 val max_frame : int
 (** Hard ceiling on a frame payload (64 MiB); larger lengths are rejected
@@ -61,6 +68,13 @@ type spec = {
           non-JVM frontends [tool] carries the frontend's predicate
           spec, and the result's [stats.classes0]/[classes1] carry the
           frontend's item counts. *)
+  trace_ctx : Lbr_obs.Trace.Context.t option;
+      (** v5: the job's distributed trace context.  Minted by whichever
+          node admits the job first (coordinator or scheduler), carried
+          with the spec everywhere it goes — wire, journal, failover
+          reseeds — and installed around the runner so every span the
+          job records, on any node, parents under the same span id.
+          Never part of the verdict cache key. *)
 }
 
 type stats = {
@@ -116,12 +130,36 @@ type message =
   | Protocol_error of string
   | Stats_request  (** v2, client → server: live introspection snapshot *)
   | Stats_reply of daemon_stats  (** v2, server → client *)
-  | Verdict of { job_id : string; key : string; ok : bool }
+  | Verdict of {
+      job_id : string;
+      key : string;
+      ok : bool;
+      ctx : Lbr_obs.Trace.Context.t option;
+    }
       (** v3, server → client, only on connections that negotiated ≥ 3:
           one frame per {e fresh} predicate evaluation, emitted after the
           verdict is journaled.  The coordinator folds these into the
           cluster-wide verdict cache as they happen, so a job's paid
-          executions survive its worker. *)
+          executions survive its worker.  [ctx] (v5, trailing, written
+          only when present and the connection negotiated ≥ 5) echoes
+          the job's trace context so the receiver can attribute the
+          evaluation to the right distributed trace. *)
+  | Trace_dump_request
+      (** v5, client → server: ask for the node's span rings. *)
+  | Trace_dump_reply of {
+      node : string;  (** the daemon's self-chosen lane label *)
+      epoch : float;  (** absolute second its trace [ts = 0] maps to *)
+      server_now : float;  (** its wall clock when the dump was taken —
+          the merger pairs this with its own request/reply timestamps to
+          estimate clock skew *)
+      dropped : int;
+      events : Lbr_obs.Trace.event list;
+    }
+  | Metrics_dump_request
+      (** v5, client → server: ask for the node's metric registry. *)
+  | Metrics_dump_reply of { node : string; dump : Lbr_obs.Metrics.dump }
+      (** The registry snapshot the coordinator's federation loop merges
+          ({!Lbr_obs.Metrics.merge_dumps}). *)
 
 (* ------------------------------------------------------------------ *)
 
@@ -152,3 +190,11 @@ val spec_of_string : string -> (spec, string) result
 
 val strategy_code : Lbr_harness.Experiment.strategy -> int
 val strategy_of_code : int -> Lbr_harness.Experiment.strategy option
+
+val trace_events_to_string : Lbr_obs.Trace.event list -> string
+(** Standalone trace-event-list serialization — byte-identical to the
+    events section of a [Trace_dump_reply] payload.  Reused by
+    [trace-merge]'s .tdump capture files. *)
+
+val trace_events_of_string : string -> (Lbr_obs.Trace.event list, string) result
+(** Total: [Ok] or [Error], never an exception. *)

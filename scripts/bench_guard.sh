@@ -23,6 +23,7 @@ cd "$(dirname "$0")/.."
 
 baseline=scripts/bench_baseline_p5.txt
 alloc_baseline=scripts/bench_alloc_baseline_p5.txt
+wall_baseline=scripts/bench_wall_baseline_p5.txt
 json=$(mktemp)
 spec_json=$(mktemp)
 trap 'rm -f "$json" "$spec_json"' EXIT
@@ -47,10 +48,18 @@ extract_alloc() {
     sed -E 's/.*"name": "([^"]+)", "calls": ([0-9]+), "seconds": [^,]+, "minor_words": ([^ }]+).*/\1 \2 \3/'
 }
 
+# Per-strategy wall-clock seconds — the only timing the guard looks at,
+# and only through a wide ±25% band (see below).
+extract_wall() {
+  grep '"geo_sim_time_seconds"' "$1" |
+    sed -E 's/.*"name": "([^"]+)", "frontend": "[^"]*", "wall_seconds": ([^,]+),.*/\1 \2/'
+}
+
 if [ "${1:-}" = "--update" ]; then
   extract "$json" >"$baseline"
   extract_alloc "$json" >"$alloc_baseline"
-  echo "bench_guard: baselines updated: $baseline, $alloc_baseline"
+  extract_wall "$json" >"$wall_baseline"
+  echo "bench_guard: baselines updated: $baseline, $alloc_baseline, $wall_baseline"
   exit 0
 fi
 
@@ -98,6 +107,45 @@ if [ -f "$alloc_baseline" ]; then
   fi
 else
   echo "bench_guard: NOTE — no allocation baseline ($alloc_baseline); run --update to create it"
+fi
+
+# Wall-clock gate: per-strategy wall seconds within ±25% of the committed
+# baseline.  Deliberately the loosest of the gates — wall time moves with
+# the host and with unrelated code — but a strategy suddenly taking 2x
+# (a lost fast path, an accidental O(n^2)) fails here even when the
+# deterministic counters above are untouched.  Regenerate on a quiet
+# machine with --update when a shift is intended.
+if [ -f "$wall_baseline" ]; then
+  if extract_wall "$json" | awk -v tol=0.25 '
+      NR == FNR { base[$1] = $2; next }
+      {
+        seen[$1] = 1
+        if (!($1 in base)) {
+          printf "bench_guard: new strategy %s (not in wall baseline)\n", $1
+          bad = 1
+          next
+        }
+        w = $2 + 0; bw = base[$1] + 0
+        if (bw <= 0) next
+        d = w - bw; if (d < 0) d = -d
+        if (d > bw * tol) {
+          printf "bench_guard: %s: wall_seconds %g outside +/-%.0f%% of baseline %g\n", \
+            $1, w, tol * 100, bw
+          bad = 1
+        }
+      }
+      END {
+        for (n in base)
+          if (!(n in seen)) { printf "bench_guard: strategy %s disappeared from wall rows\n", n; bad = 1 }
+        exit bad
+      }' "$wall_baseline" -; then
+    echo "bench_guard: OK — wall clock within +/-25% of $wall_baseline"
+  else
+    echo "bench_guard: FAIL — wall clock drifted >25% from $wall_baseline" >&2
+    fail=1
+  fi
+else
+  echo "bench_guard: NOTE — no wall-clock baseline ($wall_baseline); run --update to create it"
 fi
 
 # Speculative pipelining gate: the same corpus at --jobs 2 runs GBR's

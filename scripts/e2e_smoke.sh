@@ -123,10 +123,15 @@ echo "OK: daemon drained and exited cleanly on SIGTERM"
 
 # ---------------------------------------------------------------------
 # Cluster: coordinator + two TCP workers, kill -9 one worker mid-job.
+# Everything runs traced: worker spans parent under the coordinator's
+# per-job span (wire v5 context propagation), and the coordinator
+# federates the workers' metric registries.
 
-"$BIN" serve --socket 127.0.0.1:0 --jobs 1 --queue-depth 8 > "$WORK/w1.log" 2>&1 &
+"$BIN" serve --socket 127.0.0.1:0 --jobs 1 --queue-depth 8 --trace "$WORK/w1-trace.json" \
+  > "$WORK/w1.log" 2>&1 &
 W1_PID=$!
-"$BIN" serve --socket 127.0.0.1:0 --jobs 1 --queue-depth 8 > "$WORK/w2.log" 2>&1 &
+"$BIN" serve --socket 127.0.0.1:0 --jobs 1 --queue-depth 8 --trace "$WORK/w2-trace.json" \
+  > "$WORK/w2.log" 2>&1 &
 W2_PID=$!
 
 worker_addr() {  # $1: logfile — wait for the bound TCP address to be printed
@@ -144,6 +149,7 @@ COORD_SOCK="$WORK/coord.sock"
 COORD_JOURNAL="$WORK/coordjournal"
 "$BIN" coordinate --listen "$COORD_SOCK" --worker "$W1_ADDR" --worker "$W2_ADDR" \
   --journal "$COORD_JOURNAL" --cache "$WORK/verdicts.cache" \
+  --trace "$WORK/coord-trace.json" --poll-interval 0.5 --prometheus-listen 0 \
   > "$WORK/coord.log" 2>&1 &
 COORD_PID=$!
 
@@ -153,7 +159,10 @@ for _ in $(seq 1 100); do
 done
 [ -S "$COORD_SOCK" ] || { echo "coordinator never bound $COORD_SOCK"; cat "$WORK/coord.log"; exit 1; }
 
-"$BIN" submit --socket "$COORD_SOCK" --seed 21 --classes 64 \
+# 512 classes: the job must run for seconds, not milliseconds, so the
+# kill -9 below lands while it is genuinely mid-reduction (the pre-kill
+# trace dumps each cost a process spawn).
+"$BIN" submit --socket "$COORD_SOCK" --seed 21 --classes 512 \
   --output-pool "$WORK/cluster.lbrc" > "$WORK/submit.log" 2>&1 &
 SUBMIT_PID=$!
 
@@ -168,22 +177,35 @@ for _ in $(seq 1 500); do
   sleep 0.01
 done
 
-# kill -9 the worker actually holding the job connection when we can tell
-# (the coordinator dials a worker only while a job runs there); default to
-# worker 1 otherwise.  Either way the coordinator must deliver the result.
-VICTIM=$W1_PID SURVIVOR=$W2_PID
-if command -v ss >/dev/null 2>&1; then
-  W2_PORT=${W2_ADDR##*:}
-  if ss -tn 2>/dev/null | grep -v LISTEN | grep -q "127.0.0.1:$W2_PORT"; then
-    VICTIM=$W2_PID SURVIVOR=$W1_PID
-  fi
+# Capture both workers' span rings BEFORE the kill: the victim's spans
+# survive only in this pre-kill .tdump, and the merged trace must still
+# show them parented under the coordinator's job span.
+"$BIN" trace-dump --socket "$W1_ADDR" -o "$WORK/w1.tdump" > /dev/null
+"$BIN" trace-dump --socket "$W2_ADDR" -o "$WORK/w2.tdump" > /dev/null
+echo "OK: captured pre-kill trace dumps of both workers"
+
+# kill -9 the worker holding the job.  Which worker that is depends on a
+# work-stealing race at startup, but the pre-kill trace dumps already
+# tell us: only the busy worker's span ring carries ctx.parent-annotated
+# job spans.  (Sniffing coordinator TCP connections no longer works: the
+# metrics-federation poller dials every worker twice a second.)
+W1_CTX=$(grep -ac 'ctx.parent' "$WORK/w1.tdump" || true)
+W2_CTX=$(grep -ac 'ctx.parent' "$WORK/w2.tdump" || true)
+if [ "$W1_CTX" -eq "$W2_CTX" ]; then
+  echo "cannot tell which worker runs the job (ctx spans: w1=$W1_CTX w2=$W2_CTX)"
+  exit 1
+fi
+if [ "$W1_CTX" -gt "$W2_CTX" ]; then
+  VICTIM=$W1_PID SURVIVOR=$W2_PID SURVIVOR_ADDR=$W2_ADDR
+else
+  VICTIM=$W2_PID SURVIVOR=$W1_PID SURVIVOR_ADDR=$W1_ADDR
 fi
 kill -9 "$VICTIM"
 echo "OK: killed a worker after $VERDICTS mirrored verdicts"
 
 wait "$SUBMIT_PID"  # set -e: the cluster submission must still succeed
 
-"$BIN" reduce --seed 21 --classes 64 --output-pool "$WORK/seq.lbrc" > /dev/null 2>&1
+"$BIN" reduce --seed 21 --classes 512 --output-pool "$WORK/seq.lbrc" > /dev/null 2>&1
 cmp "$WORK/cluster.lbrc" "$WORK/seq.lbrc"
 echo "OK: cluster result (worker killed mid-job) is byte-identical to a sequential run"
 
@@ -196,12 +218,73 @@ test -s "$COORD_JOURNAL"/job-000001/preds.log || { echo "coordinator journal mir
 test -s "$WORK/verdicts.cache" || { echo "verdict cache file is empty"; exit 1; }
 echo "OK: coordinator journal and verdict cache were persisted"
 
+# ---------------------------------------------------------------------
+# Distributed trace: merge the live coordinator, the live survivor and
+# both pre-kill worker captures into one Chrome trace, then assert the
+# cross-node parentage the whole layer exists for — worker-side spans
+# carrying the coordinator job span's id as ctx.parent, on a different
+# process lane, for at least two worker lanes (the victim's spans come
+# from its pre-kill .tdump).
+MERGED_TRACE=${MERGED_TRACE:-$WORK/cluster-trace.json}
+"$BIN" trace-merge -o "$MERGED_TRACE" \
+  "$COORD_SOCK" "$SURVIVOR_ADDR" "$WORK/w1.tdump" "$WORK/w2.tdump"
+
+if command -v jq >/dev/null 2>&1; then
+  jq -e '
+    [.traceEvents[] | select(.name == "coordinator.job" and .args.span_id != null)] as $jobs
+    | [.traceEvents[] | . as $e
+       | select((.args["ctx.parent"] // "") != "")
+       | select(any($jobs[]; .args.span_id == $e.args["ctx.parent"] and .pid != $e.pid))
+       | .pid]
+    | unique | length >= 2' "$MERGED_TRACE" > /dev/null \
+    || { echo "merged trace lacks cross-node parented spans on two worker lanes"; exit 1; }
+else
+  grep -q '"coordinator.job"' "$MERGED_TRACE" || { echo "merged trace has no coordinator.job span"; exit 1; }
+  grep -q '"ctx.parent"' "$MERGED_TRACE" || { echo "merged trace has no context-parented spans"; exit 1; }
+fi
+echo "OK: merged trace parents worker spans under the coordinator job span on both lanes"
+
+# ---------------------------------------------------------------------
+# Metrics federation: `top --metrics` serves the cluster-merged view
+# (local registry + per-worker dumps + an exact-merged {worker="cluster"}
+# series), and the --prometheus-listen HTTP endpoint serves the same text.
+FEDERATED_METRICS=${FEDERATED_METRICS:-$WORK/federated-metrics.prom}
+"$BIN" top --socket "$COORD_SOCK" --metrics > "$WORK/top-metrics.out"
+grep -q 'worker="cluster"' "$WORK/top-metrics.out" \
+  || { echo "top --metrics lacks the merged cluster series"; cat "$WORK/top-metrics.out"; exit 1; }
+grep -q 'speculation:' "$WORK/top-metrics.out" || true  # spec line only when counters exist
+cp "$WORK/top-metrics.out" "$FEDERATED_METRICS"
+
+PROM_PORT=$(sed -n 's#.*federated metrics on http://127.0.0.1:\([0-9]*\)/metrics.*#\1#p' "$WORK/coord.log")
+if [ -n "$PROM_PORT" ] && command -v curl >/dev/null 2>&1; then
+  curl -sf "http://127.0.0.1:$PROM_PORT/metrics" > "$FEDERATED_METRICS"
+  grep -q 'worker="cluster"' "$FEDERATED_METRICS" \
+    || { echo "prometheus endpoint lacks the merged cluster series"; exit 1; }
+  echo "OK: --prometheus-listen endpoint serves the federated registry"
+else
+  echo "OK: federated metrics taken via top --metrics (no curl or no endpoint port)"
+fi
+echo "OK: coordinator federates worker metric registries"
+
 kill -TERM "$COORD_PID"
 wait "$COORD_PID"
 grep -q "drained" "$WORK/coord.log" || { echo "coordinator did not drain"; cat "$WORK/coord.log"; exit 1; }
 kill -TERM "$SURVIVOR" 2>/dev/null || true
 wait "$SURVIVOR" 2>/dev/null || true
 echo "OK: coordinator drained and exited cleanly on SIGTERM"
+
+# The drain must have dropped a flight-recorder dump into the journal
+# directory, and `report` must render a post-mortem from it.
+ls "$COORD_JOURNAL"/flight-*-drain.json > /dev/null 2>&1 \
+  || { echo "coordinator drain left no flight-recorder dump"; ls "$COORD_JOURNAL"; exit 1; }
+"$BIN" report --journal "$COORD_JOURNAL" > "$WORK/report.out"
+grep -q 'flight' "$WORK/report.out" || { echo "report ignored the flight dump"; cat "$WORK/report.out"; exit 1; }
+grep -q 'job-000001' "$WORK/report.out" || { echo "report lacks the job's history"; cat "$WORK/report.out"; exit 1; }
+"$BIN" report --journal "$COORD_JOURNAL" --json > "$WORK/report.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e . "$WORK/report.json" > /dev/null || { echo "report --json is not valid JSON"; exit 1; }
+fi
+echo "OK: flight recorder dumped on drain and report renders the post-mortem"
 
 # Keep the coordinator journal (e.g. as a CI artifact) when asked to.
 if [ -n "${CLUSTER_JOURNAL_OUT:-}" ]; then

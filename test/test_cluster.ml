@@ -7,6 +7,7 @@
 open Lbr_server
 module Cache = Lbr_cluster.Cache
 module Coordinator = Lbr_cluster.Coordinator
+module Trace_merge = Lbr_cluster.Trace_merge
 
 let qsuite name props = (name, List.map QCheck_alcotest.to_alcotest props)
 
@@ -47,6 +48,7 @@ let spec_of_seed ?classes ?(retries = 0) seed =
     retries;
     pool_bytes = pool_bytes_of_seed ?classes seed;
     frontend = "jvm";
+    trace_ctx = None;
   }
 
 let reference_run ?classes seed =
@@ -316,6 +318,7 @@ let test_cluster_work_stealing () =
         queue_depth = 16;
         cache_path = None;
         journal_dir = None;
+        poll_interval = 0.;
       }
   in
   let backend = Coordinator.backend coordinator in
@@ -376,6 +379,7 @@ let test_cluster_warm_cache_resubmission () =
         queue_depth = 8;
         cache_path = None;
         journal_dir = None;
+        poll_interval = 0.;
       }
   in
   let backend = Coordinator.backend coordinator in
@@ -570,6 +574,7 @@ let test_cluster_failover_byte_identical () =
         queue_depth = 8;
         cache_path = Some (Filename.concat journal_dir "verdicts.cache");
         journal_dir = Some journal_dir;
+        poll_interval = 0.;
       }
   in
   let backend = Coordinator.backend coordinator in
@@ -624,6 +629,7 @@ let test_cluster_no_live_workers_fails_cleanly () =
         queue_depth = 8;
         cache_path = None;
         journal_dir = None;
+        poll_interval = 0.;
       }
   in
   let backend = Coordinator.backend coordinator in
@@ -662,6 +668,177 @@ let test_cluster_no_live_workers_fails_cleanly () =
   Server.stop front
 
 (* ------------------------------------------------------------------ *)
+(* Trace merging: .tdump codec and cross-node flow arrows               *)
+
+let tdump_gen =
+  let open QCheck.Gen in
+  let arg_gen =
+    oneof
+      [
+        map (fun s -> Lbr_obs.Trace.Str s) (oneofl [ ""; "job-1"; "abc"; "span \"q\"" ]);
+        map (fun n -> Lbr_obs.Trace.Int n) (int_range (-1000) 1000);
+        map (fun f -> Lbr_obs.Trace.Float f) (float_range (-1e6) 1e6);
+        map (fun b -> Lbr_obs.Trace.Bool b) bool;
+      ]
+  in
+  let event_gen =
+    map2
+      (fun (name, ph, tid) (ts, dur, args) ->
+        {
+          Lbr_obs.Trace.ev_name = name;
+          ev_ph = ph;
+          ev_ts = ts;
+          ev_dur = dur;
+          ev_tid = tid;
+          ev_args = args;
+        })
+      (triple
+         (oneofl [ "coordinator.job"; "core.predicate"; "x" ])
+         (oneofl [ 'X'; 'i' ])
+         (int_range 0 7))
+      (triple (float_range 0. 1e9) (float_range 0. 1e6)
+         (list_size (int_range 0 3) (pair (oneofl [ "job"; "span_id"; "ctx.parent" ]) arg_gen)))
+  in
+  map2
+    (fun (node, dropped) (epoch, server_now, events) ->
+      {
+        Trace_merge.nd_node = node;
+        nd_epoch = epoch;
+        nd_server_now = server_now;
+        nd_client_mid = server_now +. 0.125;
+        nd_dropped = dropped;
+        nd_events = events;
+      })
+    (pair (oneofl [ "127.0.0.1:7000"; "w"; "a-very-long-node-label:65535" ]) (int_range 0 100000))
+    (triple (float_range 0. 2e9) (float_range 0. 2e9) (list_size (int_range 0 12) event_gen))
+
+let prop_tdump_roundtrip =
+  QCheck.Test.make ~count:100 ~name:".tdump codec round-trips"
+    (QCheck.make tdump_gen)
+    (fun d -> Trace_merge.of_string (Trace_merge.to_string d) = Ok d)
+
+let prop_tdump_decode_total =
+  QCheck.Test.make ~count:200 ~name:".tdump decode is total on mangled input"
+    (QCheck.make QCheck.Gen.(pair tdump_gen (pair (int_range 0 5000) (int_range 0 255))))
+    (fun (d, (pos, byte)) ->
+      let s = Trace_merge.to_string d in
+      let trunc = String.sub s 0 (pos mod (String.length s + 1)) in
+      let b = Bytes.of_string s in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      (match Trace_merge.of_string trunc with Ok _ | Error _ -> true)
+      && (match Trace_merge.of_string (Bytes.to_string b) with Ok _ | Error _ -> true))
+
+(* Two hand-built node dumps: the merged Chrome trace must give each node
+   its own pid lane and draw a flow arrow from the coordinator's job span
+   to the worker event naming it as ctx.parent. *)
+let test_trace_merge_flow_arrows () =
+  let ev name ph args =
+    { Lbr_obs.Trace.ev_name = name; ev_ph = ph; ev_ts = 10.; ev_dur = 5.; ev_tid = 1; ev_args = args }
+  in
+  let coord =
+    {
+      Trace_merge.nd_node = "coord";
+      nd_epoch = 1000.;
+      nd_server_now = 1010.;
+      nd_client_mid = 1010.;
+      nd_dropped = 0;
+      nd_events =
+        [ ev "coordinator.job" 'X' [ ("span_id", Lbr_obs.Trace.Str "feedc0de00000001") ] ];
+    }
+  in
+  let worker =
+    {
+      Trace_merge.nd_node = "w1";
+      nd_epoch = 1000.5;
+      nd_server_now = 1010.5;
+      nd_client_mid = 1010.;  (* 0.5s of clock skew to correct away *)
+      nd_dropped = 0;
+      nd_events =
+        [ ev "core.predicate" 'X' [ ("ctx.parent", Lbr_obs.Trace.Str "feedc0de00000001") ] ];
+    }
+  in
+  let json = Trace_merge.merge [ coord; worker ] in
+  let contains sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "coord lane named" true
+    (contains {|"name":"process_name","pid":1,"args":{"name":"coord"}|});
+  Alcotest.(check bool) "worker lane named" true
+    (contains {|"name":"process_name","pid":2,"args":{"name":"w1"}|});
+  Alcotest.(check bool) "flow start on the coordinator lane" true (contains {|"ph":"s"|});
+  Alcotest.(check bool) "flow finish on the worker lane" true (contains {|"ph":"f"|});
+  (* worker skew: epoch 1000.5 + (client_mid - server_now) = 1000.0 — same
+     corrected timeline as the coordinator, so both lanes share ts 10.0 *)
+  Alcotest.(check bool) "skew corrected" true (contains {|"ts":10.0|} || contains {|"ts":10.000|})
+
+(* ------------------------------------------------------------------ *)
+(* Metrics federation: the coordinator's merged view is an exact sum    *)
+
+(* The acceptance invariant behind [top --metrics]: for every counter,
+   the cluster-merged value equals the coordinator's local registry
+   plus the sum over the per-worker dumps — no sampling, no loss.  Stub
+   workers serve this process's registry over the wire, which exercises
+   the full pull-decode-merge path; the sum identity holds whatever the
+   registries contain. *)
+let test_cluster_federated_metrics_sum () =
+  let gate = (Mutex.create (), Condition.create (), ref true) in
+  let w0 = stub_worker gate and w1 = stub_worker gate in
+  let coordinator =
+    Coordinator.create
+      {
+        Coordinator.workers = [ Server.bound_addr w0; Server.bound_addr w1 ];
+        lanes = 1;
+        queue_depth = 16;
+        cache_path = None;
+        journal_dir = None;
+        poll_interval = 0.;
+      }
+  in
+  let backend = Coordinator.backend coordinator in
+  let col = collector () in
+  let _ids = List.init 2 (fun i -> submit_ok backend col (spec_of_seed ~classes:6 (1 + i))) in
+  await_done ~timeout:30. col 2;
+  (* poll_interval 0 disables the background loop; pull synchronously *)
+  Coordinator.poll_workers coordinator;
+  let local = Lbr_obs.Metrics.dump () in
+  let per_worker, merged = Coordinator.federated coordinator in
+  Alcotest.(check int) "one dump per live worker" 2 (List.length per_worker);
+  let counter_in dump name =
+    match Lbr_obs.Metrics.find_in_dump dump name with
+    | Some (Lbr_obs.Metrics.D_counter n) -> n
+    | _ -> 0
+  in
+  let checked = ref 0 and nonzero = ref 0 in
+  List.iter
+    (fun (name, _, v) ->
+      match v with
+      | Lbr_obs.Metrics.D_counter n ->
+          let expected =
+            counter_in local name
+            + List.fold_left (fun acc (_, d) -> acc + counter_in d name) 0 per_worker
+          in
+          incr checked;
+          if n > 0 then incr nonzero;
+          Alcotest.(check int) (name ^ " merges to the exact sum") expected n
+      | _ -> ())
+    merged;
+  Alcotest.(check bool) "counters were compared" true (!checked > 0);
+  Alcotest.(check bool) "some counter is non-zero" true (!nonzero > 0);
+  (* per-worker heartbeat gauges got refreshed by the poll *)
+  let prom = backend.Server.b_stats () in
+  Alcotest.(check bool) "federated prometheus text has worker labels" true
+    (let s = prom.Wire.metrics_text in
+     let n = String.length s and m = String.length "{worker=\"cluster\"}" in
+     let sub = "{worker=\"cluster\"}" in
+     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+     go 0);
+  backend.Server.b_drain ();
+  Server.stop w0;
+  Server.stop w1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "cluster"
@@ -676,6 +853,12 @@ let () =
             test_cache_job_key_content_addressing;
         ] );
       qsuite "cache-prop" [ prop_cache_hit_matches_recompute; prop_cache_survives_restart ];
+      qsuite "trace-merge-prop" [ prop_tdump_roundtrip; prop_tdump_decode_total ];
+      ( "trace-merge",
+        [
+          Alcotest.test_case "lanes, flow arrows, skew correction" `Quick
+            test_trace_merge_flow_arrows;
+        ] );
       ( "coordinator",
         [
           Alcotest.test_case "work stealing drains the wedged worker's queue" `Slow
@@ -686,5 +869,7 @@ let () =
             test_cluster_failover_byte_identical;
           Alcotest.test_case "dead cluster: Accepted then Job_failed, never a hang" `Quick
             test_cluster_no_live_workers_fails_cleanly;
+          Alcotest.test_case "federated metrics merge to the exact sum" `Quick
+            test_cluster_federated_metrics_sum;
         ] );
     ]

@@ -469,6 +469,7 @@ let wire_spec frontend =
     retries = 2;
     pool_bytes = "payload";
     frontend;
+    trace_ctx = None;
   }
 
 let test_wire_frontend_tag () =

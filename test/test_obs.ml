@@ -100,6 +100,128 @@ let test_trace_json_shape () =
   Alcotest.(check bool) "has traceEvents" true (contains ~affix:{|"traceEvents"|} json);
   Alcotest.(check bool) "escapes quotes" true (contains ~affix:{|js\"on|} json)
 
+(* Regression: a raising args thunk must poison only that span's args —
+   the span itself (and every later event) still lands in the ring. *)
+let test_args_thunk_poisoned () =
+  Trace.start ();
+  let v = Trace.with_span "poisoned" ~args:(fun () -> failwith "args boom") (fun () -> 9) in
+  Trace.instant "after";
+  Trace.stop ();
+  Alcotest.(check int) "value flows through" 9 v;
+  let events = Trace.events () in
+  Alcotest.(check int) "both events recorded" 2 (List.length events);
+  let p = List.find (fun (e : Trace.event) -> e.ev_name = "poisoned") events in
+  match List.assoc_opt "args" p.ev_args with
+  | Some (Trace.Str "<error>") -> ()
+  | _ -> Alcotest.fail "raising thunk should record args as <error>"
+
+(* ------------------------------------------------------------------ *)
+(* Trace contexts                                                      *)
+
+let test_context_args_and_restore () =
+  Trace.start ();
+  let ctx = { Trace.Context.trace_id = "aaaa111122223333"; parent_span = "bbbb444455556666" } in
+  Alcotest.(check bool) "no context initially" true (Trace.current_context () = None);
+  Trace.with_context (Some ctx) (fun () ->
+      Alcotest.(check bool) "installed" true (Trace.current_context () = Some ctx);
+      Trace.instant "inside";
+      (* nested installation restores the outer context, not None *)
+      let ctx2 = { Trace.Context.trace_id = "cccc"; parent_span = "dddd" } in
+      Trace.with_context (Some ctx2) (fun () -> Trace.instant "nested");
+      Alcotest.(check bool) "outer restored after nested" true
+        (Trace.current_context () = Some ctx));
+  Alcotest.(check bool) "cleared after" true (Trace.current_context () = None);
+  (try Trace.with_context (Some ctx) (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "cleared after exception" true (Trace.current_context () = None);
+  Trace.instant "outside";
+  Trace.stop ();
+  let by_name n = List.find (fun (e : Trace.event) -> e.Trace.ev_name = n) (Trace.events ()) in
+  (match List.assoc_opt "ctx.parent" (by_name "inside").ev_args with
+  | Some (Trace.Str "bbbb444455556666") -> ()
+  | _ -> Alcotest.fail "inside should carry ctx.parent");
+  (match List.assoc_opt "ctx.trace" (by_name "nested").ev_args with
+  | Some (Trace.Str "cccc") -> ()
+  | _ -> Alcotest.fail "nested should carry the inner trace id");
+  match List.assoc_opt "ctx.trace" (by_name "outside").ev_args with
+  | None -> ()
+  | Some _ -> Alcotest.fail "outside must not carry context args"
+
+let test_context_mint_shape () =
+  let a = Trace.Context.mint () and b = Trace.Context.mint () in
+  let hex s =
+    String.length s = 16
+    && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+  in
+  Alcotest.(check bool) "ids are 16-hex" true
+    (hex a.Trace.Context.trace_id && hex a.Trace.Context.parent_span);
+  Alcotest.(check bool) "ids are unique" true
+    (a.Trace.Context.trace_id <> b.Trace.Context.trace_id
+    && a.Trace.Context.parent_span <> b.Trace.Context.parent_span)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+
+let fresh_dir prefix =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%.0f" prefix (Unix.getpid ()) (Unix.gettimeofday () *. 1e6))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let test_flight_rings_bounded () =
+  let dir = fresh_dir "lbr-flight" in
+  Lbr_obs.Flight.arm ~node:"test-node" ~spans:16 ~transitions:8 ~dir ();
+  Fun.protect
+    ~finally:(fun () -> Lbr_obs.Flight.disarm ())
+    (fun () ->
+      (* classic tracing is OFF: the hook alone must capture spans *)
+      Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+      for i = 1 to 100 do
+        Trace.instant (Printf.sprintf "ev%d" i);
+        Lbr_obs.Flight.transition ~job:(Printf.sprintf "job-%d" i) ~state:"queued"
+      done;
+      Alcotest.(check int) "span ring bounded" 16 (Lbr_obs.Flight.span_count ());
+      Alcotest.(check int) "transition ring bounded" 8
+        (Lbr_obs.Flight.transition_count ());
+      match Lbr_obs.Flight.render_current ~reason:"test" with
+      | None -> Alcotest.fail "armed recorder must render"
+      | Some body ->
+          Alcotest.(check bool) "has node" true (contains ~affix:{|"node":"test-node"|} body);
+          Alcotest.(check bool) "has reason" true (contains ~affix:{|"reason":"test"|} body);
+          (* newest window survives: ev100 present, ev1 evicted *)
+          Alcotest.(check bool) "newest span kept" true (contains ~affix:{|"ev100"|} body);
+          Alcotest.(check bool) "oldest span evicted" false (contains ~affix:{|"ev1"|} body);
+          Alcotest.(check bool) "newest transition kept" true
+            (contains ~affix:{|"job-100"|} body))
+
+let test_flight_dump_writes_file () =
+  let dir = fresh_dir "lbr-flight-dump" in
+  Lbr_obs.Flight.arm ~node:"dumper" ~dir ();
+  Fun.protect
+    ~finally:(fun () -> Lbr_obs.Flight.disarm ())
+    (fun () ->
+      Trace.instant "pre-crash";
+      Lbr_obs.Flight.transition ~job:"job-1" ~state:"running";
+      match Lbr_obs.Flight.dump ~reason:"drain" with
+      | None -> Alcotest.fail "dump should succeed"
+      | Some path ->
+          Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+          Alcotest.(check bool) "in the journal dir" true
+            (String.starts_with ~prefix:dir path);
+          let ic = open_in path in
+          let body = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Alcotest.(check bool) "is a flight dump" true
+            (contains ~affix:{|"flightRecorder":1|} body);
+          Alcotest.(check bool) "span present" true (contains ~affix:{|"pre-crash"|} body))
+
+let test_flight_disarmed_noop () =
+  Lbr_obs.Flight.disarm ();
+  Lbr_obs.Flight.transition ~job:"job-x" ~state:"running";
+  Alcotest.(check bool) "not armed" false (Lbr_obs.Flight.armed ());
+  Alcotest.(check (option string)) "no dump" None (Lbr_obs.Flight.dump ~reason:"x")
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 
@@ -265,6 +387,126 @@ let test_since_after_only_phase () =
     (Lbr_harness.Counters.since ~before ~after)
 
 (* ------------------------------------------------------------------ *)
+(* Metrics federation: dump codec + exact merge                        *)
+
+let name_gen =
+  QCheck.Gen.oneofl
+    [ "alpha_total"; "beta_seconds"; "gamma"; "delta_bytes"; "epsilon_ratio" ]
+
+let help_gen =
+  QCheck.Gen.oneofl [ ""; "plain help"; "with \"quotes\" and \\ backslash" ]
+
+let dumped_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Metrics.D_counter n) (int_range 0 1_000_000);
+        map (fun v -> Metrics.D_gauge v) (float_range (-1e6) 1e6);
+        map
+          (fun ((lo, growth), (counts, sum)) ->
+            Metrics.D_hist
+              { d_lo = lo; d_growth = growth; d_counts = Array.of_list counts; d_sum = sum })
+          (pair
+             (pair (float_range 1e-6 1.) (float_range 1.1 4.))
+             (pair (list_size (int_range 1 8) (int_range 0 1000)) (float_range 0. 1e6)));
+      ])
+
+let dump_gen =
+  QCheck.Gen.(list_size (int_range 0 6) (triple name_gen help_gen dumped_gen))
+
+let prop_dump_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"dump codec round-trips"
+    (QCheck.make dump_gen)
+    (fun d -> Metrics.decode_dump (Metrics.encode_dump d) = Ok d)
+
+let prop_dump_decode_total =
+  QCheck.Test.make ~count:300 ~name:"decode_dump is total on mangled input"
+    (QCheck.make QCheck.Gen.(pair dump_gen (pair (int_range 0 5000) (int_range 0 255))))
+    (fun (d, (pos, byte)) ->
+      let s = Metrics.encode_dump d in
+      let trunc = String.sub s 0 (pos mod (String.length s + 1)) in
+      let flipped =
+        if String.length s = 0 then s
+        else begin
+          let b = Bytes.of_string s in
+          Bytes.set b (pos mod String.length s) (Char.chr byte);
+          Bytes.to_string b
+        end
+      in
+      (match Metrics.decode_dump trunc with Ok _ | Error _ -> true)
+      && (match Metrics.decode_dump flipped with Ok _ | Error _ -> true))
+
+(* The federation invariant the coordinator's [top --metrics] view rests
+   on: merged counters/gauges are exact sums, histograms merge
+   bucket-by-bucket, and a kind mismatch keeps the first value. *)
+let test_merge_dumps_pin () =
+  let open Metrics in
+  let hist counts sum =
+    D_hist { d_lo = 0.01; d_growth = 2.0; d_counts = counts; d_sum = sum }
+  in
+  let d1 =
+    [
+      ("gauge_x", "g", D_gauge 1.5);
+      ("hist_y", "h", hist [| 1; 2; 0 |] 3.5);
+      ("jobs_total", "j", D_counter 3);
+      ("only_first", "o", D_counter 7);
+    ]
+  in
+  let d2 =
+    [
+      ("gauge_x", "g", D_gauge 0.25);
+      ("hist_y", "h", hist [| 0; 4; 1 |] 9.0);
+      ("jobs_total", "j", D_counter 4);
+      ("mismatch", "m", D_counter 1);
+    ]
+  in
+  let d3 = [ ("jobs_total", "j", D_counter 5); ("mismatch", "m", D_gauge 9.0) ] in
+  let merged = merge_dumps [ d1; d2; d3 ] in
+  let get name = find_in_dump merged name in
+  (match get "jobs_total" with
+  | Some (D_counter 12) -> ()
+  | _ -> Alcotest.fail "counters must sum: 3 + 4 + 5 = 12");
+  (match get "gauge_x" with
+  | Some (D_gauge v) when v = 1.75 -> ()
+  | _ -> Alcotest.fail "gauges must sum: 1.5 + 0.25 = 1.75");
+  (match get "hist_y" with
+  | Some (D_hist { d_counts = [| 1; 6; 1 |]; d_sum = 12.5; _ }) -> ()
+  | _ -> Alcotest.fail "histograms must merge bucket-by-bucket");
+  (match get "only_first" with
+  | Some (D_counter 7) -> ()
+  | _ -> Alcotest.fail "a metric present in one dump passes through");
+  match get "mismatch" with
+  | Some (D_counter 1) -> ()
+  | _ -> Alcotest.fail "kind mismatch keeps the first value, never raises"
+
+let test_exporter_http () =
+  let ex =
+    Lbr_obs.Exporter.start ~host:"127.0.0.1" ~port:0 (fun () ->
+        "lbr_up 1\n")
+  in
+  Fun.protect
+    ~finally:(fun () -> Lbr_obs.Exporter.stop ex)
+    (fun () ->
+      let port = Lbr_obs.Exporter.port ex in
+      Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+      let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc "GET /metrics HTTP/1.0\r\n\r\n";
+      flush oc;
+      let ic = Unix.in_channel_of_descr sock in
+      let buf = Buffer.create 256 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      Unix.close sock;
+      let resp = Buffer.contents buf in
+      Alcotest.(check bool) "HTTP 200" true (contains ~affix:"200" resp);
+      Alcotest.(check bool) "body served" true (contains ~affix:"lbr_up 1" resp))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -280,6 +522,23 @@ let () =
           Alcotest.test_case "ring overflow drops oldest" `Quick test_ring_overflow_drops;
           Alcotest.test_case "span_between duration" `Quick test_span_between;
           Alcotest.test_case "trace JSON shape" `Quick test_trace_json_shape;
+          Alcotest.test_case "raising args thunk poisons only the args" `Quick
+            test_args_thunk_poisoned;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "install, nest, restore, ctx args" `Quick
+            test_context_args_and_restore;
+          Alcotest.test_case "minted ids are 16-hex and unique" `Quick
+            test_context_mint_shape;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "rings stay bounded, newest window wins" `Quick
+            test_flight_rings_bounded;
+          Alcotest.test_case "dump writes a readable file" `Quick
+            test_flight_dump_writes_file;
+          Alcotest.test_case "disarmed recorder is inert" `Quick test_flight_disarmed_noop;
         ] );
       ( "metrics",
         [
@@ -297,6 +556,12 @@ let () =
             prop_merge_rejects_layouts;
             prop_quantile_within_bucket;
           ] );
+      ( "federation",
+        Alcotest.test_case "merge_dumps is an exact sum (pinned)" `Quick
+          test_merge_dumps_pin
+        :: Alcotest.test_case "prometheus exporter serves over HTTP" `Quick
+             test_exporter_http
+        :: qsuite [ prop_dump_roundtrip; prop_dump_decode_total ] );
       ( "counters",
         [
           Alcotest.test_case "since keys on name" `Quick test_since_keys_on_name;

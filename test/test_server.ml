@@ -45,6 +45,7 @@ let spec_of_seed ?classes ?(priority = Wire.Normal)
     retries = 0;
     pool_bytes = pool_bytes_of_seed ?classes seed;
     frontend = "jvm";
+    trace_ctx = None;
   }
 
 (* The in-process reference for what the service should compute on
@@ -90,17 +91,73 @@ let some_stats =
     bytes1 = 1914;
   }
 
+let some_ctx =
+  Some { Lbr_obs.Trace.Context.trace_id = "00deadbeef00cafe"; parent_span = "0123456789abcdef" }
+
 let sample_messages =
   [
     Wire.Hello 1;
     Wire.Hello_ok 1;
     Wire.Submit (spec_of_seed ~classes:6 1);
+    Wire.Submit { (spec_of_seed ~classes:6 1) with Wire.trace_ctx = some_ctx };
+    Wire.Submit
+      { (spec_of_seed ~classes:6 1) with Wire.frontend = "dimacs"; trace_ctx = some_ctx };
     Wire.Submit_seeded
       {
         spec = spec_of_seed ~classes:6 1;
         seeds = [ (String.make 32 'a', true); (String.make 32 'b', false) ];
       };
-    Wire.Verdict { job_id = "job-000042"; key = String.make 32 'c'; ok = true };
+    Wire.Submit_seeded
+      {
+        spec = { (spec_of_seed ~classes:6 1) with Wire.trace_ctx = some_ctx };
+        seeds = [ (String.make 32 'a', true) ];
+      };
+    Wire.Verdict
+      { job_id = "job-000042"; key = String.make 32 'c'; ok = true; ctx = None };
+    Wire.Verdict
+      { job_id = "job-000042"; key = String.make 32 'c'; ok = false; ctx = some_ctx };
+    Wire.Trace_dump_request;
+    Wire.Trace_dump_reply
+      {
+        node = "127.0.0.1:7421";
+        epoch = 1754700000.125;
+        server_now = 1754700012.5;
+        dropped = 3;
+        events =
+          [
+            {
+              Lbr_obs.Trace.ev_name = "coordinator.job";
+              ev_ph = 'X';
+              ev_ts = 120.5;
+              ev_dur = 880.25;
+              ev_tid = 0;
+              ev_args =
+                [ ("job", Lbr_obs.Trace.Str "job-000042"); ("attempts", Lbr_obs.Trace.Int 1) ];
+            };
+            {
+              Lbr_obs.Trace.ev_name = "spec.launch";
+              ev_ph = 'i';
+              ev_ts = 130.;
+              ev_dur = 0.;
+              ev_tid = 2;
+              ev_args = [ ("waste", Lbr_obs.Trace.Float 0.25); ("hot", Lbr_obs.Trace.Bool true) ];
+            };
+          ];
+      };
+    Wire.Metrics_dump_request;
+    Wire.Metrics_dump_reply
+      {
+        node = "127.0.0.1:7421";
+        dump =
+          [
+            ("lbr_jobs_total", "jobs", Lbr_obs.Metrics.D_counter 42);
+            ("lbr_queue_depth", "", Lbr_obs.Metrics.D_gauge 2.5);
+            ( "lbr_latency_seconds",
+              "verdict latency",
+              Lbr_obs.Metrics.D_hist
+                { d_lo = 0.001; d_growth = 2.0; d_counts = [| 1; 0; 3 |]; d_sum = 0.75 } );
+          ];
+      };
     Wire.Accepted "job-000042";
     Wire.Rejected { reason = "queue full"; retry_after = 2.5 };
     Wire.Cancel "job-000042";
@@ -224,6 +281,59 @@ let prop_wire_bitflip_never_raises =
       Bytes.set payload pos
         (Char.chr (Char.code (Bytes.get payload pos) lxor (1 lsl bit)));
       match Wire.decode_payload (Bytes.to_string payload) with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Wire v5 <-> v4 interop
+
+   The v5 context fields ride as trailing optional strings, so a v4
+   peer's bytes are, by construction, exactly the v5 encoding with the
+   context stripped.  Pin that construction: stripping the context
+   yields a strict prefix of the v5 frame, the v5 decoder reads those
+   v4 bytes back as a context-free spec, and contexts round-trip when
+   present. *)
+
+let interop_spec_gen =
+  (* one shared pool: the generator varies only the v5-relevant fields *)
+  let base = spec_of_seed ~classes:6 1 in
+  QCheck.Gen.(
+    map2
+      (fun frontend ctx -> { base with Wire.frontend; trace_ctx = ctx })
+      (oneofl [ "jvm"; "dimacs"; "fjtree" ])
+      (opt
+         (map2
+            (fun a b ->
+              {
+                Lbr_obs.Trace.Context.trace_id = Printf.sprintf "%016Lx" (Int64.of_int a);
+                parent_span = Printf.sprintf "%016Lx" (Int64.of_int b);
+              })
+            int int)))
+
+let payload_of msg =
+  let frame = Wire.encode msg in
+  String.sub frame 4 (String.length frame - 4)
+
+let prop_wire_v4_bytes_decode_identically =
+  QCheck.Test.make ~count:100 ~name:"v4 frames are the ctx-stripped v5 frames"
+    (QCheck.make interop_spec_gen)
+    (fun spec ->
+      let v4_spec = { spec with Wire.trace_ctx = None } in
+      let v4 = payload_of (Wire.Submit v4_spec) in
+      let v5 = payload_of (Wire.Submit spec) in
+      String.length v4 <= String.length v5
+      && String.sub v5 0 (String.length v4) = v4
+      && Wire.decode_payload v4 = Ok (Wire.Submit v4_spec))
+
+let prop_wire_ctx_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"v5 contexts round-trip on every ctx'd frame"
+    (QCheck.make interop_spec_gen)
+    (fun spec ->
+      [
+        Wire.Submit spec;
+        Wire.Submit_seeded { spec; seeds = [ (String.make 32 'a', true) ] };
+        Wire.Verdict
+          { job_id = "job-1"; key = String.make 32 'k'; ok = true; ctx = spec.Wire.trace_ctx };
+      ]
+      |> List.for_all (fun msg -> Wire.decode_payload (payload_of msg) = Ok msg))
 
 let test_spec_string_roundtrip () =
   let spec = spec_of_seed ~classes:10 ~priority:Wire.High 3 in
@@ -950,6 +1060,52 @@ let test_server_seeded_submit_rejected_on_v2 () =
       | _ -> Alcotest.fail "expected Protocol_error for Submit_seeded on v2");
       Unix.close fd)
 
+(* A v5 connection can pull the daemon's span rings and metric registry;
+   the server and the test share a process, so enabling tracing here
+   makes the server's own job spans visible in the dump. *)
+let test_server_observability_dumps () =
+  with_server "obsdumps" (fun socket _server ->
+      Lbr_obs.Trace.start ();
+      Fun.protect
+        ~finally:(fun () -> Lbr_obs.Trace.stop ())
+        (fun () ->
+          match Client.connect socket with
+          | Error m -> Alcotest.failf "connect: %s" m
+          | Ok client ->
+              Alcotest.(check int) "negotiated v5" 5 (Client.negotiated_version client);
+              (match Client.submit client (spec_of_seed ~classes:16 21) with
+              | Error m -> Alcotest.failf "submit: %s" m
+              | Ok _ -> ());
+              (match Client.trace_dump client with
+              | Error m -> Alcotest.failf "trace_dump: %s" m
+              | Ok d ->
+                  Alcotest.(check bool) "node label present" true
+                    (String.length d.Client.td_node > 0);
+                  Alcotest.(check bool) "epoch is set" true (d.Client.td_epoch > 0.);
+                  Alcotest.(check bool) "job spans recorded" true (d.Client.td_events <> []));
+              (match Client.metrics_dump client with
+              | Error m -> Alcotest.failf "metrics_dump: %s" m
+              | Ok (node, dump) ->
+                  Alcotest.(check bool) "node label present" true (String.length node > 0);
+                  Alcotest.(check bool) "registry snapshot non-empty" true (dump <> []));
+              Client.close client))
+
+(* Dump requests are v5 vocabulary; a v4 peer gets a protocol error, not
+   a mis-parsed frame. *)
+let test_server_dumps_rejected_on_v4 () =
+  with_server "dumpv4" (fun socket _server ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Wire.write_message fd (Wire.Hello 4);
+      (match Wire.read_message fd with
+      | Ok (Wire.Hello_ok 4) -> ()
+      | _ -> Alcotest.fail "expected Hello_ok 4");
+      Wire.write_message fd Wire.Trace_dump_request;
+      (match Wire.read_message fd with
+      | Ok (Wire.Protocol_error _) -> ()
+      | _ -> Alcotest.fail "expected Protocol_error for Trace_dump_request on v4");
+      Unix.close fd)
+
 let test_server_cancel_over_socket () =
   (* queue_depth 1 and jobs 1: park a long job, cancel it over the wire *)
   with_server ~jobs:1 "cancel" (fun socket server ->
@@ -1044,6 +1200,8 @@ let () =
         [ prop_wire_decode_never_raises; prop_wire_truncation_rejected;
           prop_wire_bitflip_never_raises; prop_wire_tcp_truncation_rejected;
           prop_wire_tcp_bitflip_never_raises ];
+      qsuite "wire-v5-interop"
+        [ prop_wire_v4_bytes_decode_identically; prop_wire_ctx_roundtrip ];
       ( "journal",
         [
           Alcotest.test_case "record, replay, terminal markers" `Quick
@@ -1089,6 +1247,10 @@ let () =
             test_server_v3_verdict_stream;
           Alcotest.test_case "Submit_seeded rejected on v2" `Quick
             test_server_seeded_submit_rejected_on_v2;
+          Alcotest.test_case "v5 trace + metrics dumps over the socket" `Slow
+            test_server_observability_dumps;
+          Alcotest.test_case "dump requests rejected on v4" `Quick
+            test_server_dumps_rejected_on_v4;
           Alcotest.test_case "cancel over the socket" `Slow test_server_cancel_over_socket;
           Alcotest.test_case "draining rejects submissions" `Quick
             test_server_draining_rejects_submissions;
